@@ -1,0 +1,434 @@
+//! Series generators for Figures 3-10 of the paper, plus the
+//! Section 6 recommendations computed from the model.
+
+use wave_index::schemes::SchemeKind;
+use wave_index::UpdateTechnique;
+
+use crate::model::{evaluate, Evaluation};
+use crate::params::Params;
+
+/// One scheme's curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Scheme the curve belongs to.
+    pub scheme: SchemeKind,
+    /// `(x, y)` points; `x` is the figure's sweep variable.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"Figure 5"`.
+    pub id: &'static str,
+    /// What the figure shows.
+    pub title: String,
+    /// Sweep-variable label.
+    pub x_label: &'static str,
+    /// Value label.
+    pub y_label: &'static str,
+    /// One curve per scheme.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// The scheme with the lowest value at `x`, among schemes that
+    /// have a point there (used for the Section 6 recommendations).
+    pub fn best_at(&self, x: f64) -> Option<(SchemeKind, f64)> {
+        let mut best: Option<(SchemeKind, f64)> = None;
+        for s in &self.series {
+            let Some(&(_, y)) = s.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9) else {
+                continue;
+            };
+            if best.is_none_or(|(_, by)| y < by) {
+                best = Some((s.scheme, y));
+            }
+        }
+        best
+    }
+
+    /// Like [`Figure::best_at`] but restricted to `allowed` schemes.
+    pub fn best_at_among(&self, x: f64, allowed: &[SchemeKind]) -> Option<(SchemeKind, f64)> {
+        let mut best: Option<(SchemeKind, f64)> = None;
+        for s in self.series.iter().filter(|s| allowed.contains(&s.scheme)) {
+            let Some(&(_, y)) = s.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9) else {
+                continue;
+            };
+            if best.is_none_or(|(_, by)| y < by) {
+                best = Some((s.scheme, y));
+            }
+        }
+        best
+    }
+
+    /// The curve for one scheme.
+    pub fn series_for(&self, scheme: SchemeKind) -> Option<&Series> {
+        self.series.iter().find(|s| s.scheme == scheme)
+    }
+}
+
+/// Sweeps `n` for every applicable scheme and extracts `measure`.
+fn sweep_fan(
+    id: &'static str,
+    title: String,
+    y_label: &'static str,
+    params: &Params,
+    technique: UpdateTechnique,
+    fans: impl Iterator<Item = usize> + Clone,
+    measure: impl Fn(&Evaluation) -> f64,
+) -> Figure {
+    let mut series = Vec::new();
+    for kind in SchemeKind::ALL {
+        let mut points = Vec::new();
+        for n in fans.clone() {
+            if n < kind.min_fan() || n as u32 > params.window {
+                continue;
+            }
+            let e = evaluate(kind, technique, params, n);
+            points.push((n as f64, measure(&e)));
+        }
+        series.push(Series {
+            scheme: kind,
+            points,
+        });
+    }
+    Figure {
+        id,
+        title,
+        x_label: "n (constituent indexes)",
+        y_label,
+        series,
+    }
+}
+
+/// Figure 3: average space required by SCAM during operation and
+/// transitions, vs `n` (`W = 7`, simple shadowing), in bytes.
+pub fn fig3_scam_space() -> Figure {
+    let p = Params::scam();
+    sweep_fan(
+        "Figure 3",
+        format!("SCAM: average space during day (W = {})", p.window),
+        "bytes",
+        &p,
+        UpdateTechnique::SimpleShadow,
+        1..=7,
+        Evaluation::space_total_avg,
+    )
+}
+
+/// Figure 4: SCAM transition time vs `n` (simple shadowing), seconds.
+pub fn fig4_scam_transition() -> Figure {
+    let p = Params::scam();
+    sweep_fan(
+        "Figure 4",
+        format!("SCAM: transition time (W = {})", p.window),
+        "seconds",
+        &p,
+        UpdateTechnique::SimpleShadow,
+        1..=7,
+        |e| e.maintenance.trans,
+    )
+}
+
+/// Figure 5: SCAM total daily work vs `n` (simple shadowing), seconds.
+pub fn fig5_scam_work() -> Figure {
+    let p = Params::scam();
+    sweep_fan(
+        "Figure 5",
+        format!("SCAM: average work done during day (W = {})", p.window),
+        "seconds",
+        &p,
+        UpdateTechnique::SimpleShadow,
+        1..=7,
+        |e| e.total_work,
+    )
+}
+
+/// Figure 6: WSE total daily work vs `n` (`W = 35`, packed
+/// shadowing), seconds.
+pub fn fig6_wse_work() -> Figure {
+    let p = Params::wse();
+    sweep_fan(
+        "Figure 6",
+        format!("WSE: average work done during day (W = {})", p.window),
+        "seconds",
+        &p,
+        UpdateTechnique::PackedShadow,
+        1..=10,
+        |e| e.total_work,
+    )
+}
+
+/// Figure 7: TPC-D total daily work vs `n` (`W = 100`, packed
+/// shadowing), seconds.
+pub fn fig7_tpcd_work_packed() -> Figure {
+    let p = Params::tpcd();
+    sweep_fan(
+        "Figure 7",
+        format!("TPC-D: average work, packed shadowing (W = {})", p.window),
+        "seconds",
+        &p,
+        UpdateTechnique::PackedShadow,
+        1..=12,
+        |e| e.total_work,
+    )
+}
+
+/// Figure 8: TPC-D total daily work vs `n` (simple shadowing),
+/// seconds.
+pub fn fig8_tpcd_work_simple() -> Figure {
+    let p = Params::tpcd();
+    sweep_fan(
+        "Figure 8",
+        format!("TPC-D: average work, simple shadowing (W = {})", p.window),
+        "seconds",
+        &p,
+        UpdateTechnique::SimpleShadow,
+        1..=12,
+        |e| e.total_work,
+    )
+}
+
+/// Figure 9: SCAM total work vs window size `W` (4 days to 6 weeks,
+/// `n = 4`, simple shadowing).
+pub fn fig9_scam_window_scaling() -> Figure {
+    let windows = [4u32, 7, 14, 21, 28, 35, 42];
+    let n = 4usize;
+    let mut series = Vec::new();
+    for kind in SchemeKind::ALL {
+        let mut points = Vec::new();
+        for &w in &windows {
+            if n < kind.min_fan() || n as u32 > w {
+                continue;
+            }
+            let p = Params::scam().with_window(w);
+            let e = evaluate(kind, UpdateTechnique::SimpleShadow, &p, n);
+            points.push((w as f64, e.total_work));
+        }
+        series.push(Series {
+            scheme: kind,
+            points,
+        });
+    }
+    Figure {
+        id: "Figure 9",
+        title: "SCAM: work during day vs window size (n = 4)".into(),
+        x_label: "W (days)",
+        y_label: "seconds",
+        series,
+    }
+}
+
+/// Figure 10: SCAM total work vs data scale factor `SF ∈ [0.5, 5]`
+/// (`W = 14`, `n = 4`, simple shadowing).
+pub fn fig10_scam_scale_factor() -> Figure {
+    let mut series = Vec::new();
+    let sfs: Vec<f64> = (1..=10).map(|i| i as f64 * 0.5).collect();
+    for kind in SchemeKind::ALL {
+        let mut points = Vec::new();
+        for &sf in &sfs {
+            let p = Params::scam().with_window(14).scaled(sf);
+            let e = evaluate(kind, UpdateTechnique::SimpleShadow, &p, 4);
+            points.push((sf, e.total_work));
+        }
+        series.push(Series {
+            scheme: kind,
+            points,
+        });
+    }
+    Figure {
+        id: "Figure 10",
+        title: "SCAM: work during day vs scale factor (W = 14, n = 4)".into(),
+        x_label: "SF (scale factor)",
+        y_label: "seconds",
+        series,
+    }
+}
+
+/// The scheme recommendations of Section 6, recomputed from the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recommendations {
+    /// Best (scheme, n) for SCAM by total work at moderate fan.
+    pub scam: (SchemeKind, usize),
+    /// Best (scheme, n) for the WSE with packed shadowing.
+    pub wse: (SchemeKind, usize),
+    /// Best (scheme, n) for TPC-D with packed shadowing.
+    pub tpcd_packed: (SchemeKind, usize),
+}
+
+/// Computes the recommendations with the paper's Section 6 criteria:
+///
+/// * **SCAM** — the paper weighs Figures 3-5 jointly and wants a hard
+///   window with low probe response time, settling on `n = 4`
+///   ("diminishing returns for n ≥ 4"): pick the cheapest hard-window
+///   scheme at `n = 4`.
+/// * **WSE** — query volume dominates, so response time and work
+///   align: pick the global minimum across `(scheme, n)`.
+/// * **TPC-D (packed)** — user response time favours `n = 1`; pick
+///   the cheapest scheme there.
+pub fn recommendations() -> Recommendations {
+    let fig5 = fig5_scam_work();
+    let fig6 = fig6_wse_work();
+    let fig7 = fig7_tpcd_work_packed();
+    let hard = [
+        SchemeKind::Del,
+        SchemeKind::Reindex,
+        SchemeKind::ReindexPlus,
+        SchemeKind::ReindexPlusPlus,
+        SchemeKind::RataStar,
+    ];
+    let scam = fig5
+        .best_at_among(4.0, &hard)
+        .expect("SCAM figure has n = 4 points");
+    let best_overall = |fig: &Figure| -> (SchemeKind, usize) {
+        let mut best: Option<(SchemeKind, usize, f64)> = None;
+        for s in &fig.series {
+            for &(x, y) in &s.points {
+                if best.is_none_or(|(_, _, by)| y < by) {
+                    best = Some((s.scheme, x as usize, y));
+                }
+            }
+        }
+        let (k, n, _) = best.expect("figure has points");
+        (k, n)
+    };
+    let tpcd = fig7.best_at(1.0).expect("TPC-D figure has n = 1 points");
+    Recommendations {
+        scam: (scam.0, 4),
+        wse: best_overall(&fig6),
+        tpcd_packed: (tpcd.0, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reindex_poor_small_n_good_large_n() {
+        let fig = fig5_scam_work();
+        let reindex = fig.series_for(SchemeKind::Reindex).unwrap();
+        let del = fig.series_for(SchemeKind::Del).unwrap();
+        let at = |s: &Series, n: f64| s.points.iter().find(|(x, _)| *x == n).unwrap().1;
+        // Small n: DEL beats REINDEX; large n: REINDEX beats DEL.
+        assert!(at(reindex, 1.0) > at(del, 1.0));
+        assert!(at(reindex, 7.0) < at(del, 7.0));
+        // REINDEX has its minimum in the middle (the paper picks
+        // n = 4) and is the best hard-window scheme there.
+        let min_n = reindex
+            .points
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        assert!((2.0..=5.0).contains(&min_n), "REINDEX minimum at n = {min_n}");
+        for kind in [
+            SchemeKind::Del,
+            SchemeKind::ReindexPlus,
+            SchemeKind::ReindexPlusPlus,
+            SchemeKind::RataStar,
+        ] {
+            let other = fig.series_for(kind).unwrap();
+            assert!(
+                at(reindex, 4.0) < at(other, 4.0),
+                "REINDEX should beat {kind} at n = 4"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_wse_del_n1_wins() {
+        let fig = fig6_wse_work();
+        let rec = fig.best_at(1.0).unwrap();
+        assert_eq!(rec.0, SchemeKind::Del);
+        // Work grows with n because probes dominate: DEL at n = 7
+        // costs more than at n = 1.
+        let del = fig.series_for(SchemeKind::Del).unwrap();
+        assert!(del.points.last().unwrap().1 > del.points[0].1);
+        // REINDEX is the worst at every n (high query volume).
+        let reindex = fig.series_for(SchemeKind::Reindex).unwrap();
+        for (i, &(x, y)) in reindex.points.iter().enumerate() {
+            let del_y = del.points[i].1;
+            assert!(y > del_y, "n={x}: REINDEX {y} <= DEL {del_y}");
+        }
+    }
+
+    #[test]
+    fn fig7_tpcd_packed_del_and_wata_best() {
+        let fig = fig7_tpcd_work_packed();
+        let best = fig.best_at(1.0).unwrap().0;
+        assert_eq!(best, SchemeKind::Del);
+        // REINDEX is catastrophic at small n (resized graph in the
+        // paper).
+        let reindex = fig.series_for(SchemeKind::Reindex).unwrap();
+        let del = fig.series_for(SchemeKind::Del).unwrap();
+        assert!(reindex.points[0].1 > 5.0 * del.points[0].1);
+    }
+
+    #[test]
+    fn fig8_tpcd_simple_wata_beats_del_substantially() {
+        let fig = fig8_tpcd_work_simple();
+        let wata = fig.series_for(SchemeKind::WataStar).unwrap();
+        let del = fig.series_for(SchemeKind::Del).unwrap();
+        let at = |s: &Series, n: f64| {
+            s.points
+                .iter()
+                .find(|(x, _)| *x == n)
+                .map(|(_, y)| *y)
+                .unwrap()
+        };
+        // At n = 10 (the paper's recommendation), WATA* saves on the
+        // order of 10,000 seconds over DEL.
+        let saving = at(del, 10.0) - at(wata, 10.0);
+        assert!(
+            saving > 5_000.0,
+            "WATA* should save thousands of seconds: {saving}"
+        );
+        // WATA* work decreases as n grows (smaller soft windows).
+        assert!(at(wata, 10.0) < at(wata, 2.0));
+    }
+
+    #[test]
+    fn fig9_reindex_family_does_not_scale_with_window() {
+        let fig = fig9_scam_window_scaling();
+        let slope = |s: &Series| {
+            let first = s.points.first().unwrap();
+            let last = s.points.last().unwrap();
+            (last.1 - first.1) / (last.0 - first.0)
+        };
+        let reindex = slope(fig.series_for(SchemeKind::Reindex).unwrap());
+        let del = slope(fig.series_for(SchemeKind::Del).unwrap());
+        let wata = slope(fig.series_for(SchemeKind::WataStar).unwrap());
+        assert!(reindex > 5.0 * del.max(wata).max(1.0));
+    }
+
+    #[test]
+    fn fig10_crossover_near_sf_3() {
+        let fig = fig10_scam_scale_factor();
+        let at = |k: SchemeKind, sf: f64| {
+            fig.series_for(k)
+                .unwrap()
+                .points
+                .iter()
+                .find(|(x, _)| (*x - sf).abs() < 1e-9)
+                .unwrap()
+                .1
+        };
+        // WATA* wins at small scale factors…
+        assert!(at(SchemeKind::WataStar, 1.0) < at(SchemeKind::Reindex, 1.0));
+        // …and REINDEX wins once data grows enough (paper: SF > 3).
+        assert!(at(SchemeKind::Reindex, 5.0) < at(SchemeKind::WataStar, 5.0));
+    }
+
+    #[test]
+    fn recommendations_match_section_6() {
+        let rec = recommendations();
+        assert_eq!(rec.wse.0, SchemeKind::Del);
+        assert_eq!(rec.wse.1, 1);
+        assert_eq!(rec.tpcd_packed.0, SchemeKind::Del);
+        assert_eq!(rec.tpcd_packed.1, 1);
+        // SCAM's global minimum is REINDEX at moderate-to-large n.
+        assert_eq!(rec.scam.0, SchemeKind::Reindex);
+        assert!(rec.scam.1 >= 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # wave-analytic
+//!
+//! The analytic cost model of Section 5 of *Wave-Indices: Indexing
+//! Evolving Databases* (Shivakumar & Garcia-Molina, SIGMOD '97).
+//!
+//! The paper evaluates its six maintenance schemes by deriving each
+//! scheme's daily operation mix symbolically and pricing it with
+//! measured parameters (Table 12). This crate does the same
+//! mechanically:
+//!
+//! * [`trace`] simulates a scheme's cluster dynamics in *day counts*,
+//!   emitting the logical operations of each transition;
+//! * [`model`] prices those operations under the three update
+//!   techniques of Section 2.1, yielding every Section 5 measure
+//!   (space, query response, transition / pre-transition time, total
+//!   daily work);
+//! * [`params`] holds the Table 12 presets (SCAM, WSE, TPC-D);
+//! * [`figures`] sweeps the model to regenerate Figures 3-10;
+//! * [`tables`] renders numeric instantiations of Tables 8-12.
+//!
+//! The traces are cross-validated against the real index
+//! implementations in `wave-index` by this crate's integration tests.
+
+pub mod figures;
+pub mod model;
+pub mod params;
+pub mod tables;
+pub mod trace;
+
+pub use figures::{recommendations, Figure, Recommendations, Series};
+pub use model::{evaluate, Evaluation, Maintenance};
+pub use params::{IndexFan, Params};
+pub use trace::{trace_scheme, DayTrace, Op};

@@ -1,0 +1,256 @@
+//! The parameters of Section 5 and their Table 12 instantiations.
+//!
+//! Three parameter groups, as the paper classifies them:
+//!
+//! * **hardware** — `seek`, `Trans`;
+//! * **application** — per-day index sizes `S`/`S'`, bucket size `c`,
+//!   query volumes `Probe_num`/`Scan_num` and fan-outs
+//!   `Probe_idx`/`Scan_idx`;
+//! * **implementation** — CONTIGUOUS growth factor `g` and the
+//!   measured per-day `Build`/`Add`/`Del` times.
+
+/// How many constituent indexes a query touches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexFan {
+    /// Every constituent (the paper's `Probe_idx = n`).
+    All,
+    /// A fixed number (e.g. SCAM's registration scans touch only the
+    /// index holding the current day: 1).
+    Fixed(f64),
+}
+
+impl IndexFan {
+    /// Resolves to a count given the wave index's `n`.
+    pub fn resolve(&self, n: usize) -> f64 {
+        match self {
+            IndexFan::All => n as f64,
+            IndexFan::Fixed(k) => *k,
+        }
+    }
+}
+
+/// All Section 5 parameters for one application scenario.
+///
+/// ```
+/// use wave_analytic::Params;
+///
+/// let scam = Params::scam();
+/// assert_eq!(scam.window, 7);
+/// // Figure 9 widens the window, Figure 10 scales the data.
+/// assert_eq!(scam.with_window(14).window, 14);
+/// assert!(scam.scaled(2.0).add > 2.0 * scam.add);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    // Hardware.
+    /// Seconds per seek.
+    pub seek: f64,
+    /// Transfer rate in bytes per second (`Trans`).
+    pub trans: f64,
+    // Application.
+    /// Window size `W` in days.
+    pub window: u32,
+    /// Bytes of a packed one-day index (`S`).
+    pub s_packed: f64,
+    /// Bytes of an unpacked (CONTIGUOUS) one-day index (`S'`).
+    pub s_unpacked: f64,
+    /// Average bucket bytes per day for a probed value (`c`).
+    pub c_bucket: f64,
+    /// `TimedIndexProbe`s per day (`Probe_num`).
+    pub probe_num: f64,
+    /// Constituents each probe touches (`Probe_idx`).
+    pub probe_idx: IndexFan,
+    /// `TimedSegmentScan`s per day (`Scan_num`).
+    pub scan_num: f64,
+    /// Constituents each scan touches (`Scan_idx`).
+    pub scan_idx: IndexFan,
+    // Implementation (CONTIGUOUS).
+    /// Growth factor `g`.
+    pub growth: f64,
+    /// Seconds to `BuildIndex` one day (`Build`).
+    pub build: f64,
+    /// Seconds to `AddToIndex` one day (`Add`).
+    pub add: f64,
+    /// Seconds to `DeleteFromIndex` one day (`Del`).
+    pub del: f64,
+}
+
+const MB: f64 = 1e6;
+
+/// How the measured CONTIGUOUS `Add`/`Del` times grow with daily data
+/// volume (see [`Params::scaled`]).
+pub const ADD_SCALE_EXPONENT: f64 = 1.65;
+
+impl Params {
+    /// Table 12, SCAM column (`W = 7`): ~70,000 Netnews articles per
+    /// day indexed for copy detection; 100,000 probes (100 user
+    /// queries × 100 chunk probes each) and 10 registration scans over
+    /// the current day's index.
+    pub fn scam() -> Self {
+        Params {
+            seek: 0.014,
+            trans: 10.0 * MB,
+            window: 7,
+            s_packed: 56.0 * MB,
+            s_unpacked: 78.4 * MB,
+            c_bucket: 100.0,
+            probe_num: 100_000.0,
+            probe_idx: IndexFan::All,
+            scan_num: 10.0,
+            scan_idx: IndexFan::Fixed(1.0),
+            growth: 2.0,
+            build: 1686.0,
+            add: 3341.0,
+            del: 3341.0,
+        }
+    }
+
+    /// Table 12, WSE column (`W = 35`): a generic web search engine
+    /// indexing ~100,000 Netnews articles per day; 340,000 probes
+    /// (170,000 two-word queries), no segment scans.
+    pub fn wse() -> Self {
+        Params {
+            seek: 0.014,
+            trans: 10.0 * MB,
+            window: 35,
+            s_packed: 75.0 * MB,
+            s_unpacked: 105.0 * MB,
+            c_bucket: 100.0,
+            probe_num: 340_000.0,
+            probe_idx: IndexFan::All,
+            scan_num: 0.0,
+            scan_idx: IndexFan::All,
+            growth: 2.0,
+            build: 2276.0,
+            add: 4678.0,
+            del: 4678.0,
+        }
+    }
+
+    /// Table 12, TPC-D column (`W = 100`): a wave index on `LINEITEM`
+    /// over `SUPPKEY`; 10 analytical queries per day scanning all
+    /// constituents (Q1-style), no probes; uniform keys make `g = 1.08`
+    /// the right CONTIGUOUS setting.
+    pub fn tpcd() -> Self {
+        Params {
+            seek: 0.014,
+            trans: 10.0 * MB,
+            window: 100,
+            s_packed: 600.0 * MB,
+            s_unpacked: 627.0 * MB,
+            c_bucket: 100.0,
+            probe_num: 0.0,
+            probe_idx: IndexFan::All,
+            scan_num: 10.0,
+            scan_idx: IndexFan::All,
+            growth: 1.08,
+            build: 8406.0,
+            add: 11431.0,
+            del: 11431.0,
+        }
+    }
+
+    /// Scales the per-day data volume by `sf` (Figure 10's scale
+    /// factor). Sizes and `Build` grow linearly; `Add`/`Del` grow as
+    /// `sf^ADD_SCALE_EXPONENT`: the paper observes (Figure 10
+    /// discussion) that REINDEX "scales the best … since it does not
+    /// use expensive incremental indexing schemes like CONTIGUOUS",
+    /// i.e. their measured incremental costs degraded super-linearly
+    /// with daily volume; the exponent is calibrated so that the
+    /// paper's WATA*/REINDEX crossover lands at `SF ≈ 3`.
+    pub fn scaled(mut self, sf: f64) -> Self {
+        self.s_packed *= sf;
+        self.s_unpacked *= sf;
+        self.c_bucket *= sf;
+        self.build *= sf;
+        self.add *= sf.powf(ADD_SCALE_EXPONENT);
+        self.del *= sf.powf(ADD_SCALE_EXPONENT);
+        self
+    }
+
+    /// Same parameters with a different window.
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Seconds to copy a `k`-day slice of an *unpacked* index (read +
+    /// write): the `CP` of Section 5.
+    pub fn cp(&self, k: f64) -> f64 {
+        2.0 * self.seek + k * 2.0 * self.s_unpacked / self.trans
+    }
+
+    /// `CP` when the source index is packed.
+    pub fn cp_packed(&self, k: f64) -> f64 {
+        2.0 * self.seek + k * 2.0 * self.s_packed / self.trans
+    }
+
+    /// Seconds for the smart copy of a `k`-day slice (`SMCP`): read the
+    /// source, drop expired entries, write packed.
+    pub fn smcp(&self, k: f64, source_packed: bool) -> f64 {
+        let src = if source_packed {
+            self.s_packed
+        } else {
+            self.s_unpacked
+        };
+        2.0 * self.seek + k * (src + self.s_packed) / self.trans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_12() {
+        let scam = Params::scam();
+        assert_eq!(scam.window, 7);
+        assert_eq!(scam.build, 1686.0);
+        assert_eq!(scam.growth, 2.0);
+        let wse = Params::wse();
+        assert_eq!(wse.window, 35);
+        assert_eq!(wse.probe_num, 340_000.0);
+        assert_eq!(wse.scan_num, 0.0);
+        let tpcd = Params::tpcd();
+        assert_eq!(tpcd.window, 100);
+        assert_eq!(tpcd.growth, 1.08);
+        assert_eq!(tpcd.probe_num, 0.0);
+        // S' >= S in every scenario: slack never shrinks an index.
+        for p in [scam, wse, tpcd] {
+            assert!(p.s_unpacked >= p.s_packed);
+        }
+    }
+
+    #[test]
+    fn copy_costs_scale_linearly() {
+        let p = Params::scam();
+        let one = p.cp(1.0);
+        let five = p.cp(5.0);
+        // Subtracting the fixed seeks, five days cost 5x one day.
+        let var1 = one - 2.0 * p.seek;
+        let var5 = five - 2.0 * p.seek;
+        assert!((var5 - 5.0 * var1).abs() < 1e-9);
+        // Smart copy of a packed source is cheaper than unpacked.
+        assert!(p.smcp(3.0, true) < p.smcp(3.0, false));
+    }
+
+    #[test]
+    fn scaling_is_linear_for_build_superlinear_for_add() {
+        let p = Params::scam().scaled(2.0);
+        assert_eq!(p.s_packed, 112.0 * MB);
+        assert_eq!(p.build, 3372.0);
+        assert_eq!(p.seek, 0.014, "hardware does not scale");
+        assert!(
+            p.add > 2.0 * 3341.0,
+            "CONTIGUOUS adds degrade super-linearly (Figure 10)"
+        );
+        let unit = Params::scam().scaled(1.0);
+        assert!((unit.add - 3341.0).abs() < 1e-9, "SF = 1 is the identity");
+    }
+
+    #[test]
+    fn index_fan_resolution() {
+        assert_eq!(IndexFan::All.resolve(4), 4.0);
+        assert_eq!(IndexFan::Fixed(1.0).resolve(4), 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Numeric renderings of Tables 8-11 for a given parameter set and
+//! `(W, n)` grid.
+//!
+//! The paper's tables are symbolic in `W`, `n`, `S`, `S'`, `CP`, …;
+//! here they are instantiated from the same op-level model the figure
+//! generators use, so a reader can line the numbers up against the
+//! paper's formulas (DESIGN.md §5 records the derivation and the cells
+//! that are OCR-damaged in the source).
+
+use wave_index::schemes::SchemeKind;
+use wave_index::UpdateTechnique;
+
+use crate::model::evaluate;
+use crate::params::Params;
+
+fn fmt_mb(bytes: f64) -> String {
+    format!("{:9.1}", bytes / 1e6)
+}
+
+fn fmt_s(secs: f64) -> String {
+    format!("{secs:9.1}")
+}
+
+fn header(cols: &[&str]) -> String {
+    let mut s = format!("{:<11}", "Scheme");
+    for c in cols {
+        s.push_str(&format!(" | {c:>9}"));
+    }
+    s.push('\n');
+    s.push_str(&"-".repeat(11 + cols.len() * 12));
+    s.push('\n');
+    s
+}
+
+/// Table 8: space utilisation under simple shadow updating (MB).
+pub fn table8_space(params: &Params, fan: usize) -> String {
+    let mut out = format!(
+        "Table 8: space (MB), simple shadowing, W = {}, n = {fan}\n",
+        params.window
+    );
+    out.push_str(&header(&["op avg", "op max", "trans avg", "trans max"]));
+    for kind in SchemeKind::ALL {
+        if fan < kind.min_fan() {
+            continue;
+        }
+        let e = evaluate(kind, UpdateTechnique::SimpleShadow, params, fan);
+        out.push_str(&format!(
+            "{:<11} | {} | {} | {} | {}\n",
+            kind.name(),
+            fmt_mb(e.space_operation_avg),
+            fmt_mb(e.space_operation_max),
+            fmt_mb(e.space_transition_avg),
+            fmt_mb(e.space_transition_max),
+        ));
+    }
+    out
+}
+
+/// Table 9: query performance under simple shadow updating (seconds
+/// per query).
+pub fn table9_query(params: &Params, fan: usize) -> String {
+    let mut out = format!(
+        "Table 9: query times (s), simple shadowing, W = {}, n = {fan}\n",
+        params.window
+    );
+    out.push_str(&header(&["probe", "scan"]));
+    for kind in SchemeKind::ALL {
+        if fan < kind.min_fan() {
+            continue;
+        }
+        let e = evaluate(kind, UpdateTechnique::SimpleShadow, params, fan);
+        out.push_str(&format!(
+            "{:<11} | {:>9.4} | {}\n",
+            kind.name(),
+            e.probe_seconds,
+            fmt_s(e.scan_seconds),
+        ));
+    }
+    out
+}
+
+/// Table 10: maintenance under simple shadow updating (seconds/day).
+pub fn table10_maintenance_simple(params: &Params, fan: usize) -> String {
+    maintenance_table(
+        "Table 10",
+        UpdateTechnique::SimpleShadow,
+        params,
+        fan,
+    )
+}
+
+/// Table 11: maintenance under packed shadow updating (seconds/day).
+pub fn table11_maintenance_packed(params: &Params, fan: usize) -> String {
+    maintenance_table(
+        "Table 11",
+        UpdateTechnique::PackedShadow,
+        params,
+        fan,
+    )
+}
+
+fn maintenance_table(
+    label: &str,
+    technique: UpdateTechnique,
+    params: &Params,
+    fan: usize,
+) -> String {
+    let mut out = format!(
+        "{label}: maintenance (s/day), {}, W = {}, n = {fan}\n",
+        technique.name(),
+        params.window
+    );
+    out.push_str(&header(&["precomp", "transition", "post"]));
+    for kind in SchemeKind::ALL {
+        if fan < kind.min_fan() {
+            continue;
+        }
+        let e = evaluate(kind, technique, params, fan);
+        out.push_str(&format!(
+            "{:<11} | {} | {} | {}\n",
+            kind.name(),
+            fmt_s(e.maintenance.pre),
+            fmt_s(e.maintenance.trans),
+            fmt_s(e.maintenance.post),
+        ));
+    }
+    out
+}
+
+/// Table 12: the case-study parameter values.
+pub fn table12_params() -> String {
+    let mut out = String::from(
+        "Table 12: parameter values (SCAM / WSE / TPC-D)\n\
+         Parameter    |      SCAM |       WSE |     TPC-D\n\
+         -------------+-----------+-----------+----------\n",
+    );
+    let cases = [Params::scam(), Params::wse(), Params::tpcd()];
+    let mut row = |name: &str, f: &dyn Fn(&Params) -> String| {
+        out.push_str(&format!(
+            "{name:<12} | {:>9} | {:>9} | {:>9}\n",
+            f(&cases[0]),
+            f(&cases[1]),
+            f(&cases[2])
+        ));
+    };
+    row("seek (ms)", &|p| format!("{:.0}", p.seek * 1e3));
+    row("Trans (MB/s)", &|p| format!("{:.0}", p.trans / 1e6));
+    row("W (days)", &|p| p.window.to_string());
+    row("S (MB)", &|p| format!("{:.0}", p.s_packed / 1e6));
+    row("S' (MB)", &|p| format!("{:.1}", p.s_unpacked / 1e6));
+    row("c (bytes)", &|p| format!("{:.0}", p.c_bucket));
+    row("Probe_num", &|p| format!("{:.0}", p.probe_num));
+    row("Scan_num", &|p| format!("{:.0}", p.scan_num));
+    row("g", &|p| format!("{:.2}", p.growth));
+    row("Build (s)", &|p| format!("{:.0}", p.build));
+    row("Add (s)", &|p| format!("{:.0}", p.add));
+    row("Del (s)", &|p| format!("{:.0}", p.del));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_every_scheme() {
+        let p = Params::scam();
+        for table in [
+            table8_space(&p, 2),
+            table9_query(&p, 2),
+            table10_maintenance_simple(&p, 2),
+            table11_maintenance_packed(&p, 2),
+        ] {
+            for kind in SchemeKind::ALL {
+                assert!(table.contains(kind.name()), "{table}");
+            }
+        }
+    }
+
+    #[test]
+    fn wata_rows_absent_when_fan_is_one() {
+        let p = Params::scam();
+        let t = table8_space(&p, 1);
+        assert!(!t.contains("WATA*"));
+        assert!(t.contains("REINDEX"));
+    }
+
+    #[test]
+    fn table12_contains_the_measured_constants() {
+        let t = table12_params();
+        assert!(t.contains("1686"));
+        assert!(t.contains("3341"));
+        assert!(t.contains("8406"));
+        assert!(t.contains("1.08"));
+    }
+}

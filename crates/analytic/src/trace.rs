@@ -1,0 +1,515 @@
+//! Day-count traces: the daily operation sequence of each scheme,
+//! expressed in *days of data* rather than bytes or records.
+//!
+//! The paper's Tables 8-11 are derived by reasoning about how many
+//! days each scheme builds, adds, copies, and deletes per transition.
+//! This module performs that derivation mechanically: it simulates a
+//! scheme's cluster dynamics (the same state machines as the real
+//! implementations in `wave-index`, minus the data) and emits one
+//! [`DayTrace`] per transition. The pricing layer in [`crate::model`]
+//! then turns traces into seconds and bytes under each update
+//! technique. Integration tests cross-validate these traces against
+//! the real schemes' transition records.
+
+use wave_index::schemes::SchemeKind;
+
+/// One logical operation, sized in days of data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `BuildIndex` over `days` days.
+    Build {
+        /// Days built from scratch.
+        days: u32,
+    },
+    /// `AddToIndex` of `days` days into an index holding `target`
+    /// days. `live` marks updates to a queryable constituent (these
+    /// need a shadow under simple shadowing).
+    Add {
+        /// Days added.
+        days: u32,
+        /// Days already in the target index.
+        target: u32,
+        /// Whether the target is live in the wave index.
+        live: bool,
+    },
+    /// Fused delete + insert on a live constituent (DEL's daily step;
+    /// a single smart copy under packed shadowing).
+    Replace {
+        /// Days deleted.
+        del: u32,
+        /// Days inserted.
+        add: u32,
+        /// Days in the index before the operation.
+        target: u32,
+    },
+    /// An explicit index copy of `days` days (temp materialisation;
+    /// distinct from the implicit shadow copies the pricing layer adds
+    /// for live updates under simple shadowing).
+    Copy {
+        /// Days copied.
+        days: u32,
+    },
+}
+
+/// The trace of one transition day.
+#[derive(Debug, Clone, Default)]
+pub struct DayTrace {
+    /// Operations that need no new data.
+    pub pre: Vec<Op>,
+    /// Operations on the critical path.
+    pub trans: Vec<Op>,
+    /// Operations after the new day is queryable.
+    pub post: Vec<Op>,
+    /// Days stored in constituents at end of day (soft windows exceed
+    /// `W`).
+    pub constituent_days: u32,
+    /// Days stored in temporary indexes at end of day.
+    pub temp_days: u32,
+    /// Size (days, including additions) of the live constituent
+    /// updated today — the shadow's footprint under shadowing.
+    pub live_update_days: u32,
+    /// Size (days) of a from-scratch replacement built today, which
+    /// coexists with the index it replaces under every technique.
+    pub rebuild_days: u32,
+    /// Live constituent count (for average-index-size queries).
+    pub live_indexes: u32,
+}
+
+impl DayTrace {
+    /// Average days per live constituent (query model's `k̄`).
+    pub fn avg_index_days(&self) -> f64 {
+        if self.live_indexes == 0 {
+            0.0
+        } else {
+            self.constituent_days as f64 / self.live_indexes as f64
+        }
+    }
+}
+
+/// Cluster sizes for `count` days over `k` clusters, ceil-first (the
+/// schemes' `Start` partition).
+fn cluster_sizes(count: u32, k: usize) -> Vec<u32> {
+    let k32 = k as u32;
+    let ceil = count.div_ceil(k32);
+    let floor = count / k32;
+    let big = (count % k32) as usize;
+    (0..k)
+        .map(|i| if i < big { ceil } else { floor })
+        .collect()
+}
+
+/// Produces `horizon` transition traces (days `W+1 ..= W+horizon`) for
+/// a scheme at `(W, n)`.
+///
+/// # Panics
+/// Panics on configurations the scheme itself rejects (`n > W`, or
+/// `n < 2` for the WATA family).
+pub fn trace_scheme(kind: SchemeKind, window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
+    assert!(fan >= kind.min_fan() && fan as u32 <= window, "invalid (W, n) for {kind}");
+    match kind {
+        SchemeKind::Del => trace_del(window, fan, horizon),
+        SchemeKind::Reindex => trace_reindex(window, fan, horizon),
+        SchemeKind::ReindexPlus => trace_reindex_plus(window, fan, horizon),
+        SchemeKind::ReindexPlusPlus => trace_reindex_plus_plus(window, fan, horizon),
+        SchemeKind::WataStar => trace_wata(window, fan, horizon, false),
+        SchemeKind::RataStar => trace_wata(window, fan, horizon, true),
+    }
+}
+
+/// Iterator over (cluster size, day-within-cycle) for the rotating
+/// DEL/REINDEX-family cycles: cluster `j` is updated for `L_j`
+/// consecutive days, then the next cluster starts its cycle.
+struct Rotation {
+    sizes: Vec<u32>,
+    cluster: usize,
+    day_in_cycle: u32,
+}
+
+impl Rotation {
+    fn new(window: u32, fan: usize) -> Self {
+        Rotation {
+            sizes: cluster_sizes(window, fan),
+            cluster: 0,
+            day_in_cycle: 0,
+        }
+    }
+
+    /// Advances one day; returns (cluster size, 1-based day in its
+    /// cycle, size of the next cluster in rotation).
+    fn next_day(&mut self) -> (u32, u32, u32) {
+        self.day_in_cycle += 1;
+        let len = self.sizes[self.cluster];
+        let day = self.day_in_cycle;
+        let next_len = self.sizes[(self.cluster + 1) % self.sizes.len()];
+        if self.day_in_cycle == len {
+            self.cluster = (self.cluster + 1) % self.sizes.len();
+            self.day_in_cycle = 0;
+        }
+        (len, day, next_len)
+    }
+}
+
+fn trace_del(window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
+    let mut rot = Rotation::new(window, fan);
+    (0..horizon)
+        .map(|_| {
+            let (len, _, _) = rot.next_day();
+            DayTrace {
+                trans: vec![Op::Replace {
+                    del: 1,
+                    add: 1,
+                    target: len,
+                }],
+                constituent_days: window,
+                live_update_days: len,
+                live_indexes: fan as u32,
+                ..Default::default()
+            }
+        })
+        .collect()
+}
+
+fn trace_reindex(window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
+    let mut rot = Rotation::new(window, fan);
+    (0..horizon)
+        .map(|_| {
+            let (len, _, _) = rot.next_day();
+            DayTrace {
+                trans: vec![Op::Build { days: len }],
+                constituent_days: window,
+                rebuild_days: len,
+                live_indexes: fan as u32,
+                ..Default::default()
+            }
+        })
+        .collect()
+}
+
+fn trace_reindex_plus(window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
+    let mut rot = Rotation::new(window, fan);
+    (0..horizon)
+        .map(|_| {
+            let (len, day, _) = rot.next_day();
+            let mut trans = Vec::new();
+            let temp_days;
+            if day == 1 {
+                trans.push(Op::Build { days: 1 }); // Temp
+                trans.push(Op::Copy { days: 1 }); // I_j ← Temp
+                if len > 1 {
+                    trans.push(Op::Add {
+                        days: len - 1,
+                        target: 1,
+                        live: false,
+                    });
+                }
+                temp_days = if len > 1 { 1 } else { 0 };
+            } else if day < len {
+                trans.push(Op::Add {
+                    days: 1,
+                    target: day - 1,
+                    live: false,
+                }); // extend Temp
+                trans.push(Op::Copy { days: day }); // I_j ← Temp
+                trans.push(Op::Add {
+                    days: len - day,
+                    target: day,
+                    live: false,
+                });
+                temp_days = day;
+            } else {
+                // Final day: Temp (len−1 days) is renamed, new day added.
+                trans.push(Op::Add {
+                    days: 1,
+                    target: len - 1,
+                    live: false,
+                });
+                temp_days = 0;
+            }
+            DayTrace {
+                trans,
+                constituent_days: window,
+                temp_days,
+                rebuild_days: len,
+                live_indexes: fan as u32,
+                ..Default::default()
+            }
+        })
+        .collect()
+}
+
+fn trace_reindex_plus_plus(window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
+    let mut rot = Rotation::new(window, fan);
+    // Rung sizes (old days only at init; they absorb new days as the
+    // cycle progresses). rungs[m] = size of T_{m+1}; plus T_0.
+    let sizes = cluster_sizes(window, fan);
+    let mut rungs: Vec<u32> = (1..sizes[0]).collect();
+    let mut t0: u32 = 0;
+    let mut traces = Vec::with_capacity(horizon as usize);
+    for _ in 0..horizon {
+        let (len, day, next_len) = rot.next_day();
+        let mut trans = Vec::new();
+        let mut post = Vec::new();
+        // Take the top rung (or T0 at cycle end), add the new day.
+        let top = match rungs.pop() {
+            Some(size) => size,
+            None => std::mem::take(&mut t0),
+        };
+        trans.push(Op::Add {
+            days: 1,
+            target: top,
+            live: false,
+        });
+        if day < len {
+            // Post: add DaysToAdd (the cycle's `day` new days) to the
+            // next rung.
+            let next_target = rungs.last().copied().unwrap_or(t0);
+            post.push(Op::Add {
+                days: day,
+                target: next_target,
+                live: false,
+            });
+            if let Some(last) = rungs.last_mut() {
+                *last += day;
+            } else {
+                t0 += day;
+            }
+        } else {
+            // Cycle end: initialise the ladder for the next cluster.
+            debug_assert!(rungs.is_empty());
+            t0 = 0;
+            if next_len > 1 {
+                post.push(Op::Build { days: 1 });
+                for m in 2..next_len {
+                    post.push(Op::Copy { days: m - 1 });
+                    post.push(Op::Add {
+                        days: 1,
+                        target: m - 1,
+                        live: false,
+                    });
+                }
+                rungs = (1..next_len).collect();
+            } else {
+                rungs = Vec::new();
+            }
+        }
+        traces.push(DayTrace {
+            trans,
+            post,
+            constituent_days: window,
+            temp_days: rungs.iter().sum::<u32>() + t0,
+            live_indexes: fan as u32,
+            ..Default::default()
+        });
+    }
+    traces
+}
+
+/// WATA* dynamics; with `rata` the hard-window ladder is layered on.
+fn trace_wata(window: u32, fan: usize, horizon: u32, rata: bool) -> Vec<DayTrace> {
+    let w = window as usize;
+    // (first_day, count) per cluster, 1-based days; start partition.
+    let mut clusters: Vec<(usize, usize)> = Vec::with_capacity(fan);
+    {
+        let mut next = 1usize;
+        for len in cluster_sizes(window - 1, fan - 1) {
+            clusters.push((next, len as usize));
+            next += len as usize;
+        }
+        clusters.push((next, 1)); // day W
+    }
+    let mut last = fan - 1;
+    // RATA ladder: rung sizes for the currently-expiring cluster.
+    let mut rungs: Vec<u32> = if rata {
+        (1..clusters[0].1 as u32).collect()
+    } else {
+        Vec::new()
+    };
+    let mut traces = Vec::with_capacity(horizon as usize);
+    for step in 0..horizon {
+        let t = w + 1 + step as usize;
+        let expired = t - w;
+        // Under RATA the expiring cluster has been trimmed by the
+        // ladder swaps; track the *WATA* clusters (cluster membership
+        // drives throw decisions in both, via actual day counts).
+        let j = clusters
+            .iter()
+            .position(|&(first, count)| first <= expired && expired < first + count)
+            .expect("some cluster holds the expiring day");
+        let mut effective: Vec<usize> = clusters.iter().map(|&(_, c)| c).collect();
+        if rata {
+            // Cluster j currently appears in the wave as its rung
+            // remainder.
+            effective[j] = rungs.len() + 1;
+        }
+        let other_days: usize = effective
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, &c)| c)
+            .sum();
+        let mut tr = DayTrace {
+            live_indexes: fan as u32,
+            ..Default::default()
+        };
+        if other_days == w - 1 {
+            // ThrowAway.
+            tr.trans.push(Op::Build { days: 1 });
+            clusters[j] = (t, 1);
+            last = j;
+            if rata {
+                // Initialise the ladder for the next expiring cluster.
+                let next_expired = expired + 1;
+                let j2 = clusters
+                    .iter()
+                    .position(|&(first, count)| {
+                        first <= next_expired && next_expired < first + count
+                    })
+                    .expect("next cluster exists");
+                let remaining = (clusters[j2].0 + clusters[j2].1 - 1 - next_expired) as u32;
+                if remaining >= 1 {
+                    tr.post.push(Op::Build { days: 1 });
+                    for m in 2..=remaining {
+                        tr.post.push(Op::Copy { days: m - 1 });
+                        tr.post.push(Op::Add {
+                            days: 1,
+                            target: m - 1,
+                            live: false,
+                        });
+                    }
+                }
+                rungs = (1..=remaining).collect();
+            }
+        } else {
+            // Wait.
+            let grow_target = if rata {
+                if last == j {
+                    effective[j]
+                } else {
+                    effective[last]
+                }
+            } else {
+                clusters[last].1
+            } as u32;
+            tr.trans.push(Op::Add {
+                days: 1,
+                target: grow_target,
+                live: true,
+            });
+            tr.live_update_days = grow_target + 1;
+            clusters[last].1 += 1;
+            if rata {
+                // Swap the top rung in for cluster j (rename: free).
+                rungs.pop().expect("RATA ladder exhausted on Wait day");
+            }
+        }
+        let raw_days: usize = clusters.iter().map(|&(_, c)| c).sum();
+        tr.constituent_days = if rata {
+            // Hard window: exactly W days live.
+            window
+        } else {
+            raw_days as u32
+        };
+        tr.temp_days = rungs.iter().sum();
+        traces.push(tr);
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_sizes_ceil_first() {
+        assert_eq!(cluster_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(cluster_sizes(10, 2), vec![5, 5]);
+        assert_eq!(cluster_sizes(7, 7), vec![1; 7]);
+    }
+
+    #[test]
+    fn del_trace_is_steady() {
+        let tr = trace_scheme(SchemeKind::Del, 10, 2, 20);
+        for day in &tr {
+            assert_eq!(day.constituent_days, 10);
+            assert_eq!(day.trans.len(), 1);
+            assert!(matches!(
+                day.trans[0],
+                Op::Replace {
+                    del: 1,
+                    add: 1,
+                    target: 5
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn reindex_trace_rebuilds_clusters() {
+        let tr = trace_scheme(SchemeKind::Reindex, 10, 3, 10);
+        // Clusters 4, 3, 3: the first four days rebuild the 4-day
+        // cluster.
+        assert!(matches!(tr[0].trans[0], Op::Build { days: 4 }));
+        assert!(matches!(tr[4].trans[0], Op::Build { days: 3 }));
+        assert_eq!(tr[0].rebuild_days, 4);
+    }
+
+    #[test]
+    fn reindex_plus_cycle_day_counts() {
+        // W = 10, n = 2 (Table 5): per cycle the days indexed are
+        // 5, 4, 3, 2, 1 → average 3 per day.
+        let tr = trace_scheme(SchemeKind::ReindexPlus, 10, 2, 10);
+        let days_indexed = |t: &DayTrace| -> u32 {
+            t.trans
+                .iter()
+                .map(|op| match op {
+                    Op::Build { days } | Op::Add { days, .. } => *days,
+                    _ => 0,
+                })
+                .sum()
+        };
+        let per_day: Vec<u32> = tr.iter().map(days_indexed).collect();
+        assert_eq!(&per_day[..5], &[5, 4, 3, 2, 1]);
+        assert_eq!(&per_day[5..10], &[5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn reindex_plus_plus_transition_is_one_day() {
+        let tr = trace_scheme(SchemeKind::ReindexPlusPlus, 10, 2, 15);
+        for (i, day) in tr.iter().enumerate() {
+            assert_eq!(day.trans.len(), 1, "day {i}");
+            assert!(matches!(day.trans[0], Op::Add { days: 1, .. }), "day {i}");
+        }
+        // Temp ladder storage right after init: 1+2+3+4 = 10 days.
+        assert_eq!(tr[4].temp_days, 10, "ladder rebuilt at cycle end");
+    }
+
+    #[test]
+    fn wata_trace_soft_window_length() {
+        // W = 10, n = 4 (Table 3): lengths peak at 12.
+        let tr = trace_scheme(SchemeKind::WataStar, 10, 4, 30);
+        let max_len = tr.iter().map(|d| d.constituent_days).max().unwrap();
+        assert_eq!(max_len, 12);
+        // Throw days build exactly one day.
+        let throws = tr
+            .iter()
+            .filter(|d| matches!(d.trans[0], Op::Build { .. }))
+            .count();
+        assert!(throws >= 9, "throws happen every ~3 days: {throws}");
+    }
+
+    #[test]
+    fn rata_trace_keeps_hard_window_and_temps() {
+        let tr = trace_scheme(SchemeKind::RataStar, 10, 4, 30);
+        for day in &tr {
+            assert_eq!(day.constituent_days, 10, "hard window");
+        }
+        // Ladder storage is nonzero right after a throw.
+        assert!(tr.iter().any(|d| d.temp_days > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_config_panics() {
+        trace_scheme(SchemeKind::WataStar, 10, 1, 5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-validation: the analytic crate's day-count traces must match
+//! the real scheme implementations operation-for-operation.
+//!
+//! For every scheme and several `(W, n)` shapes, run the real scheme
+//! from `wave-index` on uniform one-record days and compare, per
+//! transition: days built / added / deleted, copies performed, days
+//! covered by constituents, and days held in temps. Any divergence
+//! means either the model or the implementation strayed from Appendix
+//! A.
+
+use wave_analytic::trace::{trace_scheme, Op};
+use wave_index::prelude::*;
+use wave_index::schemes::{SchemeKind, WaveOp};
+
+#[derive(Debug, Default, PartialEq)]
+struct DaySummary {
+    built: u32,
+    added: u32,
+    deleted: u32,
+    copies: u32,
+    constituent_days: u32,
+    temp_days: u32,
+}
+
+fn summarize_real(rec: &TransitionRecord, temp_days: usize) -> DaySummary {
+    let mut s = DaySummary {
+        temp_days: temp_days as u32,
+        constituent_days: rec
+            .constituents
+            .iter()
+            .map(|(_, days)| days.len() as u32)
+            .sum(),
+        ..Default::default()
+    };
+    for op in &rec.ops {
+        match op {
+            WaveOp::Build { days, .. } => s.built += days.len() as u32,
+            WaveOp::Add { days, .. } => s.added += days.len() as u32,
+            WaveOp::Delete { days, .. } => s.deleted += days.len() as u32,
+            WaveOp::Copy { .. } => s.copies += 1,
+            WaveOp::Drop { .. } | WaveOp::Rename { .. } => {}
+        }
+    }
+    s
+}
+
+fn summarize_trace(day: &wave_analytic::DayTrace) -> DaySummary {
+    let mut s = DaySummary {
+        constituent_days: day.constituent_days,
+        temp_days: day.temp_days,
+        ..Default::default()
+    };
+    for op in day.pre.iter().chain(&day.trans).chain(&day.post) {
+        match *op {
+            Op::Build { days } => s.built += days,
+            Op::Add { days, .. } => s.added += days,
+            Op::Replace { del, add, .. } => {
+                s.deleted += del;
+                s.added += add;
+            }
+            Op::Copy { .. } => s.copies += 1,
+        }
+    }
+    s
+}
+
+fn uniform_archive(days: u32) -> DayArchive {
+    let mut archive = DayArchive::new();
+    for d in 1..=days {
+        archive.insert(DayBatch::new(
+            Day(d),
+            vec![Record::with_values(
+                RecordId(d as u64),
+                [SearchValue::from_u64(d as u64 % 5)],
+            )],
+        ));
+    }
+    archive
+}
+
+#[test]
+fn traces_match_real_schemes() {
+    let shapes = [(10u32, 2usize), (10, 4), (7, 3), (7, 7), (11, 4), (9, 1)];
+    let horizon = 25u32;
+    for kind in SchemeKind::ALL {
+        for &(w, n) in &shapes {
+            if n < kind.min_fan() || n as u32 > w {
+                continue;
+            }
+            let archive = uniform_archive(w + horizon);
+            let mut vol = Volume::default();
+            let mut scheme = kind
+                .build(SchemeConfig::new(w, n).with_technique(UpdateTechnique::InPlace))
+                .unwrap();
+            scheme.start(&mut vol, &archive).unwrap();
+            let traces = trace_scheme(kind, w, n, horizon);
+            for (i, trace_day) in traces.iter().enumerate() {
+                let day = Day(w + 1 + i as u32);
+                let rec = scheme.transition(&mut vol, &archive, day).unwrap();
+                let real = summarize_real(&rec, scheme.temp_days());
+                let model = summarize_trace(trace_day);
+                assert_eq!(
+                    real, model,
+                    "{kind} W={w} n={n} day {day}: real {real:?} vs model {model:?}"
+                );
+            }
+            scheme.release(&mut vol).unwrap();
+            assert_eq!(vol.live_blocks(), 0, "{kind} leaked");
+        }
+    }
+}
+
+/// The traces' `live_update_days` must match the size of the index the
+/// real scheme shadow-copies (checked via simple-shadow pre-computation
+/// block counts being nonzero exactly when the model says so).
+#[test]
+fn shadow_precomputation_alignment() {
+    let (w, n) = (10u32, 4usize);
+    let horizon = 20u32;
+    for kind in [SchemeKind::Del, SchemeKind::WataStar, SchemeKind::RataStar] {
+        let archive = uniform_archive(w + horizon);
+        let mut vol = Volume::default();
+        let mut scheme = kind
+            .build(SchemeConfig::new(w, n).with_technique(UpdateTechnique::SimpleShadow))
+            .unwrap();
+        scheme.start(&mut vol, &archive).unwrap();
+        let traces = trace_scheme(kind, w, n, horizon);
+        for (i, trace_day) in traces.iter().enumerate() {
+            let day = Day(w + 1 + i as u32);
+            let rec = scheme.transition(&mut vol, &archive, day).unwrap();
+            let model_shadows = trace_day.live_update_days > 0;
+            let real_shadows = rec.precomp.blocks_total() > 0;
+            assert_eq!(
+                real_shadows, model_shadows,
+                "{kind} day {day}: shadow copy presence diverges"
+            );
+        }
+        scheme.release(&mut vol).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Query latency against the wave index: `TimedIndexProbe` and
+//! `TimedSegmentScan` as the number of constituents varies.
+//!
+//! The paper's central query trade-off (Table 9): more constituents
+//! mean more seeks per probe, fewer days per scan target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_index::prelude::*;
+use wave_index::schemes::SchemeKind;
+use wave_workloads::ArticleGenerator;
+
+fn built_scheme(w: u32, n: usize) -> (Volume, Box<dyn wave_index::schemes::WaveScheme>) {
+    let mut generator = ArticleGenerator::new(500, 60, 10, 3);
+    let mut archive = DayArchive::new();
+    for d in 1..=w {
+        archive.insert(generator.day_batch(Day(d)));
+    }
+    let mut vol = Volume::default();
+    let mut scheme = SchemeKind::Reindex.build(SchemeConfig::new(w, n)).unwrap();
+    scheme.start(&mut vol, &archive).unwrap();
+    (vol, scheme)
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    for n in [1usize, 2, 4, 8] {
+        let (mut vol, scheme) = built_scheme(8, n);
+        let value = ArticleGenerator::word(1); // hottest word
+        group.bench_with_input(BenchmarkId::new("W8", n), &n, |b, _| {
+            b.iter(|| {
+                scheme
+                    .wave()
+                    .index_probe(&mut vol, &value)
+                    .unwrap()
+                    .entries
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_scan");
+    for n in [1usize, 2, 4, 8] {
+        let (mut vol, scheme) = built_scheme(8, n);
+        group.bench_with_input(BenchmarkId::new("W8", n), &n, |b, _| {
+            b.iter(|| scheme.wave().segment_scan(&mut vol).unwrap().entries.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_timed_probe_subrange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_probe");
+    let (mut vol, scheme) = built_scheme(8, 4);
+    let value = ArticleGenerator::word(1);
+    // A range touching one cluster vs the whole window.
+    for (label, range) in [
+        ("one_cluster", TimeRange::between(Day(1), Day(2))),
+        ("full_window", TimeRange::all()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                scheme
+                    .wave()
+                    .timed_index_probe(&mut vol, &value, range)
+                    .unwrap()
+                    .indexes_accessed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_scan, bench_timed_probe_subrange);
+criterion_main!(benches);

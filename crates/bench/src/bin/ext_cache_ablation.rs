@@ -1,0 +1,59 @@
+//! Extension: buffer-cache ablation.
+//!
+//! Section 2 of the paper notes that batching a day's updates wins
+//! "mainly due to memory caching". With the simulated disk's LRU
+//! block cache enabled, incremental CONTIGUOUS adds — which revisit
+//! recently written buckets — get dramatically cheaper, while packed
+//! builds (one sequential pass over cold data) barely change. This
+//! ablation quantifies that.
+
+use wave_index::prelude::*;
+use wave_index::schemes::SchemeKind;
+use wave_workloads::ArticleGenerator;
+
+fn run_with_cache(kind: SchemeKind, cache_blocks: usize) -> (f64, u64, u64) {
+    let (w, n) = (7u32, 2usize);
+    let mut articles = ArticleGenerator::new(800, 120, 12, 13);
+    let mut archive = DayArchive::new();
+    for d in 1..=(w + 14) {
+        archive.insert(articles.day_batch(Day(d)));
+    }
+    let mut vol = Volume::new(DiskConfig::default().with_cache(cache_blocks));
+    let mut scheme = kind
+        .build(SchemeConfig::new(w, n).with_technique(UpdateTechnique::InPlace))
+        .unwrap();
+    scheme.start(&mut vol, &archive).unwrap();
+    let before = vol.stats();
+    for d in (w + 1)..=(w + 14) {
+        scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+    }
+    let delta = vol.stats().since(&before);
+    scheme.release(&mut vol).unwrap();
+    (delta.sim_seconds / 14.0, delta.seeks / 14, delta.blocks_total() / 14)
+}
+
+fn main() {
+    println!("Buffer-cache ablation: average maintenance per day (W = 7, n = 2, in-place)");
+    println!(
+        "{:<11} {:>7} {:>12} {:>8} {:>8}",
+        "scheme", "cache", "sim s/day", "seeks", "blocks"
+    );
+    for kind in [SchemeKind::Del, SchemeKind::Reindex, SchemeKind::WataStar] {
+        for cache in [0usize, 256, 4096] {
+            let (secs, seeks, blocks) = run_with_cache(kind, cache);
+            println!(
+                "{:<11} {:>7} {:>12.3} {:>8} {:>8}",
+                kind.name(),
+                cache,
+                secs,
+                seeks,
+                blocks
+            );
+        }
+    }
+    println!(
+        "\nCaching collapses the seek-bound cost of incremental updates (DEL) far more\n\
+         than rebuild-based maintenance (REINDEX), whose sequential passes were already\n\
+         near the transfer bound — the asymmetry behind the paper's Build < Add measurement."
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 3: SCAM average space during operation and transitions (W = 7, simple shadowing).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig3_scam_space();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig03_scam_space").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

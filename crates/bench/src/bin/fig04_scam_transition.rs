@@ -1,0 +1,11 @@
+//! Figure 4: SCAM transition time to index new data (W = 7, simple shadowing).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig4_scam_transition();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig04_scam_transition").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

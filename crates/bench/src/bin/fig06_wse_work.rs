@@ -1,0 +1,11 @@
+//! Figure 6: WSE average total work during a day (W = 35, packed shadowing).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig6_wse_work();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig06_wse_work").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

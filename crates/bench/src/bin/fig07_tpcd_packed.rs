@@ -1,0 +1,11 @@
+//! Figure 7: TPC-D average total work, packed shadowing (W = 100).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig7_tpcd_work_packed();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig07_tpcd_packed").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,11 @@
+//! Figure 9: SCAM work vs window size W (n = 4).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig9_scam_window_scaling();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig09_scam_window").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

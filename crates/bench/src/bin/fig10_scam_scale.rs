@@ -1,0 +1,11 @@
+//! Figure 10: SCAM work vs data scale factor SF (W = 14, n = 4).
+//!
+//! Generated from the analytic cost model with the paper's Table 12
+//! parameters; see EXPERIMENTS.md for the paper-vs-reproduction notes.
+
+fn main() {
+    let fig = wave_analytic::figures::fig10_scam_scale_factor();
+    print!("{}", wave_bench::render_figure(&fig));
+    let path = wave_bench::write_figure_csv(&fig, "fig10_scam_scale").expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! The Section 6 conclusions at a glance: for each case study, every
+//! scheme's key measures at the paper's recommended configuration,
+//! plus the recommendation itself recomputed from the model.
+
+use wave_analytic::{evaluate, recommendations, Params};
+use wave_index::schemes::SchemeKind;
+use wave_index::UpdateTechnique;
+
+fn case(
+    title: &str,
+    params: &Params,
+    technique: UpdateTechnique,
+    fan: usize,
+) {
+    println!(
+        "\n== {title} (W = {}, n = {fan}, {}) ==",
+        params.window,
+        technique.name()
+    );
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "work s/day", "trans s", "pre-trans s", "space MB", "probe ms"
+    );
+    for kind in SchemeKind::ALL {
+        if fan < kind.min_fan() {
+            println!("{:<11} {:>12}", kind.name(), "- (needs n >= 2)");
+            continue;
+        }
+        let e = evaluate(kind, technique, params, fan);
+        println!(
+            "{:<11} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>10.1}",
+            kind.name(),
+            e.total_work,
+            e.maintenance.trans,
+            e.maintenance.pre_transition(),
+            e.space_total_avg() / 1e6,
+            e.probe_seconds * 1e3,
+        );
+    }
+}
+
+fn main() {
+    println!("Wave-index case-study summary (analytic model, Table 12 constants)");
+    case("SCAM copy detection", &Params::scam(), UpdateTechnique::SimpleShadow, 4);
+    case("Web search engine", &Params::wse(), UpdateTechnique::PackedShadow, 1);
+    case("TPC-D warehouse", &Params::tpcd(), UpdateTechnique::PackedShadow, 1);
+    case(
+        "TPC-D warehouse (legacy, no packed shadowing)",
+        &Params::tpcd(),
+        UpdateTechnique::SimpleShadow,
+        10,
+    );
+
+    let rec = recommendations();
+    println!("\nRecommendations recomputed from the model (paper's Section 6 picks):");
+    println!("  SCAM:           {} at n = {}   (paper: REINDEX, n = 4)", rec.scam.0, rec.scam.1);
+    println!("  WSE:            {} at n = {}   (paper: DEL, n = 1)", rec.wse.0, rec.wse.1);
+    println!(
+        "  TPC-D (packed): {} at n = {}   (paper: DEL, n = 1)",
+        rec.tpcd_packed.0, rec.tpcd_packed.1
+    );
+}

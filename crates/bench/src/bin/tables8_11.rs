@@ -1,0 +1,24 @@
+//! Tables 8-11: numeric instantiations of the paper's symbolic
+//! space / query / maintenance tables, for the SCAM parameters at a
+//! chosen `n` (default 2; pass another value as the first argument).
+
+use wave_analytic::params::Params;
+use wave_analytic::tables;
+
+fn main() {
+    let fan: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let p = Params::scam();
+    println!("{}", tables::table8_space(&p, fan));
+    println!("{}", tables::table9_query(&p, fan));
+    println!("{}", tables::table10_maintenance_simple(&p, fan));
+    println!("{}", tables::table11_maintenance_packed(&p, fan));
+    println!(
+        "Derivation notes: X = W/n, Y = (W-1)/(n-1); CP(k) = 2*seek + 2k*S'/Trans,\n\
+         SMCP(k) = 2*seek + k*(S_src + S)/Trans. Legible cells of the paper's tables\n\
+         (e.g. DEL precomp = X*CP + Del, REINDEX transition = X*Build, RATA precomp\n\
+         = Y/2*CP + Add) are matched exactly; see DESIGN.md section 5."
+    );
+}

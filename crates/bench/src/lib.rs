@@ -1,0 +1,20 @@
+//! # wave-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (Section 6). Each `src/bin/fig*.rs` / `src/bin/table*.rs`
+//! binary prints one artefact; `benches/` holds Criterion microbenches
+//! of the real index implementations.
+//!
+//! Figures come in two flavours:
+//!
+//! * **model figures** (3-10) — generated from the analytic cost model
+//!   with the paper's Table 12 constants, like the paper itself;
+//! * **simulation figures** (2, 11, and the `model_vs_sim` check) —
+//!   measured by running the real schemes on generated workloads over
+//!   the simulated disk.
+
+pub mod render;
+pub mod sim;
+
+pub use render::{render_figure, write_figure_csv};
+pub use sim::{simulate_case, SimCase, SimOutcome};

@@ -1,0 +1,114 @@
+//! Console and CSV rendering of reproduced figures.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use wave_analytic::Figure;
+
+/// Renders a figure as an aligned console table: one row per sweep
+/// value, one column per scheme.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    let _ = writeln!(out, "  ({} vs {})", fig.y_label, fig.x_label);
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let _ = write!(out, "{:>6}", fig.x_label.split(' ').next().unwrap_or("x"));
+    for s in &fig.series {
+        let _ = write!(out, " {:>12}", s.scheme.name());
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x:>6}");
+        for s in &fig.series {
+            match s.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9) {
+                Some((_, y)) => {
+                    let _ = write!(out, " {y:>12.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a figure's series as CSV under `results/`.
+pub fn write_figure_csv(fig: &Figure, name: &str) -> std::io::Result<std::path::PathBuf> {
+    write_figure_csv_to(fig, Path::new("results"), name)
+}
+
+/// Writes a figure's series as CSV under an explicit directory.
+pub fn write_figure_csv_to(
+    fig: &Figure,
+    dir: &Path,
+    name: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut csv = String::new();
+    let _ = write!(csv, "x");
+    for s in &fig.series {
+        let _ = write!(csv, ",{}", s.scheme.name());
+    }
+    csv.push('\n');
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for &x in &xs {
+        let _ = write!(csv, "{x}");
+        for s in &fig.series {
+            match s.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9) {
+                Some((_, y)) => {
+                    let _ = write!(csv, ",{y}");
+                }
+                None => csv.push(','),
+            }
+        }
+        csv.push('\n');
+    }
+    fs::write(&path, csv)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wave_analytic::figures::fig5_scam_work;
+
+    #[test]
+    fn render_contains_all_schemes_and_xs() {
+        let fig = fig5_scam_work();
+        let s = render_figure(&fig);
+        for name in ["DEL", "REINDEX", "WATA*", "RATA*"] {
+            assert!(s.contains(name), "{s}");
+        }
+        // WATA* has no n = 1 point: a dash appears.
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let fig = fig5_scam_work();
+        let dir = std::env::temp_dir().join(format!("wavebench-{}", std::process::id()));
+        let path = write_figure_csv_to(&fig, &dir, "fig5_test").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("x,DEL,REINDEX"));
+        assert_eq!(lines.len(), 8, "header + n = 1..7");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

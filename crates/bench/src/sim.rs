@@ -1,0 +1,177 @@
+//! Full-stack simulation runner: real schemes, real buckets, the
+//! simulated disk's seek/transfer clock.
+
+use wave_index::prelude::*;
+use wave_index::schemes::SchemeKind;
+use wave_workloads::{ArticleGenerator, QueryMix};
+
+/// One simulation scenario.
+#[derive(Debug, Clone)]
+pub struct SimCase {
+    /// Scheme under test.
+    pub kind: SchemeKind,
+    /// Window size `W`.
+    pub window: u32,
+    /// Constituent count `n`.
+    pub fan: usize,
+    /// Update technique.
+    pub technique: UpdateTechnique,
+    /// CONTIGUOUS growth factor.
+    pub growth: f64,
+    /// Transitions to run after `start`.
+    pub days: u32,
+    /// Articles per day; either one value (uniform) or
+    /// `window + days` values (non-uniform, Figure 11).
+    pub volumes: Vec<usize>,
+    /// Words indexed per article.
+    pub words_per_article: usize,
+    /// Probes per day.
+    pub probes_per_day: usize,
+    /// Scans per day.
+    pub scans_per_day: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SimCase {
+    /// A small uniform default: tweak fields from here.
+    pub fn uniform(kind: SchemeKind, window: u32, fan: usize) -> Self {
+        SimCase {
+            kind,
+            window,
+            fan,
+            technique: UpdateTechnique::SimpleShadow,
+            growth: 2.0,
+            days: 3 * window,
+            volumes: vec![60],
+            words_per_article: 12,
+            probes_per_day: 20,
+            scans_per_day: 2,
+            seed: 0x5ca1ab1e,
+        }
+    }
+
+    fn volume_for(&self, day: u32) -> usize {
+        if self.volumes.len() == 1 {
+            self.volumes[0]
+        } else {
+            self.volumes[(day - 1) as usize % self.volumes.len()]
+        }
+    }
+}
+
+/// Aggregated measurements of one simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOutcome {
+    /// Mean simulated seconds/day of pre-computation.
+    pub avg_precomp: f64,
+    /// Mean simulated seconds/day on the transition critical path.
+    pub avg_transition: f64,
+    /// Mean simulated seconds/day of post-work.
+    pub avg_post: f64,
+    /// Mean simulated seconds/day answering queries.
+    pub avg_query: f64,
+    /// Mean total work per day (maintenance + queries).
+    pub avg_total_work: f64,
+    /// Highest blocks ever allocated, including transition scratch
+    /// (shadows, rebuilds in progress).
+    pub peak_blocks: u64,
+    /// Highest end-of-day blocks (constituents + temps): the paper's
+    /// *index size* measure.
+    pub max_blocks: u64,
+    /// Mean end-of-day blocks (constituents + temps).
+    pub avg_blocks: f64,
+    /// Mean wave length in days (soft windows exceed `W`).
+    pub avg_length: f64,
+    /// Peak wave length in days.
+    pub max_length: usize,
+}
+
+/// Runs a scenario and aggregates its day reports.
+pub fn simulate_case(case: &SimCase) -> SimOutcome {
+    let cfg = SchemeConfig::new(case.window, case.fan)
+        .with_technique(case.technique)
+        .with_index(IndexConfig {
+            contiguous: wave_index::ContiguousConfig::with_growth(case.growth),
+            ..Default::default()
+        });
+    let scheme = case.kind.build(cfg).expect("valid scheme config");
+    let mut driver = Driver::new(scheme, Volume::default(), DriverConfig::default());
+    let mut articles = ArticleGenerator::new(2_000, 0, case.words_per_article, case.seed);
+    let mix = QueryMix::scam(case.probes_per_day, case.window, case.seed ^ 0xABCD);
+
+    let start_batches: Vec<DayBatch> = (1..=case.window)
+        .map(|d| articles.day_batch_sized(Day(d), case.volume_for(d)))
+        .collect();
+    driver.start(start_batches).expect("start succeeds");
+
+    let mut outcome = SimOutcome {
+        avg_precomp: 0.0,
+        avg_transition: 0.0,
+        avg_post: 0.0,
+        avg_query: 0.0,
+        avg_total_work: 0.0,
+        peak_blocks: 0,
+        max_blocks: 0,
+        avg_blocks: 0.0,
+        avg_length: 0.0,
+        max_length: 0,
+    };
+    for step in 1..=case.days {
+        let day = Day(case.window + step);
+        let batch = articles.day_batch_sized(day, case.volume_for(day.0));
+        let mut load = mix.load_for(day);
+        load.scans.truncate(case.scans_per_day);
+        let report = driver.step(batch, &load).expect("step succeeds");
+        outcome.avg_precomp += report.precomp_seconds;
+        outcome.avg_transition += report.transition_seconds;
+        outcome.avg_post += report.post_seconds;
+        outcome.avg_query += report.query_seconds;
+        outcome.avg_total_work += report.total_work_seconds();
+        outcome.peak_blocks = outcome.peak_blocks.max(report.peak_blocks);
+        outcome.max_blocks = outcome.max_blocks.max(report.wave_blocks + report.temp_blocks);
+        outcome.avg_blocks += (report.wave_blocks + report.temp_blocks) as f64;
+        outcome.avg_length += report.wave_length as f64;
+        outcome.max_length = outcome.max_length.max(report.wave_length);
+    }
+    let d = case.days as f64;
+    outcome.avg_precomp /= d;
+    outcome.avg_transition /= d;
+    outcome.avg_post /= d;
+    outcome.avg_query /= d;
+    outcome.avg_total_work /= d;
+    outcome.avg_blocks /= d;
+    outcome.avg_length /= d;
+    driver.finish().expect("no leaked blocks");
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_simulate_cleanly() {
+        for kind in SchemeKind::ALL {
+            let mut case = SimCase::uniform(kind, 7, kind.min_fan().max(2));
+            case.days = 14;
+            case.volumes = vec![20];
+            let out = simulate_case(&case);
+            assert!(out.avg_transition > 0.0, "{kind}");
+            assert!(out.avg_length >= 7.0, "{kind}");
+            assert!(out.peak_blocks > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn wata_soft_window_shows_in_length() {
+        let mut case = SimCase::uniform(SchemeKind::WataStar, 10, 4);
+        case.days = 20;
+        case.volumes = vec![20];
+        let soft = simulate_case(&case);
+        case.kind = SchemeKind::Del;
+        let hard = simulate_case(&case);
+        assert!(soft.max_length > 10);
+        assert_eq!(hard.max_length, 10);
+    }
+}

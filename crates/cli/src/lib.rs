@@ -1,0 +1,626 @@
+//! `wavectl`: a command-line wave-index manager.
+//!
+//! State lives in a plain directory:
+//!
+//! ```text
+//! <dir>/config.txt        scheme, window, fan
+//! <dir>/days/day_N.txt    one record per line: "<id> <word> <word> …"
+//! ```
+//!
+//! Commands replay the retained day files through the chosen scheme
+//! (day batches are the durable state; the index is reconstructed on
+//! demand — the honest choice for a demo-scale tool, and exactly what
+//! the paper's `BuildIndex` is for). Day files older than the soft
+//! window are pruned on `add`.
+//!
+//! ```text
+//! wavectl init  DIR --scheme wata --window 7 --fan 3
+//! wavectl add   DIR [FILE]      # new day from FILE or stdin
+//! wavectl query DIR WORD [--from D] [--to D]
+//! wavectl scan  DIR [--from D] [--to D]
+//! wavectl status DIR
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use wave_index::prelude::*;
+use wave_index::schemes::SchemeKind;
+
+/// CLI errors, all user-presentable.
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation; the string explains usage.
+    Usage(String),
+    /// State directory problems or malformed state files.
+    State(String),
+    /// Propagated index failure.
+    Index(wave_index::IndexError),
+    /// Propagated I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::State(msg) => write!(f, "state error: {msg}"),
+            CliError::Index(e) => write!(f, "index error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<wave_index::IndexError> for CliError {
+    fn from(e: wave_index::IndexError) -> Self {
+        CliError::Index(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parses a scheme name as the CLI spells it.
+pub fn parse_scheme(name: &str) -> Result<SchemeKind, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "del" => SchemeKind::Del,
+        "reindex" => SchemeKind::Reindex,
+        "reindex+" | "reindexplus" => SchemeKind::ReindexPlus,
+        "reindex++" | "reindexplusplus" => SchemeKind::ReindexPlusPlus,
+        "wata" | "wata*" => SchemeKind::WataStar,
+        "rata" | "rata*" => SchemeKind::RataStar,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scheme {other:?} (expected del|reindex|reindex+|reindex++|wata|rata)"
+            )))
+        }
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    scheme: SchemeKind,
+    window: u32,
+    fan: usize,
+}
+
+impl Config {
+    fn save(&self, dir: &Path) -> Result<(), CliError> {
+        let text = format!(
+            "scheme={}\nwindow={}\nfan={}\n",
+            self.scheme.name(),
+            self.window,
+            self.fan
+        );
+        fs::write(dir.join("config.txt"), text)?;
+        Ok(())
+    }
+
+    fn load(dir: &Path) -> Result<Config, CliError> {
+        let text = fs::read_to_string(dir.join("config.txt"))
+            .map_err(|_| CliError::State(format!("{} is not a wavectl directory (missing config.txt); run `wavectl init` first", dir.display())))?;
+        let mut scheme = None;
+        let mut window = None;
+        let mut fan = None;
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key.trim() {
+                "scheme" => scheme = Some(parse_scheme(value.trim())?),
+                "window" => {
+                    window = Some(value.trim().parse::<u32>().map_err(|_| {
+                        CliError::State(format!("bad window value {value:?}"))
+                    })?)
+                }
+                "fan" => {
+                    fan = Some(value.trim().parse::<usize>().map_err(|_| {
+                        CliError::State(format!("bad fan value {value:?}"))
+                    })?)
+                }
+                _ => {}
+            }
+        }
+        match (scheme, window, fan) {
+            (Some(scheme), Some(window), Some(fan)) => Ok(Config {
+                scheme,
+                window,
+                fan,
+            }),
+            _ => Err(CliError::State("config.txt is incomplete".into())),
+        }
+    }
+}
+
+fn days_dir(dir: &Path) -> PathBuf {
+    dir.join("days")
+}
+
+fn day_path(dir: &Path, day: u32) -> PathBuf {
+    days_dir(dir).join(format!("day_{day}.txt"))
+}
+
+/// Lists the retained day numbers, ascending.
+fn stored_days(dir: &Path) -> Result<Vec<u32>, CliError> {
+    let mut days = Vec::new();
+    for entry in fs::read_dir(days_dir(dir))? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("day_")
+            .and_then(|s| s.strip_suffix(".txt"))
+        {
+            days.push(num.parse::<u32>().map_err(|_| {
+                CliError::State(format!("unparseable day file {name:?}"))
+            })?);
+        }
+    }
+    days.sort_unstable();
+    Ok(days)
+}
+
+/// Parses a day file: `<id> <word> <word> …` per line; lines starting
+/// with `#` and blank lines are skipped. Records with no words are
+/// rejected.
+fn parse_day(day: u32, text: &str) -> Result<DayBatch, CliError> {
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let id: u64 = parts
+            .next()
+            .expect("non-empty line has a token")
+            .parse()
+            .map_err(|_| {
+                CliError::State(format!(
+                    "day {day} line {}: first token must be a numeric record id",
+                    lineno + 1
+                ))
+            })?;
+        let words: Vec<SearchValue> = parts.map(SearchValue::from).collect();
+        if words.is_empty() {
+            return Err(CliError::State(format!(
+                "day {day} line {}: record {id} has no words",
+                lineno + 1
+            )));
+        }
+        records.push(Record::with_values(RecordId(id), words));
+    }
+    Ok(DayBatch::new(Day(day), records))
+}
+
+/// A replayed store: the scheme (started if enough days are stored),
+/// its volume, and the last transition report.
+type Replayed = (Box<dyn WaveScheme>, Volume, Option<TransitionRecord>);
+
+/// Replays the stored days through the configured scheme.
+fn replay(dir: &Path, cfg: &Config) -> Result<Replayed, CliError> {
+    let days = stored_days(dir)?;
+    let mut archive = DayArchive::new();
+    for &d in &days {
+        let text = fs::read_to_string(day_path(dir, d))?;
+        archive.insert(parse_day(d, &text)?);
+    }
+    let mut scheme = cfg
+        .scheme
+        .build(SchemeConfig::new(cfg.window, cfg.fan))?;
+    let mut vol = Volume::default();
+    let mut last = None;
+    let max_day = days.last().copied().unwrap_or(0);
+    if max_day >= cfg.window {
+        // Pruned early days are replayed as empty batches: the
+        // schemes' cluster decisions depend only on day *counts*, so
+        // the final state is identical, and the lost records had
+        // expired out of even the soft window anyway.
+        let contiguous = days.windows(2).all(|w| w[1] == w[0] + 1);
+        if !contiguous {
+            return Err(CliError::State(
+                "day files are not contiguous; the store is corrupt".into(),
+            ));
+        }
+        // Synthesis is only sound for days already expired out of any
+        // possible soft window; a missing *recent* day means someone
+        // deleted live data.
+        if days[0] > 1 && days[0] > (max_day + 1).saturating_sub(2 * cfg.window) {
+            return Err(CliError::State(format!(
+                "day files before day {} are missing but still inside the \
+                 retention horizon; the store is corrupt",
+                days[0]
+            )));
+        }
+        for d in 1..days[0] {
+            archive.insert(DayBatch::empty(Day(d)));
+        }
+        last = Some(scheme.start(&mut vol, &archive)?);
+        for d in (cfg.window + 1)..=max_day {
+            last = Some(scheme.transition(&mut vol, &archive, Day(d))?);
+        }
+    }
+    Ok((scheme, vol, last))
+}
+
+fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
+    let mut lo = None;
+    let mut hi = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => {
+                let v = args.get(i + 1).ok_or_else(|| {
+                    CliError::Usage("--from needs a day number".into())
+                })?;
+                lo = Some(Day(v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --from value {v:?}"))
+                })?));
+                i += 2;
+            }
+            "--to" => {
+                let v = args.get(i + 1).ok_or_else(|| {
+                    CliError::Usage("--to needs a day number".into())
+                })?;
+                hi = Some(Day(v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --to value {v:?}"))
+                })?));
+                i += 2;
+            }
+            other => {
+                return Err(CliError::Usage(format!("unknown flag {other:?}")));
+            }
+        }
+    }
+    Ok(TimeRange { lo, hi })
+}
+
+/// Runs one CLI invocation; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl <init|add|query|scan|status> DIR …";
+    let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
+    let dir = PathBuf::from(
+        args.get(1)
+            .ok_or_else(|| CliError::Usage(usage.into()))?,
+    );
+    match command.as_str() {
+        "init" => cmd_init(&dir, &args[2..]),
+        "add" => cmd_add(&dir, &args[2..]),
+        "query" => cmd_query(&dir, &args[2..]),
+        "scan" => cmd_scan(&dir, &args[2..]),
+        "status" => cmd_status(&dir),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; {usage}"
+        ))),
+    }
+}
+
+fn cmd_init(dir: &Path, args: &[String]) -> Result<String, CliError> {
+    let mut scheme = SchemeKind::WataStar;
+    let mut window = 7u32;
+    let mut fan = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                scheme = parse_scheme(args.get(i + 1).ok_or_else(|| {
+                    CliError::Usage("--scheme needs a value".into())
+                })?)?;
+                i += 2;
+            }
+            "--window" => {
+                window = args[i + 1..]
+                    .first()
+                    .ok_or_else(|| CliError::Usage("--window needs a value".into()))?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --window value".into()))?;
+                i += 2;
+            }
+            "--fan" => {
+                fan = args[i + 1..]
+                    .first()
+                    .ok_or_else(|| CliError::Usage("--fan needs a value".into()))?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --fan value".into()))?;
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    // Validate the combination before writing anything.
+    scheme.build(SchemeConfig::new(window, fan))?;
+    fs::create_dir_all(days_dir(dir))?;
+    let cfg = Config {
+        scheme,
+        window,
+        fan,
+    };
+    cfg.save(dir)?;
+    Ok(format!(
+        "initialised {} with {} (W = {window}, n = {fan})\nfeed days with: wavectl add {} FILE\n",
+        dir.display(),
+        scheme.name(),
+        dir.display()
+    ))
+}
+
+fn cmd_add(dir: &Path, args: &[String]) -> Result<String, CliError> {
+    let cfg = Config::load(dir)?;
+    let text = match args.first() {
+        Some(path) => fs::read_to_string(path)?,
+        None => {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    // Validate the existing store and the new day before persisting
+    // anything, so a failed add leaves the store exactly as it was.
+    let days = stored_days(dir)?;
+    if !days.windows(2).all(|w| w[1] == w[0] + 1) {
+        return Err(CliError::State(
+            "day files are not contiguous; repair the store before adding".into(),
+        ));
+    }
+    let next = days.last().map_or(1, |d| d + 1);
+    let batch = parse_day(next, &text)?;
+    fs::write(day_path(dir, next), &text)?;
+
+    let (scheme, _vol, last) = replay(dir, &cfg)?;
+    // Prune day files no scheme could still need (twice the window
+    // comfortably covers every soft tail and temp ladder).
+    if let Some(horizon) = next.checked_sub(2 * cfg.window) {
+        for d in stored_days(dir)? {
+            if d <= horizon {
+                fs::remove_file(day_path(dir, d))?;
+            }
+        }
+    }
+    let mut out = format!("day {next}: {} records stored\n", batch.records.len());
+    match last {
+        Some(rec) => {
+            let ops: Vec<String> = rec.ops.iter().map(|op| op.to_string()).collect();
+            out.push_str(&format!(
+                "index ops: {}\nwindow: {} days across {} constituents\n",
+                ops.join("; "),
+                scheme.wave().length(),
+                scheme.wave().iter().count()
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "collecting start-up days: {next}/{} stored\n",
+                cfg.window
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_query(dir: &Path, args: &[String]) -> Result<String, CliError> {
+    let cfg = Config::load(dir)?;
+    let word = args
+        .first()
+        .ok_or_else(|| CliError::Usage("query needs a WORD".into()))?;
+    let range = parse_range(&args[1..])?;
+    let (scheme, mut vol, _) = replay(dir, &cfg)?;
+    if scheme.current_day().is_none() {
+        return Err(CliError::State(format!(
+            "not enough days yet (need {})",
+            cfg.window
+        )));
+    }
+    let result = scheme
+        .wave()
+        .timed_index_probe(&mut vol, &SearchValue::from(word.as_str()), range)?;
+    let n = result.entries.len();
+    let mut out = format!(
+        "{n} hit{} for {word:?} ({} constituent indexes probed)\n",
+        if n == 1 { "" } else { "s" },
+        result.indexes_accessed
+    );
+    for e in &result.entries {
+        out.push_str(&format!("  record {} (day {})\n", e.record.0, e.day.0));
+    }
+    Ok(out)
+}
+
+fn cmd_scan(dir: &Path, args: &[String]) -> Result<String, CliError> {
+    let cfg = Config::load(dir)?;
+    let range = parse_range(args)?;
+    let (scheme, mut vol, _) = replay(dir, &cfg)?;
+    if scheme.current_day().is_none() {
+        return Err(CliError::State(format!(
+            "not enough days yet (need {})",
+            cfg.window
+        )));
+    }
+    let result = scheme.wave().timed_segment_scan(&mut vol, range)?;
+    Ok(format!(
+        "{} entries in range ({} constituent indexes scanned)\n",
+        result.entries.len(),
+        result.indexes_accessed
+    ))
+}
+
+fn cmd_status(dir: &Path) -> Result<String, CliError> {
+    let cfg = Config::load(dir)?;
+    let days = stored_days(dir)?;
+    let mut out = format!(
+        "scheme {} | W = {} | n = {} | {} day files\n",
+        cfg.scheme.name(),
+        cfg.window,
+        cfg.fan,
+        days.len()
+    );
+    let (scheme, vol, _) = replay(dir, &cfg)?;
+    match scheme.current_day() {
+        Some(day) => {
+            out.push_str(&format!(
+                "current day {} | window {} days | {} entries | {} blocks\n",
+                day.0,
+                scheme.wave().length(),
+                scheme.wave().entry_count(),
+                scheme.wave().blocks(),
+            ));
+            for (_, idx) in scheme.wave().iter() {
+                let days: Vec<String> =
+                    idx.days().iter().map(|d| d.0.to_string()).collect();
+                out.push_str(&format!(
+                    "  {}: days [{}]{}\n",
+                    idx.label(),
+                    days.join(","),
+                    if idx.is_packed() { " (packed)" } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "replay cost: {:.3} simulated disk seconds\n",
+                vol.stats().sim_seconds
+            ));
+        }
+        None => out.push_str(&format!(
+            "collecting start-up days ({}/{})\n",
+            days.len(),
+            cfg.window
+        )),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "wavectl-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn add_day(dir: &Path, lines: &str) -> String {
+        let f = dir.join("incoming.txt");
+        fs::write(&f, lines).unwrap();
+        run(&s(&["add", dir.to_str().unwrap(), f.to_str().unwrap()])).unwrap()
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        let out = run(&s(&["init", d, "--scheme", "wata", "--window", "3", "--fan", "2"]))
+            .unwrap();
+        assert!(out.contains("WATA*"));
+
+        // Not enough days yet.
+        add_day(&dir, "1 hello world\n");
+        add_day(&dir, "2 hello rust\n# comment\n\n");
+        let err = run(&s(&["query", d, "hello"])).unwrap_err();
+        assert!(matches!(err, CliError::State(_)));
+
+        let out = add_day(&dir, "3 world again\n");
+        assert!(out.contains("window: 3 days"), "{out}");
+
+        let out = run(&s(&["query", d, "hello"])).unwrap();
+        assert!(out.starts_with("2 hits"), "{out}");
+        let out = run(&s(&["query", d, "hello", "--from", "2", "--to", "3"])).unwrap();
+        assert!(out.starts_with("1 hit "), "{out}");
+
+        // Slide: day 1's records expire from the window.
+        add_day(&dir, "4 fresh words\n");
+        let out = run(&s(&["query", d, "world", "--from", "2", "--to", "4"])).unwrap();
+        assert!(out.starts_with("1 hit "), "{out}");
+
+        let out = run(&s(&["scan", d])).unwrap();
+        assert!(out.contains("entries in range"), "{out}");
+
+        let out = run(&s(&["status", d])).unwrap();
+        assert!(out.contains("WATA*"), "{out}");
+        assert!(out.contains("current day 4"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn init_rejects_bad_configs() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        let err = run(&s(&["init", d, "--scheme", "wata", "--window", "5", "--fan", "1"]))
+            .unwrap_err();
+        assert!(matches!(err, CliError::Index(_)));
+        let err =
+            run(&s(&["init", d, "--scheme", "nope"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_rejects_malformed_lines_without_storing() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        run(&s(&["init", d, "--scheme", "del", "--window", "2", "--fan", "1"])).unwrap();
+        let f = dir.join("bad.txt");
+        fs::write(&f, "notanumber hello\n").unwrap();
+        let err = run(&s(&["add", d, f.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::State(_)));
+        assert!(stored_days(&dir).unwrap().is_empty(), "nothing persisted");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_scheme_name_parses() {
+        for (name, kind) in [
+            ("del", SchemeKind::Del),
+            ("REINDEX", SchemeKind::Reindex),
+            ("reindex+", SchemeKind::ReindexPlus),
+            ("reindex++", SchemeKind::ReindexPlusPlus),
+            ("wata*", SchemeKind::WataStar),
+            ("rata", SchemeKind::RataStar),
+        ] {
+            assert_eq!(parse_scheme(name).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn old_day_files_are_pruned_and_replay_survives() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        run(&s(&["init", d, "--scheme", "wata", "--window", "2", "--fan", "2"])).unwrap();
+        for day in 1..=9u32 {
+            add_day(&dir, &format!("{day} word{day} shared\n"));
+        }
+        let kept = stored_days(&dir).unwrap();
+        assert!(kept[0] > 1, "old day files pruned: {kept:?}");
+        // Queries over the live window still work after pruning.
+        let out = run(&s(&["query", d, "shared"])).unwrap();
+        assert!(!out.starts_with("0 hits"), "{out}");
+        let out = run(&s(&["status", d])).unwrap();
+        assert!(out.contains("current day 9"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_before_window_reports_progress() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        run(&s(&["init", d, "--scheme", "reindex", "--window", "4", "--fan", "2"])).unwrap();
+        add_day(&dir, "1 word\n");
+        let out = run(&s(&["status", d])).unwrap();
+        assert!(out.contains("collecting start-up days (1/4)"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,18 @@
+//! `wavectl` binary entry point; all logic lives in the library so
+//! tests can drive it directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match wavectl::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wavectl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

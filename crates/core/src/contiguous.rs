@@ -1,0 +1,101 @@
+//! The CONTIGUOUS incremental-indexing policy of Faloutsos & Jagadish
+//! [FJ92], which the paper adopts for `AddToIndex`/`DeleteFromIndex`
+//! (Section 5, "Implementation parameters").
+//!
+//! Each search value's bucket lives in its own contiguous extent. When
+//! a bucket outgrows its extent, a new extent `g` times larger is
+//! allocated, the entries are copied over, and the old extent is
+//! released. The growth factor `g` trades copy work against space
+//! overhead: the paper measures `g = 2` as a good fit for Zipfian
+//! Netnews words and `g = 1.08` for uniform TPC-D keys.
+
+/// Tuning of the CONTIGUOUS bucket-growth policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContiguousConfig {
+    /// Growth factor `g`: a relocated bucket's new capacity is
+    /// `ceil(needed * g)`.
+    pub growth_factor: f64,
+    /// Minimum entry slots allocated for any bucket.
+    pub min_capacity: u32,
+    /// Shrink threshold: a bucket whose live count falls to
+    /// `capacity / g^2` or below is relocated into a right-sized
+    /// extent ("similarly for deletion" in the paper).
+    pub shrink: bool,
+}
+
+impl Default for ContiguousConfig {
+    fn default() -> Self {
+        ContiguousConfig {
+            growth_factor: 2.0,
+            min_capacity: 4,
+            shrink: true,
+        }
+    }
+}
+
+impl ContiguousConfig {
+    /// Config with growth factor `g` and defaults otherwise.
+    pub fn with_growth(g: f64) -> Self {
+        ContiguousConfig {
+            growth_factor: g,
+            ..Default::default()
+        }
+    }
+
+    /// Capacity to allocate for a bucket that must hold `needed`
+    /// entries.
+    pub fn grown_capacity(&self, needed: u32) -> u32 {
+        let grown = (needed as f64 * self.growth_factor).ceil() as u32;
+        grown.max(needed).max(self.min_capacity)
+    }
+
+    /// Whether a bucket with `count` live entries out of `capacity`
+    /// slots should be relocated to reclaim space.
+    pub fn should_shrink(&self, count: u32, capacity: u32) -> bool {
+        if !self.shrink || count == 0 {
+            // Empty buckets are removed outright by the index.
+            return false;
+        }
+        let threshold = capacity as f64 / (self.growth_factor * self.growth_factor);
+        capacity > self.min_capacity && (count as f64) <= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_doubles_by_default() {
+        let c = ContiguousConfig::default();
+        assert_eq!(c.grown_capacity(10), 20);
+        assert_eq!(c.grown_capacity(1), 4, "min capacity floor");
+    }
+
+    #[test]
+    fn tight_growth_factor() {
+        let c = ContiguousConfig::with_growth(1.08);
+        assert_eq!(c.grown_capacity(100), 108);
+        // Never shrinks below what is needed.
+        assert!(c.grown_capacity(3) >= 3);
+    }
+
+    #[test]
+    fn shrink_threshold() {
+        let c = ContiguousConfig::default(); // g = 2 → threshold cap/4
+        assert!(c.should_shrink(4, 32));
+        assert!(c.should_shrink(8, 32));
+        assert!(!c.should_shrink(9, 32));
+        assert!(!c.should_shrink(0, 32), "empty buckets are dropped, not shrunk");
+        assert!(!c.should_shrink(1, 4), "min-capacity buckets stay");
+    }
+
+    #[test]
+    fn shrink_can_be_disabled() {
+        let c = ContiguousConfig {
+            shrink: false,
+            ..Default::default()
+        };
+        assert!(!c.should_shrink(1, 1024));
+    }
+}

@@ -1,0 +1,209 @@
+//! A from-scratch chaining hash table for the directory.
+//!
+//! The hash variant of the paper's directory. Lookups are O(1); the
+//! ordered iteration needed to lay out a packed index collects and
+//! sorts keys (an explicit cost the B+Tree directory avoids — exactly
+//! the kind of trade-off Section 2 leaves to the implementer).
+
+use std::hash::{Hash, Hasher};
+
+const INITIAL_BUCKETS: usize = 16;
+const MAX_LOAD_NUM: usize = 3; // resize when len > buckets * 3/4
+const MAX_LOAD_DEN: usize = 4;
+
+/// FNV-1a, implemented locally so the table is self-contained and its
+/// behaviour is deterministic across runs (important for reproducible
+/// bucket layouts in benchmarks).
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Chaining hash map with amortised O(1) operations.
+#[derive(Debug, Clone)]
+pub struct HashTable<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq + Ord + Clone, V> Default for HashTable<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Ord + Clone, V> HashTable<K, V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        HashTable {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    fn bucket_of(&self, key: &K) -> usize {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        (h.finish() as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts `key -> val`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let b = self.bucket_of(&key);
+        if let Some(slot) = self.buckets[b].iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, val));
+        }
+        self.buckets[b].push((key, val));
+        self.len += 1;
+        if self.len * MAX_LOAD_DEN > self.buckets.len() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        None
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|(k, _)| k == key)?;
+        self.len -= 1;
+        Some(self.buckets[b].swap_remove(pos).1)
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_size).map(|_| Vec::new()).collect(),
+        );
+        for bucket in old {
+            for (k, v) in bucket {
+                let b = {
+                    let mut h = Fnv1a::default();
+                    k.hash(&mut h);
+                    (h.finish() as usize) & (self.buckets.len() - 1)
+                };
+                self.buckets[b].push((k, v));
+            }
+        }
+    }
+
+    /// Iterates entries in arbitrary (bucket) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates entries in ascending key order (collect-and-sort; the
+    /// documented cost of choosing a hash directory).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = HashTable::new();
+        assert_eq!(t.insert("a", 1), None);
+        assert_eq!(t.insert("a", 2), Some(1));
+        assert_eq!(t.get(&"a"), Some(&2));
+        assert_eq!(t.remove(&"a"), Some(2));
+        assert_eq!(t.remove(&"a"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut t = HashTable::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 3);
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(&i), Some(&(i * 3)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn iter_sorted_is_ordered_and_complete() {
+        let mut t = HashTable::new();
+        for i in [5u64, 1, 9, 3, 7] {
+            t.insert(i, ());
+        }
+        let keys: Vec<u64> = t.iter_sorted().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t = HashTable::new();
+        t.insert("k", 1);
+        *t.get_mut(&"k").unwrap() += 10;
+        assert_eq!(t.get(&"k"), Some(&11));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        // Two identically-filled tables place keys identically, so
+        // packed layouts derived from them are reproducible.
+        let mut a = HashTable::new();
+        let mut b = HashTable::new();
+        for i in 0..100u64 {
+            a.insert(i, i);
+            b.insert(i, i);
+        }
+        let ka: Vec<u64> = a.iter().map(|(k, _)| *k).collect();
+        let kb: Vec<u64> = b.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ka, kb);
+    }
+}

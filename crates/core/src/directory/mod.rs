@@ -1,0 +1,184 @@
+//! The in-memory directory of a constituent index.
+//!
+//! Per Section 2 of the paper the directory lives in memory and maps a
+//! search value to its bucket on disk. Two interchangeable search
+//! structures are provided — a [B+Tree](bptree) and a [hash
+//! table](hash) — selected by [`DirectoryKind`].
+
+pub mod bptree;
+pub mod hash;
+
+use wave_storage::Extent;
+
+use crate::record::SearchValue;
+
+pub use bptree::BPlusTree;
+pub use hash::HashTable;
+
+/// Where a value's bucket lives and how full it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRef {
+    /// Extent holding the bucket bytes.
+    pub extent: Extent,
+    /// Byte offset of the bucket within the extent (non-zero only for
+    /// buckets inside a packed index's shared extent).
+    pub offset: usize,
+    /// Live entries in the bucket.
+    pub count: u32,
+    /// Entry slots allocated (`count == capacity` when packed).
+    pub capacity: u32,
+    /// Whether this value owns `extent` outright (CONTIGUOUS layout).
+    /// Buckets inside a shared packed extent do not own it.
+    pub owned: bool,
+}
+
+impl BucketRef {
+    /// Free slots remaining in the bucket.
+    pub fn slack(&self) -> u32 {
+        self.capacity - self.count
+    }
+}
+
+/// Which search structure backs the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectoryKind {
+    /// Ordered B+Tree: ordered iteration is free.
+    #[default]
+    BTree,
+    /// Chaining hash table: O(1) point lookups, sorted iteration pays
+    /// a collect-and-sort.
+    Hash,
+}
+
+/// A directory: search value → bucket reference.
+#[derive(Debug, Clone)]
+pub enum Directory {
+    /// B+Tree-backed directory.
+    BTree(BPlusTree<SearchValue, BucketRef>),
+    /// Hash-table-backed directory.
+    Hash(HashTable<SearchValue, BucketRef>),
+}
+
+impl Directory {
+    /// Creates an empty directory of the given kind.
+    pub fn new(kind: DirectoryKind) -> Self {
+        match kind {
+            DirectoryKind::BTree => Directory::BTree(BPlusTree::new()),
+            DirectoryKind::Hash => Directory::Hash(HashTable::new()),
+        }
+    }
+
+    /// The kind of this directory.
+    pub fn kind(&self) -> DirectoryKind {
+        match self {
+            Directory::BTree(_) => DirectoryKind::BTree,
+            Directory::Hash(_) => DirectoryKind::Hash,
+        }
+    }
+
+    /// Number of distinct search values.
+    pub fn len(&self) -> usize {
+        match self {
+            Directory::BTree(t) => t.len(),
+            Directory::Hash(t) => t.len(),
+        }
+    }
+
+    /// Whether no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the bucket for `value`.
+    pub fn get(&self, value: &SearchValue) -> Option<&BucketRef> {
+        match self {
+            Directory::BTree(t) => t.get(value),
+            Directory::Hash(t) => t.get(value),
+        }
+    }
+
+    /// Looks up the bucket for `value` mutably.
+    pub fn get_mut(&mut self, value: &SearchValue) -> Option<&mut BucketRef> {
+        match self {
+            Directory::BTree(t) => t.get_mut(value),
+            Directory::Hash(t) => t.get_mut(value),
+        }
+    }
+
+    /// Inserts or replaces the bucket for `value`.
+    pub fn insert(&mut self, value: SearchValue, bucket: BucketRef) -> Option<BucketRef> {
+        match self {
+            Directory::BTree(t) => t.insert(value, bucket),
+            Directory::Hash(t) => t.insert(value, bucket),
+        }
+    }
+
+    /// Removes the bucket for `value`.
+    pub fn remove(&mut self, value: &SearchValue) -> Option<BucketRef> {
+        match self {
+            Directory::BTree(t) => t.remove(value),
+            Directory::Hash(t) => t.remove(value),
+        }
+    }
+
+    /// Iterates `(value, bucket)` pairs in ascending value order.
+    pub fn iter_ordered(&self) -> Box<dyn Iterator<Item = (&SearchValue, &BucketRef)> + '_> {
+        match self {
+            Directory::BTree(t) => Box::new(t.iter()),
+            Directory::Hash(t) => Box::new(t.iter_sorted()),
+        }
+    }
+
+    /// Collects the values in ascending order (used when rewriting a
+    /// directory while relocating buckets).
+    pub fn values_ordered(&self) -> Vec<SearchValue> {
+        self.iter_ordered().map(|(v, _)| v.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(count: u32) -> BucketRef {
+        BucketRef {
+            extent: Extent::new(0, 1),
+            offset: 0,
+            count,
+            capacity: count,
+            owned: false,
+        }
+    }
+
+    #[test]
+    fn both_kinds_behave_identically() {
+        for kind in [DirectoryKind::BTree, DirectoryKind::Hash] {
+            let mut d = Directory::new(kind);
+            assert_eq!(d.kind(), kind);
+            for i in [3u64, 1, 2] {
+                d.insert(SearchValue::from_u64(i), bucket(i as u32));
+            }
+            assert_eq!(d.len(), 3);
+            assert_eq!(d.get(&SearchValue::from_u64(2)).unwrap().count, 2);
+            let ordered: Vec<u32> = d.iter_ordered().map(|(_, b)| b.count).collect();
+            assert_eq!(ordered, vec![1, 2, 3], "kind {kind:?}");
+            d.get_mut(&SearchValue::from_u64(1)).unwrap().count = 10;
+            assert_eq!(d.get(&SearchValue::from_u64(1)).unwrap().count, 10);
+            assert_eq!(d.remove(&SearchValue::from_u64(3)).unwrap().count, 3);
+            assert_eq!(d.len(), 2);
+            assert!(d.get(&SearchValue::from_u64(3)).is_none());
+        }
+    }
+
+    #[test]
+    fn slack_is_capacity_minus_count() {
+        let b = BucketRef {
+            extent: Extent::new(0, 1),
+            offset: 0,
+            count: 3,
+            capacity: 8,
+            owned: true,
+        };
+        assert_eq!(b.slack(), 5);
+    }
+}

@@ -1,0 +1,284 @@
+//! Day-by-day driver: feeds a scheme its batches, runs the query
+//! workload, and measures everything the paper's evaluation reports.
+
+use wave_storage::Volume;
+
+use crate::error::{IndexError, IndexResult};
+use crate::query::TimeRange;
+use crate::record::{Day, DayArchive, DayBatch, SearchValue};
+use crate::schemes::WaveScheme;
+use crate::verify::{verify_scheme, Oracle};
+
+/// The queries to run against the wave index on one day.
+#[derive(Debug, Default, Clone)]
+pub struct QueryLoad {
+    /// `TimedIndexProbe`s: `(search value, time range)`.
+    pub probes: Vec<(SearchValue, TimeRange)>,
+    /// `TimedSegmentScan`s.
+    pub scans: Vec<TimeRange>,
+}
+
+impl QueryLoad {
+    /// No queries.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Driver settings.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct DriverConfig {
+    /// Check every day's state and query results against the oracle.
+    /// Slows simulation down; intended for tests.
+    pub verify: bool,
+}
+
+
+/// Everything measured about one simulated day.
+#[derive(Debug, Clone)]
+pub struct DayReport {
+    /// The day that arrived.
+    pub day: Day,
+    /// Simulated seconds of pre-computation I/O.
+    pub precomp_seconds: f64,
+    /// Simulated seconds on the transition critical path.
+    pub transition_seconds: f64,
+    /// Simulated seconds of post-transition upkeep.
+    pub post_seconds: f64,
+    /// Simulated seconds answering the day's queries.
+    pub query_seconds: f64,
+    /// Constituent indexes touched across all probes.
+    pub probe_indexes: usize,
+    /// Constituent indexes touched across all scans.
+    pub scan_indexes: usize,
+    /// Days covered by the wave index at end of day (*length*).
+    pub wave_length: usize,
+    /// Days stored in temporary indexes at end of day.
+    pub temp_days: usize,
+    /// Blocks held by constituents at end of day.
+    pub wave_blocks: u64,
+    /// Blocks held by temps at end of day.
+    pub temp_blocks: u64,
+    /// Peak blocks allocated on the volume at any point during the
+    /// day (the paper's space-during-transition measure).
+    pub peak_blocks: u64,
+}
+
+impl DayReport {
+    /// Maintenance + query time: the paper's *total work* for the day.
+    pub fn total_work_seconds(&self) -> f64 {
+        self.precomp_seconds + self.transition_seconds + self.post_seconds + self.query_seconds
+    }
+}
+
+/// Owns a scheme, a volume, and the batch archive, and advances them
+/// one day at a time.
+pub struct Driver {
+    vol: Volume,
+    scheme: Box<dyn WaveScheme>,
+    archive: DayArchive,
+    cfg: DriverConfig,
+    oracle: Oracle,
+    verify_values: Vec<SearchValue>,
+}
+
+impl Driver {
+    /// Creates a driver around a scheme and a volume.
+    pub fn new(scheme: Box<dyn WaveScheme>, vol: Volume, cfg: DriverConfig) -> Self {
+        Driver {
+            vol,
+            scheme,
+            archive: DayArchive::new(),
+            cfg,
+            oracle: Oracle::new(),
+            verify_values: Vec::new(),
+        }
+    }
+
+    /// Values the verifier probes each day (when `cfg.verify`).
+    pub fn set_verify_values(&mut self, values: Vec<SearchValue>) {
+        self.verify_values = values;
+    }
+
+    /// Indexes the first `W` days. `batches` must cover days `1..=W`.
+    pub fn start(&mut self, batches: Vec<DayBatch>) -> IndexResult<DayReport> {
+        for batch in batches {
+            self.oracle.insert(&batch);
+            self.archive.insert(batch);
+        }
+        self.vol.reset_peak();
+        let rec = self.scheme.start(&mut self.vol, &self.archive)?;
+        let report = self.report_from(rec.day, &rec, 0.0, 0, 0);
+        if self.cfg.verify {
+            verify_scheme(
+                self.scheme.as_ref(),
+                &mut self.vol,
+                &self.oracle,
+                &self.verify_values,
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// Advances one day: transition, then queries.
+    pub fn step(&mut self, batch: DayBatch, queries: &QueryLoad) -> IndexResult<DayReport> {
+        let day = batch.day;
+        self.oracle.insert(&batch);
+        self.archive.insert(batch);
+        self.vol.reset_peak();
+
+        let rec = self.scheme.transition(&mut self.vol, &self.archive, day)?;
+
+        // Queries.
+        let before = self.vol.stats();
+        let mut probe_indexes = 0usize;
+        for (value, range) in &queries.probes {
+            probe_indexes += self
+                .scheme
+                .wave()
+                .timed_index_probe(&mut self.vol, value, *range)?
+                .indexes_accessed;
+        }
+        let mut scan_indexes = 0usize;
+        for range in &queries.scans {
+            scan_indexes += self
+                .scheme
+                .wave()
+                .timed_segment_scan(&mut self.vol, *range)?
+                .indexes_accessed;
+        }
+        let query_seconds = self.vol.stats().since(&before).sim_seconds;
+
+        if self.cfg.verify {
+            verify_scheme(
+                self.scheme.as_ref(),
+                &mut self.vol,
+                &self.oracle,
+                &self.verify_values,
+            )?;
+        }
+
+        // Prune state the scheme can no longer need.
+        let horizon = self.scheme.oldest_needed_day(day.plus(1));
+        self.archive.prune_before(horizon);
+        self.oracle
+            .prune_before(Day(day.0.saturating_sub(3 * self.scheme.config().window)));
+
+        Ok(self.report_from(day, &rec, query_seconds, probe_indexes, scan_indexes))
+    }
+
+    fn report_from(
+        &self,
+        day: Day,
+        rec: &crate::schemes::TransitionRecord,
+        query_seconds: f64,
+        probe_indexes: usize,
+        scan_indexes: usize,
+    ) -> DayReport {
+        DayReport {
+            day,
+            precomp_seconds: rec.precomp.sim_seconds,
+            transition_seconds: rec.transition.sim_seconds,
+            post_seconds: rec.post.sim_seconds,
+            query_seconds,
+            probe_indexes,
+            scan_indexes,
+            wave_length: self.scheme.wave().length(),
+            temp_days: self.scheme.temp_days(),
+            wave_blocks: self.scheme.wave().blocks(),
+            temp_blocks: self.scheme.temp_blocks(),
+            peak_blocks: self.vol.peak_blocks(),
+        }
+    }
+
+    /// The scheme under test.
+    pub fn scheme(&self) -> &dyn WaveScheme {
+        self.scheme.as_ref()
+    }
+
+    /// The volume (for ad-hoc queries in examples).
+    pub fn volume_mut(&mut self) -> &mut Volume {
+        &mut self.vol
+    }
+
+    /// Runs a probe through the wave index (convenience for examples).
+    pub fn probe(&mut self, value: &SearchValue, range: TimeRange) -> IndexResult<Vec<crate::entry::Entry>> {
+        Ok(self
+            .scheme
+            .wave()
+            .timed_index_probe(&mut self.vol, value, range)?
+            .entries)
+    }
+
+    /// Tears the scheme down, checking that all storage is returned.
+    pub fn finish(mut self) -> IndexResult<()> {
+        self.scheme.release(&mut self.vol)?;
+        if self.vol.live_blocks() != 0 {
+            return Err(IndexError::Corrupt(format!(
+                "scheme {} leaked {} blocks",
+                self.scheme.name(),
+                self.vol.live_blocks()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, RecordId};
+    use crate::schemes::{SchemeConfig, SchemeKind};
+
+    fn batch(day: u32) -> DayBatch {
+        DayBatch::new(
+            Day(day),
+            (0..5)
+                .map(|i| {
+                    Record::with_values(
+                        RecordId(day as u64 * 100 + i),
+                        [SearchValue::from_u64(i % 3)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn drives_all_schemes_with_verification() {
+        for kind in SchemeKind::ALL {
+            let cfg = SchemeConfig::new(8, kind.min_fan().max(2));
+            let scheme = kind.build(cfg).unwrap();
+            let mut driver = Driver::new(
+                scheme,
+                Volume::default(),
+                DriverConfig { verify: true },
+            );
+            driver.set_verify_values(vec![SearchValue::from_u64(0), SearchValue::from_u64(7)]);
+            driver.start((1..=8).map(batch).collect()).unwrap();
+            let load = QueryLoad {
+                probes: vec![(SearchValue::from_u64(1), TimeRange::all())],
+                scans: vec![TimeRange::all()],
+            };
+            for d in 9..=25 {
+                let report = driver.step(batch(d), &load).unwrap();
+                assert_eq!(report.day, Day(d), "{kind}");
+                assert!(report.wave_length >= 8, "{kind}");
+                assert!(report.query_seconds > 0.0, "{kind}");
+            }
+            driver.finish().unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn reports_capture_peak_space() {
+        let scheme = SchemeKind::Reindex.build(SchemeConfig::new(6, 1)).unwrap();
+        let mut driver = Driver::new(scheme, Volume::default(), DriverConfig::default());
+        driver.start((1..=6).map(batch).collect()).unwrap();
+        let report = driver.step(batch(7), &QueryLoad::none()).unwrap();
+        // During the rebuild both old and new indexes exist.
+        assert!(report.peak_blocks > report.wave_blocks);
+        driver.finish().unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for wave-index operations.
+
+use std::fmt;
+
+use crate::record::Day;
+
+/// Result alias for index operations.
+pub type IndexResult<T> = Result<T, IndexError>;
+
+/// Errors raised by constituent indexes and wave schemes.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Propagated storage failure.
+    Storage(wave_storage::StorageError),
+    /// A scheme was configured with invalid `(W, n)`.
+    BadConfig {
+        /// Window size requested.
+        window: u32,
+        /// Number of constituent indexes requested.
+        fan: u32,
+        /// Why the combination is rejected.
+        reason: &'static str,
+    },
+    /// A transition referenced a day whose batch is not in the archive.
+    MissingDay(Day),
+    /// `start` was called with the wrong number of initial days.
+    BadStart {
+        /// Days supplied.
+        got: usize,
+        /// Days required (the window size `W`).
+        want: usize,
+    },
+    /// Transition days must arrive consecutively.
+    NonConsecutiveDay {
+        /// Day the scheme expected next.
+        expected: Day,
+        /// Day actually supplied.
+        got: Day,
+    },
+    /// `transition` was called before `start`.
+    NotStarted,
+    /// Internal invariant violation; indicates a bug, never expected.
+    Corrupt(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage: {e}"),
+            IndexError::BadConfig {
+                window,
+                fan,
+                reason,
+            } => write!(f, "invalid configuration W={window}, n={fan}: {reason}"),
+            IndexError::MissingDay(d) => write!(f, "day {d} not present in archive"),
+            IndexError::BadStart { got, want } => {
+                write!(f, "start requires exactly {want} days, got {got}")
+            }
+            IndexError::NonConsecutiveDay { expected, got } => {
+                write!(f, "expected day {expected} next, got {got}")
+            }
+            IndexError::NotStarted => write!(f, "transition called before start"),
+            IndexError::Corrupt(msg) => write!(f, "index corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wave_storage::StorageError> for IndexError {
+    fn from(e: wave_storage::StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = IndexError::BadStart { got: 3, want: 7 };
+        assert!(e.to_string().contains("exactly 7"));
+        let e = IndexError::NonConsecutiveDay {
+            expected: Day(11),
+            got: Day(13),
+        };
+        assert!(e.to_string().contains("11"));
+        assert!(e.to_string().contains("13"));
+    }
+
+    #[test]
+    fn storage_source_is_chained() {
+        let e: IndexError = wave_storage::StorageError::EmptyExtent.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

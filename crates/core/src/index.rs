@@ -1,0 +1,976 @@
+//! A constituent index: directory + buckets on a volume.
+//!
+//! This implements the index structure of Section 2 (Figure 1) with
+//! both layouts the paper distinguishes:
+//!
+//! * **Packed** — all buckets in one contiguous extent, minimal space,
+//!   whole-index scans cost a single seek. Produced by `BuildIndex`
+//!   and by packed-shadow updating.
+//! * **CONTIGUOUS** (unpacked) — each grown value owns its own extent
+//!   with slack for future growth (growth factor `g`), the layout
+//!   incremental `AddToIndex`/`DeleteFromIndex` leave behind.
+//!
+//! A freshly built packed index that is then updated in place migrates
+//! gradually: touched values relocate out of the shared base extent
+//! (leaving dead space — the fragmentation the paper's `S'` captures),
+//! untouched values stay put.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wave_storage::{Extent, Volume};
+
+use crate::contiguous::ContiguousConfig;
+use crate::directory::{BucketRef, Directory, DirectoryKind};
+use crate::entry::{decode_entries, encode_entries, Entry, ENTRY_BYTES};
+use crate::error::{IndexError, IndexResult};
+use crate::query::TimeRange;
+use crate::record::{Day, DayBatch, SearchValue};
+
+/// Configuration of a constituent index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexConfig {
+    /// Which search structure backs the directory.
+    pub directory: DirectoryKind,
+    /// CONTIGUOUS growth policy for incremental updates.
+    pub contiguous: ContiguousConfig,
+}
+
+/// The shared extent of a packed (or once-packed) index.
+#[derive(Debug, Clone, Copy)]
+struct BaseExtent {
+    extent: Extent,
+    /// Bytes of the extent that hold (live or dead) bucket data.
+    used_bytes: usize,
+}
+
+/// One constituent index of a wave index.
+///
+/// ```
+/// use wave_index::{ConstituentIndex, Day, DayBatch, IndexConfig, Record, RecordId, SearchValue};
+/// use wave_storage::Volume;
+///
+/// let mut vol = Volume::default();
+/// let batch = DayBatch::new(
+///     Day(1),
+///     vec![Record::with_values(RecordId(7), [SearchValue::from("war")])],
+/// );
+/// let idx =
+///     ConstituentIndex::build_packed("I1", IndexConfig::default(), &mut vol, &[&batch]).unwrap();
+/// assert!(idx.is_packed());
+/// assert_eq!(idx.probe(&mut vol, &SearchValue::from("war")).unwrap().len(), 1);
+/// idx.release(&mut vol).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ConstituentIndex {
+    label: String,
+    cfg: IndexConfig,
+    directory: Directory,
+    base: Option<BaseExtent>,
+    /// Days covered by this index (its *time-set*). A covered day may
+    /// have zero records.
+    days: BTreeSet<Day>,
+    /// For each covered day, the values its records touched; lets
+    /// deletion read only affected buckets (the indexer retains this
+    /// from the day's batch, which it processed anyway).
+    day_values: BTreeMap<Day, BTreeSet<SearchValue>>,
+    /// Live entries across all buckets.
+    entries: u64,
+    /// Buckets that own a private extent (CONTIGUOUS layout).
+    owned_buckets: usize,
+    /// Blocks in private bucket extents.
+    owned_blocks: u64,
+}
+
+impl ConstituentIndex {
+    /// Creates an empty index (the `Temp ← φ` of the algorithms).
+    pub fn new_empty(label: impl Into<String>, cfg: IndexConfig) -> Self {
+        ConstituentIndex {
+            label: label.into(),
+            cfg,
+            directory: Directory::new(cfg.directory),
+            base: None,
+            days: BTreeSet::new(),
+            day_values: BTreeMap::new(),
+            entries: 0,
+            owned_buckets: 0,
+            owned_blocks: 0,
+        }
+    }
+
+    /// `BuildIndex(Days)`: builds a packed index for a cluster of day
+    /// batches. All buckets are written into one contiguous extent in
+    /// value order with a single sequential write.
+    pub fn build_packed(
+        label: impl Into<String>,
+        cfg: IndexConfig,
+        vol: &mut Volume,
+        batches: &[&DayBatch],
+    ) -> IndexResult<Self> {
+        let mut map: BTreeMap<SearchValue, Vec<Entry>> = BTreeMap::new();
+        let mut days = BTreeSet::new();
+        for batch in batches {
+            days.insert(batch.day);
+            for record in &batch.records {
+                for (value, aux) in &record.values {
+                    map.entry(value.clone())
+                        .or_default()
+                        .push(Entry::new(record.id, *aux, batch.day));
+                }
+            }
+        }
+        Self::build_from_map(label, cfg, vol, map, days)
+    }
+
+    /// Builds a packed index from an aggregated value → entries map.
+    pub(crate) fn build_from_map(
+        label: impl Into<String>,
+        cfg: IndexConfig,
+        vol: &mut Volume,
+        map: BTreeMap<SearchValue, Vec<Entry>>,
+        days: BTreeSet<Day>,
+    ) -> IndexResult<Self> {
+        let mut idx = ConstituentIndex::new_empty(label, cfg);
+        idx.days = days;
+        let total: usize = map.values().map(Vec::len).sum();
+        if total == 0 {
+            return Ok(idx);
+        }
+        let mut buf = Vec::with_capacity(total * ENTRY_BYTES);
+        for (value, entries) in &map {
+            let offset = buf.len();
+            for e in entries {
+                e.encode_into(&mut buf);
+                idx.day_values
+                    .entry(e.day)
+                    .or_default()
+                    .insert(value.clone());
+            }
+            idx.directory.insert(
+                value.clone(),
+                BucketRef {
+                    extent: Extent::new(0, 1), // patched below
+                    offset,
+                    count: entries.len() as u32,
+                    capacity: entries.len() as u32,
+                    owned: false,
+                },
+            );
+        }
+        let extent = Self::alloc_and_write(vol, buf.len(), &buf)?;
+        // Patch the real extent into every bucket ref.
+        for value in idx.directory.values_ordered() {
+            idx.directory
+                .get_mut(&value)
+                .expect("value just listed")
+                .extent = extent;
+        }
+        idx.base = Some(BaseExtent {
+            extent,
+            used_bytes: buf.len(),
+        });
+        idx.entries = total as u64;
+        Ok(idx)
+    }
+
+    /// `AddToIndex(Days, I)` with in-place CONTIGUOUS updating.
+    ///
+    /// Groups the batches' entries by value; values with slack take
+    /// the appended entries directly, overflowing values relocate to
+    /// an extent `g` times larger. The index is unpacked afterwards.
+    pub fn add_batches_in_place(
+        &mut self,
+        vol: &mut Volume,
+        batches: &[&DayBatch],
+    ) -> IndexResult<()> {
+        let mut incoming: BTreeMap<SearchValue, Vec<Entry>> = BTreeMap::new();
+        for batch in batches {
+            self.days.insert(batch.day);
+            for record in &batch.records {
+                for (value, aux) in &record.values {
+                    incoming
+                        .entry(value.clone())
+                        .or_default()
+                        .push(Entry::new(record.id, *aux, batch.day));
+                    self.day_values
+                        .entry(batch.day)
+                        .or_default()
+                        .insert(value.clone());
+                }
+            }
+        }
+        for (value, new_entries) in incoming {
+            let added = new_entries.len() as u32;
+            match self.directory.get(&value).copied() {
+                None => {
+                    let capacity = self.cfg.contiguous.grown_capacity(added);
+                    let extent = Self::alloc_and_write(
+                        vol,
+                        capacity as usize * ENTRY_BYTES,
+                        &encode_entries(&new_entries),
+                    )?;
+                    self.owned_buckets += 1;
+                    self.owned_blocks += extent.len;
+                    self.directory.insert(
+                        value,
+                        BucketRef {
+                            extent,
+                            offset: 0,
+                            count: added,
+                            capacity,
+                            owned: true,
+                        },
+                    );
+                }
+                Some(bucket) if bucket.slack() >= added => {
+                    let at = bucket.offset + bucket.count as usize * ENTRY_BYTES;
+                    vol.write_at(bucket.extent, at, &encode_entries(&new_entries))?;
+                    self.directory
+                        .get_mut(&value)
+                        .expect("bucket present")
+                        .count += added;
+                }
+                Some(bucket) => {
+                    // Relocate: read the old bucket, write old + new
+                    // into a larger private extent, release the old
+                    // one if this value owned it.
+                    let mut all = self.read_bucket(vol, &bucket)?;
+                    all.extend_from_slice(&new_entries);
+                    let needed = all.len() as u32;
+                    let capacity = self.cfg.contiguous.grown_capacity(needed);
+                    let extent = Self::alloc_and_write(
+                        vol,
+                        capacity as usize * ENTRY_BYTES,
+                        &encode_entries(&all),
+                    )?;
+                    if bucket.owned {
+                        self.owned_blocks -= bucket.extent.len;
+                        self.owned_buckets -= 1;
+                        vol.free(bucket.extent)?;
+                    }
+                    self.owned_buckets += 1;
+                    self.owned_blocks += extent.len;
+                    self.directory.insert(
+                        value,
+                        BucketRef {
+                            extent,
+                            offset: 0,
+                            count: needed,
+                            capacity,
+                            owned: true,
+                        },
+                    );
+                }
+            }
+            self.entries += added as u64;
+        }
+        Ok(())
+    }
+
+    /// `DeleteFromIndex(Days, I)` with in-place updating.
+    ///
+    /// Only buckets whose values were touched by the victim days are
+    /// read and compacted. Buckets that fall below the shrink
+    /// threshold relocate into right-sized extents.
+    pub fn delete_days_in_place(
+        &mut self,
+        vol: &mut Volume,
+        victim_days: &BTreeSet<Day>,
+    ) -> IndexResult<()> {
+        let mut affected: BTreeSet<SearchValue> = BTreeSet::new();
+        for day in victim_days {
+            if let Some(values) = self.day_values.remove(day) {
+                affected.extend(values);
+            }
+            self.days.remove(day);
+        }
+        for value in affected {
+            let bucket = *self
+                .directory
+                .get(&value)
+                .ok_or_else(|| IndexError::Corrupt(format!("day_values names {value} but directory lacks it")))?;
+            let old = self.read_bucket(vol, &bucket)?;
+            let keep: Vec<Entry> = old
+                .iter()
+                .copied()
+                .filter(|e| !victim_days.contains(&e.day))
+                .collect();
+            let removed = (old.len() - keep.len()) as u64;
+            self.entries -= removed;
+            if keep.is_empty() {
+                self.directory.remove(&value);
+                if bucket.owned {
+                    self.owned_blocks -= bucket.extent.len;
+                    self.owned_buckets -= 1;
+                    vol.free(bucket.extent)?;
+                }
+                continue;
+            }
+            let count = keep.len() as u32;
+            if bucket.owned && self.cfg.contiguous.should_shrink(count, bucket.capacity) {
+                let capacity = self.cfg.contiguous.grown_capacity(count);
+                let extent = Self::alloc_and_write(
+                    vol,
+                    capacity as usize * ENTRY_BYTES,
+                    &encode_entries(&keep),
+                )?;
+                self.owned_blocks -= bucket.extent.len;
+                vol.free(bucket.extent)?;
+                self.owned_blocks += extent.len;
+                self.directory.insert(
+                    value,
+                    BucketRef {
+                        extent,
+                        offset: 0,
+                        count,
+                        capacity,
+                        owned: true,
+                    },
+                );
+            } else {
+                // Compact within the bucket: rewrite the survivors.
+                vol.write_at(bucket.extent, bucket.offset, &encode_entries(&keep))?;
+                let slot = self.directory.get_mut(&value).expect("bucket present");
+                slot.count = count;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies this index to fresh extents with the same layout — the
+    /// copy half of *simple shadow updating* (`CP` in the cost model).
+    ///
+    /// On I/O failure the partial copy's extents are released before
+    /// the error is returned.
+    pub fn clone_shadow(&self, vol: &mut Volume, label: impl Into<String>) -> IndexResult<Self> {
+        let label = label.into();
+        match self.clone_shadow_inner(vol, label) {
+            Ok(new) => Ok(new),
+            Err(unwound) => {
+                let (partial, e) = *unwound;
+                let _ = partial.release(vol);
+                Err(e)
+            }
+        }
+    }
+
+    fn clone_shadow_inner(
+        &self,
+        vol: &mut Volume,
+        label: String,
+    ) -> Result<Self, Box<(Self, IndexError)>> {
+        let mut new = ConstituentIndex::new_empty(label, self.cfg);
+        new.days = self.days.clone();
+        new.day_values = self.day_values.clone();
+        new.entries = self.entries;
+        macro_rules! try_or_unwind {
+            ($expr:expr) => {
+                match $expr {
+                    Ok(v) => v,
+                    Err(e) => return Err(Box::new((new, e.into()))),
+                }
+            };
+        }
+        // Copy the base extent wholesale (dead space included: a
+        // simple shadow is a byte copy, it does not compact).
+        if let Some(base) = self.base {
+            let bytes = try_or_unwind!(vol.read_at(base.extent, 0, base.used_bytes));
+            let extent = try_or_unwind!(Self::alloc_and_write(
+                vol,
+                base.used_bytes.max(1),
+                &bytes
+            ));
+            new.base = Some(BaseExtent {
+                extent,
+                used_bytes: base.used_bytes,
+            });
+        }
+        for (value, bucket) in self.directory.iter_ordered() {
+            if bucket.owned {
+                let entries = try_or_unwind!(self.read_bucket(vol, bucket));
+                let extent = try_or_unwind!(Self::alloc_and_write(
+                    vol,
+                    bucket.capacity as usize * ENTRY_BYTES,
+                    &encode_entries(&entries)
+                ));
+                new.owned_buckets += 1;
+                new.owned_blocks += extent.len;
+                new.directory.insert(
+                    value.clone(),
+                    BucketRef {
+                        extent,
+                        offset: 0,
+                        count: bucket.count,
+                        capacity: bucket.capacity,
+                        owned: true,
+                    },
+                );
+            } else {
+                let base = new.base.as_ref().expect("unowned bucket implies base");
+                new.directory.insert(
+                    value.clone(),
+                    BucketRef {
+                        extent: base.extent,
+                        ..*bucket
+                    },
+                );
+            }
+        }
+        Ok(new)
+    }
+
+    /// The *packed shadow* smart copy (`SMCP` in the cost model):
+    /// streams the old index, drops entries of `drop_days`, merges the
+    /// entries of `add`, and writes a fresh packed index.
+    pub fn smart_copy(
+        &self,
+        vol: &mut Volume,
+        label: impl Into<String>,
+        drop_days: &BTreeSet<Day>,
+        add: &[&DayBatch],
+    ) -> IndexResult<Self> {
+        let mut map = self.read_all(vol)?;
+        for entries in map.values_mut() {
+            entries.retain(|e| !drop_days.contains(&e.day));
+        }
+        map.retain(|_, entries| !entries.is_empty());
+        let mut days: BTreeSet<Day> = self.days.difference(drop_days).copied().collect();
+        for batch in add {
+            days.insert(batch.day);
+            for record in &batch.records {
+                for (value, aux) in &record.values {
+                    map.entry(value.clone())
+                        .or_default()
+                        .push(Entry::new(record.id, *aux, batch.day));
+                }
+            }
+        }
+        Self::build_from_map(label, self.cfg, vol, map, days)
+    }
+
+    /// `IndexProbe` on this constituent: all entries for `value`.
+    pub fn probe(&self, vol: &mut Volume, value: &SearchValue) -> IndexResult<Vec<Entry>> {
+        match self.directory.get(value) {
+            Some(bucket) => self.read_bucket(vol, bucket),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// `TimedIndexProbe` on this constituent: entries for `value`
+    /// inserted within `range`.
+    pub fn probe_in(
+        &self,
+        vol: &mut Volume,
+        value: &SearchValue,
+        range: TimeRange,
+    ) -> IndexResult<Vec<Entry>> {
+        let mut entries = self.probe(vol, value)?;
+        entries.retain(|e| range.contains(e.day));
+        Ok(entries)
+    }
+
+    /// `SegmentScan` on this constituent: every entry, reading the
+    /// base extent sequentially (one seek) plus each private extent.
+    pub fn scan(&self, vol: &mut Volume) -> IndexResult<Vec<Entry>> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        let base_buf = match (&self.base, self.has_base_residents()) {
+            (Some(base), true) => Some(vol.read_at(base.extent, 0, base.used_bytes)?),
+            _ => None,
+        };
+        for (_, bucket) in self.directory.iter_ordered() {
+            if bucket.owned {
+                out.extend(self.read_bucket(vol, bucket)?);
+            } else {
+                let buf = base_buf
+                    .as_ref()
+                    .ok_or_else(|| IndexError::Corrupt("unowned bucket without base".into()))?;
+                out.extend(decode_entries(
+                    &buf[bucket.offset..],
+                    bucket.count as usize,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `TimedSegmentScan` on this constituent.
+    pub fn scan_in(&self, vol: &mut Volume, range: TimeRange) -> IndexResult<Vec<Entry>> {
+        let mut entries = self.scan(vol)?;
+        entries.retain(|e| range.contains(e.day));
+        Ok(entries)
+    }
+
+    /// Reads every bucket into a value → entries map (used by smart
+    /// copies and consistency checks).
+    pub fn read_all(&self, vol: &mut Volume) -> IndexResult<BTreeMap<SearchValue, Vec<Entry>>> {
+        let mut map = BTreeMap::new();
+        let base_buf = match (&self.base, self.has_base_residents()) {
+            (Some(base), true) => Some(vol.read_at(base.extent, 0, base.used_bytes)?),
+            _ => None,
+        };
+        for (value, bucket) in self.directory.iter_ordered() {
+            let entries = if bucket.owned {
+                self.read_bucket(vol, bucket)?
+            } else {
+                let buf = base_buf
+                    .as_ref()
+                    .ok_or_else(|| IndexError::Corrupt("unowned bucket without base".into()))?;
+                decode_entries(&buf[bucket.offset..], bucket.count as usize)
+            };
+            map.insert(value.clone(), entries);
+        }
+        Ok(map)
+    }
+
+    /// Allocates `capacity_bytes` and writes `bytes` at its start,
+    /// freeing the extent again if the write fails so an I/O error
+    /// never leaks space.
+    fn alloc_and_write(
+        vol: &mut Volume,
+        capacity_bytes: usize,
+        bytes: &[u8],
+    ) -> IndexResult<Extent> {
+        let extent = vol.alloc_bytes(capacity_bytes)?;
+        if let Err(e) = vol.write_at(extent, 0, bytes) {
+            let _ = vol.free(extent);
+            return Err(e.into());
+        }
+        Ok(extent)
+    }
+
+    fn read_bucket(&self, vol: &mut Volume, bucket: &BucketRef) -> IndexResult<Vec<Entry>> {
+        let bytes = vol.read_at(
+            bucket.extent,
+            bucket.offset,
+            bucket.count as usize * ENTRY_BYTES,
+        )?;
+        Ok(decode_entries(&bytes, bucket.count as usize))
+    }
+
+    /// Whether any bucket still lives inside the base extent.
+    fn has_base_residents(&self) -> bool {
+        self.owned_buckets < self.directory.len()
+    }
+
+    /// Frees every extent this index holds. Must be called instead of
+    /// simply dropping the value, or the volume's space accounting
+    /// will show a leak.
+    pub fn release(self, vol: &mut Volume) -> IndexResult<()> {
+        if let Some(base) = self.base {
+            vol.free(base.extent)?;
+        }
+        for (_, bucket) in self.directory.iter_ordered() {
+            if bucket.owned {
+                vol.free(bucket.extent)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Display label (e.g. `"I1"`, `"Temp"`, `"T3"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Renames the index (the algorithms' `Rename T as I_j`).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The days covered by this index, ascending.
+    pub fn days(&self) -> &BTreeSet<Day> {
+        &self.days
+    }
+
+    /// Number of days covered.
+    pub fn len_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Oldest and newest covered day, if any.
+    pub fn day_span(&self) -> Option<(Day, Day)> {
+        match (self.days.first(), self.days.last()) {
+            (Some(&lo), Some(&hi)) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Live entries.
+    pub fn entry_count(&self) -> u64 {
+        self.entries
+    }
+
+    /// Distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Blocks of disk space this index occupies (base + private
+    /// extents, including slack and dead space).
+    pub fn blocks(&self) -> u64 {
+        self.base.map_or(0, |b| b.extent.len) + self.owned_blocks
+    }
+
+    /// Byte-granularity footprint: base bytes in use (live or dead)
+    /// plus every private bucket's *capacity*. This is the `S'`
+    /// measure at byte resolution — the CONTIGUOUS slack without the
+    /// block-rounding noise that dominates at small scales.
+    pub fn capacity_bytes(&self) -> u64 {
+        let mut bytes = self.base.map_or(0, |b| b.used_bytes as u64);
+        for (_, bucket) in self.directory.iter_ordered() {
+            if bucket.owned {
+                bytes += bucket.capacity as u64 * ENTRY_BYTES as u64;
+            }
+        }
+        bytes
+    }
+
+    /// Bytes a perfectly packed copy of this index would occupy (`S`).
+    pub fn packed_bytes(&self) -> u64 {
+        self.entries * ENTRY_BYTES as u64
+    }
+
+    /// Whether the index is packed (single contiguous extent, no
+    /// slack, no relocated buckets).
+    pub fn is_packed(&self) -> bool {
+        self.owned_buckets == 0
+    }
+
+    /// Exhaustive self-check: decodes every bucket and validates entry
+    /// counts, day coverage, and the `day_values` side table. For
+    /// tests and the driver's verification mode.
+    pub fn check_consistency(&self, vol: &mut Volume) -> IndexResult<()> {
+        let map = self.read_all(vol)?;
+        let mut total = 0u64;
+        for (value, entries) in &map {
+            let bucket = self
+                .directory
+                .get(value)
+                .ok_or_else(|| IndexError::Corrupt("read_all value missing".into()))?;
+            if bucket.count as usize != entries.len() {
+                return Err(IndexError::Corrupt(format!(
+                    "bucket {value}: count {} != decoded {}",
+                    bucket.count,
+                    entries.len()
+                )));
+            }
+            if bucket.capacity < bucket.count {
+                return Err(IndexError::Corrupt(format!(
+                    "bucket {value}: capacity below count"
+                )));
+            }
+            for e in entries {
+                total += 1;
+                if !self.days.contains(&e.day) {
+                    return Err(IndexError::Corrupt(format!(
+                        "entry {e} has day outside the index time-set"
+                    )));
+                }
+                let listed = self
+                    .day_values
+                    .get(&e.day)
+                    .is_some_and(|vals| vals.contains(value));
+                if !listed {
+                    return Err(IndexError::Corrupt(format!(
+                        "entry {e} for {value} missing from day_values"
+                    )));
+                }
+            }
+        }
+        if total != self.entries {
+            return Err(IndexError::Corrupt(format!(
+                "entry counter {} != decoded total {total}",
+                self.entries
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, RecordId};
+
+    fn batch(day: u32, specs: &[(u64, &[&str])]) -> DayBatch {
+        DayBatch::new(
+            Day(day),
+            specs
+                .iter()
+                .map(|(id, words)| {
+                    Record::with_values(
+                        RecordId(*id),
+                        words.iter().map(|w| SearchValue::from(*w)),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn cfg() -> IndexConfig {
+        IndexConfig::default()
+    }
+
+    #[test]
+    fn build_packed_basics() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["war", "peace"]), (2, &["war"])]);
+        let b2 = batch(2, &[(3, &["love"])]);
+        let idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
+        assert!(idx.is_packed());
+        assert_eq!(idx.entry_count(), 4);
+        assert_eq!(idx.len_days(), 2);
+        assert_eq!(idx.distinct_values(), 3);
+        idx.check_consistency(&mut vol).unwrap();
+        // Probe.
+        let war = idx.probe(&mut vol, &SearchValue::from("war")).unwrap();
+        assert_eq!(war.len(), 2);
+        assert!(war.iter().all(|e| e.day == Day(1)));
+        // Scan sees everything.
+        let all = idx.scan(&mut vol).unwrap();
+        assert_eq!(all.len(), 4);
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn packed_scan_costs_one_seek() {
+        let mut vol = Volume::default();
+        let records: Vec<Record> = (0..500)
+            .map(|i| {
+                Record::with_values(RecordId(i), vec![SearchValue::from_u64(i % 50)])
+            })
+            .collect();
+        let b = DayBatch::new(Day(1), records);
+        let idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b]).unwrap();
+        let before = vol.stats();
+        idx.scan(&mut vol).unwrap();
+        let d = vol.stats().since(&before);
+        assert_eq!(d.seeks, 1, "packed scan is one sequential read");
+        idx.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn add_in_place_unpacks_and_grows() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["war"])]);
+        let mut idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1]).unwrap();
+        assert!(idx.is_packed());
+        let b2 = batch(2, &[(2, &["war"]), (3, &["new"])]);
+        idx.add_batches_in_place(&mut vol, &[&b2]).unwrap();
+        assert!(!idx.is_packed());
+        assert_eq!(idx.entry_count(), 3);
+        assert_eq!(idx.len_days(), 2);
+        idx.check_consistency(&mut vol).unwrap();
+        let war = idx.probe(&mut vol, &SearchValue::from("war")).unwrap();
+        assert_eq!(war.len(), 2);
+        // Unpacked space exceeds the packed minimum: slack exists.
+        let packed_min = ConstituentIndex::build_packed(
+            "ref",
+            cfg(),
+            &mut vol,
+            &[&b1, &b2],
+        )
+        .unwrap();
+        assert!(idx.blocks() >= packed_min.blocks());
+        packed_min.release(&mut vol).unwrap();
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn add_to_empty_index() {
+        let mut vol = Volume::default();
+        let mut idx = ConstituentIndex::new_empty("Temp", cfg());
+        assert_eq!(idx.entry_count(), 0);
+        let b = batch(5, &[(1, &["x", "y"])]);
+        idx.add_batches_in_place(&mut vol, &[&b]).unwrap();
+        assert_eq!(idx.entry_count(), 2);
+        assert_eq!(idx.days().first(), Some(&Day(5)));
+        idx.check_consistency(&mut vol).unwrap();
+        idx.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn growth_relocates_with_factor() {
+        let mut vol = Volume::default();
+        let mut idx = ConstituentIndex::new_empty("I", cfg());
+        // Fill one value past its initial capacity repeatedly.
+        for day in 1..=20u32 {
+            let b = batch(day, &[(day as u64, &["hot"])]);
+            idx.add_batches_in_place(&mut vol, &[&b]).unwrap();
+            idx.check_consistency(&mut vol).unwrap();
+        }
+        let hot = idx.probe(&mut vol, &SearchValue::from("hot")).unwrap();
+        assert_eq!(hot.len(), 20);
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0, "relocations freed old extents");
+    }
+
+    #[test]
+    fn delete_days_removes_only_victims() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["war", "red"])]);
+        let b2 = batch(2, &[(2, &["war", "blue"])]);
+        let mut idx =
+            ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
+        let victims: BTreeSet<Day> = [Day(1)].into();
+        idx.delete_days_in_place(&mut vol, &victims).unwrap();
+        assert_eq!(idx.entry_count(), 2);
+        assert_eq!(idx.len_days(), 1);
+        assert!(idx.probe(&mut vol, &SearchValue::from("red")).unwrap().is_empty());
+        let war = idx.probe(&mut vol, &SearchValue::from("war")).unwrap();
+        assert_eq!(war.len(), 1);
+        assert_eq!(war[0].day, Day(2));
+        idx.check_consistency(&mut vol).unwrap();
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_index() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["a"])]);
+        let mut idx = ConstituentIndex::build_packed("I", cfg(), &mut vol, &[&b1]).unwrap();
+        idx.delete_days_in_place(&mut vol, &[Day(1)].into()).unwrap();
+        assert_eq!(idx.entry_count(), 0);
+        assert_eq!(idx.distinct_values(), 0);
+        assert!(idx.scan(&mut vol).unwrap().is_empty());
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn shrink_reclaims_space_after_heavy_deletes() {
+        let mut vol = Volume::default();
+        let mut idx = ConstituentIndex::new_empty("I", cfg());
+        // 300 entries per day for one hot value so the bucket spans
+        // many blocks (shrinking below one block is invisible).
+        for day in 1..=32u32 {
+            let records: Vec<Record> = (0..300)
+                .map(|i| {
+                    Record::with_values(
+                        RecordId(day as u64 * 1000 + i),
+                        vec![SearchValue::from("k")],
+                    )
+                })
+                .collect();
+            let b = DayBatch::new(Day(day), records);
+            idx.add_batches_in_place(&mut vol, &[&b]).unwrap();
+        }
+        let before = idx.blocks();
+        let victims: BTreeSet<Day> = (1..=30).map(Day).collect();
+        idx.delete_days_in_place(&mut vol, &victims).unwrap();
+        idx.check_consistency(&mut vol).unwrap();
+        assert!(
+            idx.blocks() < before,
+            "shrink should return blocks: {} vs {before}",
+            idx.blocks()
+        );
+        assert_eq!(idx.entry_count(), 600);
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn clone_shadow_is_faithful() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["war", "red"]), (2, &["war"])]);
+        let mut idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1]).unwrap();
+        let b2 = batch(2, &[(3, &["war"])]);
+        idx.add_batches_in_place(&mut vol, &[&b2]).unwrap();
+        let shadow = idx.clone_shadow(&mut vol, "I1'").unwrap();
+        assert_eq!(shadow.entry_count(), idx.entry_count());
+        assert_eq!(shadow.days(), idx.days());
+        assert_eq!(shadow.blocks(), idx.blocks(), "same layout, same size");
+        shadow.check_consistency(&mut vol).unwrap();
+        let a = idx.scan(&mut vol).unwrap();
+        let mut b = shadow.scan(&mut vol).unwrap();
+        let mut a2 = a.clone();
+        a2.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a2, b);
+        idx.release(&mut vol).unwrap();
+        shadow.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn smart_copy_expires_merges_and_packs() {
+        let mut vol = Volume::default();
+        let b1 = batch(1, &[(1, &["old"])]);
+        let b2 = batch(2, &[(2, &["war"])]);
+        let mut idx =
+            ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
+        // Unpack it first so the smart copy has real work to do.
+        let b3 = batch(3, &[(3, &["war"])]);
+        idx.add_batches_in_place(&mut vol, &[&b3]).unwrap();
+        assert!(!idx.is_packed());
+        let b4 = batch(4, &[(4, &["war", "fresh"])]);
+        let packed = idx
+            .smart_copy(&mut vol, "I1+", &[Day(1)].into(), &[&b4])
+            .unwrap();
+        assert!(packed.is_packed());
+        assert_eq!(packed.len_days(), 3); // days 2, 3, 4
+        assert!(packed
+            .probe(&mut vol, &SearchValue::from("old"))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            packed
+                .probe(&mut vol, &SearchValue::from("war"))
+                .unwrap()
+                .len(),
+            3
+        );
+        packed.check_consistency(&mut vol).unwrap();
+        idx.release(&mut vol).unwrap();
+        packed.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn timed_probe_and_scan_filter() {
+        let mut vol = Volume::default();
+        let batches: Vec<DayBatch> = (1..=5)
+            .map(|d| batch(d, &[(d as u64, &["w"])]))
+            .collect();
+        let refs: Vec<&DayBatch> = batches.iter().collect();
+        let idx = ConstituentIndex::build_packed("I", cfg(), &mut vol, &refs).unwrap();
+        let r = TimeRange::between(Day(2), Day(4));
+        let probed = idx.probe_in(&mut vol, &SearchValue::from("w"), r).unwrap();
+        assert_eq!(probed.len(), 3);
+        let scanned = idx.scan_in(&mut vol, r).unwrap();
+        assert_eq!(scanned.len(), 3);
+        assert!(scanned.iter().all(|e| r.contains(e.day)));
+        idx.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn empty_day_is_still_covered() {
+        let mut vol = Volume::default();
+        let b = DayBatch::empty(Day(7));
+        let idx = ConstituentIndex::build_packed("I", cfg(), &mut vol, &[&b]).unwrap();
+        assert_eq!(idx.len_days(), 1);
+        assert_eq!(idx.entry_count(), 0);
+        assert!(idx.scan(&mut vol).unwrap().is_empty());
+        idx.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn hash_directory_variant_matches() {
+        let mut vol = Volume::default();
+        let hash_cfg = IndexConfig {
+            directory: DirectoryKind::Hash,
+            ..Default::default()
+        };
+        let b1 = batch(1, &[(1, &["x", "y"]), (2, &["x"])]);
+        let idx = ConstituentIndex::build_packed("I", hash_cfg, &mut vol, &[&b1]).unwrap();
+        assert_eq!(
+            idx.probe(&mut vol, &SearchValue::from("x")).unwrap().len(),
+            2
+        );
+        assert_eq!(idx.scan(&mut vol).unwrap().len(), 3);
+        idx.check_consistency(&mut vol).unwrap();
+        idx.release(&mut vol).unwrap();
+    }
+}

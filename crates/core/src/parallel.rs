@@ -1,0 +1,201 @@
+//! Multi-disk parallelism (the paper's Section 8 future work).
+//!
+//! "If `n` matches the number of disks, indexing can be parallelized
+//! easily. Also building new constituent indices on separate disks
+//! avoids contention. Hence wave indices will have several advantages
+//! over monolithic indices when we use multiple disks."
+//!
+//! The wave index's queries decompose per constituent, so the elapsed
+//! time on a `k`-disk array is the *maximum over disks* of the summed
+//! constituent times placed on each disk, instead of the single-disk
+//! sum. This module measures per-constituent access times on the
+//! simulated disk and evaluates placements.
+
+use wave_storage::Volume;
+
+use crate::entry::Entry;
+use crate::error::IndexResult;
+use crate::query::TimeRange;
+use crate::record::SearchValue;
+use crate::wave::WaveIndex;
+
+/// How constituent slots map onto disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Slot `j` lives on disk `j mod k`.
+    RoundRobin {
+        /// Number of disks in the array.
+        disks: usize,
+    },
+}
+
+impl Placement {
+    /// Disk for slot `j`.
+    pub fn disk_of(&self, slot: usize) -> usize {
+        match *self {
+            Placement::RoundRobin { disks } => slot % disks,
+        }
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        match *self {
+            Placement::RoundRobin { disks } => disks,
+        }
+    }
+}
+
+/// A query's cost broken down per constituent slot.
+#[derive(Debug)]
+pub struct DetailedQuery {
+    /// Matching entries (same as the plain query).
+    pub entries: Vec<Entry>,
+    /// `(slot, simulated seconds)` for each accessed constituent.
+    pub per_slot: Vec<(usize, f64)>,
+}
+
+impl DetailedQuery {
+    /// Elapsed seconds on one disk: the plain sum.
+    pub fn serial_seconds(&self) -> f64 {
+        self.per_slot.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Elapsed seconds when constituents are spread per `placement`
+    /// and disks work in parallel: the busiest disk bounds the query.
+    pub fn parallel_seconds(&self, placement: Placement) -> f64 {
+        let mut per_disk = vec![0.0f64; placement.disks()];
+        for &(slot, secs) in &self.per_slot {
+            per_disk[placement.disk_of(slot)] += secs;
+        }
+        per_disk.into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// `TimedIndexProbe` with per-constituent timing.
+pub fn probe_detailed(
+    wave: &WaveIndex,
+    vol: &mut Volume,
+    value: &SearchValue,
+    range: TimeRange,
+) -> IndexResult<DetailedQuery> {
+    let mut entries = Vec::new();
+    let mut per_slot = Vec::new();
+    for (slot, idx) in wave.iter() {
+        let Some((lo, hi)) = idx.day_span() else {
+            continue;
+        };
+        if !range.intersects_span(lo, hi) {
+            continue;
+        }
+        let before = vol.stats();
+        entries.extend(idx.probe_in(vol, value, range)?);
+        per_slot.push((slot, vol.stats().since(&before).sim_seconds));
+    }
+    Ok(DetailedQuery { entries, per_slot })
+}
+
+/// `TimedSegmentScan` with per-constituent timing.
+pub fn scan_detailed(
+    wave: &WaveIndex,
+    vol: &mut Volume,
+    range: TimeRange,
+) -> IndexResult<DetailedQuery> {
+    let mut entries = Vec::new();
+    let mut per_slot = Vec::new();
+    for (slot, idx) in wave.iter() {
+        let Some((lo, hi)) = idx.day_span() else {
+            continue;
+        };
+        if !range.intersects_span(lo, hi) {
+            continue;
+        }
+        let before = vol.stats();
+        entries.extend(idx.scan_in(vol, range)?);
+        per_slot.push((slot, vol.stats().since(&before).sim_seconds));
+    }
+    Ok(DetailedQuery { entries, per_slot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{ConstituentIndex, IndexConfig};
+    use crate::record::{Day, DayBatch, Record, RecordId};
+
+    fn wave_with_n(vol: &mut Volume, n: usize, records_per_day: u64) -> WaveIndex {
+        let mut wave = WaveIndex::with_slots(n);
+        for j in 0..n {
+            let day = Day(j as u32 + 1);
+            let records = (0..records_per_day)
+                .map(|i| {
+                    Record::with_values(
+                        RecordId(day.0 as u64 * 1000 + i),
+                        [SearchValue::from("k")],
+                    )
+                })
+                .collect();
+            let batch = DayBatch::new(day, records);
+            let idx = ConstituentIndex::build_packed(
+                format!("I{}", j + 1),
+                IndexConfig::default(),
+                vol,
+                &[&batch],
+            )
+            .unwrap();
+            wave.install(j, idx);
+        }
+        wave
+    }
+
+    #[test]
+    fn detailed_probe_matches_plain_results() {
+        let mut vol = Volume::default();
+        let wave = wave_with_n(&mut vol, 4, 10);
+        let detailed =
+            probe_detailed(&wave, &mut vol, &SearchValue::from("k"), TimeRange::all()).unwrap();
+        let plain = wave
+            .index_probe(&mut vol, &SearchValue::from("k"))
+            .unwrap();
+        assert_eq!(detailed.entries.len(), plain.entries.len());
+        assert_eq!(detailed.per_slot.len(), 4);
+        assert!(detailed.serial_seconds() > 0.0);
+    }
+
+    #[test]
+    fn parallelism_divides_query_time() {
+        let mut vol = Volume::default();
+        let wave = wave_with_n(&mut vol, 4, 200);
+        let q = scan_detailed(&wave, &mut vol, TimeRange::all()).unwrap();
+        let serial = q.serial_seconds();
+        let two = q.parallel_seconds(Placement::RoundRobin { disks: 2 });
+        let four = q.parallel_seconds(Placement::RoundRobin { disks: 4 });
+        assert!(two < serial, "two disks beat one: {two} vs {serial}");
+        assert!(four < two, "four disks beat two: {four} vs {two}");
+        // With n == disks, elapsed equals the slowest single
+        // constituent.
+        let slowest = q
+            .per_slot
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(0.0f64, f64::max);
+        assert!((four - slowest).abs() < 1e-12);
+        wave_cleanup(wave, &mut vol);
+    }
+
+    #[test]
+    fn uneven_placement_bounds_by_busiest_disk() {
+        let q = DetailedQuery {
+            entries: Vec::new(),
+            per_slot: vec![(0, 3.0), (1, 1.0), (2, 1.0)],
+        };
+        // Slots 0 and 2 share disk 0: 3 + 1 = 4 > disk 1's 1.
+        let t = q.parallel_seconds(Placement::RoundRobin { disks: 2 });
+        assert_eq!(t, 4.0);
+        assert_eq!(q.serial_seconds(), 5.0);
+    }
+
+    fn wave_cleanup(mut wave: WaveIndex, vol: &mut Volume) {
+        wave.release_all(vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Time ranges for the timed access operations of Section 2.2.
+
+use crate::record::Day;
+
+/// An inclusive day range `[lo, hi]`, with `None` meaning unbounded
+/// (the paper's `-∞` / `∞`).
+///
+/// `TimedIndexProbe(Θ, T1, T2, s)` and `TimedSegmentScan(Θ, T1, T2)`
+/// take a `TimeRange`; the untimed `IndexProbe` and `SegmentScan` are
+/// the [`TimeRange::all`] special case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeRange {
+    /// Earliest day included, or unbounded.
+    pub lo: Option<Day>,
+    /// Latest day included, or unbounded.
+    pub hi: Option<Day>,
+}
+
+impl TimeRange {
+    /// The unbounded range: every day qualifies.
+    pub fn all() -> Self {
+        TimeRange { lo: None, hi: None }
+    }
+
+    /// The inclusive range `[lo, hi]`.
+    pub fn between(lo: Day, hi: Day) -> Self {
+        TimeRange {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// Days `>= lo`.
+    pub fn since(lo: Day) -> Self {
+        TimeRange {
+            lo: Some(lo),
+            hi: None,
+        }
+    }
+
+    /// Whether `day` falls inside the range.
+    pub fn contains(&self, day: Day) -> bool {
+        self.lo.is_none_or(|lo| day >= lo) && self.hi.is_none_or(|hi| day <= hi)
+    }
+
+    /// Whether any day of `days` (an index's time-set, given as min and
+    /// max) falls inside the range — i.e. whether the constituent
+    /// index must be accessed at all.
+    pub fn intersects_span(&self, min_day: Day, max_day: Day) -> bool {
+        self.lo.is_none_or(|lo| max_day >= lo) && self.hi.is_none_or(|hi| min_day <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_everything() {
+        let r = TimeRange::all();
+        assert!(r.contains(Day(0)));
+        assert!(r.contains(Day(u32::MAX)));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let r = TimeRange::between(Day(5), Day(10));
+        assert!(r.contains(Day(5)));
+        assert!(r.contains(Day(10)));
+        assert!(!r.contains(Day(4)));
+        assert!(!r.contains(Day(11)));
+    }
+
+    #[test]
+    fn since_has_no_upper_bound() {
+        let r = TimeRange::since(Day(7));
+        assert!(!r.contains(Day(6)));
+        assert!(r.contains(Day(1000)));
+    }
+
+    #[test]
+    fn span_intersection() {
+        let r = TimeRange::between(Day(5), Day(10));
+        assert!(r.intersects_span(Day(1), Day(5)));
+        assert!(r.intersects_span(Day(10), Day(20)));
+        assert!(r.intersects_span(Day(6), Day(8)));
+        assert!(!r.intersects_span(Day(1), Day(4)));
+        assert!(!r.intersects_span(Day(11), Day(20)));
+        assert!(TimeRange::all().intersects_span(Day(1), Day(2)));
+    }
+}

@@ -1,0 +1,296 @@
+//! The data model of Section 2: records with a multi-valued search
+//! field, grouped into daily batches.
+
+use std::borrow::Borrow;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A day number. Days are the paper's time intervals; they need not be
+/// 24 hours, but they are consecutive integers starting at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Day(pub u32);
+
+impl Day {
+    /// The day `delta` days after `self`.
+    pub fn plus(self, delta: u32) -> Day {
+        Day(self.0 + delta)
+    }
+
+    /// The day `delta` days before `self`, or `None` before day zero.
+    pub fn minus(self, delta: u32) -> Option<Day> {
+        self.0.checked_sub(delta).map(Day)
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Identifier of a record (the pointer `p_i` of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A value of the search field `F` — e.g. a word of a Netnews article
+/// or a `SUPPKEY`. Stored as raw bytes so both text and integer keys
+/// share one representation and one ordering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SearchValue(Vec<u8>);
+
+impl SearchValue {
+    /// Builds a value from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        SearchValue(bytes.into())
+    }
+
+    /// Builds a value from an integer key, big-endian so byte order
+    /// matches numeric order (needed by the B+Tree directory).
+    pub fn from_u64(key: u64) -> Self {
+        SearchValue(key.to_be_bytes().to_vec())
+    }
+
+    /// The raw bytes of the value.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for SearchValue {
+    fn from(s: &str) -> Self {
+        SearchValue(s.as_bytes().to_vec())
+    }
+}
+
+impl From<u64> for SearchValue {
+    fn from(k: u64) -> Self {
+        SearchValue::from_u64(k)
+    }
+}
+
+impl Borrow<[u8]> for SearchValue {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Display for SearchValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| c.is_ascii_graphic()) => write!(f, "{s}"),
+            _ => {
+                for b in &self.0 {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One record: an identifier plus the values of its search field.
+///
+/// Records may carry several values for `F` (a title record may have
+/// values "War" and "Peace"); each value pairs with the associated
+/// information `a_i` stored alongside the pointer in the bucket (for
+/// IR, the byte offset of the value in the record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Identifier (bucket entries point at this).
+    pub id: RecordId,
+    /// `(value, associated info)` pairs for field `F`.
+    pub values: Vec<(SearchValue, u64)>,
+}
+
+impl Record {
+    /// Convenience constructor for a record whose values carry their
+    /// position as associated info.
+    pub fn with_values(id: RecordId, values: impl IntoIterator<Item = SearchValue>) -> Self {
+        Record {
+            id,
+            values: values
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v, i as u64))
+                .collect(),
+        }
+    }
+
+    /// Number of index entries this record produces.
+    pub fn entry_count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// All records generated on one day — the unit the paper indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayBatch {
+    /// Day these records arrived.
+    pub day: Day,
+    /// The records of the day.
+    pub records: Vec<Record>,
+}
+
+impl DayBatch {
+    /// Creates a batch.
+    pub fn new(day: Day, records: Vec<Record>) -> Self {
+        DayBatch { day, records }
+    }
+
+    /// An empty batch for `day` (days with no arrivals are legal).
+    pub fn empty(day: Day) -> Self {
+        DayBatch {
+            day,
+            records: Vec::new(),
+        }
+    }
+
+    /// Total index entries the batch produces.
+    pub fn entry_count(&self) -> usize {
+        self.records.iter().map(Record::entry_count).sum()
+    }
+}
+
+/// The batches a scheme may still need, keyed by day.
+///
+/// Reindexing schemes rebuild constituent indexes from past days'
+/// data, so the driver retains each batch until no scheme could need
+/// it again (at most the soft-window length).
+#[derive(Debug, Default, Clone)]
+pub struct DayArchive {
+    batches: BTreeMap<Day, DayBatch>,
+}
+
+impl DayArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a batch, replacing any previous batch for that day.
+    pub fn insert(&mut self, batch: DayBatch) {
+        self.batches.insert(batch.day, batch);
+    }
+
+    /// Fetches the batch for `day`.
+    pub fn get(&self, day: Day) -> Option<&DayBatch> {
+        self.batches.get(&day)
+    }
+
+    /// Drops every batch strictly older than `day`.
+    pub fn prune_before(&mut self, day: Day) {
+        self.batches = self.batches.split_off(&day);
+    }
+
+    /// Oldest retained day, if any.
+    pub fn oldest(&self) -> Option<Day> {
+        self.batches.keys().next().copied()
+    }
+
+    /// Newest retained day, if any.
+    pub fn newest(&self) -> Option<Day> {
+        self.batches.keys().next_back().copied()
+    }
+
+    /// Number of retained batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the archive holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Iterates batches in day order.
+    pub fn iter(&self) -> impl Iterator<Item = &DayBatch> {
+        self.batches.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_arithmetic() {
+        assert_eq!(Day(10).plus(5), Day(15));
+        assert_eq!(Day(10).minus(3), Some(Day(7)));
+        assert_eq!(Day(2).minus(5), None);
+    }
+
+    #[test]
+    fn search_value_orderings_agree() {
+        // Big-endian integer encoding must sort like the integers.
+        let a = SearchValue::from_u64(5);
+        let b = SearchValue::from_u64(300);
+        assert!(a < b);
+        let s1 = SearchValue::from("apple");
+        let s2 = SearchValue::from("banana");
+        assert!(s1 < s2);
+    }
+
+    #[test]
+    fn search_value_display() {
+        assert_eq!(SearchValue::from("war").to_string(), "war");
+        // Binary values fall back to hex.
+        let v = SearchValue::from_bytes(vec![0u8, 1, 255]);
+        assert_eq!(v.to_string(), "0001ff");
+    }
+
+    #[test]
+    fn record_entry_count_is_value_count() {
+        let r = Record::with_values(
+            RecordId(1),
+            vec![SearchValue::from("war"), SearchValue::from("peace")],
+        );
+        assert_eq!(r.entry_count(), 2);
+        assert_eq!(r.values[1].1, 1, "positional aux info");
+    }
+
+    #[test]
+    fn batch_entry_count_sums_records() {
+        let b = DayBatch::new(
+            Day(1),
+            vec![
+                Record::with_values(RecordId(1), vec![SearchValue::from("a")]),
+                Record::with_values(
+                    RecordId(2),
+                    vec![SearchValue::from("a"), SearchValue::from("b")],
+                ),
+            ],
+        );
+        assert_eq!(b.entry_count(), 3);
+        assert_eq!(DayBatch::empty(Day(2)).entry_count(), 0);
+    }
+
+    #[test]
+    fn archive_prunes_strictly_before() {
+        let mut a = DayArchive::new();
+        for d in 1..=5 {
+            a.insert(DayBatch::empty(Day(d)));
+        }
+        a.prune_before(Day(3));
+        assert_eq!(a.oldest(), Some(Day(3)));
+        assert_eq!(a.newest(), Some(Day(5)));
+        assert_eq!(a.len(), 3);
+        assert!(a.get(Day(2)).is_none());
+        assert!(a.get(Day(3)).is_some());
+    }
+}

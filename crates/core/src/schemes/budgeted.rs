@@ -1,0 +1,188 @@
+//! Budgeted WATA: the `n/(n−1)`-competitive online variant.
+//!
+//! Section 3.3 notes that Kleinberg et al. [KMRV97] improved WATA*'s
+//! competitive ratio from 2 to `n/(n−1)` by assuming the algorithm
+//! knows, ahead of time, the maximum index size `M` ever required for
+//! a window. This module implements a budgeted scheme in that spirit
+//! (reconstructed from the property the paper states, since [KMRV97]
+//! gives no pseudocode here):
+//!
+//! * every fully-expired cluster is dropped immediately (eager drop,
+//!   lazy per-entry deletion — still a WATA-family scheme);
+//! * the growing cluster is closed, and a new one started, as soon as
+//!   adding the next day would push it past the budget
+//!   `B = M / (n − 1)` — provided a constituent slot is free.
+//!
+//! Why that yields the ratio: expired days always form a prefix of the
+//! day sequence, so after eager drops the *waste* (expired days still
+//! stored) lives inside the single cluster containing the oldest
+//! window day, which the budget caps at `B`. Total ≤ `M + B =
+//! M · n/(n−1)`. Day granularity adds at most one day's size, and a
+//! *forced* growth (budget exceeded with no free slot) can exceed the
+//! bound transiently — both are surfaced in [`BudgetedOutcome`] and
+//! exercised by tests.
+
+use super::wata::WataSimOutcome;
+
+/// Result of a budgeted-WATA size simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetedOutcome {
+    /// Peak length and size, as for WATA*.
+    pub sim: WataSimOutcome,
+    /// Days on which the budget wanted to close the cluster but no
+    /// slot was free (growth was forced).
+    pub forced_growth_days: u32,
+}
+
+/// Simulates the budgeted scheme over per-day sizes. `m_bound` must be
+/// at least the largest `W`-day window total (the `M` the algorithm is
+/// assumed to know); `fan >= 2`.
+pub fn simulate_budgeted_wata(
+    sizes: &[f64],
+    window: u32,
+    fan: usize,
+    m_bound: f64,
+) -> BudgetedOutcome {
+    assert!(fan >= 2, "budgeted WATA needs at least two indexes");
+    let w = window as usize;
+    assert!(sizes.len() >= w, "need at least W days of sizes");
+    let budget = m_bound / (fan - 1) as f64;
+    let size_of = |first: usize, count: usize| -> f64 {
+        sizes[first - 1..first - 1 + count].iter().sum()
+    };
+
+    // Start: make the budget rule retroactively consistent by packing
+    // days 1..=W greedily into clusters of at most `budget` each.
+    let mut clusters: Vec<(usize, usize)> = Vec::new();
+    for day in 1..=w {
+        let fits = clusters
+            .last()
+            .is_some_and(|&(f, c)| size_of(f, c) + sizes[day - 1] <= budget);
+        if fits {
+            clusters.last_mut().expect("non-empty when fits").1 += 1;
+        } else {
+            clusters.push((day, 1));
+        }
+    }
+    // More clusters than slots can only happen if the budget is
+    // inconsistent with `m_bound`; merge the oldest.
+    while clusters.len() > fan {
+        let (f2, c2) = clusters.remove(1);
+        let head = &mut clusters[0];
+        debug_assert_eq!(head.0 + head.1, f2);
+        head.1 += c2;
+    }
+
+    let mut max_length = clusters.iter().map(|&(_, c)| c as u32).sum::<u32>();
+    let mut max_size: f64 = clusters.iter().map(|&(f, c)| size_of(f, c)).sum();
+    let mut forced = 0u32;
+
+    for t in (w + 1)..=sizes.len() {
+        let expired_through = t - w; // days <= this are expired
+        // Eager drop of fully-expired clusters.
+        clusters.retain(|&(first, count)| first + count - 1 > expired_through);
+        let active = clusters.len() - 1;
+        let (af, ac) = clusters[active];
+        let want_close = size_of(af, ac) + sizes[t - 1] > budget;
+        if want_close && clusters.len() < fan {
+            clusters.push((t, 1));
+        } else {
+            if want_close {
+                forced += 1;
+            }
+            clusters[active].1 += 1;
+        }
+        let length: u32 = clusters.iter().map(|&(_, c)| c as u32).sum();
+        let size: f64 = clusters.iter().map(|&(f, c)| size_of(f, c)).sum();
+        max_length = max_length.max(length);
+        max_size = max_size.max(size);
+    }
+    BudgetedOutcome {
+        sim: WataSimOutcome {
+            max_length,
+            max_size,
+        },
+        forced_growth_days: forced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::offline::max_window_size;
+    use crate::schemes::wata::simulate_wata_star_sizes;
+
+    fn weekly_spiky(days: usize) -> Vec<f64> {
+        (0..days)
+            .map(|t| if t % 7 == 2 { 11.0 } else { 3.0 })
+            .collect()
+    }
+
+    #[test]
+    fn respects_the_claimed_ratio_up_to_granularity() {
+        // Forced-growth days occur on some shapes (the reconstruction
+        // is greedy, not the exact [KMRV97] algorithm) — the size
+        // bound must hold regardless.
+        let sizes = weekly_spiky(210);
+        for (w, n) in [(7u32, 3usize), (7, 4), (14, 4), (14, 8)] {
+            let m = max_window_size(&sizes, w);
+            let out = simulate_budgeted_wata(&sizes, w, n, m);
+            let max_day = sizes.iter().copied().fold(0.0f64, f64::max);
+            let bound = m * n as f64 / (n - 1) as f64 + max_day;
+            assert!(
+                out.sim.max_size <= bound + 1e-9,
+                "W={w}, n={n}: {} > {bound} (forced {} days)",
+                out.sim.max_size,
+                out.forced_growth_days
+            );
+        }
+    }
+
+    #[test]
+    fn beats_wata_star_when_budget_is_informative() {
+        // W = 7, n = 4: the budget M/3 splits the window more evenly
+        // than WATA*'s day-count rule, and knowing M pays off.
+        let sizes = weekly_spiky(210);
+        let (w, n) = (7u32, 4usize);
+        let m = max_window_size(&sizes, w);
+        let budgeted = simulate_budgeted_wata(&sizes, w, n, m);
+        let plain = simulate_wata_star_sizes(&sizes, w, n);
+        assert!(
+            budgeted.sim.max_size < plain.max_size,
+            "budgeted {} vs WATA* {}",
+            budgeted.sim.max_size,
+            plain.max_size
+        );
+        // The achieved ratio is close to n/(n−1), well under WATA*'s
+        // worst-case 2.
+        assert!(budgeted.sim.max_size / m < 1.3);
+    }
+
+    #[test]
+    fn uniform_sizes_behave() {
+        let sizes = vec![1.0; 100];
+        let out = simulate_budgeted_wata(&sizes, 10, 4, 10.0);
+        // Budget 10/3: clusters of 3 days; waste ≤ one cluster.
+        assert!(out.sim.max_size <= 10.0 * 4.0 / 3.0 + 1.0);
+        assert_eq!(out.forced_growth_days, 0);
+    }
+
+    #[test]
+    fn tight_bound_with_two_indexes_degrades_to_wata() {
+        // n = 2: budget = M, a single growing cluster plus the
+        // expiring one — the ratio approaches 2, like WATA*.
+        let sizes = vec![1.0; 60];
+        let out = simulate_budgeted_wata(&sizes, 10, 2, 10.0);
+        assert!(out.sim.max_size <= 20.0 + 1.0);
+    }
+
+    #[test]
+    fn window_is_always_covered() {
+        // Coverage: every day in (t-W, t] stays in some live cluster.
+        // The simulation drops only fully-expired clusters, so this
+        // follows if lengths never dip below W.
+        let sizes = weekly_spiky(120);
+        let out = simulate_budgeted_wata(&sizes, 7, 3, max_window_size(&sizes, 7));
+        assert!(out.sim.max_length >= 7);
+    }
+}

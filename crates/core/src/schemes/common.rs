@@ -1,0 +1,394 @@
+//! Helpers shared by the scheme implementations.
+
+use std::collections::BTreeSet;
+
+use wave_storage::{IoStats, StatsDelta, Volume};
+
+use crate::error::{IndexError, IndexResult};
+use crate::index::ConstituentIndex;
+use crate::record::{Day, DayArchive, DayBatch};
+use crate::update::UpdateTechnique;
+
+use super::{SchemeConfig, WaveOp};
+
+/// Splits `count` consecutive days starting at `first` into `k`
+/// clusters: the first `count mod k` clusters get `ceil(count / k)`
+/// days, the rest `floor(count / k)` (Figure 12's `Start`).
+pub(crate) fn split_days(first: u32, count: u32, k: usize) -> Vec<Vec<Day>> {
+    assert!(k >= 1 && count >= k as u32, "need at least one day per cluster");
+    let k32 = k as u32;
+    let ceil = count.div_ceil(k32);
+    let floor = count / k32;
+    let big = (count % k32) as usize;
+    let mut clusters = Vec::with_capacity(k);
+    let mut next = first;
+    for i in 0..k {
+        let size = if i < big { ceil } else { floor };
+        clusters.push((next..next + size).map(Day).collect());
+        next += size;
+    }
+    debug_assert_eq!(next, first + count);
+    clusters
+}
+
+/// The WATA*/RATA* start partition (Figure 16): days `1..W` split over
+/// the first `n-1` indexes, day `W` alone in index `n`.
+pub(crate) fn split_wata(window: u32, fan: usize) -> Vec<Vec<Day>> {
+    let mut clusters = split_days(1, window - 1, fan - 1);
+    clusters.push(vec![Day(window)]);
+    clusters
+}
+
+/// Fetches the batches for `days` from the archive, in day order.
+pub(crate) fn fetch(
+    archive: &DayArchive,
+    days: impl IntoIterator<Item = Day>,
+) -> IndexResult<Vec<&DayBatch>> {
+    days.into_iter()
+        .map(|d| archive.get(d).ok_or(IndexError::MissingDay(d)))
+        .collect()
+}
+
+/// Phase accounting: snapshots volume stats around the three phases of
+/// a transition (pre-computation / critical transition / post-work).
+/// The phase markers are cumulative cursors — work done between
+/// `begin` and `enter_transition` is pre-computation, work between
+/// `enter_transition` and `enter_post` (or `finish`) is the critical
+/// transition, anything after `enter_post` is post-work.
+pub(crate) struct Phases {
+    start: IoStats,
+    current: PhaseKind,
+    pre: StatsDelta,
+    main: StatsDelta,
+    post: StatsDelta,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PhaseKind {
+    Pre,
+    Main,
+    Post,
+}
+
+impl Phases {
+    /// Begins accounting; the first phase is pre-computation.
+    pub(crate) fn begin(vol: &Volume) -> Self {
+        Phases {
+            start: vol.stats(),
+            current: PhaseKind::Pre,
+            pre: StatsDelta::default(),
+            main: StatsDelta::default(),
+            post: StatsDelta::default(),
+        }
+    }
+
+    fn close(&mut self, vol: &Volume) {
+        let delta = vol.stats().since(&self.start);
+        match self.current {
+            PhaseKind::Pre => self.pre += delta,
+            PhaseKind::Main => self.main += delta,
+            PhaseKind::Post => self.post += delta,
+        }
+        self.start = vol.stats();
+    }
+
+    /// Marks the end of pre-computation / start of the transition.
+    pub(crate) fn enter_transition(&mut self, vol: &Volume) {
+        self.close(vol);
+        self.current = PhaseKind::Main;
+    }
+
+    /// Marks the end of the transition / start of post-work.
+    pub(crate) fn enter_post(&mut self, vol: &Volume) {
+        self.close(vol);
+        self.current = PhaseKind::Post;
+    }
+
+    /// Finishes accounting, returning `(precomp, transition, post)`.
+    pub(crate) fn finish(mut self, vol: &Volume) -> (StatsDelta, StatsDelta, StatsDelta) {
+        self.close(vol);
+        (self.pre, self.main, self.post)
+    }
+}
+
+/// `AddToIndex` on an index that is *not* live in the wave (a temp or
+/// an index under construction). No shadow is needed — queries never
+/// see it — so in-place and simple-shadow add directly; packed shadow
+/// still smart-copies so the result stays packed (Table 11 charges
+/// temp updates at `SMCP + Build` rates under packed shadowing).
+pub(crate) fn absorb_offline(
+    vol: &mut Volume,
+    idx: &mut ConstituentIndex,
+    batches: &[&DayBatch],
+    technique: UpdateTechnique,
+) -> IndexResult<()> {
+    if batches.is_empty() {
+        return Ok(());
+    }
+    match technique {
+        UpdateTechnique::InPlace | UpdateTechnique::SimpleShadow => {
+            idx.add_batches_in_place(vol, batches)
+        }
+        UpdateTechnique::PackedShadow => {
+            let new = idx.smart_copy(vol, idx.label().to_string(), &BTreeSet::new(), batches)?;
+            let old = std::mem::replace(idx, new);
+            old.release(vol)
+        }
+    }
+}
+
+/// The ladder of temporary indexes used by REINDEX++ and RATA*
+/// (Figures 15 and 17): `T_1 = {d_k}`, `T_2 = {d_{k-1}, d_k}`, …,
+/// `T_L = {d_j .. d_k}` for a cluster remainder `{d_j .. d_k}`, plus an
+/// optional empty `T_0` (REINDEX++ only).
+#[derive(Debug)]
+pub(crate) struct TempLadder {
+    /// `slots[i]` holds `T_i`; `slots[0]` is `T_0` when enabled.
+    slots: Vec<Option<ConstituentIndex>>,
+    /// Highest live rung.
+    used: usize,
+    with_t0: bool,
+}
+
+impl TempLadder {
+    /// An empty ladder.
+    pub(crate) fn new(with_t0: bool) -> Self {
+        TempLadder {
+            slots: Vec::new(),
+            used: 0,
+            with_t0,
+        }
+    }
+
+    /// (Re)builds the ladder over the consecutive `days` (ascending).
+    /// Releases any previous rungs first.
+    pub(crate) fn initialize(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        days: &[Day],
+        cfg: &SchemeConfig,
+        ops: &mut Vec<WaveOp>,
+    ) -> IndexResult<()> {
+        self.release(vol)?;
+        self.slots.clear();
+        if self.with_t0 {
+            self.slots
+                .push(Some(ConstituentIndex::new_empty("T0", cfg.index)));
+        } else {
+            self.slots.push(None);
+        }
+        let len = days.len();
+        for m in 1..=len {
+            self.push_rung(vol, archive, days, cfg, ops)?;
+            debug_assert_eq!(self.used, m);
+        }
+        Ok(())
+    }
+
+    /// Builds the next rung of a ladder targeting `days`: `T_1` from
+    /// the newest day, each later rung by copying the previous rung
+    /// and adding the next-older day. Used both by `initialize` and by
+    /// RATA*'s spread mode, which performs one rung per day.
+    pub(crate) fn push_rung(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        days: &[Day],
+        cfg: &SchemeConfig,
+        ops: &mut Vec<WaveOp>,
+    ) -> IndexResult<()> {
+        let m = self.used + 1;
+        debug_assert!(m <= days.len(), "ladder taller than its cluster");
+        let day = days[days.len() - m];
+        let label = format!("T{m}");
+        let rung = if m == 1 {
+            ops.push(WaveOp::Build {
+                target: label.clone(),
+                days: vec![day],
+            });
+            ConstituentIndex::build_packed(&label, cfg.index, vol, &fetch(archive, [day])?)?
+        } else {
+            let prev = self.slots[m - 1]
+                .as_ref()
+                .ok_or_else(|| IndexError::Corrupt("ladder rung missing".into()))?;
+            let mut rung = prev.clone_shadow(vol, &label)?;
+            ops.push(WaveOp::Copy {
+                from: format!("T{}", m - 1),
+                to: label.clone(),
+            });
+            ops.push(WaveOp::Add {
+                target: label.clone(),
+                days: vec![day],
+            });
+            absorb_offline(vol, &mut rung, &fetch(archive, [day])?, cfg.technique)?;
+            rung
+        };
+        if self.slots.len() <= m {
+            self.slots.resize_with(m + 1, || None);
+        }
+        self.slots[m] = Some(rung);
+        self.used = m;
+        Ok(())
+    }
+
+    /// Live rungs above `T_0`.
+    pub(crate) fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Takes the current rung: `T_used` if any, else `T_0` (only when
+    /// the ladder has one).
+    pub(crate) fn take_current(&mut self) -> Option<(String, ConstituentIndex)> {
+        if self.used > 0 {
+            let idx = self.slots[self.used].take()?;
+            let label = format!("T{}", self.used);
+            self.used -= 1;
+            Some((label, idx))
+        } else if self.with_t0 {
+            self.slots
+                .first_mut()
+                .and_then(Option::take)
+                .map(|idx| ("T0".to_string(), idx))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the current rung (`T_used`, or `T_0`).
+    pub(crate) fn current_mut(&mut self) -> Option<&mut ConstituentIndex> {
+        if self.used > 0 {
+            self.slots[self.used].as_mut()
+        } else if self.with_t0 {
+            self.slots.first_mut().and_then(Option::as_mut)
+        } else {
+            None
+        }
+    }
+
+    /// Days stored across live rungs (space accounting).
+    pub(crate) fn days(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(ConstituentIndex::len_days)
+            .sum()
+    }
+
+    /// Blocks used by live rungs.
+    pub(crate) fn blocks(&self) -> u64 {
+        self.slots.iter().flatten().map(ConstituentIndex::blocks).sum()
+    }
+
+    /// `(label, time-set)` of live rungs, highest first (matching the
+    /// paper's table notation).
+    pub(crate) fn snapshot(&self) -> Vec<(String, Vec<Day>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(i, s)| {
+                s.as_ref().map(|idx| {
+                    (
+                        format!("T{i}"),
+                        idx.days().iter().copied().collect::<Vec<Day>>(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Releases all rungs.
+    pub(crate) fn release(&mut self, vol: &mut Volume) -> IndexResult<()> {
+        for slot in &mut self.slots {
+            if let Some(idx) = slot.take() {
+                idx.release(vol)?;
+            }
+        }
+        self.used = 0;
+        Ok(())
+    }
+}
+
+/// Validates that `new_day` is exactly one past `current`.
+pub(crate) fn expect_consecutive(current: Option<Day>, new_day: Day) -> IndexResult<Day> {
+    let cur = current.ok_or(IndexError::NotStarted)?;
+    let expected = cur.plus(1);
+    if new_day != expected {
+        return Err(IndexError::NonConsecutiveDay {
+            expected,
+            got: new_day,
+        });
+    }
+    Ok(new_day)
+}
+
+/// Validates that the archive holds exactly days `1..=window` worth of
+/// data for `start`.
+pub(crate) fn expect_start_archive(archive: &DayArchive, window: u32) -> IndexResult<()> {
+    for d in 1..=window {
+        if archive.get(Day(d)).is_none() {
+            return Err(IndexError::BadStart {
+                got: archive.len(),
+                want: window as usize,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes(clusters: &[Vec<Day>]) -> Vec<usize> {
+        clusters.iter().map(Vec::len).collect()
+    }
+
+    #[test]
+    fn split_even() {
+        let c = split_days(1, 10, 2);
+        assert_eq!(sizes(&c), vec![5, 5]);
+        assert_eq!(c[0][0], Day(1));
+        assert_eq!(c[1][4], Day(10));
+    }
+
+    #[test]
+    fn split_uneven_front_loads_ceil() {
+        let c = split_days(1, 10, 3);
+        assert_eq!(sizes(&c), vec![4, 3, 3]);
+        let c = split_days(1, 7, 4);
+        assert_eq!(sizes(&c), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn split_one_cluster_and_one_day_each() {
+        assert_eq!(sizes(&split_days(1, 7, 1)), vec![7]);
+        assert_eq!(sizes(&split_days(1, 5, 5)), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn split_covers_consecutively() {
+        let c = split_days(4, 11, 4);
+        let flat: Vec<u32> = c.iter().flatten().map(|d| d.0).collect();
+        assert_eq!(flat, (4..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wata_partition_matches_table_3() {
+        // W = 10, n = 4: {1,2,3}, {4,5,6}, {7,8,9}, {10}.
+        let c = split_wata(10, 4);
+        assert_eq!(sizes(&c), vec![3, 3, 3, 1]);
+        assert_eq!(c[3], vec![Day(10)]);
+    }
+
+    #[test]
+    fn consecutive_validation() {
+        assert!(expect_consecutive(None, Day(5)).is_err());
+        assert!(expect_consecutive(Some(Day(4)), Day(5)).is_ok());
+        assert!(matches!(
+            expect_consecutive(Some(Day(4)), Day(7)),
+            Err(IndexError::NonConsecutiveDay { .. })
+        ));
+    }
+}

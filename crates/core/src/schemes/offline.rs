@@ -1,0 +1,179 @@
+//! Offline comparators for the WATA family (Theorem 3, Appendix B,
+//! and the Kleinberg et al. follow-up the paper cites).
+//!
+//! A WATA-family schedule is a partition of the day sequence into
+//! consecutive *clusters*; a cluster's index is dropped the day every
+//! day in it has expired, and at most `n` clusters may be live at
+//! once. Given complete knowledge of all day sizes, the optimal
+//! schedule minimises the peak total size. WATA* is online; Theorem 3
+//! says its peak size is at most twice the optimum (and the optimum is
+//! at least the largest `W`-day window, since those days must always
+//! be stored).
+
+use crate::record::Day;
+
+/// Largest total size of any `W` consecutive days — the storage floor
+/// every scheme shares, and the denominator of Figure 11's index-size
+/// ratio (eager deletion, e.g. REINDEX, achieves exactly this).
+pub fn max_window_size(sizes: &[f64], window: u32) -> f64 {
+    let w = window as usize;
+    assert!(sizes.len() >= w, "need at least W days");
+    let mut sum: f64 = sizes[..w].iter().sum();
+    let mut best = sum;
+    for t in w..sizes.len() {
+        sum += sizes[t] - sizes[t - w];
+        best = best.max(sum);
+    }
+    best
+}
+
+/// Evaluates one WATA-family schedule.
+///
+/// `boundaries` are the days on which clusters end (ascending,
+/// `1 <= b <= T`); a final unfinished cluster runs from the last
+/// boundary to day `T`. Returns the peak total size, or `None` if the
+/// schedule ever needs more than `fan` live clusters.
+pub fn family_peak_size(
+    sizes: &[f64],
+    window: u32,
+    fan: usize,
+    boundaries: &[Day],
+) -> Option<f64> {
+    let t_max = sizes.len() as u32;
+    debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+    // Cluster i covers (starts[i], ends[i]] in 1-based days.
+    let mut starts = Vec::with_capacity(boundaries.len() + 1);
+    let mut ends = Vec::with_capacity(boundaries.len() + 1);
+    let mut prev = 0u32;
+    for b in boundaries {
+        starts.push(prev);
+        ends.push(b.0);
+        prev = b.0;
+    }
+    if prev < t_max {
+        starts.push(prev);
+        ends.push(t_max);
+    }
+    let mut peak = 0.0f64;
+    for t in 1..=t_max {
+        let mut live = 0usize;
+        let mut size = 0.0f64;
+        for (&s, &e) in starts.iter().zip(&ends) {
+            // Live: started (s < t) and not fully expired
+            // (e > t - W, i.e. its newest day is within the window or
+            // younger days keep arriving into it).
+            if s < t && e + window > t {
+                live += 1;
+                let upto = e.min(t);
+                size += sizes[s as usize..upto as usize].iter().sum::<f64>();
+            }
+        }
+        if live > fan {
+            return None;
+        }
+        peak = peak.max(size);
+    }
+    Some(peak)
+}
+
+/// Exhaustive search for the optimal offline WATA schedule's peak
+/// size. Exponential in the number of days — use for small instances
+/// (tests run `T <= 18`).
+pub fn offline_optimal_max_size(sizes: &[f64], window: u32, fan: usize) -> f64 {
+    let t_max = sizes.len() as u32;
+    let mut best = f64::INFINITY;
+    let mut boundaries: Vec<Day> = Vec::new();
+    fn recurse(
+        sizes: &[f64],
+        window: u32,
+        fan: usize,
+        t_max: u32,
+        next: u32,
+        boundaries: &mut Vec<Day>,
+        best: &mut f64,
+    ) {
+        if next > t_max {
+            if let Some(peak) = family_peak_size(sizes, window, fan, boundaries) {
+                *best = best.min(peak);
+            }
+            return;
+        }
+        // Day `next` either ends a cluster or does not.
+        boundaries.push(Day(next));
+        recurse(sizes, window, fan, t_max, next + 1, boundaries, best);
+        boundaries.pop();
+        recurse(sizes, window, fan, t_max, next + 1, boundaries, best);
+    }
+    recurse(sizes, window, fan, t_max, 1, &mut boundaries, &mut best);
+    assert!(
+        best.is_finite(),
+        "no feasible WATA schedule: W={window}, n={fan}, T={t_max}"
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::wata::simulate_wata_star_sizes;
+
+    #[test]
+    fn window_size_uniform() {
+        let sizes = vec![1.0; 20];
+        assert_eq!(max_window_size(&sizes, 7), 7.0);
+    }
+
+    #[test]
+    fn window_size_finds_spike() {
+        let mut sizes = vec![1.0; 20];
+        sizes[9] = 100.0;
+        assert_eq!(max_window_size(&sizes, 3), 102.0);
+    }
+
+    #[test]
+    fn family_rejects_overcommitted_schedules() {
+        // Boundaries every day with W = 5 forces ~5 live clusters.
+        let sizes = vec![1.0; 10];
+        let bounds: Vec<Day> = (1..=9).map(Day).collect();
+        assert!(family_peak_size(&sizes, 5, 2, &bounds).is_none());
+        assert!(family_peak_size(&sizes, 5, 6, &bounds).is_some());
+    }
+
+    #[test]
+    fn family_peak_uniform_single_boundary_set() {
+        // T = 10, W = 5, clusters (0,5] and (5,10]: at day 9 the first
+        // cluster is fully present (days 1-5, expired 1-4) and the
+        // second holds 6-9: peak 10 at day 10 just before drop…
+        let sizes = vec![1.0; 10];
+        let peak = family_peak_size(&sizes, 5, 2, &[Day(5)]).unwrap();
+        assert_eq!(peak, 9.0); // day 9: cluster1 (5) + cluster2 {6..9} (4)
+    }
+
+    #[test]
+    fn optimal_never_below_max_window() {
+        let sizes: Vec<f64> = (0..12).map(|i| 1.0 + (i % 4) as f64).collect();
+        let opt = offline_optimal_max_size(&sizes, 4, 3);
+        assert!(opt >= max_window_size(&sizes, 4) - 1e-9);
+    }
+
+    #[test]
+    fn wata_star_within_twice_optimal_small_instances() {
+        // Theorem 3 on concrete spiky instances.
+        let series: Vec<Vec<f64>> = vec![
+            vec![1.0; 14],
+            vec![1.0, 5.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 7.0, 1.0, 1.0, 2.0, 1.0, 4.0],
+            (0..14).map(|i| ((i * 7) % 5 + 1) as f64).collect(),
+        ];
+        for sizes in &series {
+            for (w, n) in [(4u32, 2usize), (5, 3), (6, 2)] {
+                let sim = simulate_wata_star_sizes(sizes, w, n);
+                let opt = offline_optimal_max_size(sizes, w, n);
+                assert!(
+                    sim.max_size <= 2.0 * opt + 1e-9,
+                    "W={w}, n={n}, sizes={sizes:?}: WATA* {} vs OPT {opt}",
+                    sim.max_size
+                );
+            }
+        }
+    }
+}

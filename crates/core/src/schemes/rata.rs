@@ -1,0 +1,498 @@
+//! RATA* (Section 4.3, Figure 17): reindex-and-throw-away.
+//!
+//! WATA* with hard windows: alongside the WATA constituents, a ladder
+//! of temporaries holds ever-shorter suffixes of the cluster that is
+//! currently expiring. Each *Wait* day, the constituent holding the
+//! expired day is dropped and replaced by the next rung — so the wave
+//! index covers exactly the window — while the new day is appended to
+//! the growing constituent exactly as in WATA*.
+//!
+//! The pseudocode's `Drop I_1` is a typo for `Drop I_j` (the
+//! constituent holding the expired day), as the Table 7 worked example
+//! shows; see DESIGN.md.
+//!
+//! [`RataMode::Spread`] implements the Section 4.3 optimization: the
+//! ladder for the *next* cluster is built one rung per day during the
+//! current cycle (every rung depends only on old data), so no single
+//! day ever indexes more than about two days of data.
+
+use wave_storage::Volume;
+
+use crate::error::{IndexError, IndexResult};
+use crate::index::ConstituentIndex;
+use crate::record::{Day, DayArchive};
+use crate::update::Updater;
+use crate::wave::WaveIndex;
+
+use super::common::{expect_consecutive, expect_start_archive, fetch, split_wata, Phases, TempLadder};
+use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
+
+/// When RATA* builds the temp ladder for an expiring cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RataMode {
+    /// Build the whole ladder at each throw-away day (Figure 17 as
+    /// written).
+    #[default]
+    Eager,
+    /// Build the next cluster's ladder one rung per day during the
+    /// preceding cycle (the Section 4.3 optimization). Falls back to
+    /// eager completion if a rung is still missing when needed, and to
+    /// [`RataMode::Eager`] entirely when `n == 2` (with two indexes the
+    /// next cluster is still growing at plan time).
+    Spread,
+}
+
+/// The RATA* scheme.
+#[derive(Debug)]
+pub struct RataStar {
+    cfg: SchemeConfig,
+    mode: RataMode,
+    updater: Updater,
+    wave: WaveIndex,
+    /// Slot of the most recently (re)started constituent.
+    last: usize,
+    /// Ladder for the cluster currently expiring day by day.
+    ladder: TempLadder,
+    /// Spread mode: the ladder under construction for the cluster
+    /// after the current one, with its target day list.
+    next_ladder: Option<(Vec<Day>, TempLadder)>,
+    current: Option<Day>,
+}
+
+impl RataStar {
+    /// Creates a RATA* scheme (eager mode); requires `2 <= n <= W`.
+    pub fn new(cfg: SchemeConfig) -> IndexResult<Self> {
+        Self::with_mode(cfg, RataMode::Eager)
+    }
+
+    /// Creates a RATA* scheme with an explicit ladder-building mode.
+    pub fn with_mode(cfg: SchemeConfig, mode: RataMode) -> IndexResult<Self> {
+        cfg.validate(2)?;
+        let mode = if cfg.fan == 2 { RataMode::Eager } else { mode };
+        Ok(RataStar {
+            cfg,
+            mode,
+            updater: Updater::new(cfg.technique),
+            wave: WaveIndex::with_slots(cfg.fan),
+            last: cfg.fan - 1,
+            ladder: TempLadder::new(false),
+            next_ladder: None,
+            current: None,
+        })
+    }
+
+    /// The ladder-building mode in force.
+    pub fn mode(&self) -> RataMode {
+        self.mode
+    }
+
+    /// Remainder (all but the oldest day) of the cluster in the slot
+    /// holding `oldest`.
+    fn cluster_remainder(&self, oldest: Day) -> IndexResult<Vec<Day>> {
+        let j = self
+            .wave
+            .slot_containing(oldest)
+            .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {oldest}")))?;
+        Ok(self
+            .wave
+            .slot(j)
+            .expect("slot just found")
+            .days()
+            .iter()
+            .copied()
+            .filter(|d| *d != oldest)
+            .collect())
+    }
+
+    /// Spread mode: start planning the ladder for the cluster after
+    /// `after_cluster_max` (the cluster whose days follow that day).
+    fn plan_next_ladder(&mut self, after_cluster_max: Day) -> IndexResult<()> {
+        let next_oldest = Day(after_cluster_max.0 + 1);
+        let Some(j) = self.wave.slot_containing(next_oldest) else {
+            // The following cluster is the one being rebuilt right now
+            // (small n); nothing to plan — eager fallback will cover it.
+            self.next_ladder = None;
+            return Ok(());
+        };
+        if j == self.last {
+            // Still growing; its final membership is unknown.
+            self.next_ladder = None;
+            return Ok(());
+        }
+        let remainder: Vec<Day> = self
+            .wave
+            .slot(j)
+            .expect("slot just found")
+            .days()
+            .iter()
+            .copied()
+            .filter(|d| *d != next_oldest)
+            .collect();
+        self.next_ladder = Some((remainder, TempLadder::new(false)));
+        Ok(())
+    }
+
+    /// Spread mode: advance the next-cluster ladder by up to
+    /// `steps` rungs.
+    fn spread_step(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        steps: usize,
+        ops: &mut Vec<WaveOp>,
+    ) -> IndexResult<()> {
+        if let Some((days, ladder)) = &mut self.next_ladder {
+            for _ in 0..steps {
+                if ladder.used() >= days.len() {
+                    break;
+                }
+                let days = days.clone();
+                ladder.push_rung(vol, archive, &days, &self.cfg, ops)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes `self.ladder` the ladder for `remainder`, either adopting
+    /// the spread-built one (finishing missing rungs) or building it
+    /// eagerly.
+    fn adopt_or_build_ladder(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        remainder: &[Day],
+        ops: &mut Vec<WaveOp>,
+    ) -> IndexResult<()> {
+        match self.next_ladder.take() {
+            Some((days, mut ladder)) if days == remainder => {
+                while ladder.used() < days.len() {
+                    ladder.push_rung(vol, archive, &days, &self.cfg, ops)?;
+                }
+                self.ladder.release(vol)?;
+                self.ladder = ladder;
+                Ok(())
+            }
+            other => {
+                if let Some((_, mut stale)) = other {
+                    stale.release(vol)?;
+                }
+                self.ladder.initialize(vol, archive, remainder, &self.cfg, ops)
+            }
+        }
+    }
+}
+
+impl WaveScheme for RataStar {
+    fn name(&self) -> &'static str {
+        "RATA*"
+    }
+
+    fn config(&self) -> &SchemeConfig {
+        &self.cfg
+    }
+
+    fn window_kind(&self) -> WindowKind {
+        WindowKind::Hard
+    }
+
+    fn start(&mut self, vol: &mut Volume, archive: &DayArchive) -> IndexResult<TransitionRecord> {
+        expect_start_archive(archive, self.cfg.window)?;
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        let mut ops = Vec::new();
+        let clusters = split_wata(self.cfg.window, self.cfg.fan);
+        for (j, cluster) in clusters.iter().enumerate() {
+            let label = format!("I{}", j + 1);
+            let batches = fetch(archive, cluster.iter().copied())?;
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batches)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: cluster.clone(),
+            });
+            self.wave.install(j, idx);
+        }
+        self.last = self.cfg.fan - 1;
+        phases.enter_post(vol);
+        // Ladder for the first cluster (minus day 1), plus — in spread
+        // mode — the plan for the second cluster.
+        let remainder: Vec<Day> = clusters[0][1..].to_vec();
+        self.ladder
+            .initialize(vol, archive, &remainder, &self.cfg, &mut ops)?;
+        if self.mode == RataMode::Spread {
+            self.plan_next_ladder(*clusters[0].last().expect("non-empty cluster"))?;
+            self.spread_step(vol, archive, 2, &mut ops)?;
+        }
+        self.current = Some(Day(self.cfg.window));
+        let (precomp, transition, post) = phases.finish(vol);
+        Ok(TransitionRecord {
+            day: Day(self.cfg.window),
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: self.ladder.snapshot(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn transition(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        new_day: Day,
+    ) -> IndexResult<TransitionRecord> {
+        expect_consecutive(self.current, new_day)?;
+        let expired = Day(new_day.0 - self.cfg.window);
+        let j = self
+            .wave
+            .slot_containing(expired)
+            .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {expired}")))?;
+        let others: usize = self
+            .wave
+            .iter()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, idx)| idx.len_days())
+            .sum();
+        let batch = fetch(archive, [new_day])?;
+        let mut ops = Vec::new();
+        let mut phases = Phases::begin(vol);
+
+        if others as u32 == self.cfg.window - 1 {
+            // ThrowAway: exactly as WATA*.
+            let label = format!("I{}", j + 1);
+            self.wave.drop_index(vol, j)?;
+            ops.push(WaveOp::Drop {
+                target: label.clone(),
+            });
+            phases.enter_transition(vol);
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batch)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: vec![new_day],
+            });
+            self.wave.install(j, idx);
+            self.last = j;
+            phases.enter_post(vol);
+            // Prepare the ladder for the next expiring cluster.
+            let next_oldest = Day(expired.0 + 1);
+            let remainder = self.cluster_remainder(next_oldest)?;
+            self.adopt_or_build_ladder(vol, archive, &remainder, &mut ops)?;
+            if self.mode == RataMode::Spread {
+                let j2 = self
+                    .wave
+                    .slot_containing(next_oldest)
+                    .ok_or_else(|| IndexError::Corrupt("next cluster vanished".into()))?;
+                let max_day = self
+                    .wave
+                    .slot(j2)
+                    .expect("slot just found")
+                    .days()
+                    .iter()
+                    .next_back()
+                    .copied()
+                    .ok_or_else(|| IndexError::Corrupt("empty next cluster".into()))?;
+                self.plan_next_ladder(max_day)?;
+                self.spread_step(vol, archive, 2, &mut ops)?;
+            }
+        } else {
+            // Wait: append to the growing constituent and swap the
+            // next ladder rung in for the cluster that lost a day.
+            let prep = {
+                let idx = self
+                    .wave
+                    .slot_mut(self.last)
+                    .ok_or_else(|| IndexError::Corrupt("last slot vanished".into()))?;
+                self.updater.prepare(vol, idx, &Default::default())?
+            };
+            phases.enter_transition(vol);
+            {
+                let idx = self
+                    .wave
+                    .slot_mut(self.last)
+                    .ok_or_else(|| IndexError::Corrupt("last slot vanished".into()))?;
+                self.updater
+                    .apply(vol, idx, prep, &Default::default(), &batch)?;
+            }
+            ops.push(WaveOp::Add {
+                target: format!("I{}", self.last + 1),
+                days: vec![new_day],
+            });
+            let label = format!("I{}", j + 1);
+            let (rung_label, mut rung) = self
+                .ladder
+                .take_current()
+                .ok_or_else(|| IndexError::Corrupt("RATA ladder exhausted on a Wait day".into()))?;
+            rung.set_label(&label);
+            self.wave.drop_index(vol, j)?;
+            ops.push(WaveOp::Drop {
+                target: label.clone(),
+            });
+            ops.push(WaveOp::Rename {
+                from: rung_label,
+                to: label,
+            });
+            self.wave.install(j, rung);
+            phases.enter_post(vol);
+            if self.mode == RataMode::Spread {
+                self.spread_step(vol, archive, 2, &mut ops)?;
+            }
+        }
+        let (precomp, transition, post) = phases.finish(vol);
+
+        self.current = Some(new_day);
+        Ok(TransitionRecord {
+            day: new_day,
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: self.ladder.snapshot(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn wave(&self) -> &WaveIndex {
+        &self.wave
+    }
+
+    fn current_day(&self) -> Option<Day> {
+        self.current
+    }
+
+    fn temp_days(&self) -> usize {
+        self.ladder.days()
+            + self
+                .next_ladder
+                .as_ref()
+                .map_or(0, |(_, l)| l.days())
+    }
+
+    fn temp_blocks(&self) -> u64 {
+        self.ladder.blocks()
+            + self
+                .next_ladder
+                .as_ref()
+                .map_or(0, |(_, l)| l.blocks())
+    }
+
+    fn oldest_needed_day(&self, next: Day) -> Day {
+        Day(next.0.saturating_sub(self.cfg.window))
+    }
+
+    fn release(&mut self, vol: &mut Volume) -> IndexResult<()> {
+        self.ladder.release(vol)?;
+        if let Some((_, mut ladder)) = self.next_ladder.take() {
+            ladder.release(vol)?;
+        }
+        self.wave.release_all(vol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::make_archive;
+    use super::*;
+
+    /// Reproduces the Table 7 flow (W = 10, n = 4).
+    #[test]
+    fn table_7_transitions() {
+        let mut vol = Volume::default();
+        let mut s = RataStar::new(SchemeConfig::new(10, 4)).unwrap();
+        let archive = make_archive(16, 2);
+        let day = |d: u32| Day(d);
+        let rec = s.start(&mut vol, &archive).unwrap();
+        // WATA start plus ladder over {2, 3}.
+        assert_eq!(rec.constituents[0].1, vec![day(1), day(2), day(3)]);
+        assert_eq!(
+            rec.temps,
+            vec![
+                ("T2".into(), vec![day(2), day(3)]),
+                ("T1".into(), vec![day(3)]),
+            ]
+        );
+        // Day 11: add to I4; I1 replaced by {2,3}.
+        let rec = s.transition(&mut vol, &archive, Day(11)).unwrap();
+        assert_eq!(rec.constituents[0].1, vec![day(2), day(3)]);
+        assert_eq!(rec.constituents[3].1, vec![day(10), day(11)]);
+        // Day 12: I1 replaced by {3}.
+        let rec = s.transition(&mut vol, &archive, Day(12)).unwrap();
+        assert_eq!(rec.constituents[0].1, vec![day(3)]);
+        // Day 13: throw-away; I1 restarted with {13}; ladder rebuilt
+        // over {5, 6} (cluster I2 = {4,5,6} minus day 4).
+        let rec = s.transition(&mut vol, &archive, Day(13)).unwrap();
+        assert_eq!(rec.constituents[0].1, vec![day(13)]);
+        assert_eq!(
+            rec.temps,
+            vec![
+                ("T2".into(), vec![day(5), day(6)]),
+                ("T1".into(), vec![day(6)]),
+            ]
+        );
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn hard_window_always_exact() {
+        for mode in [RataMode::Eager, RataMode::Spread] {
+            for (w, n) in [(10u32, 4usize), (7, 2), (11, 4), (7, 7), (12, 3)] {
+                let mut vol = Volume::default();
+                let mut s = RataStar::with_mode(SchemeConfig::new(w, n), mode).unwrap();
+                let archive = make_archive(w + 40, 2);
+                s.start(&mut vol, &archive).unwrap();
+                for d in (w + 1)..=(w + 40) {
+                    s.transition(&mut vol, &archive, Day(d)).unwrap();
+                    let covered: Vec<u32> =
+                        s.wave().covered_days().iter().map(|x| x.0).collect();
+                    assert_eq!(
+                        covered,
+                        (d - w + 1..=d).collect::<Vec<u32>>(),
+                        "mode {mode:?}, W={w}, n={n}, day {d}"
+                    );
+                    s.wave().check_disjoint().unwrap();
+                }
+                s.release(&mut vol).unwrap();
+                assert_eq!(vol.live_blocks(), 0, "mode {mode:?} W={w} n={n} leaked");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_mode_bounds_daily_indexing() {
+        // Section 4.3: with spreading "we would never need to index
+        // more than two days of data on any given day" (plus the new
+        // day itself and the rung copies).
+        let mut vol = Volume::default();
+        let mut s = RataStar::with_mode(SchemeConfig::new(12, 4), RataMode::Spread).unwrap();
+        let archive = make_archive(60, 2);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 13..=60 {
+            let rec = s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let days_built: usize = rec
+                .ops
+                .iter()
+                .map(|op| match op {
+                    WaveOp::Build { days, .. } | WaveOp::Add { days, .. } => days.len(),
+                    _ => 0,
+                })
+                .sum();
+            assert!(
+                days_built <= 3,
+                "day {d}: indexed {days_built} days of data in one transition"
+            );
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn n_2_falls_back_to_eager() {
+        let s = RataStar::with_mode(SchemeConfig::new(10, 2), RataMode::Spread).unwrap();
+        assert_eq!(s.mode(), RataMode::Eager);
+    }
+
+    #[test]
+    fn rejects_single_index() {
+        assert!(RataStar::new(SchemeConfig::new(10, 1)).is_err());
+    }
+}

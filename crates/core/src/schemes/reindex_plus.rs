@@ -1,0 +1,383 @@
+//! REINDEX+ (Section 4.1, Figure 14): REINDEX with one temporary
+//! index.
+//!
+//! REINDEX recomputes the entries of recent days over and over (day 11
+//! is re-indexed on each of days 11-15 in the Table 2 example).
+//! REINDEX+ accumulates the new days of the current cycle in `Temp`
+//! and builds each day's constituent as *copy of Temp + the surviving
+//! old days*, halving the average re-indexing work at the price of the
+//! extra temp storage.
+
+use std::collections::BTreeSet;
+
+use wave_storage::Volume;
+
+use crate::error::{IndexError, IndexResult};
+use crate::index::ConstituentIndex;
+use crate::record::{Day, DayArchive};
+use crate::wave::WaveIndex;
+
+use super::common::{
+    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, Phases,
+};
+use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
+
+/// The REINDEX+ scheme.
+#[derive(Debug)]
+pub struct ReindexPlus {
+    cfg: SchemeConfig,
+    wave: WaveIndex,
+    /// The `Temp` index accumulating this cycle's new days (`None`
+    /// encodes the pseudocode's `Temp = φ`).
+    temp: Option<ConstituentIndex>,
+    /// Old days still to be re-added when rebuilding `I_j`
+    /// (`DaysToAdd`), shrinking by one as each expires.
+    days_to_add: BTreeSet<Day>,
+    current: Option<Day>,
+}
+
+impl ReindexPlus {
+    /// Creates a REINDEX+ scheme; requires `1 <= n <= W`.
+    pub fn new(cfg: SchemeConfig) -> IndexResult<Self> {
+        cfg.validate(1)?;
+        Ok(ReindexPlus {
+            cfg,
+            wave: WaveIndex::with_slots(cfg.fan),
+            temp: None,
+            days_to_add: BTreeSet::new(),
+            current: None,
+        })
+    }
+
+    fn temps_snapshot(&self) -> Vec<(String, Vec<Day>)> {
+        match &self.temp {
+            Some(t) => vec![("Temp".into(), t.days().iter().copied().collect())],
+            None => Vec::new(),
+        }
+    }
+}
+
+impl WaveScheme for ReindexPlus {
+    fn name(&self) -> &'static str {
+        "REINDEX+"
+    }
+
+    fn config(&self) -> &SchemeConfig {
+        &self.cfg
+    }
+
+    fn window_kind(&self) -> WindowKind {
+        WindowKind::Hard
+    }
+
+    fn start(&mut self, vol: &mut Volume, archive: &DayArchive) -> IndexResult<TransitionRecord> {
+        expect_start_archive(archive, self.cfg.window)?;
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        let mut ops = Vec::new();
+        for (j, cluster) in split_days(1, self.cfg.window, self.cfg.fan)
+            .into_iter()
+            .enumerate()
+        {
+            let label = format!("I{}", j + 1);
+            let batches = fetch(archive, cluster.iter().copied())?;
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batches)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: cluster,
+            });
+            self.wave.install(j, idx);
+        }
+        self.temp = None;
+        self.current = Some(Day(self.cfg.window));
+        let (precomp, transition, post) = phases.finish(vol);
+        Ok(TransitionRecord {
+            day: Day(self.cfg.window),
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: Vec::new(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn transition(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        new_day: Day,
+    ) -> IndexResult<TransitionRecord> {
+        expect_consecutive(self.current, new_day)?;
+        let expired = Day(new_day.0 - self.cfg.window);
+        let j = self
+            .wave
+            .slot_containing(expired)
+            .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {expired}")))?;
+        let label = format!("I{}", j + 1);
+        let mut ops = Vec::new();
+
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        // Everything REINDEX+ does is on the critical path: the very
+        // first operation of every branch consumes the new day's data.
+        match (&mut self.temp, self.days_to_add.is_empty()) {
+            // New cycle: Temp = φ.
+            (None, _) => {
+                let old_cluster = self
+                    .wave
+                    .slot(j)
+                    .ok_or_else(|| IndexError::Corrupt("slot vanished".into()))?
+                    .days()
+                    .clone();
+                self.days_to_add = old_cluster.into_iter().filter(|d| *d != expired).collect();
+                let temp = ConstituentIndex::build_packed(
+                    "Temp",
+                    self.cfg.index,
+                    vol,
+                    &fetch(archive, [new_day])?,
+                )?;
+                ops.push(WaveOp::Build {
+                    target: "Temp".into(),
+                    days: vec![new_day],
+                });
+                let mut fresh = temp.clone_shadow(vol, &label)?;
+                ops.push(WaveOp::Copy {
+                    from: "Temp".into(),
+                    to: label.clone(),
+                });
+                let to_add: Vec<Day> = self.days_to_add.iter().copied().collect();
+                absorb_offline(vol, &mut fresh, &fetch(archive, to_add.clone())?, self.cfg.technique)?;
+                ops.push(WaveOp::Add {
+                    target: label,
+                    days: to_add,
+                });
+                if let Some(old) = self.wave.install(j, fresh) {
+                    old.release(vol)?;
+                }
+                // With one-day clusters (n == W) the cycle completes
+                // immediately; keeping Temp around would wrongly seed
+                // the next day's constituent with this day's data.
+                if self.days_to_add.is_empty() {
+                    temp.release(vol)?;
+                } else {
+                    self.temp = Some(temp);
+                }
+            }
+            // Cycle ends: Temp holds all new days of the cluster.
+            (temp_slot @ Some(_), true) => {
+                let mut fresh = temp_slot.take().expect("matched Some");
+                fresh.set_label(&label);
+                ops.push(WaveOp::Rename {
+                    from: "Temp".into(),
+                    to: label.clone(),
+                });
+                absorb_offline(vol, &mut fresh, &fetch(archive, [new_day])?, self.cfg.technique)?;
+                ops.push(WaveOp::Add {
+                    target: label,
+                    days: vec![new_day],
+                });
+                if let Some(old) = self.wave.install(j, fresh) {
+                    old.release(vol)?;
+                }
+            }
+            // Mid-cycle: extend Temp, rebuild I_j as Temp + old days.
+            (Some(temp), false) => {
+                absorb_offline(vol, temp, &fetch(archive, [new_day])?, self.cfg.technique)?;
+                ops.push(WaveOp::Add {
+                    target: "Temp".into(),
+                    days: vec![new_day],
+                });
+                let mut fresh = temp.clone_shadow(vol, &label)?;
+                ops.push(WaveOp::Copy {
+                    from: "Temp".into(),
+                    to: label.clone(),
+                });
+                let to_add: Vec<Day> = self.days_to_add.iter().copied().collect();
+                absorb_offline(vol, &mut fresh, &fetch(archive, to_add.clone())?, self.cfg.technique)?;
+                ops.push(WaveOp::Add {
+                    target: label,
+                    days: to_add,
+                });
+                if let Some(old) = self.wave.install(j, fresh) {
+                    old.release(vol)?;
+                }
+            }
+        }
+        // DaysToAdd ← DaysToAdd − {new − W + 1}: tomorrow's expiring
+        // day must not be re-added tomorrow.
+        self.days_to_add.remove(&Day(new_day.0 - self.cfg.window + 1));
+        let (precomp, transition, post) = phases.finish(vol);
+
+        self.current = Some(new_day);
+        Ok(TransitionRecord {
+            day: new_day,
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: self.temps_snapshot(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn wave(&self) -> &WaveIndex {
+        &self.wave
+    }
+
+    fn current_day(&self) -> Option<Day> {
+        self.current
+    }
+
+    fn temp_days(&self) -> usize {
+        self.temp.as_ref().map_or(0, ConstituentIndex::len_days)
+    }
+
+    fn temp_blocks(&self) -> u64 {
+        self.temp.as_ref().map_or(0, ConstituentIndex::blocks)
+    }
+
+    fn oldest_needed_day(&self, next: Day) -> Day {
+        Day(next.0.saturating_sub(self.cfg.window))
+    }
+
+    fn release(&mut self, vol: &mut Volume) -> IndexResult<()> {
+        if let Some(temp) = self.temp.take() {
+            temp.release(vol)?;
+        }
+        self.wave.release_all(vol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::make_archive;
+    use super::*;
+
+    /// Reproduces Table 5 (W = 10, n = 2), state by state.
+    #[test]
+    fn table_5_transitions() {
+        let mut vol = Volume::default();
+        let mut s = ReindexPlus::new(SchemeConfig::new(10, 2)).unwrap();
+        let archive = make_archive(16, 2);
+        s.start(&mut vol, &archive).unwrap();
+
+        let day = |d: u32| Day(d);
+        // Day 11: I1 = {2,3,4,5,11}, Temp = {11}.
+        let rec = s.transition(&mut vol, &archive, Day(11)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(2), day(3), day(4), day(5), day(11)]
+        );
+        assert_eq!(rec.temps, vec![("Temp".into(), vec![day(11)])]);
+        // Day 12: I1 = {3,4,5,11,12}, Temp = {11,12}.
+        let rec = s.transition(&mut vol, &archive, Day(12)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(3), day(4), day(5), day(11), day(12)]
+        );
+        assert_eq!(rec.temps[0].1, vec![day(11), day(12)]);
+        // Days 13, 14.
+        let rec = s.transition(&mut vol, &archive, Day(13)).unwrap();
+        assert_eq!(rec.temps[0].1, vec![day(11), day(12), day(13)]);
+        let rec = s.transition(&mut vol, &archive, Day(14)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(5), day(11), day(12), day(13), day(14)]
+        );
+        // Day 15: Temp becomes I1, then clears.
+        let rec = s.transition(&mut vol, &archive, Day(15)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            (11..=15).map(Day).collect::<Vec<_>>()
+        );
+        assert!(rec.temps.is_empty(), "Temp = φ after the cycle");
+        // Day 16: the next cluster (I2) starts its cycle.
+        let rec = s.transition(&mut vol, &archive, Day(16)).unwrap();
+        assert_eq!(
+            rec.constituents[1].1,
+            vec![day(7), day(8), day(9), day(10), day(16)]
+        );
+        assert_eq!(rec.temps[0].1, vec![day(16)]);
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn hard_window_over_long_run() {
+        let mut vol = Volume::default();
+        let mut s = ReindexPlus::new(SchemeConfig::new(7, 2)).unwrap();
+        let archive = make_archive(40, 3);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 8..=40 {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
+            assert_eq!(covered, (d - 6..=d).collect::<Vec<u32>>(), "day {d}");
+            s.wave().check_disjoint().unwrap();
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn one_day_clusters_degenerate_cleanly() {
+        // n == W: every cluster is one day; Temp must not leak data
+        // across days.
+        let mut vol = Volume::default();
+        let mut s = ReindexPlus::new(SchemeConfig::new(4, 4)).unwrap();
+        let archive = make_archive(12, 2);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 5..=12 {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
+            assert_eq!(covered, (d - 3..=d).collect::<Vec<u32>>(), "day {d}");
+            s.wave().check_disjoint().unwrap();
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    /// Days (re-)indexed per op across a transition record.
+    fn days_indexed(ops: &[WaveOp]) -> usize {
+        ops.iter()
+            .map(|op| match op {
+                WaveOp::Build { days, .. } | WaveOp::Add { days, .. } => days.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn average_days_indexed_is_about_half_of_reindex() {
+        // Section 4.1: "the average number of days indexed per
+        // transition by REINDEX+ during index build is about half that
+        // of REINDEX".
+        let archive = make_archive(30, 5);
+        let mut plus_days = 0usize;
+        let mut plain_days = 0usize;
+        {
+            let mut vol = Volume::default();
+            let mut s = ReindexPlus::new(SchemeConfig::new(10, 2)).unwrap();
+            s.start(&mut vol, &archive).unwrap();
+            for d in 11..=30 {
+                let rec = s.transition(&mut vol, &archive, Day(d)).unwrap();
+                plus_days += days_indexed(&rec.ops);
+            }
+            s.release(&mut vol).unwrap();
+        }
+        {
+            let mut vol = Volume::default();
+            let mut s = super::super::Reindex::new(SchemeConfig::new(10, 2)).unwrap();
+            s.start(&mut vol, &archive).unwrap();
+            for d in 11..=30 {
+                let rec = s.transition(&mut vol, &archive, Day(d)).unwrap();
+                plain_days += days_indexed(&rec.ops);
+            }
+            s.release(&mut vol).unwrap();
+        }
+        // 20 transitions: REINDEX indexes 5 days each = 100; REINDEX+
+        // averages 3 per day (1 new + 2 re-added) = 60.
+        assert_eq!(plain_days, 100);
+        assert_eq!(plus_days, 60);
+    }
+}

@@ -1,0 +1,361 @@
+//! REINDEX++ (Section 4.2, Figure 15): REINDEX+ with a pre-built temp
+//! ladder.
+//!
+//! REINDEX+ still rebuilds `I_j` *after* the new data arrives.
+//! REINDEX++ keeps a ladder of temporaries `T_0 … T_{X-1}` prepared
+//! ahead of time (each rung already holds the surviving old days plus
+//! the cycle's new days so far), so the transition itself is a single
+//! `AddToIndex` of the new day followed by a rename — the same
+//! transition time as DEL/WATA, at the price of the ladder's storage.
+
+use std::collections::BTreeSet;
+
+use wave_storage::Volume;
+
+use crate::error::{IndexError, IndexResult};
+use crate::record::{Day, DayArchive};
+use crate::wave::WaveIndex;
+
+use super::common::{
+    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, Phases,
+    TempLadder,
+};
+use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
+use crate::index::ConstituentIndex;
+
+/// The REINDEX++ scheme.
+#[derive(Debug)]
+pub struct ReindexPlusPlus {
+    cfg: SchemeConfig,
+    wave: WaveIndex,
+    ladder: TempLadder,
+    /// The cycle's new days accumulated so far (`DaysToAdd`).
+    days_to_add: BTreeSet<Day>,
+    current: Option<Day>,
+}
+
+impl ReindexPlusPlus {
+    /// Creates a REINDEX++ scheme; requires `1 <= n <= W`.
+    pub fn new(cfg: SchemeConfig) -> IndexResult<Self> {
+        cfg.validate(1)?;
+        Ok(ReindexPlusPlus {
+            cfg,
+            wave: WaveIndex::with_slots(cfg.fan),
+            ladder: TempLadder::new(true),
+            days_to_add: BTreeSet::new(),
+            current: None,
+        })
+    }
+
+    /// `Initialize` (Figure 15): rebuilds the ladder over the next
+    /// expiring cluster minus its oldest day.
+    fn initialize(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        remainder: &[Day],
+        ops: &mut Vec<WaveOp>,
+    ) -> IndexResult<()> {
+        self.ladder.initialize(vol, archive, remainder, &self.cfg, ops)?;
+        self.days_to_add.clear();
+        Ok(())
+    }
+}
+
+impl WaveScheme for ReindexPlusPlus {
+    fn name(&self) -> &'static str {
+        "REINDEX++"
+    }
+
+    fn config(&self) -> &SchemeConfig {
+        &self.cfg
+    }
+
+    fn window_kind(&self) -> WindowKind {
+        WindowKind::Hard
+    }
+
+    fn start(&mut self, vol: &mut Volume, archive: &DayArchive) -> IndexResult<TransitionRecord> {
+        expect_start_archive(archive, self.cfg.window)?;
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        let mut ops = Vec::new();
+        let clusters = split_days(1, self.cfg.window, self.cfg.fan);
+        for (j, cluster) in clusters.iter().enumerate() {
+            let label = format!("I{}", j + 1);
+            let batches = fetch(archive, cluster.iter().copied())?;
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batches)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: cluster.clone(),
+            });
+            self.wave.install(j, idx);
+        }
+        phases.enter_post(vol);
+        // The ladder for the first expiring cluster (minus day 1) is
+        // prepared up front; it does not gate queryability.
+        let remainder: Vec<Day> = clusters[0][1..].to_vec();
+        self.initialize(vol, archive, &remainder, &mut ops)?;
+        self.current = Some(Day(self.cfg.window));
+        let (precomp, transition, post) = phases.finish(vol);
+        Ok(TransitionRecord {
+            day: Day(self.cfg.window),
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: self.ladder.snapshot(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn transition(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        new_day: Day,
+    ) -> IndexResult<TransitionRecord> {
+        expect_consecutive(self.current, new_day)?;
+        let expired = Day(new_day.0 - self.cfg.window);
+        let j = self
+            .wave
+            .slot_containing(expired)
+            .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {expired}")))?;
+        let label = format!("I{}", j + 1);
+        let mut ops = Vec::new();
+        let batch = fetch(archive, [new_day])?;
+
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        let cycle_ends = self.ladder.used() == 0;
+        // Critical path: add the new day to the top rung and swap it
+        // in as I_j. Queries see the new day from here on.
+        let (temp_label, mut fresh) = self
+            .ladder
+            .take_current()
+            .ok_or_else(|| IndexError::Corrupt("ladder exhausted".into()))?;
+        absorb_offline(vol, &mut fresh, &batch, self.cfg.technique)?;
+        ops.push(WaveOp::Add {
+            target: temp_label.clone(),
+            days: vec![new_day],
+        });
+        fresh.set_label(&label);
+        ops.push(WaveOp::Rename {
+            from: temp_label,
+            to: label,
+        });
+        if let Some(old) = self.wave.install(j, fresh) {
+            old.release(vol)?;
+        }
+        phases.enter_post(vol);
+        // Post-work: keep the ladder ready for tomorrow.
+        if cycle_ends {
+            // Prepare the ladder for the next cluster to expire.
+            let next_expiring = Day(expired.0 + 1);
+            let j2 = self.wave.slot_containing(next_expiring).ok_or_else(|| {
+                IndexError::Corrupt(format!("no constituent holds {next_expiring}"))
+            })?;
+            let remainder: Vec<Day> = self
+                .wave
+                .slot(j2)
+                .expect("slot just found")
+                .days()
+                .iter()
+                .copied()
+                .filter(|d| *d != next_expiring)
+                .collect();
+            self.initialize(vol, archive, &remainder, &mut ops)?;
+        } else {
+            self.days_to_add.insert(new_day);
+            let to_add: Vec<Day> = self.days_to_add.iter().copied().collect();
+            let batches = fetch(archive, to_add.clone())?;
+            let rung_label = if self.ladder.used() > 0 {
+                format!("T{}", self.ladder.used())
+            } else {
+                "T0".to_string()
+            };
+            let rung = self
+                .ladder
+                .current_mut()
+                .ok_or_else(|| IndexError::Corrupt("ladder rung missing".into()))?;
+            absorb_offline(vol, rung, &batches, self.cfg.technique)?;
+            ops.push(WaveOp::Add {
+                target: rung_label,
+                days: to_add,
+            });
+        }
+        let (precomp, transition, post) = phases.finish(vol);
+
+        self.current = Some(new_day);
+        Ok(TransitionRecord {
+            day: new_day,
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: self.ladder.snapshot(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn wave(&self) -> &WaveIndex {
+        &self.wave
+    }
+
+    fn current_day(&self) -> Option<Day> {
+        self.current
+    }
+
+    fn temp_days(&self) -> usize {
+        self.ladder.days()
+    }
+
+    fn temp_blocks(&self) -> u64 {
+        self.ladder.blocks()
+    }
+
+    fn oldest_needed_day(&self, next: Day) -> Day {
+        Day(next.0.saturating_sub(self.cfg.window))
+    }
+
+    fn release(&mut self, vol: &mut Volume) -> IndexResult<()> {
+        self.ladder.release(vol)?;
+        self.wave.release_all(vol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::make_archive;
+    use super::*;
+
+    /// Reproduces Table 6 (W = 10, n = 2).
+    #[test]
+    fn table_6_transitions() {
+        let mut vol = Volume::default();
+        let mut s = ReindexPlusPlus::new(SchemeConfig::new(10, 2)).unwrap();
+        let archive = make_archive(16, 2);
+        let day = |d: u32| Day(d);
+
+        let rec = s.start(&mut vol, &archive).unwrap();
+        // Ladder after start: T4 = {2,3,4,5} … T1 = {5}, T0 = φ.
+        assert_eq!(
+            rec.temps,
+            vec![
+                ("T4".into(), vec![day(2), day(3), day(4), day(5)]),
+                ("T3".into(), vec![day(3), day(4), day(5)]),
+                ("T2".into(), vec![day(4), day(5)]),
+                ("T1".into(), vec![day(5)]),
+                ("T0".into(), vec![]),
+            ]
+        );
+        // Day 11: T4 + d11 becomes I1.
+        let rec = s.transition(&mut vol, &archive, Day(11)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(2), day(3), day(4), day(5), day(11)]
+        );
+        assert_eq!(rec.temps[0], ("T3".into(), vec![day(3), day(4), day(5), day(11)]));
+        // Day 12: T3 + d12 becomes I1.
+        let rec = s.transition(&mut vol, &archive, Day(12)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(3), day(4), day(5), day(11), day(12)]
+        );
+        // Days 13, 14.
+        s.transition(&mut vol, &archive, Day(13)).unwrap();
+        let rec = s.transition(&mut vol, &archive, Day(14)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            vec![day(5), day(11), day(12), day(13), day(14)]
+        );
+        assert_eq!(
+            rec.temps.last().unwrap(),
+            &("T0".into(), vec![day(11), day(12), day(13), day(14)])
+        );
+        // Day 15: T0 + d15 becomes I1; ladder re-initialised over
+        // {7,8,9,10}.
+        let rec = s.transition(&mut vol, &archive, Day(15)).unwrap();
+        assert_eq!(
+            rec.constituents[0].1,
+            (11..=15).map(Day).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            rec.temps[0],
+            ("T4".into(), vec![day(7), day(8), day(9), day(10)])
+        );
+        // Day 16: T4 + d16 becomes I2.
+        let rec = s.transition(&mut vol, &archive, Day(16)).unwrap();
+        assert_eq!(
+            rec.constituents[1].1,
+            vec![day(7), day(8), day(9), day(10), day(16)]
+        );
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn hard_window_over_long_run() {
+        let mut vol = Volume::default();
+        let mut s = ReindexPlusPlus::new(SchemeConfig::new(9, 3)).unwrap();
+        let archive = make_archive(40, 3);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 10..=40 {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
+            assert_eq!(covered, (d - 8..=d).collect::<Vec<u32>>(), "day {d}");
+            s.wave().check_disjoint().unwrap();
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn one_day_clusters_work() {
+        // n == W: the ladder degenerates to just T0.
+        let mut vol = Volume::default();
+        let mut s = ReindexPlusPlus::new(SchemeConfig::new(4, 4)).unwrap();
+        let archive = make_archive(12, 2);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 5..=12 {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
+            assert_eq!(covered, (d - 3..=d).collect::<Vec<u32>>(), "day {d}");
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn mixed_cluster_sizes_work() {
+        // W = 10, n = 3: clusters of 4, 3, 3 days.
+        let mut vol = Volume::default();
+        let mut s = ReindexPlusPlus::new(SchemeConfig::new(10, 3)).unwrap();
+        let archive = make_archive(35, 2);
+        s.start(&mut vol, &archive).unwrap();
+        for d in 11..=35 {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
+            assert_eq!(covered, (d - 9..=d).collect::<Vec<u32>>(), "day {d}");
+        }
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn transition_path_is_one_day_of_work() {
+        // The critical path adds a single day regardless of cluster
+        // size; the ladder maintenance is post-work.
+        let mut vol = Volume::default();
+        let mut s = ReindexPlusPlus::new(SchemeConfig::new(10, 2)).unwrap();
+        let archive = make_archive(14, 10);
+        s.start(&mut vol, &archive).unwrap();
+        let rec = s.transition(&mut vol, &archive, Day(11)).unwrap();
+        assert!(
+            rec.transition.blocks_total() < rec.post.blocks_total() + rec.transition.blocks_total(),
+            "some work happens off the critical path"
+        );
+        assert!(rec.post.blocks_total() > 0, "ladder upkeep is post-work");
+        s.release(&mut vol).unwrap();
+    }
+}

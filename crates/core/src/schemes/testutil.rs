@@ -1,0 +1,22 @@
+//! Shared helpers for scheme tests.
+
+use crate::record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
+
+/// An archive of `days` batches, each with `values_per_day` records
+/// over a small shared vocabulary (so buckets grow across days).
+pub(crate) fn make_archive(days: u32, values_per_day: usize) -> DayArchive {
+    let mut archive = DayArchive::new();
+    for d in 1..=days {
+        let records = (0..values_per_day)
+            .map(|i| {
+                Record::with_values(
+                    RecordId((d as u64) * 1000 + i as u64),
+                    vec![SearchValue::from_u64((i % 3) as u64)],
+                )
+            })
+            .collect();
+        archive.insert(DayBatch::new(Day(d), records));
+    }
+    archive
+}
+

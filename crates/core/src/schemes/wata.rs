@@ -1,0 +1,490 @@
+//! WATA* (Section 3.3, Figure 16): wait-and-throw-away.
+//!
+//! The lazy scheme: new days are appended to the most recently started
+//! constituent; a whole constituent is discarded only once every day
+//! in it has expired (and the remaining constituents cover exactly the
+//! last `W − 1` days). No deletion code, bulk O(1) drops, minimal
+//! daily work — at the price of a *soft* window that may index up to
+//! `ceil((W−1)/(n−1)) − 1` extra expired days.
+//!
+//! Theorems 1-2 (Appendix B): WATA* is length-optimal among
+//! wait-and-throw-away schemes, with maximum length exactly
+//! `W + ceil((W−1)/(n−1)) − 1`. Theorem 3: its peak *size* is at most
+//! twice that of any scheme, online or offline (competitive ratio 2).
+//! Both are checked by tests here and property tests in `tests/`.
+
+use wave_storage::Volume;
+
+use crate::error::{IndexError, IndexResult};
+use crate::index::ConstituentIndex;
+use crate::record::{Day, DayArchive};
+use crate::update::Updater;
+use crate::wave::WaveIndex;
+
+use super::common::{expect_consecutive, expect_start_archive, fetch, split_days, split_wata, Phases};
+use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
+
+/// How WATA* partitions the first `W` days.
+///
+/// The throw-away rule is identical either way; only the initial
+/// clustering differs, which is exactly the comparison the paper draws
+/// between Tables 3 and 4: the [`WataStart::Star`] split is
+/// length-optimal (Theorem 1), the [`WataStart::Table4`] split indexes
+/// one more day at its peak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WataStart {
+    /// Figure 16: days `1..W` over the first `n−1` indexes, day `W`
+    /// alone in index `n` (Table 3's clustering).
+    #[default]
+    Star,
+    /// Table 4: all `W` days over the first `n−1` indexes, index `n`
+    /// starts empty.
+    Table4,
+}
+
+/// The WATA* scheme.
+#[derive(Debug)]
+pub struct WataStar {
+    cfg: SchemeConfig,
+    start_variant: WataStart,
+    updater: Updater,
+    wave: WaveIndex,
+    /// Slot of the most recently (re)started constituent (`last`).
+    last: usize,
+    current: Option<Day>,
+}
+
+impl WataStar {
+    /// Creates a WATA* scheme; requires `2 <= n <= W` (with one index
+    /// nothing would ever fully expire, so the index would grow
+    /// forever — Section 3.3).
+    pub fn new(cfg: SchemeConfig) -> IndexResult<Self> {
+        Self::with_start(cfg, WataStart::Star)
+    }
+
+    /// Creates a WATA scheme with an explicit start partition.
+    pub fn with_start(cfg: SchemeConfig, start_variant: WataStart) -> IndexResult<Self> {
+        cfg.validate(2)?;
+        Ok(WataStar {
+            cfg,
+            start_variant,
+            updater: Updater::new(cfg.technique),
+            wave: WaveIndex::with_slots(cfg.fan),
+            last: cfg.fan - 1,
+            current: None,
+        })
+    }
+
+    /// The bound of Theorems 1-2: the most days any WATA* wave index
+    /// ever stores.
+    pub fn max_length_bound(window: u32, fan: usize) -> u32 {
+        window + (window - 1).div_ceil(fan as u32 - 1) - 1
+    }
+
+    /// Whether dropping slot `j` leaves exactly the last `W − 1` days
+    /// (Figure 16's throw-away condition `Σ_{i≠j} Z_i = W − 1`).
+    fn should_throw(&self, j: usize) -> bool {
+        let others: usize = self
+            .wave
+            .iter()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, idx)| idx.len_days())
+            .sum();
+        others as u32 == self.cfg.window - 1
+    }
+}
+
+impl WaveScheme for WataStar {
+    fn name(&self) -> &'static str {
+        "WATA*"
+    }
+
+    fn config(&self) -> &SchemeConfig {
+        &self.cfg
+    }
+
+    fn window_kind(&self) -> WindowKind {
+        WindowKind::Soft
+    }
+
+    fn start(&mut self, vol: &mut Volume, archive: &DayArchive) -> IndexResult<TransitionRecord> {
+        expect_start_archive(archive, self.cfg.window)?;
+        let mut phases = Phases::begin(vol);
+        phases.enter_transition(vol);
+        let mut ops = Vec::new();
+        let clusters = match self.start_variant {
+            WataStart::Star => split_wata(self.cfg.window, self.cfg.fan),
+            WataStart::Table4 => {
+                let mut c = split_days(1, self.cfg.window, self.cfg.fan - 1);
+                c.push(Vec::new());
+                c
+            }
+        };
+        for (j, cluster) in clusters.into_iter().enumerate() {
+            let label = format!("I{}", j + 1);
+            if cluster.is_empty() {
+                self.wave
+                    .install(j, ConstituentIndex::new_empty(&label, self.cfg.index));
+                continue;
+            }
+            let batches = fetch(archive, cluster.iter().copied())?;
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batches)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: cluster,
+            });
+            self.wave.install(j, idx);
+        }
+        self.last = self.cfg.fan - 1;
+        self.current = Some(Day(self.cfg.window));
+        let (precomp, transition, post) = phases.finish(vol);
+        Ok(TransitionRecord {
+            day: Day(self.cfg.window),
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: Vec::new(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn transition(
+        &mut self,
+        vol: &mut Volume,
+        archive: &DayArchive,
+        new_day: Day,
+    ) -> IndexResult<TransitionRecord> {
+        expect_consecutive(self.current, new_day)?;
+        let expired = Day(new_day.0 - self.cfg.window);
+        let j = self
+            .wave
+            .slot_containing(expired)
+            .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {expired}")))?;
+        let batch = fetch(archive, [new_day])?;
+        let mut ops = Vec::new();
+        let mut phases = Phases::begin(vol);
+
+        if self.should_throw(j) {
+            let label = format!("I{}", j + 1);
+            // The drop needs no new data: pre-computation.
+            self.wave.drop_index(vol, j)?;
+            ops.push(WaveOp::Drop {
+                target: label.clone(),
+            });
+            phases.enter_transition(vol);
+            let idx = ConstituentIndex::build_packed(&label, self.cfg.index, vol, &batch)?;
+            ops.push(WaveOp::Build {
+                target: label,
+                days: vec![new_day],
+            });
+            self.wave.install(j, idx);
+            self.last = j;
+        } else {
+            // Wait: append the new day to the growing constituent.
+            // Under simple shadowing the copy is pre-computation.
+            let idx = self
+                .wave
+                .slot_mut(self.last)
+                .ok_or_else(|| IndexError::Corrupt("last slot vanished".into()))?;
+            let prep = self.updater.prepare(vol, idx, &Default::default())?;
+            phases.enter_transition(vol);
+            self.updater
+                .apply(vol, idx, prep, &Default::default(), &batch)?;
+            ops.push(WaveOp::Add {
+                target: format!("I{}", self.last + 1),
+                days: vec![new_day],
+            });
+        }
+        let (precomp, transition, post) = phases.finish(vol);
+
+        self.current = Some(new_day);
+        Ok(TransitionRecord {
+            day: new_day,
+            ops,
+            constituents: self.wave.snapshot(),
+            temps: Vec::new(),
+            precomp,
+            transition,
+            post,
+        })
+    }
+
+    fn wave(&self) -> &WaveIndex {
+        &self.wave
+    }
+
+    fn current_day(&self) -> Option<Day> {
+        self.current
+    }
+
+    fn temp_days(&self) -> usize {
+        0
+    }
+
+    fn temp_blocks(&self) -> u64 {
+        0
+    }
+
+    fn oldest_needed_day(&self, next: Day) -> Day {
+        // Only the new day's batch is ever needed.
+        Day(next.0.saturating_sub(1))
+    }
+
+    fn release(&mut self, vol: &mut Volume) -> IndexResult<()> {
+        self.wave.release_all(vol)
+    }
+}
+
+/// Outcome of the size-only WATA* simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WataSimOutcome {
+    /// Peak total days indexed (the *length* measure).
+    pub max_length: u32,
+    /// Peak total size in the units of the input series (the *size*
+    /// measure of Section 3.3).
+    pub max_size: f64,
+}
+
+/// Simulates WATA* cluster decisions over a per-day size series,
+/// without building real indexes. `sizes[t]` is the index size of day
+/// `t + 1`; the simulation runs a start over the first `W` days and a
+/// transition for each remaining day.
+///
+/// This is the engine behind Figure 11 and the Theorem 1-3 property
+/// tests; the full scheme above is exercised against it in
+/// integration tests to confirm both make identical decisions.
+///
+/// ```
+/// use wave_index::schemes::wata::simulate_wata_star_sizes;
+/// use wave_index::schemes::WataStar;
+///
+/// // Uniform day sizes: the peak length meets the Theorem 2 bound.
+/// let sizes = vec![1.0; 60];
+/// let sim = simulate_wata_star_sizes(&sizes, 10, 4);
+/// assert_eq!(sim.max_length, WataStar::max_length_bound(10, 4));
+/// assert_eq!(sim.max_length, 12);
+/// ```
+pub fn simulate_wata_star_sizes(sizes: &[f64], window: u32, fan: usize) -> WataSimOutcome {
+    assert!(fan >= 2, "WATA needs at least two indexes");
+    assert!(
+        sizes.len() >= window as usize,
+        "need at least W days of sizes"
+    );
+    let w = window as usize;
+    // clusters[j] = (first_day, day_count) using 1-based days.
+    let mut clusters: Vec<(usize, usize)> = Vec::with_capacity(fan);
+    {
+        let per = split_wata(window, fan);
+        for c in per {
+            clusters.push((c[0].0 as usize, c.len()));
+        }
+    }
+    let mut last = fan - 1;
+    let size_of = |first: usize, count: usize| -> f64 {
+        sizes[first - 1..first - 1 + count].iter().sum()
+    };
+    let mut max_length = w as u32;
+    let mut max_size: f64 = clusters.iter().map(|&(f, c)| size_of(f, c)).sum();
+
+    for t in (w + 1)..=sizes.len() {
+        let expired = t - w;
+        let j = clusters
+            .iter()
+            .position(|&(first, count)| first <= expired && expired < first + count)
+            .expect("some cluster holds the expiring day");
+        let other_days: usize = clusters
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, &(_, c))| c)
+            .sum();
+        if other_days == w - 1 {
+            clusters[j] = (t, 1);
+            last = j;
+        } else {
+            clusters[last].1 += 1;
+            debug_assert_eq!(clusters[last].0 + clusters[last].1 - 1, t);
+        }
+        let length: usize = clusters.iter().map(|&(_, c)| c).sum();
+        let size: f64 = clusters.iter().map(|&(f, c)| size_of(f, c)).sum();
+        max_length = max_length.max(length as u32);
+        max_size = max_size.max(size);
+    }
+    WataSimOutcome {
+        max_length,
+        max_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::make_archive;
+    use super::*;
+
+    /// Reproduces Table 3 (W = 10, n = 4).
+    #[test]
+    fn table_3_transitions() {
+        let mut vol = Volume::default();
+        let mut s = WataStar::new(SchemeConfig::new(10, 4)).unwrap();
+        let archive = make_archive(16, 2);
+        let rec = s.start(&mut vol, &archive).unwrap();
+        assert_eq!(
+            rec.constituents,
+            vec![
+                ("I1".into(), vec![Day(1), Day(2), Day(3)]),
+                ("I2".into(), vec![Day(4), Day(5), Day(6)]),
+                ("I3".into(), vec![Day(7), Day(8), Day(9)]),
+                ("I4".into(), vec![Day(10)]),
+            ]
+        );
+        // Days 11, 12: wait, adding to I4.
+        let rec = s.transition(&mut vol, &archive, Day(11)).unwrap();
+        assert_eq!(rec.constituents[3].1, vec![Day(10), Day(11)]);
+        let rec = s.transition(&mut vol, &archive, Day(12)).unwrap();
+        assert_eq!(rec.constituents[3].1, vec![Day(10), Day(11), Day(12)]);
+        // Day 13: throw I1 away, restart it with d13.
+        let rec = s.transition(&mut vol, &archive, Day(13)).unwrap();
+        assert_eq!(rec.ops[0], WaveOp::Drop { target: "I1".into() });
+        assert_eq!(rec.constituents[0], ("I1".into(), vec![Day(13)]));
+        // Day 14 adds to the restarted I1.
+        let rec = s.transition(&mut vol, &archive, Day(14)).unwrap();
+        assert_eq!(rec.constituents[0].1, vec![Day(13), Day(14)]);
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    /// Reproduces Table 4 (the alternative clustering, W = 10, n = 4)
+    /// and the length comparison the paper draws from it.
+    #[test]
+    fn table_4_transitions_and_length() {
+        let mut vol = Volume::default();
+        let mut s =
+            WataStar::with_start(SchemeConfig::new(10, 4), WataStart::Table4).unwrap();
+        let archive = make_archive(16, 2);
+        let rec = s.start(&mut vol, &archive).unwrap();
+        assert_eq!(
+            rec.constituents,
+            vec![
+                ("I1".into(), vec![Day(1), Day(2), Day(3), Day(4)]),
+                ("I2".into(), vec![Day(5), Day(6), Day(7)]),
+                ("I3".into(), vec![Day(8), Day(9), Day(10)]),
+                ("I4".into(), vec![]),
+            ]
+        );
+        let mut max_len = s.wave().length();
+        for d in 11..=16 {
+            let rec = s.transition(&mut vol, &archive, Day(d)).unwrap();
+            max_len = max_len.max(s.wave().length());
+            if d <= 13 {
+                // Days 11-13 accumulate in I4.
+                assert_eq!(
+                    rec.constituents[3].1,
+                    (11..=d).map(Day).collect::<Vec<_>>()
+                );
+            }
+            if d == 14 {
+                // Day 14 throws I1 away.
+                assert_eq!(rec.ops[0], WaveOp::Drop { target: "I1".into() });
+                assert_eq!(rec.constituents[0].1, vec![Day(14)]);
+            }
+        }
+        // Table 4's clustering peaks at 13 days; WATA*'s at 12.
+        assert_eq!(max_len, 13);
+        assert_eq!(WataStar::max_length_bound(10, 4), 12);
+        s.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn soft_window_covers_and_bounds_hold() {
+        for (w, n) in [(10u32, 4usize), (7, 2), (7, 3), (12, 5), (5, 5)] {
+            let mut vol = Volume::default();
+            let mut s = WataStar::new(SchemeConfig::new(w, n)).unwrap();
+            let archive = make_archive(w + 40, 2);
+            s.start(&mut vol, &archive).unwrap();
+            let bound = WataStar::max_length_bound(w, n);
+            let mut seen_max = w;
+            for d in (w + 1)..=(w + 40) {
+                s.transition(&mut vol, &archive, Day(d)).unwrap();
+                let covered = s.wave().covered_days();
+                // Soft window: superset of the hard window…
+                for day in (d - w + 1)..=d {
+                    assert!(covered.contains(&Day(day)), "W={w},n={n}: {day} missing");
+                }
+                // …and length never exceeds the Theorem 2 bound.
+                let len = s.wave().length() as u32;
+                assert!(len <= bound, "W={w},n={n}: length {len} > bound {bound}");
+                seen_max = seen_max.max(len);
+                s.wave().check_disjoint().unwrap();
+            }
+            // The bound is tight: it is reached, not just approached.
+            assert_eq!(seen_max, bound, "W={w},n={n}");
+            s.release(&mut vol).unwrap();
+            assert_eq!(vol.live_blocks(), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_single_index() {
+        assert!(WataStar::new(SchemeConfig::new(10, 1)).is_err());
+    }
+
+    #[test]
+    fn size_simulator_agrees_with_real_scheme() {
+        let w = 10u32;
+        let n = 4usize;
+        let days = 30u32;
+        // Uniform sizes: 1.0 per day; the real scheme's length per day
+        // must match the simulator's tracking.
+        let sizes = vec![1.0; days as usize];
+        let sim = simulate_wata_star_sizes(&sizes, w, n);
+        let mut vol = Volume::default();
+        let mut s = WataStar::new(SchemeConfig::new(w, n)).unwrap();
+        let archive = make_archive(days, 2);
+        s.start(&mut vol, &archive).unwrap();
+        let mut real_max = s.wave().length() as u32;
+        for d in (w + 1)..=days {
+            s.transition(&mut vol, &archive, Day(d)).unwrap();
+            real_max = real_max.max(s.wave().length() as u32);
+        }
+        assert_eq!(sim.max_length, real_max);
+        assert_eq!(sim.max_size, real_max as f64, "uniform sizes: size == length");
+        s.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn theorem_2_exact_bound_in_simulator() {
+        for (w, n) in [(10u32, 2usize), (10, 4), (30, 3), (7, 7), (100, 10)] {
+            let sizes = vec![1.0; 5 * w as usize];
+            let sim = simulate_wata_star_sizes(&sizes, w, n);
+            assert_eq!(
+                sim.max_length,
+                WataStar::max_length_bound(w, n),
+                "W={w}, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_3_competitive_ratio_under_spiky_sizes() {
+        // A spiky series: the optimal peak is the max window sum M;
+        // WATA* must stay within 2M.
+        let mut sizes = Vec::new();
+        for t in 0..120usize {
+            sizes.push(if t % 7 == 3 { 10.0 } else { 1.0 });
+        }
+        for (w, n) in [(7u32, 2usize), (7, 4), (14, 3)] {
+            let sim = simulate_wata_star_sizes(&sizes, w, n);
+            let w_us = w as usize;
+            let max_window: f64 = (0..=(sizes.len() - w_us))
+                .map(|i| sizes[i..i + w_us].iter().sum())
+                .fold(f64::MIN, f64::max);
+            assert!(
+                sim.max_size <= 2.0 * max_window + 1e-9,
+                "W={w}, n={n}: {} > 2 × {max_window}",
+                sim.max_size
+            );
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The three update techniques of Section 2.1 behind one interface.
+//!
+//! Schemes express every constituent-index mutation as *prepare* (the
+//! part that can run before the new day's data arrives) followed by
+//! *apply* (the part that needs the data). How much work lands in each
+//! half depends on the technique:
+//!
+//! | technique      | prepare                              | apply |
+//! |----------------|--------------------------------------|-------|
+//! | in-place       | delete expired entries in place      | add new entries in place |
+//! | simple shadow  | copy index, delete on the copy       | add on the copy, swap |
+//! | packed shadow  | nothing                              | smart-copy (expire + merge), swap |
+//!
+//! Splitting the phases is what gives DEL its low transition time in
+//! Table 10: the shadow copy and the deletions are pre-computation.
+
+use std::collections::BTreeSet;
+
+use wave_storage::Volume;
+
+use crate::error::IndexResult;
+use crate::index::ConstituentIndex;
+use crate::record::{Day, DayBatch};
+
+/// Which update technique of Section 2.1 a scheme uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateTechnique {
+    /// Modify directory/buckets in place. No extra space; needs
+    /// concurrency control in a live system; result unpacked.
+    InPlace,
+    /// Copy the index, update the copy, swap. Queries keep using the
+    /// old version meanwhile; result unpacked.
+    #[default]
+    SimpleShadow,
+    /// Stream the old index into a fresh packed copy, folding
+    /// deletions and insertions into the copy pass.
+    PackedShadow,
+}
+
+impl UpdateTechnique {
+    /// Short display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateTechnique::InPlace => "in-place",
+            UpdateTechnique::SimpleShadow => "simple-shadow",
+            UpdateTechnique::PackedShadow => "packed-shadow",
+        }
+    }
+}
+
+/// State carried from [`Updater::prepare`] to [`Updater::apply`].
+#[derive(Debug, Default)]
+pub struct PreparedUpdate {
+    /// Shadow copy under construction (simple shadow only).
+    shadow: Option<ConstituentIndex>,
+    /// Days already deleted during prepare.
+    deleted: BTreeSet<Day>,
+}
+
+/// Executes `AddToIndex`/`DeleteFromIndex` under a chosen technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Updater {
+    /// The technique in force.
+    pub technique: UpdateTechnique,
+}
+
+impl Updater {
+    /// Creates an updater for `technique`.
+    pub fn new(technique: UpdateTechnique) -> Self {
+        Updater { technique }
+    }
+
+    /// Pre-computation half: everything that does not need the new
+    /// day's data. `del_days` are the entries known to expire.
+    pub fn prepare(
+        &self,
+        vol: &mut Volume,
+        idx: &mut ConstituentIndex,
+        del_days: &BTreeSet<Day>,
+    ) -> IndexResult<PreparedUpdate> {
+        match self.technique {
+            UpdateTechnique::InPlace => {
+                if !del_days.is_empty() {
+                    idx.delete_days_in_place(vol, del_days)?;
+                }
+                Ok(PreparedUpdate {
+                    shadow: None,
+                    deleted: del_days.clone(),
+                })
+            }
+            UpdateTechnique::SimpleShadow => {
+                let mut shadow = idx.clone_shadow(vol, idx.label().to_string())?;
+                if !del_days.is_empty() {
+                    if let Err(e) = shadow.delete_days_in_place(vol, del_days) {
+                        let _ = shadow.release(vol);
+                        return Err(e);
+                    }
+                }
+                Ok(PreparedUpdate {
+                    shadow: Some(shadow),
+                    deleted: del_days.clone(),
+                })
+            }
+            // The smart copy needs the new data; nothing to prepare.
+            UpdateTechnique::PackedShadow => Ok(PreparedUpdate::default()),
+        }
+    }
+
+    /// Transition half: adds `add` (and any deletions not handled in
+    /// prepare), making the updated index current.
+    pub fn apply(
+        &self,
+        vol: &mut Volume,
+        idx: &mut ConstituentIndex,
+        prep: PreparedUpdate,
+        del_days: &BTreeSet<Day>,
+        add: &[&DayBatch],
+    ) -> IndexResult<()> {
+        let remaining: BTreeSet<Day> = del_days.difference(&prep.deleted).copied().collect();
+        match self.technique {
+            UpdateTechnique::InPlace => {
+                if !remaining.is_empty() {
+                    idx.delete_days_in_place(vol, &remaining)?;
+                }
+                idx.add_batches_in_place(vol, add)
+            }
+            UpdateTechnique::SimpleShadow => {
+                let mut shadow = match prep.shadow {
+                    Some(s) => s,
+                    // Prepare was skipped (update decided after data
+                    // arrival); copy now.
+                    None => idx.clone_shadow(vol, idx.label().to_string())?,
+                };
+                // On failure, release the shadow so an aborted
+                // transition leaks no space; the live index is
+                // untouched (the point of shadowing).
+                let result = (|| -> IndexResult<()> {
+                    if !remaining.is_empty() {
+                        shadow.delete_days_in_place(vol, &remaining)?;
+                    }
+                    shadow.add_batches_in_place(vol, add)
+                })();
+                if let Err(e) = result {
+                    let _ = shadow.release(vol);
+                    return Err(e);
+                }
+                let old = std::mem::replace(idx, shadow);
+                old.release(vol)
+            }
+            UpdateTechnique::PackedShadow => {
+                let new = idx.smart_copy(vol, idx.label().to_string(), del_days, add)?;
+                let old = std::mem::replace(idx, new);
+                old.release(vol)
+            }
+        }
+    }
+
+    /// Convenience: prepare + apply in one step (used where the paper
+    /// does not split phases, e.g. temp-index maintenance).
+    pub fn update(
+        &self,
+        vol: &mut Volume,
+        idx: &mut ConstituentIndex,
+        del_days: &BTreeSet<Day>,
+        add: &[&DayBatch],
+    ) -> IndexResult<()> {
+        let prep = self.prepare(vol, idx, del_days)?;
+        self.apply(vol, idx, prep, del_days, add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::record::{Record, RecordId, SearchValue};
+
+    fn batch(day: u32, words: &[&str]) -> DayBatch {
+        DayBatch::new(
+            Day(day),
+            vec![Record::with_values(
+                RecordId(day as u64),
+                words.iter().map(|w| SearchValue::from(*w)),
+            )],
+        )
+    }
+
+    fn seed_index(vol: &mut Volume) -> ConstituentIndex {
+        let b1 = batch(1, &["war", "old"]);
+        let b2 = batch(2, &["war"]);
+        ConstituentIndex::build_packed("I1", IndexConfig::default(), vol, &[&b1, &b2]).unwrap()
+    }
+
+    /// All three techniques must produce the same logical contents.
+    #[test]
+    fn techniques_agree_on_contents() {
+        let mut results = Vec::new();
+        for technique in [
+            UpdateTechnique::InPlace,
+            UpdateTechnique::SimpleShadow,
+            UpdateTechnique::PackedShadow,
+        ] {
+            let mut vol = Volume::default();
+            let mut idx = seed_index(&mut vol);
+            let up = Updater::new(technique);
+            let del: BTreeSet<Day> = [Day(1)].into();
+            let add = batch(3, &["war", "new"]);
+            up.update(&mut vol, &mut idx, &del, &[&add]).unwrap();
+            idx.check_consistency(&mut vol).unwrap();
+            let mut entries = idx.scan(&mut vol).unwrap();
+            entries.sort_unstable();
+            results.push((technique, entries, idx.is_packed()));
+            idx.release(&mut vol).unwrap();
+            assert_eq!(vol.live_blocks(), 0, "{technique:?} leaked space");
+        }
+        let (_, ref baseline, _) = results[0];
+        for (t, entries, _) in &results {
+            assert_eq!(entries, baseline, "{t:?} diverged");
+        }
+        // Only packed shadow leaves a packed index.
+        assert!(!results[0].2, "in-place result is unpacked");
+        assert!(!results[1].2, "simple shadow result is unpacked");
+        assert!(results[2].2, "packed shadow result is packed");
+    }
+
+    #[test]
+    fn simple_shadow_prepare_copies_before_data() {
+        let mut vol = Volume::default();
+        let mut idx = seed_index(&mut vol);
+        let blocks_before = vol.live_blocks();
+        let up = Updater::new(UpdateTechnique::SimpleShadow);
+        let del: BTreeSet<Day> = [Day(1)].into();
+        let prep = up.prepare(&mut vol, &mut idx, &del).unwrap();
+        // Shadow exists alongside the original: extra space during
+        // transition, as Table 8 charges.
+        assert!(vol.live_blocks() > blocks_before);
+        let add = batch(3, &["war"]);
+        up.apply(&mut vol, &mut idx, prep, &del, &[&add]).unwrap();
+        assert_eq!(idx.len_days(), 2);
+        assert!(!idx.days().contains(&Day(1)));
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn in_place_prepare_deletes_eagerly() {
+        let mut vol = Volume::default();
+        let mut idx = seed_index(&mut vol);
+        let up = Updater::new(UpdateTechnique::InPlace);
+        let del: BTreeSet<Day> = [Day(1)].into();
+        let prep = up.prepare(&mut vol, &mut idx, &del).unwrap();
+        assert_eq!(idx.len_days(), 1, "deletion happened during prepare");
+        up.apply(&mut vol, &mut idx, prep, &del, &[&batch(3, &["w"])])
+            .unwrap();
+        assert_eq!(idx.len_days(), 2);
+        idx.release(&mut vol).unwrap();
+    }
+
+    #[test]
+    fn apply_without_prepare_still_works() {
+        for technique in [
+            UpdateTechnique::InPlace,
+            UpdateTechnique::SimpleShadow,
+            UpdateTechnique::PackedShadow,
+        ] {
+            let mut vol = Volume::default();
+            let mut idx = seed_index(&mut vol);
+            let up = Updater::new(technique);
+            let del: BTreeSet<Day> = [Day(1)].into();
+            up.apply(
+                &mut vol,
+                &mut idx,
+                PreparedUpdate::default(),
+                &del,
+                &[&batch(3, &["z"])],
+            )
+            .unwrap();
+            assert!(!idx.days().contains(&Day(1)));
+            assert!(idx.days().contains(&Day(3)));
+            idx.release(&mut vol).unwrap();
+            assert_eq!(vol.live_blocks(), 0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: both directory structures against
+//! `std::collections::BTreeMap` under arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use wave_index::directory::{BPlusTree, HashTable};
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| DirOp::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| DirOp::Remove(k % 512)),
+        any::<u16>().prop_map(|k| DirOp::Get(k % 512)),
+    ]
+}
+
+proptest! {
+    /// The B+Tree mirrors BTreeMap exactly and keeps its structural
+    /// invariants after every operation.
+    #[test]
+    fn bptree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BPlusTree::with_order(6);
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                DirOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                DirOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                DirOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariant violated: {e}"))
+        })?;
+        let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The hash table mirrors BTreeMap as a map (order aside), and its
+    /// sorted iteration matches exactly.
+    #[test]
+    fn hash_table_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut table = HashTable::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                DirOp::Insert(k, v) => {
+                    prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+                }
+                DirOp::Remove(k) => {
+                    prop_assert_eq!(table.remove(&k), model.remove(&k));
+                }
+                DirOp::Get(k) => {
+                    prop_assert_eq!(table.get(&k), model.get(&k));
+                }
+            }
+        }
+        let got: Vec<(u16, u32)> = table.iter_sorted().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Range queries over the B+Tree agree with BTreeMap's.
+    #[test]
+    fn bptree_range_matches(
+        keys in proptest::collection::btree_set(any::<u16>(), 0..200),
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+    ) {
+        prop_assume!(lo <= hi);
+        let mut tree = BPlusTree::with_order(8);
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        let got: Vec<u16> = tree.range_inclusive(&lo, &hi).map(|(k, _)| *k).collect();
+        let want: Vec<u16> = keys.range(lo..=hi).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests over the full scheme matrix: every scheme × every
+//! update technique, fed randomised workloads, must keep its window
+//! invariant, answer queries identically to the oracle, and return all
+//! storage.
+
+use proptest::prelude::*;
+
+use wave_index::prelude::*;
+use wave_index::schemes::SchemeKind;
+use wave_index::verify::{verify_scheme, Oracle};
+
+/// Random daily batches: varying record counts, a small shared value
+/// space so buckets grow and shrink, and occasional empty days.
+fn random_batch(day: u32, spec: &[(u8, u8)]) -> DayBatch {
+    let records = spec
+        .iter()
+        .enumerate()
+        .map(|(i, &(value, aux))| {
+            Record::with_values(
+                RecordId(day as u64 * 1_000 + i as u64),
+                [SearchValue::from_u64((value % 7) as u64)],
+            )
+            .tap_aux(aux)
+        })
+        .collect();
+    DayBatch::new(Day(day), records)
+}
+
+trait TapAux {
+    fn tap_aux(self, aux: u8) -> Self;
+}
+
+impl TapAux for Record {
+    fn tap_aux(mut self, aux: u8) -> Self {
+        for (_, a) in &mut self.values {
+            *a = aux as u64;
+        }
+        self
+    }
+}
+
+fn scheme_kind(i: u8) -> SchemeKind {
+    SchemeKind::ALL[i as usize % SchemeKind::ALL.len()]
+}
+
+fn technique(i: u8) -> UpdateTechnique {
+    match i % 3 {
+        0 => UpdateTechnique::InPlace,
+        1 => UpdateTechnique::SimpleShadow,
+        _ => UpdateTechnique::PackedShadow,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The grand invariant: windows are exact (or soft-bounded),
+    /// queries match the oracle, storage balances to zero.
+    #[test]
+    fn schemes_agree_with_oracle(
+        kind_sel in any::<u8>(),
+        tech_sel in any::<u8>(),
+        window in 3u32..10,
+        fan_sel in any::<u8>(),
+        day_specs in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..6),
+            12..30
+        ),
+    ) {
+        let kind = scheme_kind(kind_sel);
+        let min_fan = kind.min_fan();
+        let fan = min_fan + (fan_sel as usize) % (window as usize - min_fan + 1);
+        let cfg = SchemeConfig::new(window, fan).with_technique(technique(tech_sel));
+        let mut scheme = kind.build(cfg).unwrap();
+        let mut vol = Volume::default();
+        let mut archive = DayArchive::new();
+        let mut oracle = Oracle::new();
+        prop_assume!(day_specs.len() as u32 > window);
+
+        let probe_values: Vec<SearchValue> =
+            (0..7).map(SearchValue::from_u64).collect();
+        for (i, spec) in day_specs.iter().enumerate() {
+            let day = i as u32 + 1;
+            let batch = random_batch(day, spec);
+            oracle.insert(&batch);
+            archive.insert(batch);
+            if day < window {
+                continue;
+            }
+            if day == window {
+                scheme.start(&mut vol, &archive).unwrap();
+            } else {
+                scheme.transition(&mut vol, &archive, Day(day)).unwrap();
+            }
+            verify_scheme(scheme.as_ref(), &mut vol, &oracle, &probe_values)
+                .unwrap_or_else(|e| panic!("{kind} {:?}: {e}", cfg.technique));
+        }
+        scheme.release(&mut vol).unwrap();
+        prop_assert_eq!(vol.live_blocks(), 0, "{} leaked blocks", kind);
+    }
+
+    /// Persistence: any constituent index reached by any scheme
+    /// round-trips through its byte image.
+    #[test]
+    fn persisted_images_roundtrip(
+        kind_sel in any::<u8>(),
+        day_specs in proptest::collection::vec(
+            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..5),
+            8..14
+        ),
+    ) {
+        let kind = scheme_kind(kind_sel);
+        let window = 6u32;
+        let fan = kind.min_fan().max(2);
+        let mut scheme = kind.build(SchemeConfig::new(window, fan)).unwrap();
+        let mut vol = Volume::default();
+        let mut archive = DayArchive::new();
+        for (i, spec) in day_specs.iter().enumerate() {
+            let day = i as u32 + 1;
+            archive.insert(random_batch(day, spec));
+            if day == window {
+                scheme.start(&mut vol, &archive).unwrap();
+            } else if day > window {
+                scheme.transition(&mut vol, &archive, Day(day)).unwrap();
+            }
+        }
+        for (_, idx) in scheme.wave().iter() {
+            let image = wave_index::persist::index_to_bytes(idx, &mut vol).unwrap();
+            let loaded = wave_index::persist::index_from_bytes(
+                Default::default(),
+                &mut vol,
+                &image,
+            )
+            .unwrap();
+            prop_assert_eq!(loaded.entry_count(), idx.entry_count());
+            prop_assert_eq!(loaded.days(), idx.days());
+            let mut a = idx.scan(&mut vol).unwrap();
+            let mut b = loaded.scan(&mut vol).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            loaded.release(&mut vol).unwrap();
+        }
+        scheme.release(&mut vol).unwrap();
+        prop_assert_eq!(vol.live_blocks(), 0);
+    }
+}
+
+/// Under packed shadowing, every constituent of every scheme stays
+/// packed after every transition — the paper's "better structured
+/// index" property, and the reason Table 11 prices maintenance with
+/// `Build` instead of `Add`.
+#[test]
+fn packed_shadowing_keeps_all_constituents_packed() {
+    for kind in SchemeKind::ALL {
+        let (w, n) = (8u32, kind.min_fan().max(3));
+        let cfg = SchemeConfig::new(w, n).with_technique(UpdateTechnique::PackedShadow);
+        let mut scheme = kind.build(cfg).unwrap();
+        let mut vol = Volume::default();
+        let mut archive = DayArchive::new();
+        for d in 1..=(w + 12) {
+            archive.insert(random_batch(d, &[(d as u8, 0), (d as u8 + 1, 1)]));
+        }
+        scheme.start(&mut vol, &archive).unwrap();
+        for d in (w + 1)..=(w + 12) {
+            scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+            for (_, idx) in scheme.wave().iter() {
+                assert!(
+                    idx.is_packed(),
+                    "{kind} day {d}: constituent {} unpacked under packed shadowing",
+                    idx.label()
+                );
+            }
+        }
+        scheme.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0, "{kind}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+///
+/// The variants are deliberately specific: callers in the index layer
+/// distinguish "I asked for something out of range" (a logic bug worth
+/// surfacing loudly in tests) from environmental I/O failures.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A read or write touched blocks outside the given extent.
+    OutOfExtent {
+        /// Extent the operation was confined to.
+        extent_blocks: u64,
+        /// Byte offset at which the operation started.
+        offset: usize,
+        /// Number of bytes in the operation.
+        len: usize,
+    },
+    /// An extent was freed that the allocator does not consider live.
+    DoubleFree {
+        /// First block of the offending extent.
+        start: u64,
+        /// Length of the offending extent in blocks.
+        len: u64,
+    },
+    /// A zero-length allocation or extent was requested.
+    EmptyExtent,
+    /// A named file was not found in a [`crate::FileStore`].
+    FileNotFound(String),
+    /// Underlying operating-system I/O failure (file store only).
+    Io(io::Error),
+    /// A failure injected by [`crate::SimDisk::inject_failure_after`]
+    /// (testing only).
+    Injected,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfExtent {
+                extent_blocks,
+                offset,
+                len,
+            } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds extent of {extent_blocks} blocks"
+            ),
+            StorageError::DoubleFree { start, len } => {
+                write!(f, "freeing extent [{start}, +{len}) that is not live")
+            }
+            StorageError::EmptyExtent => write!(f, "zero-length extent requested"),
+            StorageError::FileNotFound(name) => write!(f, "file {name:?} not found in store"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Injected => write!(f, "injected I/O failure"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::OutOfExtent {
+            extent_blocks: 4,
+            offset: 100,
+            len: 5000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5000"), "message should mention length: {s}");
+        assert!(s.contains("4 blocks"), "message should mention extent: {s}");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e: StorageError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn double_free_message() {
+        let e = StorageError::DoubleFree { start: 7, len: 3 };
+        assert!(e.to_string().contains("[7, +3)"));
+    }
+}

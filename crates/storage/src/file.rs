@@ -1,0 +1,230 @@
+//! Real, file-backed index storage.
+//!
+//! Each constituent index of a wave index can be persisted as one file
+//! in a store directory. The store exists to demonstrate two points
+//! the paper makes about engineering wave indexes on commodity
+//! systems:
+//!
+//! * `DropIndex` — throwing away a whole constituent index — is a
+//!   single file unlink, O(1) in the index size (Section 1's "a few
+//!   milliseconds to throw away an index irrespective of the index
+//!   size" observation about Sybase).
+//! * Shadow updating maps onto write-new-file-then-rename, so queries
+//!   keep reading the old file until the atomic swap.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Opaque handle to a file in a [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(u64);
+
+/// A directory of named index files with handle-based access.
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+    next_id: u64,
+    names: HashMap<FileId, String>,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> StorageResult<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FileStore {
+            root,
+            next_id: 0,
+            names: HashMap::new(),
+        })
+    }
+
+    /// Opens a store in a fresh unique temporary directory.
+    pub fn open_temp() -> StorageResult<Self> {
+        // Avoid collisions between parallel tests without extra deps:
+        // pid + monotonic counter + timestamp.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let dir = std::env::temp_dir().join(format!(
+            "wave-store-{}-{}-{}",
+            std::process::id(),
+            n,
+            t
+        ));
+        Self::open(dir)
+    }
+
+    /// Path of the store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Creates (or truncates) a file with `contents` and returns its
+    /// handle.
+    pub fn create(&mut self, name: &str, contents: &[u8]) -> StorageResult<FileId> {
+        let tmp = self.path_of(&format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents)?;
+            f.sync_all()?;
+        }
+        // Atomic publish: readers never observe a half-written index.
+        fs::rename(&tmp, self.path_of(name))?;
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.names.insert(id, name.to_string());
+        Ok(id)
+    }
+
+    /// Reads the full contents of a file.
+    pub fn read(&self, id: FileId) -> StorageResult<Vec<u8>> {
+        let name = self.name_of(id)?;
+        Ok(fs::read(self.path_of(&name))?)
+    }
+
+    /// Appends bytes to an existing file.
+    pub fn append(&mut self, id: FileId, data: &[u8]) -> StorageResult<()> {
+        let name = self.name_of(id)?;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(self.path_of(&name))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    /// Deletes a file: the O(1) bulk "throw away an index".
+    pub fn delete(&mut self, id: FileId) -> StorageResult<()> {
+        let name = self.name_of(id)?;
+        fs::remove_file(self.path_of(&name))?;
+        self.names.remove(&id);
+        Ok(())
+    }
+
+    /// Atomically replaces the contents behind `id` (shadow swap).
+    pub fn replace(&mut self, id: FileId, contents: &[u8]) -> StorageResult<()> {
+        let name = self.name_of(id)?;
+        let tmp = self.path_of(&format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(contents)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path_of(&name))?;
+        Ok(())
+    }
+
+    /// Size of the file in bytes.
+    pub fn len(&self, id: FileId) -> StorageResult<u64> {
+        let name = self.name_of(id)?;
+        Ok(fs::metadata(self.path_of(&name))?.len())
+    }
+
+    /// Whether the store currently holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total bytes across all live files.
+    pub fn total_bytes(&self) -> StorageResult<u64> {
+        let mut total = 0;
+        for name in self.names.values() {
+            total += fs::metadata(self.path_of(name))?.len();
+        }
+        Ok(total)
+    }
+
+    fn name_of(&self, id: FileId) -> StorageResult<String> {
+        self.names
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| StorageError::FileNotFound(format!("id {:?}", id)))
+    }
+
+    /// Removes the whole store directory from disk.
+    pub fn destroy(self) -> StorageResult<()> {
+        fs::remove_dir_all(&self.root)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_roundtrip() {
+        let mut s = FileStore::open_temp().unwrap();
+        let id = s.create("idx1", b"entries").unwrap();
+        assert_eq!(s.read(id).unwrap(), b"entries");
+        assert_eq!(s.len(id).unwrap(), 7);
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut s = FileStore::open_temp().unwrap();
+        let id = s.create("idx", b"ab").unwrap();
+        s.append(id, b"cd").unwrap();
+        assert_eq!(s.read(id).unwrap(), b"abcd");
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn delete_is_bulk_throw_away() {
+        let mut s = FileStore::open_temp().unwrap();
+        let id = s.create("big", &vec![0u8; 1 << 20]).unwrap();
+        assert_eq!(s.file_count(), 1);
+        s.delete(id).unwrap();
+        assert_eq!(s.file_count(), 0);
+        assert!(s.read(id).is_err());
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn replace_swaps_atomically() {
+        let mut s = FileStore::open_temp().unwrap();
+        let id = s.create("idx", b"old-version").unwrap();
+        s.replace(id, b"new").unwrap();
+        assert_eq!(s.read(id).unwrap(), b"new");
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn total_bytes_sums_live_files() {
+        let mut s = FileStore::open_temp().unwrap();
+        let a = s.create("a", &[0u8; 10]).unwrap();
+        let _b = s.create("b", &[0u8; 32]).unwrap();
+        assert_eq!(s.total_bytes().unwrap(), 42);
+        s.delete(a).unwrap();
+        assert_eq!(s.total_bytes().unwrap(), 32);
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn missing_id_is_reported() {
+        let s = FileStore::open_temp().unwrap();
+        assert!(matches!(
+            s.read(FileId(99)),
+            Err(StorageError::FileNotFound(_))
+        ));
+        s.destroy().unwrap();
+    }
+}

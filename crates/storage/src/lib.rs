@@ -1,0 +1,40 @@
+//! Storage substrate for wave indices.
+//!
+//! The evaluation model of the Wave-Indices paper (Shivakumar &
+//! Garcia-Molina, SIGMOD '97) charges disk work in terms of two
+//! hardware parameters: the time for one `seek` and the sequential
+//! transfer rate `Trans`. This crate provides:
+//!
+//! * [`SimDisk`] — an in-memory block device that stores real bytes
+//!   while *charging* simulated time with exactly that model (one seek
+//!   whenever the head moves, plus `bytes / Trans` per transfer), and
+//!   keeping full [`IoStats`].
+//! * [`ExtentAllocator`] — a first-fit, coalescing free-list allocator
+//!   over block extents, with live/peak space accounting. Contiguous
+//!   extents are what make the paper's *packed* indexes scannable with
+//!   a single seek.
+//! * [`Volume`] — the pairing of a disk and an allocator that index
+//!   code works against.
+//! * [`FileStore`] — a real, file-backed store (one file per
+//!   constituent index) demonstrating the paper's "throw away a whole
+//!   index" bulk delete as an `O(1)` file unlink.
+//!
+//! All sizes are in 4 KiB blocks unless stated otherwise.
+
+pub mod alloc;
+pub mod block;
+pub mod cache;
+pub mod disk;
+pub mod error;
+pub mod file;
+pub mod stats;
+pub mod volume;
+
+pub use alloc::ExtentAllocator;
+pub use block::{BlockAddr, Extent, BLOCK_SIZE};
+pub use cache::BlockCache;
+pub use disk::{DiskConfig, SimDisk};
+pub use error::{StorageError, StorageResult};
+pub use file::{FileId, FileStore};
+pub use stats::{IoStats, StatsDelta};
+pub use volume::Volume;

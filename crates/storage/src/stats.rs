@@ -1,0 +1,134 @@
+//! I/O accounting.
+//!
+//! Every disk operation updates an [`IoStats`]; the driver in
+//! `wave-index` snapshots the counters around each phase of a day
+//! (pre-computation, transition, queries) to attribute simulated time
+//! to the paper's performance measures.
+
+use std::ops::Sub;
+
+/// Cumulative I/O counters for a simulated disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Number of head repositionings (each charged `seek_time`).
+    pub seeks: u64,
+    /// Blocks read from the platter.
+    pub blocks_read: u64,
+    /// Blocks written to the platter.
+    pub blocks_written: u64,
+    /// Total simulated wall-clock seconds spent in seeks + transfers.
+    pub sim_seconds: f64,
+}
+
+impl IoStats {
+    /// Total blocks moved in either direction.
+    pub fn blocks_total(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+
+    /// Difference of two snapshots: work done between `earlier` and
+    /// `self`.
+    pub fn since(&self, earlier: &IoStats) -> StatsDelta {
+        StatsDelta {
+            seeks: self.seeks - earlier.seeks,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+            sim_seconds: self.sim_seconds - earlier.sim_seconds,
+        }
+    }
+}
+
+/// Work performed between two [`IoStats`] snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsDelta {
+    /// Seeks performed in the interval.
+    pub seeks: u64,
+    /// Blocks read in the interval.
+    pub blocks_read: u64,
+    /// Blocks written in the interval.
+    pub blocks_written: u64,
+    /// Simulated seconds elapsed in the interval.
+    pub sim_seconds: f64,
+}
+
+impl StatsDelta {
+    /// Total blocks moved in either direction.
+    pub fn blocks_total(&self) -> u64 {
+        self.blocks_read + self.blocks_written
+    }
+}
+
+impl Sub for IoStats {
+    type Output = StatsDelta;
+
+    fn sub(self, rhs: IoStats) -> StatsDelta {
+        self.since(&rhs)
+    }
+}
+
+impl std::ops::Add for StatsDelta {
+    type Output = StatsDelta;
+
+    fn add(self, rhs: StatsDelta) -> StatsDelta {
+        StatsDelta {
+            seeks: self.seeks + rhs.seeks,
+            blocks_read: self.blocks_read + rhs.blocks_read,
+            blocks_written: self.blocks_written + rhs.blocks_written,
+            sim_seconds: self.sim_seconds + rhs.sim_seconds,
+        }
+    }
+}
+
+impl std::ops::AddAssign for StatsDelta {
+    fn add_assign(&mut self, rhs: StatsDelta) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_difference() {
+        let a = IoStats {
+            seeks: 2,
+            blocks_read: 10,
+            blocks_written: 5,
+            sim_seconds: 1.0,
+        };
+        let b = IoStats {
+            seeks: 5,
+            blocks_read: 30,
+            blocks_written: 9,
+            sim_seconds: 2.5,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.seeks, 3);
+        assert_eq!(d.blocks_read, 20);
+        assert_eq!(d.blocks_written, 4);
+        assert!((d.sim_seconds - 1.5).abs() < 1e-12);
+        assert_eq!(d.blocks_total(), 24);
+        assert_eq!(b - a, d);
+    }
+
+    #[test]
+    fn delta_accumulates() {
+        let mut acc = StatsDelta::default();
+        acc += StatsDelta {
+            seeks: 1,
+            blocks_read: 2,
+            blocks_written: 3,
+            sim_seconds: 0.5,
+        };
+        acc += StatsDelta {
+            seeks: 1,
+            blocks_read: 0,
+            blocks_written: 1,
+            sim_seconds: 0.25,
+        };
+        assert_eq!(acc.seeks, 2);
+        assert_eq!(acc.blocks_total(), 6);
+        assert!((acc.sim_seconds - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! A [`Volume`] pairs one or more simulated disks with extent
+//! allocation.
+//!
+//! This is the handle index code holds: it can allocate space, move
+//! bytes, and free space, while the volume keeps the time accounting
+//! (disks) and the space accounting (allocators) coherent.
+//!
+//! A volume may stripe over several disks (the multi-disk setting of
+//! the paper's Section 8): each allocation lands wholly on one disk,
+//! successive allocations round-robin across disks, so a packed
+//! constituent index sits on a single disk while different
+//! constituents spread out. Time is charged serially (the simulation
+//! is single-threaded), but per-disk busy time is tracked so callers
+//! can compute the *parallel elapsed* time of an operation — the
+//! busiest disk's share — via [`Volume::per_disk_stats`].
+
+use crate::alloc::ExtentAllocator;
+use crate::block::{blocks_for_bytes, Extent, BLOCK_SIZE};
+use crate::disk::{DiskConfig, SimDisk};
+use crate::error::{StorageError, StorageResult};
+use crate::stats::IoStats;
+
+/// Block-address stride separating disks' address spaces. Extents
+/// carry their disk in the high bits of `start`, so the single-extent
+/// APIs need no extra parameter.
+const DISK_STRIDE: u64 = 1 << 40;
+
+/// One or more simulated disks plus their allocators.
+#[derive(Debug)]
+pub struct Volume {
+    disks: Vec<SimDisk>,
+    allocs: Vec<ExtentAllocator>,
+    /// Round-robin cursor for placement.
+    next_disk: usize,
+    /// Live blocks across all disks.
+    live: u64,
+    /// High-water mark of `live`.
+    peak: u64,
+}
+
+impl Volume {
+    /// Creates an empty single-disk volume.
+    pub fn new(cfg: DiskConfig) -> Self {
+        Self::with_disks(cfg, 1)
+    }
+
+    /// Creates a volume striped over `disks` identical disks.
+    ///
+    /// # Panics
+    /// Panics if `disks == 0`.
+    pub fn with_disks(cfg: DiskConfig, disks: usize) -> Self {
+        assert!(disks >= 1, "a volume needs at least one disk");
+        Volume {
+            disks: (0..disks).map(|_| SimDisk::new(cfg)).collect(),
+            allocs: (0..disks).map(|_| ExtentAllocator::new()).collect(),
+            next_disk: 0,
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Number of disks backing this volume.
+    pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Hardware parameters of the underlying disks.
+    pub fn config(&self) -> DiskConfig {
+        self.disks[0].config()
+    }
+
+    /// Cumulative I/O counters summed over all disks (serial-time
+    /// semantics: `sim_seconds` is total device busy time).
+    pub fn stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for d in &self.disks {
+            let s = d.stats();
+            total.seeks += s.seeks;
+            total.blocks_read += s.blocks_read;
+            total.blocks_written += s.blocks_written;
+            total.sim_seconds += s.sim_seconds;
+        }
+        total
+    }
+
+    /// Per-disk counters; with snapshots before and after an
+    /// operation, `max_i (after[i] - before[i]).sim_seconds` is the
+    /// operation's parallel elapsed time.
+    pub fn per_disk_stats(&self) -> Vec<IoStats> {
+        self.disks.iter().map(SimDisk::stats).collect()
+    }
+
+    /// The parallel elapsed seconds since `before` (busiest disk).
+    pub fn parallel_elapsed_since(&self, before: &[IoStats]) -> f64 {
+        self.disks
+            .iter()
+            .zip(before)
+            .map(|(d, b)| d.stats().since(b).sim_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Blocks currently allocated on this volume.
+    pub fn live_blocks(&self) -> u64 {
+        self.live
+    }
+
+    /// Bytes currently allocated on this volume.
+    pub fn live_bytes(&self) -> u64 {
+        self.live * BLOCK_SIZE as u64
+    }
+
+    /// High-water mark of allocated blocks (the paper's *index size*).
+    pub fn peak_blocks(&self) -> u64 {
+        self.peak
+    }
+
+    /// Resets the space high-water mark to the current live count.
+    pub fn reset_peak(&mut self) {
+        self.peak = self.live;
+    }
+
+    fn disk_of(extent: Extent) -> usize {
+        (extent.start / DISK_STRIDE) as usize
+    }
+
+    fn local(extent: Extent) -> Extent {
+        Extent::new(extent.start % DISK_STRIDE, extent.len)
+    }
+
+    /// Allocates a contiguous extent able to hold `bytes` bytes.
+    pub fn alloc_bytes(&mut self, bytes: usize) -> StorageResult<Extent> {
+        self.alloc_blocks(blocks_for_bytes(bytes))
+    }
+
+    /// Allocates a contiguous extent of exactly `blocks` blocks on the
+    /// next disk in round-robin order.
+    pub fn alloc_blocks(&mut self, blocks: u64) -> StorageResult<Extent> {
+        let disk = self.next_disk;
+        self.next_disk = (self.next_disk + 1) % self.disks.len();
+        let local = self.allocs[disk].alloc(blocks)?;
+        if local.end() > DISK_STRIDE {
+            // Address space exhausted (4 EiB per disk): give the
+            // extent back so the allocator stays consistent.
+            let _ = self.allocs[disk].free(local);
+            return Err(StorageError::EmptyExtent);
+        }
+        self.live += blocks;
+        self.peak = self.peak.max(self.live);
+        Ok(Extent::new(disk as u64 * DISK_STRIDE + local.start, local.len))
+    }
+
+    /// Frees an extent and discards its resident data.
+    pub fn free(&mut self, extent: Extent) -> StorageResult<()> {
+        let disk = Self::disk_of(extent);
+        if disk >= self.disks.len() {
+            return Err(StorageError::DoubleFree {
+                start: extent.start,
+                len: extent.len,
+            });
+        }
+        self.allocs[disk].free(Self::local(extent))?;
+        self.disks[disk].discard(Self::local(extent));
+        self.live -= extent.len;
+        Ok(())
+    }
+
+    /// Reads `len` bytes at byte `offset` inside `extent`.
+    pub fn read_at(&mut self, extent: Extent, offset: usize, len: usize) -> StorageResult<Vec<u8>> {
+        let disk = Self::disk_of(extent);
+        self.disks[disk].read_at(Self::local(extent), offset, len)
+    }
+
+    /// Writes `data` at byte `offset` inside `extent`.
+    pub fn write_at(&mut self, extent: Extent, offset: usize, data: &[u8]) -> StorageResult<()> {
+        let disk = Self::disk_of(extent);
+        self.disks[disk].write_at(Self::local(extent), offset, data)
+    }
+
+    /// Arms fault injection on every disk: after `ops` more
+    /// successful I/O calls (counted per disk), reads and writes fail
+    /// with [`StorageError::Injected`] until [`Volume::clear_fault`].
+    pub fn inject_failure_after(&mut self, ops: u64) {
+        for d in &mut self.disks {
+            d.inject_failure_after(ops);
+        }
+    }
+
+    /// Disarms fault injection on every disk.
+    pub fn clear_fault(&mut self) {
+        for d in &mut self.disks {
+            d.clear_fault();
+        }
+    }
+
+    /// Diagnostic view of free-list fragmentation (all disks).
+    pub fn free_fragments(&self) -> usize {
+        self.allocs.iter().map(ExtentAllocator::free_fragments).sum()
+    }
+}
+
+impl Default for Volume {
+    fn default() -> Self {
+        Volume::new(DiskConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_free_cycle() {
+        let mut v = Volume::default();
+        let e = v.alloc_bytes(10_000).unwrap();
+        assert_eq!(e.len, 3); // ceil(10000 / 4096)
+        v.write_at(e, 0, b"wave").unwrap();
+        assert_eq!(v.read_at(e, 0, 4).unwrap(), b"wave");
+        assert_eq!(v.live_blocks(), 3);
+        v.free(e).unwrap();
+        assert_eq!(v.live_blocks(), 0);
+        assert_eq!(v.peak_blocks(), 3);
+    }
+
+    #[test]
+    fn freed_extent_reads_zero_after_reuse() {
+        let mut v = Volume::default();
+        let e = v.alloc_bytes(100).unwrap();
+        v.write_at(e, 0, b"secret").unwrap();
+        v.free(e).unwrap();
+        let e2 = v.alloc_bytes(100).unwrap();
+        assert_eq!(e2.start, e.start, "first-fit reuses the hole");
+        assert_eq!(v.read_at(e2, 0, 6).unwrap(), vec![0u8; 6]);
+    }
+
+    #[test]
+    fn stats_flow_through() {
+        let mut v = Volume::default();
+        let e = v.alloc_blocks(2).unwrap();
+        v.write_at(e, 0, &[1u8; 2 * BLOCK_SIZE]).unwrap();
+        let s = v.stats();
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.blocks_written, 2);
+        assert!(s.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn striping_round_robins_allocations() {
+        let mut v = Volume::with_disks(DiskConfig::default(), 3);
+        assert_eq!(v.disk_count(), 3);
+        let extents: Vec<Extent> = (0..6).map(|_| v.alloc_blocks(1).unwrap()).collect();
+        let disks: Vec<u64> = extents.iter().map(|e| e.start / DISK_STRIDE).collect();
+        assert_eq!(disks, vec![0, 1, 2, 0, 1, 2]);
+        // Round-trips work on every disk.
+        for (i, e) in extents.iter().enumerate() {
+            v.write_at(*e, 0, &[i as u8; 8]).unwrap();
+        }
+        for (i, e) in extents.iter().enumerate() {
+            assert_eq!(v.read_at(*e, 0, 8).unwrap(), vec![i as u8; 8]);
+        }
+        for e in extents {
+            v.free(e).unwrap();
+        }
+        assert_eq!(v.live_blocks(), 0);
+    }
+
+    #[test]
+    fn parallel_elapsed_is_busiest_disk() {
+        let mut v = Volume::with_disks(DiskConfig::default(), 2);
+        let a = v.alloc_blocks(1).unwrap(); // disk 0
+        let b = v.alloc_blocks(8).unwrap(); // disk 1
+        let before = v.per_disk_stats();
+        v.write_at(a, 0, &[1u8; BLOCK_SIZE]).unwrap();
+        v.write_at(b, 0, &[2u8; 8 * BLOCK_SIZE]).unwrap();
+        let serial = v.stats().since(&{
+            let mut t = IoStats::default();
+            for s in &before {
+                t.seeks += s.seeks;
+                t.blocks_read += s.blocks_read;
+                t.blocks_written += s.blocks_written;
+                t.sim_seconds += s.sim_seconds;
+            }
+            t
+        });
+        let parallel = v.parallel_elapsed_since(&before);
+        assert!(parallel < serial.sim_seconds, "{parallel} vs {serial:?}");
+        // The busiest disk did the 8-block write.
+        let cfg = v.config();
+        let expect = cfg.seek_seconds + cfg.transfer_seconds(8);
+        assert!((parallel - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_spans_disks() {
+        let mut v = Volume::with_disks(DiskConfig::default(), 2);
+        let a = v.alloc_blocks(4).unwrap();
+        let b = v.alloc_blocks(4).unwrap();
+        assert_eq!(v.peak_blocks(), 8);
+        v.free(a).unwrap();
+        v.free(b).unwrap();
+        assert_eq!(v.live_blocks(), 0);
+        assert_eq!(v.peak_blocks(), 8);
+        v.reset_peak();
+        assert_eq!(v.peak_blocks(), 0);
+    }
+
+    #[test]
+    fn free_of_foreign_extent_rejected() {
+        let mut v = Volume::with_disks(DiskConfig::default(), 2);
+        // Disk index out of range.
+        let bogus = Extent::new(7 * DISK_STRIDE, 1);
+        assert!(v.free(bogus).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the extent allocator and simulated disk.
+
+use proptest::prelude::*;
+use wave_storage::{DiskConfig, Extent, ExtentAllocator, SimDisk, Volume, BLOCK_SIZE};
+
+proptest! {
+    /// Live extents returned by the allocator never overlap, and the
+    /// live-block count always equals the sum of live extent lengths.
+    #[test]
+    fn allocations_are_disjoint(ops in proptest::collection::vec((1u64..64, any::<bool>()), 1..200)) {
+        let mut a = ExtentAllocator::new();
+        let mut live: Vec<Extent> = Vec::new();
+        for (len, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let e = live.swap_remove(len as usize % live.len());
+                a.free(e).unwrap();
+            } else {
+                let e = a.alloc(len).unwrap();
+                for other in &live {
+                    prop_assert!(!e.overlaps(other), "{e} overlaps {other}");
+                }
+                live.push(e);
+            }
+            let total: u64 = live.iter().map(|e| e.len).sum();
+            prop_assert_eq!(a.live_blocks(), total);
+            prop_assert!(a.peak_blocks() >= a.live_blocks());
+        }
+        // Free everything: the allocator must return to pristine state.
+        for e in live {
+            a.free(e).unwrap();
+        }
+        prop_assert_eq!(a.live_blocks(), 0);
+        prop_assert_eq!(a.free_fragments(), 0);
+        prop_assert_eq!(a.frontier(), 0);
+    }
+
+    /// Data written through a volume reads back identically, no matter
+    /// how extents interleave.
+    #[test]
+    fn volume_roundtrip(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..3 * BLOCK_SIZE), 1..20)) {
+        let mut v = Volume::default();
+        let mut stored = Vec::new();
+        for p in &payloads {
+            let e = v.alloc_bytes(p.len()).unwrap();
+            v.write_at(e, 0, p).unwrap();
+            stored.push((e, p.clone()));
+        }
+        for (e, p) in &stored {
+            prop_assert_eq!(&v.read_at(*e, 0, p.len()).unwrap(), p);
+        }
+    }
+
+    /// Simulated time is non-decreasing and consistent with the
+    /// seek-plus-transfer model: time == seeks * seek_s + blocks / rate.
+    #[test]
+    fn disk_time_decomposes(
+        accesses in proptest::collection::vec((0u64..32, 1usize..2 * BLOCK_SIZE), 1..50)
+    ) {
+        let cfg = DiskConfig::default();
+        let mut d = SimDisk::new(cfg);
+        for (block, len) in accesses {
+            let e = Extent::new(block, 8);
+            d.write_at(e, 0, &vec![0xAB; len.min(8 * BLOCK_SIZE)]).unwrap();
+        }
+        let s = d.stats();
+        let expect = s.seeks as f64 * cfg.seek_seconds
+            + (s.blocks_total() as f64 * BLOCK_SIZE as f64) / cfg.transfer_bytes_per_sec;
+        prop_assert!((s.sim_seconds - expect).abs() < 1e-9,
+            "time {} != model {}", s.sim_seconds, expect);
+    }
+}

@@ -1,0 +1,30 @@
+//! # wave-workloads
+//!
+//! Workload generators for the three case studies of Section 6 of the
+//! Wave-Indices paper:
+//!
+//! * [`text`] — synthetic Netnews articles with Zipfian word
+//!   frequencies (SCAM copy detection, generic web search engine);
+//! * [`usenet`] — the daily posting-volume model behind Figures 2 and
+//!   11 (weekly seasonality, ~30k Sunday troughs to ~110k midweek
+//!   peaks);
+//! * [`tpcd`] — a scaled-down TPC-D `LINEITEM` stream with uniform
+//!   `SUPPKEY`s, plus query Q1 executed through the wave index;
+//! * [`queries`] — daily probe/scan mixes matching Table 12's
+//!   `Probe_num`/`Scan_num` profiles;
+//! * [`zipf`] — the underlying Zipfian sampler.
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible run to run.
+
+pub mod queries;
+pub mod text;
+pub mod tpcd;
+pub mod usenet;
+pub mod zipf;
+
+pub use queries::QueryMix;
+pub use text::ArticleGenerator;
+pub use tpcd::{q1_pricing_summary, q1_reference, LineItem, LineItemStore, Q1Row, TpcdGenerator};
+pub use usenet::UsenetVolumeModel;
+pub use zipf::Zipf;

@@ -1,0 +1,124 @@
+//! Query-load generators matching the case studies' daily mixes
+//! (`Probe_num`, `Scan_num`, `Probe_idx`, `Scan_idx` of Table 12),
+//! scaled down for simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wave_index::prelude::QueryLoad;
+use wave_index::{Day, TimeRange};
+
+use crate::text::ArticleGenerator;
+use crate::zipf::Zipf;
+
+/// Builds daily query loads for a scenario.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    /// Probes per day (scaled-down `Probe_num`).
+    pub probes_per_day: usize,
+    /// Scans per day (`Scan_num`).
+    pub scans_per_day: usize,
+    /// Fraction of probes restricted to a sub-range of the window
+    /// (the rest probe the whole window).
+    pub timed_fraction: f64,
+    value_skew: Zipf,
+    window: u32,
+    seed: u64,
+}
+
+impl QueryMix {
+    /// A mix over `vocab_size` Zipfian query values.
+    pub fn new(
+        vocab_size: usize,
+        probes_per_day: usize,
+        scans_per_day: usize,
+        window: u32,
+        seed: u64,
+    ) -> Self {
+        QueryMix {
+            probes_per_day,
+            scans_per_day,
+            timed_fraction: 0.3,
+            value_skew: Zipf::new(vocab_size, 1.0),
+            window,
+            seed,
+        }
+    }
+
+    /// SCAM profile, scaled: copy-detection probes over the whole
+    /// window plus a few registration scans of the newest day.
+    pub fn scam(probes_per_day: usize, window: u32, seed: u64) -> Self {
+        let mut mix = Self::new(5_000, probes_per_day, 2, window, seed);
+        mix.timed_fraction = 0.0;
+        mix
+    }
+
+    /// The query load for `day` (the newest day in the window).
+    pub fn load_for(&self, day: Day) -> QueryLoad {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (day.0 as u64).wrapping_mul(0xC2B2_AE35));
+        let window_start = Day(day.0.saturating_sub(self.window - 1).max(1));
+        let mut probes = Vec::with_capacity(self.probes_per_day);
+        for _ in 0..self.probes_per_day {
+            let value = ArticleGenerator::word(self.value_skew.sample(&mut rng));
+            let range = if rng.gen_bool(self.timed_fraction) {
+                let lo = rng.gen_range(window_start.0..=day.0);
+                let hi = rng.gen_range(lo..=day.0);
+                TimeRange::between(Day(lo), Day(hi))
+            } else {
+                TimeRange::all()
+            };
+            probes.push((value, range));
+        }
+        let scans = (0..self.scans_per_day)
+            .map(|i| {
+                if i == 0 {
+                    // A registration-style scan of the newest day.
+                    TimeRange::between(day, day)
+                } else {
+                    TimeRange::all()
+                }
+            })
+            .collect();
+        QueryLoad { probes, scans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_has_requested_counts() {
+        let mix = QueryMix::new(100, 25, 3, 7, 42);
+        let load = mix.load_for(Day(20));
+        assert_eq!(load.probes.len(), 25);
+        assert_eq!(load.scans.len(), 3);
+    }
+
+    #[test]
+    fn timed_ranges_stay_in_window() {
+        let mut mix = QueryMix::new(100, 200, 0, 7, 1);
+        mix.timed_fraction = 1.0;
+        let day = Day(30);
+        let load = mix.load_for(day);
+        for (_, range) in &load.probes {
+            let lo = range.lo.expect("timed probes have bounds");
+            let hi = range.hi.expect("timed probes have bounds");
+            assert!(lo >= Day(24) && hi <= day && lo <= hi);
+        }
+    }
+
+    #[test]
+    fn scam_profile_probes_whole_window() {
+        let mix = QueryMix::scam(10, 7, 9);
+        let load = mix.load_for(Day(15));
+        assert!(load.probes.iter().all(|(_, r)| *r == TimeRange::all()));
+        assert_eq!(load.scans[0], TimeRange::between(Day(15), Day(15)));
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let mix = QueryMix::new(50, 5, 1, 7, 3);
+        assert_eq!(mix.load_for(Day(9)).probes, mix.load_for(Day(9)).probes);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Usenet daily-volume model behind Figures 2 and 11.
+//!
+//! Figure 2 of the paper plots postings per day across ~10,000
+//! newsgroups for September 1997: a strong weekly cycle from ~30,000
+//! on Sundays up to ~110,000 midweek. We substitute a seeded
+//! seasonal model with the same range and period (DESIGN.md §2); the
+//! size-ratio experiment of Figure 11 depends only on this day-to-day
+//! variation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Midweek peak postings (paper: ~110,000 on the second Wednesday).
+pub const PEAK_POSTINGS: f64 = 110_000.0;
+/// Sunday trough postings (paper: ~30,000).
+pub const TROUGH_POSTINGS: f64 = 30_000.0;
+
+/// Deterministic posting-volume model with weekly seasonality.
+#[derive(Debug, Clone, Copy)]
+pub struct UsenetVolumeModel {
+    seed: u64,
+    /// Relative noise amplitude (fraction of the seasonal value).
+    pub noise: f64,
+}
+
+impl UsenetVolumeModel {
+    /// The model used by the Figure 2 / Figure 11 binaries.
+    pub fn new(seed: u64) -> Self {
+        UsenetVolumeModel { seed, noise: 0.08 }
+    }
+
+    /// Postings on 1-based `day`. Day 1 is a Monday; Sundays are the
+    /// troughs, Wednesdays the peaks.
+    pub fn postings(&self, day: u32) -> u32 {
+        // Weekly profile via a raised cosine centred on Wednesday
+        // (weekday index 2 when Monday = 0).
+        let weekday = ((day - 1) % 7) as f64;
+        let phase = (weekday - 2.0) / 7.0 * std::f64::consts::TAU;
+        let seasonal = TROUGH_POSTINGS
+            + (PEAK_POSTINGS - TROUGH_POSTINGS) * (0.5 + 0.5 * phase.cos());
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0xA24B_AED4));
+        let jitter = 1.0 + self.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        (seasonal * jitter).round().max(1.0) as u32
+    }
+
+    /// The first `days` daily volumes (Figure 2 plots 30; Figure 11
+    /// replays 200).
+    pub fn series(&self, days: u32) -> Vec<u32> {
+        (1..=days).map(|d| self.postings(d)).collect()
+    }
+
+    /// The series as relative index sizes (fraction of the peak),
+    /// suitable for the size-only WATA* simulations.
+    pub fn size_series(&self, days: u32) -> Vec<f64> {
+        self.series(days)
+            .into_iter()
+            .map(|p| p as f64 / PEAK_POSTINGS)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_cycle_matches_figure_2() {
+        let m = UsenetVolumeModel::new(1997);
+        let series = m.series(28);
+        // Sundays (day 7, 14, …) are troughs near 30k.
+        for sunday in [7u32, 14, 21, 28] {
+            let v = series[sunday as usize - 1] as f64;
+            assert!(
+                (20_000.0..45_000.0).contains(&v),
+                "Sunday {sunday}: {v}"
+            );
+        }
+        // Wednesdays (day 3, 10, …) are peaks near 110k.
+        for wednesday in [3u32, 10, 17, 24] {
+            let v = series[wednesday as usize - 1] as f64;
+            assert!(
+                (90_000.0..125_000.0).contains(&v),
+                "Wednesday {wednesday}: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_to_trough_ratio_is_substantial() {
+        let m = UsenetVolumeModel::new(3);
+        let series = m.series(200);
+        let max = *series.iter().max().unwrap() as f64;
+        let min = *series.iter().min().unwrap() as f64;
+        assert!(max / min > 2.5, "ratio {}", max / min);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            UsenetVolumeModel::new(5).series(30),
+            UsenetVolumeModel::new(5).series(30)
+        );
+        assert_ne!(
+            UsenetVolumeModel::new(5).series(30),
+            UsenetVolumeModel::new(6).series(30)
+        );
+    }
+
+    #[test]
+    fn size_series_normalised_to_peak() {
+        let m = UsenetVolumeModel::new(7);
+        let sizes = m.size_series(100);
+        assert!(sizes.iter().all(|&s| s > 0.0 && s <= 1.2));
+    }
+}
