@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, test. The workspace has zero external
+# dependencies, so --offline must always succeed; a build that needs the
+# network is itself a CI failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "CI OK"

@@ -321,7 +321,10 @@ mod tests {
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap()
             .0;
-        assert!((2.0..=5.0).contains(&min_n), "REINDEX minimum at n = {min_n}");
+        assert!(
+            (2.0..=5.0).contains(&min_n),
+            "REINDEX minimum at n = {min_n}"
+        );
         for kind in [
             SchemeKind::Del,
             SchemeKind::ReindexPlus,

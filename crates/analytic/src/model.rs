@@ -128,10 +128,9 @@ fn price_op(op: &Op, technique: UpdateTechnique, p: &Params) -> (f64, f64) {
         },
         Op::Replace { del, add, target } => match technique {
             UpdateTechnique::InPlace => (del as f64 * p.del, add as f64 * p.add),
-            UpdateTechnique::SimpleShadow => (
-                p.cp(target as f64) + del as f64 * p.del,
-                add as f64 * p.add,
-            ),
+            UpdateTechnique::SimpleShadow => {
+                (p.cp(target as f64) + del as f64 * p.del, add as f64 * p.add)
+            }
             UpdateTechnique::PackedShadow => {
                 (0.0, p.smcp(target as f64, true) + add as f64 * p.build)
             }
@@ -370,6 +369,9 @@ mod tests {
         let del = evaluate(SchemeKind::Del, UpdateTechnique::InPlace, &p, 2);
         assert_eq!(del.space_transition_avg, 0.0);
         let reindex = evaluate(SchemeKind::Reindex, UpdateTechnique::InPlace, &p, 2);
-        assert!(reindex.space_transition_avg > 0.0, "rebuilds always coexist");
+        assert!(
+            reindex.space_transition_avg > 0.0,
+            "rebuilds always coexist"
+        );
     }
 }

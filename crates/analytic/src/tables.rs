@@ -81,22 +81,12 @@ pub fn table9_query(params: &Params, fan: usize) -> String {
 
 /// Table 10: maintenance under simple shadow updating (seconds/day).
 pub fn table10_maintenance_simple(params: &Params, fan: usize) -> String {
-    maintenance_table(
-        "Table 10",
-        UpdateTechnique::SimpleShadow,
-        params,
-        fan,
-    )
+    maintenance_table("Table 10", UpdateTechnique::SimpleShadow, params, fan)
 }
 
 /// Table 11: maintenance under packed shadow updating (seconds/day).
 pub fn table11_maintenance_packed(params: &Params, fan: usize) -> String {
-    maintenance_table(
-        "Table 11",
-        UpdateTechnique::PackedShadow,
-        params,
-        fan,
-    )
+    maintenance_table("Table 11", UpdateTechnique::PackedShadow, params, fan)
 }
 
 fn maintenance_table(

@@ -93,9 +93,7 @@ fn cluster_sizes(count: u32, k: usize) -> Vec<u32> {
     let ceil = count.div_ceil(k32);
     let floor = count / k32;
     let big = (count % k32) as usize;
-    (0..k)
-        .map(|i| if i < big { ceil } else { floor })
-        .collect()
+    (0..k).map(|i| if i < big { ceil } else { floor }).collect()
 }
 
 /// Produces `horizon` transition traces (days `W+1 ..= W+horizon`) for
@@ -105,7 +103,10 @@ fn cluster_sizes(count: u32, k: usize) -> Vec<u32> {
 /// Panics on configurations the scheme itself rejects (`n > W`, or
 /// `n < 2` for the WATA family).
 pub fn trace_scheme(kind: SchemeKind, window: u32, fan: usize, horizon: u32) -> Vec<DayTrace> {
-    assert!(fan >= kind.min_fan() && fan as u32 <= window, "invalid (W, n) for {kind}");
+    assert!(
+        fan >= kind.min_fan() && fan as u32 <= window,
+        "invalid (W, n) for {kind}"
+    );
     match kind {
         SchemeKind::Del => trace_del(window, fan, horizon),
         SchemeKind::Reindex => trace_reindex(window, fan, horizon),

@@ -6,84 +6,61 @@
 //! against the unpacked-space overhead `S'` (the paper picks `g = 2`
 //! for Zipfian text and `g = 1.08` for uniform keys).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::Group;
 use wave_index::{ConstituentIndex, ContiguousConfig, Day, IndexConfig};
 use wave_storage::Volume;
 use wave_workloads::ArticleGenerator;
 
-fn bench_build_vs_add(c: &mut Criterion) {
+fn bench_build_vs_add() {
     let mut generator = ArticleGenerator::new(800, 120, 10, 5);
     let days: Vec<_> = (1..=5).map(|d| generator.day_batch(Day(d))).collect();
     let refs: Vec<_> = days.iter().collect();
-    let mut group = c.benchmark_group("build_vs_add");
+    let mut group = Group::new("build_vs_add");
 
-    group.bench_function("build_5_days", |b| {
-        b.iter_batched(
-            Volume::default,
-            |mut vol| {
-                let idx = ConstituentIndex::build_packed(
-                    "I",
-                    IndexConfig::default(),
-                    &mut vol,
-                    &refs,
-                )
-                .unwrap();
-                idx.release(&mut vol).unwrap();
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    group.bench_batched("build_5_days", Volume::default, |mut vol| {
+        let idx =
+            ConstituentIndex::build_packed("I", IndexConfig::default(), &mut vol, &refs).unwrap();
+        idx.release(&mut vol).unwrap();
     });
 
-    group.bench_function("add_5th_day_incrementally", |b| {
-        b.iter_batched(
-            || {
-                let mut vol = Volume::default();
-                let idx = ConstituentIndex::build_packed(
-                    "I",
-                    IndexConfig::default(),
-                    &mut vol,
-                    &refs[..4],
-                )
-                .unwrap();
-                (vol, idx)
-            },
-            |(mut vol, mut idx)| {
-                idx.add_batches_in_place(&mut vol, &refs[4..]).unwrap();
-                idx.release(&mut vol).unwrap();
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+    group.bench_batched(
+        "add_5th_day_incrementally",
+        || {
+            let mut vol = Volume::default();
+            let idx =
+                ConstituentIndex::build_packed("I", IndexConfig::default(), &mut vol, &refs[..4])
+                    .unwrap();
+            (vol, idx)
+        },
+        |(mut vol, mut idx)| {
+            idx.add_batches_in_place(&mut vol, &refs[4..]).unwrap();
+            idx.release(&mut vol).unwrap();
+        },
+    );
 }
 
-fn bench_growth_factor(c: &mut Criterion) {
+fn bench_growth_factor() {
     let mut generator = ArticleGenerator::new(800, 80, 10, 9);
     let days: Vec<_> = (1..=8).map(|d| generator.day_batch(Day(d))).collect();
-    let mut group = c.benchmark_group("growth_factor");
+    let mut group = Group::new("growth_factor");
     for g in [1.08f64, 1.5, 2.0, 4.0] {
-        group.bench_with_input(BenchmarkId::new("add_8_days", format!("g{g}")), &g, |b, &g| {
-            b.iter_batched(
-                Volume::default,
-                |mut vol| {
-                    let cfg = IndexConfig {
-                        contiguous: ContiguousConfig::with_growth(g),
-                        ..Default::default()
-                    };
-                    let mut idx = ConstituentIndex::new_empty("I", cfg);
-                    for d in &days {
-                        idx.add_batches_in_place(&mut vol, &[d]).unwrap();
-                    }
-                    let blocks = idx.blocks();
-                    idx.release(&mut vol).unwrap();
-                    blocks
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        group.bench_batched(&format!("add_8_days/g{g}"), Volume::default, |mut vol| {
+            let cfg = IndexConfig {
+                contiguous: ContiguousConfig::with_growth(g),
+                ..Default::default()
+            };
+            let mut idx = ConstituentIndex::new_empty("I", cfg);
+            for d in &days {
+                idx.add_batches_in_place(&mut vol, &[d]).unwrap();
+            }
+            let blocks = idx.blocks();
+            idx.release(&mut vol).unwrap();
+            blocks
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_build_vs_add, bench_growth_factor);
-criterion_main!(benches);
+fn main() {
+    bench_build_vs_add();
+    bench_growth_factor();
+}

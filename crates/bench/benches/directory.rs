@@ -2,42 +2,39 @@
 //! hash table (Section 2 leaves the directory structure open; these
 //! quantify the trade-off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::Group;
 use wave_index::directory::{BPlusTree, HashTable};
 use wave_index::SearchValue;
 
 fn keys(n: u64) -> Vec<SearchValue> {
-    (0..n).map(|i| SearchValue::from_u64(i * 2_654_435_761 % n)).collect()
+    (0..n)
+        .map(|i| SearchValue::from_u64(i * 2_654_435_761 % n))
+        .collect()
 }
 
-fn bench_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory_insert");
+fn bench_insert() {
+    let mut group = Group::new("directory_insert");
     for n in [1_000u64, 10_000] {
         let ks = keys(n);
-        group.bench_with_input(BenchmarkId::new("bptree", n), &ks, |b, ks| {
-            b.iter(|| {
-                let mut t = BPlusTree::new();
-                for k in ks {
-                    t.insert(k.clone(), 0u32);
-                }
-                t.len()
-            });
+        group.bench(&format!("bptree/{n}"), || {
+            let mut t = BPlusTree::new();
+            for k in &ks {
+                t.insert(k.clone(), 0u32);
+            }
+            t.len()
         });
-        group.bench_with_input(BenchmarkId::new("hash", n), &ks, |b, ks| {
-            b.iter(|| {
-                let mut t = HashTable::new();
-                for k in ks {
-                    t.insert(k.clone(), 0u32);
-                }
-                t.len()
-            });
+        group.bench(&format!("hash/{n}"), || {
+            let mut t = HashTable::new();
+            for k in &ks {
+                t.insert(k.clone(), 0u32);
+            }
+            t.len()
         });
     }
-    group.finish();
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory_lookup");
+fn bench_lookup() {
+    let mut group = Group::new("directory_lookup");
     let ks = keys(10_000);
     let mut bt = BPlusTree::new();
     let mut ht = HashTable::new();
@@ -45,25 +42,20 @@ fn bench_lookup(c: &mut Criterion) {
         bt.insert(k.clone(), 1u32);
         ht.insert(k.clone(), 1u32);
     }
-    group.bench_function("bptree", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 97) % ks.len();
-            bt.get(&ks[i]).copied()
-        });
+    let mut i = 0;
+    group.bench("bptree", || {
+        i = (i + 97) % ks.len();
+        bt.get(&ks[i]).copied()
     });
-    group.bench_function("hash", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 97) % ks.len();
-            ht.get(&ks[i]).copied()
-        });
+    let mut i = 0;
+    group.bench("hash", || {
+        i = (i + 97) % ks.len();
+        ht.get(&ks[i]).copied()
     });
-    group.finish();
 }
 
-fn bench_ordered_iteration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory_ordered_iter");
+fn bench_ordered_iteration() {
+    let mut group = Group::new("directory_ordered_iter");
     let ks = keys(10_000);
     let mut bt = BPlusTree::new();
     let mut ht = HashTable::new();
@@ -73,10 +65,12 @@ fn bench_ordered_iteration(c: &mut Criterion) {
     }
     // Ordered iteration drives packed layout: free for the B+Tree,
     // collect-and-sort for the hash table.
-    group.bench_function("bptree", |b| b.iter(|| bt.iter().count()));
-    group.bench_function("hash_sorted", |b| b.iter(|| ht.iter_sorted().count()));
-    group.finish();
+    group.bench("bptree", || bt.iter().count());
+    group.bench("hash_sorted", || ht.iter_sorted().count());
 }
 
-criterion_group!(benches, bench_insert, bench_lookup, bench_ordered_iteration);
-criterion_main!(benches);
+fn main() {
+    bench_insert();
+    bench_lookup();
+    bench_ordered_iteration();
+}

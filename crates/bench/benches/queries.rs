@@ -4,7 +4,7 @@
 //! The paper's central query trade-off (Table 9): more constituents
 //! mean more seeks per probe, fewer days per scan target.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::Group;
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
 use wave_workloads::ArticleGenerator;
@@ -21,38 +21,34 @@ fn built_scheme(w: u32, n: usize) -> (Volume, Box<dyn wave_index::schemes::WaveS
     (vol, scheme)
 }
 
-fn bench_probe(c: &mut Criterion) {
-    let mut group = c.benchmark_group("probe");
+fn bench_probe() {
+    let mut group = Group::new("probe");
     for n in [1usize, 2, 4, 8] {
         let (mut vol, scheme) = built_scheme(8, n);
         let value = ArticleGenerator::word(1); // hottest word
-        group.bench_with_input(BenchmarkId::new("W8", n), &n, |b, _| {
-            b.iter(|| {
-                scheme
-                    .wave()
-                    .index_probe(&mut vol, &value)
-                    .unwrap()
-                    .entries
-                    .len()
-            });
+        group.bench(&format!("W8/{n}"), || {
+            scheme
+                .wave()
+                .index_probe(&mut vol, &value)
+                .unwrap()
+                .entries
+                .len()
         });
     }
-    group.finish();
 }
 
-fn bench_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segment_scan");
+fn bench_scan() {
+    let mut group = Group::new("segment_scan");
     for n in [1usize, 2, 4, 8] {
         let (mut vol, scheme) = built_scheme(8, n);
-        group.bench_with_input(BenchmarkId::new("W8", n), &n, |b, _| {
-            b.iter(|| scheme.wave().segment_scan(&mut vol).unwrap().entries.len());
+        group.bench(&format!("W8/{n}"), || {
+            scheme.wave().segment_scan(&mut vol).unwrap().entries.len()
         });
     }
-    group.finish();
 }
 
-fn bench_timed_probe_subrange(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timed_probe");
+fn bench_timed_probe_subrange() {
+    let mut group = Group::new("timed_probe");
     let (mut vol, scheme) = built_scheme(8, 4);
     let value = ArticleGenerator::word(1);
     // A range touching one cluster vs the whole window.
@@ -60,18 +56,18 @@ fn bench_timed_probe_subrange(c: &mut Criterion) {
         ("one_cluster", TimeRange::between(Day(1), Day(2))),
         ("full_window", TimeRange::all()),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                scheme
-                    .wave()
-                    .timed_index_probe(&mut vol, &value, range)
-                    .unwrap()
-                    .indexes_accessed
-            });
+        group.bench(label, || {
+            scheme
+                .wave()
+                .timed_index_probe(&mut vol, &value, range)
+                .unwrap()
+                .indexes_accessed
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_probe, bench_scan, bench_timed_probe_subrange);
-criterion_main!(benches);
+fn main() {
+    bench_probe();
+    bench_scan();
+    bench_timed_probe_subrange();
+}

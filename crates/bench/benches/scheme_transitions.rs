@@ -5,7 +5,7 @@
 //! DEL/WATA/RATA touching one day) should mirror the paper's
 //! transition-time analysis (Figure 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wave_bench::Group;
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
 use wave_workloads::ArticleGenerator;
@@ -19,107 +19,87 @@ fn archive_for(days: u32) -> DayArchive {
     archive
 }
 
-fn bench_transitions(c: &mut Criterion) {
+fn bench_transitions() {
     let (w, n) = (10u32, 2usize);
-    let mut group = c.benchmark_group("transition");
+    let mut group = Group::new("transition");
     for kind in SchemeKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("W10_n2", kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter_batched(
-                    || {
-                        // Fresh scheme advanced into steady state.
-                        let archive = archive_for(w + 6);
-                        let mut vol = Volume::default();
-                        let mut scheme = kind.build(SchemeConfig::new(w, n)).unwrap();
-                        scheme.start(&mut vol, &archive).unwrap();
-                        for d in (w + 1)..=(w + 5) {
-                            scheme.transition(&mut vol, &archive, Day(d)).unwrap();
-                        }
-                        (vol, scheme, archive)
-                    },
-                    |(mut vol, mut scheme, archive)| {
-                        scheme.transition(&mut vol, &archive, Day(w + 6)).unwrap();
-                        (vol, scheme)
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("W10_n2/{}", kind.name()),
+            || {
+                // Fresh scheme advanced into steady state.
+                let archive = archive_for(w + 6);
+                let mut vol = Volume::default();
+                let mut scheme = kind.build(SchemeConfig::new(w, n)).unwrap();
+                scheme.start(&mut vol, &archive).unwrap();
+                for d in (w + 1)..=(w + 5) {
+                    scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+                }
+                (vol, scheme, archive)
+            },
+            |(mut vol, mut scheme, archive)| {
+                scheme.transition(&mut vol, &archive, Day(w + 6)).unwrap();
+                (vol, scheme)
             },
         );
     }
-    group.finish();
 }
 
-fn bench_update_techniques(c: &mut Criterion) {
+fn bench_update_techniques() {
     let (w, n) = (8u32, 2usize);
-    let mut group = c.benchmark_group("technique");
+    let mut group = Group::new("technique");
     for technique in [
         UpdateTechnique::InPlace,
         UpdateTechnique::SimpleShadow,
         UpdateTechnique::PackedShadow,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("DEL_W8_n2", technique.name()),
-            &technique,
-            |b, &technique| {
-                b.iter_batched(
-                    || {
-                        let archive = archive_for(w + 2);
-                        let mut vol = Volume::default();
-                        let mut scheme = SchemeKind::Del
-                            .build(SchemeConfig::new(w, n).with_technique(technique))
-                            .unwrap();
-                        scheme.start(&mut vol, &archive).unwrap();
-                        scheme.transition(&mut vol, &archive, Day(w + 1)).unwrap();
-                        (vol, scheme, archive)
-                    },
-                    |(mut vol, mut scheme, archive)| {
-                        scheme.transition(&mut vol, &archive, Day(w + 2)).unwrap();
-                        (vol, scheme)
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("DEL_W8_n2/{}", technique.name()),
+            || {
+                let archive = archive_for(w + 2);
+                let mut vol = Volume::default();
+                let mut scheme = SchemeKind::Del
+                    .build(SchemeConfig::new(w, n).with_technique(technique))
+                    .unwrap();
+                scheme.start(&mut vol, &archive).unwrap();
+                scheme.transition(&mut vol, &archive, Day(w + 1)).unwrap();
+                (vol, scheme, archive)
+            },
+            |(mut vol, mut scheme, archive)| {
+                scheme.transition(&mut vol, &archive, Day(w + 2)).unwrap();
+                (vol, scheme)
             },
         );
     }
-    group.finish();
 }
 
-fn bench_rata_modes(c: &mut Criterion) {
+fn bench_rata_modes() {
     use wave_index::schemes::{RataMode, RataStar};
     let (w, n) = (12u32, 4usize);
-    let mut group = c.benchmark_group("rata_mode");
+    let mut group = Group::new("rata_mode");
     for (label, mode) in [("eager", RataMode::Eager), ("spread", RataMode::Spread)] {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || {
-                    let archive = archive_for(w + 10);
-                    let mut vol = Volume::default();
-                    let mut scheme =
-                        RataStar::with_mode(SchemeConfig::new(w, n), mode).unwrap();
-                    scheme.start(&mut vol, &archive).unwrap();
-                    (vol, scheme, archive)
-                },
-                |(mut vol, mut scheme, archive)| {
-                    // A full cycle of transitions: spread mode should
-                    // show flatter per-day work.
-                    for d in (w + 1)..=(w + 10) {
-                        scheme.transition(&mut vol, &archive, Day(d)).unwrap();
-                    }
-                    (vol, scheme)
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_batched(
+            label,
+            || {
+                let archive = archive_for(w + 10);
+                let mut vol = Volume::default();
+                let mut scheme = RataStar::with_mode(SchemeConfig::new(w, n), mode).unwrap();
+                scheme.start(&mut vol, &archive).unwrap();
+                (vol, scheme, archive)
+            },
+            |(mut vol, mut scheme, archive)| {
+                // A full cycle of transitions: spread mode should
+                // show flatter per-day work.
+                for d in (w + 1)..=(w + 10) {
+                    scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+                }
+                (vol, scheme)
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_transitions,
-    bench_update_techniques,
-    bench_rata_modes
-);
-criterion_main!(benches);
+fn main() {
+    bench_transitions();
+    bench_update_techniques();
+    bench_rata_modes();
+}

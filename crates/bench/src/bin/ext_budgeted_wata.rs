@@ -18,9 +18,7 @@ const DAYS: u32 = 200;
 fn main() {
     let sizes = UsenetVolumeModel::new(1997).size_series(DAYS);
     let floor = max_window_size(&sizes, W);
-    println!(
-        "WATA* vs budgeted WATA: peak-size ratio to the eager floor (W = {W}, {DAYS} days)"
-    );
+    println!("WATA* vs budgeted WATA: peak-size ratio to the eager floor (W = {W}, {DAYS} days)");
     println!(
         "{:>3} {:>10} {:>10} {:>12} {:>8}",
         "n", "WATA*", "budgeted", "n/(n-1)+gran", "forced"

@@ -9,45 +9,68 @@
 
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
+use wave_obs::Obs;
 use wave_workloads::ArticleGenerator;
 
-fn run_with_cache(kind: SchemeKind, cache_blocks: usize) -> (f64, u64, u64) {
+struct CacheRun {
+    secs_per_day: f64,
+    seeks_per_day: u64,
+    blocks_per_day: u64,
+    /// Hit rate from the obs `cache.hits` / `cache.misses` counters.
+    hit_rate: f64,
+}
+
+fn run_with_cache(kind: SchemeKind, cache_blocks: usize) -> CacheRun {
     let (w, n) = (7u32, 2usize);
     let mut articles = ArticleGenerator::new(800, 120, 12, 13);
     let mut archive = DayArchive::new();
     for d in 1..=(w + 14) {
         archive.insert(articles.day_batch(Day(d)));
     }
+    let obs = Obs::noop(); // metrics only
     let mut vol = Volume::new(DiskConfig::default().with_cache(cache_blocks));
+    vol.attach_obs(obs.clone());
     let mut scheme = kind
         .build(SchemeConfig::new(w, n).with_technique(UpdateTechnique::InPlace))
         .unwrap();
     scheme.start(&mut vol, &archive).unwrap();
     let before = vol.stats();
+    let (hits0, misses0) = (
+        obs.counter("cache.hits").get(),
+        obs.counter("cache.misses").get(),
+    );
     for d in (w + 1)..=(w + 14) {
         scheme.transition(&mut vol, &archive, Day(d)).unwrap();
     }
     let delta = vol.stats().since(&before);
+    let hits = obs.counter("cache.hits").get() - hits0;
+    let misses = obs.counter("cache.misses").get() - misses0;
     scheme.release(&mut vol).unwrap();
-    (delta.sim_seconds / 14.0, delta.seeks / 14, delta.blocks_total() / 14)
+    CacheRun {
+        secs_per_day: delta.sim_seconds / 14.0,
+        seeks_per_day: delta.seeks / 14,
+        blocks_per_day: delta.blocks_total() / 14,
+        hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+    }
 }
 
 fn main() {
     println!("Buffer-cache ablation: average maintenance per day (W = 7, n = 2, in-place)");
     println!(
-        "{:<11} {:>7} {:>12} {:>8} {:>8}",
-        "scheme", "cache", "sim s/day", "seeks", "blocks"
+        "{:<11} {:>7} {:>12} {:>8} {:>8} {:>9}",
+        "scheme", "cache", "sim s/day", "seeks", "blocks", "hit rate"
     );
     for kind in [SchemeKind::Del, SchemeKind::Reindex, SchemeKind::WataStar] {
         for cache in [0usize, 256, 4096] {
-            let (secs, seeks, blocks) = run_with_cache(kind, cache);
+            let run = run_with_cache(kind, cache);
             println!(
-                "{:<11} {:>7} {:>12.3} {:>8} {:>8}",
+                "{:<11} {:>7} {:>12.3} {:>8} {:>8} {:>8.1}%",
                 kind.name(),
                 cache,
-                secs,
-                seeks,
-                blocks
+                run.secs_per_day,
+                run.seeks_per_day,
+                run.blocks_per_day,
+                100.0 * run.hit_rate
             );
         }
     }

@@ -16,7 +16,10 @@ fn main() {
     // Analytic: WSE probe response time (seconds) by (n, disks).
     let p = Params::wse();
     println!("WSE probe response time (s) by n and disk count (model, DEL packed):");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "n", "1 disk", "2 disks", "4 disks", "8 disks");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "n", "1 disk", "2 disks", "4 disks", "8 disks"
+    );
     for n in [1usize, 2, 4, 8] {
         let e = evaluate(SchemeKind::Del, UpdateTechnique::PackedShadow, &p, n);
         println!(

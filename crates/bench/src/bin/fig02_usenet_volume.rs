@@ -15,10 +15,7 @@ fn main() {
     for (i, &postings) in series.iter().enumerate() {
         let day = i + 1;
         let bar = "#".repeat((postings / 2_500) as usize);
-        println!(
-            "{day:>4} {postings:>10}  {} {bar}",
-            WEEKDAYS[i % 7]
-        );
+        println!("{day:>4} {postings:>10}  {} {bar}", WEEKDAYS[i % 7]);
     }
     let max = series.iter().max().unwrap();
     let min = series.iter().min().unwrap();

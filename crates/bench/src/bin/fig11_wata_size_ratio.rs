@@ -12,11 +12,11 @@
 //! simulated disk at scaled-down volumes, whose peak *blocks* tell the
 //! same story.
 
+use wave_bench::{simulate_case, SimCase};
 use wave_index::schemes::offline::max_window_size;
 use wave_index::schemes::wata::simulate_wata_star_sizes;
 use wave_index::schemes::SchemeKind;
 use wave_index::UpdateTechnique;
-use wave_bench::{simulate_case, SimCase};
 use wave_workloads::UsenetVolumeModel;
 
 const W: u32 = 7;
@@ -28,7 +28,10 @@ fn main() {
     let eager_peak = max_window_size(&sizes, W);
 
     println!("Figure 11 — WATA* index size ratio (W = {W}, {DAYS} days of Usenet volumes)");
-    println!("{:>3} {:>18} {:>18}", "n", "size-replay ratio", "simulated ratio");
+    println!(
+        "{:>3} {:>18} {:>18}",
+        "n", "size-replay ratio", "simulated ratio"
+    );
 
     // Scaled-down volumes for the full simulation: postings / 2000.
     let volumes: Vec<usize> = model

@@ -67,8 +67,16 @@ fn main() {
                 out.avg_precomp + out.avg_transition + out.avg_post
             })
             .collect();
-        print_row(format!("{} M", kind.name()), kind.min_fan() - 1, &norm(&model));
-        print_row(format!("{} S", kind.name()), kind.min_fan() - 1, &norm(&sim));
+        print_row(
+            format!("{} M", kind.name()),
+            kind.min_fan() - 1,
+            &norm(&model),
+        );
+        print_row(
+            format!("{} S", kind.name()),
+            kind.min_fan() - 1,
+            &norm(&sim),
+        );
     }
 
     println!("— one TimedIndexProbe —");

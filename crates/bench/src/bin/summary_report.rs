@@ -6,12 +6,7 @@ use wave_analytic::{evaluate, recommendations, Params};
 use wave_index::schemes::SchemeKind;
 use wave_index::UpdateTechnique;
 
-fn case(
-    title: &str,
-    params: &Params,
-    technique: UpdateTechnique,
-    fan: usize,
-) {
+fn case(title: &str, params: &Params, technique: UpdateTechnique, fan: usize) {
     println!(
         "\n== {title} (W = {}, n = {fan}, {}) ==",
         params.window,
@@ -41,9 +36,24 @@ fn case(
 
 fn main() {
     println!("Wave-index case-study summary (analytic model, Table 12 constants)");
-    case("SCAM copy detection", &Params::scam(), UpdateTechnique::SimpleShadow, 4);
-    case("Web search engine", &Params::wse(), UpdateTechnique::PackedShadow, 1);
-    case("TPC-D warehouse", &Params::tpcd(), UpdateTechnique::PackedShadow, 1);
+    case(
+        "SCAM copy detection",
+        &Params::scam(),
+        UpdateTechnique::SimpleShadow,
+        4,
+    );
+    case(
+        "Web search engine",
+        &Params::wse(),
+        UpdateTechnique::PackedShadow,
+        1,
+    );
+    case(
+        "TPC-D warehouse",
+        &Params::tpcd(),
+        UpdateTechnique::PackedShadow,
+        1,
+    );
     case(
         "TPC-D warehouse (legacy, no packed shadowing)",
         &Params::tpcd(),
@@ -53,8 +63,14 @@ fn main() {
 
     let rec = recommendations();
     println!("\nRecommendations recomputed from the model (paper's Section 6 picks):");
-    println!("  SCAM:           {} at n = {}   (paper: REINDEX, n = 4)", rec.scam.0, rec.scam.1);
-    println!("  WSE:            {} at n = {}   (paper: DEL, n = 1)", rec.wse.0, rec.wse.1);
+    println!(
+        "  SCAM:           {} at n = {}   (paper: REINDEX, n = 4)",
+        rec.scam.0, rec.scam.1
+    );
+    println!(
+        "  WSE:            {} at n = {}   (paper: DEL, n = 1)",
+        rec.wse.0, rec.wse.1
+    );
     println!(
         "  TPC-D (packed): {} at n = {}   (paper: DEL, n = 1)",
         rec.tpcd_packed.0, rec.tpcd_packed.1

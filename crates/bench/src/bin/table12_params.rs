@@ -42,10 +42,12 @@ fn main() {
     // then measure the paper's `Add` — one more day.
     let mut idx = idx;
     for day in &days[1..7] {
-        idx.add_batches_in_place(&mut vol, &[day]).expect("warm add");
+        idx.add_batches_in_place(&mut vol, &[day])
+            .expect("warm add");
     }
     let before = vol.stats();
-    idx.add_batches_in_place(&mut vol, &[&days[7]]).expect("add");
+    idx.add_batches_in_place(&mut vol, &[&days[7]])
+        .expect("add");
     let add_delta = vol.stats().since(&before);
     let s_unpacked_per_day = idx.capacity_bytes() as f64 / 8.0;
     let s_packed_per_day = idx.packed_bytes() as f64 / 8.0;

@@ -1,0 +1,106 @@
+//! A small wall-clock benchmarking harness (no external crates).
+//!
+//! Each benchmark warms up briefly, then runs timed samples until a
+//! time budget is spent, and prints min/median/mean per iteration.
+//! Used by the `benches/*.rs` entry points (built with
+//! `harness = false`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark sample budget.
+const WARMUP: Duration = Duration::from_millis(50);
+const BUDGET: Duration = Duration::from_millis(300);
+const MAX_SAMPLES: usize = 2_000;
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn report(group: &str, label: &str, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let min = samples[0];
+    let median = samples[n / 2];
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    println!(
+        "{group}/{label:<28} median {:>12}  mean {:>12}  min {:>12}  ({n} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+/// A named group of benchmarks, mirroring the usual group/label
+/// reporting shape.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Opens a group (prints its header).
+    pub fn new(name: &str) -> Self {
+        println!("## {name}");
+        Group { name: name.into() }
+    }
+
+    /// Benchmarks `f` called repeatedly with no per-sample setup.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let mut samples = Vec::new();
+        let stop = Instant::now() + BUDGET;
+        while Instant::now() < stop && samples.len() < MAX_SAMPLES {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        report(&self.name, label, &mut samples);
+    }
+
+    /// Benchmarks `routine` over fresh state from `setup`; only the
+    /// routine is timed.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let mut samples = Vec::new();
+        let stop = Instant::now() + BUDGET;
+        while Instant::now() < stop && samples.len() < MAX_SAMPLES {
+            let state = setup();
+            let t = Instant::now();
+            black_box(routine(state));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        report(&self.name, label, &mut samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3e9), "3.000 s");
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! The harness that regenerates every table and figure of the paper's
 //! evaluation (Section 6). Each `src/bin/fig*.rs` / `src/bin/table*.rs`
-//! binary prints one artefact; `benches/` holds Criterion microbenches
-//! of the real index implementations.
+//! binary prints one artefact; `benches/` holds wall-clock microbenches
+//! of the real index implementations, run by the in-repo [`harness`].
 //!
 //! Figures come in two flavours:
 //!
@@ -13,8 +13,10 @@
 //!   measured by running the real schemes on generated workloads over
 //!   the simulated disk.
 
+pub mod harness;
 pub mod render;
 pub mod sim;
 
+pub use harness::Group;
 pub use render::{render_figure, write_figure_csv};
 pub use sim::{simulate_case, SimCase, SimOutcome};

@@ -1,8 +1,11 @@
 //! Full-stack simulation runner: real schemes, real buckets, the
-//! simulated disk's seek/transfer clock.
+//! simulated disk's seek/transfer clock. Storage-level measures
+//! (seeks, cache traffic) are read back from the wave-obs metrics
+//! registry the volume reports into.
 
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
+use wave_obs::Obs;
 use wave_workloads::{ArticleGenerator, QueryMix};
 
 /// One simulation scenario.
@@ -85,6 +88,12 @@ pub struct SimOutcome {
     pub avg_length: f64,
     /// Peak wave length in days.
     pub max_length: usize,
+    /// Total disk seeks (from the `disk.seeks` metric).
+    pub seeks: u64,
+    /// Block-cache hits (from `cache.hits`; 0 with no cache).
+    pub cache_hits: u64,
+    /// Block-cache misses (from `cache.misses`).
+    pub cache_misses: u64,
 }
 
 /// Runs a scenario and aggregates its day reports.
@@ -96,7 +105,10 @@ pub fn simulate_case(case: &SimCase) -> SimOutcome {
             ..Default::default()
         });
     let scheme = case.kind.build(cfg).expect("valid scheme config");
-    let mut driver = Driver::new(scheme, Volume::default(), DriverConfig::default());
+    let obs = Obs::noop(); // metrics only; no event stream
+    let mut vol = Volume::default();
+    vol.attach_obs(obs.clone());
+    let mut driver = Driver::new(scheme, vol, DriverConfig::default());
     let mut articles = ArticleGenerator::new(2_000, 0, case.words_per_article, case.seed);
     let mix = QueryMix::scam(case.probes_per_day, case.window, case.seed ^ 0xABCD);
 
@@ -116,6 +128,9 @@ pub fn simulate_case(case: &SimCase) -> SimOutcome {
         avg_blocks: 0.0,
         avg_length: 0.0,
         max_length: 0,
+        seeks: 0,
+        cache_hits: 0,
+        cache_misses: 0,
     };
     for step in 1..=case.days {
         let day = Day(case.window + step);
@@ -129,7 +144,9 @@ pub fn simulate_case(case: &SimCase) -> SimOutcome {
         outcome.avg_query += report.query_seconds;
         outcome.avg_total_work += report.total_work_seconds();
         outcome.peak_blocks = outcome.peak_blocks.max(report.peak_blocks);
-        outcome.max_blocks = outcome.max_blocks.max(report.wave_blocks + report.temp_blocks);
+        outcome.max_blocks = outcome
+            .max_blocks
+            .max(report.wave_blocks + report.temp_blocks);
         outcome.avg_blocks += (report.wave_blocks + report.temp_blocks) as f64;
         outcome.avg_length += report.wave_length as f64;
         outcome.max_length = outcome.max_length.max(report.wave_length);
@@ -142,6 +159,9 @@ pub fn simulate_case(case: &SimCase) -> SimOutcome {
     outcome.avg_total_work /= d;
     outcome.avg_blocks /= d;
     outcome.avg_length /= d;
+    outcome.seeks = obs.counter("disk.seeks").get();
+    outcome.cache_hits = obs.counter("cache.hits").get();
+    outcome.cache_misses = obs.counter("cache.misses").get();
     driver.finish().expect("no leaked blocks");
     outcome
 }
@@ -160,6 +180,7 @@ mod tests {
             assert!(out.avg_transition > 0.0, "{kind}");
             assert!(out.avg_length >= 7.0, "{kind}");
             assert!(out.peak_blocks > 0, "{kind}");
+            assert!(out.seeks > 0, "{kind}: obs seek counter should tick");
         }
     }
 

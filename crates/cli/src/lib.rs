@@ -19,14 +19,25 @@
 //! wavectl query DIR WORD [--from D] [--to D]
 //! wavectl scan  DIR [--from D] [--to D]
 //! wavectl status DIR
+//! wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]
+//! wavectl report FILE
 //! ```
+//!
+//! `trace` replays a synthetic Zipfian workload through a scheme with
+//! tracing on and emits the JSONL event stream (see DESIGN.md
+//! "Observability"); `report` folds such a stream back into a
+//! per-phase summary table.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
+use wave_obs::json::{parse_flat, JsonValue};
+use wave_obs::{MemorySink, Obs};
+use wave_workloads::{ArticleGenerator, QueryMix};
 
 /// CLI errors, all user-presentable.
 #[derive(Debug)]
@@ -73,8 +84,8 @@ pub fn parse_scheme(name: &str) -> Result<SchemeKind, CliError> {
         "reindex" => SchemeKind::Reindex,
         "reindex+" | "reindexplus" => SchemeKind::ReindexPlus,
         "reindex++" | "reindexplusplus" => SchemeKind::ReindexPlusPlus,
-        "wata" | "wata*" => SchemeKind::WataStar,
-        "rata" | "rata*" => SchemeKind::RataStar,
+        "wata" | "wata*" | "wata-star" => SchemeKind::WataStar,
+        "rata" | "rata*" | "rata-star" => SchemeKind::RataStar,
         other => {
             return Err(CliError::Usage(format!(
                 "unknown scheme {other:?} (expected del|reindex|reindex+|reindex++|wata|rata)"
@@ -103,8 +114,12 @@ impl Config {
     }
 
     fn load(dir: &Path) -> Result<Config, CliError> {
-        let text = fs::read_to_string(dir.join("config.txt"))
-            .map_err(|_| CliError::State(format!("{} is not a wavectl directory (missing config.txt); run `wavectl init` first", dir.display())))?;
+        let text = fs::read_to_string(dir.join("config.txt")).map_err(|_| {
+            CliError::State(format!(
+                "{} is not a wavectl directory (missing config.txt); run `wavectl init` first",
+                dir.display()
+            ))
+        })?;
         let mut scheme = None;
         let mut window = None;
         let mut fan = None;
@@ -115,14 +130,20 @@ impl Config {
             match key.trim() {
                 "scheme" => scheme = Some(parse_scheme(value.trim())?),
                 "window" => {
-                    window = Some(value.trim().parse::<u32>().map_err(|_| {
-                        CliError::State(format!("bad window value {value:?}"))
-                    })?)
+                    window = Some(
+                        value
+                            .trim()
+                            .parse::<u32>()
+                            .map_err(|_| CliError::State(format!("bad window value {value:?}")))?,
+                    )
                 }
                 "fan" => {
-                    fan = Some(value.trim().parse::<usize>().map_err(|_| {
-                        CliError::State(format!("bad fan value {value:?}"))
-                    })?)
+                    fan = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|_| CliError::State(format!("bad fan value {value:?}")))?,
+                    )
                 }
                 _ => {}
             }
@@ -156,9 +177,10 @@ fn stored_days(dir: &Path) -> Result<Vec<u32>, CliError> {
             .strip_prefix("day_")
             .and_then(|s| s.strip_suffix(".txt"))
         {
-            days.push(num.parse::<u32>().map_err(|_| {
-                CliError::State(format!("unparseable day file {name:?}"))
-            })?);
+            days.push(
+                num.parse::<u32>()
+                    .map_err(|_| CliError::State(format!("unparseable day file {name:?}")))?,
+            );
         }
     }
     days.sort_unstable();
@@ -210,9 +232,7 @@ fn replay(dir: &Path, cfg: &Config) -> Result<Replayed, CliError> {
         let text = fs::read_to_string(day_path(dir, d))?;
         archive.insert(parse_day(d, &text)?);
     }
-    let mut scheme = cfg
-        .scheme
-        .build(SchemeConfig::new(cfg.window, cfg.fan))?;
+    let mut scheme = cfg.scheme.build(SchemeConfig::new(cfg.window, cfg.fan))?;
     let mut vol = Volume::default();
     let mut last = None;
     let max_day = days.last().copied().unwrap_or(0);
@@ -255,21 +275,21 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
     while i < args.len() {
         match args[i].as_str() {
             "--from" => {
-                let v = args.get(i + 1).ok_or_else(|| {
-                    CliError::Usage("--from needs a day number".into())
-                })?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--from needs a day number".into()))?;
                 lo = Some(Day(v.parse().map_err(|_| {
                     CliError::Usage(format!("bad --from value {v:?}"))
                 })?));
                 i += 2;
             }
             "--to" => {
-                let v = args.get(i + 1).ok_or_else(|| {
-                    CliError::Usage("--to needs a day number".into())
-                })?;
-                hi = Some(Day(v.parse().map_err(|_| {
-                    CliError::Usage(format!("bad --to value {v:?}"))
-                })?));
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--to needs a day number".into()))?;
+                hi = Some(Day(v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --to value {v:?}")))?));
                 i += 2;
             }
             other => {
@@ -282,12 +302,14 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: wavectl <init|add|query|scan|status> DIR …";
+    let usage = "usage: wavectl <init|add|query|scan|status|trace|report> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
-    let dir = PathBuf::from(
-        args.get(1)
-            .ok_or_else(|| CliError::Usage(usage.into()))?,
-    );
+    match command.as_str() {
+        "trace" => return cmd_trace(&args[1..]),
+        "report" => return cmd_report(&args[1..]),
+        _ => {}
+    }
+    let dir = PathBuf::from(args.get(1).ok_or_else(|| CliError::Usage(usage.into()))?);
     match command.as_str() {
         "init" => cmd_init(&dir, &args[2..]),
         "add" => cmd_add(&dir, &args[2..]),
@@ -308,9 +330,10 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<String, CliError> {
     while i < args.len() {
         match args[i].as_str() {
             "--scheme" => {
-                scheme = parse_scheme(args.get(i + 1).ok_or_else(|| {
-                    CliError::Usage("--scheme needs a value".into())
-                })?)?;
+                scheme = parse_scheme(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--scheme needs a value".into()))?,
+                )?;
                 i += 2;
             }
             "--window" => {
@@ -416,9 +439,10 @@ fn cmd_query(dir: &Path, args: &[String]) -> Result<String, CliError> {
             cfg.window
         )));
     }
-    let result = scheme
-        .wave()
-        .timed_index_probe(&mut vol, &SearchValue::from(word.as_str()), range)?;
+    let result =
+        scheme
+            .wave()
+            .timed_index_probe(&mut vol, &SearchValue::from(word.as_str()), range)?;
     let n = result.entries.len();
     let mut out = format!(
         "{n} hit{} for {word:?} ({} constituent indexes probed)\n",
@@ -470,8 +494,7 @@ fn cmd_status(dir: &Path) -> Result<String, CliError> {
                 scheme.wave().blocks(),
             ));
             for (_, idx) in scheme.wave().iter() {
-                let days: Vec<String> =
-                    idx.days().iter().map(|d| d.0.to_string()).collect();
+                let days: Vec<String> = idx.days().iter().map(|d| d.0.to_string()).collect();
                 out.push_str(&format!(
                     "  {}: days [{}]{}\n",
                     idx.label(),
@@ -491,6 +514,201 @@ fn cmd_status(dir: &Path) -> Result<String, CliError> {
         )),
     }
     Ok(out)
+}
+
+/// Runs `days` traced days of a synthetic Zipfian workload through
+/// `kind` and returns the JSONL event stream plus every `DayReport`
+/// (start report first). The trace's per-phase `sim_seconds` agree
+/// with the reports exactly: both are derived from the same
+/// `IoStats` deltas and f64s round-trip through the JSONL encoding.
+pub fn run_trace(
+    kind: SchemeKind,
+    days: u32,
+    window: u32,
+    fan: usize,
+    cache: usize,
+) -> Result<(String, Vec<DayReport>), CliError> {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::new(sink.clone());
+    let mut vol = Volume::new(DiskConfig::default().with_cache(cache));
+    vol.attach_obs(obs.clone());
+    let scheme = kind.build(SchemeConfig::new(window, fan))?;
+    let mut driver = Driver::new(scheme, vol, DriverConfig::default());
+
+    let seed = 0x0B5E_7ACE;
+    let mut articles = ArticleGenerator::new(400, 30, 6, seed);
+    let mix = QueryMix::new(400, 8, 1, window, seed);
+    let mut reports = Vec::with_capacity(days as usize + 1);
+    reports.push(driver.start((1..=window).map(|d| articles.day_batch(Day(d))).collect())?);
+    for d in (window + 1)..=(window + days) {
+        let load = mix.load_for(Day(d));
+        reports.push(driver.step(articles.day_batch(Day(d)), &load)?);
+    }
+    obs.dump_metrics();
+    driver.finish()?;
+    obs.flush();
+    Ok((sink.to_jsonl(), reports))
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]";
+    let scheme = parse_scheme(args.first().ok_or_else(|| CliError::Usage(usage.into()))?)?;
+    let mut days = 30u32;
+    let mut window = 7u32;
+    let mut fan = 3usize;
+    let mut cache = 256usize;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match args[i].as_str() {
+            "--days" => {
+                days = value("--days")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --days value".into()))?
+            }
+            "--window" => {
+                window = value("--window")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --window value".into()))?
+            }
+            "--fan" => {
+                fan = value("--fan")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --fan value".into()))?
+            }
+            "--cache" => {
+                cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --cache value".into()))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+        i += 2;
+    }
+    let (jsonl, reports) = run_trace(scheme, days, window, fan, cache)?;
+    match out {
+        Some(path) => {
+            fs::write(&path, &jsonl)?;
+            Ok(format!(
+                "traced {} days of {} to {} ({} events)\nsummarise with: wavectl report {}\n",
+                reports.len(),
+                scheme.name(),
+                path.display(),
+                jsonl.lines().count(),
+                path.display()
+            ))
+        }
+        None => Ok(jsonl),
+    }
+}
+
+/// Per-phase accumulator for `summarize_trace`.
+#[derive(Default)]
+struct PhaseTotals {
+    events: u64,
+    sim_seconds: f64,
+    seeks: u64,
+    blocks_read: u64,
+    blocks_written: u64,
+}
+
+/// Folds a JSONL trace back into a human-readable summary: one row
+/// per paper measure (precomp/transition/post/query), then the
+/// metric dump, echoing the trace's own `metric` events.
+pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
+    const PHASES: [&str; 4] = ["precomp", "transition", "post", "query"];
+    let mut totals: Vec<PhaseTotals> = (0..4).map(|_| PhaseTotals::default()).collect();
+    let mut days = 0u64;
+    let mut scheme = String::new();
+    let mut metrics: Vec<String> = Vec::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat(line).ok_or_else(|| {
+            CliError::State(format!("line {}: not a flat JSON object", lineno + 1))
+        })?;
+        let ev = obj.get("ev").and_then(JsonValue::as_str).unwrap_or("");
+        let field_f64 = |k: &str| obj.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let field_u64 = |k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        match ev {
+            "phase" => {
+                let phase = obj.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+                let Some(slot) = PHASES.iter().position(|p| *p == phase) else {
+                    continue;
+                };
+                let t = &mut totals[slot];
+                t.events += 1;
+                t.sim_seconds += field_f64("sim_seconds");
+                t.seeks += field_u64("seeks");
+                t.blocks_read += field_u64("blocks_read");
+                t.blocks_written += field_u64("blocks_written");
+            }
+            "day_report" => days += 1,
+            "metric" => {
+                let name = obj.get("metric").and_then(JsonValue::as_str).unwrap_or("?");
+                let line = match obj.get("type").and_then(JsonValue::as_str).unwrap_or("") {
+                    "histogram" => format!(
+                        "  {name}: count {} sum {} mean {:.2} max {} p50<={} p99<={}",
+                        field_u64("count"),
+                        field_u64("sum"),
+                        field_f64("mean"),
+                        field_u64("max"),
+                        field_u64("p50"),
+                        field_u64("p99"),
+                    ),
+                    "gauge" => format!("  {name}: {}", field_f64("value")),
+                    _ => format!("  {name}: {}", field_u64("value")),
+                };
+                metrics.push(line);
+            }
+            _ => {
+                if scheme.is_empty() {
+                    if let Some(s) = obj.get("scheme").and_then(JsonValue::as_str) {
+                        scheme = s.to_string();
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    if !scheme.is_empty() {
+        out.push_str(&format!("scheme {scheme} | {days} day reports\n"));
+    } else {
+        out.push_str(&format!("{days} day reports\n"));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>14} {:>9} {:>12} {:>14}\n",
+        "phase", "events", "sim_seconds", "seeks", "blocks_read", "blocks_written"
+    ));
+    for (name, t) in PHASES.iter().zip(&totals) {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>14.6} {:>9} {:>12} {:>14}\n",
+            name, t.events, t.sim_seconds, t.seeks, t.blocks_read, t.blocks_written
+        ));
+    }
+    if !metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for m in &metrics {
+            out.push_str(m);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("usage: wavectl report FILE".into()))?;
+    let jsonl = fs::read_to_string(path)?;
+    summarize_trace(&jsonl)
 }
 
 #[cfg(test)]
@@ -523,8 +741,10 @@ mod tests {
     fn full_cli_lifecycle() {
         let dir = temp_dir();
         let d = dir.to_str().unwrap();
-        let out = run(&s(&["init", d, "--scheme", "wata", "--window", "3", "--fan", "2"]))
-            .unwrap();
+        let out = run(&s(&[
+            "init", d, "--scheme", "wata", "--window", "3", "--fan", "2",
+        ]))
+        .unwrap();
         assert!(out.contains("WATA*"));
 
         // Not enough days yet.
@@ -559,11 +779,12 @@ mod tests {
     fn init_rejects_bad_configs() {
         let dir = temp_dir();
         let d = dir.to_str().unwrap();
-        let err = run(&s(&["init", d, "--scheme", "wata", "--window", "5", "--fan", "1"]))
-            .unwrap_err();
+        let err = run(&s(&[
+            "init", d, "--scheme", "wata", "--window", "5", "--fan", "1",
+        ]))
+        .unwrap_err();
         assert!(matches!(err, CliError::Index(_)));
-        let err =
-            run(&s(&["init", d, "--scheme", "nope"])).unwrap_err();
+        let err = run(&s(&["init", d, "--scheme", "nope"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         fs::remove_dir_all(&dir).ok();
     }
@@ -572,7 +793,10 @@ mod tests {
     fn add_rejects_malformed_lines_without_storing() {
         let dir = temp_dir();
         let d = dir.to_str().unwrap();
-        run(&s(&["init", d, "--scheme", "del", "--window", "2", "--fan", "1"])).unwrap();
+        run(&s(&[
+            "init", d, "--scheme", "del", "--window", "2", "--fan", "1",
+        ]))
+        .unwrap();
         let f = dir.join("bad.txt");
         fs::write(&f, "notanumber hello\n").unwrap();
         let err = run(&s(&["add", d, f.to_str().unwrap()])).unwrap_err();
@@ -599,7 +823,10 @@ mod tests {
     fn old_day_files_are_pruned_and_replay_survives() {
         let dir = temp_dir();
         let d = dir.to_str().unwrap();
-        run(&s(&["init", d, "--scheme", "wata", "--window", "2", "--fan", "2"])).unwrap();
+        run(&s(&[
+            "init", d, "--scheme", "wata", "--window", "2", "--fan", "2",
+        ]))
+        .unwrap();
         for day in 1..=9u32 {
             add_day(&dir, &format!("{day} word{day} shared\n"));
         }
@@ -613,11 +840,103 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    /// The ISSUE acceptance check: a 30-day WATA* trace is valid
+    /// JSONL whose per-phase `sim_seconds` totals agree with the
+    /// `DayReport` figures to 1e-9, with a warm cache showing hits.
+    #[test]
+    fn trace_jsonl_agrees_with_day_reports() {
+        let (jsonl, reports) = run_trace(SchemeKind::WataStar, 30, 7, 3, 256).unwrap();
+        let mut sums = [0.0f64; 4]; // precomp, transition, post, query
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        for line in jsonl.lines() {
+            let obj = parse_flat(line).unwrap_or_else(|| panic!("invalid JSONL line: {line}"));
+            match obj.get("ev").and_then(JsonValue::as_str) {
+                Some("phase") => {
+                    let phase = obj.get("phase").and_then(JsonValue::as_str).unwrap();
+                    let slot = ["precomp", "transition", "post", "query"]
+                        .iter()
+                        .position(|p| *p == phase)
+                        .unwrap();
+                    sums[slot] += obj.get("sim_seconds").and_then(JsonValue::as_f64).unwrap();
+                }
+                Some("metric") => {
+                    let v = obj.get("value").and_then(JsonValue::as_u64).unwrap_or(0);
+                    match obj.get("metric").and_then(JsonValue::as_str) {
+                        Some("cache.hits") => cache_hits = v,
+                        Some("cache.misses") => cache_misses = v,
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(reports.len(), 31, "start + 30 stepped days");
+        let expect = [
+            reports.iter().map(|r| r.precomp_seconds).sum::<f64>(),
+            reports.iter().map(|r| r.transition_seconds).sum::<f64>(),
+            reports.iter().map(|r| r.post_seconds).sum::<f64>(),
+            reports.iter().map(|r| r.query_seconds).sum::<f64>(),
+        ];
+        for (i, (got, want)) in sums.iter().zip(&expect).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "phase {i}: trace total {got} vs reports {want}"
+            );
+        }
+        assert!(expect.iter().sum::<f64>() > 0.0, "workload did real I/O");
+        assert!(cache_hits > 0, "cached run must record hits");
+        assert!(cache_misses > 0, "cold blocks must record misses");
+    }
+
+    #[test]
+    fn trace_report_pipeline_roundtrips() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        let trace_file = dir.join("trace.jsonl");
+        let tf = trace_file.to_str().unwrap();
+        let out = run(&s(&[
+            "trace",
+            "wata-star",
+            "--days",
+            "5",
+            "--window",
+            "4",
+            "--fan",
+            "2",
+            "--cache",
+            "64",
+            "--out",
+            tf,
+        ]))
+        .unwrap();
+        assert!(out.contains("traced 6 days of WATA*"), "{out}");
+        let report = run(&s(&["report", tf])).unwrap();
+        assert!(report.contains("scheme WATA*"), "{report}");
+        assert!(report.contains("6 day reports"), "{report}");
+        for phase in ["precomp", "transition", "post", "query"] {
+            assert!(report.contains(phase), "{report}");
+        }
+        assert!(report.contains("cache.hits"), "{report}");
+        assert!(report.contains("dir.probe_depth"), "{report}");
+        // Without --out the JSONL itself is the output.
+        let jsonl = run(&s(&[
+            "trace", "del", "--days", "2", "--window", "3", "--fan", "1",
+        ]))
+        .unwrap();
+        assert!(jsonl.lines().all(|l| parse_flat(l).is_some()));
+        let _ = d;
+        fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn status_before_window_reports_progress() {
         let dir = temp_dir();
         let d = dir.to_str().unwrap();
-        run(&s(&["init", d, "--scheme", "reindex", "--window", "4", "--fan", "2"])).unwrap();
+        run(&s(&[
+            "init", d, "--scheme", "reindex", "--window", "4", "--fan", "2",
+        ]))
+        .unwrap();
         add_day(&dir, "1 word\n");
         let out = run(&s(&["status", d])).unwrap();
         assert!(out.contains("collecting start-up days (1/4)"), "{out}");

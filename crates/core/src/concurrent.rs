@@ -8,9 +8,7 @@
 //! outside any lock and takes the write lock only for the O(1) slot
 //! swap.
 
-use std::sync::Arc;
-
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::entry::Entry;
 use crate::error::IndexResult;
@@ -43,15 +41,15 @@ impl SharedWave {
     /// `TimedIndexProbe` under a read lock: sees one consistent
     /// generation of every constituent.
     pub fn probe(&self, value: &SearchValue, range: TimeRange) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave.read();
-        let mut vol = self.vol.lock();
+        let wave = self.wave.read().unwrap();
+        let mut vol = self.vol.lock().unwrap();
         Ok(wave.timed_index_probe(&mut vol, value, range)?.entries)
     }
 
     /// `TimedSegmentScan` under a read lock.
     pub fn scan(&self, range: TimeRange) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave.read();
-        let mut vol = self.vol.lock();
+        let wave = self.wave.read().unwrap();
+        let mut vol = self.vol.lock().unwrap();
         Ok(wave.timed_segment_scan(&mut vol, range)?.entries)
     }
 
@@ -59,25 +57,25 @@ impl SharedWave {
     /// readers of the wave structure (they only contend on the disk,
     /// exactly as shadow updating promises).
     pub fn with_volume<R>(&self, f: impl FnOnce(&mut Volume) -> R) -> R {
-        let mut vol = self.vol.lock();
+        let mut vol = self.vol.lock().unwrap();
         f(&mut vol)
     }
 
     /// The O(1) swap: installs `idx` in slot `j` under a brief write
     /// lock and returns the displaced index for the caller to release.
     pub fn swap_slot(&self, j: usize, idx: ConstituentIndex) -> Option<ConstituentIndex> {
-        self.wave.write().install(j, idx)
+        self.wave.write().unwrap().install(j, idx)
     }
 
     /// Total days covered (read-locked snapshot).
     pub fn length(&self) -> usize {
-        self.wave.read().length()
+        self.wave.read().unwrap().length()
     }
 
     /// Tears down, releasing every constituent's storage.
     pub fn release(self) -> IndexResult<()> {
-        let mut wave = self.wave.write();
-        let mut vol = self.vol.lock();
+        let mut wave = self.wave.write().unwrap();
+        let mut vol = self.vol.lock().unwrap();
         wave.release_all(&mut vol)
     }
 }
@@ -106,9 +104,13 @@ mod tests {
         let mut wave = WaveIndex::with_slots(1);
         // Generation sizes are distinct so a reader can tell exactly
         // which generation it saw: 10 or 20 entries, never in between.
-        let gen1 =
-            ConstituentIndex::build_packed("I1", IndexConfig::default(), &mut vol, &[&batch(1, 10)])
-                .unwrap();
+        let gen1 = ConstituentIndex::build_packed(
+            "I1",
+            IndexConfig::default(),
+            &mut vol,
+            &[&batch(1, 10)],
+        )
+        .unwrap();
         wave.install(0, gen1);
         let shared = SharedWave::new(wave, vol);
 

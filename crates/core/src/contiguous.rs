@@ -86,7 +86,10 @@ mod tests {
         assert!(c.should_shrink(4, 32));
         assert!(c.should_shrink(8, 32));
         assert!(!c.should_shrink(9, 32));
-        assert!(!c.should_shrink(0, 32), "empty buckets are dropped, not shrunk");
+        assert!(
+            !c.should_shrink(0, 32),
+            "empty buckets are dropped, not shrunk"
+        );
         assert!(!c.should_shrink(1, 4), "min-capacity buckets stay");
     }
 

@@ -87,17 +87,36 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     /// Looks up `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
+        self.get_with_depth(key).0
+    }
+
+    /// Looks up `key`, also returning the number of nodes visited on
+    /// the root-to-leaf path (the probe depth; 1 for a lone leaf).
+    pub fn get_with_depth(&self, key: &K) -> (Option<&V>, usize) {
         let mut node = &self.root;
+        let mut depth = 1usize;
         loop {
             match node {
                 Node::Leaf { keys, vals } => {
-                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                    return (keys.binary_search(key).ok().map(|i| &vals[i]), depth);
                 }
                 Node::Internal { keys, children } => {
+                    depth += 1;
                     node = &children[keys.partition_point(|sep| sep <= key)];
                 }
             }
         }
+    }
+
+    /// Height of the tree: nodes on any root-to-leaf path.
+    pub fn height(&self) -> usize {
+        let mut node = &self.root;
+        let mut h = 1usize;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
     }
 
     /// Looks up `key` mutably.
@@ -147,33 +166,31 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     fn insert_rec(node: &mut Node<K, V>, key: K, val: V, order: usize) -> InsertOutcome<K, V> {
         match node {
-            Node::Leaf { keys, vals } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => (Some(std::mem::replace(&mut vals[i], val)), None),
-                    Err(i) => {
-                        keys.insert(i, key);
-                        vals.insert(i, val);
-                        if keys.len() > order {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_vals = vals.split_off(mid);
-                            let sep = right_keys[0].clone();
-                            (
-                                None,
-                                Some((
-                                    sep,
-                                    Node::Leaf {
-                                        keys: right_keys,
-                                        vals: right_vals,
-                                    },
-                                )),
-                            )
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => (Some(std::mem::replace(&mut vals[i], val)), None),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    if keys.len() > order {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        (
+                            None,
+                            Some((
+                                sep,
+                                Node::Leaf {
+                                    keys: right_keys,
+                                    vals: right_vals,
+                                },
+                            )),
+                        )
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|sep| sep <= &key);
                 let (old, split) = Self::insert_rec(&mut children[idx], key, val, order);
@@ -283,8 +300,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             return;
         }
         // Try borrowing from the right sibling.
-        if idx + 1 < children.len()
-            && children[idx + 1].key_count() > children[idx].min_donatable()
+        if idx + 1 < children.len() && children[idx + 1].key_count() > children[idx].min_donatable()
         {
             let (left, right) = children.split_at_mut(idx + 1);
             let recipient = &mut left[idx];
@@ -420,9 +436,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         lo: Option<&'a K>,
         hi: Option<&'a K>,
     ) -> Result<(), String> {
-        let in_bounds = |k: &K| {
-            lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h)
-        };
+        let in_bounds = |k: &K| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h);
         match node {
             Node::Leaf { keys, vals } => {
                 if keys.len() != vals.len() {
@@ -468,7 +482,14 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     let child_lo = if i == 0 { lo } else { Some(&keys[i - 1]) };
                     let child_hi = if i == keys.len() { hi } else { Some(&keys[i]) };
                     Self::check_node(
-                        child, depth + 1, false, min, order, leaf_depth, count, child_lo,
+                        child,
+                        depth + 1,
+                        false,
+                        min,
+                        order,
+                        leaf_depth,
+                        count,
+                        child_lo,
                         child_hi,
                     )?;
                 }

@@ -76,10 +76,19 @@ impl<K: Hash + Eq + Ord + Clone, V> HashTable<K, V> {
 
     /// Looks up `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.buckets[self.bucket_of(key)]
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.get_with_depth(key).0
+    }
+
+    /// Looks up `key`, also returning the number of chain entries
+    /// compared (the probe depth; 0 for an empty chain).
+    pub fn get_with_depth(&self, key: &K) -> (Option<&V>, usize) {
+        let chain = &self.buckets[self.bucket_of(key)];
+        for (i, (k, v)) in chain.iter().enumerate() {
+            if k == key {
+                return (Some(v), i + 1);
+            }
+        }
+        (None, chain.len())
     }
 
     /// Looks up `key` mutably.

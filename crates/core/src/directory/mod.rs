@@ -97,6 +97,16 @@ impl Directory {
         }
     }
 
+    /// Looks up the bucket for `value`, also returning the probe
+    /// depth: nodes visited (B+Tree) or chain entries compared
+    /// (hash). Feeds the `dir.probe_depth` histogram.
+    pub fn get_with_depth(&self, value: &SearchValue) -> (Option<&BucketRef>, usize) {
+        match self {
+            Directory::BTree(t) => t.get_with_depth(value),
+            Directory::Hash(t) => t.get_with_depth(value),
+        }
+    }
+
     /// Looks up the bucket for `value` mutably.
     pub fn get_mut(&mut self, value: &SearchValue) -> Option<&mut BucketRef> {
         match self {

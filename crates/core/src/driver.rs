@@ -1,12 +1,20 @@
 //! Day-by-day driver: feeds a scheme its batches, runs the query
 //! workload, and measures everything the paper's evaluation reports.
+//!
+//! Each day is traced as one `day` span on the volume's [`Obs`]
+//! containing four `phase` events — `precomp`, `transition`, `post`,
+//! `query` — mirroring the paper's four performance measures. The
+//! phase events carry the *exact* `f64` simulated seconds that land
+//! in the [`DayReport`], so a JSONL trace can be reconciled against
+//! the tables bit-for-bit.
 
-use wave_storage::Volume;
+use wave_obs::{fields, Span};
+use wave_storage::{StatsDelta, Volume};
 
 use crate::error::{IndexError, IndexResult};
 use crate::query::TimeRange;
 use crate::record::{Day, DayArchive, DayBatch, SearchValue};
-use crate::schemes::WaveScheme;
+use crate::schemes::{TransitionRecord, WaveScheme};
 use crate::verify::{verify_scheme, Oracle};
 
 /// The queries to run against the wave index on one day.
@@ -26,14 +34,12 @@ impl QueryLoad {
 }
 
 /// Driver settings.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DriverConfig {
     /// Check every day's state and query results against the oracle.
     /// Slows simulation down; intended for tests.
     pub verify: bool,
 }
-
 
 /// Everything measured about one simulated day.
 #[derive(Debug, Clone)]
@@ -108,8 +114,12 @@ impl Driver {
             self.archive.insert(batch);
         }
         self.vol.reset_peak();
+        let obs = self.vol.obs().clone();
+        let span = obs.span("start", fields![("scheme", self.scheme.name())]);
         let rec = self.scheme.start(&mut self.vol, &self.archive)?;
         let report = self.report_from(rec.day, &rec, 0.0, 0, 0);
+        self.emit_day_trace(&span, &rec, &StatsDelta::default(), &report);
+        drop(span);
         if self.cfg.verify {
             verify_scheme(
                 self.scheme.as_ref(),
@@ -128,27 +138,44 @@ impl Driver {
         self.archive.insert(batch);
         self.vol.reset_peak();
 
+        let obs = self.vol.obs().clone();
+        obs.counter("driver.days").inc();
+        let span = obs.span(
+            "day",
+            fields![("scheme", self.scheme.name()), ("day", day.0)],
+        );
         let rec = self.scheme.transition(&mut self.vol, &self.archive, day)?;
 
-        // Queries.
+        // Queries. Each one's simulated latency lands in a histogram
+        // (in whole microseconds; one seek is 14 000 µs).
+        let latency = obs.histogram("query.sim_micros");
         let before = self.vol.stats();
         let mut probe_indexes = 0usize;
         for (value, range) in &queries.probes {
+            let qb = self.vol.stats();
             probe_indexes += self
                 .scheme
                 .wave()
                 .timed_index_probe(&mut self.vol, value, *range)?
                 .indexes_accessed;
+            latency.record(sim_micros(self.vol.stats().since(&qb).sim_seconds));
         }
         let mut scan_indexes = 0usize;
         for range in &queries.scans {
+            let qb = self.vol.stats();
             scan_indexes += self
                 .scheme
                 .wave()
                 .timed_segment_scan(&mut self.vol, *range)?
                 .indexes_accessed;
+            latency.record(sim_micros(self.vol.stats().since(&qb).sim_seconds));
         }
-        let query_seconds = self.vol.stats().since(&before).sim_seconds;
+        let query_delta = self.vol.stats().since(&before);
+        let query_seconds = query_delta.sim_seconds;
+
+        let report = self.report_from(day, &rec, query_seconds, probe_indexes, scan_indexes);
+        self.emit_day_trace(&span, &rec, &query_delta, &report);
+        drop(span);
 
         if self.cfg.verify {
             verify_scheme(
@@ -165,7 +192,56 @@ impl Driver {
         self.oracle
             .prune_before(Day(day.0.saturating_sub(3 * self.scheme.config().window)));
 
-        Ok(self.report_from(day, &rec, query_seconds, probe_indexes, scan_indexes))
+        Ok(report)
+    }
+
+    /// Emits the day's four `phase` events plus a `day_report` event
+    /// inside `span`. The `sim_seconds` fields are the identical
+    /// `f64`s exposed through [`DayReport`] (shortest-round-trip JSON
+    /// encoding preserves them bit-for-bit).
+    fn emit_day_trace(
+        &self,
+        span: &Span,
+        rec: &TransitionRecord,
+        query: &StatsDelta,
+        report: &DayReport,
+    ) {
+        let scheme = self.scheme.name();
+        let day = report.day.0;
+        for (phase, delta) in [
+            ("precomp", &rec.precomp),
+            ("transition", &rec.transition),
+            ("post", &rec.post),
+            ("query", query),
+        ] {
+            span.event(
+                "phase",
+                fields![
+                    ("scheme", scheme),
+                    ("day", day),
+                    ("phase", phase),
+                    ("sim_seconds", delta.sim_seconds),
+                    ("seeks", delta.seeks),
+                    ("blocks_read", delta.blocks_read),
+                    ("blocks_written", delta.blocks_written),
+                ],
+            );
+        }
+        span.event(
+            "day_report",
+            fields![
+                ("scheme", scheme),
+                ("day", day),
+                ("wave_length", report.wave_length),
+                ("temp_days", report.temp_days),
+                ("wave_blocks", report.wave_blocks),
+                ("temp_blocks", report.temp_blocks),
+                ("peak_blocks", report.peak_blocks),
+                ("probe_indexes", report.probe_indexes),
+                ("scan_indexes", report.scan_indexes),
+                ("total_work_seconds", report.total_work_seconds()),
+            ],
+        );
     }
 
     fn report_from(
@@ -203,7 +279,11 @@ impl Driver {
     }
 
     /// Runs a probe through the wave index (convenience for examples).
-    pub fn probe(&mut self, value: &SearchValue, range: TimeRange) -> IndexResult<Vec<crate::entry::Entry>> {
+    pub fn probe(
+        &mut self,
+        value: &SearchValue,
+        range: TimeRange,
+    ) -> IndexResult<Vec<crate::entry::Entry>> {
         Ok(self
             .scheme
             .wave()
@@ -223,6 +303,11 @@ impl Driver {
         }
         Ok(())
     }
+}
+
+/// Simulated seconds → whole microseconds for histogram recording.
+fn sim_micros(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
 }
 
 #[cfg(test)]
@@ -250,11 +335,7 @@ mod tests {
         for kind in SchemeKind::ALL {
             let cfg = SchemeConfig::new(8, kind.min_fan().max(2));
             let scheme = kind.build(cfg).unwrap();
-            let mut driver = Driver::new(
-                scheme,
-                Volume::default(),
-                DriverConfig { verify: true },
-            );
+            let mut driver = Driver::new(scheme, Volume::default(), DriverConfig { verify: true });
             driver.set_verify_values(vec![SearchValue::from_u64(0), SearchValue::from_u64(7)]);
             driver.start((1..=8).map(batch).collect()).unwrap();
             let load = QueryLoad {
@@ -269,6 +350,60 @@ mod tests {
             }
             driver.finish().unwrap_or_else(|e| panic!("{kind}: {e}"));
         }
+    }
+
+    #[test]
+    fn trace_phases_match_reports_exactly() {
+        use std::sync::Arc;
+        use wave_obs::{FieldValue, MemorySink, Obs};
+        use wave_storage::DiskConfig;
+
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let mut vol = Volume::new(DiskConfig::default().with_cache(256));
+        vol.attach_obs(obs.clone());
+        let scheme = SchemeKind::WataStar.build(SchemeConfig::new(8, 2)).unwrap();
+        let mut driver = Driver::new(scheme, vol, DriverConfig::default());
+        let mut reports = vec![driver.start((1..=8).map(batch).collect()).unwrap()];
+        let load = QueryLoad {
+            probes: vec![(SearchValue::from_u64(1), TimeRange::all())],
+            scans: vec![TimeRange::all()],
+        };
+        for d in 9..=20 {
+            reports.push(driver.step(batch(d), &load).unwrap());
+        }
+
+        let events = sink.events();
+        for r in &reports {
+            for (phase, expect) in [
+                ("precomp", r.precomp_seconds),
+                ("transition", r.transition_seconds),
+                ("post", r.post_seconds),
+                ("query", r.query_seconds),
+            ] {
+                let ev = events
+                    .iter()
+                    .find(|e| {
+                        e.name == "phase"
+                            && e.field("day") == Some(&FieldValue::U64(r.day.0 as u64))
+                            && e.field("phase") == Some(&FieldValue::Str(phase.to_string()))
+                    })
+                    .unwrap_or_else(|| panic!("no {phase} event for day {}", r.day));
+                let Some(&FieldValue::F64(traced)) = ev.field("sim_seconds") else {
+                    panic!("phase event without sim_seconds");
+                };
+                assert_eq!(
+                    traced.to_bits(),
+                    expect.to_bits(),
+                    "day {} {phase}: trace {traced} != report {expect}",
+                    r.day
+                );
+            }
+        }
+        assert!(obs.counter("cache.hits").get() > 0, "cached run hits");
+        assert!(obs.counter("driver.days").get() == 12);
+        assert_eq!(obs.histogram("query.sim_micros").count(), 24);
+        driver.finish().unwrap();
     }
 
     #[test]

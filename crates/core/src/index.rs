@@ -284,10 +284,9 @@ impl ConstituentIndex {
             self.days.remove(day);
         }
         for value in affected {
-            let bucket = *self
-                .directory
-                .get(&value)
-                .ok_or_else(|| IndexError::Corrupt(format!("day_values names {value} but directory lacks it")))?;
+            let bucket = *self.directory.get(&value).ok_or_else(|| {
+                IndexError::Corrupt(format!("day_values names {value} but directory lacks it"))
+            })?;
             let old = self.read_bucket(vol, &bucket)?;
             let keep: Vec<Entry> = old
                 .iter()
@@ -374,11 +373,7 @@ impl ConstituentIndex {
         // simple shadow is a byte copy, it does not compact).
         if let Some(base) = self.base {
             let bytes = try_or_unwind!(vol.read_at(base.extent, 0, base.used_bytes));
-            let extent = try_or_unwind!(Self::alloc_and_write(
-                vol,
-                base.used_bytes.max(1),
-                &bytes
-            ));
+            let extent = try_or_unwind!(Self::alloc_and_write(vol, base.used_bytes.max(1), &bytes));
             new.base = Some(BaseExtent {
                 extent,
                 used_bytes: base.used_bytes,
@@ -449,8 +444,10 @@ impl ConstituentIndex {
 
     /// `IndexProbe` on this constituent: all entries for `value`.
     pub fn probe(&self, vol: &mut Volume, value: &SearchValue) -> IndexResult<Vec<Entry>> {
-        match self.directory.get(value) {
-            Some(bucket) => self.read_bucket(vol, bucket),
+        let (bucket, depth) = self.directory.get_with_depth(value);
+        vol.obs().histogram("dir.probe_depth").record(depth as u64);
+        match bucket.copied() {
+            Some(bucket) => self.read_bucket(vol, &bucket),
             None => Ok(Vec::new()),
         }
     }
@@ -483,10 +480,7 @@ impl ConstituentIndex {
                 let buf = base_buf
                     .as_ref()
                     .ok_or_else(|| IndexError::Corrupt("unowned bucket without base".into()))?;
-                out.extend(decode_entries(
-                    &buf[bucket.offset..],
-                    bucket.count as usize,
-                ));
+                out.extend(decode_entries(&buf[bucket.offset..], bucket.count as usize));
             }
         }
         Ok(out)
@@ -697,10 +691,7 @@ mod tests {
             specs
                 .iter()
                 .map(|(id, words)| {
-                    Record::with_values(
-                        RecordId(*id),
-                        words.iter().map(|w| SearchValue::from(*w)),
-                    )
+                    Record::with_values(RecordId(*id), words.iter().map(|w| SearchValue::from(*w)))
                 })
                 .collect(),
         )
@@ -736,9 +727,7 @@ mod tests {
     fn packed_scan_costs_one_seek() {
         let mut vol = Volume::default();
         let records: Vec<Record> = (0..500)
-            .map(|i| {
-                Record::with_values(RecordId(i), vec![SearchValue::from_u64(i % 50)])
-            })
+            .map(|i| Record::with_values(RecordId(i), vec![SearchValue::from_u64(i % 50)]))
             .collect();
         let b = DayBatch::new(Day(1), records);
         let idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b]).unwrap();
@@ -764,13 +753,8 @@ mod tests {
         let war = idx.probe(&mut vol, &SearchValue::from("war")).unwrap();
         assert_eq!(war.len(), 2);
         // Unpacked space exceeds the packed minimum: slack exists.
-        let packed_min = ConstituentIndex::build_packed(
-            "ref",
-            cfg(),
-            &mut vol,
-            &[&b1, &b2],
-        )
-        .unwrap();
+        let packed_min =
+            ConstituentIndex::build_packed("ref", cfg(), &mut vol, &[&b1, &b2]).unwrap();
         assert!(idx.blocks() >= packed_min.blocks());
         packed_min.release(&mut vol).unwrap();
         idx.release(&mut vol).unwrap();
@@ -811,13 +795,15 @@ mod tests {
         let mut vol = Volume::default();
         let b1 = batch(1, &[(1, &["war", "red"])]);
         let b2 = batch(2, &[(2, &["war", "blue"])]);
-        let mut idx =
-            ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
+        let mut idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
         let victims: BTreeSet<Day> = [Day(1)].into();
         idx.delete_days_in_place(&mut vol, &victims).unwrap();
         assert_eq!(idx.entry_count(), 2);
         assert_eq!(idx.len_days(), 1);
-        assert!(idx.probe(&mut vol, &SearchValue::from("red")).unwrap().is_empty());
+        assert!(idx
+            .probe(&mut vol, &SearchValue::from("red"))
+            .unwrap()
+            .is_empty());
         let war = idx.probe(&mut vol, &SearchValue::from("war")).unwrap();
         assert_eq!(war.len(), 1);
         assert_eq!(war[0].day, Day(2));
@@ -831,7 +817,8 @@ mod tests {
         let mut vol = Volume::default();
         let b1 = batch(1, &[(1, &["a"])]);
         let mut idx = ConstituentIndex::build_packed("I", cfg(), &mut vol, &[&b1]).unwrap();
-        idx.delete_days_in_place(&mut vol, &[Day(1)].into()).unwrap();
+        idx.delete_days_in_place(&mut vol, &[Day(1)].into())
+            .unwrap();
         assert_eq!(idx.entry_count(), 0);
         assert_eq!(idx.distinct_values(), 0);
         assert!(idx.scan(&mut vol).unwrap().is_empty());
@@ -899,8 +886,7 @@ mod tests {
         let mut vol = Volume::default();
         let b1 = batch(1, &[(1, &["old"])]);
         let b2 = batch(2, &[(2, &["war"])]);
-        let mut idx =
-            ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
+        let mut idx = ConstituentIndex::build_packed("I1", cfg(), &mut vol, &[&b1, &b2]).unwrap();
         // Unpack it first so the smart copy has real work to do.
         let b3 = batch(3, &[(3, &["war"])]);
         idx.add_batches_in_place(&mut vol, &[&b3]).unwrap();
@@ -931,9 +917,7 @@ mod tests {
     #[test]
     fn timed_probe_and_scan_filter() {
         let mut vol = Volume::default();
-        let batches: Vec<DayBatch> = (1..=5)
-            .map(|d| batch(d, &[(d as u64, &["w"])]))
-            .collect();
+        let batches: Vec<DayBatch> = (1..=5).map(|d| batch(d, &[(d as u64, &["w"])])).collect();
         let refs: Vec<&DayBatch> = batches.iter().collect();
         let idx = ConstituentIndex::build_packed("I", cfg(), &mut vol, &refs).unwrap();
         let r = TimeRange::between(Day(2), Day(4));

@@ -128,10 +128,7 @@ mod tests {
             let day = Day(j as u32 + 1);
             let records = (0..records_per_day)
                 .map(|i| {
-                    Record::with_values(
-                        RecordId(day.0 as u64 * 1000 + i),
-                        [SearchValue::from("k")],
-                    )
+                    Record::with_values(RecordId(day.0 as u64 * 1000 + i), [SearchValue::from("k")])
                 })
                 .collect();
             let batch = DayBatch::new(day, records);
@@ -153,9 +150,7 @@ mod tests {
         let wave = wave_with_n(&mut vol, 4, 10);
         let detailed =
             probe_detailed(&wave, &mut vol, &SearchValue::from("k"), TimeRange::all()).unwrap();
-        let plain = wave
-            .index_probe(&mut vol, &SearchValue::from("k"))
-            .unwrap();
+        let plain = wave.index_probe(&mut vol, &SearchValue::from("k")).unwrap();
         assert_eq!(detailed.entries.len(), plain.entries.len());
         assert_eq!(detailed.per_slot.len(), 4);
         assert!(detailed.serial_seconds() > 0.0);
@@ -173,11 +168,7 @@ mod tests {
         assert!(four < two, "four disks beat two: {four} vs {two}");
         // With n == disks, elapsed equals the slowest single
         // constituent.
-        let slowest = q
-            .per_slot
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(0.0f64, f64::max);
+        let slowest = q.per_slot.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
         assert!((four - slowest).abs() < 1e-12);
         wave_cleanup(wave, &mut vol);
     }

@@ -142,11 +142,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> IndexResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> IndexResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn bytes(&mut self) -> IndexResult<&'a [u8]> {
@@ -164,7 +168,10 @@ mod tests {
         let b1 = DayBatch::new(
             Day(1),
             vec![
-                Record::with_values(RecordId(1), [SearchValue::from("war"), SearchValue::from("x")]),
+                Record::with_values(
+                    RecordId(1),
+                    [SearchValue::from("war"), SearchValue::from("x")],
+                ),
                 Record::with_values(RecordId(2), [SearchValue::from("war")]),
             ],
         );
@@ -240,18 +247,19 @@ mod tests {
         let mut vol2 = Volume::default();
         // Re-open by path so the loader proves files really hit disk.
         let root = store.root().to_path_buf();
-        let loaded = load_wave(
-            3,
-            IndexConfig::default(),
-            &mut vol2,
-            &store,
-            |_, name| match std::fs::read(root.join(name)) {
-                Ok(bytes) => Ok(Some(bytes)),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-                Err(e) => Err(IndexError::Storage(e.into())),
-            },
-        )
-        .unwrap();
+        let loaded =
+            load_wave(
+                3,
+                IndexConfig::default(),
+                &mut vol2,
+                &store,
+                |_, name| match std::fs::read(root.join(name)) {
+                    Ok(bytes) => Ok(Some(bytes)),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+                    Err(e) => Err(IndexError::Storage(e.into())),
+                },
+            )
+            .unwrap();
         assert!(loaded.slot(0).is_some());
         assert!(loaded.slot(1).is_none());
         assert!(loaded.slot(2).is_some());

@@ -47,9 +47,8 @@ pub fn simulate_budgeted_wata(
     let w = window as usize;
     assert!(sizes.len() >= w, "need at least W days of sizes");
     let budget = m_bound / (fan - 1) as f64;
-    let size_of = |first: usize, count: usize| -> f64 {
-        sizes[first - 1..first - 1 + count].iter().sum()
-    };
+    let size_of =
+        |first: usize, count: usize| -> f64 { sizes[first - 1..first - 1 + count].iter().sum() };
 
     // Start: make the budget rule retroactively consistent by packing
     // days 1..=W greedily into clusters of at most `budget` each.
@@ -79,7 +78,7 @@ pub fn simulate_budgeted_wata(
 
     for t in (w + 1)..=sizes.len() {
         let expired_through = t - w; // days <= this are expired
-        // Eager drop of fully-expired clusters.
+                                     // Eager drop of fully-expired clusters.
         clusters.retain(|&(first, count)| first + count - 1 > expired_through);
         let active = clusters.len() - 1;
         let (af, ac) = clusters[active];

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use wave_obs::fields;
 use wave_storage::{IoStats, StatsDelta, Volume};
 
 use crate::error::{IndexError, IndexResult};
@@ -9,13 +10,49 @@ use crate::index::ConstituentIndex;
 use crate::record::{Day, DayArchive, DayBatch};
 use crate::update::UpdateTechnique;
 
-use super::{SchemeConfig, WaveOp};
+use super::{SchemeConfig, TransitionRecord, WaveOp};
+
+/// Emits the per-scheme `scheme.transition` trace event and bumps the
+/// scheme's transition counter. Every scheme calls this on the record
+/// it is about to return from `start`/`transition`, so traces carry
+/// the paper's worked-example notation (`I3 <- BuildIndex({9})`, …)
+/// alongside the phase costs.
+pub(crate) fn trace_transition(vol: &Volume, scheme: &'static str, rec: &TransitionRecord) {
+    let obs = vol.obs();
+    obs.counter(&format!("scheme.{scheme}.transitions")).inc();
+    if !obs.tracing_enabled() {
+        return;
+    }
+    let ops = rec
+        .ops
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("; ");
+    obs.event(
+        "scheme.transition",
+        fields![
+            ("scheme", scheme),
+            ("day", rec.day.0),
+            ("ops", ops),
+            ("op_count", rec.ops.len()),
+            ("constituents", rec.constituents.len()),
+            ("temps", rec.temps.len()),
+            ("precomp_seconds", rec.precomp.sim_seconds),
+            ("transition_seconds", rec.transition.sim_seconds),
+            ("post_seconds", rec.post.sim_seconds),
+        ],
+    );
+}
 
 /// Splits `count` consecutive days starting at `first` into `k`
 /// clusters: the first `count mod k` clusters get `ceil(count / k)`
 /// days, the rest `floor(count / k)` (Figure 12's `Start`).
 pub(crate) fn split_days(first: u32, count: u32, k: usize) -> Vec<Vec<Day>> {
-    assert!(k >= 1 && count >= k as u32, "need at least one day per cluster");
+    assert!(
+        k >= 1 && count >= k as u32,
+        "need at least one day per cluster"
+    );
     let k32 = k as u32;
     let ceil = count.div_ceil(k32);
     let floor = count / k32;
@@ -277,7 +314,11 @@ impl TempLadder {
 
     /// Blocks used by live rungs.
     pub(crate) fn blocks(&self) -> u64 {
-        self.slots.iter().flatten().map(ConstituentIndex::blocks).sum()
+        self.slots
+            .iter()
+            .flatten()
+            .map(ConstituentIndex::blocks)
+            .sum()
     }
 
     /// `(label, time-set)` of live rungs, highest first (matching the

@@ -17,7 +17,9 @@ use crate::record::{Day, DayArchive};
 use crate::update::Updater;
 use crate::wave::WaveIndex;
 
-use super::common::{expect_consecutive, expect_start_archive, fetch, split_days, Phases};
+use super::common::{
+    expect_consecutive, expect_start_archive, fetch, split_days, trace_transition, Phases,
+};
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 
 /// The DEL scheme.
@@ -75,7 +77,7 @@ impl WaveScheme for Del {
         }
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -83,7 +85,9 @@ impl WaveScheme for Del {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -99,7 +103,9 @@ impl WaveScheme for Del {
             .slot_containing(expired)
             .ok_or_else(|| IndexError::Corrupt(format!("no constituent holds {expired}")))?;
         let victims: BTreeSet<Day> = [expired].into();
-        let batch = archive.get(new_day).ok_or(IndexError::MissingDay(new_day))?;
+        let batch = archive
+            .get(new_day)
+            .ok_or(IndexError::MissingDay(new_day))?;
 
         let mut phases = Phases::begin(vol);
         // Pre-computation: shadow copy (simple shadow) and/or deletion
@@ -116,7 +122,7 @@ impl WaveScheme for Del {
 
         let label = format!("I{}", j + 1);
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops: vec![
                 WaveOp::Delete {
@@ -133,7 +139,9 @@ impl WaveScheme for Del {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {
@@ -195,10 +203,7 @@ mod tests {
         let rec = s.transition(&mut vol, &archive, Day(13)).unwrap();
         assert_eq!(
             rec.constituents[0],
-            (
-                "I1".into(),
-                vec![Day(4), Day(5), Day(11), Day(12), Day(13)]
-            )
+            ("I1".into(), vec![Day(4), Day(5), Day(11), Day(12), Day(13)])
         );
         assert_eq!(
             rec.constituents[1],
@@ -216,14 +221,12 @@ mod tests {
             UpdateTechnique::PackedShadow,
         ] {
             let mut vol = Volume::default();
-            let mut s =
-                Del::new(SchemeConfig::new(7, 3).with_technique(technique)).unwrap();
+            let mut s = Del::new(SchemeConfig::new(7, 3).with_technique(technique)).unwrap();
             let archive = make_archive(30, 3);
             s.start(&mut vol, &archive).unwrap();
             for d in 8..=30 {
                 s.transition(&mut vol, &archive, Day(d)).unwrap();
-                let covered: Vec<u32> =
-                    s.wave().covered_days().iter().map(|x| x.0).collect();
+                let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
                 let expect: Vec<u32> = (d - 6..=d).collect();
                 assert_eq!(covered, expect, "{technique:?} day {d}");
                 s.wave().check_disjoint().unwrap();
@@ -281,10 +284,8 @@ mod tests {
     #[test]
     fn simple_shadow_precomp_carries_copy_cost() {
         let mut vol = Volume::default();
-        let mut s = Del::new(
-            SchemeConfig::new(6, 2).with_technique(UpdateTechnique::SimpleShadow),
-        )
-        .unwrap();
+        let mut s = Del::new(SchemeConfig::new(6, 2).with_technique(UpdateTechnique::SimpleShadow))
+            .unwrap();
         let archive = make_archive(7, 50);
         s.start(&mut vol, &archive).unwrap();
         let rec = s.transition(&mut vol, &archive, Day(7)).unwrap();

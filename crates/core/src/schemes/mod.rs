@@ -18,16 +18,16 @@
 //! The paper's *pre-transition time* corresponds to pre-computation +
 //! post-work; its *transition time* is the middle phase alone.
 
-mod common;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod budgeted;
+mod common;
 pub mod del;
 pub mod offline;
 pub mod rata;
 pub mod reindex;
 pub mod reindex_plus;
 pub mod reindex_plus_plus;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod wata;
 
 use std::fmt;
@@ -46,7 +46,6 @@ pub use reindex::Reindex;
 pub use reindex_plus::ReindexPlus;
 pub use reindex_plus_plus::ReindexPlusPlus;
 pub use wata::WataStar;
-
 
 /// Whether a scheme indexes exactly the window or may lag behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -33,12 +33,7 @@ pub fn max_window_size(sizes: &[f64], window: u32) -> f64 {
 /// `1 <= b <= T`); a final unfinished cluster runs from the last
 /// boundary to day `T`. Returns the peak total size, or `None` if the
 /// schedule ever needs more than `fan` live clusters.
-pub fn family_peak_size(
-    sizes: &[f64],
-    window: u32,
-    fan: usize,
-    boundaries: &[Day],
-) -> Option<f64> {
+pub fn family_peak_size(sizes: &[f64], window: u32, fan: usize, boundaries: &[Day]) -> Option<f64> {
     let t_max = sizes.len() as u32;
     debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
     // Cluster i covers (starts[i], ends[i]] in 1-based days.
@@ -161,7 +156,9 @@ mod tests {
         // Theorem 3 on concrete spiky instances.
         let series: Vec<Vec<f64>> = vec![
             vec![1.0; 14],
-            vec![1.0, 5.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 7.0, 1.0, 1.0, 2.0, 1.0, 4.0],
+            vec![
+                1.0, 5.0, 1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 7.0, 1.0, 1.0, 2.0, 1.0, 4.0,
+            ],
             (0..14).map(|i| ((i * 7) % 5 + 1) as f64).collect(),
         ];
         for sizes in &series {

@@ -24,7 +24,10 @@ use crate::record::{Day, DayArchive};
 use crate::update::Updater;
 use crate::wave::WaveIndex;
 
-use super::common::{expect_consecutive, expect_start_archive, fetch, split_wata, Phases, TempLadder};
+use super::common::{
+    expect_consecutive, expect_start_archive, fetch, split_wata, trace_transition, Phases,
+    TempLadder,
+};
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 
 /// When RATA* builds the temp ladder for an expiring cluster.
@@ -176,7 +179,8 @@ impl RataStar {
                 if let Some((_, mut stale)) = other {
                     stale.release(vol)?;
                 }
-                self.ladder.initialize(vol, archive, remainder, &self.cfg, ops)
+                self.ladder
+                    .initialize(vol, archive, remainder, &self.cfg, ops)
             }
         }
     }
@@ -224,7 +228,7 @@ impl WaveScheme for RataStar {
         }
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -232,7 +236,9 @@ impl WaveScheme for RataStar {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -340,7 +346,7 @@ impl WaveScheme for RataStar {
         let (precomp, transition, post) = phases.finish(vol);
 
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops,
             constituents: self.wave.snapshot(),
@@ -348,7 +354,9 @@ impl WaveScheme for RataStar {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {
@@ -360,19 +368,11 @@ impl WaveScheme for RataStar {
     }
 
     fn temp_days(&self) -> usize {
-        self.ladder.days()
-            + self
-                .next_ladder
-                .as_ref()
-                .map_or(0, |(_, l)| l.days())
+        self.ladder.days() + self.next_ladder.as_ref().map_or(0, |(_, l)| l.days())
     }
 
     fn temp_blocks(&self) -> u64 {
-        self.ladder.blocks()
-            + self
-                .next_ladder
-                .as_ref()
-                .map_or(0, |(_, l)| l.blocks())
+        self.ladder.blocks() + self.next_ladder.as_ref().map_or(0, |(_, l)| l.blocks())
     }
 
     fn oldest_needed_day(&self, next: Day) -> Day {
@@ -442,8 +442,7 @@ mod tests {
                 s.start(&mut vol, &archive).unwrap();
                 for d in (w + 1)..=(w + 40) {
                     s.transition(&mut vol, &archive, Day(d)).unwrap();
-                    let covered: Vec<u32> =
-                        s.wave().covered_days().iter().map(|x| x.0).collect();
+                    let covered: Vec<u32> = s.wave().covered_days().iter().map(|x| x.0).collect();
                     assert_eq!(
                         covered,
                         (d - w + 1..=d).collect::<Vec<u32>>(),

@@ -13,7 +13,9 @@ use crate::index::ConstituentIndex;
 use crate::record::{Day, DayArchive};
 use crate::wave::WaveIndex;
 
-use super::common::{expect_consecutive, expect_start_archive, fetch, split_days, Phases};
+use super::common::{
+    expect_consecutive, expect_start_archive, fetch, split_days, trace_transition, Phases,
+};
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 
 /// The REINDEX scheme.
@@ -69,7 +71,7 @@ impl WaveScheme for Reindex {
         }
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -77,7 +79,9 @@ impl WaveScheme for Reindex {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -119,7 +123,7 @@ impl WaveScheme for Reindex {
         let (precomp, transition, post) = phases.finish(vol);
 
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops: vec![WaveOp::Build {
                 target: label,
@@ -130,7 +134,9 @@ impl WaveScheme for Reindex {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {

@@ -18,7 +18,8 @@ use crate::record::{Day, DayArchive};
 use crate::wave::WaveIndex;
 
 use super::common::{
-    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, Phases,
+    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, trace_transition,
+    Phases,
 };
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 
@@ -91,7 +92,7 @@ impl WaveScheme for ReindexPlus {
         self.temp = None;
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -99,7 +100,9 @@ impl WaveScheme for ReindexPlus {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -147,7 +150,12 @@ impl WaveScheme for ReindexPlus {
                     to: label.clone(),
                 });
                 let to_add: Vec<Day> = self.days_to_add.iter().copied().collect();
-                absorb_offline(vol, &mut fresh, &fetch(archive, to_add.clone())?, self.cfg.technique)?;
+                absorb_offline(
+                    vol,
+                    &mut fresh,
+                    &fetch(archive, to_add.clone())?,
+                    self.cfg.technique,
+                )?;
                 ops.push(WaveOp::Add {
                     target: label,
                     days: to_add,
@@ -172,7 +180,12 @@ impl WaveScheme for ReindexPlus {
                     from: "Temp".into(),
                     to: label.clone(),
                 });
-                absorb_offline(vol, &mut fresh, &fetch(archive, [new_day])?, self.cfg.technique)?;
+                absorb_offline(
+                    vol,
+                    &mut fresh,
+                    &fetch(archive, [new_day])?,
+                    self.cfg.technique,
+                )?;
                 ops.push(WaveOp::Add {
                     target: label,
                     days: vec![new_day],
@@ -194,7 +207,12 @@ impl WaveScheme for ReindexPlus {
                     to: label.clone(),
                 });
                 let to_add: Vec<Day> = self.days_to_add.iter().copied().collect();
-                absorb_offline(vol, &mut fresh, &fetch(archive, to_add.clone())?, self.cfg.technique)?;
+                absorb_offline(
+                    vol,
+                    &mut fresh,
+                    &fetch(archive, to_add.clone())?,
+                    self.cfg.technique,
+                )?;
                 ops.push(WaveOp::Add {
                     target: label,
                     days: to_add,
@@ -206,11 +224,12 @@ impl WaveScheme for ReindexPlus {
         }
         // DaysToAdd ← DaysToAdd − {new − W + 1}: tomorrow's expiring
         // day must not be re-added tomorrow.
-        self.days_to_add.remove(&Day(new_day.0 - self.cfg.window + 1));
+        self.days_to_add
+            .remove(&Day(new_day.0 - self.cfg.window + 1));
         let (precomp, transition, post) = phases.finish(vol);
 
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops,
             constituents: self.wave.snapshot(),
@@ -218,7 +237,9 @@ impl WaveScheme for ReindexPlus {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {

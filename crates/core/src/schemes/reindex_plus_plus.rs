@@ -17,8 +17,8 @@ use crate::record::{Day, DayArchive};
 use crate::wave::WaveIndex;
 
 use super::common::{
-    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, Phases,
-    TempLadder,
+    absorb_offline, expect_consecutive, expect_start_archive, fetch, split_days, trace_transition,
+    Phases, TempLadder,
 };
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 use crate::index::ConstituentIndex;
@@ -56,7 +56,8 @@ impl ReindexPlusPlus {
         remainder: &[Day],
         ops: &mut Vec<WaveOp>,
     ) -> IndexResult<()> {
-        self.ladder.initialize(vol, archive, remainder, &self.cfg, ops)?;
+        self.ladder
+            .initialize(vol, archive, remainder, &self.cfg, ops)?;
         self.days_to_add.clear();
         Ok(())
     }
@@ -98,7 +99,7 @@ impl WaveScheme for ReindexPlusPlus {
         self.initialize(vol, archive, &remainder, &mut ops)?;
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -106,7 +107,9 @@ impl WaveScheme for ReindexPlusPlus {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -187,7 +190,7 @@ impl WaveScheme for ReindexPlusPlus {
         let (precomp, transition, post) = phases.finish(vol);
 
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops,
             constituents: self.wave.snapshot(),
@@ -195,7 +198,9 @@ impl WaveScheme for ReindexPlusPlus {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {
@@ -255,7 +260,10 @@ mod tests {
             rec.constituents[0].1,
             vec![day(2), day(3), day(4), day(5), day(11)]
         );
-        assert_eq!(rec.temps[0], ("T3".into(), vec![day(3), day(4), day(5), day(11)]));
+        assert_eq!(
+            rec.temps[0],
+            ("T3".into(), vec![day(3), day(4), day(5), day(11)])
+        );
         // Day 12: T3 + d12 becomes I1.
         let rec = s.transition(&mut vol, &archive, Day(12)).unwrap();
         assert_eq!(

@@ -19,4 +19,3 @@ pub(crate) fn make_archive(days: u32, values_per_day: usize) -> DayArchive {
     }
     archive
 }
-

@@ -21,7 +21,10 @@ use crate::record::{Day, DayArchive};
 use crate::update::Updater;
 use crate::wave::WaveIndex;
 
-use super::common::{expect_consecutive, expect_start_archive, fetch, split_days, split_wata, Phases};
+use super::common::{
+    expect_consecutive, expect_start_archive, fetch, split_days, split_wata, trace_transition,
+    Phases,
+};
 use super::{SchemeConfig, TransitionRecord, WaveOp, WaveScheme, WindowKind};
 
 /// How WATA* partitions the first `W` days.
@@ -138,7 +141,7 @@ impl WaveScheme for WataStar {
         self.last = self.cfg.fan - 1;
         self.current = Some(Day(self.cfg.window));
         let (precomp, transition, post) = phases.finish(vol);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: Day(self.cfg.window),
             ops,
             constituents: self.wave.snapshot(),
@@ -146,7 +149,9 @@ impl WaveScheme for WataStar {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn transition(
@@ -199,7 +204,7 @@ impl WaveScheme for WataStar {
         let (precomp, transition, post) = phases.finish(vol);
 
         self.current = Some(new_day);
-        Ok(TransitionRecord {
+        let rec = TransitionRecord {
             day: new_day,
             ops,
             constituents: self.wave.snapshot(),
@@ -207,7 +212,9 @@ impl WaveScheme for WataStar {
             precomp,
             transition,
             post,
-        })
+        };
+        trace_transition(vol, self.name(), &rec);
+        Ok(rec)
     }
 
     fn wave(&self) -> &WaveIndex {
@@ -281,9 +288,8 @@ pub fn simulate_wata_star_sizes(sizes: &[f64], window: u32, fan: usize) -> WataS
         }
     }
     let mut last = fan - 1;
-    let size_of = |first: usize, count: usize| -> f64 {
-        sizes[first - 1..first - 1 + count].iter().sum()
-    };
+    let size_of =
+        |first: usize, count: usize| -> f64 { sizes[first - 1..first - 1 + count].iter().sum() };
     let mut max_length = w as u32;
     let mut max_size: f64 = clusters.iter().map(|&(f, c)| size_of(f, c)).sum();
 
@@ -345,7 +351,12 @@ mod tests {
         assert_eq!(rec.constituents[3].1, vec![Day(10), Day(11), Day(12)]);
         // Day 13: throw I1 away, restart it with d13.
         let rec = s.transition(&mut vol, &archive, Day(13)).unwrap();
-        assert_eq!(rec.ops[0], WaveOp::Drop { target: "I1".into() });
+        assert_eq!(
+            rec.ops[0],
+            WaveOp::Drop {
+                target: "I1".into()
+            }
+        );
         assert_eq!(rec.constituents[0], ("I1".into(), vec![Day(13)]));
         // Day 14 adds to the restarted I1.
         let rec = s.transition(&mut vol, &archive, Day(14)).unwrap();
@@ -359,8 +370,7 @@ mod tests {
     #[test]
     fn table_4_transitions_and_length() {
         let mut vol = Volume::default();
-        let mut s =
-            WataStar::with_start(SchemeConfig::new(10, 4), WataStart::Table4).unwrap();
+        let mut s = WataStar::with_start(SchemeConfig::new(10, 4), WataStart::Table4).unwrap();
         let archive = make_archive(16, 2);
         let rec = s.start(&mut vol, &archive).unwrap();
         assert_eq!(
@@ -378,14 +388,16 @@ mod tests {
             max_len = max_len.max(s.wave().length());
             if d <= 13 {
                 // Days 11-13 accumulate in I4.
-                assert_eq!(
-                    rec.constituents[3].1,
-                    (11..=d).map(Day).collect::<Vec<_>>()
-                );
+                assert_eq!(rec.constituents[3].1, (11..=d).map(Day).collect::<Vec<_>>());
             }
             if d == 14 {
                 // Day 14 throws I1 away.
-                assert_eq!(rec.ops[0], WaveOp::Drop { target: "I1".into() });
+                assert_eq!(
+                    rec.ops[0],
+                    WaveOp::Drop {
+                        target: "I1".into()
+                    }
+                );
                 assert_eq!(rec.constituents[0].1, vec![Day(14)]);
             }
         }
@@ -449,7 +461,10 @@ mod tests {
             real_max = real_max.max(s.wave().length() as u32);
         }
         assert_eq!(sim.max_length, real_max);
-        assert_eq!(sim.max_size, real_max as f64, "uniform sizes: size == length");
+        assert_eq!(
+            sim.max_size, real_max as f64,
+            "uniform sizes: size == length"
+        );
         s.release(&mut vol).unwrap();
     }
 

@@ -164,11 +164,7 @@ pub fn verify_scheme(
                 }
             }
             WindowKind::Soft => {
-                let history = oracle.probe(
-                    value,
-                    TimeRange::all(),
-                    (Day(0), t),
-                );
+                let history = oracle.probe(value, TimeRange::all(), (Day(0), t));
                 if !is_subset(&want, &untimed) || !is_subset(&untimed, &history) {
                     return Err(IndexError::Corrupt(format!(
                         "{}: soft-window probe for {value} out of bounds",
@@ -232,7 +228,8 @@ mod tests {
         o.insert(&batch(3, &[(4, "c")]));
         let window = (Day(1), Day(3));
         assert_eq!(
-            o.probe(&SearchValue::from("a"), TimeRange::all(), window).len(),
+            o.probe(&SearchValue::from("a"), TimeRange::all(), window)
+                .len(),
             2
         );
         assert_eq!(

@@ -238,13 +238,11 @@ mod tests {
         let b4 = batch(4, &["war"]);
         wave.install(
             0,
-            ConstituentIndex::build_packed("I1", IndexConfig::default(), vol, &[&b1, &b2])
-                .unwrap(),
+            ConstituentIndex::build_packed("I1", IndexConfig::default(), vol, &[&b1, &b2]).unwrap(),
         );
         wave.install(
             1,
-            ConstituentIndex::build_packed("I2", IndexConfig::default(), vol, &[&b3, &b4])
-                .unwrap(),
+            ConstituentIndex::build_packed("I2", IndexConfig::default(), vol, &[&b3, &b4]).unwrap(),
         );
         wave
     }
@@ -309,13 +307,11 @@ mod tests {
         let b = batch(1, &["x"]);
         wave.install(
             0,
-            ConstituentIndex::build_packed("I1", IndexConfig::default(), &mut vol, &[&b])
-                .unwrap(),
+            ConstituentIndex::build_packed("I1", IndexConfig::default(), &mut vol, &[&b]).unwrap(),
         );
         wave.install(
             1,
-            ConstituentIndex::build_packed("I2", IndexConfig::default(), &mut vol, &[&b])
-                .unwrap(),
+            ConstituentIndex::build_packed("I2", IndexConfig::default(), &mut vol, &[&b]).unwrap(),
         );
         assert!(wave.check_disjoint().is_err());
         wave.release_all(&mut vol).unwrap();
@@ -338,9 +334,7 @@ mod tests {
     fn empty_wave_queries_are_empty() {
         let mut vol = Volume::default();
         let wave = WaveIndex::with_slots(3);
-        let r = wave
-            .index_probe(&mut vol, &SearchValue::from("x"))
-            .unwrap();
+        let r = wave.index_probe(&mut vol, &SearchValue::from("x")).unwrap();
         assert!(r.entries.is_empty());
         assert_eq!(r.indexes_accessed, 0);
         assert_eq!(wave.length(), 0);

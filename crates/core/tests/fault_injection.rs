@@ -100,16 +100,19 @@ fn all_schemes_survive_every_fault_depth() {
             // in. (Partial transitions may strand blocks — that is
             // documented for non-shadowed paths — but must never
             // double-free or panic.)
-            scheme.release(&mut vol).unwrap_or_else(|e| {
-                panic!("{kind} fail@{fail_at}: release failed: {e}")
-            });
+            scheme
+                .release(&mut vol)
+                .unwrap_or_else(|e| panic!("{kind} fail@{fail_at}: release failed: {e}"));
             if succeeded {
                 break;
             }
             fail_at += 1;
             assert!(fail_at < 10_000, "{kind}: transition never succeeds");
         }
-        assert!(fail_at > 0, "{kind}: the sweep exercised at least one failure");
+        assert!(
+            fail_at > 0,
+            "{kind}: the sweep exercised at least one failure"
+        );
     }
 }
 
@@ -121,9 +124,7 @@ fn start_failures_do_not_wedge() {
     // REINDEX's start is two sequential builds: two writes total.
     for fail_at in [0u64, 1] {
         let mut vol = Volume::default();
-        let mut scheme = SchemeKind::Reindex
-            .build(SchemeConfig::new(8, 2))
-            .unwrap();
+        let mut scheme = SchemeKind::Reindex.build(SchemeConfig::new(8, 2)).unwrap();
         vol.inject_failure_after(fail_at);
         let result = scheme.start(&mut vol, &arch);
         vol.clear_fault();

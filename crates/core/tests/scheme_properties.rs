@@ -1,13 +1,12 @@
-//! Property tests over the full scheme matrix: every scheme × every
-//! update technique, fed randomised workloads, must keep its window
+//! Randomised tests over the full scheme matrix: every scheme × every
+//! update technique, fed seeded-random workloads, must keep its window
 //! invariant, answer queries identically to the oracle, and return all
 //! storage.
-
-use proptest::prelude::*;
 
 use wave_index::prelude::*;
 use wave_index::schemes::SchemeKind;
 use wave_index::verify::{verify_scheme, Oracle};
+use wave_obs::SplitMix64;
 
 /// Random daily batches: varying record counts, a small shared value
 /// space so buckets grow and shrink, and occasional empty days.
@@ -24,6 +23,17 @@ fn random_batch(day: u32, spec: &[(u8, u8)]) -> DayBatch {
         })
         .collect();
     DayBatch::new(Day(day), records)
+}
+
+/// Random per-day specs: `days` days of 0..6 `(value, aux)` pairs.
+fn random_day_specs(rng: &mut SplitMix64, days: usize) -> Vec<Vec<(u8, u8)>> {
+    (0..days)
+        .map(|_| {
+            (0..rng.range_usize(0, 5))
+                .map(|_| (rng.next_u64() as u8, rng.next_u64() as u8))
+                .collect()
+        })
+        .collect()
 }
 
 trait TapAux {
@@ -51,34 +61,29 @@ fn technique(i: u8) -> UpdateTechnique {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The grand invariant: windows are exact (or soft-bounded),
-    /// queries match the oracle, storage balances to zero.
-    #[test]
-    fn schemes_agree_with_oracle(
-        kind_sel in any::<u8>(),
-        tech_sel in any::<u8>(),
-        window in 3u32..10,
-        fan_sel in any::<u8>(),
-        day_specs in proptest::collection::vec(
-            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..6),
-            12..30
-        ),
-    ) {
-        let kind = scheme_kind(kind_sel);
+/// The grand invariant: windows are exact (or soft-bounded), queries
+/// match the oracle, storage balances to zero. 48 seeded cases sweep
+/// scheme × technique × window × fan × workload.
+#[test]
+fn schemes_agree_with_oracle() {
+    let mut rng = SplitMix64::new(0x5C4E_3E00);
+    for case in 0..48u8 {
+        let kind = scheme_kind(case);
+        let tech = technique(rng.next_u64() as u8);
+        let window = rng.range_u32(3, 9);
         let min_fan = kind.min_fan();
-        let fan = min_fan + (fan_sel as usize) % (window as usize - min_fan + 1);
-        let cfg = SchemeConfig::new(window, fan).with_technique(technique(tech_sel));
+        let fan = min_fan + rng.range_usize(0, 255) % (window as usize - min_fan + 1);
+        let days = rng.range_usize(12, 29);
+        let day_specs = random_day_specs(&mut rng, days);
+        assert!(day_specs.len() as u32 > window);
+
+        let cfg = SchemeConfig::new(window, fan).with_technique(tech);
         let mut scheme = kind.build(cfg).unwrap();
         let mut vol = Volume::default();
         let mut archive = DayArchive::new();
         let mut oracle = Oracle::new();
-        prop_assume!(day_specs.len() as u32 > window);
 
-        let probe_values: Vec<SearchValue> =
-            (0..7).map(SearchValue::from_u64).collect();
+        let probe_values: Vec<SearchValue> = (0..7).map(SearchValue::from_u64).collect();
         for (i, spec) in day_specs.iter().enumerate() {
             let day = i as u32 + 1;
             let batch = random_batch(day, spec);
@@ -93,23 +98,22 @@ proptest! {
                 scheme.transition(&mut vol, &archive, Day(day)).unwrap();
             }
             verify_scheme(scheme.as_ref(), &mut vol, &oracle, &probe_values)
-                .unwrap_or_else(|e| panic!("{kind} {:?}: {e}", cfg.technique));
+                .unwrap_or_else(|e| panic!("case {case}: {kind} {:?}: {e}", cfg.technique));
         }
         scheme.release(&mut vol).unwrap();
-        prop_assert_eq!(vol.live_blocks(), 0, "{} leaked blocks", kind);
+        assert_eq!(vol.live_blocks(), 0, "case {case}: {kind} leaked blocks");
     }
+}
 
-    /// Persistence: any constituent index reached by any scheme
-    /// round-trips through its byte image.
-    #[test]
-    fn persisted_images_roundtrip(
-        kind_sel in any::<u8>(),
-        day_specs in proptest::collection::vec(
-            proptest::collection::vec((any::<u8>(), any::<u8>()), 0..5),
-            8..14
-        ),
-    ) {
-        let kind = scheme_kind(kind_sel);
+/// Persistence: any constituent index reached by any scheme
+/// round-trips through its byte image.
+#[test]
+fn persisted_images_roundtrip() {
+    let mut rng = SplitMix64::new(0x5C4E_3E01);
+    for case in 0..24u8 {
+        let kind = scheme_kind(case);
+        let days = rng.range_usize(8, 13);
+        let day_specs = random_day_specs(&mut rng, days);
         let window = 6u32;
         let fan = kind.min_fan().max(2);
         let mut scheme = kind.build(SchemeConfig::new(window, fan)).unwrap();
@@ -126,23 +130,20 @@ proptest! {
         }
         for (_, idx) in scheme.wave().iter() {
             let image = wave_index::persist::index_to_bytes(idx, &mut vol).unwrap();
-            let loaded = wave_index::persist::index_from_bytes(
-                Default::default(),
-                &mut vol,
-                &image,
-            )
-            .unwrap();
-            prop_assert_eq!(loaded.entry_count(), idx.entry_count());
-            prop_assert_eq!(loaded.days(), idx.days());
+            let loaded =
+                wave_index::persist::index_from_bytes(Default::default(), &mut vol, &image)
+                    .unwrap();
+            assert_eq!(loaded.entry_count(), idx.entry_count(), "case {case}");
+            assert_eq!(loaded.days(), idx.days(), "case {case}");
             let mut a = idx.scan(&mut vol).unwrap();
             let mut b = loaded.scan(&mut vol).unwrap();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
             loaded.release(&mut vol).unwrap();
         }
         scheme.release(&mut vol).unwrap();
-        prop_assert_eq!(vol.live_blocks(), 0);
+        assert_eq!(vol.live_blocks(), 0, "case {case}");
     }
 }
 

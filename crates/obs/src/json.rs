@@ -1,0 +1,355 @@
+//! Hand-written JSON encoding and a minimal parser for the flat
+//! objects the tracer emits. No serde: the trace format is one flat
+//! JSON object per line with string / number / bool / null values,
+//! which a few dozen lines handle exactly.
+
+use std::collections::BTreeMap;
+
+/// A scalar JSON value as used in trace lines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl JsonValue {
+    /// The value as f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number. Uses Rust's shortest
+/// round-trip formatting, so parsing the emitted text back with
+/// `str::parse::<f64>` recovers the bit-exact value — this is what
+/// lets trace totals agree with `DayReport` figures exactly.
+/// Non-finite values (which JSON cannot represent) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `{}` omits a trailing ".0" for integral floats; that is
+        // still a valid JSON number.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        escape_into(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Finishes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only,
+/// as emitted by [`JsonObject`]). Returns `None` on malformed input
+/// or nested structures.
+pub fn parse_flat(line: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.value()?;
+            map.insert(key, val);
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.next()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Scan a run of plain bytes, then decode it as UTF-8.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+            match self.next()? {
+                b'"' => return Some(s),
+                b'\\' => match self.next()? {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                _ => unreachable!("scan stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.literal("false").map(|_| JsonValue::Bool(false)),
+            b'n' => self.literal("null").map(|_| JsonValue::Null),
+            b'-' | b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                text.parse::<f64>().ok().map(JsonValue::Num)
+            }
+            _ => None, // nested objects/arrays are not part of the format
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Option<()> {
+        for b in lit.bytes() {
+            self.expect(b)?;
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "tabs\tand\nnewlines\r",
+            "unicode: héllo ☃",
+            "control: \u{1}\u{1f}",
+            "",
+        ] {
+            let mut out = String::new();
+            escape_into(&mut out, s);
+            let line = format!("{{\"k\":{out}}}");
+            let map = parse_flat(&line).unwrap_or_else(|| panic!("parse {line}"));
+            assert_eq!(map["k"].as_str(), Some(s));
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [
+            0.0,
+            0.1,
+            1.0 / 3.0,
+            1e-9,
+            123_456_789.123_456_78,
+            f64::MIN_POSITIVE,
+            -2.5e17,
+        ] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let back: f64 = out.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn object_builder_and_parser_agree() {
+        let mut o = JsonObject::new();
+        o.str("ev", "phase")
+            .u64("day", 31)
+            .f64("sim_seconds", 0.12345)
+            .bool("ok", true)
+            .i64("delta", -4);
+        let line = o.finish();
+        let map = parse_flat(&line).unwrap();
+        assert_eq!(map["ev"].as_str(), Some("phase"));
+        assert_eq!(map["day"].as_u64(), Some(31));
+        assert_eq!(map["sim_seconds"].as_f64(), Some(0.12345));
+        assert_eq!(map["ok"], JsonValue::Bool(true));
+        assert_eq!(map["delta"].as_f64(), Some(-4.0));
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat("{}").unwrap().is_empty());
+        assert!(parse_flat(" { } ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{\"a\":1} x",
+        ] {
+            assert!(parse_flat(bad).is_none(), "should reject {bad:?}");
+        }
+    }
+}

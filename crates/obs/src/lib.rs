@@ -1,0 +1,302 @@
+//! # wave-obs — dependency-free tracing and metrics
+//!
+//! The observability spine of the workspace: every layer (simulated
+//! disk, block cache, extent allocator, schemes, driver, CLI, bench)
+//! reports through an [`Obs`] handle. The crate is deliberately
+//! zero-dependency — JSONL encoding is hand-written (see
+//! [`json`]) so the workspace builds with no network access.
+//!
+//! Three pieces:
+//!
+//! * **Traces** ([`trace`]): flat streams of [`trace::TraceEvent`]s.
+//!   Spans are `span_begin`/`span_end` pairs sharing an id. Sinks:
+//!   [`trace::JsonlSink`] (one JSON object per line),
+//!   [`trace::MemorySink`] (tests, in-process reports),
+//!   [`trace::NullSink`] (the default; tracing disabled).
+//! * **Metrics** ([`metrics`]): a named registry of counters, gauges
+//!   and log2-bucketed histograms, lock-free on the hot path.
+//! * **Rng** ([`rng`]): SplitMix64, the in-repo replacement for the
+//!   external `rand` crate.
+//!
+//! An `Obs` is a cheap `Arc` clone; `Obs::noop()` (the default on a
+//! fresh `Volume`) swallows events but still aggregates metrics.
+
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
+pub use rng::SplitMix64;
+pub use trace::{EventKind, FieldValue, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink};
+
+/// Builds a `&[(&str, FieldValue)]` literal for [`Obs::event`] /
+/// [`Obs::span`] without spelling out the conversions:
+///
+/// ```
+/// use wave_obs::{fields, Obs};
+/// let obs = Obs::noop();
+/// obs.event("phase", fields![("day", 3u64), ("name", "precomp")]);
+/// ```
+#[macro_export]
+macro_rules! fields {
+    ($(($k:expr, $v:expr)),* $(,)?) => {
+        &[ $( ($k, $crate::FieldValue::from($v)) ),* ]
+    };
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    registry: Registry,
+    sink: Arc<dyn TraceSink>,
+    seq: AtomicU64,
+    tracing: bool,
+}
+
+impl std::fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+/// Shared observability handle: a metrics registry plus a trace sink.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::noop()
+    }
+}
+
+impl Obs {
+    /// An `Obs` that traces into `sink` with a fresh registry.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                registry: Registry::new(),
+                sink,
+                seq: AtomicU64::new(0),
+                tracing: true,
+            }),
+        }
+    }
+
+    /// An `Obs` that drops trace events but still records metrics.
+    pub fn noop() -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                registry: Registry::new(),
+                sink: Arc::new(NullSink),
+                seq: AtomicU64::new(0),
+                tracing: false,
+            }),
+        }
+    }
+
+    /// Whether trace events are being recorded (metrics always are).
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracing
+    }
+
+    /// The metric registry backing this handle.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Gets or creates a counter. See [`Registry::counter`].
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Gets or creates a histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner.registry.histogram(name)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, span: Option<u64>, fields: &[(&str, FieldValue)]) {
+        if !self.inner.tracing {
+            return;
+        }
+        let ev = TraceEvent {
+            seq: self.next_seq(),
+            kind,
+            name: name.to_string(),
+            span,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.inner.sink.emit(&ev);
+    }
+
+    /// Emits a standalone event.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.emit(EventKind::Event, name, None, fields);
+    }
+
+    /// Emits an event attributed to span `span`.
+    pub fn event_in(&self, span: u64, name: &str, fields: &[(&str, FieldValue)]) {
+        self.emit(EventKind::Event, name, Some(span), fields);
+    }
+
+    /// Opens a span; the returned guard closes it on drop.
+    pub fn span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        let id = self.next_seq();
+        self.emit(EventKind::SpanBegin, name, Some(id), fields);
+        Span {
+            obs: self.clone(),
+            name: name.to_string(),
+            id,
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.inner.sink.flush();
+    }
+
+    /// Emits every registered metric as a `metric` trace event, so a
+    /// JSONL trace is self-contained. Counter/gauge events carry a
+    /// `value` field; histograms carry `count`/`sum`/`mean`/`max`.
+    pub fn dump_metrics(&self) {
+        for (name, value) in self.inner.registry.snapshot() {
+            match value {
+                MetricValue::Counter(v) => self.event(
+                    "metric",
+                    fields![("metric", name), ("type", "counter"), ("value", v)],
+                ),
+                MetricValue::Gauge(v) => self.event(
+                    "metric",
+                    fields![("metric", name), ("type", "gauge"), ("value", v)],
+                ),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    max,
+                    mean,
+                    p50,
+                    p99,
+                } => self.event(
+                    "metric",
+                    fields![
+                        ("metric", name),
+                        ("type", "histogram"),
+                        ("count", count),
+                        ("sum", sum),
+                        ("mean", mean),
+                        ("p50", p50),
+                        ("p99", p99),
+                        ("max", max),
+                    ],
+                ),
+            }
+        }
+    }
+}
+
+/// RAII span guard: emits `span_end` when dropped.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    name: String,
+    id: u64,
+}
+
+impl Span {
+    /// The span id, for attributing events with [`Obs::event_in`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Emits an event inside this span.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.obs.emit(EventKind::Event, name, Some(self.id), fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.obs
+            .emit(EventKind::SpanEnd, &self.name, Some(self.id), &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_swallows_events_but_keeps_metrics() {
+        let obs = Obs::noop();
+        obs.event("x", fields![("a", 1u64)]);
+        obs.counter("c").add(3);
+        assert!(!obs.tracing_enabled());
+        assert_eq!(obs.counter("c").get(), 3);
+    }
+
+    #[test]
+    fn spans_bracket_events() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        {
+            let day = obs.span("day", fields![("day", 5u64)]);
+            day.event("phase", fields![("name", "precomp")]);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::SpanBegin);
+        assert_eq!(evs[1].kind, EventKind::Event);
+        assert_eq!(evs[2].kind, EventKind::SpanEnd);
+        assert_eq!(evs[0].span, evs[2].span);
+        assert_eq!(evs[1].span, evs[0].span);
+        assert_eq!(evs[0].field("day"), Some(&FieldValue::U64(5)));
+    }
+
+    #[test]
+    fn clones_share_registry_and_sequence() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let obs2 = obs.clone();
+        obs.counter("n").inc();
+        obs2.counter("n").inc();
+        assert_eq!(obs.counter("n").get(), 2);
+        obs.event("a", &[]);
+        obs2.event("b", &[]);
+        let evs = sink.events();
+        assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn dump_metrics_is_parseable() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        obs.counter("cache.hits").add(2);
+        obs.histogram("disk.seek_distance").record(16);
+        obs.dump_metrics();
+        let jsonl = sink.to_jsonl();
+        let mut metric_lines = 0;
+        for line in jsonl.lines() {
+            let map = json::parse_flat(line).expect("valid json");
+            if map["ev"].as_str() == Some("metric") {
+                metric_lines += 1;
+            }
+        }
+        assert_eq!(metric_lines, 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! Metrics: named counters, gauges, and log2-bucketed histograms.
+//!
+//! Handles are cheap `Arc` clones over atomics, so hot paths (the
+//! simulated disk charges every block transfer through here) cache a
+//! handle once and update it lock-free; the registry's mutex is only
+//! taken at registration and snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`. u64::MAX lands in
+/// bucket 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotonic counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 gauge (stored as bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Log2-bucketed histogram over u64 observations (seek distances in
+/// blocks, extent sizes, query latencies in simulated microseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Bucket index for value `v`: 0 for 0, otherwise bit length of `v`.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i` (for
+/// rendering). Bucket 0 is the single value 0.
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Bucket occupancy, `buckets()[i]` = observations in bucket `i`.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound (exclusive) of the bucket containing quantile `q`
+    /// in `[0, 1]` — a coarse percentile good to a factor of two.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets().iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return bucket_range(i).1;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        count: u64,
+        sum: u64,
+        max: u64,
+        mean: f64,
+        p50: u64,
+        p99: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named metric registry. Cloning shares the underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Reads every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        mean: h.mean(),
+                        p50: h.quantile_bound(0.5),
+                        p99: h.quantile_bound(0.99),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot as an aligned plain-text table.
+    pub fn render_table(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+        let mut out = String::new();
+        out.push_str(&format!("{:<width$}  value\n", "metric"));
+        for (name, value) in snap {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    max,
+                    mean,
+                    p50,
+                    p99,
+                } => format!(
+                    "count={count} sum={sum} mean={mean:.2} p50<={p50} p99<={p99} max={max}"
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {rendered}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("disk.seeks");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("disk.seeks").get(), 5, "handles share state");
+        let g = r.gauge("alloc.free_fragments");
+        g.set(3.0);
+        assert_eq!(r.gauge("alloc.free_fragments").get(), 3.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let r = Registry::new();
+        let h = r.histogram("disk.seek_distance");
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-12);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[7], 1); // 100 in [64,128)
+        assert_eq!(b[10], 1); // 1000 in [512,1024)
+        assert!(h.quantile_bound(0.5) <= 3);
+        assert!(h.quantile_bound(1.0) >= 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn table_lists_all_metrics() {
+        let r = Registry::new();
+        r.counter("cache.hits").add(10);
+        r.gauge("alloc.frontier").set(42.0);
+        r.histogram("q.lat").record(8);
+        let table = r.render_table();
+        assert!(table.contains("cache.hits"));
+        assert!(table.contains("alloc.frontier"));
+        assert!(table.contains("count=1"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Trace events and sinks. A trace is a flat stream of events; spans
+//! are bracketed `span_begin`/`span_end` pairs sharing an id. Sinks
+//! take `&self` and are `Send + Sync` so one handle can be shared
+//! across the stack without threading mutability through it.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::JsonObject;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// The structural kind of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    SpanBegin,
+    SpanEnd,
+    Event,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic sequence number within the trace.
+    pub seq: u64,
+    pub kind: EventKind,
+    /// Event name, e.g. `"phase"` or `"scheme.transition"`.
+    pub name: String,
+    /// Enclosing or owning span id, if any.
+    pub span: Option<u64>,
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("seq", self.seq);
+        o.str("kind", self.kind.as_str());
+        o.str("ev", &self.name);
+        if let Some(id) = self.span {
+            o.u64("span", id);
+        }
+        for (k, v) in &self.fields {
+            match v {
+                FieldValue::Str(s) => o.str(k, s),
+                FieldValue::U64(n) => o.u64(k, *n),
+                FieldValue::I64(n) => o.i64(k, *n),
+                FieldValue::F64(n) => o.f64(k, *n),
+                FieldValue::Bool(b) => o.bool(k, *b),
+            };
+        }
+        o.finish()
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Destination for trace events. Implementations must tolerate
+/// concurrent emission (`&self`).
+pub trait TraceSink: Send + Sync {
+    fn emit(&self, ev: &TraceEvent);
+    fn flush(&self) {}
+}
+
+/// Drops everything. The default sink on an un-instrumented volume.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _ev: &TraceEvent) {}
+}
+
+/// Buffers events in memory for tests and in-process reporting.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every event emitted so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// The trace rendered as JSONL text.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events.lock().unwrap().iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, ev: &TraceEvent) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// Writes one JSON object per line to any `Write` (a file, a pipe,
+/// or an in-memory buffer).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Convenience: sink writing to a file at `path` (truncating).
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, ev: &TraceEvent) {
+        let mut out = self.out.lock().unwrap();
+        // Trace emission is best-effort: a full disk should not turn
+        // a simulation run into a panic.
+        let _ = writeln!(out, "{}", ev.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat;
+    use std::sync::Arc;
+
+    fn ev(name: &str) -> TraceEvent {
+        TraceEvent {
+            seq: 1,
+            kind: EventKind::Event,
+            name: name.to_string(),
+            span: Some(7),
+            fields: vec![
+                ("day".to_string(), FieldValue::U64(3)),
+                ("sim_seconds".to_string(), FieldValue::F64(0.25)),
+            ],
+        }
+    }
+
+    #[test]
+    fn event_renders_parseable_json() {
+        let line = ev("phase").to_json();
+        let map = parse_flat(&line).unwrap();
+        assert_eq!(map["ev"].as_str(), Some("phase"));
+        assert_eq!(map["kind"].as_str(), Some("event"));
+        assert_eq!(map["span"].as_u64(), Some(7));
+        assert_eq!(map["day"].as_u64(), Some(3));
+        assert_eq!(map["sim_seconds"].as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        sink.emit(&ev("a"));
+        sink.emit(&ev("b"));
+        assert_eq!(sink.len(), 2);
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(parse_flat(line).is_some(), "invalid line: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Box::new(Shared(buf.clone())));
+        sink.emit(&ev("x"));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(parse_flat(text.trim_end()).is_some());
+    }
+}

@@ -32,6 +32,7 @@ pub struct BlockCache {
     tail: usize, // least recently used
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl BlockCache {
@@ -47,6 +48,7 @@ impl BlockCache {
             tail: NIL,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -73,6 +75,11 @@ impl BlockCache {
     /// Cache misses observed so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Blocks evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -118,22 +125,27 @@ impl BlockCache {
         }
     }
 
-    /// Makes `block` resident (evicting the LRU block if full).
-    pub fn insert(&mut self, block: u64) {
+    /// Makes `block` resident, evicting the LRU block if full.
+    /// Returns the evicted block, if any.
+    pub fn insert(&mut self, block: u64) -> Option<u64> {
         if self.capacity == 0 {
-            return;
+            return None;
         }
         if let Some(idx) = self.map.get(&block).copied() {
             self.unlink(idx);
             self.push_front(idx);
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "full cache has a tail");
             self.unlink(victim);
-            self.map.remove(&self.slab[victim].block);
+            let victim_block = self.slab[victim].block;
+            self.map.remove(&victim_block);
             self.free.push(victim);
+            self.evictions += 1;
+            evicted = Some(victim_block);
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -151,6 +163,7 @@ impl BlockCache {
         };
         self.map.insert(block, idx);
         self.push_front(idx);
+        evicted
     }
 
     /// Drops `block` from the cache (e.g. its extent was freed).
@@ -255,5 +268,87 @@ mod tests {
             }
             assert!(c.len() <= 16);
         }
+    }
+
+    #[test]
+    fn insert_reports_evicted_block() {
+        let mut c = BlockCache::new(2);
+        assert_eq!(c.insert(1), None);
+        assert_eq!(c.insert(2), None);
+        assert_eq!(c.insert(3), Some(1), "LRU block 1 is the victim");
+        assert_eq!(c.insert(3), None, "refresh evicts nothing");
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_strict_lru() {
+        let mut c = BlockCache::new(3);
+        for b in [10, 20, 30] {
+            c.insert(b);
+        }
+        // Recency order (old → new) is now 10, 20, 30. Touch 10 and
+        // refresh 20 by re-insert: order becomes 30, 10, 20.
+        assert!(c.probe(10));
+        c.insert(20);
+        assert_eq!(c.insert(40), Some(30));
+        assert_eq!(c.insert(50), Some(10));
+        assert_eq!(c.insert(60), Some(20));
+        assert_eq!(c.evictions(), 3);
+    }
+
+    #[test]
+    fn eviction_under_churn_counts_and_keeps_hot_set() {
+        let mut c = BlockCache::new(4);
+        // Keep blocks 0-3 hot while streaming 1000 cold blocks past a
+        // cache of 4: every cold insert must evict exactly one block,
+        // and a probe of the just-inserted block must hit.
+        for b in 100..1100u64 {
+            let evicted = c.insert(b);
+            // Once full, every cold insert must name a victim.
+            assert_eq!(evicted.is_some(), b >= 104);
+            assert!(c.probe(b), "freshly inserted block is resident");
+            assert_eq!(c.len(), 4.min((b - 99) as usize));
+        }
+        // 996 inserts after the first 4 fills each evicted one block.
+        assert_eq!(c.evictions(), 996);
+        assert_eq!(c.hits(), 1000);
+    }
+
+    #[test]
+    fn zero_capacity_never_evicts_or_hits() {
+        let mut c = BlockCache::new(0);
+        for b in 0..100u64 {
+            assert_eq!(c.insert(b), None);
+            assert!(!c.probe(b));
+        }
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 100);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn counters_survive_clear() {
+        let mut c = BlockCache::new(2);
+        c.insert(1);
+        c.probe(1);
+        c.probe(9);
+        c.insert(2);
+        c.insert(3); // evicts
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn invalidate_is_not_an_eviction() {
+        let mut c = BlockCache::new(4);
+        c.insert(1);
+        c.insert(2);
+        c.invalidate(1);
+        assert_eq!(c.evictions(), 0, "explicit invalidation is not pressure");
+        assert_eq!(c.len(), 1);
     }
 }

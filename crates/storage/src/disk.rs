@@ -2,10 +2,40 @@
 
 use std::collections::HashMap;
 
+use wave_obs::{Counter, Histogram, Obs};
+
 use crate::block::{Extent, BLOCK_SIZE};
 use crate::cache::BlockCache;
 use crate::error::{StorageError, StorageResult};
 use crate::stats::IoStats;
+
+/// Metric handles a disk updates on its hot path, resolved once at
+/// attach time so per-I/O cost is a few relaxed atomic ops.
+#[derive(Debug, Clone)]
+struct DiskMetrics {
+    seeks: Counter,
+    blocks_read: Counter,
+    blocks_written: Counter,
+    /// Head travel in blocks, log2-bucketed.
+    seek_distance: Histogram,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+}
+
+impl DiskMetrics {
+    fn new(obs: &Obs) -> Self {
+        DiskMetrics {
+            seeks: obs.counter("disk.seeks"),
+            blocks_read: obs.counter("disk.blocks_read"),
+            blocks_written: obs.counter("disk.blocks_written"),
+            seek_distance: obs.histogram("disk.seek_distance"),
+            cache_hits: obs.counter("cache.hits"),
+            cache_misses: obs.counter("cache.misses"),
+            cache_evictions: obs.counter("cache.evictions"),
+        }
+    }
+}
 
 /// Hardware parameters of the simulated disk.
 ///
@@ -78,11 +108,19 @@ pub struct SimDisk {
     /// Remaining successful I/O calls before failures begin; `None`
     /// disables injection.
     fault_in: Option<u64>,
+    obs: Obs,
+    metrics: DiskMetrics,
 }
 
 impl SimDisk {
-    /// Creates an empty disk with the given hardware parameters.
+    /// Creates an empty disk with the given hardware parameters,
+    /// reporting into a private no-op [`Obs`].
     pub fn new(cfg: DiskConfig) -> Self {
+        Self::with_obs(cfg, Obs::noop())
+    }
+
+    /// Creates an empty disk reporting metrics and events into `obs`.
+    pub fn with_obs(cfg: DiskConfig, obs: Obs) -> Self {
         SimDisk {
             cfg,
             blocks: HashMap::new(),
@@ -90,7 +128,21 @@ impl SimDisk {
             stats: IoStats::default(),
             cache: BlockCache::new(cfg.cache_blocks),
             fault_in: None,
+            metrics: DiskMetrics::new(&obs),
+            obs,
         }
+    }
+
+    /// Redirects this disk's metrics into `obs` (counters restart
+    /// from that registry's current values).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.metrics = DiskMetrics::new(&obs);
+        self.obs = obs;
+    }
+
+    /// The observability handle this disk reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The hardware parameters this disk charges with.
@@ -116,6 +168,11 @@ impl SimDisk {
     /// Buffer-cache misses so far.
     pub fn cache_misses(&self) -> u64 {
         self.cache.misses()
+    }
+
+    /// Buffer-cache evictions so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
     }
 
     /// Arms fault injection: the next `ops` read/write calls succeed,
@@ -145,9 +202,21 @@ impl SimDisk {
         if self.head != Some(start) {
             self.stats.seeks += 1;
             self.stats.sim_seconds += self.cfg.seek_seconds;
+            self.metrics.seeks.inc();
+            // Head travel in blocks; the first access seeks from
+            // block 0 (a parked head).
+            let distance = self.head.map_or(start, |h| h.abs_diff(start));
+            self.metrics.seek_distance.record(distance);
         }
         self.stats.sim_seconds += self.cfg.transfer_seconds(blocks);
         self.head = Some(start + blocks);
+    }
+
+    /// Inserts into the cache, forwarding any eviction to metrics.
+    fn cache_insert(&mut self, blk: u64) {
+        if self.cache.insert(blk).is_some() {
+            self.metrics.cache_evictions.inc();
+        }
     }
 
     /// Reads `len` bytes starting at byte `offset` within `extent`.
@@ -169,13 +238,16 @@ impl SimDisk {
         for blk in first_block..=last_block {
             let hit = self.cache.probe(blk);
             if hit {
+                self.metrics.cache_hits.inc();
                 if let Some(start) = run_start.take() {
                     let n = blk - start;
                     self.charge(start, n);
                     self.stats.blocks_read += n;
+                    self.metrics.blocks_read.add(n);
                 }
             } else {
-                self.cache.insert(blk);
+                self.metrics.cache_misses.inc();
+                self.cache_insert(blk);
                 run_start.get_or_insert(blk);
             }
         }
@@ -183,6 +255,7 @@ impl SimDisk {
             let n = last_block + 1 - start;
             self.charge(start, n);
             self.stats.blocks_read += n;
+            self.metrics.blocks_read.add(n);
         }
 
         let mut out = Vec::with_capacity(len);
@@ -214,8 +287,9 @@ impl SimDisk {
         let nblocks = last_block - first_block + 1;
         self.charge(first_block, nblocks);
         self.stats.blocks_written += nblocks;
+        self.metrics.blocks_written.add(nblocks);
         for blk in first_block..=last_block {
-            self.cache.insert(blk);
+            self.cache_insert(blk);
         }
 
         let mut pos = offset;
@@ -423,7 +497,10 @@ mod cache_tests {
         d.discard(e);
         let before = d.stats();
         d.read_at(e, 0, 8).unwrap();
-        assert!(d.stats().since(&before).blocks_read > 0, "stale hit avoided");
+        assert!(
+            d.stats().since(&before).blocks_read > 0,
+            "stale hit avoided"
+        );
     }
 
     #[test]

@@ -54,12 +54,8 @@ impl FileStore {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
-        let dir = std::env::temp_dir().join(format!(
-            "wave-store-{}-{}-{}",
-            std::process::id(),
-            n,
-            t
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("wave-store-{}-{}-{}", std::process::id(), n, t));
         Self::open(dir)
     }
 

@@ -20,6 +20,13 @@
 //!   index" bulk delete as an `O(1)` file unlink.
 //!
 //! All sizes are in 4 KiB blocks unless stated otherwise.
+//!
+//! Every layer reports into a [`wave_obs::Obs`] handle (re-exported
+//! as [`Obs`]): the disk counts seeks, transfers, head travel and
+//! cache traffic; the volume publishes allocator gauges. A fresh
+//! volume uses `Obs::noop()`; attach a real handle with
+//! [`Volume::attach_obs`] or build one with
+//! [`Volume::with_disks_obs`].
 
 pub mod alloc;
 pub mod block;
@@ -38,3 +45,4 @@ pub use error::{StorageError, StorageResult};
 pub use file::{FileId, FileStore};
 pub use stats::{IoStats, StatsDelta};
 pub use volume::Volume;
+pub use wave_obs::Obs;

@@ -28,12 +28,17 @@ impl IoStats {
 
     /// Difference of two snapshots: work done between `earlier` and
     /// `self`.
+    ///
+    /// The delta saturates at zero componentwise, so passing the
+    /// snapshots in reversed order yields an empty delta instead of
+    /// panicking in debug builds (counters are monotonic, so a
+    /// negative component can only mean swapped arguments).
     pub fn since(&self, earlier: &IoStats) -> StatsDelta {
         StatsDelta {
-            seeks: self.seeks - earlier.seeks,
-            blocks_read: self.blocks_read - earlier.blocks_read,
-            blocks_written: self.blocks_written - earlier.blocks_written,
-            sim_seconds: self.sim_seconds - earlier.sim_seconds,
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            sim_seconds: (self.sim_seconds - earlier.sim_seconds).max(0.0),
         }
     }
 }
@@ -110,6 +115,28 @@ mod tests {
         assert!((d.sim_seconds - 1.5).abs() < 1e-12);
         assert_eq!(d.blocks_total(), 24);
         assert_eq!(b - a, d);
+    }
+
+    #[test]
+    fn reversed_snapshots_saturate_to_zero() {
+        // Regression: `a.since(&b)` with `a` earlier than `b` used to
+        // panic on `u64` underflow in debug builds.
+        let a = IoStats {
+            seeks: 2,
+            blocks_read: 10,
+            blocks_written: 5,
+            sim_seconds: 1.0,
+        };
+        let b = IoStats {
+            seeks: 5,
+            blocks_read: 30,
+            blocks_written: 9,
+            sim_seconds: 2.5,
+        };
+        let d = a.since(&b);
+        assert_eq!(d, StatsDelta::default());
+        assert_eq!(d.sim_seconds, 0.0);
+        assert_eq!(a - b, StatsDelta::default());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! can compute the *parallel elapsed* time of an operation — the
 //! busiest disk's share — via [`Volume::per_disk_stats`].
 
+use wave_obs::{Counter, Gauge, Histogram, Obs};
+
 use crate::alloc::ExtentAllocator;
 use crate::block::{blocks_for_bytes, Extent, BLOCK_SIZE};
 use crate::disk::{DiskConfig, SimDisk};
@@ -24,6 +26,30 @@ use crate::stats::IoStats;
 /// carry their disk in the high bits of `start`, so the single-extent
 /// APIs need no extra parameter.
 const DISK_STRIDE: u64 = 1 << 40;
+
+/// Allocator-level metric handles, resolved once per attach.
+#[derive(Debug, Clone)]
+struct AllocMetrics {
+    allocs: Counter,
+    frees: Counter,
+    /// Extent sizes in blocks, log2-bucketed.
+    extent_blocks: Histogram,
+    live_blocks: Gauge,
+    /// Fragmentation: number of free-list holes across all disks.
+    free_fragments: Gauge,
+}
+
+impl AllocMetrics {
+    fn new(obs: &Obs) -> Self {
+        AllocMetrics {
+            allocs: obs.counter("alloc.allocs"),
+            frees: obs.counter("alloc.frees"),
+            extent_blocks: obs.histogram("alloc.extent_blocks"),
+            live_blocks: obs.gauge("alloc.live_blocks"),
+            free_fragments: obs.gauge("alloc.free_fragments"),
+        }
+    }
+}
 
 /// One or more simulated disks plus their allocators.
 #[derive(Debug)]
@@ -36,6 +62,8 @@ pub struct Volume {
     live: u64,
     /// High-water mark of `live`.
     peak: u64,
+    obs: Obs,
+    metrics: AllocMetrics,
 }
 
 impl Volume {
@@ -49,14 +77,49 @@ impl Volume {
     /// # Panics
     /// Panics if `disks == 0`.
     pub fn with_disks(cfg: DiskConfig, disks: usize) -> Self {
+        Self::with_disks_obs(cfg, disks, Obs::noop())
+    }
+
+    /// Creates a volume whose disks and allocators report into `obs`.
+    ///
+    /// # Panics
+    /// Panics if `disks == 0`.
+    pub fn with_disks_obs(cfg: DiskConfig, disks: usize, obs: Obs) -> Self {
         assert!(disks >= 1, "a volume needs at least one disk");
         Volume {
-            disks: (0..disks).map(|_| SimDisk::new(cfg)).collect(),
+            disks: (0..disks)
+                .map(|_| SimDisk::with_obs(cfg, obs.clone()))
+                .collect(),
             allocs: (0..disks).map(|_| ExtentAllocator::new()).collect(),
             next_disk: 0,
             live: 0,
             peak: 0,
+            metrics: AllocMetrics::new(&obs),
+            obs,
         }
+    }
+
+    /// Redirects this volume (and every disk) to report into `obs`.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        for d in &mut self.disks {
+            d.set_obs(obs.clone());
+        }
+        self.metrics = AllocMetrics::new(&obs);
+        self.obs = obs;
+        self.publish_space();
+    }
+
+    /// The observability handle this volume reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Pushes the current space accounting into the gauges.
+    fn publish_space(&self) {
+        self.metrics.live_blocks.set(self.live as f64);
+        self.metrics
+            .free_fragments
+            .set(self.free_fragments() as f64);
     }
 
     /// Number of disks backing this volume.
@@ -146,7 +209,13 @@ impl Volume {
         }
         self.live += blocks;
         self.peak = self.peak.max(self.live);
-        Ok(Extent::new(disk as u64 * DISK_STRIDE + local.start, local.len))
+        self.metrics.allocs.inc();
+        self.metrics.extent_blocks.record(blocks);
+        self.publish_space();
+        Ok(Extent::new(
+            disk as u64 * DISK_STRIDE + local.start,
+            local.len,
+        ))
     }
 
     /// Frees an extent and discards its resident data.
@@ -161,6 +230,8 @@ impl Volume {
         self.allocs[disk].free(Self::local(extent))?;
         self.disks[disk].discard(Self::local(extent));
         self.live -= extent.len;
+        self.metrics.frees.inc();
+        self.publish_space();
         Ok(())
     }
 
@@ -194,7 +265,10 @@ impl Volume {
 
     /// Diagnostic view of free-list fragmentation (all disks).
     pub fn free_fragments(&self) -> usize {
-        self.allocs.iter().map(ExtentAllocator::free_fragments).sum()
+        self.allocs
+            .iter()
+            .map(ExtentAllocator::free_fragments)
+            .sum()
     }
 }
 
@@ -301,6 +375,40 @@ mod tests {
         assert_eq!(v.peak_blocks(), 8);
         v.reset_peak();
         assert_eq!(v.peak_blocks(), 0);
+    }
+
+    #[test]
+    fn metrics_flow_through_obs() {
+        let obs = Obs::noop();
+        let mut v = Volume::with_disks_obs(DiskConfig::default().with_cache(8), 1, obs.clone());
+        let e = v.alloc_blocks(4).unwrap();
+        v.write_at(e, 0, &[1u8; 4 * BLOCK_SIZE]).unwrap();
+        v.read_at(e, 0, 4 * BLOCK_SIZE).unwrap();
+        assert_eq!(obs.counter("disk.seeks").get(), 1, "hot read seeks nothing");
+        assert_eq!(obs.counter("disk.blocks_written").get(), 4);
+        assert_eq!(obs.counter("cache.hits").get(), 4);
+        assert_eq!(obs.counter("alloc.allocs").get(), 1);
+        assert_eq!(obs.gauge("alloc.live_blocks").get(), 4.0);
+        assert_eq!(obs.histogram("alloc.extent_blocks").sum(), 4);
+        v.free(e).unwrap();
+        assert_eq!(obs.counter("alloc.frees").get(), 1);
+        assert_eq!(obs.gauge("alloc.live_blocks").get(), 0.0);
+    }
+
+    #[test]
+    fn attach_obs_redirects_existing_disks() {
+        let mut v = Volume::default();
+        let e = v.alloc_blocks(1).unwrap();
+        let obs = Obs::noop();
+        v.attach_obs(obs.clone());
+        v.write_at(e, 0, &[9u8; 8]).unwrap();
+        assert_eq!(obs.counter("disk.blocks_written").get(), 1);
+        assert_eq!(obs.gauge("alloc.live_blocks").get(), 1.0);
+        assert_eq!(
+            obs.histogram("disk.seek_distance").count(),
+            1,
+            "the write's seek recorded its head travel"
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Randomized property-style tests for the extent allocator and
+//! simulated disk, driven by the in-repo SplitMix64 PRNG (seeded, so
+//! every run replays the same operation sequences).
+
+use wave_obs::SplitMix64;
+use wave_storage::{DiskConfig, Extent, ExtentAllocator, SimDisk, Volume, BLOCK_SIZE};
+
+/// Live extents returned by the allocator never overlap, and the
+/// live-block count always equals the sum of live extent lengths.
+#[test]
+fn allocations_are_disjoint() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0xA110_C000 + seed);
+        let mut a = ExtentAllocator::new();
+        let mut live: Vec<Extent> = Vec::new();
+        let ops = rng.range_usize(1, 200);
+        for _ in 0..ops {
+            let len = rng.range_u64(1, 63);
+            if rng.gen_bool(0.5) && !live.is_empty() {
+                let i = rng.range_usize(0, live.len() - 1);
+                let e = live.swap_remove(i);
+                a.free(e).unwrap();
+            } else {
+                let e = a.alloc(len).unwrap();
+                for other in &live {
+                    assert!(!e.overlaps(other), "seed {seed}: {e} overlaps {other}");
+                }
+                live.push(e);
+            }
+            let total: u64 = live.iter().map(|e| e.len).sum();
+            assert_eq!(a.live_blocks(), total, "seed {seed}");
+            assert!(a.peak_blocks() >= a.live_blocks(), "seed {seed}");
+        }
+        // Free everything: the allocator must return to pristine state.
+        for e in live {
+            a.free(e).unwrap();
+        }
+        assert_eq!(a.live_blocks(), 0, "seed {seed}");
+        assert_eq!(a.free_fragments(), 0, "seed {seed}");
+        assert_eq!(a.frontier(), 0, "seed {seed}");
+    }
+}
+
+/// Data written through a volume reads back identically, no matter
+/// how extents interleave.
+#[test]
+fn volume_roundtrip() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xB10C_0000 + seed);
+        let mut v = Volume::default();
+        let mut stored = Vec::new();
+        let n = rng.range_usize(1, 20);
+        for _ in 0..n {
+            let len = rng.range_usize(1, 3 * BLOCK_SIZE - 1);
+            let payload: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 255) as u8).collect();
+            let e = v.alloc_bytes(payload.len()).unwrap();
+            v.write_at(e, 0, &payload).unwrap();
+            stored.push((e, payload));
+        }
+        for (e, p) in &stored {
+            assert_eq!(&v.read_at(*e, 0, p.len()).unwrap(), p, "seed {seed}");
+        }
+    }
+}
+
+/// Simulated time is non-decreasing and consistent with the
+/// seek-plus-transfer model: time == seeks * seek_s + blocks / rate.
+#[test]
+fn disk_time_decomposes() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0xD15C_0000 + seed);
+        let cfg = DiskConfig::default();
+        let mut d = SimDisk::new(cfg);
+        let accesses = rng.range_usize(1, 50);
+        for _ in 0..accesses {
+            let block = rng.range_u64(0, 31);
+            let len = rng.range_usize(1, 2 * BLOCK_SIZE - 1);
+            let e = Extent::new(block, 8);
+            d.write_at(e, 0, &vec![0xAB; len]).unwrap();
+        }
+        let s = d.stats();
+        let expect = s.seeks as f64 * cfg.seek_seconds
+            + (s.blocks_total() as f64 * BLOCK_SIZE as f64) / cfg.transfer_bytes_per_sec;
+        assert!(
+            (s.sim_seconds - expect).abs() < 1e-9,
+            "seed {seed}: time {} != model {}",
+            s.sim_seconds,
+            expect
+        );
+    }
+}
+
+/// The obs counters on a shared registry agree with the disk's own
+/// `IoStats`, whatever the access pattern.
+#[test]
+fn obs_counters_match_iostats() {
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(0x0B5C_0000 + seed);
+        let obs = wave_storage::Obs::noop();
+        let mut v = Volume::with_disks_obs(
+            DiskConfig::default().with_cache(rng.range_usize(0, 16)),
+            rng.range_usize(1, 3),
+            obs.clone(),
+        );
+        let mut extents = Vec::new();
+        for _ in 0..rng.range_usize(5, 40) {
+            match rng.range_u32(0, 2) {
+                0 => extents.push(v.alloc_blocks(rng.range_u64(1, 8)).unwrap()),
+                1 if !extents.is_empty() => {
+                    let e = *rng.choose(&extents);
+                    let len = rng.range_usize(1, e.byte_len());
+                    v.write_at(e, 0, &vec![7u8; len]).unwrap();
+                }
+                _ if !extents.is_empty() => {
+                    let e = *rng.choose(&extents);
+                    let len = rng.range_usize(1, e.byte_len());
+                    v.read_at(e, 0, len).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let s = v.stats();
+        assert_eq!(obs.counter("disk.seeks").get(), s.seeks, "seed {seed}");
+        assert_eq!(
+            obs.counter("disk.blocks_read").get(),
+            s.blocks_read,
+            "seed {seed}"
+        );
+        assert_eq!(
+            obs.counter("disk.blocks_written").get(),
+            s.blocks_written,
+            "seed {seed}"
+        );
+        assert_eq!(
+            obs.histogram("disk.seek_distance").count(),
+            s.seeks,
+            "seed {seed}: every seek records a distance"
+        );
+        assert_eq!(
+            obs.gauge("alloc.live_blocks").get(),
+            v.live_blocks() as f64,
+            "seed {seed}"
+        );
+    }
+}

@@ -2,11 +2,9 @@
 //! (`Probe_num`, `Scan_num`, `Probe_idx`, `Scan_idx` of Table 12),
 //! scaled down for simulation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use wave_index::prelude::QueryLoad;
 use wave_index::{Day, TimeRange};
+use wave_obs::SplitMix64;
 
 use crate::text::ArticleGenerator;
 use crate::zipf::Zipf;
@@ -55,14 +53,14 @@ impl QueryMix {
 
     /// The query load for `day` (the newest day in the window).
     pub fn load_for(&self, day: Day) -> QueryLoad {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (day.0 as u64).wrapping_mul(0xC2B2_AE35));
+        let mut rng = SplitMix64::new(self.seed ^ (day.0 as u64).wrapping_mul(0xC2B2_AE35));
         let window_start = Day(day.0.saturating_sub(self.window - 1).max(1));
         let mut probes = Vec::with_capacity(self.probes_per_day);
         for _ in 0..self.probes_per_day {
             let value = ArticleGenerator::word(self.value_skew.sample(&mut rng));
             let range = if rng.gen_bool(self.timed_fraction) {
-                let lo = rng.gen_range(window_start.0..=day.0);
-                let hi = rng.gen_range(lo..=day.0);
+                let lo = rng.range_u32(window_start.0, day.0);
+                let hi = rng.range_u32(lo, day.0);
                 TimeRange::between(Day(lo), Day(hi))
             } else {
                 TimeRange::all()

@@ -7,10 +7,8 @@
 //! parameter: simulations run laptop-sized days, the analytic model
 //! carries the paper's full-size constants.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use wave_index::{Day, DayBatch, Record, RecordId, SearchValue};
+use wave_obs::SplitMix64;
 
 use crate::zipf::Zipf;
 
@@ -29,7 +27,12 @@ pub struct ArticleGenerator {
 
 impl ArticleGenerator {
     /// A generator over `vocab_size` words with Zipf exponent 1.0.
-    pub fn new(vocab_size: usize, articles_per_day: usize, words_per_article: usize, seed: u64) -> Self {
+    pub fn new(
+        vocab_size: usize,
+        articles_per_day: usize,
+        words_per_article: usize,
+        seed: u64,
+    ) -> Self {
         ArticleGenerator {
             vocab: Zipf::new(vocab_size, 1.0),
             articles_per_day,
@@ -42,12 +45,7 @@ impl ArticleGenerator {
     /// SCAM-profile generator scaled down by `scale` (1.0 would be
     /// ~70,000 articles/day).
     pub fn scam(scale: f64, seed: u64) -> Self {
-        Self::new(
-            5_000,
-            ((70_000.0 * scale) as usize).max(1),
-            20,
-            seed,
-        )
+        Self::new(5_000, ((70_000.0 * scale) as usize).max(1), 20, seed)
     }
 
     /// The search value for a vocabulary rank.
@@ -64,7 +62,7 @@ impl ArticleGenerator {
     /// Generates a batch with an explicit article count (used for
     /// non-uniform daily volumes, Figure 2 / Figure 11).
     pub fn day_batch_sized(&mut self, day: Day, articles: usize) -> DayBatch {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (day.0 as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = SplitMix64::new(self.seed ^ (day.0 as u64).wrapping_mul(0x9E37_79B9));
         let mut records = Vec::with_capacity(articles);
         for _ in 0..articles {
             let id = RecordId(self.next_record);
@@ -81,7 +79,7 @@ impl ArticleGenerator {
     }
 
     /// Samples a query word with the same Zipfian skew users exhibit.
-    pub fn query_word(&self, rng: &mut impl Rng) -> SearchValue {
+    pub fn query_word(&self, rng: &mut SplitMix64) -> SearchValue {
         Self::word(self.vocab.sample(rng))
     }
 }
@@ -123,8 +121,14 @@ mod tests {
             }
         }
         let top = counts.get(&ArticleGenerator::word(1)).copied().unwrap_or(0);
-        let mid = counts.get(&ArticleGenerator::word(100)).copied().unwrap_or(0);
-        assert!(top > 5 * mid.max(1), "rank 1 ({top}) should dwarf rank 100 ({mid})");
+        let mid = counts
+            .get(&ArticleGenerator::word(100))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            top > 5 * mid.max(1),
+            "rank 1 ({top}) should dwarf rank 100 ({mid})"
+        );
     }
 
     #[test]

@@ -10,12 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use wave_index::{
-    Day, DayBatch, IndexResult, Record, RecordId, SearchValue, TimeRange, WaveIndex,
-};
+use wave_index::{Day, DayBatch, IndexResult, Record, RecordId, SearchValue, TimeRange, WaveIndex};
+use wave_obs::SplitMix64;
 use wave_storage::Volume;
 
 /// One LINEITEM row (Q1-relevant columns).
@@ -107,21 +103,21 @@ impl TpcdGenerator {
     /// Generates the rows arriving on `day`, plus the index batch for
     /// them (search field `SUPPKEY`, aux = row id).
     pub fn day(&mut self, day: Day) -> (Vec<LineItem>, DayBatch) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (day.0 as u64).wrapping_mul(0x517C_C1B7));
+        let mut rng = SplitMix64::new(self.seed ^ (day.0 as u64).wrapping_mul(0x517C_C1B7));
         let mut rows = Vec::with_capacity(self.rows_per_day);
         let mut records = Vec::with_capacity(self.rows_per_day);
         for _ in 0..self.rows_per_day {
             let id = self.next_id;
             self.next_id += 1;
-            let quantity = rng.gen_range(1..=50);
+            let quantity = rng.range_u32(1, 50);
             let row = LineItem {
                 id,
-                suppkey: rng.gen_range(1..=self.suppliers),
+                suppkey: rng.range_u64(1, self.suppliers),
                 quantity,
-                extended_price_cents: quantity as u64 * rng.gen_range(90_000..=105_000),
-                discount_bp: rng.gen_range(0..=1000),
-                tax_bp: rng.gen_range(0..=800),
-                return_flag: *['R', 'A', 'N'].get(rng.gen_range(0..3)).expect("in range"),
+                extended_price_cents: quantity as u64 * rng.range_u64(90_000, 105_000),
+                discount_bp: rng.range_u32(0, 1000),
+                tax_bp: rng.range_u32(0, 800),
+                return_flag: *rng.choose(&['R', 'A', 'N']),
                 line_status: if rng.gen_bool(0.5) { 'O' } else { 'F' },
                 ship_day: day,
             };
@@ -276,13 +272,7 @@ mod tests {
             scheme.transition(&mut vol, &archive, Day(d)).unwrap();
         }
         // Window is now days 5..=10.
-        let got = q1_pricing_summary(
-            scheme.wave(),
-            &mut vol,
-            &store,
-            TimeRange::all(),
-        )
-        .unwrap();
+        let got = q1_pricing_summary(scheme.wave(), &mut vol, &store, TimeRange::all()).unwrap();
         let want = q1_reference(&store, Day(5), Day(10));
         assert_eq!(got, want);
         assert!(got.len() >= 4, "R/A/N × O/F groups should appear");

@@ -7,8 +7,7 @@
 //! size-ratio experiment of Figure 11 depends only on this day-to-day
 //! variation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wave_obs::SplitMix64;
 
 /// Midweek peak postings (paper: ~110,000 on the second Wednesday).
 pub const PEAK_POSTINGS: f64 = 110_000.0;
@@ -36,10 +35,10 @@ impl UsenetVolumeModel {
         // (weekday index 2 when Monday = 0).
         let weekday = ((day - 1) % 7) as f64;
         let phase = (weekday - 2.0) / 7.0 * std::f64::consts::TAU;
-        let seasonal = TROUGH_POSTINGS
-            + (PEAK_POSTINGS - TROUGH_POSTINGS) * (0.5 + 0.5 * phase.cos());
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (day as u64).wrapping_mul(0xA24B_AED4));
-        let jitter = 1.0 + self.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        let seasonal =
+            TROUGH_POSTINGS + (PEAK_POSTINGS - TROUGH_POSTINGS) * (0.5 + 0.5 * phase.cos());
+        let mut rng = SplitMix64::new(self.seed ^ (day as u64).wrapping_mul(0xA24B_AED4));
+        let jitter = 1.0 + self.noise * (rng.next_f64() * 2.0 - 1.0);
         (seasonal * jitter).round().max(1.0) as u32
     }
 
@@ -70,10 +69,7 @@ mod tests {
         // Sundays (day 7, 14, …) are troughs near 30k.
         for sunday in [7u32, 14, 21, 28] {
             let v = series[sunday as usize - 1] as f64;
-            assert!(
-                (20_000.0..45_000.0).contains(&v),
-                "Sunday {sunday}: {v}"
-            );
+            assert!((20_000.0..45_000.0).contains(&v), "Sunday {sunday}: {v}");
         }
         // Wednesdays (day 3, 10, …) are peaks near 110k.
         for wednesday in [3u32, 10, 17, 24] {

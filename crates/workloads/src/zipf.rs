@@ -6,17 +6,16 @@
 //! `g = 1.08`. This sampler draws ranks `1..=n` with probability
 //! proportional to `1 / rank^s` via an inverse-CDF table.
 
-use rand::Rng;
+use wave_obs::SplitMix64;
 
 /// A Zipf distribution over ranks `1..=n`.
 ///
 /// ```
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use wave_obs::SplitMix64;
 /// use wave_workloads::Zipf;
 ///
 /// let zipf = Zipf::new(1000, 1.0);
-/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut rng = SplitMix64::new(1);
 /// let rank = zipf.sample(&mut rng);
 /// assert!((1..=1000).contains(&rank));
 /// assert!(zipf.probability(1) > zipf.probability(1000));
@@ -53,8 +52,8 @@ impl Zipf {
     }
 
     /// Samples a rank in `1..=n` (rank 1 is the most frequent).
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
         self.cdf.partition_point(|&c| c < u) + 1
     }
 
@@ -72,8 +71,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn probabilities_sum_to_one() {
@@ -99,7 +96,7 @@ mod tests {
     #[test]
     fn sampling_respects_skew() {
         let z = Zipf::new(50, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let mut counts = vec![0u32; 51];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -114,7 +111,7 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let z = Zipf::new(100, 1.0);
         let draw = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::new(seed);
             (0..10).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(draw(1), draw(1));

@@ -45,10 +45,9 @@ fn main() {
     let mut vol = Volume::default();
     // DEL, n = 1, packed shadowing: one packed index, rebuilt by smart
     // copy each night; best for probe-heavy traffic.
-    let mut scheme = Del::new(
-        SchemeConfig::new(window, 1).with_technique(UpdateTechnique::PackedShadow),
-    )
-    .expect("valid config");
+    let mut scheme =
+        Del::new(SchemeConfig::new(window, 1).with_technique(UpdateTechnique::PackedShadow))
+            .expect("valid config");
 
     let mut archive = DayArchive::new();
     for d in 1..=window {
@@ -97,10 +96,7 @@ fn main() {
 
     // A rare word: few or no hits, still a single probe per index.
     let rare = ArticleGenerator::word(2_999);
-    let rare_hits = scheme
-        .wave()
-        .index_probe(&mut vol, &rare)
-        .expect("probe");
+    let rare_hits = scheme.wave().index_probe(&mut vol, &rare).expect("probe");
     println!(
         "rare word \"{rare}\": {} hits ({} index accessed)",
         rare_hits.entries.len(),

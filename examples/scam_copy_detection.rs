@@ -38,8 +38,7 @@ fn main() {
     let fan = 4usize;
     let mut generator = ArticleGenerator::new(2_000, 120, 15, 2024);
     let mut vol = Volume::default();
-    let mut scheme =
-        Reindex::new(SchemeConfig::new(window, fan)).expect("valid config");
+    let mut scheme = Reindex::new(SchemeConfig::new(window, fan)).expect("valid config");
 
     // Index the first week of articles.
     let mut archive = DayArchive::new();
@@ -89,9 +88,7 @@ fn main() {
     }
     let scores = copy_candidates(&scheme, &mut vol, &registered);
     let leaked = scores.get(&RecordId(999_999)).copied().unwrap_or(0);
-    println!(
-        "after the window slid a week, the copy has expired ({leaked} chunks remain indexed)"
-    );
+    println!("after the window slid a week, the copy has expired ({leaked} chunks remain indexed)");
     assert_eq!(leaked, 0, "hard window: expired data is gone");
 
     // Daily registration scan: check today's articles in one pass.

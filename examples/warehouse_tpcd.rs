@@ -35,7 +35,9 @@ fn main() {
         let (rows, batch) = generator.day(Day(d));
         store.insert_all(&rows);
         archive.insert(batch);
-        let rec = scheme.transition(&mut vol, &archive, Day(d)).expect("transition");
+        let rec = scheme
+            .transition(&mut vol, &archive, Day(d))
+            .expect("transition");
 
         // Q1 over the business window (exactly the last 30 days; the
         // timed scan hides WATA*'s soft tail).
@@ -88,8 +90,15 @@ fn main() {
         );
     }
     let rows: u64 = report.iter().map(|r| r.count).sum();
-    assert_eq!(rows, window as u64 * 200, "every window row aggregated once");
+    assert_eq!(
+        rows,
+        window as u64 * 200,
+        "every window row aggregated once"
+    );
 
     scheme.release(&mut vol).expect("release");
-    println!("\ndone — simulated disk time {:.2}s", vol.stats().sim_seconds);
+    println!(
+        "\ndone — simulated disk time {:.2}s",
+        vol.stats().sim_seconds
+    );
 }

@@ -19,6 +19,9 @@
 //!   and the Table 12 case-study parameters.
 //! * [`workloads`] (crate `wave-workloads`) — Zipfian articles,
 //!   Usenet volume seasonality, and the TPC-D `LINEITEM`/Q1 workload.
+//! * [`obs`] (crate `wave-obs`) — the dependency-free tracing and
+//!   metrics layer every other crate reports into (spans, counters,
+//!   gauges, log2 histograms, JSONL traces).
 //!
 //! ```
 //! use wave_indices::prelude::*;
@@ -41,6 +44,7 @@
 
 pub use wave_analytic as analytic;
 pub use wave_index as index;
+pub use wave_obs as obs;
 pub use wave_storage as storage;
 pub use wave_workloads as workloads;
 

@@ -61,26 +61,23 @@ fn wave_persists_through_file_store() {
 
     let mut vol2 = Volume::default();
     let root = store.root().to_path_buf();
-    let mut loaded = persist::load_wave(
-        n,
-        Default::default(),
-        &mut vol2,
-        &store,
-        |_, name| match std::fs::read(root.join(name)) {
-            Ok(bytes) => Ok(Some(bytes)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(wave_indices::index::IndexError::Storage(e.into())),
-        },
-    )
-    .unwrap();
+    let mut loaded =
+        persist::load_wave(
+            n,
+            Default::default(),
+            &mut vol2,
+            &store,
+            |_, name| match std::fs::read(root.join(name)) {
+                Ok(bytes) => Ok(Some(bytes)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+                Err(e) => Err(wave_indices::index::IndexError::Storage(e.into())),
+            },
+        )
+        .unwrap();
 
     for rank in [1usize, 5, 40] {
         let value = ArticleGenerator::word(rank);
-        let mut a = scheme
-            .wave()
-            .index_probe(&mut vol, &value)
-            .unwrap()
-            .entries;
+        let mut a = scheme.wave().index_probe(&mut vol, &value).unwrap().entries;
         let mut b = loaded.index_probe(&mut vol2, &value).unwrap().entries;
         a.sort_unstable();
         b.sort_unstable();
@@ -122,13 +119,9 @@ fn q1_equivalence_across_scheme_matrix() {
             }
             let now = Day(w + 6);
             let lo = Day(now.0 - w + 1);
-            let got = q1_pricing_summary(
-                scheme.wave(),
-                &mut vol,
-                &store,
-                TimeRange::between(lo, now),
-            )
-            .unwrap();
+            let got =
+                q1_pricing_summary(scheme.wave(), &mut vol, &store, TimeRange::between(lo, now))
+                    .unwrap();
             let want = q1_reference(&store, lo, now);
             assert_eq!(got, want, "{kind} under {technique:?}");
             scheme.release(&mut vol).unwrap();
@@ -186,8 +179,14 @@ fn schemes_run_on_striped_volumes() {
         // Parallel elapsed of a full scan is under the serial busy time.
         let before_serial = driver.volume_mut().stats();
         let before = driver.volume_mut().per_disk_stats();
-        driver.probe(&ArticleGenerator::word(1), TimeRange::all()).unwrap();
-        let serial = driver.volume_mut().stats().since(&before_serial).sim_seconds;
+        driver
+            .probe(&ArticleGenerator::word(1), TimeRange::all())
+            .unwrap();
+        let serial = driver
+            .volume_mut()
+            .stats()
+            .since(&before_serial)
+            .sim_seconds;
         let parallel = driver.volume_mut().parallel_elapsed_since(&before);
         assert!(parallel <= serial + 1e-12, "{kind}");
         driver.finish().unwrap_or_else(|e| panic!("{kind}: {e}"));
