@@ -14,4 +14,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+# The crash-consistency acceptance gate, run explicitly so a filter or
+# partial run can never silently skip it: every scheme x technique x
+# crash mode, crashing a commit at every operation, must recover to an
+# oracle-exact wave with zero orphans.
+echo "==> crash-point explorer"
+cargo test -q -p wave-index --test crash_recovery --offline
+
 echo "CI OK"

@@ -19,9 +19,18 @@
 //! wavectl query DIR WORD [--from D] [--to D]
 //! wavectl scan  DIR [--from D] [--to D]
 //! wavectl status DIR
+//! wavectl fsck  DIR             # verify the committed index store
+//! wavectl recover DIR           # repair it after a crash
 //! wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]
 //! wavectl report FILE
 //! ```
+//!
+//! Besides the replayable day files, `add` also *commits* the rebuilt
+//! wave into `<dir>/index/` under a checksummed manifest (see
+//! DESIGN.md "Crash consistency"). `fsck` verifies that store without
+//! touching it; `recover` repairs it — rolling back half-committed
+//! epochs, quarantining corrupt files, and rebuilding constituents
+//! from the retained day files.
 //!
 //! `trace` replays a synthetic Zipfian workload through a scheme with
 //! tracing on and emits the JSONL event stream (see DESIGN.md
@@ -33,10 +42,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use wave_index::persist::{commit_wave, read_manifest};
 use wave_index::prelude::*;
+use wave_index::recovery::{fsck, recover};
 use wave_index::schemes::SchemeKind;
 use wave_obs::json::{parse_flat, JsonValue};
 use wave_obs::{MemorySink, Obs};
+use wave_storage::{FileStore, RetryPolicy};
 use wave_workloads::{ArticleGenerator, QueryMix};
 
 /// CLI errors, all user-presentable.
@@ -74,6 +86,12 @@ impl From<wave_index::IndexError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<wave_storage::StorageError> for CliError {
+    fn from(e: wave_storage::StorageError) -> Self {
+        CliError::Index(wave_index::IndexError::Storage(e))
     }
 }
 
@@ -161,6 +179,11 @@ impl Config {
 
 fn days_dir(dir: &Path) -> PathBuf {
     dir.join("days")
+}
+
+/// Where the committed (manifest + constituent images) store lives.
+fn index_dir(dir: &Path) -> PathBuf {
+    dir.join("index")
 }
 
 fn day_path(dir: &Path, day: u32) -> PathBuf {
@@ -302,7 +325,7 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: wavectl <init|add|query|scan|status|trace|report> …";
+    let usage = "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
@@ -316,6 +339,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "query" => cmd_query(&dir, &args[2..]),
         "scan" => cmd_scan(&dir, &args[2..]),
         "status" => cmd_status(&dir),
+        "fsck" => cmd_fsck(&dir),
+        "recover" => cmd_recover(&dir),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; {usage}"
         ))),
@@ -395,7 +420,7 @@ fn cmd_add(dir: &Path, args: &[String]) -> Result<String, CliError> {
     let batch = parse_day(next, &text)?;
     fs::write(day_path(dir, next), &text)?;
 
-    let (scheme, _vol, last) = replay(dir, &cfg)?;
+    let (scheme, mut vol, last) = replay(dir, &cfg)?;
     // Prune day files no scheme could still need (twice the window
     // comfortably covers every soft tail and temp ladder).
     if let Some(horizon) = next.checked_sub(2 * cfg.window) {
@@ -414,6 +439,14 @@ fn cmd_add(dir: &Path, args: &[String]) -> Result<String, CliError> {
                 ops.join("; "),
                 scheme.wave().length(),
                 scheme.wave().iter().count()
+            ));
+            // Durably commit the new wave state: after a crash,
+            // `wavectl recover` restores exactly this epoch.
+            let mut store = FileStore::open(index_dir(dir))?;
+            let report = commit_wave(scheme.wave(), &mut vol, &mut store, &RetryPolicy::default())?;
+            out.push_str(&format!(
+                "committed epoch {} ({} files, {} bytes)\n",
+                report.epoch, report.files_written, report.bytes_written
             ));
         }
         None => {
@@ -512,6 +545,139 @@ fn cmd_status(dir: &Path) -> Result<String, CliError> {
             days.len(),
             cfg.window
         )),
+    }
+    if index_dir(dir).is_dir() {
+        let mut store = FileStore::open(index_dir(dir))?;
+        match read_manifest(&mut store) {
+            Ok(Some(m)) => out.push_str(&format!(
+                "committed index: epoch {} ({} files)\n",
+                m.epoch,
+                m.entries.len()
+            )),
+            Ok(None) => out.push_str("committed index: none\n"),
+            Err(_) => out.push_str("committed index: MANIFEST corrupt — run `wavectl recover`\n"),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves the store directory `fsck`/`recover` operate on: the
+/// `index/` subdirectory of a wavectl state dir, or the directory
+/// itself when pointed straight at a bare store.
+fn store_dir(dir: &Path) -> Result<PathBuf, CliError> {
+    let candidate = if dir.join("config.txt").is_file() {
+        index_dir(dir)
+    } else {
+        dir.to_path_buf()
+    };
+    if candidate.is_dir() {
+        Ok(candidate)
+    } else {
+        Err(CliError::State(format!(
+            "{} has no committed index store",
+            dir.display()
+        )))
+    }
+}
+
+fn cmd_fsck(dir: &Path) -> Result<String, CliError> {
+    let mut store = FileStore::open(store_dir(dir)?)?;
+    let report = fsck(&mut store, &Obs::noop())?;
+    let mut out = String::new();
+    if !report.manifest_present {
+        out.push_str("no MANIFEST: nothing is committed\n");
+    } else if report.manifest_ok {
+        out.push_str(&format!(
+            "MANIFEST ok, epoch {}\n",
+            report.epoch.expect("valid manifest has an epoch")
+        ));
+    } else {
+        out.push_str("MANIFEST CORRUPT\n");
+    }
+    out.push_str(&format!(
+        "{} files scanned, {} verified\n",
+        report.files_scanned,
+        report.ok_files.len()
+    ));
+    for f in &report.corrupt {
+        out.push_str(&format!("  corrupt: {f}\n"));
+    }
+    for f in &report.missing {
+        out.push_str(&format!("  missing: {f}\n"));
+    }
+    for f in &report.orphans {
+        out.push_str(&format!("  orphan: {f}\n"));
+    }
+    for f in &report.quarantined {
+        out.push_str(&format!("  quarantined: {f}\n"));
+    }
+    if report.is_clean() {
+        out.push_str("store is clean\n");
+    } else {
+        out.push_str("store needs `wavectl recover`\n");
+    }
+    Ok(out)
+}
+
+fn cmd_recover(dir: &Path) -> Result<String, CliError> {
+    let store_path = store_dir(dir)?;
+    // A wavectl state dir can rebuild constituents from its retained
+    // day files; a bare store recovers without an archive.
+    let mut archive = None;
+    if dir.join("config.txt").is_file() {
+        let mut a = DayArchive::new();
+        for d in stored_days(dir)? {
+            let text = fs::read_to_string(day_path(dir, d))?;
+            a.insert(parse_day(d, &text)?);
+        }
+        archive = Some(a);
+    }
+    let mut store = FileStore::open(store_path)?;
+    let mut vol = Volume::default();
+    let (loaded, report) = recover(
+        IndexConfig::default(),
+        &mut vol,
+        &mut store,
+        archive.as_ref(),
+    )?;
+    let mut out = String::new();
+    if !report.rolled_back.is_empty() {
+        out.push_str(&format!(
+            "rolled back {} uncommitted file(s) to the empty state\n",
+            report.rolled_back.len()
+        ));
+    }
+    if report.manifest_quarantined {
+        out.push_str("MANIFEST was corrupt: quarantined as MANIFEST.quar; files preserved\n");
+    }
+    for f in &report.rebuilt {
+        out.push_str(&format!("  rebuilt from day files: {f}\n"));
+    }
+    for s in &report.dropped_slots {
+        out.push_str(&format!(
+            "  dropped slot {s} (days no longer in the archive)\n"
+        ));
+    }
+    for f in &report.quarantined {
+        out.push_str(&format!("  quarantined: {f}\n"));
+    }
+    if report.orphans_removed > 0 {
+        out.push_str(&format!(
+            "  swept {} orphaned file(s)\n",
+            report.orphans_removed
+        ));
+    }
+    match loaded {
+        Some(mut loaded) => {
+            out.push_str(&format!(
+                "recovered epoch {}: {} entries across {} constituents\n",
+                loaded.manifest.epoch,
+                loaded.wave.entry_count(),
+                loaded.manifest.entries.len()
+            ));
+            loaded.wave.release_all(&mut vol)?;
+        }
+        None => out.push_str("no committed wave remains\n"),
     }
     Ok(out)
 }
@@ -926,6 +1092,101 @@ mod tests {
         .unwrap();
         assert!(jsonl.lines().all(|l| parse_flat(l).is_some()));
         let _ = d;
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `add` commits the wave under a manifest once the window fills,
+    /// and `fsck` → corrupt a file → `recover` → `fsck` comes back
+    /// clean with the constituent rebuilt from the retained day files.
+    #[test]
+    fn add_commits_and_recover_repairs_corruption() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        run(&s(&[
+            "init", d, "--scheme", "wata", "--window", "3", "--fan", "2",
+        ]))
+        .unwrap();
+        add_day(&dir, "1 hello world\n");
+        add_day(&dir, "2 hello rust\n");
+        let out = add_day(&dir, "3 world again\n");
+        assert!(out.contains("committed epoch 1"), "{out}");
+        let out = add_day(&dir, "4 fresh words\n");
+        assert!(out.contains("committed epoch 2"), "{out}");
+
+        let out = run(&s(&["status", d])).unwrap();
+        assert!(out.contains("committed index: epoch 2"), "{out}");
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
+
+        // Flip a byte in the middle of a committed constituent image.
+        let victim = fs::read_dir(index_dir(&dir))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap() != "MANIFEST")
+            .expect("committed store has constituent files");
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&victim, &bytes).unwrap();
+
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("corrupt:"), "{out}");
+        assert!(out.contains("needs `wavectl recover`"), "{out}");
+
+        let out = run(&s(&["recover", d])).unwrap();
+        assert!(out.contains("rebuilt from day files"), "{out}");
+        assert!(out.contains("recovered epoch 2"), "{out}");
+
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
+        // The repaired store answers queries as before.
+        let out = run(&s(&["query", d, "fresh"])).unwrap();
+        assert!(out.starts_with("1 hit "), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupt MANIFEST is surfaced by status/fsck and quarantined
+    /// by recover, which preserves the constituents as evidence.
+    #[test]
+    fn recover_quarantines_corrupt_manifest() {
+        let dir = temp_dir();
+        let d = dir.to_str().unwrap();
+        run(&s(&[
+            "init", d, "--scheme", "del", "--window", "2", "--fan", "1",
+        ]))
+        .unwrap();
+        add_day(&dir, "1 alpha\n");
+        add_day(&dir, "2 beta\n");
+        let manifest = index_dir(&dir).join("MANIFEST");
+        let mut bytes = fs::read(&manifest).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&manifest, &bytes).unwrap();
+
+        let out = run(&s(&["status", d])).unwrap();
+        assert!(out.contains("MANIFEST corrupt"), "{out}");
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("MANIFEST CORRUPT"), "{out}");
+        let out = run(&s(&["recover", d])).unwrap();
+        assert!(out.contains("quarantined as MANIFEST.quar"), "{out}");
+        assert!(out.contains("no committed wave remains"), "{out}");
+        // The next add re-commits a fresh epoch over the wreckage.
+        let out = add_day(&dir, "3 gamma\n");
+        assert!(out.contains("committed epoch 1"), "{out}");
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_handles_bare_and_missing_stores() {
+        let dir = temp_dir();
+        // An existing directory is treated as a bare (empty) store.
+        let out = run(&s(&["fsck", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("nothing is committed"), "{out}");
+        // A missing path is a state error, not a silent mkdir.
+        let missing = dir.join("nope");
+        let err = run(&s(&["fsck", missing.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::State(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

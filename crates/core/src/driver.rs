@@ -278,6 +278,27 @@ impl Driver {
         &mut self.vol
     }
 
+    /// The retained day batches (what recovery can rebuild from).
+    pub fn archive(&self) -> &DayArchive {
+        &self.archive
+    }
+
+    /// Durably commits the scheme's current wave to `store` as a new
+    /// epoch (see [`crate::persist::commit_wave`]). On restart,
+    /// [`crate::recovery::recover`] restores exactly this state — or
+    /// the previous epoch if the commit itself crashes.
+    pub fn checkpoint(
+        &mut self,
+        store: &mut dyn wave_storage::IndexStore,
+    ) -> IndexResult<crate::persist::CommitReport> {
+        crate::persist::commit_wave(
+            self.scheme.wave(),
+            &mut self.vol,
+            store,
+            &wave_storage::RetryPolicy::default(),
+        )
+    }
+
     /// Runs a probe through the wave index (convenience for examples).
     pub fn probe(
         &mut self,

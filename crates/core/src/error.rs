@@ -39,6 +39,16 @@ pub enum IndexError {
     },
     /// `transition` was called before `start`.
     NotStarted,
+    /// A persisted image or manifest failed checksum verification:
+    /// the bytes on disk are not the bytes that were written.
+    ChecksumMismatch {
+        /// What was being verified (file or image description).
+        what: String,
+        /// Checksum recorded at write time.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        got: u64,
+    },
     /// Internal invariant violation; indicates a bug, never expected.
     Corrupt(String),
 }
@@ -60,6 +70,14 @@ impl fmt::Display for IndexError {
                 write!(f, "expected day {expected} next, got {got}")
             }
             IndexError::NotStarted => write!(f, "transition called before start"),
+            IndexError::ChecksumMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checksum mismatch in {what}: expected {expected:016x}, got {got:016x}"
+            ),
             IndexError::Corrupt(msg) => write!(f, "index corruption: {msg}"),
         }
     }

@@ -63,6 +63,7 @@ pub mod parallel;
 pub mod persist;
 pub mod query;
 pub mod record;
+pub mod recovery;
 pub mod schemes;
 pub mod update;
 pub mod verify;
@@ -73,8 +74,12 @@ pub use directory::{BucketRef, Directory, DirectoryKind};
 pub use entry::{Entry, ENTRY_BYTES};
 pub use error::{IndexError, IndexResult};
 pub use index::{ConstituentIndex, IndexConfig};
+pub use persist::{
+    commit_wave, load_committed, CommitReport, LoadedWave, Manifest, ManifestEntry, MANIFEST_NAME,
+};
 pub use query::TimeRange;
 pub use record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
+pub use recovery::{fsck, recover, FsckReport, RecoverReport};
 pub use update::{UpdateTechnique, Updater};
 pub use wave::{QueryResult, WaveIndex};
 

@@ -1,5 +1,6 @@
-//! Persistence: serialising constituent indexes to byte images and
-//! whole wave indexes to a [`FileStore`].
+//! Crash-consistent persistence: serialising constituent indexes to
+//! checksummed byte images and committing whole wave indexes to an
+//! [`IndexStore`] under a manifest.
 //!
 //! One file per constituent index mirrors how the paper's schemes map
 //! onto commodity systems: `DropIndex` is a file unlink, shadow
@@ -7,10 +8,35 @@
 //! index (the image stores logical contents, not raw extents, so a
 //! load also acts as a reorganisation — the "better structured index"
 //! benefit of rebuild-based schemes).
+//!
+//! # On-disk format (WVIX v2)
+//!
+//! An image is the v1 layout — magic, version, label, time-set,
+//! value→entries map — followed by an 8-byte little-endian CRC64
+//! trailer over everything before it. v1 images (no trailer) still
+//! load; their [`ImageInfo::verified`] provenance is `false`.
+//!
+//! # Manifest and two-phase commit
+//!
+//! The committed state of a wave is defined by a single `MANIFEST`
+//! file naming the epoch, the window coverage, and the exact
+//! constituent file set with lengths and checksums (self-checksummed
+//! with its own CRC64 line). [`commit_wave`] makes a transition
+//! durable in two phases:
+//!
+//! 1. write every constituent image under an epoch-suffixed name
+//!    (`slot3.e17`) — old epoch files are untouched;
+//! 2. atomically flip `MANIFEST` to reference the new file set, then
+//!    garbage-collect files no manifest references.
+//!
+//! Because the manifest flip is a single atomic rename, a crash at
+//! any instant leaves the store describing either the pre- or the
+//! post-transition wave; anything else on disk is an orphan that
+//! [`crate::recovery::recover`] (or the next commit) sweeps up.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wave_storage::{FileStore, Volume};
+use wave_storage::{crc64, IndexStore, RetryPolicy, Volume};
 
 use crate::entry::{Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
@@ -19,9 +45,27 @@ use crate::record::{Day, SearchValue};
 use crate::wave::WaveIndex;
 
 const MAGIC: &[u8; 4] = b"WVIX";
-const VERSION: u16 = 1;
+/// Current image version (checksummed).
+pub const VERSION: u16 = 2;
+/// Legacy checksum-less image version, still readable.
+pub const VERSION_V1: u16 = 1;
+/// Name of the committed-wave manifest file.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+/// Suffix recovery gives quarantined (corrupt but preserved) files.
+pub const QUARANTINE_SUFFIX: &str = ".quar";
 
-/// Serialises an index's logical contents (label, time-set, buckets).
+/// Provenance of a decoded image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageInfo {
+    /// Format version the image was written with.
+    pub version: u16,
+    /// Whether the bytes were covered by a verified checksum. `false`
+    /// for v1 images, which predate the CRC64 trailer.
+    pub verified: bool,
+}
+
+/// Serialises an index's logical contents (label, time-set, buckets)
+/// as a WVIX v2 image with a CRC64 trailer.
 pub fn index_to_bytes(idx: &ConstituentIndex, vol: &mut Volume) -> IndexResult<Vec<u8>> {
     let map = idx.read_all(vol)?;
     let mut out = Vec::new();
@@ -40,7 +84,60 @@ pub fn index_to_bytes(idx: &ConstituentIndex, vol: &mut Volume) -> IndexResult<V
             e.encode_into(&mut out);
         }
     }
+    let crc = crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     Ok(out)
+}
+
+/// Rebuilds a (packed) index from a serialised image, reporting its
+/// format version and whether a checksum verified the bytes.
+pub fn decode_index(
+    cfg: IndexConfig,
+    vol: &mut Volume,
+    bytes: &[u8],
+) -> IndexResult<(ConstituentIndex, ImageInfo)> {
+    if bytes.len() < 6 || &bytes[..4] != MAGIC {
+        return Err(IndexError::Corrupt("bad persistence magic".into()));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    let (body, info) = match version {
+        VERSION_V1 => (
+            bytes,
+            ImageInfo {
+                version,
+                verified: false,
+            },
+        ),
+        VERSION => {
+            if bytes.len() < 6 + 8 {
+                return Err(IndexError::Corrupt("v2 image too short for trailer".into()));
+            }
+            let split = bytes.len() - 8;
+            let expected = u64::from_le_bytes(bytes[split..].try_into().expect("8 bytes"));
+            let got = crc64(&bytes[..split]);
+            if got != expected {
+                return Err(IndexError::ChecksumMismatch {
+                    what: "index image".into(),
+                    expected,
+                    got,
+                });
+            }
+            (
+                &bytes[..split],
+                ImageInfo {
+                    version,
+                    verified: true,
+                },
+            )
+        }
+        other => {
+            return Err(IndexError::Corrupt(format!(
+                "unsupported persistence version {other}"
+            )))
+        }
+    };
+    let idx = decode_body(cfg, vol, body)?;
+    Ok((idx, info))
 }
 
 /// Rebuilds a (packed) index from a serialised image.
@@ -49,17 +146,14 @@ pub fn index_from_bytes(
     vol: &mut Volume,
     bytes: &[u8],
 ) -> IndexResult<ConstituentIndex> {
-    let mut r = Reader::new(bytes);
-    let magic = r.take(4)?;
-    if magic != MAGIC {
-        return Err(IndexError::Corrupt("bad persistence magic".into()));
-    }
-    let version = r.u16()?;
-    if version != VERSION {
-        return Err(IndexError::Corrupt(format!(
-            "unsupported persistence version {version}"
-        )));
-    }
+    decode_index(cfg, vol, bytes).map(|(idx, _)| idx)
+}
+
+/// Parses the version-independent image body (after magic + version
+/// and before any trailer).
+fn decode_body(cfg: IndexConfig, vol: &mut Volume, body: &[u8]) -> IndexResult<ConstituentIndex> {
+    let mut r = Reader::new(body);
+    r.take(6)?; // magic + version, validated by the caller
     let label = String::from_utf8(r.bytes()?.to_vec())
         .map_err(|_| IndexError::Corrupt("label is not UTF-8".into()))?;
     let day_count = r.u32()? as usize;
@@ -86,40 +180,427 @@ pub fn index_from_bytes(
         }
         map.insert(value, entries);
     }
+    if !r.at_end() {
+        return Err(IndexError::Corrupt(
+            "trailing bytes after persistence image".into(),
+        ));
+    }
     ConstituentIndex::build_from_map(label, cfg, vol, map, days)
 }
 
-/// Saves every constituent of a wave index into `store`, one file per
-/// slot, named `slotN`.
-pub fn save_wave(wave: &WaveIndex, vol: &mut Volume, store: &mut FileStore) -> IndexResult<()> {
-    for (j, idx) in wave.iter() {
-        let image = index_to_bytes(idx, vol)?;
-        store.create(&format!("slot{j}"), &image)?;
-    }
-    Ok(())
+/// One constituent file as the manifest records it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Wave slot the file belongs to.
+    pub slot: usize,
+    /// File name inside the store.
+    pub file: String,
+    /// Exact file length in bytes.
+    pub len: u64,
+    /// CRC64 of the whole file.
+    pub crc64: u64,
+    /// Label of the constituent index.
+    pub label: String,
+    /// Days the constituent covers (for archive-based rebuilds).
+    pub days: Vec<Day>,
 }
 
-/// Loads a wave index previously written by [`save_wave`].
-pub fn load_wave(
-    slots: usize,
+/// The committed state of a wave index: which epoch is live, what it
+/// covers, and the exact file set (with checksums) forming it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic commit counter; each [`commit_wave`] bumps it.
+    pub epoch: u64,
+    /// `[oldest, newest]` days the wave covers (`None` if empty).
+    pub window: Option<(Day, Day)>,
+    /// Number of wave slots (including empty ones).
+    pub slots: usize,
+    /// One entry per non-empty slot, ascending by slot.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serialises the manifest, ending with its own `crc` line.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut text = String::from("wave-manifest 1\n");
+        text.push_str(&format!("epoch {}\n", self.epoch));
+        match self.window {
+            Some((lo, hi)) => text.push_str(&format!("window {} {}\n", lo.0, hi.0)),
+            None => text.push_str("window - -\n"),
+        }
+        text.push_str(&format!("slots {}\n", self.slots));
+        for e in &self.entries {
+            let days = if e.days.is_empty() {
+                "-".to_string()
+            } else {
+                e.days
+                    .iter()
+                    .map(|d| d.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            text.push_str(&format!(
+                "slot {} {} {} {:016x} {} {}\n",
+                e.slot,
+                e.file,
+                e.len,
+                e.crc64,
+                hex_encode(e.label.as_bytes()),
+                days
+            ));
+        }
+        let mut out = text.into_bytes();
+        let crc = crc64(&out);
+        out.extend_from_slice(format!("crc {crc:016x}\n").as_bytes());
+        out
+    }
+
+    /// Parses and checksum-verifies a manifest.
+    pub fn from_bytes(bytes: &[u8]) -> IndexResult<Manifest> {
+        // The crc line is fixed-width: "crc " + 16 hex digits + "\n".
+        const CRC_LINE: usize = 4 + 16 + 1;
+        if bytes.len() < CRC_LINE {
+            return Err(IndexError::Corrupt("manifest truncated".into()));
+        }
+        let split = bytes.len() - CRC_LINE;
+        let trailer = std::str::from_utf8(&bytes[split..])
+            .map_err(|_| IndexError::Corrupt("manifest crc line is not UTF-8".into()))?;
+        let expected = trailer
+            .strip_prefix("crc ")
+            .and_then(|s| s.strip_suffix('\n'))
+            // Strict lowercase hex: the trailer is the one line its own
+            // checksum cannot cover, so no byte of it may have two
+            // accepted spellings.
+            .filter(|s| s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| IndexError::Corrupt("manifest missing crc line".into()))?;
+        let got = crc64(&bytes[..split]);
+        if got != expected {
+            return Err(IndexError::ChecksumMismatch {
+                what: "manifest".into(),
+                expected,
+                got,
+            });
+        }
+        let text = std::str::from_utf8(&bytes[..split])
+            .map_err(|_| IndexError::Corrupt("manifest is not UTF-8".into()))?;
+        let corrupt = |msg: &str| IndexError::Corrupt(format!("manifest: {msg}"));
+        let mut lines = text.lines();
+        if lines.next() != Some("wave-manifest 1") {
+            return Err(corrupt("bad header"));
+        }
+        let mut epoch = None;
+        let mut window = None;
+        let mut slots = None;
+        let mut entries: Vec<ManifestEntry> = Vec::new();
+        for line in lines {
+            let mut parts = line.split(' ');
+            match parts.next() {
+                Some("epoch") => {
+                    let v = parts.next().ok_or_else(|| corrupt("epoch missing value"))?;
+                    epoch = Some(v.parse().map_err(|_| corrupt("bad epoch"))?);
+                }
+                Some("window") => {
+                    let lo = parts.next().ok_or_else(|| corrupt("window missing lo"))?;
+                    let hi = parts.next().ok_or_else(|| corrupt("window missing hi"))?;
+                    window = Some(if lo == "-" {
+                        None
+                    } else {
+                        Some((
+                            Day(lo.parse().map_err(|_| corrupt("bad window lo"))?),
+                            Day(hi.parse().map_err(|_| corrupt("bad window hi"))?),
+                        ))
+                    });
+                }
+                Some("slots") => {
+                    let v = parts.next().ok_or_else(|| corrupt("slots missing value"))?;
+                    slots = Some(v.parse().map_err(|_| corrupt("bad slots"))?);
+                }
+                Some("slot") => {
+                    let mut field = |what: &str| {
+                        parts
+                            .next()
+                            .map(str::to_string)
+                            .ok_or_else(|| corrupt(&format!("slot entry missing {what}")))
+                    };
+                    let slot = field("slot")?.parse().map_err(|_| corrupt("bad slot"))?;
+                    let file = field("file")?;
+                    let len = field("len")?.parse().map_err(|_| corrupt("bad len"))?;
+                    let crc = u64::from_str_radix(&field("crc")?, 16)
+                        .map_err(|_| corrupt("bad entry crc"))?;
+                    let label = String::from_utf8(
+                        hex_decode(&field("label")?).ok_or_else(|| corrupt("bad label hex"))?,
+                    )
+                    .map_err(|_| corrupt("label is not UTF-8"))?;
+                    let days_field = field("days")?;
+                    let days = if days_field == "-" {
+                        Vec::new()
+                    } else {
+                        days_field
+                            .split(',')
+                            .map(|d| d.parse().map(Day).map_err(|_| corrupt("bad day")))
+                            .collect::<IndexResult<Vec<Day>>>()?
+                    };
+                    entries.push(ManifestEntry {
+                        slot,
+                        file,
+                        len,
+                        crc64: crc,
+                        label,
+                        days,
+                    });
+                }
+                Some("") | None => {}
+                Some(other) => return Err(corrupt(&format!("unknown line kind {other:?}"))),
+            }
+        }
+        let manifest = Manifest {
+            epoch: epoch.ok_or_else(|| corrupt("no epoch"))?,
+            window: window.ok_or_else(|| corrupt("no window"))?,
+            slots: slots.ok_or_else(|| corrupt("no slots"))?,
+            entries,
+        };
+        let mut seen = BTreeSet::new();
+        for e in &manifest.entries {
+            if e.slot >= manifest.slots {
+                return Err(corrupt(&format!(
+                    "entry slot {} out of range 0..{}",
+                    e.slot, manifest.slots
+                )));
+            }
+            if !seen.insert(e.slot) {
+                return Err(corrupt(&format!("duplicate slot {}", e.slot)));
+            }
+        }
+        Ok(manifest)
+    }
+}
+
+/// Reads and verifies the committed manifest, or `None` if the store
+/// has never committed one.
+pub fn read_manifest(store: &mut dyn IndexStore) -> IndexResult<Option<Manifest>> {
+    match store.get(MANIFEST_NAME)? {
+        None => Ok(None),
+        Some(bytes) => Manifest::from_bytes(&bytes).map(Some),
+    }
+}
+
+/// What one [`commit_wave`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReport {
+    /// Epoch the commit published.
+    pub epoch: u64,
+    /// Constituent files written.
+    pub files_written: usize,
+    /// Image bytes written (manifest excluded).
+    pub bytes_written: u64,
+    /// Superseded or stray files garbage-collected after the flip.
+    pub orphans_removed: usize,
+}
+
+/// Durably commits the wave's current state to `store` as a new
+/// epoch, using the two-phase protocol described in the module docs.
+/// Transient store errors are retried under `retry`; every retry
+/// increments the `store.retry_attempts` counter on the volume's
+/// observability handle.
+pub fn commit_wave(
+    wave: &WaveIndex,
+    vol: &mut Volume,
+    store: &mut dyn IndexStore,
+    retry: &RetryPolicy,
+) -> IndexResult<CommitReport> {
+    let obs = vol.obs().clone();
+    let retries = obs.counter("store.retry_attempts");
+    let prev_bytes = retry.run(&retries, || store.get(MANIFEST_NAME))?;
+    let epoch = match prev_bytes {
+        None => 1,
+        // A corrupt previous manifest means the store needs recovery,
+        // not a blind overwrite that would orphan every live file.
+        Some(bytes) => Manifest::from_bytes(&bytes)?.epoch + 1,
+    };
+
+    // Phase 1: write the new epoch's constituent files. Old epoch
+    // files remain untouched and referenced by the old manifest.
+    let mut entries = Vec::new();
+    let mut bytes_written = 0u64;
+    for (j, idx) in wave.iter() {
+        let image = index_to_bytes(idx, vol)?;
+        let name = format!("slot{j}.e{epoch}");
+        retry.run(&retries, || store.put(&name, &image))?;
+        bytes_written += image.len() as u64;
+        entries.push(ManifestEntry {
+            slot: j,
+            file: name,
+            len: image.len() as u64,
+            crc64: crc64(&image),
+            label: idx.label().to_string(),
+            days: idx.days().iter().copied().collect(),
+        });
+    }
+    let covered = wave.covered_days();
+    let manifest = Manifest {
+        epoch,
+        window: covered
+            .iter()
+            .next()
+            .copied()
+            .zip(covered.iter().next_back().copied()),
+        slots: wave.slot_count(),
+        entries,
+    };
+
+    // Phase 2: flip the manifest (single atomic rename inside put) …
+    retry.run(&retries, || store.put(MANIFEST_NAME, &manifest.to_bytes()))?;
+
+    // … then garbage-collect everything no longer referenced.
+    let referenced: BTreeSet<&str> = manifest.entries.iter().map(|e| e.file.as_str()).collect();
+    let mut orphans_removed = 0usize;
+    for name in retry.run(&retries, || store.list())? {
+        if name == MANIFEST_NAME
+            || name.ends_with(QUARANTINE_SUFFIX)
+            || referenced.contains(name.as_str())
+        {
+            continue;
+        }
+        retry.run(&retries, || store.remove(&name))?;
+        orphans_removed += 1;
+    }
+
+    obs.counter("persist.commits").inc();
+    obs.event(
+        "commit",
+        wave_obs::fields![
+            ("epoch", epoch),
+            ("files", manifest.entries.len() as u64),
+            ("bytes", bytes_written),
+            ("orphans_removed", orphans_removed as u64)
+        ],
+    );
+    Ok(CommitReport {
+        epoch,
+        files_written: manifest.entries.len(),
+        bytes_written,
+        orphans_removed,
+    })
+}
+
+/// Provenance of one loaded wave slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotProvenance {
+    /// Wave slot.
+    pub slot: usize,
+    /// Constituent label.
+    pub label: String,
+    /// Image format version on disk.
+    pub version: u16,
+    /// Whether checksums (manifest and image trailer) verified the
+    /// bytes end to end.
+    pub verified: bool,
+}
+
+/// A wave loaded from a committed store.
+#[derive(Debug)]
+pub struct LoadedWave {
+    /// The reconstructed (packed) wave index.
+    pub wave: WaveIndex,
+    /// The manifest that defined it.
+    pub manifest: Manifest,
+    /// Per-slot provenance, ascending by slot.
+    pub provenance: Vec<SlotProvenance>,
+}
+
+/// Loads the committed wave, verifying every checksum on the way. A
+/// store without a manifest yields `Ok(None)`; any referenced file
+/// that is missing or corrupt fails the load (use
+/// [`crate::recovery::recover`] for a best-effort load instead).
+pub fn load_committed(
     cfg: IndexConfig,
     vol: &mut Volume,
-    store: &FileStore,
-    read: impl Fn(&FileStore, &str) -> IndexResult<Option<Vec<u8>>>,
-) -> IndexResult<WaveIndex> {
-    let mut wave = WaveIndex::with_slots(slots);
-    for j in 0..slots {
-        if let Some(bytes) = read(store, &format!("slot{j}"))? {
-            let idx = index_from_bytes(cfg, vol, &bytes)?;
-            wave.install(j, idx);
+    store: &mut dyn IndexStore,
+) -> IndexResult<Option<LoadedWave>> {
+    let Some(manifest) = read_manifest(store)? else {
+        return Ok(None);
+    };
+    let mut wave = WaveIndex::with_slots(manifest.slots);
+    let mut provenance = Vec::new();
+    let mut load = || -> IndexResult<()> {
+        for e in &manifest.entries {
+            let bytes = store.get(&e.file)?.ok_or_else(|| {
+                IndexError::Corrupt(format!("manifest references missing file {}", e.file))
+            })?;
+            if bytes.len() as u64 != e.len {
+                return Err(IndexError::Corrupt(format!(
+                    "{}: length {} != manifest {}",
+                    e.file,
+                    bytes.len(),
+                    e.len
+                )));
+            }
+            let got = crc64(&bytes);
+            if got != e.crc64 {
+                return Err(IndexError::ChecksumMismatch {
+                    what: e.file.clone(),
+                    expected: e.crc64,
+                    got,
+                });
+            }
+            let (idx, info) = decode_index(cfg, vol, &bytes)?;
+            if idx.label() != e.label {
+                return Err(IndexError::Corrupt(format!(
+                    "{}: label {:?} != manifest {:?}",
+                    e.file,
+                    idx.label(),
+                    e.label
+                )));
+            }
+            provenance.push(SlotProvenance {
+                slot: e.slot,
+                label: e.label.clone(),
+                version: info.version,
+                verified: info.verified,
+            });
+            wave.install(e.slot, idx);
+        }
+        Ok(())
+    };
+    match load() {
+        Ok(()) => Ok(Some(LoadedWave {
+            wave,
+            manifest,
+            provenance,
+        })),
+        Err(e) => {
+            // Release whatever was installed before the failure so the
+            // caller's volume does not leak blocks.
+            wave.release_all(vol)?;
+            Err(e)
         }
     }
-    Ok(wave)
 }
 
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(bytes);
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
 }
 
 struct Reader<'a> {
@@ -141,10 +622,8 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u16(&mut self) -> IndexResult<u16> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
     }
 
     fn u32(&mut self) -> IndexResult<u32> {
@@ -163,6 +642,7 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use crate::record::{DayBatch, Record, RecordId};
+    use wave_storage::FileStore;
 
     fn sample_index(vol: &mut Volume) -> ConstituentIndex {
         let b1 = DayBatch::new(
@@ -179,12 +659,27 @@ mod tests {
         ConstituentIndex::build_packed("I1", IndexConfig::default(), vol, &[&b1, &b2]).unwrap()
     }
 
+    fn sample_wave(vol: &mut Volume) -> WaveIndex {
+        let mut wave = WaveIndex::with_slots(3);
+        wave.install(0, sample_index(vol));
+        // Slot 1 left empty on purpose.
+        wave.install(2, sample_index(vol));
+        wave
+    }
+
     #[test]
     fn image_roundtrip_preserves_contents() {
         let mut vol = Volume::default();
         let idx = sample_index(&mut vol);
         let image = index_to_bytes(&idx, &mut vol).unwrap();
-        let loaded = index_from_bytes(IndexConfig::default(), &mut vol, &image).unwrap();
+        let (loaded, info) = decode_index(IndexConfig::default(), &mut vol, &image).unwrap();
+        assert_eq!(
+            info,
+            ImageInfo {
+                version: 2,
+                verified: true
+            }
+        );
         assert_eq!(loaded.label(), "I1");
         assert_eq!(loaded.days(), idx.days());
         assert_eq!(loaded.entry_count(), idx.entry_count());
@@ -230,43 +725,146 @@ mod tests {
         // Truncated.
         let truncated = &image[..image.len() - 5];
         assert!(index_from_bytes(IndexConfig::default(), &mut vol, truncated).is_err());
+        // Single bit flip anywhere trips the checksum.
+        let mut flipped = image.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        let err = index_from_bytes(IndexConfig::default(), &mut vol, &flipped).unwrap_err();
+        assert!(
+            matches!(err, IndexError::ChecksumMismatch { .. })
+                || matches!(err, IndexError::Corrupt(_)),
+            "{err}"
+        );
         idx.release(&mut vol).unwrap();
     }
 
     #[test]
-    fn wave_save_and_load_through_file_store() {
-        let mut vol = Volume::default();
-        let mut wave = WaveIndex::with_slots(3);
-        wave.install(0, sample_index(&mut vol));
-        // Slot 1 left empty on purpose.
-        wave.install(2, sample_index(&mut vol));
-        let mut store = FileStore::open_temp().unwrap();
-        save_wave(&wave, &mut vol, &mut store).unwrap();
-        assert_eq!(store.file_count(), 2);
+    fn manifest_roundtrips_and_rejects_corruption() {
+        let m = Manifest {
+            epoch: 7,
+            window: Some((Day(3), Day(9))),
+            slots: 4,
+            entries: vec![ManifestEntry {
+                slot: 2,
+                file: "slot2.e7".into(),
+                len: 1234,
+                crc64: 0xDEAD_BEEF_0123_4567,
+                label: "I2'".into(),
+                days: vec![Day(3), Day(4)],
+            }],
+        };
+        let bytes = m.to_bytes();
+        assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
+        // Any bit flip is detected.
+        for pos in [0usize, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(Manifest::from_bytes(&bad).is_err(), "flip at {pos}");
+        }
+        assert!(Manifest::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
 
-        let mut vol2 = Volume::default();
-        // Re-open by path so the loader proves files really hit disk.
+    #[test]
+    fn empty_window_manifest_roundtrips() {
+        let m = Manifest {
+            epoch: 1,
+            window: None,
+            slots: 2,
+            entries: vec![],
+        };
+        assert_eq!(Manifest::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn commit_then_load_roundtrips_through_the_filesystem() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        let report = commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.files_written, 2);
+
+        // Reload through a fresh store over the same directory so the
+        // loader proves everything really hit disk.
         let root = store.root().to_path_buf();
-        let loaded =
-            load_wave(
-                3,
-                IndexConfig::default(),
-                &mut vol2,
-                &store,
-                |_, name| match std::fs::read(root.join(name)) {
-                    Ok(bytes) => Ok(Some(bytes)),
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-                    Err(e) => Err(IndexError::Storage(e.into())),
-                },
-            )
+        let mut store2 = FileStore::open(&root).unwrap();
+        let mut vol2 = Volume::default();
+        let loaded = load_committed(IndexConfig::default(), &mut vol2, &mut store2)
+            .unwrap()
             .unwrap();
-        assert!(loaded.slot(0).is_some());
-        assert!(loaded.slot(1).is_none());
-        assert!(loaded.slot(2).is_some());
-        assert_eq!(loaded.entry_count(), wave.entry_count());
+        assert_eq!(loaded.manifest.epoch, 1);
+        assert_eq!(loaded.manifest.window, Some((Day(1), Day(2))));
+        assert!(loaded.wave.slot(0).is_some());
+        assert!(loaded.wave.slot(1).is_none());
+        assert!(loaded.wave.slot(2).is_some());
+        assert_eq!(loaded.wave.entry_count(), wave.entry_count());
+        assert!(loaded
+            .provenance
+            .iter()
+            .all(|p| p.verified && p.version == 2));
+
         wave.release_all(&mut vol).unwrap();
         let mut loaded = loaded;
-        loaded.release_all(&mut vol2).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
         store.destroy().unwrap();
+    }
+
+    #[test]
+    fn recommit_bumps_epoch_and_collects_old_files() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        let retry = RetryPolicy::no_backoff(1);
+        commit_wave(&wave, &mut vol, &mut store, &retry).unwrap();
+        let second = commit_wave(&wave, &mut vol, &mut store, &retry).unwrap();
+        assert_eq!(second.epoch, 2);
+        assert_eq!(second.orphans_removed, 2, "epoch-1 files collected");
+        let names = store.list().unwrap();
+        assert_eq!(
+            names,
+            vec![
+                MANIFEST_NAME.to_string(),
+                "slot0.e2".to_string(),
+                "slot2.e2".to_string()
+            ]
+        );
+        wave.release_all(&mut vol).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn load_fails_cleanly_on_missing_constituent() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        store.remove("slot2.e1").unwrap();
+        let mut vol2 = Volume::default();
+        let err = load_committed(IndexConfig::default(), &mut vol2, &mut store).unwrap_err();
+        assert!(err.to_string().contains("slot2.e1"), "{err}");
+        assert_eq!(vol2.live_blocks(), 0, "partial load released its blocks");
+        wave.release_all(&mut vol).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn loading_an_empty_store_is_none() {
+        let mut store = FileStore::open_temp().unwrap();
+        let mut vol = Volume::default();
+        assert!(load_committed(IndexConfig::default(), &mut vol, &mut store)
+            .unwrap()
+            .is_none());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for label in ["", "I1", "T3'", "weird label"] {
+            let enc = hex_encode(label.as_bytes());
+            assert!(!enc.contains(' '));
+            assert_eq!(hex_decode(&enc).unwrap(), label.as_bytes());
+        }
+        assert!(hex_decode("xyz").is_none());
+        assert!(hex_decode("abc").is_none(), "odd length rejected");
     }
 }

@@ -1,0 +1,598 @@
+//! Recovery and consistency checking for committed wave stores.
+//!
+//! [`fsck`] is the read-only half: it scans a store, verifies the
+//! manifest and every referenced file against its recorded length and
+//! CRC64, and reports what it found without changing anything.
+//!
+//! [`recover`] is the repairing half, run after a crash (or whenever
+//! [`crate::persist::load_committed`] refuses a store). It restores
+//! the invariant that the store holds exactly one verifiable
+//! committed wave plus (possibly) quarantined evidence:
+//!
+//! * **No manifest** — the store never completed a first commit; any
+//!   files present are phase-1 residue of a crashed commit. They are
+//!   deleted, rolling back to the empty pre-commit state.
+//! * **Corrupt manifest** — the commit pointer itself cannot be
+//!   trusted. The manifest is quarantined (renamed `MANIFEST.quar`)
+//!   and *nothing* is garbage-collected: the constituent files are
+//!   the only remaining evidence and a later forensic pass (or an
+//!   operator) may still reconstruct from them.
+//! * **Valid manifest, damaged constituents** — each missing or
+//!   corrupt constituent is quarantined and, when the day archive
+//!   still holds its days, rebuilt from first principles
+//!   (`BuildIndex` over the archived batches). A constituent that
+//!   cannot be rebuilt is dropped from the manifest — a degraded but
+//!   honest result: queries lose those days rather than returning
+//!   bytes nobody can vouch for.
+//! * **Orphans** — files no manifest references (phase-1 residue of
+//!   the crashed next epoch, `.tmp` torn-write leftovers) are
+//!   removed, except quarantined `.quar` evidence.
+//!
+//! Every action is counted on the volume's [`wave_obs::Obs`] handle:
+//! `fsck.files_scanned`, `fsck.checksum_failures`,
+//! `recover.rollbacks`, `recover.rebuilds`, `recover.quarantines`,
+//! `recover.orphans_removed`.
+
+use wave_storage::{crc64, IndexStore, Obs, Volume};
+
+use crate::error::IndexResult;
+use crate::index::{ConstituentIndex, IndexConfig};
+use crate::persist::{
+    decode_index, index_to_bytes, LoadedWave, Manifest, SlotProvenance, MANIFEST_NAME,
+    QUARANTINE_SUFFIX,
+};
+use crate::record::{DayArchive, DayBatch};
+use crate::wave::WaveIndex;
+
+/// Read-only scan result of [`fsck`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Whether a `MANIFEST` file exists.
+    pub manifest_present: bool,
+    /// Whether the manifest parsed and passed its own checksum.
+    pub manifest_ok: bool,
+    /// Epoch of the valid manifest, if any.
+    pub epoch: Option<u64>,
+    /// Files examined (manifest included).
+    pub files_scanned: usize,
+    /// Referenced constituents that verified clean.
+    pub ok_files: Vec<String>,
+    /// Referenced constituents whose length or checksum disagrees
+    /// with the manifest.
+    pub corrupt: Vec<String>,
+    /// Referenced constituents absent from the store.
+    pub missing: Vec<String>,
+    /// Files no manifest references (crash residue).
+    pub orphans: Vec<String>,
+    /// Quarantined `.quar` evidence files present.
+    pub quarantined: Vec<String>,
+}
+
+impl FsckReport {
+    /// Whether the store is exactly one verifiable committed wave
+    /// with no residue (quarantined evidence is tolerated).
+    pub fn is_clean(&self) -> bool {
+        self.manifest_ok
+            && self.corrupt.is_empty()
+            && self.missing.is_empty()
+            && self.orphans.is_empty()
+    }
+}
+
+/// Checks a committed store without modifying it.
+///
+/// An empty store (no manifest, no files) is vacuously clean except
+/// that `manifest_ok` is false; callers distinguish it via
+/// `manifest_present`.
+pub fn fsck(store: &mut dyn IndexStore, obs: &Obs) -> IndexResult<FsckReport> {
+    let scanned = obs.counter("fsck.files_scanned");
+    let failures = obs.counter("fsck.checksum_failures");
+    let mut report = FsckReport::default();
+
+    let manifest = match store.get(MANIFEST_NAME)? {
+        None => None,
+        Some(bytes) => {
+            report.manifest_present = true;
+            report.files_scanned += 1;
+            scanned.inc();
+            match Manifest::from_bytes(&bytes) {
+                Ok(m) => {
+                    report.manifest_ok = true;
+                    report.epoch = Some(m.epoch);
+                    Some(m)
+                }
+                Err(_) => {
+                    failures.inc();
+                    None
+                }
+            }
+        }
+    };
+
+    let mut referenced: Vec<&crate::persist::ManifestEntry> = Vec::new();
+    if let Some(m) = &manifest {
+        referenced = m.entries.iter().collect();
+    }
+    for e in &referenced {
+        report.files_scanned += 1;
+        scanned.inc();
+        match store.get(&e.file)? {
+            None => report.missing.push(e.file.clone()),
+            Some(bytes) => {
+                if bytes.len() as u64 == e.len && crc64(&bytes) == e.crc64 {
+                    report.ok_files.push(e.file.clone());
+                } else {
+                    failures.inc();
+                    report.corrupt.push(e.file.clone());
+                }
+            }
+        }
+    }
+
+    for name in store.list()? {
+        if name == MANIFEST_NAME || referenced.iter().any(|e| e.file == name) {
+            continue;
+        }
+        if name.ends_with(QUARANTINE_SUFFIX) {
+            report.quarantined.push(name);
+        } else {
+            report.orphans.push(name);
+        }
+    }
+    Ok(report)
+}
+
+/// What one [`recover`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverReport {
+    /// Epoch of the wave the store holds after recovery, if any.
+    pub epoch: Option<u64>,
+    /// A manifest-less store was rolled back to empty (files listed).
+    pub rolled_back: Vec<String>,
+    /// The manifest itself was corrupt and quarantined.
+    pub manifest_quarantined: bool,
+    /// Constituents rebuilt from the day archive.
+    pub rebuilt: Vec<String>,
+    /// Slots dropped because their days left the archive.
+    pub dropped_slots: Vec<usize>,
+    /// Files quarantined as `.quar` evidence.
+    pub quarantined: Vec<String>,
+    /// Unreferenced crash residue removed.
+    pub orphans_removed: usize,
+}
+
+/// Repairs a committed store and loads the best wave it can vouch
+/// for, per the module-level policy. Returns the loaded wave (if any
+/// committed state survives) and a report of every action taken.
+pub fn recover(
+    cfg: IndexConfig,
+    vol: &mut Volume,
+    store: &mut dyn IndexStore,
+    archive: Option<&DayArchive>,
+) -> IndexResult<(Option<LoadedWave>, RecoverReport)> {
+    let obs = vol.obs().clone();
+    let rollbacks = obs.counter("recover.rollbacks");
+    let rebuilds = obs.counter("recover.rebuilds");
+    let quarantines = obs.counter("recover.quarantines");
+    let orphan_counter = obs.counter("recover.orphans_removed");
+    let mut report = RecoverReport::default();
+
+    let manifest_bytes = store.get(MANIFEST_NAME)?;
+    let Some(manifest_bytes) = manifest_bytes else {
+        // Never committed: everything on disk is phase-1 residue of a
+        // crashed first commit. Roll back to empty.
+        for name in store.list()? {
+            if name.ends_with(QUARANTINE_SUFFIX) {
+                continue;
+            }
+            store.remove(&name)?;
+            report.rolled_back.push(name);
+        }
+        if !report.rolled_back.is_empty() {
+            rollbacks.inc();
+        }
+        obs.event(
+            "recover",
+            wave_obs::fields![("outcome", "rolled_back_to_empty")],
+        );
+        return Ok((None, report));
+    };
+
+    let mut manifest = match Manifest::from_bytes(&manifest_bytes) {
+        Ok(m) => m,
+        Err(_) => {
+            // The commit pointer is untrustworthy. Preserve everything
+            // for forensics: quarantine the manifest, GC nothing.
+            store.rename(
+                MANIFEST_NAME,
+                &format!("{MANIFEST_NAME}{QUARANTINE_SUFFIX}"),
+            )?;
+            quarantines.inc();
+            report.manifest_quarantined = true;
+            report
+                .quarantined
+                .push(format!("{MANIFEST_NAME}{QUARANTINE_SUFFIX}"));
+            obs.event(
+                "recover",
+                wave_obs::fields![("outcome", "manifest_quarantined")],
+            );
+            return Ok((None, report));
+        }
+    };
+
+    // Validate each constituent; quarantine + rebuild (or drop) the
+    // damaged ones.
+    let mut wave = WaveIndex::with_slots(manifest.slots);
+    let mut provenance = Vec::new();
+    let mut kept = Vec::new();
+    let mut manifest_dirty = false;
+    let mut result: IndexResult<()> = Ok(());
+    for mut entry in std::mem::take(&mut manifest.entries) {
+        if result.is_err() {
+            break;
+        }
+        let damage = match store.get(&entry.file) {
+            Err(e) => {
+                result = Err(e.into());
+                break;
+            }
+            Ok(None) => Some("missing"),
+            Ok(Some(bytes)) => {
+                if bytes.len() as u64 != entry.len || crc64(&bytes) != entry.crc64 {
+                    Some("corrupt")
+                } else {
+                    match decode_index(cfg, vol, &bytes) {
+                        Err(_) => Some("undecodable"),
+                        Ok((idx, info)) if idx.label() != entry.label => {
+                            if let Err(e) = idx.release(vol) {
+                                result = Err(e);
+                                break;
+                            }
+                            let _ = info;
+                            Some("mislabelled")
+                        }
+                        Ok((idx, info)) => {
+                            provenance.push(SlotProvenance {
+                                slot: entry.slot,
+                                label: entry.label.clone(),
+                                version: info.version,
+                                verified: info.verified,
+                            });
+                            wave.install(entry.slot, idx);
+                            kept.push(entry);
+                            continue;
+                        }
+                    }
+                }
+            }
+        };
+        let damage = damage.expect("all healthy paths continue above");
+
+        // Quarantine whatever bytes exist before touching the slot.
+        let quar = format!("{}{}", entry.file, QUARANTINE_SUFFIX);
+        match store.rename(&entry.file, &quar) {
+            Ok(()) => {
+                quarantines.inc();
+                report.quarantined.push(quar);
+            }
+            Err(wave_storage::StorageError::FileNotFound(_)) => {}
+            Err(e) => {
+                result = Err(e.into());
+                break;
+            }
+        }
+
+        // Rebuild from the archive when every covered day is still
+        // there; otherwise drop the slot (degraded recovery).
+        let batches: Option<Vec<&DayBatch>> = archive.and_then(|a| {
+            entry
+                .days
+                .iter()
+                .map(|d| a.get(*d))
+                .collect::<Option<Vec<_>>>()
+        });
+        manifest_dirty = true;
+        match batches {
+            Some(batches) if !batches.is_empty() => {
+                let rebuilt = (|| -> IndexResult<ConstituentIndex> {
+                    let idx =
+                        ConstituentIndex::build_packed(entry.label.clone(), cfg, vol, &batches)?;
+                    let image = index_to_bytes(&idx, vol)?;
+                    store.put(&entry.file, &image)?;
+                    entry.len = image.len() as u64;
+                    entry.crc64 = crc64(&image);
+                    Ok(idx)
+                })();
+                match rebuilt {
+                    Ok(idx) => {
+                        rebuilds.inc();
+                        obs.event(
+                            "recover.rebuild",
+                            wave_obs::fields![("file", entry.file.as_str()), ("damage", damage)],
+                        );
+                        report.rebuilt.push(entry.file.clone());
+                        provenance.push(SlotProvenance {
+                            slot: entry.slot,
+                            label: entry.label.clone(),
+                            version: crate::persist::VERSION,
+                            verified: true,
+                        });
+                        wave.install(entry.slot, idx);
+                        kept.push(entry);
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            _ => {
+                obs.event(
+                    "recover.drop_slot",
+                    wave_obs::fields![("slot", entry.slot as u64), ("damage", damage)],
+                );
+                report.dropped_slots.push(entry.slot);
+            }
+        }
+    }
+    if let Err(e) = result {
+        wave.release_all(vol)?;
+        return Err(e);
+    }
+    manifest.entries = kept;
+
+    // Rewrite the manifest if repair changed it (atomic flip again).
+    if manifest_dirty {
+        let mut days = std::collections::BTreeSet::new();
+        for e in &manifest.entries {
+            days.extend(e.days.iter().copied());
+        }
+        manifest.window = match (days.first(), days.last()) {
+            (Some(&lo), Some(&hi)) => Some((lo, hi)),
+            _ => None,
+        };
+        store.put(MANIFEST_NAME, &manifest.to_bytes())?;
+    }
+
+    // Sweep crash residue the manifest does not reference.
+    for name in store.list()? {
+        if name == MANIFEST_NAME
+            || name.ends_with(QUARANTINE_SUFFIX)
+            || manifest.entries.iter().any(|e| e.file == name)
+        {
+            continue;
+        }
+        store.remove(&name)?;
+        orphan_counter.inc();
+        report.orphans_removed += 1;
+    }
+
+    report.epoch = Some(manifest.epoch);
+    obs.event(
+        "recover",
+        wave_obs::fields![
+            ("outcome", "loaded"),
+            ("epoch", manifest.epoch),
+            ("rebuilt", report.rebuilt.len() as u64),
+            ("dropped", report.dropped_slots.len() as u64),
+            ("orphans_removed", report.orphans_removed as u64)
+        ],
+    );
+    Ok((
+        Some(LoadedWave {
+            wave,
+            manifest,
+            provenance,
+        }),
+        report,
+    ))
+}
+
+/// Convenience: quarantined-evidence count currently in a store.
+pub fn quarantined_files(store: &mut dyn IndexStore) -> IndexResult<Vec<String>> {
+    Ok(store
+        .list()?
+        .into_iter()
+        .filter(|n| n.ends_with(QUARANTINE_SUFFIX))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::{commit_wave, load_committed};
+    use crate::record::{Day, DayBatch, Record, RecordId, SearchValue};
+    use wave_storage::{FileStore, RetryPolicy};
+
+    fn day_batch(day: u32, ids: &[u64]) -> DayBatch {
+        DayBatch::new(
+            Day(day),
+            ids.iter()
+                .map(|id| Record::with_values(RecordId(*id), [SearchValue::from("w")]))
+                .collect(),
+        )
+    }
+
+    /// Builds a 2-slot wave over days 1-2 / 3-4 plus the matching
+    /// archive.
+    fn committed_store() -> (FileStore, Volume, WaveIndex, DayArchive) {
+        let mut vol = Volume::default();
+        let mut archive = DayArchive::new();
+        let mut wave = WaveIndex::with_slots(2);
+        let cfg = IndexConfig::default();
+        let batches: Vec<DayBatch> = (1..=4).map(|d| day_batch(d, &[d as u64])).collect();
+        for b in &batches {
+            archive.insert(b.clone());
+        }
+        wave.install(
+            0,
+            ConstituentIndex::build_packed("I1", cfg, &mut vol, &[&batches[0], &batches[1]])
+                .unwrap(),
+        );
+        wave.install(
+            1,
+            ConstituentIndex::build_packed("I2", cfg, &mut vol, &[&batches[2], &batches[3]])
+                .unwrap(),
+        );
+        let mut store = FileStore::open_temp().unwrap();
+        commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        (store, vol, wave, archive)
+    }
+
+    fn teardown(store: FileStore, mut vol: Volume, mut wave: WaveIndex) {
+        wave.release_all(&mut vol).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn fsck_reports_clean_committed_store() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        let report = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.epoch, Some(1));
+        assert_eq!(report.ok_files.len(), 2);
+        assert_eq!(report.files_scanned, 3);
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn fsck_detects_corruption_missing_and_orphans() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        // Corrupt one constituent, delete the other, add an orphan.
+        let mut bytes = store.get("slot0.e1").unwrap().unwrap();
+        bytes[10] ^= 0xFF;
+        // Bypass put's name discipline deliberately: same name, bad bytes.
+        store.put("slot0.e1", &bytes).unwrap();
+        store.remove("slot1.e1").unwrap();
+        store.put("slot9.e9", b"junk").unwrap();
+        let report = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.corrupt, vec!["slot0.e1".to_string()]);
+        assert_eq!(report.missing, vec!["slot1.e1".to_string()]);
+        assert_eq!(report.orphans, vec!["slot9.e9".to_string()]);
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_rolls_back_a_never_committed_store() {
+        let mut store = FileStore::open_temp().unwrap();
+        store.put("slot0.e1", b"phase-1 residue").unwrap();
+        store.put("slot1.e1", b"more residue").unwrap();
+        let mut vol = Volume::default();
+        let (loaded, report) = recover(IndexConfig::default(), &mut vol, &mut store, None).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(report.rolled_back.len(), 2);
+        assert!(store.list().unwrap().is_empty());
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn recover_quarantines_a_corrupt_manifest_and_keeps_evidence() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        let mut bytes = store.get(MANIFEST_NAME).unwrap().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        store.put(MANIFEST_NAME, &bytes).unwrap();
+        let mut vol2 = Volume::default();
+        let (loaded, report) =
+            recover(IndexConfig::default(), &mut vol2, &mut store, None).unwrap();
+        assert!(loaded.is_none());
+        assert!(report.manifest_quarantined);
+        let names = store.list().unwrap();
+        assert!(names.contains(&"MANIFEST.quar".to_string()));
+        // Evidence preserved: constituent files untouched.
+        assert!(names.contains(&"slot0.e1".to_string()));
+        assert!(names.contains(&"slot1.e1".to_string()));
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_rebuilds_a_corrupt_constituent_from_the_archive() {
+        let (mut store, _vol, wave, archive) = committed_store();
+        let mut bytes = store.get("slot0.e1").unwrap().unwrap();
+        bytes[12] ^= 0x80;
+        store.put("slot0.e1", &bytes).unwrap();
+        let mut vol2 = Volume::default();
+        let (loaded, report) = recover(
+            IndexConfig::default(),
+            &mut vol2,
+            &mut store,
+            Some(&archive),
+        )
+        .unwrap();
+        let mut loaded = loaded.expect("wave recovered");
+        assert_eq!(report.rebuilt, vec!["slot0.e1".to_string()]);
+        assert_eq!(report.quarantined, vec!["slot0.e1.quar".to_string()]);
+        assert!(report.dropped_slots.is_empty());
+        assert_eq!(loaded.wave.entry_count(), wave.entry_count());
+        // The repaired store now loads cleanly through the strict path.
+        let mut vol3 = Volume::default();
+        let reloaded = load_committed(IndexConfig::default(), &mut vol3, &mut store)
+            .unwrap()
+            .expect("strict load succeeds after repair");
+        let mut reloaded = reloaded;
+        reloaded.wave.release_all(&mut vol3).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_drops_slot_when_archive_cannot_rebuild() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        store.remove("slot1.e1").unwrap();
+        let mut vol2 = Volume::default();
+        // No archive at all: slot 1 is honestly dropped.
+        let (loaded, report) =
+            recover(IndexConfig::default(), &mut vol2, &mut store, None).unwrap();
+        let mut loaded = loaded.expect("degraded wave still loads");
+        assert_eq!(report.dropped_slots, vec![1]);
+        assert!(loaded.wave.slot(0).is_some());
+        assert!(loaded.wave.slot(1).is_none());
+        assert_eq!(
+            loaded.manifest.window,
+            Some((Day(1), Day(2))),
+            "window shrinks to surviving coverage"
+        );
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_sweeps_orphans_but_not_quarantine() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        store.put("slot0.e2", b"crashed next epoch").unwrap();
+        store.put("old.quar", b"evidence").unwrap();
+        let mut vol2 = Volume::default();
+        let (loaded, report) =
+            recover(IndexConfig::default(), &mut vol2, &mut store, None).unwrap();
+        let mut loaded = loaded.expect("intact wave loads");
+        assert_eq!(report.orphans_removed, 1);
+        let names = store.list().unwrap();
+        assert!(!names.contains(&"slot0.e2".to_string()));
+        assert!(names.contains(&"old.quar".to_string()));
+        assert_eq!(quarantined_files(&mut store).unwrap(), vec!["old.quar"]);
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_counts_actions_on_obs() {
+        let (mut store, _vol, wave, archive) = committed_store();
+        store.remove("slot0.e1").unwrap();
+        let sink = std::sync::Arc::new(wave_obs::MemorySink::new());
+        let obs = Obs::new(sink);
+        let mut vol2 = Volume::default();
+        vol2.attach_obs(obs.clone());
+        let (loaded, _report) = recover(
+            IndexConfig::default(),
+            &mut vol2,
+            &mut store,
+            Some(&archive),
+        )
+        .unwrap();
+        let mut loaded = loaded.unwrap();
+        assert_eq!(obs.counter("recover.rebuilds").get(), 1);
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+}

@@ -7,6 +7,7 @@ use wave_obs::{Counter, Histogram, Obs};
 use crate::block::{Extent, BLOCK_SIZE};
 use crate::cache::BlockCache;
 use crate::error::{StorageError, StorageResult};
+use crate::fault::FaultPlan;
 use crate::stats::IoStats;
 
 /// Metric handles a disk updates on its hot path, resolved once at
@@ -105,9 +106,8 @@ pub struct SimDisk {
     head: Option<u64>,
     stats: IoStats,
     cache: BlockCache,
-    /// Remaining successful I/O calls before failures begin; `None`
-    /// disables injection.
-    fault_in: Option<u64>,
+    /// Armed fault-injection plan (disarmed by default).
+    fault: FaultPlan,
     obs: Obs,
     metrics: DiskMetrics,
 }
@@ -127,7 +127,7 @@ impl SimDisk {
             head: None,
             stats: IoStats::default(),
             cache: BlockCache::new(cfg.cache_blocks),
-            fault_in: None,
+            fault: FaultPlan::disarmed(),
             metrics: DiskMetrics::new(&obs),
             obs,
         }
@@ -179,22 +179,19 @@ impl SimDisk {
     /// every call after that fails with [`StorageError::Injected`]
     /// until [`SimDisk::clear_fault`].
     pub fn inject_failure_after(&mut self, ops: u64) {
-        self.fault_in = Some(ops);
+        self.fault.arm_after(ops);
     }
 
     /// Disarms fault injection.
     pub fn clear_fault(&mut self) {
-        self.fault_in = None;
+        self.fault.clear();
     }
 
     fn check_fault(&mut self) -> StorageResult<()> {
-        match &mut self.fault_in {
-            None => Ok(()),
-            Some(0) => Err(StorageError::Injected),
-            Some(n) => {
-                *n -= 1;
-                Ok(())
-            }
+        if self.fault.fires() {
+            Err(StorageError::Injected)
+        } else {
+            Ok(())
         }
     }
 

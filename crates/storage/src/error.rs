@@ -38,6 +38,27 @@ pub enum StorageError {
     /// A failure injected by [`crate::SimDisk::inject_failure_after`]
     /// (testing only).
     Injected,
+    /// A transient environmental failure worth retrying (e.g. an
+    /// interrupted syscall, or one injected by
+    /// [`crate::FaultyStore::arm_transient`]). See
+    /// [`crate::RetryPolicy`].
+    Transient(String),
+}
+
+impl StorageError {
+    /// Whether the error belongs to the transient class a
+    /// [`crate::RetryPolicy`] may retry. Everything else — corruption,
+    /// logic errors, injected crashes — must surface immediately.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Transient(_) => true,
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -58,6 +79,7 @@ impl fmt::Display for StorageError {
             StorageError::FileNotFound(name) => write!(f, "file {name:?} not found in store"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Injected => write!(f, "injected I/O failure"),
+            StorageError::Transient(msg) => write!(f, "transient I/O failure: {msg}"),
         }
     }
 }
@@ -103,5 +125,16 @@ mod tests {
     fn double_free_message() {
         let e = StorageError::DoubleFree { start: 7, len: 3 };
         assert!(e.to_string().contains("[7, +3)"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(StorageError::Transient("net blip".into()).is_transient());
+        let interrupted: StorageError = io::Error::new(io::ErrorKind::Interrupted, "signal").into();
+        assert!(interrupted.is_transient());
+        let hard: StorageError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!hard.is_transient());
+        assert!(!StorageError::Injected.is_transient());
+        assert!(!StorageError::EmptyExtent.is_transient());
     }
 }

@@ -1,0 +1,410 @@
+//! Fault injection shared by the simulated disk and the file store.
+//!
+//! Three pieces live here:
+//!
+//! * [`FaultPlan`] — the "succeed for `n` operations, then fire"
+//!   arming logic that [`crate::SimDisk`] and [`FaultyStore`] both
+//!   count down on.
+//! * [`FaultyStore`] — an [`IndexStore`] wrapper with the same API
+//!   that simulates *crash points* (torn writes that persist only a
+//!   prefix, files fully written but lost before the rename, clean
+//!   process death) and *transient* I/O errors.
+//! * [`RetryPolicy`] — a bounded retry/backoff loop for the transient
+//!   error class, used by the persistence layer's commit path.
+
+use std::time::Duration;
+
+use wave_obs::Counter;
+
+use crate::error::{StorageError, StorageResult};
+use crate::file::IndexStore;
+
+/// Countdown-armed fault trigger.
+///
+/// A plan is either disarmed (never fires) or armed with a number of
+/// operations that still succeed; every operation after the countdown
+/// reaches zero fires the fault until the plan is cleared. This is
+/// exactly the `inject_failure_after(n)` semantics the simulated disk
+/// has always had, extracted so the file-store wrapper shares it.
+///
+/// ```
+/// use wave_storage::FaultPlan;
+///
+/// let mut plan = FaultPlan::default();
+/// assert!(!plan.fires()); // disarmed: never fires
+/// plan.arm_after(2);
+/// assert!(!plan.fires());
+/// assert!(!plan.fires());
+/// assert!(plan.fires()); // third operation fails
+/// assert!(plan.fires()); // and keeps failing until cleared
+/// plan.clear();
+/// assert!(!plan.fires());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Remaining successful operations before the fault fires; `None`
+    /// disables injection.
+    countdown: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never fires.
+    pub const fn disarmed() -> Self {
+        FaultPlan { countdown: None }
+    }
+
+    /// Arms the plan: the next `ops` operations succeed, every one
+    /// after that fires.
+    pub fn arm_after(&mut self, ops: u64) {
+        self.countdown = Some(ops);
+    }
+
+    /// Disarms the plan.
+    pub fn clear(&mut self) {
+        self.countdown = None;
+    }
+
+    /// Whether the plan is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.countdown.is_some()
+    }
+
+    /// Counts one operation; returns `true` if the fault fires on it.
+    pub fn fires(&mut self) -> bool {
+        match &mut self.countdown {
+            None => false,
+            Some(0) => true,
+            Some(n) => {
+                *n -= 1;
+                false
+            }
+        }
+    }
+}
+
+/// What a [`FaultyStore`] crash leaves on disk for the operation it
+/// interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The operation has no effect: the process died just before it.
+    Clean,
+    /// A torn write: only a prefix of the contents reaches the
+    /// temporary file, which is never renamed into place.
+    Torn,
+    /// The temporary file is fully written and synced but the process
+    /// dies before the rename publishes it.
+    Unrenamed,
+}
+
+impl CrashMode {
+    /// All crash modes, for exhaustive crash-point exploration.
+    pub const ALL: [CrashMode; 3] = [CrashMode::Clean, CrashMode::Torn, CrashMode::Unrenamed];
+}
+
+/// A fault-injecting [`IndexStore`] wrapper.
+///
+/// Two independent fault classes can be armed:
+///
+/// * **Crash** ([`FaultyStore::arm_crash`]): after `n` successful
+///   operations the store "dies" — the interrupted operation leaves
+///   the partial on-disk state its [`CrashMode`] describes, and every
+///   operation from then on fails with [`StorageError::Injected`],
+///   modelling a dead process. Reopen the directory with a fresh
+///   store (and run recovery) to continue, exactly as a restarted
+///   process would.
+/// * **Transient** ([`FaultyStore::arm_transient`]): after `n`
+///   successful operations the next `count` operations fail with
+///   [`StorageError::Transient`], then service recovers. Paired with
+///   [`RetryPolicy`] this exercises the bounded-retry path.
+#[derive(Debug)]
+pub struct FaultyStore<S: IndexStore> {
+    inner: S,
+    crash_plan: FaultPlan,
+    mode: CrashMode,
+    crashed: bool,
+    transient_plan: FaultPlan,
+    transient_left: u64,
+}
+
+impl<S: IndexStore> FaultyStore<S> {
+    /// Wraps `inner` with all faults disarmed.
+    pub fn new(inner: S) -> Self {
+        FaultyStore {
+            inner,
+            crash_plan: FaultPlan::disarmed(),
+            mode: CrashMode::Clean,
+            crashed: false,
+            transient_plan: FaultPlan::disarmed(),
+            transient_left: 0,
+        }
+    }
+
+    /// Arms a crash: the next `ops` store operations succeed, the one
+    /// after that dies mid-flight in the given `mode`.
+    pub fn arm_crash(&mut self, ops: u64, mode: CrashMode) {
+        self.crash_plan.arm_after(ops);
+        self.mode = mode;
+    }
+
+    /// Arms a transient burst: after `ops` successful operations, the
+    /// next `count` fail with [`StorageError::Transient`].
+    pub fn arm_transient(&mut self, ops: u64, count: u64) {
+        self.transient_plan.arm_after(ops);
+        self.transient_left = count;
+    }
+
+    /// Whether the armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The wrapped store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Common gate every operation passes through; `Err` means the
+    /// operation must not run.
+    fn gate(&mut self) -> StorageResult<()> {
+        if self.crashed {
+            return Err(StorageError::Injected);
+        }
+        if self.transient_plan.fires() {
+            if self.transient_left > 0 {
+                self.transient_left -= 1;
+                return Err(StorageError::Transient(
+                    "injected transient store failure".into(),
+                ));
+            }
+            self.transient_plan.clear();
+        }
+        Ok(())
+    }
+
+    /// Checks the crash plan for one operation; on fire, records the
+    /// death and reports whether the caller must apply partial
+    /// effects.
+    fn crash_fires(&mut self) -> bool {
+        if self.crash_plan.fires() {
+            self.crashed = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<S: IndexStore> IndexStore for FaultyStore<S> {
+    fn put(&mut self, name: &str, contents: &[u8]) -> StorageResult<()> {
+        self.gate()?;
+        if self.crash_fires() {
+            // The interrupted `put` was temp-write + rename; model the
+            // on-disk residue of dying at each stage.
+            match self.mode {
+                CrashMode::Clean => {}
+                CrashMode::Torn => {
+                    let torn = &contents[..contents.len() / 2];
+                    self.inner.put(&format!("{name}.tmp"), torn)?;
+                }
+                CrashMode::Unrenamed => {
+                    self.inner.put(&format!("{name}.tmp"), contents)?;
+                }
+            }
+            return Err(StorageError::Injected);
+        }
+        self.inner.put(name, contents)
+    }
+
+    fn get(&mut self, name: &str) -> StorageResult<Option<Vec<u8>>> {
+        self.gate()?;
+        if self.crash_fires() {
+            return Err(StorageError::Injected);
+        }
+        self.inner.get(name)
+    }
+
+    fn remove(&mut self, name: &str) -> StorageResult<()> {
+        self.gate()?;
+        if self.crash_fires() {
+            return Err(StorageError::Injected);
+        }
+        self.inner.remove(name)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> StorageResult<()> {
+        self.gate()?;
+        if self.crash_fires() {
+            return Err(StorageError::Injected);
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn list(&mut self) -> StorageResult<Vec<String>> {
+        self.gate()?;
+        if self.crash_fires() {
+            return Err(StorageError::Injected);
+        }
+        self.inner.list()
+    }
+}
+
+/// Bounded retry with exponential backoff for transient store errors.
+///
+/// Only errors for which [`StorageError::is_transient`] holds are
+/// retried; crashes, corruption, and logic errors surface
+/// immediately. The backoff doubles per attempt and is capped, so the
+/// worst-case stall is `max_attempts * max_backoff`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps (for tests and simulations).
+    pub fn no_backoff(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Runs `op`, retrying transient failures. Every retry increments
+    /// `retries` (the `store.retry_attempts` observability counter).
+    pub fn run<T>(
+        &self,
+        retries: &Counter,
+        mut op: impl FnMut() -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Err(e) if e.is_transient() && attempt + 1 < self.max_attempts.max(1) => {
+                    attempt += 1;
+                    retries.inc();
+                    let backoff = self
+                        .base_backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16))
+                        .min(self.max_backoff);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileStore;
+    use wave_obs::Obs;
+
+    #[test]
+    fn fault_plan_matches_sim_disk_semantics() {
+        let mut p = FaultPlan::disarmed();
+        for _ in 0..10 {
+            assert!(!p.fires());
+        }
+        p.arm_after(0);
+        assert!(p.is_armed());
+        assert!(p.fires(), "armed at zero fails immediately");
+        p.clear();
+        assert!(!p.fires());
+    }
+
+    #[test]
+    fn crash_clean_leaves_no_residue() {
+        let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
+        s.arm_crash(1, CrashMode::Clean);
+        s.put("a", b"one").unwrap();
+        assert!(matches!(s.put("b", b"two"), Err(StorageError::Injected)));
+        assert!(s.crashed());
+        // Dead process: everything fails now.
+        assert!(matches!(s.get("a"), Err(StorageError::Injected)));
+        let mut inner = s.into_inner();
+        assert_eq!(inner.list().unwrap(), vec!["a".to_string()]);
+        inner.destroy().unwrap();
+    }
+
+    #[test]
+    fn torn_crash_persists_only_a_prefix_as_tmp() {
+        let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
+        s.arm_crash(0, CrashMode::Torn);
+        assert!(s.put("idx", b"0123456789").is_err());
+        let mut inner = s.into_inner();
+        assert_eq!(inner.list().unwrap(), vec!["idx.tmp".to_string()]);
+        assert_eq!(inner.get("idx.tmp").unwrap().unwrap(), b"01234");
+        assert_eq!(inner.get("idx").unwrap(), None);
+        inner.destroy().unwrap();
+    }
+
+    #[test]
+    fn unrenamed_crash_persists_full_tmp_without_publishing() {
+        let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
+        s.arm_crash(0, CrashMode::Unrenamed);
+        assert!(s.put("idx", b"payload").is_err());
+        let mut inner = s.into_inner();
+        assert_eq!(inner.get("idx.tmp").unwrap().unwrap(), b"payload");
+        assert_eq!(inner.get("idx").unwrap(), None);
+        inner.destroy().unwrap();
+    }
+
+    #[test]
+    fn transient_burst_recovers_and_retry_policy_rides_it_out() {
+        let obs = Obs::noop();
+        let retries = obs.counter("store.retry_attempts");
+        let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
+        s.arm_transient(0, 2);
+        let policy = RetryPolicy::no_backoff(4);
+        policy.run(&retries, || s.put("idx", b"data")).unwrap();
+        assert_eq!(retries.get(), 2);
+        assert_eq!(s.get("idx").unwrap().unwrap(), b"data");
+        assert!(!s.crashed());
+        s.into_inner().destroy().unwrap();
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let obs = Obs::noop();
+        let retries = obs.counter("r");
+        let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
+        s.arm_transient(0, 10);
+        let policy = RetryPolicy::no_backoff(3);
+        let err = policy.run(&retries, || s.put("idx", b"data")).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(retries.get(), 2, "two retries after the first failure");
+        s.into_inner().destroy().unwrap();
+    }
+
+    #[test]
+    fn retry_does_not_touch_hard_errors() {
+        let obs = Obs::noop();
+        let retries = obs.counter("r");
+        let policy = RetryPolicy::no_backoff(5);
+        let err = policy
+            .run(&retries, || -> StorageResult<()> {
+                Err(StorageError::Injected)
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Injected));
+        assert_eq!(retries.get(), 0);
+    }
+}

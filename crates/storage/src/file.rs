@@ -11,6 +11,14 @@
 //!   size" observation about Sybase).
 //! * Shadow updating maps onto write-new-file-then-rename, so queries
 //!   keep reading the old file until the atomic swap.
+//!
+//! Two APIs coexist. The original handle-based API ([`FileStore::create`],
+//! [`FileStore::read`], …) models the index layer's "one handle per
+//! live constituent". The name-based [`IndexStore`] trait is what the
+//! crash-consistent persistence layer works against: it survives
+//! process restarts (nothing is cached in memory), can be wrapped by
+//! the fault-injecting [`crate::FaultyStore`], and enumerates what is
+//! actually on disk for recovery.
 
 use std::collections::HashMap;
 use std::fs;
@@ -22,6 +30,31 @@ use crate::error::{StorageError, StorageResult};
 /// Opaque handle to a file in a [`FileStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(u64);
+
+/// Name-based store of whole files, as the crash-consistent
+/// persistence layer sees it.
+///
+/// Implementations must make [`IndexStore::put`] atomic with respect
+/// to crashes: after a crash, a name refers to either its previous
+/// contents or the new contents, never a mixture, and a successful
+/// return means the contents survive power loss.
+pub trait IndexStore {
+    /// Atomically creates or replaces `name` with `contents`.
+    fn put(&mut self, name: &str, contents: &[u8]) -> StorageResult<()>;
+
+    /// Reads the full contents of `name`, or `None` if it is absent.
+    fn get(&mut self, name: &str) -> StorageResult<Option<Vec<u8>>>;
+
+    /// Deletes `name`; deleting an absent name is a no-op.
+    fn remove(&mut self, name: &str) -> StorageResult<()>;
+
+    /// Atomically renames `from` to `to` (used to quarantine corrupt
+    /// files without destroying the evidence).
+    fn rename(&mut self, from: &str, to: &str) -> StorageResult<()>;
+
+    /// Names of every file currently in the store, sorted.
+    fn list(&mut self) -> StorageResult<Vec<String>>;
+}
 
 /// A directory of named index files with handle-based access.
 #[derive(Debug)]
@@ -68,9 +101,26 @@ impl FileStore {
         self.root.join(name)
     }
 
-    /// Creates (or truncates) a file with `contents` and returns its
-    /// handle.
-    pub fn create(&mut self, name: &str, contents: &[u8]) -> StorageResult<FileId> {
+    /// Durably syncs the store directory itself so a just-renamed
+    /// entry survives power loss. On non-Unix platforms directories
+    /// cannot be opened for syncing; renames there rely on the
+    /// filesystem journalling metadata.
+    #[cfg(unix)]
+    fn sync_dir(&self) -> StorageResult<()> {
+        fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    /// Write-new-then-rename with full fsync discipline: the payload
+    /// is synced before the rename (so the new name can never expose
+    /// torn contents) and the directory is synced after it (so the
+    /// rename itself survives power loss).
+    fn atomic_write(&self, name: &str, contents: &[u8]) -> StorageResult<()> {
         let tmp = self.path_of(&format!("{name}.tmp"));
         {
             let mut f = fs::File::create(&tmp)?;
@@ -79,6 +129,18 @@ impl FileStore {
         }
         // Atomic publish: readers never observe a half-written index.
         fs::rename(&tmp, self.path_of(name))?;
+        self.sync_dir()
+    }
+
+    /// Creates (or truncates) a file with `contents` and returns its
+    /// handle.
+    ///
+    /// Durability guarantee: on return the contents are fsynced and
+    /// published by an fsynced rename, so after a crash at any instant
+    /// `name` holds either its previous contents or `contents` in
+    /// full — never a prefix.
+    pub fn create(&mut self, name: &str, contents: &[u8]) -> StorageResult<FileId> {
+        self.atomic_write(name, contents)?;
         let id = FileId(self.next_id);
         self.next_id += 1;
         self.names.insert(id, name.to_string());
@@ -110,16 +172,13 @@ impl FileStore {
     }
 
     /// Atomically replaces the contents behind `id` (shadow swap).
+    ///
+    /// Same durability guarantee as [`FileStore::create`]: the shadow
+    /// is fsynced before the rename and the rename is made durable by
+    /// a directory fsync, so power loss never yields a torn file.
     pub fn replace(&mut self, id: FileId, contents: &[u8]) -> StorageResult<()> {
         let name = self.name_of(id)?;
-        let tmp = self.path_of(&format!("{name}.tmp"));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(contents)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, self.path_of(&name))?;
-        Ok(())
+        self.atomic_write(&name, contents)
     }
 
     /// Size of the file in bytes.
@@ -158,6 +217,50 @@ impl FileStore {
     pub fn destroy(self) -> StorageResult<()> {
         fs::remove_dir_all(&self.root)?;
         Ok(())
+    }
+}
+
+impl IndexStore for FileStore {
+    fn put(&mut self, name: &str, contents: &[u8]) -> StorageResult<()> {
+        self.atomic_write(name, contents)
+    }
+
+    fn get(&mut self, name: &str) -> StorageResult<Option<Vec<u8>>> {
+        match fs::read(self.path_of(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> StorageResult<()> {
+        match fs::remove_file(self.path_of(name)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> StorageResult<()> {
+        match fs::rename(self.path_of(from), self.path_of(to)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::FileNotFound(from.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&mut self) -> StorageResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
     }
 }
 
@@ -221,6 +324,58 @@ mod tests {
             s.read(FileId(99)),
             Err(StorageError::FileNotFound(_))
         ));
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn name_api_put_get_remove_list() {
+        let mut s = FileStore::open_temp().unwrap();
+        s.put("b", b"two").unwrap();
+        s.put("a", b"one").unwrap();
+        assert_eq!(s.get("a").unwrap().unwrap(), b"one");
+        assert_eq!(s.get("missing").unwrap(), None);
+        assert_eq!(s.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        s.put("a", b"replaced").unwrap();
+        assert_eq!(s.get("a").unwrap().unwrap(), b"replaced");
+        s.remove("a").unwrap();
+        s.remove("a").unwrap(); // idempotent
+        assert_eq!(s.list().unwrap(), vec!["b".to_string()]);
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn rename_moves_and_reports_missing_source() {
+        let mut s = FileStore::open_temp().unwrap();
+        s.put("live", b"data").unwrap();
+        s.rename("live", "live.quar").unwrap();
+        assert_eq!(s.get("live").unwrap(), None);
+        assert_eq!(s.get("live.quar").unwrap().unwrap(), b"data");
+        assert!(matches!(
+            s.rename("gone", "anywhere"),
+            Err(StorageError::FileNotFound(_))
+        ));
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn list_sees_files_from_a_previous_incarnation() {
+        let mut s = FileStore::open_temp().unwrap();
+        s.put("survivor", b"x").unwrap();
+        let root = s.root().to_path_buf();
+        // A fresh store over the same directory (simulating a process
+        // restart) still enumerates and reads what is on disk.
+        let mut reopened = FileStore::open(&root).unwrap();
+        assert_eq!(reopened.list().unwrap(), vec!["survivor".to_string()]);
+        assert_eq!(reopened.get("survivor").unwrap().unwrap(), b"x");
+        reopened.destroy().unwrap();
+    }
+
+    #[test]
+    fn no_tmp_residue_after_successful_writes() {
+        let mut s = FileStore::open_temp().unwrap();
+        s.put("idx", b"payload").unwrap();
+        s.put("idx", b"payload2").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["idx".to_string()]);
         s.destroy().unwrap();
     }
 }

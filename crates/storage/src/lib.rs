@@ -17,7 +17,13 @@
 //!   code works against.
 //! * [`FileStore`] — a real, file-backed store (one file per
 //!   constituent index) demonstrating the paper's "throw away a whole
-//!   index" bulk delete as an `O(1)` file unlink.
+//!   index" bulk delete as an `O(1)` file unlink, with full fsync
+//!   discipline so atomic replacement survives power loss.
+//! * Crash-consistency plumbing: [`crc64`] checksums for persisted
+//!   images and manifests, the [`IndexStore`] name-based store trait,
+//!   the fault-injecting [`FaultyStore`] wrapper with its shared
+//!   [`FaultPlan`] arming logic, and [`RetryPolicy`] for the
+//!   transient-error class.
 //!
 //! All sizes are in 4 KiB blocks unless stated otherwise.
 //!
@@ -31,8 +37,10 @@
 pub mod alloc;
 pub mod block;
 pub mod cache;
+pub mod checksum;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod stats;
 pub mod volume;
@@ -40,9 +48,11 @@ pub mod volume;
 pub use alloc::ExtentAllocator;
 pub use block::{BlockAddr, Extent, BLOCK_SIZE};
 pub use cache::BlockCache;
+pub use checksum::{crc64, Crc64};
 pub use disk::{DiskConfig, SimDisk};
 pub use error::{StorageError, StorageResult};
-pub use file::{FileId, FileStore};
+pub use fault::{CrashMode, FaultPlan, FaultyStore, RetryPolicy};
+pub use file::{FileId, FileStore, IndexStore};
 pub use stats::{IoStats, StatsDelta};
 pub use volume::Volume;
 pub use wave_obs::Obs;

@@ -37,9 +37,9 @@ fn driver_runs_article_stream_for_every_scheme() {
     }
 }
 
-/// A wave index survives a trip through the real filesystem: save to
-/// a FileStore, reload into a fresh volume, and answer the same
-/// queries.
+/// A wave index survives a trip through the real filesystem: commit
+/// to a FileStore under a manifest, reload the committed epoch into a
+/// fresh volume through a cold reopen, and answer the same queries.
 #[test]
 fn wave_persists_through_file_store() {
     let (w, n) = (8u32, 4usize);
@@ -56,37 +56,41 @@ fn wave_persists_through_file_store() {
     }
 
     let mut store = FileStore::open_temp().unwrap();
-    persist::save_wave(scheme.wave(), &mut vol, &mut store).unwrap();
-    assert!(store.total_bytes().unwrap() > 0);
+    let report = persist::commit_wave(
+        scheme.wave(),
+        &mut vol,
+        &mut store,
+        &wave_indices::storage::RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(report.epoch, 1);
+    assert!(report.bytes_written > 0);
 
-    let mut vol2 = Volume::default();
+    // Reopen the directory cold, as a restarted process would.
     let root = store.root().to_path_buf();
-    let mut loaded =
-        persist::load_wave(
-            n,
-            Default::default(),
-            &mut vol2,
-            &store,
-            |_, name| match std::fs::read(root.join(name)) {
-                Ok(bytes) => Ok(Some(bytes)),
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-                Err(e) => Err(wave_indices::index::IndexError::Storage(e.into())),
-            },
-        )
-        .unwrap();
+    let mut store2 = FileStore::open(&root).unwrap();
+    let mut vol2 = Volume::default();
+    let mut loaded = persist::load_committed(Default::default(), &mut vol2, &mut store2)
+        .unwrap()
+        .expect("committed wave present");
+    assert_eq!(loaded.manifest.epoch, 1);
+    assert!(
+        loaded.provenance.iter().all(|p| p.verified),
+        "every slot must load through a verified checksum"
+    );
 
     for rank in [1usize, 5, 40] {
         let value = ArticleGenerator::word(rank);
         let mut a = scheme.wave().index_probe(&mut vol, &value).unwrap().entries;
-        let mut b = loaded.index_probe(&mut vol2, &value).unwrap().entries;
+        let mut b = loaded.wave.index_probe(&mut vol2, &value).unwrap().entries;
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "word rank {rank}");
     }
-    assert_eq!(loaded.entry_count(), scheme.wave().entry_count());
+    assert_eq!(loaded.wave.entry_count(), scheme.wave().entry_count());
 
     scheme.release(&mut vol).unwrap();
-    loaded.release_all(&mut vol2).unwrap();
+    loaded.wave.release_all(&mut vol2).unwrap();
     store.destroy().unwrap();
 }
 
