@@ -11,6 +11,9 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
@@ -20,5 +23,17 @@ cargo test -q --workspace --offline
 # oracle-exact wave with zero orphans.
 echo "==> crash-point explorer"
 cargo test -q -p wave-index --test crash_recovery --offline
+
+# The parallel-engine gates, also named explicitly: readers racing
+# epoch-committing maintenance must always see a committed epoch, and
+# the measured multi-arm speedups must track the analytic predictions
+# (--smoke keeps the sweep CI-sized; the full sweep is
+# `wavectl bench-parallel`).
+echo "==> concurrency stress"
+cargo test -q -p wave-index --test concurrent_stress --offline
+
+echo "==> bench-parallel --smoke"
+cargo run -q --release --offline -p wavectl -- bench-parallel --smoke \
+  --out target/BENCH_parallel_smoke.json >/dev/null
 
 echo "CI OK"

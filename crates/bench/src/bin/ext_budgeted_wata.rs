@@ -1,7 +1,7 @@
 //! Extension: WATA* vs the budgeted (Kleinberg-style) online variant
 //! on the Usenet volume series.
 //!
-//! The paper cites [KMRV97]'s improvement of the competitive ratio
+//! The paper cites \[KMRV97\]'s improvement of the competitive ratio
 //! from 2 to n/(n−1) when the maximum window size `M` is known ahead
 //! of time. This compares the two online algorithms' peak index sizes
 //! (relative to the eager-deletion floor) over 200 days of seasonal

@@ -14,9 +14,11 @@
 //!   the simulated disk.
 
 pub mod harness;
+pub mod parallel;
 pub mod render;
 pub mod sim;
 
 pub use harness::Group;
+pub use parallel::{run_sweep, MixResult, ParallelSweep};
 pub use render::{render_figure, write_figure_csv};
 pub use sim::{simulate_case, SimCase, SimOutcome};

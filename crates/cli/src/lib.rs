@@ -23,6 +23,7 @@
 //! wavectl recover DIR           # repair it after a crash
 //! wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]
 //! wavectl report FILE
+//! wavectl bench-parallel [--smoke] [--out FILE]
 //! ```
 //!
 //! Besides the replayable day files, `add` also *commits* the rebuilt
@@ -36,6 +37,13 @@
 //! tracing on and emits the JSONL event stream (see DESIGN.md
 //! "Observability"); `report` folds such a stream back into a
 //! per-phase summary table.
+//!
+//! `bench-parallel` runs the multi-disk throughput sweep (paper
+//! Section 8): every scheme × query mix × arm count, measured on a
+//! live [`wave_index::WaveServer`] over a [`wave_storage::DiskArray`]
+//! and checked against the analytic placement predictions. The full
+//! document lands in `BENCH_parallel.json` (see EXPERIMENTS.md
+//! "Reproducing the parallel speedup curve").
 
 use std::fmt;
 use std::fs;
@@ -325,11 +333,13 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report> …";
+    let usage =
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
         "report" => return cmd_report(&args[1..]),
+        "bench-parallel" => return cmd_bench_parallel(&args[1..]),
         _ => {}
     }
     let dir = PathBuf::from(args.get(1).ok_or_else(|| CliError::Usage(usage.into()))?);
@@ -877,6 +887,74 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     summarize_trace(&jsonl)
 }
 
+/// Runs the parallel throughput sweep and renders its summary table.
+/// Split from the flag parsing so tests can exercise it directly.
+pub fn run_bench_parallel(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::parallel::{check, render_json, run_sweep, ParallelSweep};
+
+    let sweep = if smoke {
+        ParallelSweep::smoke()
+    } else {
+        ParallelSweep::full()
+    };
+    let results = run_sweep(&sweep);
+    fs::write(out_path, render_json(&sweep, &results))?;
+
+    let mut out = format!(
+        "{:<10} {:<14} {:>4} {:>10} {:>10} {:>9}\n",
+        "scheme", "mix", "arms", "measured", "analytic", "deviation"
+    );
+    for r in &results {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>4} {:>9.2}x {:>9.2}x {:>8.1}%\n",
+            r.scheme,
+            r.mix,
+            r.arms,
+            r.measured_speedup(),
+            r.analytic_speedup(),
+            r.deviation() * 100.0
+        ));
+    }
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    match check(&results, sweep.tolerance) {
+        Ok(()) => {
+            out.push_str(&format!(
+                "uniform-probe speedups within {:.0}% of the analytic predictions\n",
+                sweep.tolerance * 100.0
+            ));
+            Ok(out)
+        }
+        Err(violations) => Err(CliError::State(format!(
+            "speedup deviates from the analytic prediction:\n  {}",
+            violations.join("\n  ")
+        ))),
+    }
+}
+
+fn cmd_bench_parallel(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl bench-parallel [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_parallel.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_bench_parallel(smoke, &out_path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1187,6 +1265,44 @@ mod tests {
         let missing = dir.join("nope");
         let err = run(&s(&["fsck", missing.to_str().unwrap()])).unwrap_err();
         assert!(matches!(err, CliError::State(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `bench-parallel --smoke` writes a parseable BENCH document and
+    /// reports every cell within tolerance.
+    #[test]
+    fn bench_parallel_smoke_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_parallel.json");
+        let out = run(&s(&[
+            "bench-parallel",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("uniform-probe speedups within"), "{out}");
+        assert!(out.contains("scheme"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        assert!(
+            doc.contains("\"schema\":\"wave-bench/parallel/v1\""),
+            "{doc}"
+        );
+        // Every object in the cases array is itself flat JSON.
+        let cases = doc
+            .split_once("\"cases\":[")
+            .expect("document has a cases array")
+            .1
+            .trim_end_matches(['}', ']']);
+        let mut parsed = 0;
+        for case in cases.split("},{") {
+            let case = format!("{{{}}}", case.trim_matches(['{', '}']));
+            assert!(parse_flat(&case).is_some(), "unparseable case: {case}");
+            parsed += 1;
+        }
+        assert!(parsed >= 12, "smoke sweep has 12 cells, parsed {parsed}");
+        let err = run(&s(&["bench-parallel", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
     }
 

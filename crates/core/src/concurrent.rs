@@ -20,9 +20,13 @@ use wave_storage::Volume;
 
 /// A wave index shareable across threads.
 ///
-/// The volume is a single simulated device, so queries serialise on
-/// it (as they would on one disk arm); the point demonstrated here is
-/// *correctness* under concurrent swaps, not parallel I/O.
+/// The volume is a single simulated device, so individual bucket
+/// accesses serialise on it (as they would on one disk arm) — but
+/// only bucket accesses, never whole queries: the volume mutex is
+/// released between constituents so concurrent readers interleave.
+/// The point demonstrated here is *correctness* under concurrent
+/// swaps; for true parallel I/O across independent arms see
+/// [`crate::server::WaveServer`].
 #[derive(Clone)]
 pub struct SharedWave {
     wave: Arc<RwLock<WaveIndex>>,
@@ -40,17 +44,61 @@ impl SharedWave {
 
     /// `TimedIndexProbe` under a read lock: sees one consistent
     /// generation of every constituent.
+    ///
+    /// The wave read lock spans the query (that is what makes the
+    /// generation consistent), but the volume mutex is taken per
+    /// constituent access, so concurrent readers interleave their
+    /// disk requests instead of serialising whole queries.
     pub fn probe(&self, value: &SearchValue, range: TimeRange) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave.read().unwrap();
-        let mut vol = self.vol.lock().unwrap();
-        Ok(wave.timed_index_probe(&mut vol, value, range)?.entries)
+        self.probe_paced(value, range, || {})
     }
 
-    /// `TimedSegmentScan` under a read lock.
+    /// [`Self::probe`] with a hook called between per-constituent
+    /// volume critical sections, while no volume lock is held. The
+    /// hook exists so tests can prove another reader's entire query
+    /// fits inside the gap.
+    fn probe_paced(
+        &self,
+        value: &SearchValue,
+        range: TimeRange,
+        mut between: impl FnMut(),
+    ) -> IndexResult<Vec<Entry>> {
+        let wave = self.wave.read().unwrap();
+        let mut entries = Vec::new();
+        let mut first = true;
+        for (_, idx) in wave.iter() {
+            let Some((lo, hi)) = idx.day_span() else {
+                continue;
+            };
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            if !first {
+                between();
+            }
+            first = false;
+            let mut vol = self.vol.lock().unwrap();
+            entries.extend(idx.probe_in(&mut vol, value, range)?);
+        }
+        Ok(entries)
+    }
+
+    /// `TimedSegmentScan` under a read lock, with the same narrow
+    /// per-constituent volume critical section as [`Self::probe`].
     pub fn scan(&self, range: TimeRange) -> IndexResult<Vec<Entry>> {
         let wave = self.wave.read().unwrap();
-        let mut vol = self.vol.lock().unwrap();
-        Ok(wave.timed_segment_scan(&mut vol, range)?.entries)
+        let mut entries = Vec::new();
+        for (_, idx) in wave.iter() {
+            let Some((lo, hi)) = idx.day_span() else {
+                continue;
+            };
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            let mut vol = self.vol.lock().unwrap();
+            entries.extend(idx.scan_in(&mut vol, range)?);
+        }
+        Ok(entries)
     }
 
     /// Runs maintenance I/O against the volume without excluding
@@ -96,6 +144,59 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    /// Regression test for the over-wide critical section: `probe`
+    /// used to hold the volume mutex for the *entire* query, so a
+    /// second reader could not start until the first finished. Now
+    /// the mutex covers one constituent access at a time — reader
+    /// B's whole probe completes while reader A sits between two of
+    /// its own volume critical sections.
+    #[test]
+    fn two_readers_interleave_on_the_volume() {
+        let mut vol = Volume::default();
+        let mut wave = WaveIndex::with_slots(2);
+        for j in 0..2u32 {
+            let idx = ConstituentIndex::build_packed(
+                format!("I{j}"),
+                IndexConfig::default(),
+                &mut vol,
+                &[&batch(j + 1, 5)],
+            )
+            .unwrap();
+            wave.install(j as usize, idx);
+        }
+        let shared = SharedWave::new(wave, vol);
+
+        let (go_tx, go_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let reader_b = {
+            let s = shared.clone();
+            std::thread::spawn(move || {
+                go_rx.recv().unwrap();
+                let hits = s.probe(&SearchValue::from("k"), TimeRange::all()).unwrap();
+                done_tx.send(hits.len()).unwrap();
+            })
+        };
+
+        let mut gaps = 0;
+        let hits = shared
+            .probe_paced(&SearchValue::from("k"), TimeRange::all(), || {
+                gaps += 1;
+                go_tx.send(()).unwrap();
+                // If the volume lock still spanned the whole query, B
+                // would block behind A here and this recv would time
+                // out instead of observing B's completed probe.
+                let b_hits = done_rx
+                    .recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("reader B must finish while A is mid-query");
+                assert_eq!(b_hits, 10, "B sees both constituents");
+            })
+            .unwrap();
+        assert_eq!(gaps, 1, "two constituents probed, one gap between");
+        assert_eq!(hits.len(), 10);
+        reader_b.join().unwrap();
+        shared.release().unwrap();
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The CONTIGUOUS incremental-indexing policy of Faloutsos & Jagadish
-//! [FJ92], which the paper adopts for `AddToIndex`/`DeleteFromIndex`
+//! \[FJ92\], which the paper adopts for `AddToIndex`/`DeleteFromIndex`
 //! (Section 5, "Implementation parameters").
 //!
 //! Each search value's bucket lives in its own contiguous extent. When

@@ -1,7 +1,7 @@
 //! Day-by-day driver: feeds a scheme its batches, runs the query
 //! workload, and measures everything the paper's evaluation reports.
 //!
-//! Each day is traced as one `day` span on the volume's [`Obs`]
+//! Each day is traced as one `day` span on the volume's [`Obs`](wave_obs::Obs)
 //! containing four `phase` events — `precomp`, `transition`, `post`,
 //! `query` — mirroring the paper's four performance measures. The
 //! phase events carry the *exact* `f64` simulated seconds that land

@@ -52,6 +52,8 @@
 //! assert_eq!(hits.entries.len(), 7);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod concurrent;
 pub mod contiguous;
 pub mod directory;
@@ -65,6 +67,7 @@ pub mod query;
 pub mod record;
 pub mod recovery;
 pub mod schemes;
+pub mod server;
 pub mod update;
 pub mod verify;
 pub mod wave;
@@ -80,6 +83,7 @@ pub use persist::{
 pub use query::TimeRange;
 pub use record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
 pub use recovery::{fsck, recover, FsckReport, RecoverReport};
+pub use server::{ServerConfig, ServerQuery, WaveServer};
 pub use update::{UpdateTechnique, Updater};
 pub use wave::{QueryResult, WaveIndex};
 

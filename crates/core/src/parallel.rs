@@ -45,6 +45,113 @@ impl Placement {
     }
 }
 
+/// Strategy for realising a slot→arm table ([`ArmMap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Slot `j` on arm `j mod k` — the paper's "n matches the number
+    /// of disks" suggestion generalised.
+    #[default]
+    RoundRobin,
+    /// Longest-processing-time greedy: place heavy slots first, each
+    /// on the currently least-loaded arm. With skewed constituent
+    /// sizes this flattens the busiest-arm bound that governs the
+    /// parallel elapsed time.
+    Greedy,
+}
+
+/// A realised slot→arm assignment for a `k`-arm disk array.
+///
+/// This is the concrete table the [`Placement`] model abstracts: the
+/// analytic `RoundRobin` placement maps onto
+/// [`ArmMap::round_robin`], and [`ArmMap::greedy`] adds the
+/// load-balancing variant used when constituent sizes are skewed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmMap {
+    arm_of: Vec<usize>,
+    arms: usize,
+}
+
+impl ArmMap {
+    /// Round-robin table: slot `j` → arm `j mod arms`.
+    ///
+    /// # Panics
+    /// Panics if `arms == 0`.
+    pub fn round_robin(slots: usize, arms: usize) -> Self {
+        assert!(arms >= 1, "an arm map needs at least one arm");
+        ArmMap {
+            arm_of: (0..slots).map(|j| j % arms).collect(),
+            arms,
+        }
+    }
+
+    /// Greedy (longest-processing-time) table: slots sorted by
+    /// descending `weight` are each assigned to the least-loaded arm.
+    /// Weights are any additive per-slot cost proxy — blocks,
+    /// entries, or measured seconds. Ties break on the lowest arm
+    /// index so the table is deterministic.
+    ///
+    /// # Panics
+    /// Panics if `arms == 0`.
+    pub fn greedy(weights: &[u64], arms: usize) -> Self {
+        assert!(arms >= 1, "an arm map needs at least one arm");
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by_key(|&j| (std::cmp::Reverse(weights[j]), j));
+        let mut load = vec![0u64; arms];
+        let mut arm_of = vec![0usize; weights.len()];
+        for j in order {
+            let arm = (0..arms).min_by_key(|&a| (load[a], a)).expect("arms >= 1");
+            arm_of[j] = arm;
+            load[arm] += weights[j];
+        }
+        ArmMap { arm_of, arms }
+    }
+
+    /// Builds the table a strategy prescribes for `slots` slots of
+    /// the given `weights` (round-robin ignores the weights).
+    pub fn build(strategy: PlacementStrategy, weights: &[u64], arms: usize) -> Self {
+        match strategy {
+            PlacementStrategy::RoundRobin => Self::round_robin(weights.len(), arms),
+            PlacementStrategy::Greedy => Self::greedy(weights, arms),
+        }
+    }
+
+    /// Number of arms the table spreads over.
+    pub fn arms(&self) -> usize {
+        self.arms
+    }
+
+    /// Number of slots mapped.
+    pub fn slots(&self) -> usize {
+        self.arm_of.len()
+    }
+
+    /// Arm owning `slot`.
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn arm_of(&self, slot: usize) -> usize {
+        self.arm_of[slot]
+    }
+
+    /// The slots placed on `arm`, ascending.
+    pub fn slots_on(&self, arm: usize) -> Vec<usize> {
+        self.arm_of
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &a)| (a == arm).then_some(j))
+            .collect()
+    }
+}
+
+impl From<Placement> for ArmMap {
+    /// Realises an analytic placement over as many slots as it has
+    /// disks (the paper's `n = k` configuration). For other slot
+    /// counts use [`ArmMap::round_robin`] directly.
+    fn from(p: Placement) -> Self {
+        ArmMap::round_robin(p.disks(), p.disks())
+    }
+}
+
 /// A query's cost broken down per constituent slot.
 #[derive(Debug)]
 pub struct DetailedQuery {
@@ -68,6 +175,17 @@ impl DetailedQuery {
             per_disk[placement.disk_of(slot)] += secs;
         }
         per_disk.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Elapsed seconds under a realised slot→arm table: the busiest
+    /// arm bounds the query. This is the analytic prediction the
+    /// measured `WaveServer` elapsed times are checked against.
+    pub fn parallel_seconds_on(&self, map: &ArmMap) -> f64 {
+        let mut per_arm = vec![0.0f64; map.arms()];
+        for &(slot, secs) in &self.per_slot {
+            per_arm[map.arm_of(slot)] += secs;
+        }
+        per_arm.into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -188,5 +306,64 @@ mod tests {
     fn wave_cleanup(mut wave: WaveIndex, vol: &mut Volume) {
         wave.release_all(vol).unwrap();
         assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn arm_map_round_robin_matches_placement() {
+        let map = ArmMap::round_robin(6, 3);
+        let p = Placement::RoundRobin { disks: 3 };
+        for j in 0..6 {
+            assert_eq!(map.arm_of(j), p.disk_of(j));
+        }
+        assert_eq!(map.slots_on(1), vec![1, 4]);
+        let q = DetailedQuery {
+            entries: Vec::new(),
+            per_slot: vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 1.0), (4, 2.0), (5, 3.0)],
+        };
+        assert_eq!(q.parallel_seconds_on(&map), q.parallel_seconds(p));
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_skew() {
+        // One huge slot and three small ones on two arms: round-robin
+        // pairs the huge slot with a small one (bound 10 + 1), greedy
+        // isolates it (bound max(10, 3)).
+        let weights = [10u64, 1, 1, 1];
+        let rr = ArmMap::round_robin(4, 2);
+        let greedy = ArmMap::greedy(&weights, 2);
+        let q = DetailedQuery {
+            entries: Vec::new(),
+            per_slot: weights
+                .iter()
+                .enumerate()
+                .map(|(j, &w)| (j, w as f64))
+                .collect(),
+        };
+        assert_eq!(q.parallel_seconds_on(&rr), 11.0);
+        assert_eq!(q.parallel_seconds_on(&greedy), 10.0);
+        // Every slot is still placed exactly once.
+        let mut seen = [false; 4];
+        for arm in 0..2 {
+            for j in greedy.slots_on(arm) {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn build_dispatches_on_strategy() {
+        let weights = [5u64, 5, 5, 5];
+        assert_eq!(
+            ArmMap::build(PlacementStrategy::RoundRobin, &weights, 2),
+            ArmMap::round_robin(4, 2)
+        );
+        let g = ArmMap::build(PlacementStrategy::Greedy, &weights, 2);
+        // Equal weights: greedy balances two slots per arm.
+        assert_eq!(g.slots_on(0).len(), 2);
+        assert_eq!(g.slots_on(1).len(), 2);
+        let from: ArmMap = Placement::RoundRobin { disks: 4 }.into();
+        assert_eq!(from, ArmMap::round_robin(4, 4));
     }
 }

@@ -1,10 +1,10 @@
 //! Budgeted WATA: the `n/(n−1)`-competitive online variant.
 //!
-//! Section 3.3 notes that Kleinberg et al. [KMRV97] improved WATA*'s
+//! Section 3.3 notes that Kleinberg et al. \[KMRV97\] improved WATA*'s
 //! competitive ratio from 2 to `n/(n−1)` by assuming the algorithm
 //! knows, ahead of time, the maximum index size `M` ever required for
 //! a window. This module implements a budgeted scheme in that spirit
-//! (reconstructed from the property the paper states, since [KMRV97]
+//! (reconstructed from the property the paper states, since \[KMRV97\]
 //! gives no pseudocode here):
 //!
 //! * every fully-expired cluster is dropped immediately (eager drop,
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn respects_the_claimed_ratio_up_to_granularity() {
         // Forced-growth days occur on some shapes (the reconstruction
-        // is greedy, not the exact [KMRV97] algorithm) — the size
+        // is greedy, not the exact \[KMRV97\] algorithm) — the size
         // bound must hold regardless.
         let sizes = weekly_spiky(210);
         for (w, n) in [(7u32, 3usize), (7, 4), (14, 4), (14, 8)] {

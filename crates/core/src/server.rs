@@ -1,0 +1,941 @@
+//! A parallel multi-disk query/maintenance engine (paper Section 8).
+//!
+//! The paper closes with the observation that wave indices exploit
+//! disk arrays naturally: queries decompose per constituent, so with
+//! constituents spread over `k` disks the elapsed time of a
+//! `TimedIndexProbe`/`TimedSegmentScan` is the **maximum over disks**
+//! of the per-disk work — and "building new constituent indices on
+//! separate disks avoids contention" with the query path.
+//! [`crate::parallel`] models that analytically; [`WaveServer`]
+//! executes it.
+//!
+//! # Architecture
+//!
+//! A server owns a fixed thread pool with **one worker per arm** of a
+//! [`DiskArray`]. Each worker exclusively owns its arm's
+//! [`Volume`] and the [`ConstituentIndex`]es
+//! placed there — shared-nothing, so workers never contend on storage.
+//! A slot→arm routing table (an [`ArmMap`] realisation, round-robin
+//! or greedy by constituent weight) decides placement.
+//!
+//! Queries fan out over the arms that own intersecting slots, run
+//! concurrently, and merge in ascending slot order — so a
+//! [`WaveServer`] returns **exactly** the entries a single-threaded
+//! [`WaveIndex`](crate::wave::WaveIndex) would, in the same order,
+//! while reporting elapsed time as the busiest arm's share.
+//!
+//! # Maintenance
+//!
+//! [`WaveServer::maintain`] is shadow updating scaled to the array:
+//! the replacement constituent is built on a **dedicated maintenance
+//! arm** that serves no queries, entirely off the query path. The
+//! swap then mirrors the two-phase epoch commit of [`crate::persist`]:
+//! phase one builds the full replacement under the next epoch's label
+//! (`slot{j}.e{epoch}`, the same naming [`crate::persist::commit_wave`]
+//! writes to an [`IndexStore`](wave_storage::IndexStore)); phase two
+//! atomically flips the routing table — the only moment queries are
+//! excluded, and it is O(1) — after which the displaced constituent is
+//! garbage-collected and the arm it lived on becomes the new
+//! maintenance arm. With one slot per query arm (the paper's "n
+//! matches the number of disks" setup, plus one spare) maintenance
+//! never touches an arm a query can reach; with more slots than arms
+//! the rotation degrades gracefully to sharing the least-loaded arm.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
+use std::thread::JoinHandle;
+
+use wave_obs::{fields, Counter, Gauge, Obs};
+use wave_storage::{DiskArray, StatsDelta, Volume};
+
+use crate::entry::Entry;
+use crate::error::{IndexError, IndexResult};
+use crate::index::{ConstituentIndex, IndexConfig};
+use crate::parallel::{ArmMap, PlacementStrategy};
+use crate::query::TimeRange;
+use crate::record::{DayBatch, SearchValue};
+
+/// Server construction options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Constituent-index tuning used for every build.
+    pub index: IndexConfig,
+    /// How slots are spread over the query arms.
+    pub strategy: PlacementStrategy,
+    /// Reserve the last arm for maintenance builds (required by
+    /// [`WaveServer::maintain`]); query slots then spread over the
+    /// remaining arms. Needs an array of at least two arms.
+    pub reserve_maintenance_arm: bool,
+}
+
+/// The merged outcome of one fanned-out query.
+#[derive(Debug)]
+pub struct ServerQuery {
+    /// Matching entries, in ascending slot order — byte-identical to
+    /// a single-threaded [`crate::wave::WaveIndex`] query.
+    pub entries: Vec<Entry>,
+    /// Constituent indexes accessed across all arms.
+    pub indexes_accessed: usize,
+    /// Elapsed simulated seconds: the busiest arm's share (the
+    /// paper's max-over-disks measure).
+    pub elapsed_seconds: f64,
+    /// Total device busy time summed over arms (what one disk would
+    /// have taken).
+    pub serial_seconds: f64,
+    /// Per-arm busy seconds for this query, indexed by arm.
+    pub per_arm_seconds: Vec<f64>,
+}
+
+impl ServerQuery {
+    /// Serial-over-parallel speedup of this query (1.0 when no arm
+    /// did any work).
+    pub fn speedup(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.serial_seconds / self.elapsed_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// What one [`WaveServer::maintain`] call did.
+#[derive(Debug)]
+pub struct MaintainReport {
+    /// Epoch committed by the swap.
+    pub epoch: u64,
+    /// Arm the replacement was built on (the old maintenance arm).
+    pub built_on: usize,
+    /// Arm the displaced constituent was released from; it is the new
+    /// maintenance arm.
+    pub released_from: usize,
+    /// Simulated seconds the build charged to the maintenance arm.
+    pub build_seconds: f64,
+}
+
+/// Per-arm snapshot returned by [`WaveServer::status`].
+#[derive(Debug)]
+pub struct ArmStatus {
+    /// Arm index.
+    pub arm: usize,
+    /// Slots this arm currently owns, ascending.
+    pub slots: Vec<usize>,
+    /// Live entries across those slots.
+    pub entries: u64,
+    /// Blocks allocated on the arm.
+    pub live_blocks: u64,
+    /// Cumulative simulated busy seconds of the arm.
+    pub busy_seconds: f64,
+}
+
+/// What an arm sends back for a query request.
+struct ArmAnswer {
+    arm: usize,
+    /// `(slot, entries)` for each intersecting constituent.
+    per_slot: Vec<(usize, Vec<Entry>)>,
+    io: StatsDelta,
+}
+
+/// What an arm sends back for a build request.
+struct BuildDone {
+    arm: usize,
+    io: StatsDelta,
+}
+
+enum ArmRequest {
+    Probe {
+        value: SearchValue,
+        range: TimeRange,
+        reply: Sender<IndexResult<ArmAnswer>>,
+    },
+    Scan {
+        range: TimeRange,
+        reply: Sender<IndexResult<ArmAnswer>>,
+    },
+    Build {
+        slot: usize,
+        label: String,
+        batches: Vec<DayBatch>,
+        reply: Sender<IndexResult<BuildDone>>,
+    },
+    Drop {
+        slot: usize,
+        reply: Sender<IndexResult<()>>,
+    },
+    Status {
+        reply: Sender<ArmStatus>,
+    },
+    Shutdown {
+        reply: Sender<IndexResult<u64>>,
+    },
+}
+
+/// Worker state: exclusive ownership of one arm and its constituents.
+struct ArmState {
+    arm: usize,
+    cfg: IndexConfig,
+    vol: Volume,
+    slots: BTreeMap<usize, ConstituentIndex>,
+}
+
+impl ArmState {
+    fn answer_query(
+        &mut self,
+        probe: Option<(&SearchValue, TimeRange)>,
+        scan_range: TimeRange,
+    ) -> IndexResult<ArmAnswer> {
+        let before = self.vol.stats();
+        let mut per_slot = Vec::new();
+        for (&slot, idx) in &self.slots {
+            let Some((lo, hi)) = idx.day_span() else {
+                continue;
+            };
+            let range = probe.map_or(scan_range, |(_, r)| r);
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            let entries = match probe {
+                Some((value, r)) => idx.probe_in(&mut self.vol, value, r)?,
+                None => idx.scan_in(&mut self.vol, scan_range)?,
+            };
+            per_slot.push((slot, entries));
+        }
+        Ok(ArmAnswer {
+            arm: self.arm,
+            per_slot,
+            io: self.vol.stats().since(&before),
+        })
+    }
+
+    fn build(
+        &mut self,
+        slot: usize,
+        label: String,
+        batches: Vec<DayBatch>,
+    ) -> IndexResult<BuildDone> {
+        let before = self.vol.stats();
+        let refs: Vec<&DayBatch> = batches.iter().collect();
+        let idx = ConstituentIndex::build_packed(label, self.cfg, &mut self.vol, &refs)?;
+        if let Some(old) = self.slots.insert(slot, idx) {
+            // Rebuilding a slot in place on the same arm: the old
+            // generation is released once the new one is installed.
+            old.release(&mut self.vol)?;
+        }
+        Ok(BuildDone {
+            arm: self.arm,
+            io: self.vol.stats().since(&before),
+        })
+    }
+
+    fn run(mut self, rx: Receiver<ArmRequest>) {
+        while let Ok(req) = rx.recv() {
+            match req {
+                ArmRequest::Probe {
+                    value,
+                    range,
+                    reply,
+                } => {
+                    let _ = reply.send(self.answer_query(Some((&value, range)), range));
+                }
+                ArmRequest::Scan { range, reply } => {
+                    let _ = reply.send(self.answer_query(None, range));
+                }
+                ArmRequest::Build {
+                    slot,
+                    label,
+                    batches,
+                    reply,
+                } => {
+                    let _ = reply.send(self.build(slot, label, batches));
+                }
+                ArmRequest::Drop { slot, reply } => {
+                    let result = match self.slots.remove(&slot) {
+                        Some(idx) => idx.release(&mut self.vol),
+                        None => Ok(()),
+                    };
+                    let _ = reply.send(result);
+                }
+                ArmRequest::Status { reply } => {
+                    let _ = reply.send(ArmStatus {
+                        arm: self.arm,
+                        slots: self.slots.keys().copied().collect(),
+                        entries: self.slots.values().map(ConstituentIndex::entry_count).sum(),
+                        live_blocks: self.vol.live_blocks(),
+                        busy_seconds: self.vol.stats().sim_seconds,
+                    });
+                }
+                ArmRequest::Shutdown { reply } => {
+                    let mut result = Ok(());
+                    for (_, idx) in std::mem::take(&mut self.slots) {
+                        if let Err(e) = idx.release(&mut self.vol) {
+                            result = Err(e);
+                        }
+                    }
+                    let _ = reply.send(result.map(|()| self.vol.live_blocks()));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Per-arm handles the server side keeps: the request channel and the
+/// arm's observability instruments.
+struct ArmLink {
+    tx: Sender<ArmRequest>,
+    /// In-flight requests (server-side view), mirrored into `depth`.
+    pending: AtomicI64,
+    depth: Gauge,
+    requests: Counter,
+    seeks: Counter,
+    blocks_read: Counter,
+    blocks_written: Counter,
+    /// Cumulative busy time in microseconds (counter-friendly unit).
+    busy_us: Counter,
+}
+
+impl ArmLink {
+    fn enqueue(&self, req: ArmRequest) -> IndexResult<()> {
+        self.requests.inc();
+        self.depth
+            .set((self.pending.fetch_add(1, Ordering::Relaxed) + 1) as f64);
+        self.tx
+            .send(req)
+            .map_err(|_| IndexError::Corrupt("server arm worker is gone".into()))
+    }
+
+    fn settle(&self, io: &StatsDelta) {
+        self.depth
+            .set((self.pending.fetch_sub(1, Ordering::Relaxed) - 1) as f64);
+        self.seeks.add(io.seeks);
+        self.blocks_read.add(io.blocks_read);
+        self.blocks_written.add(io.blocks_written);
+        self.busy_us.add((io.sim_seconds * 1e6) as u64);
+    }
+}
+
+/// Routing state guarded by one `RwLock`: readers hold it for the
+/// duration of a query (so they see one consistent placement
+/// generation, as [`crate::concurrent::SharedWave`] promises);
+/// maintenance takes it exclusively only for the O(1) flip.
+struct Route {
+    arm_of: BTreeMap<usize, usize>,
+    maintenance: Option<usize>,
+}
+
+/// A parallel wave-index server over a shared-nothing disk array.
+///
+/// See the [module docs](self) for the architecture. All query
+/// methods take `&self`, so a server wrapped in an
+/// [`Arc`](std::sync::Arc) serves any number of reader threads while
+/// one maintenance thread commits epochs.
+///
+/// ```
+/// use wave_index::server::{ServerConfig, WaveServer};
+/// use wave_index::{Day, DayBatch, Record, RecordId, SearchValue, TimeRange};
+/// use wave_storage::{DiskArray, DiskConfig};
+///
+/// let server = WaveServer::launch(
+///     DiskArray::new(DiskConfig::default(), 2),
+///     ServerConfig::default(),
+///     wave_obs::Obs::noop(),
+/// );
+/// let day = |d: u32| {
+///     vec![DayBatch::new(
+///         Day(d),
+///         vec![Record::with_values(RecordId(d as u64), [SearchValue::from("war")])],
+///     )]
+/// };
+/// server.install_wave(vec![day(1), day(2)]).unwrap();
+/// let q = server.probe(&SearchValue::from("war"), TimeRange::all()).unwrap();
+/// assert_eq!(q.entries.len(), 2);
+/// assert_eq!(q.indexes_accessed, 2);
+/// server.shutdown().unwrap();
+/// ```
+pub struct WaveServer {
+    arms: Vec<ArmLink>,
+    route: RwLock<Route>,
+    epoch: AtomicU64,
+    cfg: ServerConfig,
+    obs: Obs,
+    queries: Counter,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WaveServer {
+    /// Launches one worker thread per arm of `array`. The workers
+    /// exit when the server is [shut down](WaveServer::shutdown) (or
+    /// dropped).
+    ///
+    /// # Panics
+    /// Panics if `cfg.reserve_maintenance_arm` is set on a one-arm
+    /// array.
+    pub fn launch(array: DiskArray, cfg: ServerConfig, obs: Obs) -> Self {
+        let arm_count = array.arm_count();
+        assert!(
+            !(cfg.reserve_maintenance_arm && arm_count < 2),
+            "a maintenance arm needs an array of at least two arms"
+        );
+        let mut arms = Vec::with_capacity(arm_count);
+        let mut handles = Vec::with_capacity(arm_count);
+        for (i, vol) in array.into_arms().into_iter().enumerate() {
+            let (tx, rx) = channel();
+            let state = ArmState {
+                arm: i,
+                cfg: cfg.index,
+                vol,
+                slots: BTreeMap::new(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wave-arm-{i}"))
+                    .spawn(move || state.run(rx))
+                    .expect("spawn arm worker"),
+            );
+            arms.push(ArmLink {
+                tx,
+                pending: AtomicI64::new(0),
+                depth: obs.gauge(&format!("server.arm{i}.queue_depth")),
+                requests: obs.counter(&format!("server.arm{i}.requests")),
+                seeks: obs.counter(&format!("server.arm{i}.seeks")),
+                blocks_read: obs.counter(&format!("server.arm{i}.blocks_read")),
+                blocks_written: obs.counter(&format!("server.arm{i}.blocks_written")),
+                busy_us: obs.counter(&format!("server.arm{i}.busy_us")),
+            });
+        }
+        WaveServer {
+            arms,
+            route: RwLock::new(Route {
+                arm_of: BTreeMap::new(),
+                maintenance: cfg.reserve_maintenance_arm.then_some(arm_count - 1),
+            }),
+            epoch: AtomicU64::new(0),
+            cfg,
+            queries: obs.counter("server.queries"),
+            obs,
+            handles,
+        }
+    }
+
+    /// Number of arms (including any maintenance arm).
+    pub fn arm_count(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Epoch of the current placement generation; bumped by every
+    /// [`WaveServer::maintain`] swap.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Arm currently owning `slot`, if the slot is installed.
+    pub fn arm_of(&self, slot: usize) -> Option<usize> {
+        self.route.read().unwrap().arm_of.get(&slot).copied()
+    }
+
+    /// The dedicated maintenance arm, if one was reserved.
+    pub fn maintenance_arm(&self) -> Option<usize> {
+        self.route.read().unwrap().maintenance
+    }
+
+    /// Builds and installs a whole wave: `slot_batches[j]` holds the
+    /// day batches of slot `j`. Slots are placed over the query arms
+    /// by the configured [`PlacementStrategy`] (greedy weighs slots
+    /// by entry count) and built **concurrently**, one build per arm
+    /// at a time. Returns the build elapsed time — the busiest arm's
+    /// share, the parallel-build advantage of Section 8.
+    pub fn install_wave(&self, slot_batches: Vec<Vec<DayBatch>>) -> IndexResult<f64> {
+        let route = self.route.read().unwrap();
+        let query_arms = self.query_arms(&route);
+        drop(route);
+        let weights: Vec<u64> = slot_batches
+            .iter()
+            .map(|b| b.iter().map(|d| d.entry_count() as u64).sum())
+            .collect();
+        let map = ArmMap::build(self.cfg.strategy, &weights, query_arms.len());
+        let span = self.obs.span(
+            "server.install",
+            fields![
+                ("slots", slot_batches.len() as u64),
+                ("arms", query_arms.len() as u64)
+            ],
+        );
+        let epoch = self.epoch();
+        let (tx, rx) = channel();
+        let mut placements = BTreeMap::new();
+        for (slot, batches) in slot_batches.into_iter().enumerate() {
+            let arm = query_arms[map.arm_of(slot)];
+            placements.insert(slot, arm);
+            self.arms[arm].enqueue(ArmRequest::Build {
+                slot,
+                label: format!("slot{slot}.e{epoch}"),
+                batches,
+                reply: tx.clone(),
+            })?;
+        }
+        drop(tx);
+        let mut per_arm = vec![0.0f64; self.arms.len()];
+        let mut first_err = None;
+        let mut done = 0usize;
+        // Collect every reply even on error so queue-depth gauges and
+        // the placement table stay coherent.
+        for reply in rx.iter() {
+            done += 1;
+            match reply {
+                Ok(BuildDone { arm, io }) => {
+                    self.arms[arm].settle(&io);
+                    per_arm[arm] += io.sim_seconds;
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        span.event("server.install.done", fields![("builds", done as u64)]);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut route = self.route.write().unwrap();
+        route.arm_of.extend(placements.iter());
+        drop(route);
+        Ok(per_arm.iter().fold(0.0, |a, &b| a.max(b)))
+    }
+
+    /// Which arms serve queries (all arms minus the maintenance arm).
+    fn query_arms(&self, route: &Route) -> Vec<usize> {
+        (0..self.arms.len())
+            .filter(|a| Some(*a) != route.maintenance)
+            .collect()
+    }
+
+    /// `TimedIndexProbe` fanned out over the owning arms.
+    pub fn probe(&self, value: &SearchValue, range: TimeRange) -> IndexResult<ServerQuery> {
+        self.fan_out(Some(value), range)
+    }
+
+    /// `TimedSegmentScan` fanned out over the owning arms.
+    pub fn scan(&self, range: TimeRange) -> IndexResult<ServerQuery> {
+        self.fan_out(None, range)
+    }
+
+    fn fan_out(&self, value: Option<&SearchValue>, range: TimeRange) -> IndexResult<ServerQuery> {
+        // Readers hold the route lock for the whole query: one
+        // consistent generation, maintenance flips wait for us.
+        let route = self.route.read().unwrap();
+        self.queries.inc();
+        let mut target_arms: Vec<usize> = route.arm_of.values().copied().collect();
+        target_arms.sort_unstable();
+        target_arms.dedup();
+        let span = self.obs.span(
+            "server.query",
+            fields![
+                ("kind", if value.is_some() { "probe" } else { "scan" }),
+                ("fanout", target_arms.len() as u64)
+            ],
+        );
+        let (tx, rx) = channel();
+        for &arm in &target_arms {
+            let reply = tx.clone();
+            let req = match value {
+                Some(v) => ArmRequest::Probe {
+                    value: v.clone(),
+                    range,
+                    reply,
+                },
+                None => ArmRequest::Scan { range, reply },
+            };
+            self.arms[arm].enqueue(req)?;
+        }
+        drop(tx);
+        let mut per_slot: Vec<(usize, Vec<Entry>)> = Vec::new();
+        let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
+        let mut accessed = 0usize;
+        let mut first_err = None;
+        for _ in 0..target_arms.len() {
+            match rx
+                .recv()
+                .map_err(|_| IndexError::Corrupt("server arm worker died mid-query".into()))?
+            {
+                Ok(answer) => {
+                    self.arms[answer.arm].settle(&answer.io);
+                    per_arm_seconds[answer.arm] = answer.io.sim_seconds;
+                    // During a maintenance hand-over two arms briefly
+                    // hold a generation of the same slot — the new
+                    // one just routed in, the displaced one awaiting
+                    // its Drop. The route snapshot held across this
+                    // query decides whose answer counts, so readers
+                    // never see a slot twice.
+                    for (slot, entries) in answer.per_slot {
+                        if route.arm_of.get(&slot) == Some(&answer.arm) {
+                            accessed += 1;
+                            per_slot.push((slot, entries));
+                        }
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        drop(route);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Merge in ascending slot order: byte-identical to the
+        // single-threaded WaveIndex iteration.
+        per_slot.sort_by_key(|(slot, _)| *slot);
+        let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        let serial = per_arm_seconds.iter().sum();
+        span.event(
+            "server.query.done",
+            fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
+        );
+        Ok(ServerQuery {
+            entries: per_slot.into_iter().flat_map(|(_, e)| e).collect(),
+            indexes_accessed: accessed,
+            elapsed_seconds: elapsed,
+            serial_seconds: serial,
+            per_arm_seconds,
+        })
+    }
+
+    /// Shadow-rebuilds `slot` from `batches` on the dedicated
+    /// maintenance arm, then commits the next epoch: an O(1) routing
+    /// flip moves the slot to the maintenance arm, the displaced
+    /// constituent is released, and its arm becomes the new
+    /// maintenance arm. Queries proceed untouched throughout the
+    /// build; only the flip excludes them, momentarily.
+    ///
+    /// Requires [`ServerConfig::reserve_maintenance_arm`] and an
+    /// already-installed `slot`.
+    pub fn maintain(&self, slot: usize, batches: Vec<DayBatch>) -> IndexResult<MaintainReport> {
+        let (build_arm, old_arm) = {
+            let route = self.route.read().unwrap();
+            let build_arm = route.maintenance.ok_or_else(|| {
+                IndexError::Corrupt("maintain needs a reserved maintenance arm".into())
+            })?;
+            let old_arm = *route.arm_of.get(&slot).ok_or_else(|| {
+                IndexError::Corrupt(format!("maintain of uninstalled slot {slot}"))
+            })?;
+            (build_arm, old_arm)
+        };
+        let epoch = self.epoch() + 1;
+        let span = self.obs.span(
+            "server.maintain",
+            fields![
+                ("slot", slot as u64),
+                ("epoch", epoch),
+                ("build_arm", build_arm as u64)
+            ],
+        );
+        // Phase 1 (off the query path): build the replacement fully
+        // on the maintenance arm, under the next epoch's label.
+        let (tx, rx) = channel();
+        self.arms[build_arm].enqueue(ArmRequest::Build {
+            slot,
+            label: format!("slot{slot}.e{epoch}"),
+            batches,
+            reply: tx,
+        })?;
+        let done = rx
+            .recv()
+            .map_err(|_| IndexError::Corrupt("maintenance arm died mid-build".into()))??;
+        self.arms[build_arm].settle(&done.io);
+        // Phase 2: the O(1) commit. Waits for in-flight queries, then
+        // flips the route; new queries route to the new generation.
+        {
+            let mut route = self.route.write().unwrap();
+            route.arm_of.insert(slot, build_arm);
+            route.maintenance = Some(old_arm);
+            self.epoch.store(epoch, Ordering::Release);
+        }
+        // Garbage-collect the displaced generation. No query can
+        // reach it: the flip already routed the slot away.
+        let (tx, rx) = channel();
+        self.arms[old_arm].enqueue(ArmRequest::Drop { slot, reply: tx })?;
+        rx.recv()
+            .map_err(|_| IndexError::Corrupt("old arm died during GC".into()))??;
+        self.arms[old_arm].settle(&StatsDelta::default());
+        span.event("server.maintain.done", fields![("epoch", epoch)]);
+        Ok(MaintainReport {
+            epoch,
+            built_on: build_arm,
+            released_from: old_arm,
+            build_seconds: done.io.sim_seconds,
+        })
+    }
+
+    /// Per-arm snapshots (slots owned, entries, blocks, busy time).
+    pub fn status(&self) -> IndexResult<Vec<ArmStatus>> {
+        let mut out = Vec::with_capacity(self.arms.len());
+        for link in &self.arms {
+            let (tx, rx) = channel();
+            link.enqueue(ArmRequest::Status { reply: tx })?;
+            let status = rx
+                .recv()
+                .map_err(|_| IndexError::Corrupt("arm worker died".into()))?;
+            link.settle(&StatsDelta::default());
+            out.push(status);
+        }
+        Ok(out)
+    }
+
+    /// Releases every constituent on every arm, stops the workers,
+    /// and verifies no arm leaked blocks.
+    pub fn shutdown(mut self) -> IndexResult<()> {
+        let mut first_err = None;
+        let mut leaked = 0u64;
+        for link in &self.arms {
+            let (tx, rx) = channel();
+            if link.tx.send(ArmRequest::Shutdown { reply: tx }).is_err() {
+                continue; // worker already gone
+            }
+            match rx.recv() {
+                Ok(Ok(live)) => leaked += live,
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {}
+            }
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if leaked > 0 {
+            return Err(IndexError::Corrupt(format!(
+                "server shutdown leaked {leaked} blocks"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WaveServer {
+    fn drop(&mut self) {
+        // Closing the channels stops the workers; join so no thread
+        // outlives the server (storage is simulated, nothing leaks
+        // outside the process).
+        for link in &self.arms {
+            let (tx, _rx) = channel();
+            let _ = link.tx.send(ArmRequest::Shutdown { reply: tx });
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Day, Record, RecordId};
+    use crate::wave::WaveIndex;
+    use wave_storage::DiskConfig;
+
+    fn day_batch(day: u32, records: u64, word: &str) -> DayBatch {
+        DayBatch::new(
+            Day(day),
+            (0..records)
+                .map(|i| {
+                    Record::with_values(
+                        RecordId(day as u64 * 1_000 + i),
+                        [SearchValue::from(word), SearchValue::from_u64(i % 7)],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn slot_batches(slots: usize, records: u64) -> Vec<Vec<DayBatch>> {
+        (0..slots)
+            .map(|j| vec![day_batch(j as u32 + 1, records, "k")])
+            .collect()
+    }
+
+    /// Single-threaded oracle over one volume with the same contents.
+    fn oracle(slots: usize, records: u64) -> (WaveIndex, Volume) {
+        let mut vol = Volume::new(DiskConfig::default());
+        let mut wave = WaveIndex::with_slots(slots);
+        for (j, batches) in slot_batches(slots, records).into_iter().enumerate() {
+            let refs: Vec<&DayBatch> = batches.iter().collect();
+            let idx = ConstituentIndex::build_packed(
+                format!("slot{j}.e0"),
+                IndexConfig::default(),
+                &mut vol,
+                &refs,
+            )
+            .unwrap();
+            wave.install(j, idx);
+        }
+        (wave, vol)
+    }
+
+    #[test]
+    fn server_matches_single_threaded_wave() {
+        let (wave, mut vol) = oracle(4, 50);
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig::default(),
+            Obs::noop(),
+        );
+        server.install_wave(slot_batches(4, 50)).unwrap();
+
+        for range in [
+            TimeRange::all(),
+            TimeRange::between(Day(2), Day(3)),
+            TimeRange::between(Day(9), Day(9)),
+        ] {
+            let want = wave
+                .timed_index_probe(&mut vol, &SearchValue::from("k"), range)
+                .unwrap();
+            let got = server.probe(&SearchValue::from("k"), range).unwrap();
+            assert_eq!(got.entries, want.entries, "range {range:?}");
+            assert_eq!(got.indexes_accessed, want.indexes_accessed);
+
+            let want = wave.timed_segment_scan(&mut vol, range).unwrap();
+            let got = server.scan(range).unwrap();
+            assert_eq!(got.entries, want.entries);
+        }
+        wave_cleanup(wave, &mut vol);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn elapsed_is_max_over_arms_and_beats_serial() {
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 4),
+            ServerConfig::default(),
+            Obs::noop(),
+        );
+        server.install_wave(slot_batches(4, 400)).unwrap();
+        let q = server.scan(TimeRange::all()).unwrap();
+        assert_eq!(q.indexes_accessed, 4);
+        let max = q.per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert_eq!(q.elapsed_seconds, max);
+        assert!(q.elapsed_seconds < q.serial_seconds);
+        assert!(
+            q.speedup() > 2.0,
+            "4 equal arms speed up ~4x: {}",
+            q.speedup()
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn maintenance_swaps_epochs_off_the_query_path() {
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 3),
+            ServerConfig {
+                reserve_maintenance_arm: true,
+                ..Default::default()
+            },
+            Obs::noop(),
+        );
+        // Two slots on two query arms; arm 2 is the spare.
+        server.install_wave(slot_batches(2, 20)).unwrap();
+        assert_eq!(server.maintenance_arm(), Some(2));
+        assert_eq!(server.epoch(), 0);
+        let before_hits = server
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap()
+            .entries
+            .len();
+        assert_eq!(before_hits, 40);
+
+        // Rebuild slot 1 with a bigger generation.
+        let report = server.maintain(1, vec![day_batch(2, 35, "k")]).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.built_on, 2);
+        assert_eq!(server.epoch(), 1);
+        // The displaced arm rotated into the maintenance role.
+        assert_eq!(server.maintenance_arm(), Some(report.released_from));
+        assert_eq!(server.arm_of(1), Some(2));
+        let after = server
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap();
+        assert_eq!(after.entries.len(), 20 + 35);
+        // No stale blocks: total live equals the two live constituents.
+        let status = server.status().unwrap();
+        let slots: usize = status.iter().map(|s| s.slots.len()).sum();
+        assert_eq!(slots, 2);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn maintain_requires_reserved_arm_and_installed_slot() {
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig::default(),
+            Obs::noop(),
+        );
+        server.install_wave(slot_batches(1, 5)).unwrap();
+        assert!(server.maintain(0, vec![day_batch(1, 5, "k")]).is_err());
+        server.shutdown().unwrap();
+
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig {
+                reserve_maintenance_arm: true,
+                ..Default::default()
+            },
+            Obs::noop(),
+        );
+        assert!(server.maintain(7, vec![day_batch(1, 5, "k")]).is_err());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn greedy_strategy_balances_skewed_slots() {
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig {
+                strategy: PlacementStrategy::Greedy,
+                ..Default::default()
+            },
+            Obs::noop(),
+        );
+        // Slot 0 is huge; greedy puts it alone on one arm.
+        let mut batches = slot_batches(4, 10);
+        batches[0] = vec![day_batch(1, 500, "k")];
+        server.install_wave(batches).unwrap();
+        let heavy_arm = server.arm_of(0).unwrap();
+        for slot in 1..4 {
+            assert_ne!(server.arm_of(slot), Some(heavy_arm), "slot {slot}");
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn per_arm_metrics_and_spans_flow() {
+        use std::sync::Arc;
+        use wave_obs::MemorySink;
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig::default(),
+            obs.clone(),
+        );
+        server.install_wave(slot_batches(2, 30)).unwrap();
+        server
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap();
+        assert_eq!(obs.counter("server.queries").get(), 1);
+        for arm in 0..2 {
+            assert!(obs.counter(&format!("server.arm{arm}.requests")).get() >= 2);
+            assert!(obs.counter(&format!("server.arm{arm}.seeks")).get() >= 1);
+            assert!(obs.counter(&format!("server.arm{arm}.busy_us")).get() > 0);
+            assert_eq!(
+                obs.gauge(&format!("server.arm{arm}.queue_depth")).get(),
+                0.0
+            );
+        }
+        let jsonl = sink.to_jsonl();
+        assert!(jsonl.contains("server.install"), "{jsonl}");
+        assert!(jsonl.contains("server.query"), "{jsonl}");
+        server.shutdown().unwrap();
+    }
+
+    fn wave_cleanup(mut wave: WaveIndex, vol: &mut Volume) {
+        wave.release_all(vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Concurrency stress test for [`wave_index::WaveServer`]: several
+//! reader threads hammer the server with seeded probes and scans
+//! while a maintenance thread commits epoch after epoch, and every
+//! answer any reader ever sees must be byte-identical to what a
+//! single-threaded [`WaveIndex`] oracle produces for *some* committed
+//! epoch — never a torn mixture of two generations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use wave_index::prelude::*;
+use wave_index::server::{ServerConfig, WaveServer};
+use wave_index::{ConstituentIndex, Entry};
+use wave_obs::rng::SplitMix64;
+use wave_obs::Obs;
+use wave_storage::DiskArray;
+
+const SLOTS: usize = 4;
+const DAYS_PER_SLOT: u32 = 2;
+const READERS: usize = 4;
+const EPOCHS: u64 = 8;
+/// The slot the maintenance thread rebuilds every epoch.
+const MAINT_SLOT: usize = 0;
+
+/// Day batches for slot `j` at epoch `e`. Epoch 0 is the installed
+/// base; later epochs replace [`MAINT_SLOT`]'s records with fresh ids
+/// (same days, so the slot's day span — and hence which queries reach
+/// it — never changes, only the entries do).
+fn slot_batches(j: usize, e: u64) -> Vec<DayBatch> {
+    let id_base = if j == MAINT_SLOT { e * 100_000 } else { 0 };
+    (0..DAYS_PER_SLOT)
+        .map(|d| {
+            let day = j as u32 * DAYS_PER_SLOT + d + 1;
+            let records = (0..3)
+                .map(|i| {
+                    Record::with_values(
+                        RecordId(id_base + day as u64 * 100 + i),
+                        [
+                            SearchValue::from("k"),
+                            SearchValue::from(format!("s{j}").as_str()),
+                        ],
+                    )
+                })
+                .collect();
+            DayBatch::new(Day(day), records)
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+enum Query {
+    Probe(&'static str, TimeRange),
+    Scan(TimeRange),
+}
+
+fn queries() -> Vec<Query> {
+    let mid = TimeRange {
+        lo: Some(Day(2)),
+        hi: Some(Day(5)),
+    };
+    let tail = TimeRange {
+        lo: Some(Day(3)),
+        hi: None,
+    };
+    vec![
+        Query::Probe("k", TimeRange::all()),
+        Query::Probe("k", mid),
+        Query::Probe("s1", TimeRange::all()),
+        Query::Probe("s0", mid),
+        Query::Scan(TimeRange::all()),
+        Query::Scan(tail),
+    ]
+}
+
+/// Answers every query against a single-threaded wave holding epoch
+/// `e`'s content, in the same ascending-slot order the server merges.
+fn oracle_answers(e: u64, queries: &[Query]) -> Vec<Vec<Entry>> {
+    let mut vol = Volume::default();
+    let mut wave = WaveIndex::with_slots(SLOTS);
+    for j in 0..SLOTS {
+        let batches = slot_batches(j, if j == MAINT_SLOT { e } else { 0 });
+        let refs: Vec<&DayBatch> = batches.iter().collect();
+        let idx = ConstituentIndex::build_packed(
+            format!("slot{j}"),
+            IndexConfig::default(),
+            &mut vol,
+            &refs,
+        )
+        .unwrap();
+        wave.install(j, idx);
+    }
+    let answers = queries
+        .iter()
+        .map(|q| match q {
+            Query::Probe(word, range) => {
+                wave.timed_index_probe(&mut vol, &SearchValue::from(*word), *range)
+                    .unwrap()
+                    .entries
+            }
+            Query::Scan(range) => wave.timed_segment_scan(&mut vol, *range).unwrap().entries,
+        })
+        .collect();
+    wave.release_all(&mut vol).unwrap();
+    answers
+}
+
+#[test]
+fn readers_race_maintenance_and_always_see_a_committed_epoch() {
+    let qs = queries();
+    // expected[e][q] = the exact entry list epoch e must produce.
+    let expected: Vec<Vec<Vec<Entry>>> = (0..=EPOCHS).map(|e| oracle_answers(e, &qs)).collect();
+
+    let array = DiskArray::new(DiskConfig::default(), 3);
+    let cfg = ServerConfig {
+        reserve_maintenance_arm: true,
+        ..ServerConfig::default()
+    };
+    let server = WaveServer::launch(array, cfg, Obs::noop());
+    server
+        .install_wave((0..SLOTS).map(|j| slot_batches(j, 0)).collect())
+        .unwrap();
+
+    let done = AtomicBool::new(false);
+    let total_queries = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let (server, qs, expected) = (&server, &qs, &expected);
+            let (done, total_queries) = (&done, &total_queries);
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(0xC0FFEE ^ r as u64);
+                let mut ran = 0u64;
+                // Keep reading until maintenance finishes, then once
+                // more so the final epoch is observed under load too.
+                while !done.load(Ordering::Acquire) || ran == 0 {
+                    let qi = rng.range_u64(0, qs.len() as u64 - 1) as usize;
+                    let got = match qs[qi] {
+                        Query::Probe(word, range) => {
+                            server.probe(&SearchValue::from(word), range).unwrap()
+                        }
+                        Query::Scan(range) => server.scan(range).unwrap(),
+                    };
+                    let matches_some_epoch = expected
+                        .iter()
+                        .any(|per_epoch| per_epoch[qi] == got.entries);
+                    assert!(
+                        matches_some_epoch,
+                        "reader {r} query {qi}: {} entries match no committed epoch",
+                        got.entries.len()
+                    );
+                    ran += 1;
+                }
+                total_queries.fetch_add(ran, Ordering::Relaxed);
+            });
+        }
+        // Maintenance thread: commit EPOCHS rebuilds of MAINT_SLOT
+        // while the readers run.
+        scope.spawn(|| {
+            for e in 1..=EPOCHS {
+                let report = server
+                    .maintain(MAINT_SLOT, slot_batches(MAINT_SLOT, e))
+                    .unwrap();
+                assert_eq!(report.epoch, e);
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    assert_eq!(server.epoch(), EPOCHS);
+    assert!(
+        total_queries.load(Ordering::Relaxed) >= READERS as u64,
+        "every reader answered at least one query"
+    );
+    // The quiesced server answers exactly as the final-epoch oracle.
+    for (qi, q) in qs.iter().enumerate() {
+        let got = match q {
+            Query::Probe(word, range) => server.probe(&SearchValue::from(*word), *range).unwrap(),
+            Query::Scan(range) => server.scan(*range).unwrap(),
+        };
+        assert_eq!(got.entries, expected[EPOCHS as usize][qi], "query {qi}");
+    }
+    // Shutdown verifies no generation leaked storage across the swaps.
+    server.shutdown().unwrap();
+}

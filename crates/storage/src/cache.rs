@@ -1,6 +1,6 @@
 //! Block-level LRU cache.
 //!
-//! The paper assumes daily updates are "performed as a batch [which]
+//! The paper assumes daily updates are "performed as a batch \[which\]
 //! usually leads to better performance, mainly due to memory caching"
 //! (Section 2). The cache models that: blocks resident in memory are
 //! read without seeking or transferring. It tracks *which* blocks are

@@ -15,6 +15,10 @@
 //!   a single seek.
 //! * [`Volume`] — the pairing of a disk and an allocator that index
 //!   code works against.
+//! * [`DiskArray`] — `k` shared-nothing, independently clocked arms
+//!   (each a single-disk [`Volume`]) for the multi-disk parallelism of
+//!   the paper's Section 8; arms are `Send`, so each can be owned by a
+//!   worker thread.
 //! * [`FileStore`] — a real, file-backed store (one file per
 //!   constituent index) demonstrating the paper's "throw away a whole
 //!   index" bulk delete as an `O(1)` file unlink, with full fsync
@@ -34,7 +38,10 @@
 //! [`Volume::attach_obs`] or build one with
 //! [`Volume::with_disks_obs`].
 
+#![deny(missing_docs)]
+
 pub mod alloc;
+pub mod array;
 pub mod block;
 pub mod cache;
 pub mod checksum;
@@ -46,6 +53,7 @@ pub mod stats;
 pub mod volume;
 
 pub use alloc::ExtentAllocator;
+pub use array::DiskArray;
 pub use block::{BlockAddr, Extent, BLOCK_SIZE};
 pub use cache::BlockCache;
 pub use checksum::{crc64, Crc64};
