@@ -11,6 +11,14 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The in-repo static analyzer: panic-free serving paths, deterministic
+# core, documented lock order, audited unsafe, span coverage — all
+# ratcheted against the committed lint-baseline.toml. Fails on any
+# growth (new debt) or shrinkage (stale baseline: run
+# `wavectl lint --fix-baseline` to lock the improvement in).
+echo "==> wavectl lint"
+cargo run -q --release --offline -p wavectl -- lint
+
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
@@ -35,5 +43,17 @@ cargo test -q -p wave-index --test concurrent_stress --offline
 echo "==> bench-parallel --smoke"
 cargo run -q --release --offline -p wavectl -- bench-parallel --smoke \
   --out target/BENCH_parallel_smoke.json >/dev/null
+
+# Optional sanitizer pass: Miri catches UB the tests cannot. It needs
+# a nightly toolchain with the miri component, which the offline CI
+# image may not have — skip cleanly when absent rather than failing.
+if rustup toolchain list 2>/dev/null | grep -q nightly \
+  && rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q "miri.*(installed)"; then
+  echo "==> cargo miri (wave-lint unit tests)"
+  cargo +nightly miri test -q -p wave-lint --offline
+else
+  echo "==> cargo miri: skipped (no nightly+miri toolchain installed)"
+fi
 
 echo "CI OK"

@@ -315,7 +315,8 @@ fn run_cell(
         DiskArray::new(DiskConfig::default(), k),
         ServerConfig::default(),
         Obs::noop(),
-    );
+    )
+    .expect("server launches");
     server
         .install_wave(partition.to_vec())
         .expect("server install succeeds");

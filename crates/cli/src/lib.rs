@@ -70,6 +70,8 @@ pub enum CliError {
     Index(wave_index::IndexError),
     /// Propagated I/O failure.
     Io(std::io::Error),
+    /// `wavectl lint` found violations; the string is the full report.
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -79,6 +81,7 @@ impl fmt::Display for CliError {
             CliError::State(msg) => write!(f, "state error: {msg}"),
             CliError::Index(e) => write!(f, "index error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Lint(report) => write!(f, "lint failed\n{report}"),
         }
     }
 }
@@ -334,12 +337,13 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
         "report" => return cmd_report(&args[1..]),
         "bench-parallel" => return cmd_bench_parallel(&args[1..]),
+        "lint" => return cmd_lint(&args[1..]),
         _ => {}
     }
     let dir = PathBuf::from(args.get(1).ok_or_else(|| CliError::Usage(usage.into()))?);
@@ -690,6 +694,36 @@ fn cmd_recover(dir: &Path) -> Result<String, CliError> {
         None => out.push_str("no committed wave remains\n"),
     }
     Ok(out)
+}
+
+/// `wavectl lint [DIR] [--fix-baseline]`: runs the in-repo static
+/// analyzer (see `wave-lint`) over the workspace rooted at `DIR`
+/// (default: the current directory) and checks the result against the
+/// committed `lint-baseline.toml`. A failing check — new violations,
+/// or a stale baseline that must be ratcheted down — is a hard error,
+/// so the process exits non-zero and CI fails. `--fix-baseline`
+/// regenerates the baseline file instead; it is the only sanctioned
+/// way to change it.
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let mut root = PathBuf::from(".");
+    let mut fix = false;
+    for arg in args {
+        match arg.as_str() {
+            "--fix-baseline" => fix = true,
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown lint flag {other:?} (expected [DIR] [--fix-baseline])"
+                )))
+            }
+        }
+    }
+    let outcome = wave_lint::run_lint(&root, fix).map_err(CliError::State)?;
+    if outcome.ok {
+        Ok(outcome.report)
+    } else {
+        Err(CliError::Lint(outcome.report))
+    }
 }
 
 /// Runs `days` traced days of a synthetic Zipfian workload through

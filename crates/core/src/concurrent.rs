@@ -8,10 +8,10 @@
 //! outside any lock and takes the write lock only for the O(1) slot
 //! swap.
 
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::entry::Entry;
-use crate::error::IndexResult;
+use crate::error::{IndexError, IndexResult};
 use crate::index::ConstituentIndex;
 use crate::query::TimeRange;
 use crate::record::SearchValue;
@@ -42,6 +42,27 @@ impl SharedWave {
         }
     }
 
+    /// Takes the wave structure read lock, surfacing poisoning (a
+    /// reader or swapper panicked mid-update) as a typed error
+    /// instead of propagating the panic onto the serving path.
+    fn wave_read(&self) -> IndexResult<RwLockReadGuard<'_, WaveIndex>> {
+        self.wave
+            .read()
+            .map_err(|_| IndexError::LockPoisoned("shared wave structure"))
+    }
+
+    fn wave_write(&self) -> IndexResult<RwLockWriteGuard<'_, WaveIndex>> {
+        self.wave
+            .write()
+            .map_err(|_| IndexError::LockPoisoned("shared wave structure"))
+    }
+
+    fn vol_lock(&self) -> IndexResult<MutexGuard<'_, Volume>> {
+        self.vol
+            .lock()
+            .map_err(|_| IndexError::LockPoisoned("shared volume"))
+    }
+
     /// `TimedIndexProbe` under a read lock: sees one consistent
     /// generation of every constituent.
     ///
@@ -63,7 +84,7 @@ impl SharedWave {
         range: TimeRange,
         mut between: impl FnMut(),
     ) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave.read().unwrap();
+        let wave = self.wave_read()?;
         let mut entries = Vec::new();
         let mut first = true;
         for (_, idx) in wave.iter() {
@@ -77,7 +98,7 @@ impl SharedWave {
                 between();
             }
             first = false;
-            let mut vol = self.vol.lock().unwrap();
+            let mut vol = self.vol_lock()?;
             entries.extend(idx.probe_in(&mut vol, value, range)?);
         }
         Ok(entries)
@@ -86,7 +107,7 @@ impl SharedWave {
     /// `TimedSegmentScan` under a read lock, with the same narrow
     /// per-constituent volume critical section as [`Self::probe`].
     pub fn scan(&self, range: TimeRange) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave.read().unwrap();
+        let wave = self.wave_read()?;
         let mut entries = Vec::new();
         for (_, idx) in wave.iter() {
             let Some((lo, hi)) = idx.day_span() else {
@@ -95,7 +116,7 @@ impl SharedWave {
             if !range.intersects_span(lo, hi) {
                 continue;
             }
-            let mut vol = self.vol.lock().unwrap();
+            let mut vol = self.vol_lock()?;
             entries.extend(idx.scan_in(&mut vol, range)?);
         }
         Ok(entries)
@@ -104,26 +125,30 @@ impl SharedWave {
     /// Runs maintenance I/O against the volume without excluding
     /// readers of the wave structure (they only contend on the disk,
     /// exactly as shadow updating promises).
-    pub fn with_volume<R>(&self, f: impl FnOnce(&mut Volume) -> R) -> R {
-        let mut vol = self.vol.lock().unwrap();
-        f(&mut vol)
+    pub fn with_volume<R>(&self, f: impl FnOnce(&mut Volume) -> R) -> IndexResult<R> {
+        let mut vol = self.vol_lock()?;
+        Ok(f(&mut vol))
     }
 
     /// The O(1) swap: installs `idx` in slot `j` under a brief write
     /// lock and returns the displaced index for the caller to release.
-    pub fn swap_slot(&self, j: usize, idx: ConstituentIndex) -> Option<ConstituentIndex> {
-        self.wave.write().unwrap().install(j, idx)
+    pub fn swap_slot(
+        &self,
+        j: usize,
+        idx: ConstituentIndex,
+    ) -> IndexResult<Option<ConstituentIndex>> {
+        Ok(self.wave_write()?.install(j, idx))
     }
 
     /// Total days covered (read-locked snapshot).
-    pub fn length(&self) -> usize {
-        self.wave.read().unwrap().length()
+    pub fn length(&self) -> IndexResult<usize> {
+        Ok(self.wave_read()?.length())
     }
 
     /// Tears down, releasing every constituent's storage.
     pub fn release(self) -> IndexResult<()> {
-        let mut wave = self.wave.write().unwrap();
-        let mut vol = self.vol.lock().unwrap();
+        let mut wave = self.wave_write()?;
+        let mut vol = self.vol_lock()?;
         wave.release_all(&mut vol)
     }
 }
@@ -234,17 +259,19 @@ mod tests {
         // in, release the old one.
         for round in 0..20 {
             let size = if round % 2 == 0 { 20 } else { 10 };
-            let fresh = shared.with_volume(|vol| {
-                ConstituentIndex::build_packed(
-                    "I1",
-                    IndexConfig::default(),
-                    vol,
-                    &[&batch(round + 2, size)],
-                )
-                .unwrap()
-            });
-            if let Some(old) = shared.swap_slot(0, fresh) {
-                shared.with_volume(|vol| old.release(vol)).unwrap();
+            let fresh = shared
+                .with_volume(|vol| {
+                    ConstituentIndex::build_packed(
+                        "I1",
+                        IndexConfig::default(),
+                        vol,
+                        &[&batch(round + 2, size)],
+                    )
+                    .unwrap()
+                })
+                .unwrap();
+            if let Some(old) = shared.swap_slot(0, fresh).unwrap() {
+                shared.with_volume(|vol| old.release(vol)).unwrap().unwrap();
             }
         }
         stop.store(true, Ordering::Relaxed);

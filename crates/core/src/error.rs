@@ -49,6 +49,14 @@ pub enum IndexError {
         /// Checksum of the bytes actually read.
         got: u64,
     },
+    /// A lock guarding shared engine state was poisoned: another
+    /// thread panicked while holding it, so the protected state may be
+    /// mid-update. Serving paths surface this instead of panicking in
+    /// turn; the named component tells the operator what to restart.
+    LockPoisoned(&'static str),
+    /// A worker thread backing the named component is gone (failed to
+    /// spawn, or its channel disconnected mid-request).
+    WorkerLost(&'static str),
     /// Internal invariant violation; indicates a bug, never expected.
     Corrupt(String),
 }
@@ -78,6 +86,10 @@ impl fmt::Display for IndexError {
                 f,
                 "checksum mismatch in {what}: expected {expected:016x}, got {got:016x}"
             ),
+            IndexError::LockPoisoned(what) => {
+                write!(f, "lock poisoned: a thread panicked while holding {what}")
+            }
+            IndexError::WorkerLost(what) => write!(f, "worker lost: {what}"),
             IndexError::Corrupt(msg) => write!(f, "index corruption: {msg}"),
         }
     }
@@ -112,6 +124,15 @@ mod tests {
         };
         assert!(e.to_string().contains("11"));
         assert!(e.to_string().contains("13"));
+    }
+
+    #[test]
+    fn concurrency_failures_name_the_component() {
+        let e = IndexError::LockPoisoned("server route table");
+        assert!(e.to_string().contains("route table"));
+        assert!(e.to_string().contains("poisoned"));
+        let e = IndexError::WorkerLost("arm worker disconnected mid-query");
+        assert!(e.to_string().contains("mid-query"));
     }
 
     #[test]

@@ -99,7 +99,11 @@ pub fn decode_index(
     if bytes.len() < 6 || &bytes[..4] != MAGIC {
         return Err(IndexError::Corrupt("bad persistence magic".into()));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    let version = u16::from_le_bytes(
+        bytes[4..6]
+            .try_into()
+            .map_err(|_| IndexError::Corrupt("image version field truncated".into()))?,
+    );
     let (body, info) = match version {
         VERSION_V1 => (
             bytes,
@@ -113,7 +117,11 @@ pub fn decode_index(
                 return Err(IndexError::Corrupt("v2 image too short for trailer".into()));
             }
             let split = bytes.len() - 8;
-            let expected = u64::from_le_bytes(bytes[split..].try_into().expect("8 bytes"));
+            let expected = u64::from_le_bytes(
+                bytes[split..]
+                    .try_into()
+                    .map_err(|_| IndexError::Corrupt("image checksum trailer truncated".into()))?,
+            );
             let got = crc64(&bytes[..split]);
             if got != expected {
                 return Err(IndexError::ChecksumMismatch {
@@ -627,9 +635,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> IndexResult<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().map_err(
+            |_| IndexError::Corrupt("persistence image truncated".into()),
+        )?))
     }
 
     fn bytes(&mut self) -> IndexResult<&'a [u8]> {

@@ -231,25 +231,28 @@ pub fn recover(
         if result.is_err() {
             break;
         }
-        let damage = match store.get(&entry.file) {
+        // Every healthy path `continue`s (or `break`s on a hard
+        // error), so the match yields the damage kind directly — no
+        // placeholder `Option` to unwrap on the recovery path.
+        let damage: &str = match store.get(&entry.file) {
             Err(e) => {
                 result = Err(e.into());
                 break;
             }
-            Ok(None) => Some("missing"),
+            Ok(None) => "missing",
             Ok(Some(bytes)) => {
                 if bytes.len() as u64 != entry.len || crc64(&bytes) != entry.crc64 {
-                    Some("corrupt")
+                    "corrupt"
                 } else {
                     match decode_index(cfg, vol, &bytes) {
-                        Err(_) => Some("undecodable"),
+                        Err(_) => "undecodable",
                         Ok((idx, info)) if idx.label() != entry.label => {
                             if let Err(e) = idx.release(vol) {
                                 result = Err(e);
                                 break;
                             }
                             let _ = info;
-                            Some("mislabelled")
+                            "mislabelled"
                         }
                         Ok((idx, info)) => {
                             provenance.push(SlotProvenance {
@@ -266,7 +269,6 @@ pub fn recover(
                 }
             }
         };
-        let damage = damage.expect("all healthy paths continue above");
 
         // Quarantine whatever bytes exist before touching the slot.
         let quar = format!("{}{}", entry.file, QUARANTINE_SUFFIX);

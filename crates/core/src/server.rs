@@ -44,7 +44,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
 use wave_obs::{fields, Counter, Gauge, Obs};
@@ -302,7 +302,7 @@ impl ArmLink {
             .set((self.pending.fetch_add(1, Ordering::Relaxed) + 1) as f64);
         self.tx
             .send(req)
-            .map_err(|_| IndexError::Corrupt("server arm worker is gone".into()))
+            .map_err(|_| IndexError::WorkerLost("arm worker's request channel is closed"))
     }
 
     fn settle(&self, io: &StatsDelta) {
@@ -340,7 +340,8 @@ struct Route {
 ///     DiskArray::new(DiskConfig::default(), 2),
 ///     ServerConfig::default(),
 ///     wave_obs::Obs::noop(),
-/// );
+/// )
+/// .unwrap();
 /// let day = |d: u32| {
 ///     vec![DayBatch::new(
 ///         Day(d),
@@ -368,15 +369,20 @@ impl WaveServer {
     /// exit when the server is [shut down](WaveServer::shutdown) (or
     /// dropped).
     ///
-    /// # Panics
-    /// Panics if `cfg.reserve_maintenance_arm` is set on a one-arm
-    /// array.
-    pub fn launch(array: DiskArray, cfg: ServerConfig, obs: Obs) -> Self {
+    /// # Errors
+    /// [`IndexError::BadConfig`] if `cfg.reserve_maintenance_arm` is
+    /// set on a one-arm array; [`IndexError::WorkerLost`] if the OS
+    /// refuses to spawn a worker thread (already-spawned workers are
+    /// stopped by dropping their channels).
+    pub fn launch(array: DiskArray, cfg: ServerConfig, obs: Obs) -> IndexResult<Self> {
         let arm_count = array.arm_count();
-        assert!(
-            !(cfg.reserve_maintenance_arm && arm_count < 2),
-            "a maintenance arm needs an array of at least two arms"
-        );
+        if cfg.reserve_maintenance_arm && arm_count < 2 {
+            return Err(IndexError::BadConfig {
+                window: 0,
+                fan: arm_count as u32,
+                reason: "a maintenance arm needs an array of at least two arms",
+            });
+        }
         let mut arms = Vec::with_capacity(arm_count);
         let mut handles = Vec::with_capacity(arm_count);
         for (i, vol) in array.into_arms().into_iter().enumerate() {
@@ -391,7 +397,7 @@ impl WaveServer {
                 std::thread::Builder::new()
                     .name(format!("wave-arm-{i}"))
                     .spawn(move || state.run(rx))
-                    .expect("spawn arm worker"),
+                    .map_err(|_| IndexError::WorkerLost("OS refused to spawn an arm worker"))?,
             );
             arms.push(ArmLink {
                 tx,
@@ -404,18 +410,44 @@ impl WaveServer {
                 busy_us: obs.counter(&format!("server.arm{i}.busy_us")),
             });
         }
-        WaveServer {
+        Ok(WaveServer {
             arms,
             route: RwLock::new(Route {
                 arm_of: BTreeMap::new(),
-                maintenance: cfg.reserve_maintenance_arm.then_some(arm_count - 1),
+                maintenance: cfg
+                    .reserve_maintenance_arm
+                    .then_some(arm_count.saturating_sub(1)),
             }),
             epoch: AtomicU64::new(0),
             cfg,
             queries: obs.counter("server.queries"),
             obs,
             handles,
-        }
+        })
+    }
+
+    /// Takes the routing table read lock, surfacing poisoning (a
+    /// maintenance thread panicked mid-flip) as a typed error rather
+    /// than panicking on the serving path.
+    fn route_read(&self) -> IndexResult<RwLockReadGuard<'_, Route>> {
+        self.route
+            .read()
+            .map_err(|_| IndexError::LockPoisoned("server route table"))
+    }
+
+    fn route_write(&self) -> IndexResult<RwLockWriteGuard<'_, Route>> {
+        self.route
+            .write()
+            .map_err(|_| IndexError::LockPoisoned("server route table"))
+    }
+
+    /// The [`ArmLink`] for `arm`, or a typed error when a routing
+    /// entry points at an arm the array does not have (an invariant
+    /// breach that must not become a slice panic mid-query).
+    fn arm(&self, arm: usize) -> IndexResult<&ArmLink> {
+        self.arms
+            .get(arm)
+            .ok_or_else(|| IndexError::Corrupt(format!("routed to unknown arm {arm}")))
     }
 
     /// Number of arms (including any maintenance arm).
@@ -430,13 +462,26 @@ impl WaveServer {
     }
 
     /// Arm currently owning `slot`, if the slot is installed.
+    ///
+    /// Read-only introspection stays available even if a panicking
+    /// thread poisoned the route lock: the table is a plain map whose
+    /// entries are each flipped atomically, so a poisoned snapshot is
+    /// still well-formed and more useful to an operator than a panic.
     pub fn arm_of(&self, slot: usize) -> Option<usize> {
-        self.route.read().unwrap().arm_of.get(&slot).copied()
+        self.route
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .arm_of
+            .get(&slot)
+            .copied()
     }
 
     /// The dedicated maintenance arm, if one was reserved.
     pub fn maintenance_arm(&self) -> Option<usize> {
-        self.route.read().unwrap().maintenance
+        self.route
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .maintenance
     }
 
     /// Builds and installs a whole wave: `slot_batches[j]` holds the
@@ -446,7 +491,7 @@ impl WaveServer {
     /// at a time. Returns the build elapsed time — the busiest arm's
     /// share, the parallel-build advantage of Section 8.
     pub fn install_wave(&self, slot_batches: Vec<Vec<DayBatch>>) -> IndexResult<f64> {
-        let route = self.route.read().unwrap();
+        let route = self.route_read()?;
         let query_arms = self.query_arms(&route);
         drop(route);
         let weights: Vec<u64> = slot_batches
@@ -465,9 +510,11 @@ impl WaveServer {
         let (tx, rx) = channel();
         let mut placements = BTreeMap::new();
         for (slot, batches) in slot_batches.into_iter().enumerate() {
-            let arm = query_arms[map.arm_of(slot)];
+            let arm = *query_arms.get(map.arm_of(slot)).ok_or_else(|| {
+                IndexError::Corrupt(format!("placement mapped slot {slot} past the query arms"))
+            })?;
             placements.insert(slot, arm);
-            self.arms[arm].enqueue(ArmRequest::Build {
+            self.arm(arm)?.enqueue(ArmRequest::Build {
                 slot,
                 label: format!("slot{slot}.e{epoch}"),
                 batches,
@@ -483,10 +530,15 @@ impl WaveServer {
         for reply in rx.iter() {
             done += 1;
             match reply {
-                Ok(BuildDone { arm, io }) => {
-                    self.arms[arm].settle(&io);
-                    per_arm[arm] += io.sim_seconds;
-                }
+                Ok(BuildDone { arm, io }) => match self.arm(arm) {
+                    Ok(link) => {
+                        link.settle(&io);
+                        if let Some(s) = per_arm.get_mut(arm) {
+                            *s += io.sim_seconds;
+                        }
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                },
                 Err(e) => first_err = first_err.or(Some(e)),
             }
         }
@@ -494,7 +546,7 @@ impl WaveServer {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let mut route = self.route.write().unwrap();
+        let mut route = self.route_write()?;
         route.arm_of.extend(placements.iter());
         drop(route);
         Ok(per_arm.iter().fold(0.0, |a, &b| a.max(b)))
@@ -520,7 +572,7 @@ impl WaveServer {
     fn fan_out(&self, value: Option<&SearchValue>, range: TimeRange) -> IndexResult<ServerQuery> {
         // Readers hold the route lock for the whole query: one
         // consistent generation, maintenance flips wait for us.
-        let route = self.route.read().unwrap();
+        let route = self.route_read()?;
         self.queries.inc();
         let mut target_arms: Vec<usize> = route.arm_of.values().copied().collect();
         target_arms.sort_unstable();
@@ -543,7 +595,7 @@ impl WaveServer {
                 },
                 None => ArmRequest::Scan { range, reply },
             };
-            self.arms[arm].enqueue(req)?;
+            self.arm(arm)?.enqueue(req)?;
         }
         drop(tx);
         let mut per_slot: Vec<(usize, Vec<Entry>)> = Vec::new();
@@ -553,24 +605,29 @@ impl WaveServer {
         for _ in 0..target_arms.len() {
             match rx
                 .recv()
-                .map_err(|_| IndexError::Corrupt("server arm worker died mid-query".into()))?
+                .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
             {
-                Ok(answer) => {
-                    self.arms[answer.arm].settle(&answer.io);
-                    per_arm_seconds[answer.arm] = answer.io.sim_seconds;
-                    // During a maintenance hand-over two arms briefly
-                    // hold a generation of the same slot — the new
-                    // one just routed in, the displaced one awaiting
-                    // its Drop. The route snapshot held across this
-                    // query decides whose answer counts, so readers
-                    // never see a slot twice.
-                    for (slot, entries) in answer.per_slot {
-                        if route.arm_of.get(&slot) == Some(&answer.arm) {
-                            accessed += 1;
-                            per_slot.push((slot, entries));
+                Ok(answer) => match self.arm(answer.arm) {
+                    Ok(link) => {
+                        link.settle(&answer.io);
+                        if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
+                            *s = answer.io.sim_seconds;
+                        }
+                        // During a maintenance hand-over two arms briefly
+                        // hold a generation of the same slot — the new
+                        // one just routed in, the displaced one awaiting
+                        // its Drop. The route snapshot held across this
+                        // query decides whose answer counts, so readers
+                        // never see a slot twice.
+                        for (slot, entries) in answer.per_slot {
+                            if route.arm_of.get(&slot) == Some(&answer.arm) {
+                                accessed += 1;
+                                per_slot.push((slot, entries));
+                            }
                         }
                     }
-                }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                },
                 Err(e) => first_err = first_err.or(Some(e)),
             }
         }
@@ -607,7 +664,7 @@ impl WaveServer {
     /// already-installed `slot`.
     pub fn maintain(&self, slot: usize, batches: Vec<DayBatch>) -> IndexResult<MaintainReport> {
         let (build_arm, old_arm) = {
-            let route = self.route.read().unwrap();
+            let route = self.route_read()?;
             let build_arm = route.maintenance.ok_or_else(|| {
                 IndexError::Corrupt("maintain needs a reserved maintenance arm".into())
             })?;
@@ -628,7 +685,7 @@ impl WaveServer {
         // Phase 1 (off the query path): build the replacement fully
         // on the maintenance arm, under the next epoch's label.
         let (tx, rx) = channel();
-        self.arms[build_arm].enqueue(ArmRequest::Build {
+        self.arm(build_arm)?.enqueue(ArmRequest::Build {
             slot,
             label: format!("slot{slot}.e{epoch}"),
             batches,
@@ -636,12 +693,12 @@ impl WaveServer {
         })?;
         let done = rx
             .recv()
-            .map_err(|_| IndexError::Corrupt("maintenance arm died mid-build".into()))??;
-        self.arms[build_arm].settle(&done.io);
+            .map_err(|_| IndexError::WorkerLost("maintenance arm disconnected mid-build"))??;
+        self.arm(build_arm)?.settle(&done.io);
         // Phase 2: the O(1) commit. Waits for in-flight queries, then
         // flips the route; new queries route to the new generation.
         {
-            let mut route = self.route.write().unwrap();
+            let mut route = self.route_write()?;
             route.arm_of.insert(slot, build_arm);
             route.maintenance = Some(old_arm);
             self.epoch.store(epoch, Ordering::Release);
@@ -649,10 +706,11 @@ impl WaveServer {
         // Garbage-collect the displaced generation. No query can
         // reach it: the flip already routed the slot away.
         let (tx, rx) = channel();
-        self.arms[old_arm].enqueue(ArmRequest::Drop { slot, reply: tx })?;
+        self.arm(old_arm)?
+            .enqueue(ArmRequest::Drop { slot, reply: tx })?;
         rx.recv()
-            .map_err(|_| IndexError::Corrupt("old arm died during GC".into()))??;
-        self.arms[old_arm].settle(&StatsDelta::default());
+            .map_err(|_| IndexError::WorkerLost("displaced arm disconnected during GC"))??;
+        self.arm(old_arm)?.settle(&StatsDelta::default());
         span.event("server.maintain.done", fields![("epoch", epoch)]);
         Ok(MaintainReport {
             epoch,
@@ -670,7 +728,7 @@ impl WaveServer {
             link.enqueue(ArmRequest::Status { reply: tx })?;
             let status = rx
                 .recv()
-                .map_err(|_| IndexError::Corrupt("arm worker died".into()))?;
+                .map_err(|_| IndexError::WorkerLost("arm worker disconnected during status"))?;
             link.settle(&StatsDelta::default());
             out.push(status);
         }
@@ -775,7 +833,8 @@ mod tests {
             DiskArray::new(DiskConfig::default(), 2),
             ServerConfig::default(),
             Obs::noop(),
-        );
+        )
+        .unwrap();
         server.install_wave(slot_batches(4, 50)).unwrap();
 
         for range in [
@@ -804,7 +863,8 @@ mod tests {
             DiskArray::new(DiskConfig::default(), 4),
             ServerConfig::default(),
             Obs::noop(),
-        );
+        )
+        .unwrap();
         server.install_wave(slot_batches(4, 400)).unwrap();
         let q = server.scan(TimeRange::all()).unwrap();
         assert_eq!(q.indexes_accessed, 4);
@@ -828,7 +888,8 @@ mod tests {
                 ..Default::default()
             },
             Obs::noop(),
-        );
+        )
+        .unwrap();
         // Two slots on two query arms; arm 2 is the spare.
         server.install_wave(slot_batches(2, 20)).unwrap();
         assert_eq!(server.maintenance_arm(), Some(2));
@@ -865,7 +926,8 @@ mod tests {
             DiskArray::new(DiskConfig::default(), 2),
             ServerConfig::default(),
             Obs::noop(),
-        );
+        )
+        .unwrap();
         server.install_wave(slot_batches(1, 5)).unwrap();
         assert!(server.maintain(0, vec![day_batch(1, 5, "k")]).is_err());
         server.shutdown().unwrap();
@@ -877,7 +939,8 @@ mod tests {
                 ..Default::default()
             },
             Obs::noop(),
-        );
+        )
+        .unwrap();
         assert!(server.maintain(7, vec![day_batch(1, 5, "k")]).is_err());
         server.shutdown().unwrap();
     }
@@ -891,7 +954,8 @@ mod tests {
                 ..Default::default()
             },
             Obs::noop(),
-        );
+        )
+        .unwrap();
         // Slot 0 is huge; greedy puts it alone on one arm.
         let mut batches = slot_batches(4, 10);
         batches[0] = vec![day_batch(1, 500, "k")];
@@ -913,7 +977,8 @@ mod tests {
             DiskArray::new(DiskConfig::default(), 2),
             ServerConfig::default(),
             obs.clone(),
-        );
+        )
+        .unwrap();
         server.install_wave(slot_batches(2, 30)).unwrap();
         server
             .probe(&SearchValue::from("k"), TimeRange::all())

@@ -114,7 +114,7 @@ fn readers_race_maintenance_and_always_see_a_committed_epoch() {
         reserve_maintenance_arm: true,
         ..ServerConfig::default()
     };
-    let server = WaveServer::launch(array, cfg, Obs::noop());
+    let server = WaveServer::launch(array, cfg, Obs::noop()).unwrap();
     server
         .install_wave((0..SLOTS).map(|j| slot_batches(j, 0)).collect())
         .unwrap();

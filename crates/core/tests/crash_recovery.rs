@@ -104,7 +104,6 @@ fn assert_no_orphans(store: &mut FileStore, loaded: &LoadedWave, ctx: &str) {
 /// Explores every crash point of one commit. `baseline` is the store
 /// directory to start each experiment from (may be empty = first
 /// commit). Returns the number of crash points explored.
-#[allow(clippy::too_many_arguments)]
 fn explore_commit(
     scheme: &dyn WaveScheme,
     vol: &mut Volume,

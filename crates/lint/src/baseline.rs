@@ -1,0 +1,254 @@
+//! The committed baseline and its ratchet semantics.
+//!
+//! `lint-baseline.toml` freezes the violation count of every
+//! `(rule, file)` pair at the moment it was last regenerated. The
+//! check is two-sided:
+//!
+//! * **growth** — more violations than the baseline records — fails:
+//!   new debt is rejected at the door.
+//! * **shrinkage** — fewer violations than recorded — also fails,
+//!   with instructions to regenerate: the baseline must ratchet
+//!   *down* with the code, so an improvement is locked in by the same
+//!   commit that made it and can never silently regress.
+//!
+//! The file is machine-written (`wavectl lint --fix-baseline`), in a
+//! deliberately tiny TOML subset: `[rule-name]` tables whose entries
+//! are `"path" = count`. Hand-editing works but is pointless — any
+//! mismatch with reality fails CI in one direction or the other.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// Parsed baseline: rule name → file → frozen violation count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The frozen counts.
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// Frozen count for `(rule, file)`; zero when absent.
+    pub fn get(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total frozen count for one rule.
+    pub fn rule_total(&self, rule: &str) -> usize {
+        self.counts
+            .get(rule)
+            .map(|files| files.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Parses the TOML subset written by [`Baseline::to_toml`].
+    /// Unknown syntax is an error — the file is machine-owned and a
+    /// parse gap would silently unfreeze violations.
+    pub fn from_toml(text: &str) -> Result<Baseline, String> {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(format!("line {}: empty table name", lineno + 1));
+                }
+                counts.entry(name.to_string()).or_default();
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"file\" = count`", lineno + 1));
+            };
+            let Some(rule) = &current else {
+                return Err(format!(
+                    "line {}: entry before any [rule] table",
+                    lineno + 1
+                ));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer", lineno + 1))?;
+            counts.entry(rule.clone()).or_default().insert(key, count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes, sorted, with the regeneration banner.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# wave-lint baseline: frozen violation counts per (rule, file).\n\
+             # Machine-written by `wavectl lint --fix-baseline`; do not edit by\n\
+             # hand. CI fails when any count grows (new violations) OR shrinks\n\
+             # (stale baseline -- regenerate to ratchet the debt down).\n",
+        );
+        for (rule, files) in &self.counts {
+            if files.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n[{rule}]\n"));
+            for (file, count) in files {
+                out.push_str(&format!("\"{file}\" = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Builds the baseline that freezes exactly `violations`.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for v in violations {
+            *counts
+                .entry(v.rule.to_string())
+                .or_default()
+                .entry(v.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+}
+
+/// One `(rule, file)` drift between reality and the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Rule name.
+    pub rule: String,
+    /// File path.
+    pub file: String,
+    /// Frozen count.
+    pub baseline: usize,
+    /// Current count.
+    pub current: usize,
+}
+
+/// Result of comparing current violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// `(rule, file)` pairs with more violations than frozen.
+    pub grown: Vec<Drift>,
+    /// `(rule, file)` pairs with fewer violations than frozen.
+    pub stale: Vec<Drift>,
+    /// Violations frozen by the baseline (count matches exactly).
+    pub frozen: usize,
+}
+
+impl Comparison {
+    /// Whether the tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares `violations` against `baseline`, both directions.
+pub fn compare(violations: &[Violation], baseline: &Baseline) -> Comparison {
+    let current = Baseline::from_violations(violations);
+    let mut cmp = Comparison::default();
+
+    // Every (rule, file) seen on either side.
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (rule, files) in current.counts.iter().chain(baseline.counts.iter()) {
+        for file in files.keys() {
+            let key = (rule.clone(), file.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    for (rule, file) in keys {
+        let cur = current.get(&rule, &file);
+        let base = baseline.get(&rule, &file);
+        match cur.cmp(&base) {
+            std::cmp::Ordering::Greater => cmp.grown.push(Drift {
+                rule,
+                file,
+                baseline: base,
+                current: cur,
+            }),
+            std::cmp::Ordering::Less => cmp.stale.push(Drift {
+                rule,
+                file,
+                baseline: base,
+                current: cur,
+            }),
+            std::cmp::Ordering::Equal => cmp.frozen += cur,
+        }
+    }
+    cmp.grown
+        .sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+    cmp.stale
+        .sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn toml_roundtrip_is_stable() {
+        let vs = vec![
+            v("no-panic-path", "a.rs", 1),
+            v("no-panic-path", "a.rs", 2),
+            v("lock-order", "b.rs", 3),
+        ];
+        let base = Baseline::from_violations(&vs);
+        let parsed = Baseline::from_toml(&base.to_toml()).expect("parses");
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.get("no-panic-path", "a.rs"), 2);
+        assert_eq!(parsed.rule_total("no-panic-path"), 2);
+    }
+
+    #[test]
+    fn growth_and_shrinkage_both_fail() {
+        let frozen = Baseline::from_violations(&[v("r", "a.rs", 1), v("r", "a.rs", 2)]);
+
+        let same = compare(&[v("r", "a.rs", 9), v("r", "a.rs", 10)], &frozen);
+        assert!(same.is_clean());
+        assert_eq!(same.frozen, 2);
+
+        let grown = compare(
+            &[v("r", "a.rs", 1), v("r", "a.rs", 2), v("r", "a.rs", 3)],
+            &frozen,
+        );
+        assert_eq!(grown.grown.len(), 1);
+        assert_eq!(grown.grown[0].current, 3);
+
+        let stale = compare(&[v("r", "a.rs", 1)], &frozen);
+        assert_eq!(stale.stale.len(), 1);
+        assert_eq!(stale.stale[0].baseline, 2);
+    }
+
+    #[test]
+    fn new_file_with_violations_counts_as_growth() {
+        let frozen = Baseline::default();
+        let cmp = compare(&[v("r", "new.rs", 1)], &frozen);
+        assert_eq!(cmp.grown.len(), 1);
+        assert_eq!(cmp.grown[0].baseline, 0);
+    }
+
+    #[test]
+    fn malformed_toml_is_rejected() {
+        assert!(Baseline::from_toml("\"orphan\" = 3\n").is_err());
+        assert!(Baseline::from_toml("[r]\nnot a pair\n").is_err());
+        assert!(Baseline::from_toml("[r]\n\"f\" = many\n").is_err());
+    }
+}

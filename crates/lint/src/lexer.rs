@@ -1,0 +1,487 @@
+//! A small Rust lexer: just enough fidelity to walk real source
+//! token-by-token without being fooled by the places naive regex
+//! scanners break — raw strings, nested block comments, `'a` lifetimes
+//! vs `'a'` char literals, byte strings, and `r#raw` identifiers.
+//!
+//! The lexer is lossy on purpose: it does not classify keywords,
+//! combine multi-character operators, or parse numbers precisely. It
+//! guarantees only that (1) every token carries the right line number
+//! and (2) source that *looks* like code but is actually inside a
+//! string or comment never produces tokens. Comments are kept on a
+//! side channel so rules can read `// SAFETY:` justifications and
+//! `// lint: allow(...)` directives.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Raw identifier, e.g. `r#match` (text excludes the `r#`).
+    RawIdent,
+    /// Lifetime or loop label, e.g. `'a` (text excludes the `'`).
+    Lifetime,
+    /// Character literal, e.g. `'x'` or `'\n'`.
+    Char,
+    /// Byte literal, e.g. `b'x'`.
+    Byte,
+    /// String literal (text is the raw source slice, quotes included).
+    Str,
+    /// Byte-string literal, e.g. `b"..."`.
+    ByteStr,
+    /// Raw (or raw byte) string literal, e.g. `r#"..."#`.
+    RawStr,
+    /// Numeric literal.
+    Number,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Source text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self.kind, TokenKind::Ident | TokenKind::RawIdent) && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment captured on the side channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` or `/* */` delimiters.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn eat_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes one Rust source file. Never fails: unrecognized bytes become
+/// single-character punctuation tokens, and unterminated literals run
+/// to end of file (the real compiler rejects those files anyway).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let mut text = String::new();
+                cur.eat_while(&mut text, |c| c != '\n');
+                out.comments.push(Comment { text, line });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while let Some(c) = cur.peek(0) {
+                    if c == '/' && cur.peek(1) == Some('*') {
+                        depth += 1;
+                        text.push(cur.bump().unwrap_or_default());
+                        text.push(cur.bump().unwrap_or_default());
+                    } else if c == '*' && cur.peek(1) == Some('/') {
+                        depth -= 1;
+                        text.push(cur.bump().unwrap_or_default());
+                        text.push(cur.bump().unwrap_or_default());
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(cur.bump().unwrap_or_default());
+                    }
+                }
+                out.comments.push(Comment { text, line });
+            }
+            '\'' => lex_quote(&mut cur, &mut out, line),
+            '"' => {
+                let text = lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+            }
+            'b' if matches!(cur.peek(1), Some('\'' | '"'))
+                || (cur.peek(1) == Some('r') && matches!(cur.peek(2), Some('"' | '#'))) =>
+            {
+                lex_byte_prefixed(&mut cur, &mut out, line);
+            }
+            'r' if matches!(cur.peek(1), Some('"' | '#')) => {
+                lex_r_prefixed(&mut cur, &mut out, line);
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                cur.eat_while(&mut text, is_ident_continue);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                });
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    text: c.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `'` starts either a lifetime/label (`'a`, `'static`, `'_`) or a
+/// char literal (`'a'`, `'\n'`, `'\u{1F}'`). Disambiguation: after the
+/// quote, an identifier run that is *not* closed by another `'` is a
+/// lifetime.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump(); // the opening '
+    match cur.peek(0) {
+        Some(c) if is_ident_start(c) => {
+            // Scan the identifier run without consuming, to see what
+            // follows it.
+            let mut end = 0usize;
+            while cur.peek(end).is_some_and(is_ident_continue) {
+                end += 1;
+            }
+            if end == 1 && cur.peek(1) == Some('\'') {
+                // 'a' — a char literal.
+                let mut text = String::from("'");
+                text.push(cur.bump().unwrap_or_default());
+                text.push(cur.bump().unwrap_or_default());
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                });
+            } else {
+                let mut text = String::new();
+                cur.eat_while(&mut text, is_ident_continue);
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                });
+            }
+        }
+        Some(_) => {
+            // Escape or punctuation char literal: consume to the
+            // closing quote, honouring backslash escapes.
+            let mut text = String::from("'");
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            });
+        }
+        None => {}
+    }
+}
+
+/// Consumes a `"..."` literal (cursor on the opening quote).
+fn lex_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or_default()); // opening "
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Consumes `r"..."` / `r#"..."#` / `r#ident` (cursor on the `r`).
+fn lex_r_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // Count the hashes after `r` without consuming.
+    let mut hashes = 0usize;
+    while cur.peek(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(1 + hashes) {
+        Some('"') => {
+            cur.bump(); // r
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            let text = lex_raw_string_body(cur, hashes);
+            out.tokens.push(Token {
+                kind: TokenKind::RawStr,
+                text,
+                line,
+            });
+        }
+        Some(c) if hashes == 1 && is_ident_start(c) => {
+            cur.bump(); // r
+            cur.bump(); // #
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            out.tokens.push(Token {
+                kind: TokenKind::RawIdent,
+                text,
+                line,
+            });
+        }
+        _ => {
+            // Plain identifier starting with r (e.g. `r#` at EOF, or
+            // `r` followed by nothing lexable as a raw form).
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+        }
+    }
+}
+
+/// Consumes `b'x'`, `b"..."`, `br"..."`, `br#"..."#` (cursor on `b`).
+fn lex_byte_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    match cur.peek(1) {
+        Some('\'') => {
+            cur.bump(); // b
+            let mut text = String::from("b'");
+            cur.bump(); // opening '
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Byte,
+                text,
+                line,
+            });
+        }
+        Some('"') => {
+            cur.bump(); // b
+            let text = lex_string(cur);
+            out.tokens.push(Token {
+                kind: TokenKind::ByteStr,
+                text: format!("b{text}"),
+                line,
+            });
+        }
+        Some('r') => {
+            let mut hashes = 0usize;
+            while cur.peek(2 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(2 + hashes) == Some('"') {
+                cur.bump(); // b
+                cur.bump(); // r
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                let text = lex_raw_string_body(cur, hashes);
+                out.tokens.push(Token {
+                    kind: TokenKind::RawStr,
+                    text,
+                    line,
+                });
+            } else {
+                let mut text = String::new();
+                cur.eat_while(&mut text, is_ident_continue);
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                });
+            }
+        }
+        _ => {
+            let mut text = String::new();
+            cur.eat_while(&mut text, is_ident_continue);
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+        }
+    }
+}
+
+/// Consumes the body of a raw string (cursor on the opening `"`),
+/// terminated by `"` followed by `hashes` hash characters.
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or_default()); // opening "
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let mut matched = true;
+            for i in 0..hashes {
+                if cur.peek(1 + i) != Some('#') {
+                    matched = false;
+                    break;
+                }
+            }
+            if matched {
+                text.push(cur.bump().unwrap_or_default());
+                for _ in 0..hashes {
+                    text.push(cur.bump().unwrap_or_default());
+                }
+                break;
+            }
+        }
+        text.push(cur.bump().unwrap_or_default());
+    }
+    text
+}
+
+/// Consumes a numeric literal: digits, then a fraction part only when
+/// `.` is followed by a digit (so `0..10` lexes as `0`, `.`, `.`,
+/// `10`), then an optional `e`/`E` exponent with sign. Suffixes and
+/// radix prefixes ride along as identifier characters.
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    cur.eat_while(&mut text, is_ident_continue);
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump().unwrap_or_default()); // .
+        cur.eat_while(&mut text, is_ident_continue);
+    }
+    if text.ends_with(['e', 'E'])
+        && matches!(cur.peek(0), Some('+' | '-'))
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump().unwrap_or_default()); // sign
+        cur.eat_while(&mut text, is_ident_continue);
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let l = lex(r##"let s = "x.unwrap()"; s.len();"##);
+        assert!(!idents(r##"let s = "x.unwrap()"; s.len();"##).contains(&"unwrap".to_string()));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn range_after_integer_is_two_dots() {
+        let l = lex("for i in 0..10 {}");
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

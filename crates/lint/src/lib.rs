@@ -1,0 +1,238 @@
+//! `wave-lint`: in-repo static analysis for the wave-index workspace.
+//!
+//! The invariants the paper's guarantees rest on — epoch flips that
+//! never expose two generations of a slot, crash commits that land
+//! exactly pre- or post-transition, simulations that replay
+//! bit-identically — are enforced by *code shape*, not just tests:
+//! the serving path must not panic, core crates must not read ambient
+//! time or entropy, locks follow one documented order, `unsafe` is
+//! audited, and engine entry points are observable. This crate makes
+//! those shapes machine-checked, with zero external dependencies (the
+//! workspace builds offline; so does its analyzer).
+//!
+//! # Pieces
+//!
+//! * [`lexer`] — a small Rust lexer that is not fooled by raw
+//!   strings, nested block comments, lifetimes vs char literals, or
+//!   raw identifiers.
+//! * [`scan`] — item/scope scanning: test regions, function bodies,
+//!   `// lint: allow(rule)` waivers.
+//! * [`rules`] — the five rules; each documents its own scope.
+//! * [`baseline`] — the committed `lint-baseline.toml` freeze file
+//!   and its two-sided ratchet.
+//!
+//! # Usage
+//!
+//! `wavectl lint [DIR]` checks the workspace rooted at `DIR` (default
+//! `.`) against its committed baseline; `wavectl lint --fix-baseline`
+//! regenerates the baseline after a deliberate change. See DESIGN.md
+//! "Static analysis & invariants".
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use baseline::{compare, Baseline};
+use rules::{all_rules, Violation};
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Everything one full lint pass produced.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All violations after waivers, sorted by (rule, file, line).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every Rust source file in the workspace at `root`.
+///
+/// Scans `crates/`, `src/`, `tests/`, and `examples/`, skipping
+/// `target/` and hidden directories. In-source waivers are already
+/// applied to the returned violations.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let rules = all_rules();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = fs::read_to_string(path)?;
+        let scan = scan::scan_file(&rel, &src);
+        for rule in &rules {
+            let mut found = Vec::new();
+            rule.check(&rel, &scan, &mut found);
+            violations.extend(
+                found
+                    .into_iter()
+                    .filter(|v| !scan.is_allowed(v.rule, v.line)),
+            );
+        }
+    }
+    violations.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(LintReport {
+        violations,
+        files_scanned: files.len(),
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Outcome of a full `wavectl lint` run, rendered for the terminal.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Human-readable report text.
+    pub report: String,
+    /// Whether the tree is clean against the baseline.
+    pub ok: bool,
+}
+
+/// Runs the full gate: lint the workspace at `root`, compare against
+/// the committed baseline, and render the result. With `fix_baseline`
+/// the baseline file is rewritten to freeze the current counts
+/// instead (the only sanctioned way to change it).
+///
+/// `Err` is operational failure (unreadable tree, corrupt baseline);
+/// a failing *check* is `Ok` with `ok: false`.
+pub fn run_lint(root: &Path, fix_baseline: bool) -> Result<LintOutcome, String> {
+    let report =
+        lint_workspace(root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
+    let baseline_path = root.join(BASELINE_FILE);
+
+    if fix_baseline {
+        let old = read_baseline(&baseline_path)?.unwrap_or_default();
+        let new = Baseline::from_violations(&report.violations);
+        fs::write(&baseline_path, new.to_toml())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        let mut out = format!(
+            "wave-lint: baseline regenerated ({} violations frozen across {} files scanned)\n",
+            report.violations.len(),
+            report.files_scanned
+        );
+        for rule in all_rules() {
+            let (was, now) = (old.rule_total(rule.name()), new.rule_total(rule.name()));
+            if was != now {
+                out.push_str(&format!("  {}: {} -> {}\n", rule.name(), was, now));
+            }
+        }
+        return Ok(LintOutcome {
+            report: out,
+            ok: true,
+        });
+    }
+
+    let baseline = match read_baseline(&baseline_path)? {
+        Some(b) => b,
+        None => {
+            return Ok(LintOutcome {
+                report: format!(
+                    "wave-lint: no {BASELINE_FILE} at {}; run `wavectl lint --fix-baseline` \
+                     to freeze the current state\n",
+                    root.display()
+                ),
+                ok: false,
+            })
+        }
+    };
+
+    let cmp = compare(&report.violations, &baseline);
+    let mut out = String::new();
+    if cmp.is_clean() {
+        out.push_str(&format!(
+            "wave-lint: clean ({} files scanned, {} frozen baseline violations)\n",
+            report.files_scanned, cmp.frozen
+        ));
+        for rule in all_rules() {
+            out.push_str(&format!(
+                "  {:>20}  frozen {:>3}  {}\n",
+                rule.name(),
+                baseline.rule_total(rule.name()),
+                rule.description()
+            ));
+        }
+        return Ok(LintOutcome {
+            report: out,
+            ok: true,
+        });
+    }
+
+    for d in &cmp.grown {
+        out.push_str(&format!(
+            "wave-lint: NEW violations of `{}` in {} ({} baseline, {} now):\n",
+            d.rule, d.file, d.baseline, d.current
+        ));
+        for v in report
+            .violations
+            .iter()
+            .filter(|v| v.rule == d.rule && v.file == d.file)
+        {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    for d in &cmp.stale {
+        out.push_str(&format!(
+            "wave-lint: STALE baseline for `{}` in {}: {} frozen but only {} remain.\n  \
+             Lock the improvement in: run `wavectl lint --fix-baseline` and commit the file.\n",
+            d.rule, d.file, d.baseline, d.current
+        ));
+    }
+    out.push_str(&format!(
+        "wave-lint: FAILED ({} grown, {} stale)\n",
+        cmp.grown.len(),
+        cmp.stale.len()
+    ));
+    Ok(LintOutcome {
+        report: out,
+        ok: false,
+    })
+}
+
+fn read_baseline(path: &Path) -> Result<Option<Baseline>, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => Baseline::from_toml(&text)
+            .map(Some)
+            .map_err(|e| format!("corrupt {}: {e}", path.display())),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

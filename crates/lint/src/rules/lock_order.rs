@@ -1,0 +1,295 @@
+//! `lock-order`: locks are acquired in one documented global order.
+//!
+//! The workspace's shared structures hold at most two locks at once —
+//! `SharedWave` takes its wave `RwLock` before its volume `Mutex`;
+//! `WaveServer`'s route table is a single lock — and the only reason
+//! that cannot deadlock is the *order*. This rule makes the order
+//! machine-checked: within a function, acquiring a lock that sorts
+//! earlier in [`LOCK_ORDER`] while holding one that sorts later is a
+//! violation, as is re-acquiring a lock already held (self-deadlock
+//! for a `Mutex`, writer starvation for an `RwLock`).
+//!
+//! The table below is the one documented in ARCHITECTURE.md's "Lock
+//! order" section; keep the two in sync.
+//!
+//! Detection is token-level and scoped per function body: an
+//! acquisition is `<name>.lock()`, `<name>.read()`, or
+//! `<name>.write()` where `<name>` is in the table (receivers are
+//! field names, so `self.vol.lock()` acquires `vol`), or a call to a
+//! guard-returning helper listed in [`HELPER_ACQUIRERS`]. A `let`-bound
+//! guard is held to the end of its enclosing block (or an explicit
+//! `drop(guard)`); a guard in a `match`/`if` scrutinee likewise; any
+//! other acquisition is a temporary released at the end of its
+//! statement.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Rule, Violation};
+use crate::scan::FileScan;
+
+/// The global acquisition order, outermost first. `wave` (the
+/// `SharedWave` structure lock) is taken before `vol` (its volume
+/// mutex); `route` (the `WaveServer` routing table) is never held
+/// together with either, but slots between them so any future pairing
+/// has a defined order.
+pub const LOCK_ORDER: &[&str] = &["wave", "route", "vol"];
+
+/// Guard-returning helper methods and the lock each one acquires.
+/// These are the poison-mapping accessors in `server.rs` and
+/// `concurrent.rs`; acquiring through them must count, or the rule
+/// goes blind exactly where the locks are actually taken.
+pub const HELPER_ACQUIRERS: &[(&str, &str)] = &[
+    ("route_read", "route"),
+    ("route_write", "route"),
+    ("wave_read", "wave"),
+    ("wave_write", "wave"),
+    ("vol_lock", "vol"),
+];
+
+/// Path prefix the rule applies to.
+const SCOPE: &str = "crates/core/src/";
+
+fn rank(name: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|n| *n == name)
+}
+
+/// When a held guard is released again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Release {
+    /// At the end of the block it was acquired in (a `let` binding or
+    /// a `match`/`if` scrutinee temporary).
+    BlockEnd,
+    /// At the end of the acquiring statement (a plain temporary).
+    StmtEnd,
+}
+
+#[derive(Debug)]
+struct Held {
+    name: &'static str,
+    rank: usize,
+    depth: i32,
+    release: Release,
+    binding: Option<String>,
+}
+
+/// See the [module docs](self).
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "locks must be acquired in the documented global order"
+    }
+
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>) {
+        if !rel_path.starts_with(SCOPE) || scan.whole_file_test {
+            return;
+        }
+        let mut found = Vec::new();
+        for f in &scan.fns {
+            if scan.is_test_line(f.line) {
+                continue;
+            }
+            check_fn(self.name(), rel_path, scan, f.body.clone(), &mut found);
+        }
+        // Nested functions are scanned as part of their parent too;
+        // identical findings from both passes collapse here.
+        found.sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
+        found.dedup();
+        out.extend(found);
+    }
+}
+
+fn check_fn(
+    rule: &'static str,
+    rel_path: &str,
+    scan: &FileScan,
+    body: std::ops::Range<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &scan.tokens;
+    let mut depth: i32 = 0;
+    let mut held: Vec<Held> = Vec::new();
+
+    for i in body.clone() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            TokenKind::Punct(';') => {
+                held.retain(|h| !(h.release == Release::StmtEnd && h.depth >= depth));
+            }
+            TokenKind::Ident => {
+                // drop(<binding>) releases that guard early.
+                if t.is_ident("drop")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+                {
+                    if let Some(arg) = toks.get(i + 2) {
+                        held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+                    }
+                }
+                if let Some(name) = acquisition_at(toks, i, body.start) {
+                    let new_rank = match rank(name) {
+                        Some(r) => r,
+                        None => continue,
+                    };
+                    for h in &held {
+                        if h.name == name {
+                            out.push(Violation {
+                                rule,
+                                file: rel_path.to_string(),
+                                line: t.line,
+                                message: format!(
+                                    "re-acquiring `{name}` while a `{name}` guard is still held"
+                                ),
+                            });
+                        } else if h.rank > new_rank {
+                            out.push(Violation {
+                                rule,
+                                file: rel_path.to_string(),
+                                line: t.line,
+                                message: format!(
+                                    "acquiring `{name}` while holding `{}` reverses the \
+                                     documented order {:?} (see ARCHITECTURE.md \"Lock order\")",
+                                    h.name, LOCK_ORDER
+                                ),
+                            });
+                        }
+                    }
+                    let (release, binding) = statement_context(toks, i, body.start);
+                    held.push(Held {
+                        name,
+                        rank: new_rank,
+                        depth,
+                        release,
+                        binding,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// If the token at `i` completes a lock acquisition, the lock's name.
+fn acquisition_at(toks: &[Token], i: usize, body_start: usize) -> Option<&'static str> {
+    let t = &toks[i];
+    // `<name>.lock()` / `.read()` / `.write()`
+    if matches!(t.text.as_str(), "lock" | "read" | "write")
+        && i >= body_start + 2
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && toks.get(i + 2).is_some_and(|n| n.is_punct(')'))
+    {
+        let recv = &toks[i - 2];
+        if matches!(recv.kind, TokenKind::Ident | TokenKind::RawIdent) {
+            return LOCK_ORDER.iter().find(|n| recv.text == **n).copied();
+        }
+    }
+    // Guard-returning helpers: `route_read(` etc.
+    if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        for (helper, lock) in HELPER_ACQUIRERS {
+            if t.is_ident(helper) {
+                return Some(lock);
+            }
+        }
+    }
+    None
+}
+
+/// Classifies the statement an acquisition at token `i` lives in, by
+/// scanning back to the start of the statement: `let`-bound guards
+/// (and `match`/`if`/`while` scrutinee temporaries) live to the end
+/// of the enclosing block; anything else dies at the statement's `;`.
+/// For `let` bindings, also extracts the bound identifier so a later
+/// `drop(ident)` can release it.
+fn statement_context(toks: &[Token], i: usize, body_start: usize) -> (Release, Option<String>) {
+    let mut k = i;
+    while k > body_start {
+        let p = &toks[k - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    let stmt = &toks[k..i];
+    if stmt.first().is_some_and(|t| t.is_ident("let")) {
+        let binding = stmt
+            .iter()
+            .skip(1)
+            .find(|t| {
+                matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) && !t.is_ident("mut")
+            })
+            .map(|t| t.text.clone());
+        return (Release::BlockEnd, binding);
+    }
+    if stmt
+        .iter()
+        .any(|t| t.is_ident("match") || t.is_ident("if") || t.is_ident("while"))
+    {
+        return (Release::BlockEnd, None);
+    }
+    (Release::StmtEnd, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let path = "crates/core/src/concurrent.rs";
+        let scan = scan_file(path, src);
+        let mut out = Vec::new();
+        LockOrder.check(path, &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn correct_order_is_clean() {
+        let src = "fn f(&self) {\n    let wave = self.wave.read().unwrap();\n    let vol = self.vol.lock().unwrap();\n}\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn reversed_order_is_flagged() {
+        let src = "fn f(&self) {\n    let vol = self.vol.lock().unwrap();\n    let wave = self.wave.read().unwrap();\n}\n";
+        let got = run(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 3);
+        assert!(got[0].message.contains("reverses"));
+    }
+
+    #[test]
+    fn reacquisition_is_flagged_and_block_scoping_releases() {
+        let bad = "fn f(&self) {\n    let a = self.vol.lock().unwrap();\n    let b = self.vol.lock().unwrap();\n}\n";
+        assert_eq!(run(bad).len(), 1);
+
+        // Per-iteration guard: released at the loop body's `}`.
+        let ok = "fn f(&self) {\n    for x in 0..2 {\n        let vol = self.vol.lock().unwrap();\n    }\n    let wave = self.wave.read().unwrap();\n}\n";
+        assert!(run(ok).is_empty(), "{:?}", run(ok));
+    }
+
+    #[test]
+    fn drop_and_statement_temporaries_release() {
+        let ok = "fn f(&self) {\n    let vol = self.vol.lock().unwrap();\n    drop(vol);\n    let wave = self.wave.read().unwrap();\n}\n";
+        assert!(run(ok).is_empty(), "{:?}", run(ok));
+
+        let ok2 = "fn f(&self) {\n    self.vol.lock().unwrap().tick();\n    let wave = self.wave.read().unwrap();\n}\n";
+        assert!(run(ok2).is_empty(), "{:?}", run(ok2));
+    }
+
+    #[test]
+    fn helper_acquirers_count_as_route() {
+        let src = "fn f(&self) {\n    let vol = self.vol.lock().unwrap();\n    let route = self.route_read()?;\n}\n";
+        let got = run(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("`route`"));
+    }
+}

@@ -1,0 +1,68 @@
+//! The rule catalogue.
+//!
+//! Every rule implements [`Rule`]: given one scanned file it appends
+//! [`Violation`]s. Rules decide their own scope (which paths, whether
+//! test code counts) and document it on their type. In-source waivers
+//! (`// lint: allow(rule-name)` on the offending line or the line
+//! above) are applied centrally by the engine, so rules report
+//! everything they see.
+
+pub mod determinism;
+pub mod lock_order;
+pub mod panic_path;
+pub mod span_coverage;
+pub mod unsafe_audit;
+
+pub use determinism::DeterministicCore;
+pub use lock_order::{LockOrder, LOCK_ORDER};
+pub use panic_path::NoPanicPath;
+pub use span_coverage::{ObsSpanCoverage, REQUIRED_SPANS};
+pub use unsafe_audit::UnsafeAudit;
+
+use crate::scan::FileScan;
+
+/// One finding: a rule, a place, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name, e.g. `no-panic-path`.
+    pub rule: &'static str,
+    /// Workspace-relative file path with forward slashes.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable description of the construct found.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// A static-analysis rule.
+pub trait Rule {
+    /// Stable rule name (used in baselines and waivers).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `wavectl lint` output.
+    fn description(&self) -> &'static str;
+
+    /// Appends this rule's findings for one file.
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>);
+}
+
+/// The full rule set, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicPath),
+        Box::new(DeterministicCore),
+        Box::new(LockOrder),
+        Box::new(UnsafeAudit),
+        Box::new(ObsSpanCoverage),
+    ]
+}

@@ -1,0 +1,100 @@
+//! `obs-span-coverage`: public engine entry points open a trace span.
+//!
+//! The wave-obs layer only earns its keep if the operations operators
+//! actually wait on — driver days, server queries, maintenance swaps —
+//! are spanned; a silent entry point is a blind spot in every
+//! `wavectl trace` capture. This rule pins the invariant: each entry
+//! point in [`REQUIRED_SPANS`] must call `.span(` somewhere in its
+//! body. Adding a new public entry point to the engine should come
+//! with a span *and* a row in this table.
+
+use crate::rules::{Rule, Violation};
+use crate::scan::FileScan;
+
+/// `(file, function)` pairs that must open a `wave_obs` span.
+pub const REQUIRED_SPANS: &[(&str, &str)] = &[
+    ("crates/core/src/driver.rs", "start"),
+    ("crates/core/src/driver.rs", "step"),
+    ("crates/core/src/server.rs", "install_wave"),
+    ("crates/core/src/server.rs", "fan_out"),
+    ("crates/core/src/server.rs", "maintain"),
+];
+
+/// See the [module docs](self).
+pub struct ObsSpanCoverage;
+
+impl Rule for ObsSpanCoverage {
+    fn name(&self) -> &'static str {
+        "obs-span-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "listed engine entry points must open a wave-obs span"
+    }
+
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>) {
+        for (file, fn_name) in REQUIRED_SPANS {
+            if rel_path != *file {
+                continue;
+            }
+            let Some(f) = scan.fns.iter().find(|f| f.name == *fn_name) else {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: rel_path.to_string(),
+                    line: 1,
+                    message: format!(
+                        "entry point `{fn_name}` not found; update the obs-span-coverage table \
+                         if it was renamed"
+                    ),
+                });
+                continue;
+            };
+            let body = &scan.tokens[f.body.clone()];
+            let opens_span = body.iter().enumerate().any(|(k, t)| {
+                t.is_ident("span")
+                    && k > 0
+                    && body[k - 1].is_punct('.')
+                    && body.get(k + 1).is_some_and(|n| n.is_punct('('))
+            });
+            if !opens_span {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: rel_path.to_string(),
+                    line: f.line,
+                    message: format!("entry point `{fn_name}` never opens a wave-obs span"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let scan = scan_file(path, src);
+        let mut out = Vec::new();
+        ObsSpanCoverage.check(path, &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn spanned_entry_point_is_clean_unspanned_is_flagged() {
+        let good = "impl D {\n    pub fn start(&mut self) {\n        let span = self.obs.span(\"start\", &[]);\n    }\n    pub fn step(&mut self) {\n        let span = self.obs.span(\"step\", &[]);\n    }\n}\n";
+        assert!(run("crates/core/src/driver.rs", good).is_empty());
+
+        let bad = "impl D {\n    pub fn start(&mut self) {}\n    pub fn step(&mut self) {\n        let span = self.obs.span(\"step\", &[]);\n    }\n}\n";
+        let got = run("crates/core/src/driver.rs", bad);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("`start`"));
+    }
+
+    #[test]
+    fn missing_entry_point_is_reported_so_the_table_stays_synced() {
+        let src = "pub fn unrelated() {}\n";
+        let got = run("crates/core/src/driver.rs", src);
+        assert_eq!(got.len(), 2, "{got:?}");
+    }
+}

@@ -1,0 +1,79 @@
+//! `unsafe-audit`: every `unsafe` carries a written justification.
+//!
+//! The workspace is currently 100% safe Rust and intends to stay
+//! overwhelmingly so; any `unsafe` that does appear (a future SIMD
+//! kernel, an mmap'd store) must explain why the compiler's checks
+//! are soundly replaced. Concretely: every `unsafe` token — block,
+//! `unsafe fn`, or `unsafe impl` — must have a comment containing
+//! `SAFETY:` on the same line or within the three lines above it.
+//!
+//! Scope: every file, test code included (an unsound test is still
+//! unsound).
+
+use crate::rules::{Rule, Violation};
+use crate::scan::FileScan;
+
+/// How many lines above the `unsafe` token a `SAFETY:` comment may
+/// sit (attributes or a signature may intervene).
+const SAFETY_WINDOW: u32 = 3;
+
+/// See the [module docs](self).
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` needs a `// SAFETY:` comment within 3 lines above"
+    }
+
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>) {
+        for t in &scan.tokens {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let justified = scan.comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.line <= t.line && c.line + SAFETY_WINDOW >= t.line
+            });
+            if !justified {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` justification".to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let path = "crates/storage/src/block.rs";
+        let scan = scan_file(path, src);
+        let mut out = Vec::new();
+        UnsafeAudit.check(path, &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(run(src).is_empty());
+        // The word in a doc string does not count; only comments do.
+        let fake = "fn f(p: *const u8) -> u8 {\n    let s = \"SAFETY: not a comment\";\n    unsafe { *p }\n}\n";
+        assert_eq!(run(fake).len(), 1);
+    }
+}

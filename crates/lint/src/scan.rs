@@ -1,0 +1,249 @@
+//! Item/scope scanning over the token stream: which lines are test
+//! code, where function bodies begin and end, and which lines carry
+//! `// lint: allow(rule)` waivers.
+//!
+//! The scanner is deliberately lightweight — it tracks attributes,
+//! brace nesting, and `fn` items, not the full grammar. That is enough
+//! for the rules in [`crate::rules`], all of which reason about token
+//! neighbourhoods inside a known scope.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A scanned function item.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// Function name (raw identifiers without the `r#`).
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *including* both braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// The comment side channel.
+    pub comments: Vec<crate::lexer::Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items or
+    /// `#[test]` functions.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Every function item found, in source order (nested functions
+    /// appear after their parent).
+    pub fns: Vec<FnScope>,
+    /// `(line, rule)` pairs from `// lint: allow(rule)` comments; the
+    /// waiver covers the comment's own line and the line after it.
+    pub allows: Vec<(u32, String)>,
+    /// Whether the whole file is test/bench/example code by location
+    /// (`tests/`, `benches/`, `examples/` directories).
+    pub whole_file_test: bool,
+}
+
+impl FileScan {
+    /// Whether `line` is inside test code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.whole_file_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether a `lint: allow(rule)` waiver covers `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Scans one file. `rel_path` uses forward slashes relative to the
+/// workspace root; it decides [`FileScan::whole_file_test`].
+pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
+    let Lexed { tokens, comments } = lex(src);
+    let whole_file_test = rel_path
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+
+    let mut allows = Vec::new();
+    for c in &comments {
+        // Accept `lint: allow(rule)` and `lint:allow(rule)` anywhere
+        // in a comment; several rules may be waived in one comment.
+        let mut rest = c.text.as_str();
+        while let Some(i) = rest.find("lint:") {
+            rest = rest[i + 5..].trim_start();
+            if let Some(args) = rest.strip_prefix("allow(") {
+                if let Some(end) = args.find(')') {
+                    for rule in args[..end].split(',') {
+                        allows.push((c.line, rule.trim().to_string()));
+                    }
+                    rest = &args[end + 1..];
+                }
+            }
+        }
+    }
+
+    let mut test_ranges = Vec::new();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('#') {
+            // Attribute: `#[...]` or `#![...]`. Find its extent and,
+            // for `#[test]` / `#[cfg(test)]`-family attributes, mark
+            // the item that follows as test code.
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct('[') {
+                let close = match matching(&tokens, j, '[', ']') {
+                    Some(c) => c,
+                    None => break,
+                };
+                if attr_is_test(&tokens[j + 1..close]) {
+                    if let Some(end_line) = item_end_line(&tokens, close + 1) {
+                        test_ranges.push((t.line, end_line));
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if matches!(name_tok.kind, TokenKind::Ident | TokenKind::RawIdent) {
+                    if let Some(open) = find_body_open(&tokens, i + 2) {
+                        if let Some(close) = matching(&tokens, open, '{', '}') {
+                            fns.push(FnScope {
+                                name: name_tok.text.clone(),
+                                line: t.line,
+                                body: open..close + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    FileScan {
+        tokens,
+        comments,
+        test_ranges,
+        fns,
+        allows,
+        whole_file_test,
+    }
+}
+
+/// Whether attribute tokens (the part between `[` and `]`) gate test
+/// code: exactly `test` or exactly `cfg(test)`. Anything more complex
+/// (`cfg(not(test))`, `cfg(any(test, …))`) is treated as live code —
+/// a false *positive* there is visible and waivable, while silently
+/// skipping live code would hide violations.
+fn attr_is_test(inner: &[Token]) -> bool {
+    (inner.len() == 1 && inner[0].is_ident("test"))
+        || (inner.len() == 4
+            && inner[0].is_ident("cfg")
+            && inner[1].is_punct('(')
+            && inner[2].is_ident("test")
+            && inner[3].is_punct(')'))
+}
+
+/// Index of the delimiter matching `tokens[open]` (which must be
+/// `open_c`), or `None` when unbalanced.
+fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// From a function signature (just after `fn name`), the index of the
+/// body's opening `{` — or `None` for a bodyless declaration (trait
+/// method ending in `;`). Parentheses and brackets in the signature
+/// are skipped at depth.
+fn find_body_open(tokens: &[Token], mut i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => return Some(i),
+            TokenKind::Punct(';') if depth == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Last line of the item starting at token `i` (after its
+/// attributes): scans to its body's closing brace, or to a top-level
+/// `;` for braceless items.
+fn item_end_line(tokens: &[Token], i: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut k = i;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => {
+                let close = matching(tokens, k, '{', '}')?;
+                return Some(tokens[close].line);
+            }
+            TokenKind::Punct(';') if depth == 0 => return Some(t.line),
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.last().map(|t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_code() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_live() {}\n";
+        let scan = scan_file("crates/x/src/lib.rs", src);
+        assert!(!scan.is_test_line(1));
+        assert!(scan.is_test_line(3));
+        assert!(scan.is_test_line(4));
+        assert!(!scan.is_test_line(6));
+    }
+
+    #[test]
+    fn fn_bodies_are_delimited() {
+        let src = "fn a(x: u8) -> u8 { x }\nfn b() { { } }\n";
+        let scan = scan_file("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = scan.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "// lint: allow(no-panic-path)\nlet x = y.unwrap();\n";
+        let scan = scan_file("crates/x/src/lib.rs", src);
+        assert!(scan.is_allowed("no-panic-path", 1));
+        assert!(scan.is_allowed("no-panic-path", 2));
+        assert!(!scan.is_allowed("no-panic-path", 3));
+        assert!(!scan.is_allowed("deterministic-core", 2));
+    }
+}

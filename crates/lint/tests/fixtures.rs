@@ -1,0 +1,285 @@
+//! Fixture tests: the lexer against the source shapes that break
+//! naive scanners, the scope scanner's test-code skipping, each rule
+//! against a deliberate violation, and the baseline ratchet end to
+//! end on a throwaway workspace.
+
+use wave_lint::lexer::{lex, TokenKind};
+use wave_lint::rules::{all_rules, Violation};
+use wave_lint::scan::scan_file;
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+        .map(|t| t.text)
+        .collect()
+}
+
+/// Runs every rule over `src` as if it were the given in-scope file.
+fn violations(path: &str, src: &str) -> Vec<Violation> {
+    let scan = scan_file(path, src);
+    let mut out = Vec::new();
+    for rule in all_rules() {
+        let mut found = Vec::new();
+        rule.check(path, &scan, &mut found);
+        out.extend(
+            found
+                .into_iter()
+                .filter(|v| !scan.is_allowed(v.rule, v.line)),
+        );
+    }
+    out
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    // One hash, two hashes, and an inner quote-hash that must not
+    // terminate the two-hash literal early.
+    let src = r####"
+let a = r#"contains .unwrap() and "quotes""#;
+let b = r##"still going "# not the end"##;
+let c = r"plain raw";
+"####;
+    let l = lex(src);
+    assert_eq!(
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .count(),
+        3
+    );
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+    // The `not the end` text stayed inside literal `b`.
+    assert!(!idents(src).contains(&"not".to_string()));
+}
+
+#[test]
+fn nested_block_comments_stay_comments() {
+    let src = "/* outer /* inner .unwrap() */ still comment */ fn live() {}";
+    let l = lex(src);
+    assert_eq!(l.comments.len(), 1);
+    assert!(l.comments[0].text.contains("inner"));
+    assert!(idents(src).contains(&"live".to_string()));
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let src = "fn f<'a>(x: &'a str, l: &'static str) -> char { 'a' }";
+    let l = lex(src);
+    let lifetimes: Vec<_> = l
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["a", "a", "static"]);
+    let chars: Vec<_> = l
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, ["'a'"]);
+}
+
+#[test]
+fn escaped_and_punct_char_literals_close_correctly() {
+    let src = r"let tab = '\t'; let quote = '\''; let brace = '{'; fn after() {}";
+    let l = lex(src);
+    assert_eq!(
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count(),
+        3
+    );
+    // If any literal leaked, `after` would be swallowed.
+    assert!(idents(src).contains(&"after".to_string()));
+}
+
+#[test]
+fn byte_strings_and_byte_literals() {
+    let src = r##"let a = b"bytes with .unwrap()"; let b = br#"raw bytes"#; let c = b'x';"##;
+    let l = lex(src);
+    assert_eq!(
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::ByteStr)
+            .count(),
+        1
+    );
+    assert_eq!(
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .count(),
+        1
+    );
+    assert_eq!(
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Byte)
+            .count(),
+        1
+    );
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn raw_identifiers_are_identifiers() {
+    let src = "fn r#match(r#type: u32) {}";
+    let ids = idents(src);
+    assert!(ids.contains(&"match".to_string()));
+    assert!(ids.contains(&"type".to_string()));
+}
+
+// In no-panic-path scope but free of obs-span-coverage's required
+// entry points, so fixtures see only the rule under test.
+const IN_SCOPE: &str = "crates/core/src/concurrent.rs";
+
+#[test]
+fn cfg_test_items_are_skipped_by_rules() {
+    let src = "\
+fn live() {
+    let x = compute();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Vec<u32> = vec![];
+        v.first().unwrap();
+    }
+}
+";
+    assert!(violations(IN_SCOPE, src).is_empty());
+}
+
+#[test]
+fn cfg_not_test_is_live_code() {
+    let src = "\
+#[cfg(not(test))]
+fn live(v: &[u32]) {
+    v.first().unwrap();
+}
+";
+    let got = violations(IN_SCOPE, src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, "no-panic-path");
+}
+
+#[test]
+fn each_rule_fires_on_its_fixture_with_file_and_line() {
+    // (rule, fixture). Each fixture is minimal and the expected line
+    // is where the marker `HERE` sits.
+    let fixtures: &[(&str, &str, &str)] = &[
+        (
+            "no-panic-path",
+            IN_SCOPE,
+            "fn f(v: Vec<u32>) {\n    v.first().unwrap(); // HERE\n}\n",
+        ),
+        (
+            "deterministic-core",
+            "crates/core/src/driver.rs",
+            "fn f() {\n    let t = Instant::now(); // HERE\n}\n",
+        ),
+        (
+            "lock-order",
+            "crates/core/src/concurrent.rs",
+            "fn f(&self) {\n    let vol = self.vol.lock().unwrap();\n    let wave = self.wave.read().unwrap(); // HERE\n}\n",
+        ),
+        (
+            "unsafe-audit",
+            "crates/core/src/index.rs",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // HERE\n}\n",
+        ),
+    ];
+    for (rule, path, src) in fixtures {
+        let got = violations(path, src);
+        let marker_line = src
+            .lines()
+            .position(|l| l.contains("HERE"))
+            .expect("fixture has a HERE marker") as u32
+            + 1;
+        assert!(
+            got.iter()
+                .any(|v| v.rule == *rule && v.file == *path && v.line == marker_line),
+            "rule {rule} missing from {got:?} (want line {marker_line})"
+        );
+    }
+}
+
+#[test]
+fn waiver_comments_suppress_the_named_rule_only() {
+    let src = "\
+fn f(v: Vec<u32>) {
+    // lint: allow(no-panic-path) -- bounds established by caller
+    v.first().unwrap();
+}
+";
+    assert!(violations(IN_SCOPE, src).is_empty());
+    // A waiver for a different rule does not help.
+    let other = "\
+fn f(v: Vec<u32>) {
+    // lint: allow(deterministic-core)
+    v.first().unwrap();
+}
+";
+    assert_eq!(violations(IN_SCOPE, other).len(), 1);
+}
+
+/// The full gate on a throwaway workspace: freeze, grow, shrink.
+#[test]
+fn baseline_ratchet_end_to_end() {
+    use std::fs;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "wave-lint-fixture-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let src_dir = root.join("crates/core/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    let file = src_dir.join("concurrent.rs");
+
+    // One violation, frozen.
+    fs::write(&file, "fn f(v: Vec<u32>) {\n    v.first().unwrap();\n}\n").unwrap();
+    let fix = wave_lint::run_lint(&root, true).unwrap();
+    assert!(fix.ok, "{}", fix.report);
+    let check = wave_lint::run_lint(&root, false).unwrap();
+    assert!(check.ok, "{}", check.report);
+    assert!(check.report.contains("clean"));
+
+    // Growth fails and names rule, file, line.
+    fs::write(
+        &file,
+        "fn f(v: Vec<u32>) {\n    v.first().unwrap();\n    v.last().unwrap();\n}\n",
+    )
+    .unwrap();
+    let grown = wave_lint::run_lint(&root, false).unwrap();
+    assert!(!grown.ok);
+    assert!(grown.report.contains("no-panic-path"), "{}", grown.report);
+    assert!(
+        grown.report.contains("crates/core/src/concurrent.rs:3"),
+        "{}",
+        grown.report
+    );
+
+    // Shrinkage also fails (stale baseline), pointing at --fix-baseline.
+    fs::write(&file, "fn f(v: Vec<u32>) {}\n").unwrap();
+    let stale = wave_lint::run_lint(&root, false).unwrap();
+    assert!(!stale.ok);
+    assert!(stale.report.contains("STALE"), "{}", stale.report);
+    assert!(stale.report.contains("--fix-baseline"), "{}", stale.report);
+
+    // Regenerating is the sanctioned way out.
+    let refix = wave_lint::run_lint(&root, true).unwrap();
+    assert!(refix.ok);
+    assert!(wave_lint::run_lint(&root, false).unwrap().ok);
+
+    fs::remove_dir_all(&root).unwrap();
+}

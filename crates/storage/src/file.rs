@@ -77,19 +77,30 @@ impl FileStore {
     }
 
     /// Opens a store in a fresh unique temporary directory.
+    ///
+    /// Naming is fully deterministic within a process — pid plus a
+    /// per-process atomic counter, no wall clock — so runs replay
+    /// identically. Uniqueness against leftovers of a recycled pid is
+    /// guaranteed by *exclusive* directory creation: an
+    /// already-existing candidate is skipped, not reused.
     pub fn open_temp() -> StorageResult<Self> {
-        // Avoid collisions between parallel tests without extra deps:
-        // pid + monotonic counter + timestamp.
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let t = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos())
-            .unwrap_or(0);
-        let dir =
-            std::env::temp_dir().join(format!("wave-store-{}-{}-{}", std::process::id(), n, t));
-        Self::open(dir)
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!("wave-store-{}-{}", std::process::id(), n));
+            match fs::create_dir(&dir) {
+                Ok(()) => {
+                    return Ok(FileStore {
+                        root: dir,
+                        next_id: 0,
+                        names: HashMap::new(),
+                    })
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Path of the store's root directory.
