@@ -44,6 +44,20 @@ echo "==> bench-parallel --smoke"
 cargo run -q --release --offline -p wavectl -- bench-parallel --smoke \
   --out target/BENCH_parallel_smoke.json >/dev/null
 
+# The batched-I/O gates: the elevator scheduler must stay byte-exact
+# and never cost more than naive request order, batched probes must
+# match per-value probes everywhere (index and server), and the
+# bulk-build/query-batch sweep must hold its speedup bounds (--smoke
+# keeps it CI-sized; the full sweep is `wavectl bench-batch`).
+echo "==> I/O scheduler property tests"
+cargo test -q -p wave-storage --offline sched::
+echo "==> batched query equivalence"
+cargo test -q -p wave-index --offline query_batch
+
+echo "==> bench-batch --smoke"
+cargo run -q --release --offline -p wavectl -- bench-batch --smoke \
+  --out target/BENCH_batch_smoke.json >/dev/null
+
 # Optional sanitizer pass: Miri catches UB the tests cannot. It needs
 # a nightly toolchain with the miri component, which the offline CI
 # image may not have — skip cleanly when absent rather than failing.

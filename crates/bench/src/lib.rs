@@ -13,11 +13,13 @@
 //!   measured by running the real schemes on generated workloads over
 //!   the simulated disk.
 
+pub mod batch;
 pub mod harness;
 pub mod parallel;
 pub mod render;
 pub mod sim;
 
+pub use batch::{BatchResult, BatchSweep};
 pub use harness::Group;
 pub use parallel::{run_sweep, MixResult, ParallelSweep};
 pub use render::{render_figure, write_figure_csv};

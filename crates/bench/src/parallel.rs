@@ -146,24 +146,25 @@ impl MixResult {
 }
 
 /// The per-slot day batches a scheme's `Start` produced, densified to
-/// slots `0..m` in ascending original-slot order.
-fn scheme_partition(kind: SchemeKind, sweep: &ParallelSweep) -> Vec<Vec<DayBatch>> {
-    let mut articles = ArticleGenerator::new(
-        sweep.vocab,
-        sweep.articles_per_day,
-        sweep.words_per_article,
-        sweep.seed,
-    );
+/// slots `0..m` in ascending original-slot order. Shared with the
+/// [batched-I/O sweep](crate::batch), which partitions the same way.
+pub(crate) fn scheme_partition(
+    kind: SchemeKind,
+    window: u32,
+    fan: usize,
+    articles_per_day: usize,
+    words_per_article: usize,
+    vocab: usize,
+    seed: u64,
+) -> Vec<Vec<DayBatch>> {
+    let mut articles = ArticleGenerator::new(vocab, articles_per_day, words_per_article, seed);
     let mut archive = DayArchive::new();
-    for d in 1..=sweep.window {
+    for d in 1..=window {
         archive.insert(articles.day_batch(Day(d)));
     }
     let mut scratch = Volume::default();
     let mut scheme = kind
-        .build(SchemeConfig::new(
-            sweep.window,
-            sweep.fan.max(kind.min_fan()),
-        ))
+        .build(SchemeConfig::new(window, fan.max(kind.min_fan())))
         .expect("sweep scheme config is valid");
     scheme
         .start(&mut scratch, &archive)
@@ -273,7 +274,15 @@ fn run_oracle(partition: &[Vec<DayBatch>], queries: &[Query]) -> OracleRun {
 pub fn run_sweep(sweep: &ParallelSweep) -> Vec<MixResult> {
     let mut results = Vec::new();
     for &kind in &sweep.schemes {
-        let partition = scheme_partition(kind, sweep);
+        let partition = scheme_partition(
+            kind,
+            sweep.window,
+            sweep.fan,
+            sweep.articles_per_day,
+            sweep.words_per_article,
+            sweep.vocab,
+            sweep.seed,
+        );
         for mix in ["uniform-probe", "zipf-probe", "scan"] {
             let queries = mix_queries(mix, sweep);
             if queries.is_empty() {

@@ -24,6 +24,7 @@
 //! wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]
 //! wavectl report FILE
 //! wavectl bench-parallel [--smoke] [--out FILE]
+//! wavectl bench-batch [--smoke] [--out FILE]
 //! ```
 //!
 //! Besides the replayable day files, `add` also *commits* the rebuilt
@@ -44,6 +45,14 @@
 //! and checked against the analytic placement predictions. The full
 //! document lands in `BENCH_parallel.json` (see EXPERIMENTS.md
 //! "Reproducing the parallel speedup curve").
+//!
+//! `bench-batch` runs the batched-I/O sweep: for every scheme's
+//! partition it measures the bulk-build fast path against
+//! entry-at-a-time indexing and one batched probe
+//! ([`wave_index::WaveIndex::query_batch`]) against per-value probes,
+//! asserting byte-identical answers along the way. The full document
+//! lands in `BENCH_batch.json` (see EXPERIMENTS.md "Reproducing the
+//! batching speedup").
 
 use std::fmt;
 use std::fs;
@@ -337,12 +346,13 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel|lint> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel|bench-batch|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
         "report" => return cmd_report(&args[1..]),
         "bench-parallel" => return cmd_bench_parallel(&args[1..]),
+        "bench-batch" => return cmd_bench_batch(&args[1..]),
         "lint" => return cmd_lint(&args[1..]),
         _ => {}
     }
@@ -965,6 +975,78 @@ pub fn run_bench_parallel(smoke: bool, out_path: &Path) -> Result<String, CliErr
     }
 }
 
+/// Runs the batched-I/O sweep and renders its summary table. Split
+/// from the flag parsing so tests can exercise it directly.
+pub fn run_bench_batch(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::batch::{check, render_json, run_sweep, BatchSweep};
+
+    let sweep = if smoke {
+        BatchSweep::smoke()
+    } else {
+        BatchSweep::full()
+    };
+    let results = run_sweep(&sweep);
+    fs::write(out_path, render_json(&sweep, &results))?;
+
+    let mut out = format!(
+        "{:<10} {:>10} {:>11} {:>11} {:>8} {:>7}\n",
+        "scheme", "build", "query", "merged", "seeks-", "bulk"
+    );
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>11} {:>11} {:>8} {:>7}\n",
+        "", "speedup", "speedup", "requests", "saved", "pages"
+    ));
+    for r in &results {
+        out.push_str(&format!(
+            "{:<10} {:>9.2}x {:>10.2}x {:>11} {:>8} {:>7}\n",
+            r.scheme,
+            r.build_speedup(),
+            r.query_speedup(),
+            r.requests_merged,
+            r.seeks_saved,
+            r.bulk_pages
+        ));
+    }
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    match check(&results, sweep.min_build_speedup) {
+        Ok(()) => {
+            out.push_str(&format!(
+                "batched probes never slower; REINDEX bulk build ≥ {:.1}x entry-at-a-time\n",
+                sweep.min_build_speedup
+            ));
+            Ok(out)
+        }
+        Err(violations) => Err(CliError::State(format!(
+            "batching bounds violated:\n  {}",
+            violations.join("\n  ")
+        ))),
+    }
+}
+
+fn cmd_bench_batch(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl bench-batch [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_batch.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_bench_batch(smoke, &out_path)
+}
+
 fn cmd_bench_parallel(args: &[String]) -> Result<String, CliError> {
     let usage = "usage: wavectl bench-parallel [--smoke] [--out FILE]";
     let mut smoke = false;
@@ -1336,6 +1418,41 @@ mod tests {
         }
         assert!(parsed >= 12, "smoke sweep has 12 cells, parsed {parsed}");
         let err = run(&s(&["bench-parallel", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `bench-batch --smoke` writes a parseable BENCH document and
+    /// reports the batching bounds as met.
+    #[test]
+    fn bench_batch_smoke_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_batch.json");
+        let out = run(&s(&[
+            "bench-batch",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("batched probes never slower"), "{out}");
+        assert!(out.contains("REINDEX"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        assert!(doc.contains("\"schema\":\"wave-bench/batch/v1\""), "{doc}");
+        // Every object in the cases array is itself flat JSON.
+        let cases = doc
+            .split_once("\"cases\":[")
+            .expect("document has a cases array")
+            .1
+            .trim_end_matches(['}', ']']);
+        let mut parsed = 0;
+        for case in cases.split("},{") {
+            let case = format!("{{{}}}", case.trim_matches(['{', '}']));
+            assert!(parse_flat(&case).is_some(), "unparseable case: {case}");
+            parsed += 1;
+        }
+        assert_eq!(parsed, 2, "smoke sweep has one row per scheme");
+        let err = run(&s(&["bench-batch", "--bogus"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
     }

@@ -15,7 +15,7 @@ use crate::error::{IndexError, IndexResult};
 use crate::index::ConstituentIndex;
 use crate::query::TimeRange;
 use crate::record::SearchValue;
-use crate::wave::WaveIndex;
+use crate::wave::{QueryResult, WaveIndex};
 use wave_storage::Volume;
 
 /// A wave index shareable across threads.
@@ -122,6 +122,21 @@ impl SharedWave {
         Ok(entries)
     }
 
+    /// [`WaveIndex::query_batch`] under a read lock: the whole value
+    /// batch sees one consistent generation, and the volume mutex is
+    /// held once for the batch's single scheduled I/O pass — the
+    /// batched path trades the per-constituent interleaving of
+    /// [`Self::probe`] for one elevator-ordered sweep.
+    pub fn query_batch(
+        &self,
+        values: &[SearchValue],
+        range: TimeRange,
+    ) -> IndexResult<Vec<QueryResult>> {
+        let wave = self.wave_read()?;
+        let mut vol = self.vol_lock()?;
+        wave.query_batch(&mut vol, values, range)
+    }
+
     /// Runs maintenance I/O against the volume without excluding
     /// readers of the wave structure (they only contend on the disk,
     /// exactly as shadow updating promises).
@@ -221,6 +236,37 @@ mod tests {
         assert_eq!(gaps, 1, "two constituents probed, one gap between");
         assert_eq!(hits.len(), 10);
         reader_b.join().unwrap();
+        shared.release().unwrap();
+    }
+
+    /// The batched passthrough answers exactly like per-value probes
+    /// through the same shared handle.
+    #[test]
+    fn shared_query_batch_matches_per_value_probes() {
+        let mut vol = Volume::default();
+        let mut wave = WaveIndex::with_slots(2);
+        for j in 0..2u32 {
+            let idx = ConstituentIndex::build_packed(
+                format!("I{j}"),
+                IndexConfig::default(),
+                &mut vol,
+                &[&batch(j + 1, 5)],
+            )
+            .unwrap();
+            wave.install(j as usize, idx);
+        }
+        let shared = SharedWave::new(wave, vol);
+        let values = [
+            SearchValue::from("k"),
+            SearchValue::from("absent"),
+            SearchValue::from("k"),
+        ];
+        let results = shared.query_batch(&values, TimeRange::all()).unwrap();
+        assert_eq!(results.len(), values.len());
+        for (vi, value) in values.iter().enumerate() {
+            let want = shared.probe(value, TimeRange::all()).unwrap();
+            assert_eq!(results[vi].entries, want, "value {vi}");
+        }
         shared.release().unwrap();
     }
 

@@ -366,6 +366,108 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         }
     }
 
+    /// Builds a tree bottom-up from strictly ascending `pairs` in one
+    /// pass — the bulk-load fast path the REINDEX family uses instead
+    /// of `len` top-down inserts.
+    ///
+    /// Leaves are filled left to right at maximum occupancy (the two
+    /// rightmost chunks are balanced so the tail never underflows),
+    /// then each internal level is assembled over the previous one
+    /// the same way. The result satisfies every invariant
+    /// [`BPlusTree::check_invariants`] checks and answers queries
+    /// identically to an insert-built tree.
+    ///
+    /// # Panics
+    /// Panics if `order < 3` or if the keys are not strictly
+    /// ascending.
+    pub fn from_sorted(pairs: Vec<(K, V)>, order: usize) -> Self {
+        assert!(order >= 3, "B+Tree order must be at least 3");
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly ascending keys"
+        );
+        let len = pairs.len();
+        if len == 0 {
+            return Self::with_order(order);
+        }
+        let min = order / 2;
+
+        // Leaf level: chunks of `order` keys, tail balanced.
+        let mut it = pairs.into_iter();
+        let mut level: Vec<(K, Node<K, V>)> = Vec::new();
+        for size in Self::chunk_sizes(len, order, min) {
+            let mut keys = Vec::with_capacity(size);
+            let mut vals = Vec::with_capacity(size);
+            for _ in 0..size {
+                let (k, v) = it.next().expect("chunk sizes sum to len");
+                keys.push(k);
+                vals.push(v);
+            }
+            let first = keys[0].clone();
+            level.push((first, Node::Leaf { keys, vals }));
+        }
+
+        // Internal levels: group up to order+1 children per parent;
+        // the separator for children[i+1] is that subtree's smallest
+        // key, which bulk loading knows without a lookup.
+        while level.len() > 1 {
+            let n = level.len();
+            let mut it = level.into_iter();
+            let mut next: Vec<(K, Node<K, V>)> = Vec::new();
+            for size in Self::chunk_sizes(n, order + 1, min + 1) {
+                let mut seps = Vec::with_capacity(size - 1);
+                let mut children = Vec::with_capacity(size);
+                let mut parent_min = None;
+                for i in 0..size {
+                    let (k, node) = it.next().expect("chunk sizes sum to n");
+                    if i == 0 {
+                        parent_min = Some(k);
+                    } else {
+                        seps.push(k);
+                    }
+                    children.push(node);
+                }
+                let parent_min = parent_min.expect("chunks are non-empty");
+                next.push((
+                    parent_min,
+                    Node::Internal {
+                        keys: seps,
+                        children,
+                    },
+                ));
+            }
+            level = next;
+        }
+
+        let (_, root) = level.pop().expect("one root remains");
+        BPlusTree { root, len, order }
+    }
+
+    /// Chunk sizes for distributing `n` items into nodes of capacity
+    /// `cap`, each chunk at least `min` except a lone (root) chunk.
+    ///
+    /// All chunks but the last two are full; if the natural tail
+    /// would underflow, the final `cap + tail` items are split in
+    /// half (both halves provably within `[min, cap]` for any order
+    /// ≥ 3).
+    fn chunk_sizes(n: usize, cap: usize, min: usize) -> Vec<usize> {
+        if n <= cap {
+            return vec![n];
+        }
+        let full = n / cap;
+        let rem = n % cap;
+        let mut sizes = vec![cap; full];
+        if rem >= min {
+            sizes.push(rem);
+        } else if rem > 0 {
+            let total = cap + rem;
+            let a = total / 2;
+            *sizes.last_mut().expect("full >= 1") = a;
+            sizes.push(total - a);
+        }
+        sizes
+    }
+
     /// Iterates all entries in ascending key order.
     pub fn iter(&self) -> Iter<'_, K, V> {
         let stack = vec![(&self.root, 0usize)];
@@ -688,6 +790,64 @@ mod tests {
             }
             prev = Some(*k);
         }
+    }
+
+    #[test]
+    fn from_sorted_matches_insert_built_tree() {
+        for order in [3, 4, 5, 8, 32] {
+            for n in [0usize, 1, 2, 5, 31, 32, 33, 63, 64, 65, 100, 333, 1024] {
+                let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i * 3, i)).collect();
+                let bulk = BPlusTree::from_sorted(pairs.clone(), order);
+                bulk.check_invariants()
+                    .unwrap_or_else(|e| panic!("order {order}, n {n}: {e}"));
+                assert_eq!(bulk.len(), n);
+                let mut inserted = BPlusTree::with_order(order);
+                for (k, v) in pairs {
+                    inserted.insert(k, v);
+                }
+                let a: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+                let b: Vec<(u32, u32)> = inserted.iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(a, b, "order {order}, n {n}");
+                for (k, v) in &a {
+                    assert_eq!(bulk.get(k), Some(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_sorted_leaves_are_densely_packed() {
+        // 1000 entries at order 32: bulk load needs ~n/32 leaves,
+        // while repeated insertion's half-full splits need more nodes
+        // and a deeper or equal tree.
+        let pairs: Vec<(u32, u32)> = (0..1000).map(|i| (i, i)).collect();
+        let bulk = BPlusTree::from_sorted(pairs.clone(), 32);
+        let mut inserted = BPlusTree::with_order(32);
+        for (k, v) in pairs {
+            inserted.insert(k, v);
+        }
+        assert!(bulk.height() <= inserted.height());
+        bulk.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_sorted_tree_stays_valid_under_later_edits() {
+        let pairs: Vec<(u32, u32)> = (0..200).map(|i| (i * 2, i)).collect();
+        let mut t = BPlusTree::from_sorted(pairs, 4);
+        for i in 0..200u32 {
+            t.insert(i * 2 + 1, i);
+            t.check_invariants().unwrap();
+        }
+        for i in (0..200u32).step_by(3) {
+            t.remove(&(i * 2));
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_unsorted_keys() {
+        let _ = BPlusTree::from_sorted(vec![(3u32, 0u32), (1, 1)], 4);
     }
 
     #[test]

@@ -68,6 +68,31 @@ impl Directory {
         }
     }
 
+    /// Builds a directory of the given kind from strictly ascending
+    /// `(value, bucket)` pairs in one bottom-up pass.
+    ///
+    /// For the B+Tree this is [`BPlusTree::from_sorted`] — leaves
+    /// assembled at full occupancy instead of `n` top-down inserts.
+    /// The hash table has no useful order to exploit, so it falls
+    /// back to insertion.
+    ///
+    /// # Panics
+    /// Panics if the values are not strictly ascending.
+    pub fn from_sorted(kind: DirectoryKind, pairs: Vec<(SearchValue, BucketRef)>) -> Self {
+        match kind {
+            DirectoryKind::BTree => {
+                Directory::BTree(BPlusTree::from_sorted(pairs, bptree::DEFAULT_ORDER))
+            }
+            DirectoryKind::Hash => {
+                let mut t = HashTable::new();
+                for (v, b) in pairs {
+                    t.insert(v, b);
+                }
+                Directory::Hash(t)
+            }
+        }
+    }
+
     /// The kind of this directory.
     pub fn kind(&self) -> DirectoryKind {
         match self {
@@ -177,6 +202,29 @@ mod tests {
             assert_eq!(d.remove(&SearchValue::from_u64(3)).unwrap().count, 3);
             assert_eq!(d.len(), 2);
             assert!(d.get(&SearchValue::from_u64(3)).is_none());
+        }
+    }
+
+    #[test]
+    fn from_sorted_matches_insertion_for_both_kinds() {
+        let pairs: Vec<(SearchValue, BucketRef)> = (0..100u64)
+            .map(|i| (SearchValue::from_u64(i * 7), bucket(i as u32)))
+            .collect();
+        for kind in [DirectoryKind::BTree, DirectoryKind::Hash] {
+            let bulk = Directory::from_sorted(kind, pairs.clone());
+            assert_eq!(bulk.kind(), kind);
+            assert_eq!(bulk.len(), 100);
+            let mut inserted = Directory::new(kind);
+            for (v, b) in pairs.clone() {
+                inserted.insert(v, b);
+            }
+            let a: Vec<(SearchValue, BucketRef)> =
+                bulk.iter_ordered().map(|(v, b)| (v.clone(), *b)).collect();
+            let b: Vec<(SearchValue, BucketRef)> = inserted
+                .iter_ordered()
+                .map(|(v, b)| (v.clone(), *b))
+                .collect();
+            assert_eq!(a, b, "kind {kind:?}");
         }
     }
 

@@ -17,7 +17,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wave_storage::{Extent, Volume};
+use wave_storage::{Extent, Volume, WriteBuffer};
 
 use crate::contiguous::ContiguousConfig;
 use crate::directory::{BucketRef, Directory, DirectoryKind};
@@ -122,6 +122,17 @@ impl ConstituentIndex {
     }
 
     /// Builds a packed index from an aggregated value → entries map.
+    ///
+    /// This is the bulk-build fast path: the map is already sorted,
+    /// so the directory is assembled bottom-up
+    /// ([`Directory::from_sorted`] — packed B+Tree leaves, no
+    /// per-value insert) and the buckets are emitted in one
+    /// elevator-ordered sequential pass through the write-behind
+    /// [`WriteBuffer`]. Bulk writes go through the scan-resistant
+    /// cache bypass, so a rebuild cannot evict the hot working set.
+    /// The buffer is flushed before this function returns, which is
+    /// what keeps the flush-before-commit rule local: by the time a
+    /// `commit_wave` reads index pages, nothing is pending.
     pub(crate) fn build_from_map(
         label: impl Into<String>,
         cfg: IndexConfig,
@@ -135,7 +146,10 @@ impl ConstituentIndex {
         if total == 0 {
             return Ok(idx);
         }
+        // Encode all buckets in value order, recording each bucket's
+        // placement within the shared base extent.
         let mut buf = Vec::with_capacity(total * ENTRY_BYTES);
+        let mut placements: Vec<(SearchValue, usize, u32)> = Vec::with_capacity(map.len());
         for (value, entries) in &map {
             let offset = buf.len();
             for e in entries {
@@ -145,25 +159,39 @@ impl ConstituentIndex {
                     .or_default()
                     .insert(value.clone());
             }
-            idx.directory.insert(
-                value.clone(),
-                BucketRef {
-                    extent: Extent::new(0, 1), // patched below
-                    offset,
-                    count: entries.len() as u32,
-                    capacity: entries.len() as u32,
-                    owned: false,
-                },
-            );
+            placements.push((value.clone(), offset, entries.len() as u32));
         }
-        let extent = Self::alloc_and_write(vol, buf.len(), &buf)?;
-        // Patch the real extent into every bucket ref.
-        for value in idx.directory.values_ordered() {
-            idx.directory
-                .get_mut(&value)
-                .expect("value just listed")
-                .extent = extent;
+        // Allocate up front so every bucket ref carries the real
+        // extent — no placeholder-patching pass over the directory.
+        let extent = vol.alloc_bytes(buf.len())?;
+        let mut wb = WriteBuffer::new();
+        let mut pairs: Vec<(SearchValue, BucketRef)> = Vec::with_capacity(placements.len());
+        let buffered: IndexResult<()> =
+            placements
+                .into_iter()
+                .try_for_each(|(value, offset, count)| {
+                    let bytes = &buf[offset..offset + count as usize * ENTRY_BYTES];
+                    wb.write_at(extent, offset, bytes)?;
+                    pairs.push((
+                        value,
+                        BucketRef {
+                            extent,
+                            offset,
+                            count,
+                            capacity: count,
+                            owned: false,
+                        },
+                    ));
+                    Ok(())
+                });
+        // Adjacent buckets coalesce back into a single transfer at
+        // flush time; a failed flush frees the extent so an I/O error
+        // never leaks space (same contract as `alloc_and_write`).
+        if let Err(e) = buffered.and_then(|()| wb.flush(vol).map_err(IndexError::from)) {
+            let _ = vol.free(extent);
+            return Err(e);
         }
+        idx.directory = Directory::from_sorted(cfg.directory, pairs);
         idx.base = Some(BaseExtent {
             extent,
             used_bytes: buf.len(),
@@ -450,6 +478,17 @@ impl ConstituentIndex {
             Some(bucket) => self.read_bucket(vol, &bucket),
             None => Ok(Vec::new()),
         }
+    }
+
+    /// Directory lookup without the bucket read: the batched query
+    /// path collects bucket refs across values and constituents and
+    /// submits all the bucket reads through the I/O scheduler in one
+    /// elevator-ordered sweep. Records the same `dir.probe_depth`
+    /// metric as [`ConstituentIndex::probe`].
+    pub fn bucket_for(&self, vol: &Volume, value: &SearchValue) -> Option<BucketRef> {
+        let (bucket, depth) = self.directory.get_with_depth(value);
+        vol.obs().histogram("dir.probe_depth").record(depth as u64);
+        bucket.copied()
     }
 
     /// `TimedIndexProbe` on this constituent: entries for `value`

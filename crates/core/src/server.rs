@@ -48,9 +48,9 @@ use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
 use wave_obs::{fields, Counter, Gauge, Obs};
-use wave_storage::{DiskArray, StatsDelta, Volume};
+use wave_storage::{DiskArray, IoScheduler, ReadRequest, StatsDelta, Volume};
 
-use crate::entry::Entry;
+use crate::entry::{decode_entries, Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
 use crate::index::{ConstituentIndex, IndexConfig};
 use crate::parallel::{ArmMap, PlacementStrategy};
@@ -100,6 +100,25 @@ impl ServerQuery {
     }
 }
 
+/// The merged outcome of one batched fan-out
+/// ([`WaveServer::query_batch`]).
+#[derive(Debug)]
+pub struct ServerBatchQuery {
+    /// Matching entries per queried value (indexed like the submitted
+    /// value list), each in ascending slot order — byte-identical to
+    /// calling [`WaveServer::probe`] per value.
+    pub per_value: Vec<Vec<Entry>>,
+    /// Constituent indexes intersecting the range (every value in the
+    /// batch touches the same constituents, so one count serves all).
+    pub indexes_accessed: usize,
+    /// Elapsed simulated seconds: the busiest arm's share.
+    pub elapsed_seconds: f64,
+    /// Total device busy time summed over arms.
+    pub serial_seconds: f64,
+    /// Per-arm busy seconds for this batch, indexed by arm.
+    pub per_arm_seconds: Vec<f64>,
+}
+
 /// What one [`WaveServer::maintain`] call did.
 #[derive(Debug)]
 pub struct MaintainReport {
@@ -137,6 +156,15 @@ struct ArmAnswer {
     io: StatsDelta,
 }
 
+/// What an arm sends back for a batched probe request: for each
+/// intersecting slot, one entry list **per queried value** (indexed
+/// like the submitted value list).
+struct ArmBatchAnswer {
+    arm: usize,
+    per_slot: Vec<(usize, Vec<Vec<Entry>>)>,
+    io: StatsDelta,
+}
+
 /// What an arm sends back for a build request.
 struct BuildDone {
     arm: usize,
@@ -152,6 +180,11 @@ enum ArmRequest {
     Scan {
         range: TimeRange,
         reply: Sender<IndexResult<ArmAnswer>>,
+    },
+    ProbeBatch {
+        values: Vec<SearchValue>,
+        range: TimeRange,
+        reply: Sender<IndexResult<ArmBatchAnswer>>,
     },
     Build {
         slot: usize,
@@ -208,6 +241,66 @@ impl ArmState {
         })
     }
 
+    /// Answers a batch of probes with at most one scheduled I/O pass:
+    /// every `(slot, value)` bucket on this arm is resolved through
+    /// the in-memory directories first, then all bucket reads go to
+    /// [`IoScheduler::read_batch`] together so adjacent buckets merge
+    /// and the head sweeps the arm once.
+    fn answer_batch(
+        &mut self,
+        values: &[SearchValue],
+        range: TimeRange,
+    ) -> IndexResult<ArmBatchAnswer> {
+        let before = self.vol.stats();
+        let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
+        let mut requests = Vec::new();
+        // (position in per_slot, value index, bucket count) per request.
+        let mut hits = Vec::new();
+        for (&slot, idx) in &self.slots {
+            let Some((lo, hi)) = idx.day_span() else {
+                continue;
+            };
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            let pos = per_slot.len();
+            per_slot.push((slot, vec![Vec::new(); values.len()]));
+            for (vi, value) in values.iter().enumerate() {
+                let Some(bucket) = idx.bucket_for(&self.vol, value) else {
+                    continue;
+                };
+                if bucket.count == 0 {
+                    continue;
+                }
+                requests.push(ReadRequest::new(
+                    bucket.extent,
+                    bucket.offset,
+                    bucket.count as usize * ENTRY_BYTES,
+                ));
+                hits.push((pos, vi, bucket.count));
+            }
+        }
+        // The scheduler treats an empty batch as a caller error; a
+        // batch that happens to hit nothing on this arm is not one.
+        if !requests.is_empty() {
+            let buffers = IoScheduler::read_batch(&mut self.vol, &requests)?;
+            for ((pos, vi, count), bytes) in hits.iter().zip(&buffers) {
+                let mut entries = decode_entries(bytes, *count as usize);
+                entries.retain(|e| range.contains(e.day));
+                if let Some((_, slot_values)) = per_slot.get_mut(*pos) {
+                    if let Some(out) = slot_values.get_mut(*vi) {
+                        *out = entries;
+                    }
+                }
+            }
+        }
+        Ok(ArmBatchAnswer {
+            arm: self.arm,
+            per_slot,
+            io: self.vol.stats().since(&before),
+        })
+    }
+
     fn build(
         &mut self,
         slot: usize,
@@ -240,6 +333,13 @@ impl ArmState {
                 }
                 ArmRequest::Scan { range, reply } => {
                     let _ = reply.send(self.answer_query(None, range));
+                }
+                ArmRequest::ProbeBatch {
+                    values,
+                    range,
+                    reply,
+                } => {
+                    let _ = reply.send(self.answer_batch(&values, range));
                 }
                 ArmRequest::Build {
                     slot,
@@ -653,6 +753,113 @@ impl WaveServer {
         })
     }
 
+    /// A batch of `TimedIndexProbe`s over one range, fanned out with
+    /// **one scheduled I/O pass per arm**: each arm resolves every
+    /// `(slot, value)` bucket through its in-memory directories and
+    /// hands all the reads to
+    /// [`IoScheduler`] together, so
+    /// adjacent buckets merge and each head sweeps its arm once.
+    /// Per-value answers are byte-identical to calling
+    /// [`WaveServer::probe`] per value — only the device schedule
+    /// (and therefore the simulated cost) differs.
+    pub fn query_batch(
+        &self,
+        values: &[SearchValue],
+        range: TimeRange,
+    ) -> IndexResult<ServerBatchQuery> {
+        if values.is_empty() {
+            return Ok(ServerBatchQuery {
+                per_value: Vec::new(),
+                indexes_accessed: 0,
+                elapsed_seconds: 0.0,
+                serial_seconds: 0.0,
+                per_arm_seconds: vec![0.0; self.arms.len()],
+            });
+        }
+        // Same locking discipline as `fan_out`: hold the route read
+        // lock across the whole batch so every value sees one
+        // placement generation.
+        let route = self.route_read()?;
+        self.queries.inc();
+        let mut target_arms: Vec<usize> = route.arm_of.values().copied().collect();
+        target_arms.sort_unstable();
+        target_arms.dedup();
+        let span = self.obs.span(
+            "server.query_batch",
+            fields![
+                ("values", values.len() as u64),
+                ("fanout", target_arms.len() as u64)
+            ],
+        );
+        let (tx, rx) = channel();
+        for &arm in &target_arms {
+            self.arm(arm)?.enqueue(ArmRequest::ProbeBatch {
+                values: values.to_vec(),
+                range,
+                reply: tx.clone(),
+            })?;
+        }
+        drop(tx);
+        let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
+        let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
+        let mut accessed = 0usize;
+        let mut first_err = None;
+        for _ in 0..target_arms.len() {
+            match rx
+                .recv()
+                .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
+            {
+                Ok(answer) => match self.arm(answer.arm) {
+                    Ok(link) => {
+                        link.settle(&answer.io);
+                        if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
+                            *s = answer.io.sim_seconds;
+                        }
+                        // Route-snapshot filtering, exactly as in
+                        // `fan_out`: during a maintenance hand-over
+                        // only the routed generation's answer counts.
+                        for (slot, entries) in answer.per_slot {
+                            if route.arm_of.get(&slot) == Some(&answer.arm) {
+                                accessed += 1;
+                                per_slot.push((slot, entries));
+                            }
+                        }
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                },
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        drop(route);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Merge in ascending slot order per value: byte-identical to
+        // the per-value `probe` path.
+        per_slot.sort_by_key(|(slot, _)| *slot);
+        let mut per_value: Vec<Vec<Entry>> = vec![Vec::new(); values.len()];
+        for (_, slot_values) in per_slot {
+            for (vi, entries) in slot_values.into_iter().enumerate() {
+                if let Some(out) = per_value.get_mut(vi) {
+                    out.extend(entries);
+                }
+            }
+        }
+        let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        let serial = per_arm_seconds.iter().sum();
+        span.event(
+            "server.query_batch.done",
+            fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
+        );
+        Ok(ServerBatchQuery {
+            per_value,
+            indexes_accessed: accessed,
+            elapsed_seconds: elapsed,
+            serial_seconds: serial,
+            per_arm_seconds,
+        })
+    }
+
     /// Shadow-rebuilds `slot` from `batches` on the dedicated
     /// maintenance arm, then commits the next epoch: an O(1) routing
     /// flip moves the slot to the maintenance arm, the displaced
@@ -854,6 +1061,45 @@ mod tests {
             assert_eq!(got.entries, want.entries);
         }
         wave_cleanup(wave, &mut vol);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn query_batch_matches_per_value_probes() {
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig::default(),
+            Obs::noop(),
+        )
+        .unwrap();
+        server.install_wave(slot_batches(4, 50)).unwrap();
+        // A realistic mixed batch: a hot word, a numeric value, a miss,
+        // and a duplicate of the hot word.
+        let values = [
+            SearchValue::from("k"),
+            SearchValue::from_u64(3),
+            SearchValue::from("absent"),
+            SearchValue::from("k"),
+        ];
+        for range in [
+            TimeRange::all(),
+            TimeRange::between(Day(2), Day(3)),
+            TimeRange::between(Day(9), Day(9)),
+        ] {
+            let batch = server.query_batch(&values, range).unwrap();
+            assert_eq!(batch.per_value.len(), values.len());
+            for (vi, value) in values.iter().enumerate() {
+                let solo = server.probe(value, range).unwrap();
+                assert_eq!(
+                    batch.per_value[vi], solo.entries,
+                    "value {vi} range {range:?}"
+                );
+                assert_eq!(batch.indexes_accessed, solo.indexes_accessed);
+            }
+        }
+        let empty = server.query_batch(&[], TimeRange::all()).unwrap();
+        assert!(empty.per_value.is_empty());
+        assert_eq!(empty.indexes_accessed, 0);
         server.shutdown().unwrap();
     }
 

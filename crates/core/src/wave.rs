@@ -8,9 +8,9 @@
 
 use std::collections::BTreeSet;
 
-use wave_storage::Volume;
+use wave_storage::{IoScheduler, ReadRequest, Volume};
 
-use crate::entry::Entry;
+use crate::entry::{decode_entries, Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
 use crate::index::ConstituentIndex;
 use crate::query::TimeRange;
@@ -118,6 +118,86 @@ impl WaveIndex {
     /// `IndexProbe(Θ, s)`: probe with an unbounded range.
     pub fn index_probe(&self, vol: &mut Volume, value: &SearchValue) -> IndexResult<QueryResult> {
         self.timed_index_probe(vol, value, TimeRange::all())
+    }
+
+    /// Batched `TimedIndexProbe`: answers every value in one
+    /// elevator-ordered device sweep.
+    ///
+    /// Directory probes are grouped per constituent (the directories
+    /// live in memory, so this costs no I/O), then *all* hit buckets
+    /// across all values and constituents are submitted to the
+    /// [`IoScheduler`] as one batch: sorted by block address, adjacent
+    /// buckets merged into single transfers, shared blocks read once.
+    /// Answers are byte-identical to calling
+    /// [`WaveIndex::timed_index_probe`] per value — same entries, same
+    /// order, same `indexes_accessed` — only the device schedule (and
+    /// therefore the simulated cost) differs.
+    pub fn query_batch(
+        &self,
+        vol: &mut Volume,
+        values: &[SearchValue],
+        range: TimeRange,
+    ) -> IndexResult<Vec<QueryResult>> {
+        let mut results: Vec<QueryResult> = values
+            .iter()
+            .map(|_| QueryResult {
+                entries: Vec::new(),
+                indexes_accessed: 0,
+            })
+            .collect();
+        if values.is_empty() {
+            return Ok(results);
+        }
+        // Phase 1: in-memory directory probes, grouped per
+        // constituent. Every value pays the same `indexes_accessed`
+        // as a solo probe would: the count reflects which
+        // constituents intersect the range, not which buckets hit.
+        let mut requests: Vec<ReadRequest> = Vec::new();
+        let mut hits: Vec<(usize, u32)> = Vec::new();
+        let mut accessed = 0usize;
+        for (_, idx) in self.iter() {
+            let Some((lo, hi)) = idx.day_span() else {
+                continue;
+            };
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            accessed += 1;
+            for (vi, value) in values.iter().enumerate() {
+                let Some(bucket) = idx.bucket_for(vol, value) else {
+                    continue;
+                };
+                if bucket.count == 0 {
+                    continue;
+                }
+                requests.push(ReadRequest::new(
+                    bucket.extent,
+                    bucket.offset,
+                    bucket.count as usize * ENTRY_BYTES,
+                ));
+                hits.push((vi, bucket.count));
+            }
+        }
+        for r in &mut results {
+            r.indexes_accessed = accessed;
+        }
+        if requests.is_empty() {
+            // Nothing to read; never hand the scheduler an empty batch.
+            return Ok(results);
+        }
+        // Phase 2: one scheduled sweep for every bucket read.
+        let buffers = IoScheduler::read_batch(vol, &requests)?;
+        // Requests were pushed in (slot, value) order, so extending
+        // per value here reproduces the per-probe slot-ascending
+        // entry order exactly.
+        for ((vi, count), bytes) in hits.iter().zip(&buffers) {
+            let mut entries = decode_entries(bytes, *count as usize);
+            entries.retain(|e| range.contains(e.day));
+            if let Some(r) = results.get_mut(*vi) {
+                r.entries.extend(entries);
+            }
+        }
+        Ok(results)
     }
 
     /// `TimedSegmentScan(Θ, T1, T2)`.
@@ -328,6 +408,66 @@ mod tests {
         assert_eq!(wave.iter().count(), 1);
         wave.release_all(&mut vol).unwrap();
         assert_eq!(vol.live_blocks(), 0);
+    }
+
+    #[test]
+    fn query_batch_is_byte_identical_and_never_costlier() {
+        // Twin volumes so the per-value path and the batched path
+        // start from identical head positions and cache states.
+        let mut vol_solo = Volume::default();
+        let mut vol_batch = Volume::default();
+        let wave_solo = two_slot_wave(&mut vol_solo);
+        let wave_batch = two_slot_wave(&mut vol_batch);
+        let values = [
+            SearchValue::from("war"),
+            SearchValue::from("tea"),
+            SearchValue::from("absent"),
+            SearchValue::from("war"), // duplicates are legal
+        ];
+        for range in [
+            TimeRange::all(),
+            TimeRange::between(Day(2), Day(3)),
+            TimeRange::between(Day(9), Day(9)),
+        ] {
+            let solo_before = vol_solo.stats();
+            let solo: Vec<QueryResult> = values
+                .iter()
+                .map(|v| {
+                    wave_solo
+                        .timed_index_probe(&mut vol_solo, v, range)
+                        .unwrap()
+                })
+                .collect();
+            let solo_delta = vol_solo.stats().since(&solo_before);
+
+            let batch_before = vol_batch.stats();
+            let batch = wave_batch
+                .query_batch(&mut vol_batch, &values, range)
+                .unwrap();
+            let batch_delta = vol_batch.stats().since(&batch_before);
+
+            assert_eq!(batch.len(), solo.len());
+            for (b, s) in batch.iter().zip(&solo) {
+                assert_eq!(b.entries, s.entries, "range {range:?}");
+                assert_eq!(b.indexes_accessed, s.indexes_accessed);
+            }
+            assert!(
+                batch_delta.sim_seconds <= solo_delta.sim_seconds + 1e-12,
+                "range {range:?}: batch {} vs solo {}",
+                batch_delta.sim_seconds,
+                solo_delta.sim_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn query_batch_of_no_values_is_empty() {
+        let mut vol = Volume::default();
+        let wave = two_slot_wave(&mut vol);
+        assert!(wave
+            .query_batch(&mut vol, &[], TimeRange::all())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -221,6 +221,29 @@ impl SimDisk {
     /// Charges a seek (unless sequential with the previous access)
     /// plus transfer time for every block touched.
     pub fn read_at(&mut self, extent: Extent, offset: usize, len: usize) -> StorageResult<Vec<u8>> {
+        self.read_at_inner(extent, offset, len, true)
+    }
+
+    /// Scan-resistant read: cached blocks still hit for free, but
+    /// missed blocks are *not* promoted into the cache, so a large
+    /// scan cannot evict the hot working set. This is the read the
+    /// I/O scheduler issues for bulk work (see [`crate::sched`]).
+    pub fn read_at_bypass(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        len: usize,
+    ) -> StorageResult<Vec<u8>> {
+        self.read_at_inner(extent, offset, len, false)
+    }
+
+    fn read_at_inner(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        len: usize,
+        populate: bool,
+    ) -> StorageResult<Vec<u8>> {
         self.check_range(extent, offset, len)?;
         if len == 0 {
             return Ok(Vec::new());
@@ -244,7 +267,9 @@ impl SimDisk {
                 }
             } else {
                 self.metrics.cache_misses.inc();
-                self.cache_insert(blk);
+                if populate {
+                    self.cache_insert(blk);
+                }
                 run_start.get_or_insert(blk);
             }
         }
@@ -274,6 +299,30 @@ impl SimDisk {
 
     /// Writes `data` starting at byte `offset` within `extent`.
     pub fn write_at(&mut self, extent: Extent, offset: usize, data: &[u8]) -> StorageResult<()> {
+        self.write_at_inner(extent, offset, data, true)
+    }
+
+    /// Scan-resistant write: charges exactly like
+    /// [`SimDisk::write_at`] but does not install the written blocks
+    /// in the cache, so a bulk build cannot evict the hot directory
+    /// working set. Already-cached blocks stay cached (the data store
+    /// is shared, so they remain coherent).
+    pub fn write_at_bypass(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        data: &[u8],
+    ) -> StorageResult<()> {
+        self.write_at_inner(extent, offset, data, false)
+    }
+
+    fn write_at_inner(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        data: &[u8],
+        populate: bool,
+    ) -> StorageResult<()> {
         self.check_range(extent, offset, data.len())?;
         if data.is_empty() {
             return Ok(());
@@ -285,8 +334,10 @@ impl SimDisk {
         self.charge(first_block, nblocks);
         self.stats.blocks_written += nblocks;
         self.metrics.blocks_written.add(nblocks);
-        for blk in first_block..=last_block {
-            self.cache_insert(blk);
+        if populate {
+            for blk in first_block..=last_block {
+                self.cache_insert(blk);
+            }
         }
 
         let mut pos = offset;
@@ -498,6 +549,50 @@ mod cache_tests {
             d.stats().since(&before).blocks_read > 0,
             "stale hit avoided"
         );
+    }
+
+    /// Satellite of the batching PR: a mixed query+maintenance
+    /// workload keeps its hot-set hit rate when maintenance goes
+    /// through the scan-resistant bypass path, and loses it when the
+    /// scan pollutes the cache.
+    #[test]
+    fn bypass_scan_preserves_hot_set_hit_rate() {
+        // Hot set: 4 "directory" blocks, re-probed between scans.
+        // Maintenance: a 32-block bulk pass that would evict the
+        // whole 8-block cache if allowed to populate it.
+        fn run(bypass: bool) -> (u64, u64) {
+            let mut d = SimDisk::new(DiskConfig::default().with_cache(8));
+            let hot = Extent::new(0, 4);
+            let bulk = Extent::new(100, 32);
+            d.write_at(hot, 0, &vec![3u8; 4 * BLOCK_SIZE]).unwrap();
+            d.read_at(hot, 0, 4 * BLOCK_SIZE).unwrap(); // warm it
+            let (h0, m0) = (d.cache_hits(), d.cache_misses());
+            for round in 0..6 {
+                // Maintenance: rebuild the bulk extent, then re-read it.
+                let img = vec![round as u8; 32 * BLOCK_SIZE];
+                if bypass {
+                    d.write_at_bypass(bulk, 0, &img).unwrap();
+                    d.read_at_bypass(bulk, 0, 32 * BLOCK_SIZE).unwrap();
+                } else {
+                    d.write_at(bulk, 0, &img).unwrap();
+                    d.read_at(bulk, 0, 32 * BLOCK_SIZE).unwrap();
+                }
+                // Interleaved queries against the hot directory.
+                d.read_at(hot, 0, 4 * BLOCK_SIZE).unwrap();
+            }
+            (d.cache_hits() - h0, d.cache_misses() - m0)
+        }
+        let (polluted_hits, polluted_misses) = run(false);
+        let (bypass_hits, bypass_misses) = run(true);
+        let rate = |h: u64, m: u64| h as f64 / (h + m) as f64;
+        assert!(
+            rate(bypass_hits, bypass_misses) > rate(polluted_hits, polluted_misses),
+            "bypass {bypass_hits}/{bypass_misses} vs polluted {polluted_hits}/{polluted_misses}"
+        );
+        // With bypass the hot set survives every round: all 24 hot
+        // reads hit. Polluted, the scan evicts it every time.
+        assert_eq!(bypass_hits, 24, "hot set never evicted under bypass");
+        assert_eq!(polluted_hits, 0, "scan pollution evicts the hot set");
     }
 
     #[test]

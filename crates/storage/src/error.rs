@@ -31,6 +31,9 @@ pub enum StorageError {
     },
     /// A zero-length allocation or extent was requested.
     EmptyExtent,
+    /// An empty batch was submitted to the I/O scheduler
+    /// (see [`crate::sched`]).
+    EmptyBatch,
     /// A named file was not found in a [`crate::FileStore`].
     FileNotFound(String),
     /// Underlying operating-system I/O failure (file store only).
@@ -76,6 +79,9 @@ impl fmt::Display for StorageError {
                 write!(f, "freeing extent [{start}, +{len}) that is not live")
             }
             StorageError::EmptyExtent => write!(f, "zero-length extent requested"),
+            StorageError::EmptyBatch => {
+                write!(f, "empty batch submitted to the I/O scheduler")
+            }
             StorageError::FileNotFound(name) => write!(f, "file {name:?} not found in store"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Injected => write!(f, "injected I/O failure"),
@@ -136,5 +142,6 @@ mod tests {
         assert!(!hard.is_transient());
         assert!(!StorageError::Injected.is_transient());
         assert!(!StorageError::EmptyExtent.is_transient());
+        assert!(!StorageError::EmptyBatch.is_transient());
     }
 }

@@ -19,6 +19,11 @@
 //!   (each a single-disk [`Volume`]) for the multi-disk parallelism of
 //!   the paper's Section 8; arms are `Send`, so each can be owned by a
 //!   worker thread.
+//! * [`IoScheduler`] and [`WriteBuffer`] — batched I/O: reads merged
+//!   and executed in one elevator-ordered sweep, writes buffered and
+//!   coalesced at flush time, both through the scan-resistant cache
+//!   bypass (see [`sched`] for the request lifecycle and the
+//!   flush-before-commit rule).
 //! * [`FileStore`] — a real, file-backed store (one file per
 //!   constituent index) demonstrating the paper's "throw away a whole
 //!   index" bulk delete as an `O(1)` file unlink, with full fsync
@@ -49,6 +54,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod file;
+pub mod sched;
 pub mod stats;
 pub mod volume;
 
@@ -61,6 +67,7 @@ pub use disk::{DiskConfig, SimDisk};
 pub use error::{StorageError, StorageResult};
 pub use fault::{CrashMode, FaultPlan, FaultyStore, RetryPolicy};
 pub use file::{FileId, FileStore, IndexStore};
+pub use sched::{FlushStats, IoScheduler, ReadRequest, WriteBuffer};
 pub use stats::{IoStats, StatsDelta};
 pub use volume::Volume;
 pub use wave_obs::Obs;

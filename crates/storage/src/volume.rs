@@ -25,7 +25,7 @@ use crate::stats::IoStats;
 /// Block-address stride separating disks' address spaces. Extents
 /// carry their disk in the high bits of `start`, so the single-extent
 /// APIs need no extra parameter.
-const DISK_STRIDE: u64 = 1 << 40;
+pub(crate) const DISK_STRIDE: u64 = 1 << 40;
 
 /// Allocator-level metric handles, resolved once per attach.
 #[derive(Debug, Clone)]
@@ -245,6 +245,42 @@ impl Volume {
     pub fn write_at(&mut self, extent: Extent, offset: usize, data: &[u8]) -> StorageResult<()> {
         let disk = Self::disk_of(extent);
         self.disks[disk].write_at(Self::local(extent), offset, data)
+    }
+
+    /// Scan-resistant read (see [`SimDisk::read_at_bypass`]): cached
+    /// blocks hit, missed blocks are not promoted.
+    pub fn read_at_bypass(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        len: usize,
+    ) -> StorageResult<Vec<u8>> {
+        match self.disks.get_mut(Self::disk_of(extent)) {
+            Some(d) => d.read_at_bypass(Self::local(extent), offset, len),
+            None => Err(StorageError::OutOfExtent {
+                extent_blocks: extent.len,
+                offset,
+                len,
+            }),
+        }
+    }
+
+    /// Scan-resistant write (see [`SimDisk::write_at_bypass`]): the
+    /// written blocks are not installed in the cache.
+    pub fn write_at_bypass(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        data: &[u8],
+    ) -> StorageResult<()> {
+        match self.disks.get_mut(Self::disk_of(extent)) {
+            Some(d) => d.write_at_bypass(Self::local(extent), offset, data),
+            None => Err(StorageError::OutOfExtent {
+                extent_blocks: extent.len,
+                offset,
+                len: data.len(),
+            }),
+        }
     }
 
     /// Arms fault injection on every disk: after `ops` more
