@@ -58,6 +58,22 @@ echo "==> bench-batch --smoke"
 cargo run -q --release --offline -p wavectl -- bench-batch --smoke \
   --out target/BENCH_batch_smoke.json >/dev/null
 
+# The observability gates (DESIGN.md §12): every request reconstructs
+# into a single-rooted causal tree, the flight recorder promotes
+# exactly the injected slow scan and erroring maintenance call, and
+# the always-on tracing layer stays within its wall-clock overhead
+# bound (--smoke proves the machinery; the committed BENCH_obs.json
+# pins the 5% number from the full `wavectl bench-obs` run).
+echo "==> trace-tree reconstruction"
+cargo test -q -p wavectl --offline trace_tree_reconstructs_driver_traces
+echo "==> flight-recorder promotion"
+cargo test -q -p wavectl --offline \
+  flight_dump_promotes_slow_and_erroring_traces_and_trees_are_rooted
+
+echo "==> bench-obs --smoke"
+cargo run -q --release --offline -p wavectl -- bench-obs --smoke \
+  --out target/BENCH_obs_smoke.json >/dev/null
+
 # Optional sanitizer pass: Miri catches UB the tests cannot. It needs
 # a nightly toolchain with the miri component, which the offline CI
 # image may not have — skip cleanly when absent rather than failing.

@@ -15,12 +15,14 @@
 
 pub mod batch;
 pub mod harness;
+pub mod obs;
 pub mod parallel;
 pub mod render;
 pub mod sim;
 
 pub use batch::{BatchResult, BatchSweep};
 pub use harness::Group;
+pub use obs::{ObsResult, ObsSweep};
 pub use parallel::{run_sweep, MixResult, ParallelSweep};
 pub use render::{render_figure, write_figure_csv};
 pub use sim::{simulate_case, SimCase, SimOutcome};

@@ -23,8 +23,12 @@
 //! wavectl recover DIR           # repair it after a crash
 //! wavectl trace SCHEME [--days N] [--window W] [--fan N] [--cache BLOCKS] [--out FILE]
 //! wavectl report FILE
+//! wavectl trace-tree FILE
+//! wavectl flight dump [--threshold-us N] [--out FILE]
+//! wavectl slo [--json]
 //! wavectl bench-parallel [--smoke] [--out FILE]
 //! wavectl bench-batch [--smoke] [--out FILE]
+//! wavectl bench-obs [--smoke] [--out FILE]
 //! ```
 //!
 //! Besides the replayable day files, `add` also *commits* the rebuilt
@@ -53,6 +57,29 @@
 //! asserting byte-identical answers along the way. The full document
 //! lands in `BENCH_batch.json` (see EXPERIMENTS.md "Reproducing the
 //! batching speedup").
+//!
+//! `trace-tree` reconstructs a JSONL trace (from `wavectl trace
+//! --out` or a flight dump) into causal trees: every span carries its
+//! request's `trace_id`/`parent_id`, so each engine entry point's
+//! fan-out renders as one rooted tree (see DESIGN.md §12).
+//!
+//! `flight dump` replays a deterministic [`WaveServer`] workload with
+//! the flight recorder as the trace sink and prints the promoted
+//! traces verbatim as JSONL: a full-window scan crosses the latency
+//! threshold and a deliberately failing maintenance call ends in
+//! error, so both tail-retention paths appear in the dump while the
+//! fast probes are dropped at ring eviction.
+//!
+//! `slo` replays a day-by-day scheme workload plus the same server
+//! fan-out and renders the sliding-window SLO table — p50/p95/p99
+//! latency bounds per operation and per arm, each row's max bucket
+//! carrying an exemplar trace id. `--json` emits the machine-readable
+//! `wave-obs/slo/v1` document.
+//!
+//! `bench-obs` measures the wall-clock overhead of tracing + flight
+//! recorder + SLOs against the same run with tracing disabled; the
+//! full document lands in `BENCH_obs.json` (see EXPERIMENTS.md
+//! "Reproducing the observability overhead bound").
 
 use std::fmt;
 use std::fs;
@@ -63,9 +90,11 @@ use wave_index::persist::{commit_wave, read_manifest};
 use wave_index::prelude::*;
 use wave_index::recovery::{fsck, recover};
 use wave_index::schemes::SchemeKind;
+use wave_index::server::{ServerConfig, WaveServer};
+use wave_obs::context::span_records_from_jsonl;
 use wave_obs::json::{parse_flat, JsonValue};
-use wave_obs::{MemorySink, Obs};
-use wave_storage::{FileStore, RetryPolicy};
+use wave_obs::{build_forest, render_forest, FlightConfig, FlightRecorder, MemorySink, Obs};
+use wave_storage::{DiskArray, FileStore, RetryPolicy};
 use wave_workloads::{ArticleGenerator, QueryMix};
 
 /// CLI errors, all user-presentable.
@@ -346,13 +375,17 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|bench-parallel|bench-batch|lint> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-obs|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
         "report" => return cmd_report(&args[1..]),
+        "trace-tree" => return cmd_trace_tree(&args[1..]),
+        "flight" => return cmd_flight(&args[1..]),
+        "slo" => return cmd_slo(&args[1..]),
         "bench-parallel" => return cmd_bench_parallel(&args[1..]),
         "bench-batch" => return cmd_bench_batch(&args[1..]),
+        "bench-obs" => return cmd_bench_obs(&args[1..]),
         "lint" => return cmd_lint(&args[1..]),
         _ => {}
     }
@@ -838,14 +871,28 @@ struct PhaseTotals {
     blocks_written: u64,
 }
 
+/// The I/O-scheduler counters (DESIGN.md §11) that get their own
+/// grouping in the report, in documented order. Absent counters
+/// render as 0 — `sched.seeks_saved` only registers on batched
+/// *reads*, and a report that silently drops it misreads as "the
+/// elevator saved nothing".
+const SCHED_COUNTERS: [&str; 4] = [
+    "sched.requests",
+    "sched.merged",
+    "sched.seeks_saved",
+    "sched.bulk_pages",
+];
+
 /// Folds a JSONL trace back into a human-readable summary: one row
-/// per paper measure (precomp/transition/post/query), then the
-/// metric dump, echoing the trace's own `metric` events.
+/// per paper measure (precomp/transition/post/query), the I/O
+/// scheduler counters, then the metric dump, echoing the trace's own
+/// `metric` events.
 pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     const PHASES: [&str; 4] = ["precomp", "transition", "post", "query"];
     let mut totals: Vec<PhaseTotals> = (0..4).map(|_| PhaseTotals::default()).collect();
     let mut days = 0u64;
     let mut scheme = String::new();
+    let mut sched = [0u64; 4];
     let mut metrics: Vec<String> = Vec::new();
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
@@ -873,6 +920,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
             "day_report" => days += 1,
             "metric" => {
                 let name = obj.get("metric").and_then(JsonValue::as_str).unwrap_or("?");
+                if let Some(slot) = SCHED_COUNTERS.iter().position(|c| *c == name) {
+                    sched[slot] = field_u64("value");
+                    continue;
+                }
                 let line = match obj.get("type").and_then(JsonValue::as_str).unwrap_or("") {
                     "histogram" => format!(
                         "  {name}: count {} sum {} mean {:.2} max {} p50<={} p99<={}",
@@ -913,6 +964,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
             name, t.events, t.sim_seconds, t.seeks, t.blocks_read, t.blocks_written
         ));
     }
+    out.push_str("io scheduler:\n");
+    for (name, v) in SCHED_COUNTERS.iter().zip(&sched) {
+        out.push_str(&format!("  {name:<18} {v}\n"));
+    }
     if !metrics.is_empty() {
         out.push_str("metrics:\n");
         for m in &metrics {
@@ -929,6 +984,202 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("usage: wavectl report FILE".into()))?;
     let jsonl = fs::read_to_string(path)?;
     summarize_trace(&jsonl)
+}
+
+fn cmd_trace_tree(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage("usage: wavectl trace-tree FILE".into()))?;
+    let jsonl = fs::read_to_string(path)?;
+    let records = span_records_from_jsonl(&jsonl);
+    if records.is_empty() {
+        return Ok(
+            "no trace-context spans found (was the file produced with tracing on?)\n".into(),
+        );
+    }
+    let forest = build_forest(&records);
+    let rooted = forest.iter().filter(|t| t.is_single_rooted()).count();
+    let spans: usize = forest.iter().map(wave_obs::TraceTree::span_count).sum();
+    let mut out = render_forest(&forest);
+    out.push_str(&format!(
+        "{} traces ({} single-rooted), {} spans\n",
+        forest.len(),
+        rooted,
+        spans
+    ));
+    Ok(out)
+}
+
+/// Trace seed for the deterministic `flight` / `slo` workloads: runs
+/// are reproducible down to the trace ids.
+const OBS_CLI_SEED: u64 = 0x00B5_EC11;
+
+/// Default `flight dump` promotion threshold. Under the simulated
+/// cost model (14 ms seek, 10 MB/s transfer) a point probe over the
+/// workload below costs one seek plus one bucket — ≈14.5 ms — while
+/// the full-window scan transfers every arm's whole segment —
+/// ≈45 ms — so the scan is promoted and the probes are dropped at
+/// ring eviction.
+const FLIGHT_THRESHOLD_US: u64 = 35_000;
+
+/// Records per slot of the deterministic server workload: large
+/// enough that a full scan's transfer time dwarfs a probe's seek.
+const WORKLOAD_RECORDS: u64 = 16_000;
+
+/// One day of the deterministic server workload: `records` records
+/// spread over a 97-value space, so probe buckets stay block-sized
+/// while the segment as a whole is scan-expensive.
+fn workload_day(day: u32, records: u64) -> DayBatch {
+    DayBatch::new(
+        Day(day),
+        (0..records)
+            .map(|i| {
+                Record::with_values(
+                    RecordId(day as u64 * 1_000_000 + i),
+                    [SearchValue::from_u64(i % 97)],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The deterministic [`WaveServer`] workload behind `flight dump` and
+/// `slo`: fast point probes, one batched probe, one deliberately slow
+/// full-window scan, and one maintenance call that fails (no arm was
+/// reserved) to inject an erroring trace.
+fn run_server_workload(obs: &Obs) -> Result<(), CliError> {
+    let server = WaveServer::launch(
+        DiskArray::new(DiskConfig::default(), 3),
+        ServerConfig::default(),
+        obs.clone(),
+    )?;
+    server.install_wave(
+        (0..3)
+            .map(|j| vec![workload_day(j + 1, WORKLOAD_RECORDS)])
+            .collect(),
+    )?;
+    for i in 0..8u64 {
+        server.probe(
+            &SearchValue::from_u64(i % 7),
+            TimeRange::between(Day(1), Day(1 + (i as u32 % 3))),
+        )?;
+    }
+    server.query_batch(
+        &[
+            SearchValue::from_u64(2),
+            SearchValue::from_u64(55),
+            SearchValue::from_u64(100_000),
+        ],
+        TimeRange::all(),
+    )?;
+    server.scan(TimeRange::all())?;
+    // No maintenance arm is reserved, so this errors by design; the
+    // failure lands in the trace, not on the CLI user.
+    let _ = server.maintain(0, vec![workload_day(9, 10)]);
+    server.shutdown()?;
+    Ok(())
+}
+
+/// Runs the flight-recorder workload and returns the promoted-trace
+/// JSONL dump plus a one-line stats summary.
+pub fn run_flight(threshold_us: u64) -> Result<(String, String), CliError> {
+    let recorder = Arc::new(FlightRecorder::new(FlightConfig {
+        promote_latency_us: threshold_us,
+        ..FlightConfig::default()
+    }));
+    let obs = Obs::with_seed(recorder.clone(), OBS_CLI_SEED);
+    run_server_workload(&obs)?;
+    obs.flush();
+    let stats = recorder.stats();
+    let summary = format!(
+        "{} traces completed, {} promoted (>= {} us or error), {} parked in the recent ring\n",
+        stats.completed, stats.promoted, threshold_us, stats.ring_len
+    );
+    Ok((recorder.dump_promoted(), summary))
+}
+
+fn cmd_flight(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl flight dump [--threshold-us N] [--out FILE]";
+    if args.first().map(String::as_str) != Some("dump") {
+        return Err(CliError::Usage(usage.into()));
+    }
+    let mut threshold_us = FLIGHT_THRESHOLD_US;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match args[i].as_str() {
+            "--threshold-us" => {
+                threshold_us = value("--threshold-us")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --threshold-us value".into()))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+        i += 2;
+    }
+    let (dump, summary) = run_flight(threshold_us)?;
+    match out {
+        Some(path) => {
+            fs::write(&path, &dump)?;
+            Ok(format!(
+                "{summary}wrote {} promoted-trace events to {}\n",
+                dump.lines().count(),
+                path.display()
+            ))
+        }
+        None => Ok(dump),
+    }
+}
+
+/// Day-by-day replay feeding the SLO windows: populates the
+/// `driver.*` / `query.*` rows and rotates the per-wave-day windows.
+fn replay_slo_days(obs: &Obs) -> Result<(), CliError> {
+    let (window, fan) = (3u32, 2usize);
+    let mut vol = Volume::new(DiskConfig::default().with_cache(128));
+    vol.attach_obs(obs.clone());
+    let scheme = SchemeKind::Reindex.build(SchemeConfig::new(window, fan))?;
+    let mut driver = Driver::new(scheme, vol, DriverConfig::default());
+    let mut articles = ArticleGenerator::new(200, 20, 6, OBS_CLI_SEED);
+    let mix = QueryMix::new(200, 6, 1, window, OBS_CLI_SEED);
+    driver.start((1..=window).map(|d| articles.day_batch(Day(d))).collect())?;
+    for d in (window + 1)..=(window + 6) {
+        let load = mix.load_for(Day(d));
+        driver.step(articles.day_batch(Day(d)), &load)?;
+    }
+    driver.finish()?;
+    Ok(())
+}
+
+/// Runs both deterministic workloads and renders the SLO windows —
+/// the table, or the `wave-obs/slo/v1` JSON document.
+pub fn run_slo(json: bool) -> Result<String, CliError> {
+    let sink = Arc::new(MemorySink::new());
+    let obs = Obs::with_seed(sink, OBS_CLI_SEED);
+    replay_slo_days(&obs)?;
+    run_server_workload(&obs)?;
+    Ok(if json {
+        obs.slo().to_json()
+    } else {
+        obs.slo().render_table()
+    })
+}
+
+fn cmd_slo(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl slo [--json]";
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_slo(json)
 }
 
 /// Runs the parallel throughput sweep and renders its summary table.
@@ -1069,6 +1320,74 @@ fn cmd_bench_parallel(args: &[String]) -> Result<String, CliError> {
         }
     }
     run_bench_parallel(smoke, &out_path)
+}
+
+/// Runs the observability-overhead sweep and renders its summary.
+/// Split from the flag parsing so tests can exercise it directly.
+pub fn run_bench_obs(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::obs::{check, render_json, run_sweep, ObsSweep};
+
+    let sweep = if smoke {
+        ObsSweep::smoke()
+    } else {
+        ObsSweep::full()
+    };
+    let result = run_sweep(&sweep);
+    fs::write(out_path, render_json(&sweep, &result))?;
+
+    let mut out = format!(
+        "{:<10} {:>12} {:>8} {:>9}\n",
+        "mode", "median_us", "traces", "overhead"
+    );
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>8} {:>9}\n",
+        "baseline", result.baseline_us, "-", "-"
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>8} {:>8.1}%\n",
+        "traced",
+        result.traced_us,
+        result.traces_completed,
+        result.overhead() * 100.0
+    ));
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    match check(&result, sweep.max_overhead) {
+        Ok(()) => {
+            out.push_str(&format!(
+                "tracing + flight recorder + SLOs within {:.0}% of the untraced run\n",
+                sweep.max_overhead * 100.0
+            ));
+            Ok(out)
+        }
+        Err(violations) => Err(CliError::State(format!(
+            "observability overhead bounds violated:\n  {}",
+            violations.join("\n  ")
+        ))),
+    }
+}
+
+fn cmd_bench_obs(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl bench-obs [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_obs.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_bench_obs(smoke, &out_path)
 }
 
 #[cfg(test)]
@@ -1279,6 +1598,12 @@ mod tests {
         }
         assert!(report.contains("cache.hits"), "{report}");
         assert!(report.contains("dir.probe_depth"), "{report}");
+        // The DESIGN.md §11 scheduler counters get their own group,
+        // with absent counters rendered as 0 rather than omitted.
+        assert!(report.contains("io scheduler:"), "{report}");
+        for counter in SCHED_COUNTERS {
+            assert!(report.contains(counter), "{counter} missing: {report}");
+        }
         // Without --out the JSONL itself is the output.
         let jsonl = run(&s(&[
             "trace", "del", "--days", "2", "--window", "3", "--fan", "1",
@@ -1453,6 +1778,173 @@ mod tests {
         }
         assert_eq!(parsed, 2, "smoke sweep has one row per scheme");
         let err = run(&s(&["bench-batch", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The tentpole acceptance check: `flight dump` promotes exactly
+    /// the injected slow scan and the erroring maintenance call, the
+    /// dump is replayable verbatim, and `trace-tree` reconstructs one
+    /// single-rooted causal tree per promoted request.
+    #[test]
+    fn flight_dump_promotes_slow_and_erroring_traces_and_trees_are_rooted() {
+        let dir = temp_dir();
+        let dump_path = dir.join("flight.jsonl");
+        let out = run(&s(&[
+            "flight",
+            "dump",
+            "--out",
+            dump_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 promoted"), "{out}");
+        assert!(out.contains("parked in the recent ring"), "{out}");
+
+        let dump = fs::read_to_string(&dump_path).unwrap();
+        // The slow full-window scan is recoverable verbatim: its root
+        // span_end carries the over-threshold latency.
+        let mut slow_roots = 0;
+        let mut error_roots = 0;
+        for line in dump.lines() {
+            let obj = parse_flat(line).unwrap_or_else(|| panic!("invalid JSONL line: {line}"));
+            // Root span ends: no parent to hang off.
+            if obj.get("kind").and_then(JsonValue::as_str) != Some("span_end")
+                || obj.contains_key("parent_id")
+            {
+                continue;
+            }
+            if let Some(us) = obj.get("latency_us").and_then(JsonValue::as_u64) {
+                if us >= FLIGHT_THRESHOLD_US {
+                    slow_roots += 1;
+                    assert_eq!(
+                        obj.get("ev").and_then(JsonValue::as_str),
+                        Some("server.query"),
+                        "{line}"
+                    );
+                }
+            }
+            if let Some(err) = obj.get("error").and_then(JsonValue::as_str) {
+                error_roots += 1;
+                assert!(err.contains("maintenance arm"), "{line}");
+            }
+        }
+        assert_eq!(slow_roots, 1, "exactly the scan crossed the threshold");
+        assert_eq!(error_roots, 1, "exactly the maintain call errored");
+        // The slow root really is the injected scan, not a probe.
+        assert!(dump.contains("\"op\":\"scan\""), "{dump}");
+
+        // Each promoted request reconstructs into one rooted tree.
+        let tree = run(&s(&["trace-tree", dump_path.to_str().unwrap()])).unwrap();
+        assert!(tree.contains("2 traces (2 single-rooted)"), "{tree}");
+        assert!(tree.contains("server.query"), "{tree}");
+        assert!(tree.contains("arm.scan"), "{tree}");
+        assert!(tree.contains("server.maintain"), "{tree}");
+
+        // At a sky-high threshold only the error trace promotes.
+        let (dump, summary) = run_flight(u64::MAX).unwrap();
+        assert!(summary.contains("1 promoted"), "{summary}");
+        assert!(dump.contains("server.maintain"), "{dump}");
+        assert!(!dump.contains("\"op\":\"scan\""), "{dump}");
+
+        let err = run(&s(&["flight", "bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `trace-tree` also reconstructs the day-by-day driver capture:
+    /// every trace in a `wavectl trace` JSONL is single-rooted.
+    #[test]
+    fn trace_tree_reconstructs_driver_traces() {
+        let dir = temp_dir();
+        let trace_file = dir.join("trace.jsonl");
+        let tf = trace_file.to_str().unwrap();
+        run(&s(&[
+            "trace", "reindex", "--days", "3", "--window", "3", "--fan", "2", "--out", tf,
+        ]))
+        .unwrap();
+        let out = run(&s(&["trace-tree", tf])).unwrap();
+        let footer = out.lines().last().unwrap();
+        let (traces, rest) = footer.split_once(" traces (").unwrap();
+        let (rooted, _) = rest.split_once(" single-rooted").unwrap();
+        assert!(traces.parse::<usize>().unwrap() > 0, "{footer}");
+        assert_eq!(traces, rooted, "every request is single-rooted: {footer}");
+
+        // A file with no trace-context spans is reported, not a panic.
+        let plain = dir.join("plain.jsonl");
+        fs::write(&plain, "{\"ev\":\"metric\",\"metric\":\"x\",\"value\":1}\n").unwrap();
+        let out = run(&s(&["trace-tree", plain.to_str().unwrap()])).unwrap();
+        assert!(out.contains("no trace-context spans found"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `slo` renders per-op and per-arm quantile rows with exemplar
+    /// trace ids; `--json` emits the `wave-obs/slo/v1` document.
+    #[test]
+    fn slo_reports_per_op_and_per_arm_quantiles() {
+        let table = run(&s(&["slo"])).unwrap();
+        for op in [
+            "driver.day",
+            "server.query",
+            "server.query_batch",
+            "query.probe",
+        ] {
+            assert!(table.contains(op), "{op} missing:\n{table}");
+        }
+        // Per-arm rows: the 3-arm server workload populates arm 0..=2.
+        let server_rows: Vec<&str> = table
+            .lines()
+            .filter(|l| l.starts_with("server.query "))
+            .collect();
+        assert!(server_rows.len() >= 3, "per-arm + aggregate rows:\n{table}");
+        for col in ["p50<=", "p95<=", "p99<=", "exemplar"] {
+            assert!(table.contains(col), "{col} missing:\n{table}");
+        }
+
+        let json = run(&s(&["slo", "--json"])).unwrap();
+        assert!(json.contains("\"schema\":\"wave-obs/slo/v1\""), "{json}");
+        assert!(json.contains("\"op\":\"server.query\""), "{json}");
+        let rows = json
+            .split_once("\"rows\":[")
+            .expect("document has a rows array")
+            .1
+            .trim_end_matches(['}', ']']);
+        for row in rows.split("},{") {
+            let row = format!("{{{}}}", row.trim_matches(['{', '}']));
+            assert!(parse_flat(&row).is_some(), "unparseable row: {row}");
+        }
+
+        let err = run(&s(&["slo", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    /// `bench-obs --smoke` writes a parseable BENCH document and
+    /// reports the overhead bound as met.
+    #[test]
+    fn bench_obs_smoke_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_obs.json");
+        let out = run(&s(&[
+            "bench-obs",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("tracing + flight recorder + SLOs within"),
+            "{out}"
+        );
+        assert!(out.contains("baseline"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        let map = parse_flat(&doc).expect("BENCH_obs.json is flat JSON");
+        assert_eq!(
+            map.get("schema").and_then(JsonValue::as_str),
+            Some("wave-bench/obs/v1")
+        );
+        for key in ["baseline_us", "traced_us", "overhead", "traces_completed"] {
+            assert!(map.contains_key(key), "{key} missing: {doc}");
+        }
+        let err = run(&s(&["bench-obs", "--bogus"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
     }

@@ -16,6 +16,7 @@ use crate::index::ConstituentIndex;
 use crate::query::TimeRange;
 use crate::record::SearchValue;
 use crate::wave::{QueryResult, WaveIndex};
+use wave_obs::{Obs, Span, TraceCtx};
 use wave_storage::Volume;
 
 /// A wave index shareable across threads.
@@ -31,14 +32,37 @@ use wave_storage::Volume;
 pub struct SharedWave {
     wave: Arc<RwLock<WaveIndex>>,
     vol: Arc<Mutex<Volume>>,
+    /// The volume's observability handle, cloned out at construction
+    /// so query entry points can open request-scoped root spans
+    /// without taking the volume mutex first.
+    obs: Obs,
 }
 
 impl SharedWave {
     /// Wraps a wave index and its volume for shared use.
     pub fn new(wave: WaveIndex, vol: Volume) -> Self {
+        let obs = vol.obs().clone();
         SharedWave {
             wave: Arc::new(RwLock::new(wave)),
             vol: Arc::new(Mutex::new(vol)),
+            obs,
+        }
+    }
+
+    /// Root-span epilogue shared by the query entry points: stamps the
+    /// flight-recorder retention signals (`latency_us` on success,
+    /// `error` on failure) and records the SLO observation. `busy` is
+    /// the simulated time accrued inside this query's own volume
+    /// critical sections, so attribution stays honest when concurrent
+    /// readers interleave on the shared device.
+    fn finish<T>(&self, span: &mut Span, op: &str, busy_seconds: f64, result: &IndexResult<T>) {
+        match result {
+            Ok(_) => {
+                let us = (busy_seconds * 1e6).round().max(0.0) as u64;
+                span.set_end_field("latency_us", us);
+                self.obs.slo().record(op, None, us, span.ctx().trace_id);
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
         }
     }
 
@@ -84,42 +108,58 @@ impl SharedWave {
         range: TimeRange,
         mut between: impl FnMut(),
     ) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave_read()?;
-        let mut entries = Vec::new();
-        let mut first = true;
-        for (_, idx) in wave.iter() {
-            let Some((lo, hi)) = idx.day_span() else {
-                continue;
-            };
-            if !range.intersects_span(lo, hi) {
-                continue;
+        let mut span = self.obs.root_span("shared.probe", &[]);
+        let mut busy = 0.0f64;
+        let result = (|| -> IndexResult<Vec<Entry>> {
+            let wave = self.wave_read()?;
+            let mut entries = Vec::new();
+            let mut first = true;
+            for (_, idx) in wave.iter() {
+                let Some((lo, hi)) = idx.day_span() else {
+                    continue;
+                };
+                if !range.intersects_span(lo, hi) {
+                    continue;
+                }
+                if !first {
+                    between();
+                }
+                first = false;
+                let mut vol = self.vol_lock()?;
+                let before = vol.stats();
+                entries.extend(idx.probe_in(&mut vol, value, range)?);
+                busy += vol.stats().since(&before).sim_seconds;
             }
-            if !first {
-                between();
-            }
-            first = false;
-            let mut vol = self.vol_lock()?;
-            entries.extend(idx.probe_in(&mut vol, value, range)?);
-        }
-        Ok(entries)
+            Ok(entries)
+        })();
+        self.finish(&mut span, "shared.probe", busy, &result);
+        result
     }
 
     /// `TimedSegmentScan` under a read lock, with the same narrow
     /// per-constituent volume critical section as [`Self::probe`].
     pub fn scan(&self, range: TimeRange) -> IndexResult<Vec<Entry>> {
-        let wave = self.wave_read()?;
-        let mut entries = Vec::new();
-        for (_, idx) in wave.iter() {
-            let Some((lo, hi)) = idx.day_span() else {
-                continue;
-            };
-            if !range.intersects_span(lo, hi) {
-                continue;
+        let mut span = self.obs.root_span("shared.scan", &[]);
+        let mut busy = 0.0f64;
+        let result = (|| -> IndexResult<Vec<Entry>> {
+            let wave = self.wave_read()?;
+            let mut entries = Vec::new();
+            for (_, idx) in wave.iter() {
+                let Some((lo, hi)) = idx.day_span() else {
+                    continue;
+                };
+                if !range.intersects_span(lo, hi) {
+                    continue;
+                }
+                let mut vol = self.vol_lock()?;
+                let before = vol.stats();
+                entries.extend(idx.scan_in(&mut vol, range)?);
+                busy += vol.stats().since(&before).sim_seconds;
             }
-            let mut vol = self.vol_lock()?;
-            entries.extend(idx.scan_in(&mut vol, range)?);
-        }
-        Ok(entries)
+            Ok(entries)
+        })();
+        self.finish(&mut span, "shared.scan", busy, &result);
+        result
     }
 
     /// [`WaveIndex::query_batch`] under a read lock: the whole value
@@ -132,9 +172,27 @@ impl SharedWave {
         values: &[SearchValue],
         range: TimeRange,
     ) -> IndexResult<Vec<QueryResult>> {
-        let wave = self.wave_read()?;
-        let mut vol = self.vol_lock()?;
-        wave.query_batch(&mut vol, values, range)
+        let mut span = self.obs.root_span(
+            "shared.query_batch",
+            wave_obs::fields![("values", values.len() as u64)],
+        );
+        let ctx = span.ctx();
+        let mut busy = 0.0f64;
+        let result = (|| -> IndexResult<Vec<QueryResult>> {
+            let wave = self.wave_read()?;
+            let mut vol = self.vol_lock()?;
+            // The scheduler pass inside `query_batch` picks the context
+            // up off the volume; scoped to this critical section so
+            // other readers' batches stay unattributed.
+            vol.set_trace_ctx(ctx);
+            let before = vol.stats();
+            let result = wave.query_batch(&mut vol, values, range);
+            busy = vol.stats().since(&before).sim_seconds;
+            vol.set_trace_ctx(TraceCtx::NONE);
+            result
+        })();
+        self.finish(&mut span, "shared.query_batch", busy, &result);
+        result
     }
 
     /// Runs maintenance I/O against the volume without excluding

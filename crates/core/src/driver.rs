@@ -8,7 +8,7 @@
 //! in the [`DayReport`], so a JSONL trace can be reconciled against
 //! the tables bit-for-bit.
 
-use wave_obs::{fields, Span};
+use wave_obs::{fields, Span, TraceCtx};
 use wave_storage::{StatsDelta, Volume};
 
 use crate::error::{IndexError, IndexResult};
@@ -115,11 +115,29 @@ impl Driver {
         }
         self.vol.reset_peak();
         let obs = self.vol.obs().clone();
-        let span = obs.span("start", fields![("scheme", self.scheme.name())]);
-        let rec = self.scheme.start(&mut self.vol, &self.archive)?;
-        let report = self.report_from(rec.day, &rec, 0.0, 0, 0);
-        self.emit_day_trace(&span, &rec, &StatsDelta::default(), &report);
+        let mut span = obs.root_span("start", fields![("scheme", self.scheme.name())]);
+        // The scheme call below runs under this request's context: the
+        // volume carries it to `scheme.transition` events and any
+        // scheduler spans opened on the way.
+        self.vol.set_trace_ctx(span.ctx());
+        let result = (|| -> IndexResult<DayReport> {
+            let rec = self.scheme.start(&mut self.vol, &self.archive)?;
+            let report = self.report_from(rec.day, &rec, 0.0, 0, 0);
+            self.emit_day_trace(&span, &rec, &StatsDelta::default(), &report);
+            Ok(report)
+        })();
+        self.vol.set_trace_ctx(TraceCtx::NONE);
+        match &result {
+            Ok(report) => {
+                let us = sim_micros(report.total_work_seconds());
+                span.set_end_field("latency_us", us);
+                obs.slo()
+                    .record("driver.start", None, us, span.ctx().trace_id);
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
+        }
         drop(span);
+        let report = result?;
         if self.cfg.verify {
             verify_scheme(
                 self.scheme.as_ref(),
@@ -140,42 +158,66 @@ impl Driver {
 
         let obs = self.vol.obs().clone();
         obs.counter("driver.days").inc();
-        let span = obs.span(
+        // A wave-day boundary rotates every live SLO window before the
+        // day's observations arrive.
+        obs.slo().advance_day(day.0 as u64);
+        let mut span = obs.root_span(
             "day",
             fields![("scheme", self.scheme.name()), ("day", day.0)],
         );
-        let rec = self.scheme.transition(&mut self.vol, &self.archive, day)?;
+        let ctx = span.ctx();
+        self.vol.set_trace_ctx(ctx);
+        let result = (|| -> IndexResult<DayReport> {
+            let rec = self.scheme.transition(&mut self.vol, &self.archive, day)?;
 
-        // Queries. Each one's simulated latency lands in a histogram
-        // (in whole microseconds; one seek is 14 000 µs).
-        let latency = obs.histogram("query.sim_micros");
-        let before = self.vol.stats();
-        let mut probe_indexes = 0usize;
-        for (value, range) in &queries.probes {
-            let qb = self.vol.stats();
-            probe_indexes += self
-                .scheme
-                .wave()
-                .timed_index_probe(&mut self.vol, value, *range)?
-                .indexes_accessed;
-            latency.record(sim_micros(self.vol.stats().since(&qb).sim_seconds));
-        }
-        let mut scan_indexes = 0usize;
-        for range in &queries.scans {
-            let qb = self.vol.stats();
-            scan_indexes += self
-                .scheme
-                .wave()
-                .timed_segment_scan(&mut self.vol, *range)?
-                .indexes_accessed;
-            latency.record(sim_micros(self.vol.stats().since(&qb).sim_seconds));
-        }
-        let query_delta = self.vol.stats().since(&before);
-        let query_seconds = query_delta.sim_seconds;
+            // Queries. Each one's simulated latency lands in a histogram
+            // (in whole microseconds; one seek is 14 000 µs) and in the
+            // per-operation SLO windows, with this day's trace id as
+            // the exemplar.
+            let latency = obs.histogram("query.sim_micros");
+            let before = self.vol.stats();
+            let mut probe_indexes = 0usize;
+            for (value, range) in &queries.probes {
+                let qb = self.vol.stats();
+                probe_indexes += self
+                    .scheme
+                    .wave()
+                    .timed_index_probe(&mut self.vol, value, *range)?
+                    .indexes_accessed;
+                let us = sim_micros(self.vol.stats().since(&qb).sim_seconds);
+                latency.record(us);
+                obs.slo().record("query.probe", None, us, ctx.trace_id);
+            }
+            let mut scan_indexes = 0usize;
+            for range in &queries.scans {
+                let qb = self.vol.stats();
+                scan_indexes += self
+                    .scheme
+                    .wave()
+                    .timed_segment_scan(&mut self.vol, *range)?
+                    .indexes_accessed;
+                let us = sim_micros(self.vol.stats().since(&qb).sim_seconds);
+                latency.record(us);
+                obs.slo().record("query.scan", None, us, ctx.trace_id);
+            }
+            let query_delta = self.vol.stats().since(&before);
+            let query_seconds = query_delta.sim_seconds;
 
-        let report = self.report_from(day, &rec, query_seconds, probe_indexes, scan_indexes);
-        self.emit_day_trace(&span, &rec, &query_delta, &report);
+            let report = self.report_from(day, &rec, query_seconds, probe_indexes, scan_indexes);
+            self.emit_day_trace(&span, &rec, &query_delta, &report);
+            Ok(report)
+        })();
+        self.vol.set_trace_ctx(TraceCtx::NONE);
+        match &result {
+            Ok(report) => {
+                let us = sim_micros(report.total_work_seconds());
+                span.set_end_field("latency_us", us);
+                obs.slo().record("driver.day", None, us, ctx.trace_id);
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
+        }
         drop(span);
+        let report = result?;
 
         if self.cfg.verify {
             verify_scheme(

@@ -418,6 +418,37 @@ pub fn commit_wave(
     retry: &RetryPolicy,
 ) -> IndexResult<CommitReport> {
     let obs = vol.obs().clone();
+    let mut span = obs.root_span(
+        "commit_wave",
+        wave_obs::fields![("slots", wave.slot_count() as u64)],
+    );
+    let ctx = span.ctx();
+    vol.set_trace_ctx(ctx);
+    let before = vol.stats();
+    let result = commit_wave_inner(wave, vol, store, retry, &obs);
+    vol.set_trace_ctx(wave_obs::TraceCtx::NONE);
+    match &result {
+        Ok(report) => {
+            let us = (vol.stats().since(&before).sim_seconds * 1e6)
+                .round()
+                .max(0.0) as u64;
+            span.set_end_field("epoch", report.epoch);
+            span.set_end_field("files", report.files_written as u64);
+            span.set_end_field("latency_us", us);
+            obs.slo().record("commit_wave", None, us, ctx.trace_id);
+        }
+        Err(e) => span.set_end_field("error", e.to_string()),
+    }
+    result
+}
+
+fn commit_wave_inner(
+    wave: &WaveIndex,
+    vol: &mut Volume,
+    store: &mut dyn IndexStore,
+    retry: &RetryPolicy,
+    obs: &wave_obs::Obs,
+) -> IndexResult<CommitReport> {
     let retries = obs.counter("store.retry_attempts");
     let prev_bytes = retry.run(&retries, || store.get(MANIFEST_NAME))?;
     let epoch = match prev_bytes {

@@ -171,6 +171,40 @@ pub fn recover(
     archive: Option<&DayArchive>,
 ) -> IndexResult<(Option<LoadedWave>, RecoverReport)> {
     let obs = vol.obs().clone();
+    let mut span = obs.root_span("recover", &[]);
+    let ctx = span.ctx();
+    vol.set_trace_ctx(ctx);
+    let before = vol.stats();
+    let result = recover_inner(cfg, vol, store, archive, &obs);
+    vol.set_trace_ctx(wave_obs::TraceCtx::NONE);
+    match &result {
+        Ok((loaded, report)) => {
+            let us = (vol.stats().since(&before).sim_seconds * 1e6)
+                .round()
+                .max(0.0) as u64;
+            let outcome = if report.manifest_quarantined {
+                "manifest_quarantined"
+            } else if loaded.is_some() {
+                "loaded"
+            } else {
+                "rolled_back_to_empty"
+            };
+            span.set_end_field("outcome", outcome);
+            span.set_end_field("latency_us", us);
+            obs.slo().record("recover", None, us, ctx.trace_id);
+        }
+        Err(e) => span.set_end_field("error", e.to_string()),
+    }
+    result
+}
+
+fn recover_inner(
+    cfg: IndexConfig,
+    vol: &mut Volume,
+    store: &mut dyn IndexStore,
+    archive: Option<&DayArchive>,
+    obs: &wave_obs::Obs,
+) -> IndexResult<(Option<LoadedWave>, RecoverReport)> {
     let rollbacks = obs.counter("recover.rollbacks");
     let rebuilds = obs.counter("recover.rebuilds");
     let quarantines = obs.counter("recover.quarantines");

@@ -16,7 +16,9 @@ use super::{SchemeConfig, TransitionRecord, WaveOp};
 /// scheme's transition counter. Every scheme calls this on the record
 /// it is about to return from `start`/`transition`, so traces carry
 /// the paper's worked-example notation (`I3 <- BuildIndex({9})`, …)
-/// alongside the phase costs.
+/// alongside the phase costs. When the volume carries a request-scoped
+/// trace context (the driver sets one per day), the event joins that
+/// request's causal tree via `trace_id`/`parent_id` fields.
 pub(crate) fn trace_transition(vol: &Volume, scheme: &'static str, rec: &TransitionRecord) {
     let obs = vol.obs();
     obs.counter(&format!("scheme.{scheme}.transitions")).inc();
@@ -29,20 +31,24 @@ pub(crate) fn trace_transition(vol: &Volume, scheme: &'static str, rec: &Transit
         .map(ToString::to_string)
         .collect::<Vec<_>>()
         .join("; ");
-    obs.event(
-        "scheme.transition",
-        fields![
-            ("scheme", scheme),
-            ("day", rec.day.0),
-            ("ops", ops),
-            ("op_count", rec.ops.len()),
-            ("constituents", rec.constituents.len()),
-            ("temps", rec.temps.len()),
-            ("precomp_seconds", rec.precomp.sim_seconds),
-            ("transition_seconds", rec.transition.sim_seconds),
-            ("post_seconds", rec.post.sim_seconds),
-        ],
-    );
+    let mut f: Vec<(&str, wave_obs::FieldValue)> = Vec::with_capacity(11);
+    let ctx = vol.trace_ctx();
+    if ctx.is_some() {
+        f.push(("trace_id", wave_obs::FieldValue::U64(ctx.trace_id)));
+        f.push(("parent_id", wave_obs::FieldValue::U64(ctx.span_id)));
+    }
+    f.extend_from_slice(fields![
+        ("scheme", scheme),
+        ("day", rec.day.0),
+        ("ops", ops),
+        ("op_count", rec.ops.len()),
+        ("constituents", rec.constituents.len()),
+        ("temps", rec.temps.len()),
+        ("precomp_seconds", rec.precomp.sim_seconds),
+        ("transition_seconds", rec.transition.sim_seconds),
+        ("post_seconds", rec.post.sim_seconds),
+    ]);
+    obs.event("scheme.transition", &f);
 }
 
 /// Splits `count` consecutive days starting at `first` into `k`

@@ -47,7 +47,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 
-use wave_obs::{fields, Counter, Gauge, Obs};
+use wave_obs::{fields, Counter, Gauge, Obs, TraceCtx};
 use wave_storage::{DiskArray, IoScheduler, ReadRequest, StatsDelta, Volume};
 
 use crate::entry::{decode_entries, Entry, ENTRY_BYTES};
@@ -148,6 +148,12 @@ pub struct ArmStatus {
     pub busy_seconds: f64,
 }
 
+/// Simulated seconds to whole microseconds (the unit SLO windows and
+/// the flight recorder's promotion threshold use).
+fn sim_micros(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
+}
+
 /// What an arm sends back for a query request.
 struct ArmAnswer {
     arm: usize,
@@ -175,21 +181,25 @@ enum ArmRequest {
     Probe {
         value: SearchValue,
         range: TimeRange,
+        ctx: TraceCtx,
         reply: Sender<IndexResult<ArmAnswer>>,
     },
     Scan {
         range: TimeRange,
+        ctx: TraceCtx,
         reply: Sender<IndexResult<ArmAnswer>>,
     },
     ProbeBatch {
         values: Vec<SearchValue>,
         range: TimeRange,
+        ctx: TraceCtx,
         reply: Sender<IndexResult<ArmBatchAnswer>>,
     },
     Build {
         slot: usize,
         label: String,
         batches: Vec<DayBatch>,
+        ctx: TraceCtx,
         reply: Sender<IndexResult<BuildDone>>,
     },
     Drop {
@@ -213,6 +223,32 @@ struct ArmState {
 }
 
 impl ArmState {
+    /// Runs one request body under a per-arm child span of the
+    /// server-side root `ctx`, so every worker-side event carries the
+    /// request's `trace_id` and a `parent_id` naming the fan-out span.
+    /// The span's end fields report the arm's simulated busy time
+    /// (`latency_us`) on success or the typed error on failure — the
+    /// signals tail-based flight-recorder retention keys on.
+    fn traced<T>(
+        &mut self,
+        ctx: TraceCtx,
+        name: &str,
+        f: impl FnOnce(&mut Self, TraceCtx) -> IndexResult<T>,
+    ) -> IndexResult<T> {
+        let obs = self.vol.obs().clone();
+        let before = self.vol.stats();
+        let mut span = obs.child_span(ctx, name, fields![("arm", self.arm as u64)]);
+        let result = f(self, span.ctx());
+        match &result {
+            Ok(_) => {
+                let busy = self.vol.stats().since(&before).sim_seconds;
+                span.set_end_field("latency_us", sim_micros(busy));
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
+        }
+        result
+    }
+
     fn answer_query(
         &mut self,
         probe: Option<(&SearchValue, TimeRange)>,
@@ -250,6 +286,7 @@ impl ArmState {
         &mut self,
         values: &[SearchValue],
         range: TimeRange,
+        ctx: TraceCtx,
     ) -> IndexResult<ArmBatchAnswer> {
         let before = self.vol.stats();
         let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
@@ -283,7 +320,7 @@ impl ArmState {
         // The scheduler treats an empty batch as a caller error; a
         // batch that happens to hit nothing on this arm is not one.
         if !requests.is_empty() {
-            let buffers = IoScheduler::read_batch(&mut self.vol, &requests)?;
+            let buffers = IoScheduler::read_batch_traced(&mut self.vol, &requests, ctx)?;
             for ((pos, vi, count), bytes) in hits.iter().zip(&buffers) {
                 let mut entries = decode_entries(bytes, *count as usize);
                 entries.retain(|e| range.contains(e.day));
@@ -327,27 +364,39 @@ impl ArmState {
                 ArmRequest::Probe {
                     value,
                     range,
+                    ctx,
                     reply,
                 } => {
-                    let _ = reply.send(self.answer_query(Some((&value, range)), range));
+                    let result = self.traced(ctx, "arm.probe", |s, _| {
+                        s.answer_query(Some((&value, range)), range)
+                    });
+                    let _ = reply.send(result);
                 }
-                ArmRequest::Scan { range, reply } => {
-                    let _ = reply.send(self.answer_query(None, range));
+                ArmRequest::Scan { range, ctx, reply } => {
+                    let result = self.traced(ctx, "arm.scan", |s, _| s.answer_query(None, range));
+                    let _ = reply.send(result);
                 }
                 ArmRequest::ProbeBatch {
                     values,
                     range,
+                    ctx,
                     reply,
                 } => {
-                    let _ = reply.send(self.answer_batch(&values, range));
+                    let result = self.traced(ctx, "arm.batch", |s, arm_ctx| {
+                        s.answer_batch(&values, range, arm_ctx)
+                    });
+                    let _ = reply.send(result);
                 }
                 ArmRequest::Build {
                     slot,
                     label,
                     batches,
+                    ctx,
                     reply,
                 } => {
-                    let _ = reply.send(self.build(slot, label, batches));
+                    let result =
+                        self.traced(ctx, "arm.build", |s, _| s.build(slot, label, batches));
+                    let _ = reply.send(result);
                 }
                 ArmRequest::Drop { slot, reply } => {
                     let result = match self.slots.remove(&slot) {
@@ -485,7 +534,11 @@ impl WaveServer {
         }
         let mut arms = Vec::with_capacity(arm_count);
         let mut handles = Vec::with_capacity(arm_count);
-        for (i, vol) in array.into_arms().into_iter().enumerate() {
+        for (i, mut vol) in array.into_arms().into_iter().enumerate() {
+            // Workers report through the server's handle: their child
+            // spans join the request traces and their disk/sched
+            // metrics aggregate into the one registry operators read.
+            vol.attach_obs(obs.clone());
             let (tx, rx) = channel();
             let state = ArmState {
                 arm: i,
@@ -599,57 +652,78 @@ impl WaveServer {
             .map(|b| b.iter().map(|d| d.entry_count() as u64).sum())
             .collect();
         let map = ArmMap::build(self.cfg.strategy, &weights, query_arms.len());
-        let span = self.obs.span(
+        let mut span = self.obs.root_span(
             "server.install",
             fields![
                 ("slots", slot_batches.len() as u64),
                 ("arms", query_arms.len() as u64)
             ],
         );
-        let epoch = self.epoch();
-        let (tx, rx) = channel();
-        let mut placements = BTreeMap::new();
-        for (slot, batches) in slot_batches.into_iter().enumerate() {
-            let arm = *query_arms.get(map.arm_of(slot)).ok_or_else(|| {
-                IndexError::Corrupt(format!("placement mapped slot {slot} past the query arms"))
-            })?;
-            placements.insert(slot, arm);
-            self.arm(arm)?.enqueue(ArmRequest::Build {
-                slot,
-                label: format!("slot{slot}.e{epoch}"),
-                batches,
-                reply: tx.clone(),
-            })?;
-        }
-        drop(tx);
-        let mut per_arm = vec![0.0f64; self.arms.len()];
-        let mut first_err = None;
-        let mut done = 0usize;
-        // Collect every reply even on error so queue-depth gauges and
-        // the placement table stay coherent.
-        for reply in rx.iter() {
-            done += 1;
-            match reply {
-                Ok(BuildDone { arm, io }) => match self.arm(arm) {
-                    Ok(link) => {
-                        link.settle(&io);
-                        if let Some(s) = per_arm.get_mut(arm) {
-                            *s += io.sim_seconds;
-                        }
-                    }
-                    Err(e) => first_err = first_err.or(Some(e)),
-                },
-                Err(e) => first_err = first_err.or(Some(e)),
+        let ctx = span.ctx();
+        let result = (|| -> IndexResult<f64> {
+            let epoch = self.epoch();
+            let (tx, rx) = channel();
+            let mut placements = BTreeMap::new();
+            for (slot, batches) in slot_batches.into_iter().enumerate() {
+                let arm = *query_arms.get(map.arm_of(slot)).ok_or_else(|| {
+                    IndexError::Corrupt(format!("placement mapped slot {slot} past the query arms"))
+                })?;
+                placements.insert(slot, arm);
+                self.arm(arm)?.enqueue(ArmRequest::Build {
+                    slot,
+                    label: format!("slot{slot}.e{epoch}"),
+                    batches,
+                    ctx,
+                    reply: tx.clone(),
+                })?;
             }
+            drop(tx);
+            let mut per_arm = vec![0.0f64; self.arms.len()];
+            let mut first_err = None;
+            let mut done = 0usize;
+            // Collect every reply even on error so queue-depth gauges
+            // and the placement table stay coherent.
+            for reply in rx.iter() {
+                done += 1;
+                match reply {
+                    Ok(BuildDone { arm, io }) => match self.arm(arm) {
+                        Ok(link) => {
+                            link.settle(&io);
+                            if let Some(s) = per_arm.get_mut(arm) {
+                                *s += io.sim_seconds;
+                            }
+                        }
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    },
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            span.event("server.install.done", fields![("builds", done as u64)]);
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            let mut route = self.route_write()?;
+            route.arm_of.extend(placements.iter());
+            drop(route);
+            Ok(per_arm.iter().fold(0.0, |a, &b| a.max(b)))
+        })();
+        match &result {
+            Ok(elapsed) => {
+                let us = sim_micros(*elapsed);
+                // "build_us", not "latency_us": installs are bulk
+                // admin work, expected to dwarf any query-latency
+                // promotion threshold. Keying the flight recorder off
+                // "latency_us" only keeps every install from crowding
+                // slow *queries* out of the promoted ring; installs
+                // still promote on error.
+                span.set_end_field("build_us", us);
+                self.obs
+                    .slo()
+                    .record("server.install", None, us, ctx.trace_id);
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
         }
-        span.event("server.install.done", fields![("builds", done as u64)]);
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        let mut route = self.route_write()?;
-        route.arm_of.extend(placements.iter());
-        drop(route);
-        Ok(per_arm.iter().fold(0.0, |a, &b| a.max(b)))
+        result
     }
 
     /// Which arms serve queries (all arms minus the maintenance arm).
@@ -677,80 +751,120 @@ impl WaveServer {
         let mut target_arms: Vec<usize> = route.arm_of.values().copied().collect();
         target_arms.sort_unstable();
         target_arms.dedup();
-        let span = self.obs.span(
+        let mut span = self.obs.root_span(
             "server.query",
             fields![
-                ("kind", if value.is_some() { "probe" } else { "scan" }),
+                // "op" not "kind": the JSONL envelope already uses
+                // "kind" for the event kind.
+                ("op", if value.is_some() { "probe" } else { "scan" }),
                 ("fanout", target_arms.len() as u64)
             ],
         );
-        let (tx, rx) = channel();
-        for &arm in &target_arms {
-            let reply = tx.clone();
-            let req = match value {
-                Some(v) => ArmRequest::Probe {
-                    value: v.clone(),
-                    range,
-                    reply,
-                },
-                None => ArmRequest::Scan { range, reply },
-            };
-            self.arm(arm)?.enqueue(req)?;
-        }
-        drop(tx);
-        let mut per_slot: Vec<(usize, Vec<Entry>)> = Vec::new();
-        let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
-        let mut accessed = 0usize;
-        let mut first_err = None;
-        for _ in 0..target_arms.len() {
-            match rx
-                .recv()
-                .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
-            {
-                Ok(answer) => match self.arm(answer.arm) {
-                    Ok(link) => {
-                        link.settle(&answer.io);
-                        if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
-                            *s = answer.io.sim_seconds;
-                        }
-                        // During a maintenance hand-over two arms briefly
-                        // hold a generation of the same slot — the new
-                        // one just routed in, the displaced one awaiting
-                        // its Drop. The route snapshot held across this
-                        // query decides whose answer counts, so readers
-                        // never see a slot twice.
-                        for (slot, entries) in answer.per_slot {
-                            if route.arm_of.get(&slot) == Some(&answer.arm) {
-                                accessed += 1;
-                                per_slot.push((slot, entries));
+        let ctx = span.ctx();
+        let result = (|| -> IndexResult<ServerQuery> {
+            let (tx, rx) = channel();
+            for &arm in &target_arms {
+                let reply = tx.clone();
+                let req = match value {
+                    Some(v) => ArmRequest::Probe {
+                        value: v.clone(),
+                        range,
+                        ctx,
+                        reply,
+                    },
+                    None => ArmRequest::Scan { range, ctx, reply },
+                };
+                self.arm(arm)?.enqueue(req)?;
+            }
+            drop(tx);
+            let mut per_slot: Vec<(usize, Vec<Entry>)> = Vec::new();
+            let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
+            let mut accessed = 0usize;
+            let mut first_err = None;
+            for _ in 0..target_arms.len() {
+                match rx
+                    .recv()
+                    .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
+                {
+                    Ok(answer) => match self.arm(answer.arm) {
+                        Ok(link) => {
+                            link.settle(&answer.io);
+                            if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
+                                *s = answer.io.sim_seconds;
+                            }
+                            // During a maintenance hand-over two arms briefly
+                            // hold a generation of the same slot — the new
+                            // one just routed in, the displaced one awaiting
+                            // its Drop. The route snapshot held across this
+                            // query decides whose answer counts, so readers
+                            // never see a slot twice.
+                            for (slot, entries) in answer.per_slot {
+                                if route.arm_of.get(&slot) == Some(&answer.arm) {
+                                    accessed += 1;
+                                    per_slot.push((slot, entries));
+                                }
                             }
                         }
-                    }
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    },
                     Err(e) => first_err = first_err.or(Some(e)),
-                },
-                Err(e) => first_err = first_err.or(Some(e)),
+                }
             }
+            drop(route);
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            // Merge in ascending slot order: byte-identical to the
+            // single-threaded WaveIndex iteration.
+            per_slot.sort_by_key(|(slot, _)| *slot);
+            let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+            let serial = per_arm_seconds.iter().sum();
+            span.event(
+                "server.query.done",
+                fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
+            );
+            Ok(ServerQuery {
+                entries: per_slot.into_iter().flat_map(|(_, e)| e).collect(),
+                indexes_accessed: accessed,
+                elapsed_seconds: elapsed,
+                serial_seconds: serial,
+                per_arm_seconds,
+            })
+        })();
+        self.finish_query(&mut span, ctx, "server.query", &result, |q| {
+            (q.elapsed_seconds, &q.per_arm_seconds)
+        });
+        result
+    }
+
+    /// Shared root-span epilogue for the fan-out paths: stamps
+    /// `latency_us`/`error` end fields (flight-recorder retention
+    /// signals) and records the windowed SLO observations — one
+    /// aggregate row per operation plus one per arm that did work,
+    /// each carrying the request's trace id as the exemplar.
+    fn finish_query<T>(
+        &self,
+        span: &mut wave_obs::Span,
+        ctx: TraceCtx,
+        op: &str,
+        result: &IndexResult<T>,
+        measure: impl FnOnce(&T) -> (f64, &Vec<f64>),
+    ) {
+        match result {
+            Ok(v) => {
+                let (elapsed, per_arm) = measure(v);
+                let us = sim_micros(elapsed);
+                span.set_end_field("latency_us", us);
+                let slo = self.obs.slo();
+                slo.record(op, None, us, ctx.trace_id);
+                for (arm, s) in per_arm.iter().enumerate() {
+                    if *s > 0.0 {
+                        slo.record(op, Some(arm as u64), sim_micros(*s), ctx.trace_id);
+                    }
+                }
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
         }
-        drop(route);
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        // Merge in ascending slot order: byte-identical to the
-        // single-threaded WaveIndex iteration.
-        per_slot.sort_by_key(|(slot, _)| *slot);
-        let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
-        let serial = per_arm_seconds.iter().sum();
-        span.event(
-            "server.query.done",
-            fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
-        );
-        Ok(ServerQuery {
-            entries: per_slot.into_iter().flat_map(|(_, e)| e).collect(),
-            indexes_accessed: accessed,
-            elapsed_seconds: elapsed,
-            serial_seconds: serial,
-            per_arm_seconds,
-        })
     }
 
     /// A batch of `TimedIndexProbe`s over one range, fanned out with
@@ -784,80 +898,88 @@ impl WaveServer {
         let mut target_arms: Vec<usize> = route.arm_of.values().copied().collect();
         target_arms.sort_unstable();
         target_arms.dedup();
-        let span = self.obs.span(
+        let mut span = self.obs.root_span(
             "server.query_batch",
             fields![
                 ("values", values.len() as u64),
                 ("fanout", target_arms.len() as u64)
             ],
         );
-        let (tx, rx) = channel();
-        for &arm in &target_arms {
-            self.arm(arm)?.enqueue(ArmRequest::ProbeBatch {
-                values: values.to_vec(),
-                range,
-                reply: tx.clone(),
-            })?;
-        }
-        drop(tx);
-        let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
-        let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
-        let mut accessed = 0usize;
-        let mut first_err = None;
-        for _ in 0..target_arms.len() {
-            match rx
-                .recv()
-                .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
-            {
-                Ok(answer) => match self.arm(answer.arm) {
-                    Ok(link) => {
-                        link.settle(&answer.io);
-                        if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
-                            *s = answer.io.sim_seconds;
-                        }
-                        // Route-snapshot filtering, exactly as in
-                        // `fan_out`: during a maintenance hand-over
-                        // only the routed generation's answer counts.
-                        for (slot, entries) in answer.per_slot {
-                            if route.arm_of.get(&slot) == Some(&answer.arm) {
-                                accessed += 1;
-                                per_slot.push((slot, entries));
+        let ctx = span.ctx();
+        let result = (|| -> IndexResult<ServerBatchQuery> {
+            let (tx, rx) = channel();
+            for &arm in &target_arms {
+                self.arm(arm)?.enqueue(ArmRequest::ProbeBatch {
+                    values: values.to_vec(),
+                    range,
+                    ctx,
+                    reply: tx.clone(),
+                })?;
+            }
+            drop(tx);
+            let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
+            let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
+            let mut accessed = 0usize;
+            let mut first_err = None;
+            for _ in 0..target_arms.len() {
+                match rx
+                    .recv()
+                    .map_err(|_| IndexError::WorkerLost("arm worker disconnected mid-query"))?
+                {
+                    Ok(answer) => match self.arm(answer.arm) {
+                        Ok(link) => {
+                            link.settle(&answer.io);
+                            if let Some(s) = per_arm_seconds.get_mut(answer.arm) {
+                                *s = answer.io.sim_seconds;
+                            }
+                            // Route-snapshot filtering, exactly as in
+                            // `fan_out`: during a maintenance hand-over
+                            // only the routed generation's answer counts.
+                            for (slot, entries) in answer.per_slot {
+                                if route.arm_of.get(&slot) == Some(&answer.arm) {
+                                    accessed += 1;
+                                    per_slot.push((slot, entries));
+                                }
                             }
                         }
-                    }
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    },
                     Err(e) => first_err = first_err.or(Some(e)),
-                },
-                Err(e) => first_err = first_err.or(Some(e)),
-            }
-        }
-        drop(route);
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        // Merge in ascending slot order per value: byte-identical to
-        // the per-value `probe` path.
-        per_slot.sort_by_key(|(slot, _)| *slot);
-        let mut per_value: Vec<Vec<Entry>> = vec![Vec::new(); values.len()];
-        for (_, slot_values) in per_slot {
-            for (vi, entries) in slot_values.into_iter().enumerate() {
-                if let Some(out) = per_value.get_mut(vi) {
-                    out.extend(entries);
                 }
             }
-        }
-        let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
-        let serial = per_arm_seconds.iter().sum();
-        span.event(
-            "server.query_batch.done",
-            fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
-        );
-        Ok(ServerBatchQuery {
-            per_value,
-            indexes_accessed: accessed,
-            elapsed_seconds: elapsed,
-            serial_seconds: serial,
-            per_arm_seconds,
-        })
+            drop(route);
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            // Merge in ascending slot order per value: byte-identical to
+            // the per-value `probe` path.
+            per_slot.sort_by_key(|(slot, _)| *slot);
+            let mut per_value: Vec<Vec<Entry>> = vec![Vec::new(); values.len()];
+            for (_, slot_values) in per_slot {
+                for (vi, entries) in slot_values.into_iter().enumerate() {
+                    if let Some(out) = per_value.get_mut(vi) {
+                        out.extend(entries);
+                    }
+                }
+            }
+            let elapsed = per_arm_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+            let serial = per_arm_seconds.iter().sum();
+            span.event(
+                "server.query_batch.done",
+                fields![("accessed", accessed as u64), ("elapsed_s", elapsed)],
+            );
+            Ok(ServerBatchQuery {
+                per_value,
+                indexes_accessed: accessed,
+                elapsed_seconds: elapsed,
+                serial_seconds: serial,
+                per_arm_seconds,
+            })
+        })();
+        self.finish_query(&mut span, ctx, "server.query_batch", &result, |q| {
+            (q.elapsed_seconds, &q.per_arm_seconds)
+        });
+        result
     }
 
     /// Shadow-rebuilds `slot` from `batches` on the dedicated
@@ -870,61 +992,83 @@ impl WaveServer {
     /// Requires [`ServerConfig::reserve_maintenance_arm`] and an
     /// already-installed `slot`.
     pub fn maintain(&self, slot: usize, batches: Vec<DayBatch>) -> IndexResult<MaintainReport> {
-        let (build_arm, old_arm) = {
-            let route = self.route_read()?;
-            let build_arm = route.maintenance.ok_or_else(|| {
-                IndexError::Corrupt("maintain needs a reserved maintenance arm".into())
-            })?;
-            let old_arm = *route.arm_of.get(&slot).ok_or_else(|| {
-                IndexError::Corrupt(format!("maintain of uninstalled slot {slot}"))
-            })?;
-            (build_arm, old_arm)
-        };
         let epoch = self.epoch() + 1;
-        let span = self.obs.span(
+        // The root span opens before any validation: a rejected
+        // maintain must leave an error-promoted trace behind, not
+        // vanish before the recorder sees it.
+        let mut span = self.obs.root_span(
             "server.maintain",
-            fields![
-                ("slot", slot as u64),
-                ("epoch", epoch),
-                ("build_arm", build_arm as u64)
-            ],
+            fields![("slot", slot as u64), ("epoch", epoch)],
         );
-        // Phase 1 (off the query path): build the replacement fully
-        // on the maintenance arm, under the next epoch's label.
-        let (tx, rx) = channel();
-        self.arm(build_arm)?.enqueue(ArmRequest::Build {
-            slot,
-            label: format!("slot{slot}.e{epoch}"),
-            batches,
-            reply: tx,
-        })?;
-        let done = rx
-            .recv()
-            .map_err(|_| IndexError::WorkerLost("maintenance arm disconnected mid-build"))??;
-        self.arm(build_arm)?.settle(&done.io);
-        // Phase 2: the O(1) commit. Waits for in-flight queries, then
-        // flips the route; new queries route to the new generation.
-        {
-            let mut route = self.route_write()?;
-            route.arm_of.insert(slot, build_arm);
-            route.maintenance = Some(old_arm);
-            self.epoch.store(epoch, Ordering::Release);
+        let ctx = span.ctx();
+        let result = (|| -> IndexResult<MaintainReport> {
+            let (build_arm, old_arm) = {
+                let route = self.route_read()?;
+                let build_arm = route.maintenance.ok_or_else(|| {
+                    IndexError::Corrupt("maintain needs a reserved maintenance arm".into())
+                })?;
+                let old_arm = *route.arm_of.get(&slot).ok_or_else(|| {
+                    IndexError::Corrupt(format!("maintain of uninstalled slot {slot}"))
+                })?;
+                (build_arm, old_arm)
+            };
+            span.event(
+                "server.maintain.routed",
+                fields![("build_arm", build_arm as u64), ("old_arm", old_arm as u64)],
+            );
+            // Phase 1 (off the query path): build the replacement fully
+            // on the maintenance arm, under the next epoch's label.
+            let (tx, rx) = channel();
+            self.arm(build_arm)?.enqueue(ArmRequest::Build {
+                slot,
+                label: format!("slot{slot}.e{epoch}"),
+                batches,
+                ctx,
+                reply: tx,
+            })?;
+            let done = rx
+                .recv()
+                .map_err(|_| IndexError::WorkerLost("maintenance arm disconnected mid-build"))??;
+            self.arm(build_arm)?.settle(&done.io);
+            // Phase 2: the O(1) commit. Waits for in-flight queries, then
+            // flips the route; new queries route to the new generation.
+            {
+                let mut route = self.route_write()?;
+                route.arm_of.insert(slot, build_arm);
+                route.maintenance = Some(old_arm);
+                self.epoch.store(epoch, Ordering::Release);
+            }
+            // Garbage-collect the displaced generation. No query can
+            // reach it: the flip already routed the slot away.
+            let (tx, rx) = channel();
+            self.arm(old_arm)?
+                .enqueue(ArmRequest::Drop { slot, reply: tx })?;
+            rx.recv()
+                .map_err(|_| IndexError::WorkerLost("displaced arm disconnected during GC"))??;
+            self.arm(old_arm)?.settle(&StatsDelta::default());
+            span.event("server.maintain.done", fields![("epoch", epoch)]);
+            Ok(MaintainReport {
+                epoch,
+                built_on: build_arm,
+                released_from: old_arm,
+                build_seconds: done.io.sim_seconds,
+            })
+        })();
+        match &result {
+            Ok(report) => {
+                let us = sim_micros(report.build_seconds);
+                // "build_us" for the same reason as install: a
+                // maintenance rebuild is expected-slow admin work and
+                // must not crowd slow queries out of the promoted
+                // ring. Errors still promote.
+                span.set_end_field("build_us", us);
+                self.obs
+                    .slo()
+                    .record("server.maintain", None, us, ctx.trace_id);
+            }
+            Err(e) => span.set_end_field("error", e.to_string()),
         }
-        // Garbage-collect the displaced generation. No query can
-        // reach it: the flip already routed the slot away.
-        let (tx, rx) = channel();
-        self.arm(old_arm)?
-            .enqueue(ArmRequest::Drop { slot, reply: tx })?;
-        rx.recv()
-            .map_err(|_| IndexError::WorkerLost("displaced arm disconnected during GC"))??;
-        self.arm(old_arm)?.settle(&StatsDelta::default());
-        span.event("server.maintain.done", fields![("epoch", epoch)]);
-        Ok(MaintainReport {
-            epoch,
-            built_on: build_arm,
-            released_from: old_arm,
-            build_seconds: done.io.sim_seconds,
-        })
+        result
     }
 
     /// Per-arm snapshots (slots owned, entries, blocks, busy time).
@@ -1248,5 +1392,116 @@ mod tests {
     fn wave_cleanup(mut wave: WaveIndex, vol: &mut Volume) {
         wave.release_all(vol).unwrap();
         assert_eq!(vol.live_blocks(), 0);
+    }
+
+    /// Tentpole invariant: every request-scoped span emitted during a
+    /// fan-out (install, probe, batch) carries the root's `trace_id`
+    /// and a `parent_id` resolving inside the trace, so the flat JSONL
+    /// stream reconstructs into exactly one rooted tree per request.
+    #[test]
+    fn fan_out_spans_form_single_rooted_trees() {
+        use std::sync::Arc;
+        use wave_obs::context::span_records_from_events;
+        use wave_obs::{build_forest, MemorySink};
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_seed(sink.clone(), 99);
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 3),
+            ServerConfig::default(),
+            obs.clone(),
+        )
+        .unwrap();
+        server.install_wave(slot_batches(3, 40)).unwrap();
+        server
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap();
+        server
+            .query_batch(
+                &[SearchValue::from("k"), SearchValue::from_u64(2)],
+                TimeRange::all(),
+            )
+            .unwrap();
+        server.shutdown().unwrap();
+
+        let records = span_records_from_events(&sink.events());
+        let forest = build_forest(&records);
+        assert_eq!(
+            forest.len(),
+            3,
+            "install + probe + batch each mint one trace"
+        );
+        for tree in &forest {
+            assert!(
+                tree.is_single_rooted(),
+                "trace {:016x}: {} roots, {} orphans",
+                tree.trace_id,
+                tree.roots.len(),
+                tree.orphans
+            );
+            assert!(tree.span_count() >= 2, "root plus at least one arm span");
+            for rec in records.iter().filter(|r| r.trace_id == tree.trace_id) {
+                assert_eq!(rec.trace_id, tree.trace_id);
+            }
+        }
+        // Forest order follows trace-id value; sort by root span id
+        // (emission order) to name the three requests.
+        let mut names: Vec<(u64, &str)> = forest
+            .iter()
+            .map(|t| (t.roots[0].span.span_id, t.roots[0].span.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        assert_eq!(
+            names.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            ["server.install", "server.query", "server.query_batch"]
+        );
+        // Arm child spans carry their arm attribution.
+        assert!(records
+            .iter()
+            .any(|r| r.name == "arm.probe" && r.arm.is_some() && r.parent_id.is_some()));
+        // The SLO windows saw the fan-out, exemplars pointing at real
+        // trace ids from the forest.
+        let rows = obs.slo().report();
+        let query_row = rows
+            .iter()
+            .find(|r| r.op == "server.query" && r.arm.is_none())
+            .expect("aggregate server.query row");
+        assert!(forest.iter().any(|t| t.trace_id == query_row.exemplar));
+        assert!(rows
+            .iter()
+            .any(|r| r.op == "server.query_batch" && r.arm.is_some()));
+    }
+
+    /// A flight recorder wired as the trace sink promotes queries whose
+    /// root latency crosses the threshold; their traces come back
+    /// verbatim from the promoted ring.
+    #[test]
+    fn flight_recorder_promotes_slow_server_queries() {
+        use std::sync::Arc;
+        use wave_obs::{FlightConfig, FlightRecorder};
+        let recorder = Arc::new(FlightRecorder::new(FlightConfig {
+            promote_latency_us: 1,
+            ..FlightConfig::default()
+        }));
+        let obs = Obs::new(recorder.clone());
+        let server = WaveServer::launch(
+            DiskArray::new(DiskConfig::default(), 2),
+            ServerConfig::default(),
+            obs,
+        )
+        .unwrap();
+        server.install_wave(slot_batches(2, 200)).unwrap();
+        server.scan(TimeRange::all()).unwrap();
+        server.shutdown().unwrap();
+        let promoted = recorder.promoted();
+        let scan = promoted
+            .iter()
+            .find(|t| t.root_name == "server.query")
+            .expect("slow scan promoted");
+        assert!(scan.latency_us >= 1);
+        assert!(scan.error.is_none());
+        assert!(
+            scan.events.iter().any(|e| e.name == "arm.scan"),
+            "promoted trace keeps its worker spans"
+        );
     }
 }

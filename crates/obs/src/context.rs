@@ -1,0 +1,364 @@
+//! Request-scoped trace context and causal-tree reconstruction.
+//!
+//! A [`TraceCtx`] names one in-flight request: the trace id minted at
+//! the engine entry point (deterministically, from the `Obs` handle's
+//! SplitMix64 seed) plus the span id of the caller's current span.
+//! Entry points open a *root* span ([`crate::Obs::root_span`]), pass
+//! `span.ctx()` down through worker threads and the I/O scheduler,
+//! and every layer below opens *child* spans
+//! ([`crate::Obs::child_span`]) that emit `trace_id` / `parent_id`
+//! fields. The flat JSONL stream then reconstructs into one causal
+//! tree per request — [`build_forest`] does exactly that, and
+//! [`render_forest`] is the `wavectl trace-tree` renderer.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse_flat, JsonValue};
+use crate::trace::{EventKind, FieldValue, TraceEvent};
+
+/// Identity of one in-flight request, propagated by value.
+///
+/// `trace_id == 0` is the reserved "no trace" sentinel
+/// ([`TraceCtx::NONE`]): child spans opened under it carry no trace
+/// fields, so un-attributed internal work stays out of the causal
+/// trees. Real trace ids are never 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Request identity, shared by every span in the tree.
+    pub trace_id: u64,
+    /// Span id of the context holder — children emit it as
+    /// `parent_id`.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The absent context: children opened under it are plain spans.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this is the sentinel "no trace" context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Whether this names a real trace.
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::NONE
+    }
+}
+
+/// One `span_begin` record with its trace attribution, the unit the
+/// tree builder works from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// Parent span id; `None` marks the root of a trace.
+    pub parent_id: Option<u64>,
+    pub name: String,
+    /// Disk-arm attribution, when the span carried an `arm` field.
+    pub arm: Option<u64>,
+}
+
+/// Builds [`SpanRecord`]s from in-memory `span_begin` events that
+/// carry a `trace_id` field.
+pub fn span_records_from_events(events: &[TraceEvent]) -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.kind != EventKind::SpanBegin {
+            continue;
+        }
+        let Some(FieldValue::U64(trace_id)) = ev.field("trace_id") else {
+            continue;
+        };
+        let Some(span_id) = ev.span else { continue };
+        let parent_id = match ev.field("parent_id") {
+            Some(FieldValue::U64(p)) => Some(*p),
+            _ => None,
+        };
+        let arm = match ev.field("arm") {
+            Some(FieldValue::U64(a)) => Some(*a),
+            _ => None,
+        };
+        out.push(SpanRecord {
+            trace_id: *trace_id,
+            span_id,
+            parent_id,
+            name: ev.name.clone(),
+            arm,
+        });
+    }
+    out
+}
+
+/// Builds [`SpanRecord`]s from a JSONL trace: every `span_begin` line
+/// carrying a `trace_id` field contributes one record. Lines that are
+/// not flat JSON are skipped (the dump may interleave non-trace
+/// output).
+pub fn span_records_from_jsonl(jsonl: &str) -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    for line in jsonl.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(obj) = parse_flat(line) else {
+            continue;
+        };
+        if obj.get("kind").and_then(JsonValue::as_str) != Some("span_begin") {
+            continue;
+        }
+        let Some(trace_id) = obj.get("trace_id").and_then(JsonValue::as_u64) else {
+            continue;
+        };
+        let Some(span_id) = obj.get("span").and_then(JsonValue::as_u64) else {
+            continue;
+        };
+        out.push(SpanRecord {
+            trace_id,
+            span_id,
+            parent_id: obj.get("parent_id").and_then(JsonValue::as_u64),
+            name: obj
+                .get("ev")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            arm: obj.get("arm").and_then(JsonValue::as_u64),
+        });
+    }
+    out
+}
+
+/// One node of a reconstructed causal tree.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    pub span: SpanRecord,
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Total spans in this subtree (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceNode::span_count)
+            .sum::<usize>()
+    }
+}
+
+/// All spans of one trace id, assembled by `parent_id` links.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    pub trace_id: u64,
+    /// Top-level nodes: true roots (`parent_id == None`) first, then
+    /// any orphans whose parent never appeared in the stream.
+    pub roots: Vec<TraceNode>,
+    /// How many of `roots` are orphans rather than true roots.
+    pub orphans: usize,
+}
+
+impl TraceTree {
+    /// A well-formed request: exactly one root, no orphaned spans.
+    pub fn is_single_rooted(&self) -> bool {
+        self.roots.len() == 1 && self.orphans == 0
+    }
+
+    /// Total spans across the tree.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(TraceNode::span_count).sum()
+    }
+}
+
+/// Groups spans by trace id and links each group into a tree.
+/// Children are ordered by span id, which follows emission order.
+/// Trees come back sorted by trace id for deterministic rendering.
+pub fn build_forest(spans: &[SpanRecord]) -> Vec<TraceTree> {
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        if s.trace_id != 0 {
+            by_trace.entry(s.trace_id).or_default().push(s);
+        }
+    }
+    let mut forest = Vec::with_capacity(by_trace.len());
+    for (trace_id, mut group) in by_trace {
+        group.sort_by_key(|s| s.span_id);
+        let ids: BTreeMap<u64, ()> = group.iter().map(|s| (s.span_id, ())).collect();
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut tops: Vec<(&SpanRecord, bool)> = Vec::new(); // (span, is_orphan)
+        for s in &group {
+            match s.parent_id {
+                Some(p) if ids.contains_key(&p) && p != s.span_id => {
+                    children.entry(p).or_default().push(s);
+                }
+                Some(_) => tops.push((s, true)),
+                None => tops.push((s, false)),
+            }
+        }
+        // True roots first, orphans after, each in span-id order.
+        tops.sort_by_key(|(s, orphan)| (*orphan, s.span_id));
+        let orphans = tops.iter().filter(|(_, o)| *o).count();
+        let roots = tops.iter().map(|(s, _)| assemble(s, &children)).collect();
+        forest.push(TraceTree {
+            trace_id,
+            roots,
+            orphans,
+        });
+    }
+    forest
+}
+
+fn assemble(span: &SpanRecord, children: &BTreeMap<u64, Vec<&SpanRecord>>) -> TraceNode {
+    let kids = children
+        .get(&span.span_id)
+        .map(|v| v.iter().map(|c| assemble(c, children)).collect())
+        .unwrap_or_default();
+    TraceNode {
+        span: span.clone(),
+        children: kids,
+    }
+}
+
+/// Renders a forest as an ASCII tree, one block per trace:
+///
+/// ```text
+/// trace 4c249f3b87a10e55 (4 spans)
+/// └─ server.query [span 12]
+///    ├─ arm.probe arm=0 [span 14]
+///    └─ arm.probe arm=1 [span 15]
+/// ```
+pub fn render_forest(forest: &[TraceTree]) -> String {
+    let mut out = String::new();
+    for tree in forest {
+        out.push_str(&format!(
+            "trace {:016x} ({} span{}{})\n",
+            tree.trace_id,
+            tree.span_count(),
+            if tree.span_count() == 1 { "" } else { "s" },
+            if tree.orphans > 0 {
+                format!(", {} orphaned", tree.orphans)
+            } else {
+                String::new()
+            }
+        ));
+        for (i, root) in tree.roots.iter().enumerate() {
+            render_node(&mut out, root, "", i + 1 == tree.roots.len());
+        }
+    }
+    out
+}
+
+fn render_node(out: &mut String, node: &TraceNode, prefix: &str, last: bool) {
+    let connector = if last { "└─" } else { "├─" };
+    let arm = node
+        .span
+        .arm
+        .map(|a| format!(" arm={a}"))
+        .unwrap_or_default();
+    out.push_str(&format!(
+        "{prefix}{connector} {}{arm} [span {}]\n",
+        node.span.name, node.span.span_id
+    ));
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(out, child, &child_prefix, i + 1 == node.children.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: u64, span: u64, parent: Option<u64>, name: &str, arm: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: span,
+            parent_id: parent,
+            name: name.to_string(),
+            arm,
+        }
+    }
+
+    #[test]
+    fn none_sentinel_roundtrip() {
+        assert!(TraceCtx::NONE.is_none());
+        assert!(!TraceCtx::NONE.is_some());
+        let real = TraceCtx {
+            trace_id: 9,
+            span_id: 3,
+        };
+        assert!(real.is_some());
+        assert_eq!(TraceCtx::default(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn forest_links_children_under_roots() {
+        let spans = vec![
+            rec(7, 1, None, "server.query", None),
+            rec(7, 2, Some(1), "arm.probe", Some(0)),
+            rec(7, 3, Some(1), "arm.probe", Some(1)),
+            rec(7, 4, Some(2), "sched.read_batch", Some(0)),
+            rec(9, 5, None, "commit_wave", None),
+        ];
+        let forest = build_forest(&spans);
+        assert_eq!(forest.len(), 2);
+        let t7 = &forest[0];
+        assert_eq!(t7.trace_id, 7);
+        assert!(t7.is_single_rooted());
+        assert_eq!(t7.span_count(), 4);
+        let root = &t7.roots[0];
+        assert_eq!(root.span.name, "server.query");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].span.arm, Some(0));
+        assert_eq!(root.children[0].children[0].span.name, "sched.read_batch");
+        assert!(forest[1].is_single_rooted());
+    }
+
+    #[test]
+    fn orphans_are_counted_not_lost() {
+        let spans = vec![
+            rec(7, 1, None, "root", None),
+            rec(7, 9, Some(42), "lost", None), // parent never appeared
+        ];
+        let forest = build_forest(&spans);
+        assert_eq!(forest.len(), 1);
+        assert!(!forest[0].is_single_rooted());
+        assert_eq!(forest[0].orphans, 1);
+        assert_eq!(forest[0].span_count(), 2, "orphan still rendered");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_render() {
+        let jsonl = "\
+{\"seq\":0,\"kind\":\"span_begin\",\"ev\":\"server.query\",\"span\":1,\"trace_id\":7}\n\
+{\"seq\":1,\"kind\":\"span_begin\",\"ev\":\"arm.probe\",\"span\":2,\"trace_id\":7,\"parent_id\":1,\"arm\":0}\n\
+{\"seq\":2,\"kind\":\"event\",\"ev\":\"noise\",\"trace_id\":7}\n\
+{\"seq\":3,\"kind\":\"span_begin\",\"ev\":\"untraced\",\"span\":8}\n\
+not json at all\n";
+        let spans = span_records_from_jsonl(jsonl);
+        assert_eq!(spans.len(), 2, "only trace-attributed span_begin lines");
+        let forest = build_forest(&spans);
+        assert_eq!(forest.len(), 1);
+        assert!(forest[0].is_single_rooted());
+        let text = render_forest(&forest);
+        assert!(text.contains("trace 0000000000000007 (2 spans)"), "{text}");
+        assert!(text.contains("└─ server.query [span 1]"), "{text}");
+        assert!(text.contains("   └─ arm.probe arm=0 [span 2]"), "{text}");
+    }
+
+    #[test]
+    fn self_parented_span_is_an_orphan_not_a_cycle() {
+        let spans = vec![rec(7, 1, Some(1), "weird", None)];
+        let forest = build_forest(&spans);
+        assert_eq!(forest[0].orphans, 1);
+        assert_eq!(forest[0].span_count(), 1);
+    }
+}

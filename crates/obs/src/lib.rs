@@ -6,13 +6,25 @@
 //! zero-dependency — JSONL encoding is hand-written (see
 //! [`json`]) so the workspace builds with no network access.
 //!
-//! Three pieces:
+//! Six pieces:
 //!
 //! * **Traces** ([`trace`]): flat streams of [`trace::TraceEvent`]s.
 //!   Spans are `span_begin`/`span_end` pairs sharing an id. Sinks:
 //!   [`trace::JsonlSink`] (one JSON object per line),
 //!   [`trace::MemorySink`] (tests, in-process reports),
 //!   [`trace::NullSink`] (the default; tracing disabled).
+//! * **Trace context** ([`context`]): request-scoped [`TraceCtx`]
+//!   identities. Engine entry points open [`Obs::root_span`]s which
+//!   mint a deterministic (SplitMix64-seeded) trace id; the context
+//!   is passed by value into worker threads and the I/O scheduler,
+//!   where [`Obs::child_span`] emits `trace_id`/`parent_id` fields so
+//!   the flat stream reconstructs into causal trees.
+//! * **Flight recorder** ([`recorder`]): an always-on ring of recent
+//!   completed traces; slow or erroring requests are promoted for
+//!   post-hoc dumping, the rest evict silently.
+//! * **Windowed SLOs** ([`window`]): per-operation / per-arm sliding
+//!   latency histograms (rotated per wave day and per N operations)
+//!   with p50/p95/p99 bounds and exemplar trace ids.
 //! * **Metrics** ([`metrics`]): a named registry of counters, gauges
 //!   and log2-bucketed histograms, lock-free on the hot path.
 //! * **Rng** ([`rng`]): SplitMix64, the in-repo replacement for the
@@ -21,17 +33,27 @@
 //! An `Obs` is a cheap `Arc` clone; `Obs::noop()` (the default on a
 //! fresh `Volume`) swallows events but still aggregates metrics.
 
+pub mod context;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod rng;
 pub mod trace;
+pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub use context::{build_forest, render_forest, SpanRecord, TraceCtx, TraceTree};
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
+pub use recorder::{CompletedTrace, FlightConfig, FlightRecorder, FlightStats};
 pub use rng::SplitMix64;
 pub use trace::{EventKind, FieldValue, JsonlSink, MemorySink, NullSink, TraceEvent, TraceSink};
+pub use window::{SloConfig, SloRow, SloWindows};
+
+/// Default seed for trace-id minting; override with
+/// [`Obs::with_seed`] when a test needs a distinct stream.
+pub const DEFAULT_TRACE_SEED: u64 = 0x5EED_0B5E_7ACE_0001;
 
 /// Builds a `&[(&str, FieldValue)]` literal for [`Obs::event`] /
 /// [`Obs::span`] without spelling out the conversions:
@@ -54,6 +76,12 @@ struct ObsInner {
     sink: Arc<dyn TraceSink>,
     seq: AtomicU64,
     tracing: bool,
+    /// Seed for deterministic trace-id minting.
+    trace_seed: u64,
+    /// Count of trace ids minted so far.
+    trace_counter: AtomicU64,
+    /// Windowed SLO telemetry shared by every clone of this handle.
+    slo: SloWindows,
 }
 
 impl std::fmt::Debug for dyn TraceSink {
@@ -77,12 +105,22 @@ impl Default for Obs {
 impl Obs {
     /// An `Obs` that traces into `sink` with a fresh registry.
     pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self::with_seed(sink, DEFAULT_TRACE_SEED)
+    }
+
+    /// Like [`Obs::new`] but with an explicit trace-id seed: equal
+    /// seeds mint identical trace-id streams, so seeded tests can
+    /// assert on ids across runs.
+    pub fn with_seed(sink: Arc<dyn TraceSink>, trace_seed: u64) -> Self {
         Obs {
             inner: Arc::new(ObsInner {
                 registry: Registry::new(),
                 sink,
                 seq: AtomicU64::new(0),
                 tracing: true,
+                trace_seed,
+                trace_counter: AtomicU64::new(0),
+                slo: SloWindows::default(),
             }),
         }
     }
@@ -95,8 +133,16 @@ impl Obs {
                 sink: Arc::new(NullSink),
                 seq: AtomicU64::new(0),
                 tracing: false,
+                trace_seed: DEFAULT_TRACE_SEED,
+                trace_counter: AtomicU64::new(0),
+                slo: SloWindows::default(),
             }),
         }
+    }
+
+    /// The windowed SLO store shared by every clone of this handle.
+    pub fn slo(&self) -> &SloWindows {
+        &self.inner.slo
     }
 
     /// Whether trace events are being recorded (metrics always are).
@@ -155,14 +201,57 @@ impl Obs {
         self.emit(EventKind::Event, name, Some(span), fields);
     }
 
-    /// Opens a span; the returned guard closes it on drop.
+    /// Opens a plain (trace-less) span; the guard closes it on drop.
     pub fn span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        self.span_inner(name, fields, None)
+    }
+
+    /// Mints a fresh deterministic trace id and opens the *root* span
+    /// of a new request. Every span below it (opened via
+    /// [`Obs::child_span`] with this span's [`Span::ctx`]) shares the
+    /// trace id, and the root's end-fields (`latency_us`, `error` —
+    /// see [`Span::set_end_field`]) drive flight-recorder retention.
+    pub fn root_span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        let trace_id = self.mint_trace_id();
+        self.span_inner(name, fields, Some((trace_id, None)))
+    }
+
+    /// Opens a span causally under `ctx`: it emits the context's
+    /// `trace_id` and a `parent_id` naming the context holder's span.
+    /// With [`TraceCtx::NONE`] this is a plain [`Obs::span`], so
+    /// shared helpers can take a context unconditionally.
+    pub fn child_span(&self, ctx: TraceCtx, name: &str, fields: &[(&str, FieldValue)]) -> Span {
+        let trace = ctx.is_some().then_some((ctx.trace_id, Some(ctx.span_id)));
+        self.span_inner(name, fields, trace)
+    }
+
+    /// Deterministic trace-id mint: output `n` of SplitMix64 streams
+    /// derived from the handle's seed. Never returns the reserved 0.
+    fn mint_trace_id(&self) -> u64 {
+        let n = self.inner.trace_counter.fetch_add(1, Ordering::Relaxed);
+        let id = SplitMix64::new(self.inner.trace_seed.wrapping_add(n)).next_u64();
+        id.max(1)
+    }
+
+    fn span_inner(
+        &self,
+        name: &str,
+        fields: &[(&str, FieldValue)],
+        trace: Option<(u64, Option<u64>)>,
+    ) -> Span {
         let id = self.next_seq();
-        self.emit(EventKind::SpanBegin, name, Some(id), fields);
+        if self.inner.tracing {
+            let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(fields.len() + 2);
+            push_trace_fields(&mut all, trace);
+            all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+            self.emit(EventKind::SpanBegin, name, Some(id), &all);
+        }
         Span {
             obs: self.clone(),
             name: name.to_string(),
             id,
+            trace,
+            end_fields: Vec::new(),
         }
     }
 
@@ -210,12 +299,29 @@ impl Obs {
     }
 }
 
-/// RAII span guard: emits `span_end` when dropped.
+/// Prepends `trace_id` / `parent_id` fields for a traced span.
+fn push_trace_fields(out: &mut Vec<(&str, FieldValue)>, trace: Option<(u64, Option<u64>)>) {
+    if let Some((trace_id, parent)) = trace {
+        out.push(("trace_id", FieldValue::U64(trace_id)));
+        if let Some(p) = parent {
+            out.push(("parent_id", FieldValue::U64(p)));
+        }
+    }
+}
+
+/// RAII span guard: emits `span_end` when dropped. Traced spans
+/// (from [`Obs::root_span`] / [`Obs::child_span`]) stamp their
+/// `trace_id`/`parent_id` on the begin, the end, and every event
+/// emitted through [`Span::event`].
 #[derive(Debug)]
 pub struct Span {
     obs: Obs,
     name: String,
     id: u64,
+    /// `(trace_id, parent_id)` when this span is trace-attributed.
+    trace: Option<(u64, Option<u64>)>,
+    /// Fields attached to the closing `span_end` event.
+    end_fields: Vec<(String, FieldValue)>,
 }
 
 impl Span {
@@ -224,16 +330,51 @@ impl Span {
         self.id
     }
 
-    /// Emits an event inside this span.
+    /// The context to hand to children of this span. For plain
+    /// (untraced) spans this is [`TraceCtx::NONE`]-like (trace id 0),
+    /// which downstream `child_span` calls treat as "no trace".
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace.map(|(t, _)| t).unwrap_or(0),
+            span_id: self.id,
+        }
+    }
+
+    /// Attaches a field to the closing `span_end` event, replacing
+    /// any earlier value for the same key. The flight recorder reads
+    /// `latency_us` and `error` end-fields off root spans to decide
+    /// promotion.
+    pub fn set_end_field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        let value = value.into();
+        if let Some(slot) = self.end_fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.end_fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Emits an event inside this span (carrying its trace fields).
     pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
-        self.obs.emit(EventKind::Event, name, Some(self.id), fields);
+        if !self.obs.inner.tracing {
+            return;
+        }
+        let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(fields.len() + 2);
+        push_trace_fields(&mut all, self.trace);
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        self.obs.emit(EventKind::Event, name, Some(self.id), &all);
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if !self.obs.inner.tracing {
+            return;
+        }
+        let mut all: Vec<(&str, FieldValue)> = Vec::with_capacity(self.end_fields.len() + 2);
+        push_trace_fields(&mut all, self.trace);
+        all.extend(self.end_fields.iter().map(|(k, v)| (k.as_str(), v.clone())));
         self.obs
-            .emit(EventKind::SpanEnd, &self.name, Some(self.id), &[]);
+            .emit(EventKind::SpanEnd, &self.name, Some(self.id), &all);
     }
 }
 
@@ -280,6 +421,93 @@ mod tests {
         obs2.event("b", &[]);
         let evs = sink.events();
         assert!(evs[0].seq < evs[1].seq);
+    }
+
+    #[test]
+    fn root_and_child_spans_carry_trace_identity() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_seed(sink.clone(), 42);
+        {
+            let mut root = obs.root_span("server.query", fields![("fan", 2u64)]);
+            let ctx = root.ctx();
+            assert!(ctx.is_some());
+            {
+                let child = obs.child_span(ctx, "arm.probe", fields![("arm", 0u64)]);
+                child.event("io", fields![("blocks", 3u64)]);
+            }
+            root.set_end_field("latency_us", 123u64);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 5);
+        let tid = match evs[0].field("trace_id") {
+            Some(FieldValue::U64(t)) => *t,
+            other => panic!("root begin lacks trace_id: {other:?}"),
+        };
+        assert!(tid != 0);
+        assert!(evs[0].field("parent_id").is_none(), "root has no parent");
+        for ev in &evs {
+            assert_eq!(ev.field("trace_id"), Some(&FieldValue::U64(tid)));
+        }
+        assert_eq!(
+            evs[1].field("parent_id"),
+            Some(&FieldValue::U64(evs[0].span.unwrap()))
+        );
+        assert_eq!(
+            evs[2].field("parent_id"),
+            Some(&FieldValue::U64(evs[0].span.unwrap())),
+            "in-span events carry the span's own trace fields"
+        );
+        assert_eq!(evs[2].span, evs[1].span, "event attributed to the child");
+        let end = evs.last().unwrap();
+        assert_eq!(end.kind, EventKind::SpanEnd);
+        assert_eq!(end.field("latency_us"), Some(&FieldValue::U64(123)));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_per_seed() {
+        let a = Obs::with_seed(Arc::new(MemorySink::new()), 7);
+        let b = Obs::with_seed(Arc::new(MemorySink::new()), 7);
+        let c = Obs::with_seed(Arc::new(MemorySink::new()), 8);
+        let ids = |o: &Obs| -> Vec<u64> {
+            (0..4)
+                .map(|_| o.root_span("r", &[]).ctx().trace_id)
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b), "same seed, same id stream");
+        assert_ne!(ids(&a), ids(&c), "different seed diverges");
+    }
+
+    #[test]
+    fn none_context_children_stay_untraced() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        let plain = obs.span("plain", &[]);
+        assert!(plain.ctx().is_none());
+        let child = obs.child_span(TraceCtx::NONE, "sub", &[]);
+        drop(child);
+        drop(plain);
+        for ev in sink.events() {
+            assert!(ev.field("trace_id").is_none(), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn end_fields_replace_and_survive_drop() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(sink.clone());
+        {
+            let mut s = obs.root_span("r", &[]);
+            s.set_end_field("error", "first");
+            s.set_end_field("error", "second");
+        }
+        let evs = sink.events();
+        let end = evs.last().unwrap();
+        assert_eq!(
+            end.field("error"),
+            Some(&FieldValue::Str("second".into())),
+            "later set wins"
+        );
+        assert_eq!(end.fields.iter().filter(|(k, _)| k == "error").count(), 1);
     }
 
     #[test]

@@ -122,12 +122,24 @@ impl Histogram {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// Upper bound (exclusive) of the bucket containing quantile `q`
-    /// in `[0, 1]` — a coarse percentile good to a factor of two.
+    /// Inclusive upper bound of the bucket containing quantile `q` —
+    /// a coarse percentile good to a factor of two.
+    ///
+    /// Edge behavior, by contract:
+    /// * An empty histogram returns 0 for every `q`.
+    /// * `q = 0.0` returns the upper bound of the smallest occupied
+    ///   bucket (a coarse minimum).
+    /// * `q >= 1.0` returns the true recorded [`Histogram::max`],
+    ///   not the open upper bound of the top occupied bucket — a
+    ///   single sample at 1000 reports `quantile_bound(1.0) == 1000`,
+    ///   never 1023.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
+        }
+        if q >= 1.0 {
+            return self.max();
         }
         let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
         let mut seen = 0u64;
@@ -314,6 +326,25 @@ mod tests {
         assert_eq!(b[10], 1); // 1000 in [512,1024)
         assert!(h.quantile_bound(0.5) <= 3);
         assert!(h.quantile_bound(1.0) >= 512);
+    }
+
+    #[test]
+    fn quantile_bound_edges() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_bound(0.0), 0, "empty histogram");
+        assert_eq!(h.quantile_bound(1.0), 0, "empty histogram");
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        // q=0.0: bound of the smallest occupied bucket (here value 0).
+        assert_eq!(h.quantile_bound(0.0), 0);
+        // q=1.0: the true recorded max, not bucket_range(10).1 = 1023.
+        assert_eq!(h.quantile_bound(1.0), 1000);
+        assert_eq!(h.quantile_bound(1.5), 1000, "clamped above 1");
+        let single = Histogram::default();
+        single.record(700);
+        assert_eq!(single.quantile_bound(0.0), bucket_range(10).1);
+        assert_eq!(single.quantile_bound(1.0), 700);
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! Flight recorder: an always-on, lock-light ring buffer of recent
+//! completed traces with tail-based retention.
+//!
+//! The recorder is a [`TraceSink`]: install it as the `Obs` sink (or
+//! tee through it to a downstream sink) and it groups events by their
+//! `trace_id` field. When a trace's *root* span ends, the recorder
+//! reads the root's `latency_us` / `error` end-fields and decides the
+//! trace's fate: traces over the latency threshold or ending in error
+//! are **promoted** and survive for `wavectl flight dump`; everything
+//! else parks in a bounded ring and is dropped verbatim at eviction.
+//!
+//! "Lock-light": events that carry no `trace_id` field are passed to
+//! the tee (if any) and skipped *before* the recorder's mutex is
+//! taken, so untraced hot-path events cost one field scan.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::trace::{EventKind, FieldValue, TraceEvent, TraceSink};
+
+/// Retention policy for the recorder.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Completed, un-promoted traces kept before eviction.
+    pub ring_capacity: usize,
+    /// Root `latency_us` at or above this promotes the trace.
+    /// `u64::MAX` (the default) promotes only on error.
+    pub promote_latency_us: u64,
+    /// Promoted traces kept (oldest dropped beyond this).
+    pub promoted_capacity: usize,
+    /// Events buffered per trace; extras are counted, not stored.
+    pub max_events_per_trace: usize,
+    /// In-flight traces tracked; oldest is abandoned beyond this.
+    pub max_active: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            ring_capacity: 64,
+            promote_latency_us: u64::MAX,
+            promoted_capacity: 32,
+            max_events_per_trace: 512,
+            max_active: 256,
+        }
+    }
+}
+
+/// One finished trace with its buffered events.
+#[derive(Debug, Clone)]
+pub struct CompletedTrace {
+    pub trace_id: u64,
+    /// Name of the root span (e.g. `server.query`).
+    pub root_name: String,
+    /// Root `latency_us` end-field (0 when absent).
+    pub latency_us: u64,
+    /// Root `error` end-field, when the request failed.
+    pub error: Option<String>,
+    /// Events truncated past `max_events_per_trace`.
+    pub truncated: u64,
+    pub events: Vec<TraceEvent>,
+}
+
+impl CompletedTrace {
+    /// The trace's events rendered verbatim as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    root_span: Option<u64>,
+    truncated: u64,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    active: BTreeMap<u64, TraceBuf>,
+    /// Insertion order of `active`, for oldest-first abandonment.
+    active_order: VecDeque<u64>,
+    ring: VecDeque<CompletedTrace>,
+    promoted: VecDeque<CompletedTrace>,
+    completed: u64,
+    promoted_total: u64,
+    evicted: u64,
+    abandoned: u64,
+}
+
+/// Counters describing what the recorder has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Traces whose root span ended.
+    pub completed: u64,
+    /// Traces promoted (slow or erroring), total ever.
+    pub promoted: u64,
+    /// Un-promoted traces dropped at ring eviction.
+    pub evicted: u64,
+    /// In-flight traces abandoned past `max_active`.
+    pub abandoned: u64,
+    /// Traces currently in flight.
+    pub active: usize,
+    /// Completed traces currently parked in the ring.
+    pub ring_len: usize,
+}
+
+/// The recorder itself. `Arc` it into [`crate::Obs::new`].
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    tee: Option<Arc<dyn TraceSink>>,
+    state: Mutex<FlightState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FlightRecorder")
+    }
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig) -> Self {
+        FlightRecorder {
+            cfg,
+            tee: None,
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// A recorder that also forwards every event to `tee` (e.g. a
+    /// [`crate::MemorySink`] keeping the full flat stream).
+    pub fn with_tee(cfg: FlightConfig, tee: Arc<dyn TraceSink>) -> Self {
+        FlightRecorder {
+            cfg,
+            tee: Some(tee),
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FlightState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Promoted traces, oldest first.
+    pub fn promoted(&self) -> Vec<CompletedTrace> {
+        self.lock().promoted.iter().cloned().collect()
+    }
+
+    /// Trace ids currently parked in the ring, oldest first.
+    pub fn recent_trace_ids(&self) -> Vec<u64> {
+        self.lock().ring.iter().map(|t| t.trace_id).collect()
+    }
+
+    pub fn stats(&self) -> FlightStats {
+        let st = self.lock();
+        FlightStats {
+            completed: st.completed,
+            promoted: st.promoted_total,
+            evicted: st.evicted,
+            abandoned: st.abandoned,
+            active: st.active.len(),
+            ring_len: st.ring.len(),
+        }
+    }
+
+    /// Every promoted trace rendered verbatim as JSONL — the payload
+    /// of `wavectl flight dump`. Events appear exactly as emitted;
+    /// lines group by trace in promotion order.
+    pub fn dump_promoted(&self) -> String {
+        let st = self.lock();
+        let mut out = String::new();
+        for t in &st.promoted {
+            out.push_str(&t.to_jsonl());
+        }
+        out
+    }
+
+    fn complete(&self, st: &mut FlightState, trace_id: u64, end: &TraceEvent) {
+        let Some(buf) = st.active.remove(&trace_id) else {
+            return;
+        };
+        st.active_order.retain(|id| *id != trace_id);
+        let latency_us = match end.field("latency_us") {
+            Some(FieldValue::U64(v)) => *v,
+            _ => 0,
+        };
+        let error = match end.field("error") {
+            Some(FieldValue::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let done = CompletedTrace {
+            trace_id,
+            root_name: end.name.clone(),
+            latency_us,
+            error,
+            truncated: buf.truncated,
+            events: buf.events,
+        };
+        st.completed += 1;
+        if done.error.is_some() || done.latency_us >= self.cfg.promote_latency_us {
+            st.promoted_total += 1;
+            st.promoted.push_back(done);
+            while st.promoted.len() > self.cfg.promoted_capacity {
+                st.promoted.pop_front();
+            }
+        } else {
+            st.ring.push_back(done);
+            while st.ring.len() > self.cfg.ring_capacity {
+                st.ring.pop_front();
+                st.evicted += 1;
+            }
+        }
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&self, ev: &TraceEvent) {
+        if let Some(tee) = &self.tee {
+            tee.emit(ev);
+        }
+        // Fast path: untraced events never take the lock.
+        let Some(FieldValue::U64(trace_id)) = ev.field("trace_id") else {
+            return;
+        };
+        let trace_id = *trace_id;
+        if trace_id == 0 {
+            return;
+        }
+        let mut st = self.lock();
+        let is_new = !st.active.contains_key(&trace_id);
+        if is_new {
+            if ev.kind == EventKind::SpanEnd {
+                // End of a trace we never buffered (abandoned or
+                // started before the recorder): nothing to keep.
+                return;
+            }
+            st.active_order.push_back(trace_id);
+            if st.active.len() + 1 > self.cfg.max_active {
+                if let Some(old) = st.active_order.pop_front() {
+                    st.active.remove(&old);
+                    st.abandoned += 1;
+                }
+            }
+        }
+        let max_events = self.cfg.max_events_per_trace;
+        let buf = st.active.entry(trace_id).or_default();
+        if buf.root_span.is_none()
+            && ev.kind == EventKind::SpanBegin
+            && ev.field("parent_id").is_none()
+        {
+            buf.root_span = ev.span;
+        }
+        if buf.events.len() < max_events {
+            buf.events.push(ev.clone());
+        } else {
+            buf.truncated += 1;
+        }
+        if ev.kind == EventKind::SpanEnd && ev.span == buf.root_span && buf.root_span.is_some() {
+            self.complete(&mut st, trace_id, ev);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(tee) = &self.tee {
+            tee.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemorySink;
+
+    fn ev(
+        kind: EventKind,
+        name: &str,
+        span: u64,
+        trace: u64,
+        extra: &[(&str, FieldValue)],
+    ) -> TraceEvent {
+        let mut fields = vec![("trace_id".to_string(), FieldValue::U64(trace))];
+        for (k, v) in extra {
+            fields.push((k.to_string(), v.clone()));
+        }
+        TraceEvent {
+            seq: 0,
+            kind,
+            name: name.to_string(),
+            span: Some(span),
+            fields,
+        }
+    }
+
+    fn run_trace(rec: &FlightRecorder, trace: u64, latency: u64, error: Option<&str>) {
+        rec.emit(&ev(EventKind::SpanBegin, "server.query", 1, trace, &[]));
+        rec.emit(&ev(
+            EventKind::SpanBegin,
+            "arm.probe",
+            2,
+            trace,
+            &[("parent_id", FieldValue::U64(1))],
+        ));
+        rec.emit(&ev(EventKind::SpanEnd, "arm.probe", 2, trace, &[]));
+        let mut end_fields = vec![("latency_us", FieldValue::U64(latency))];
+        if let Some(e) = error {
+            end_fields.push(("error", FieldValue::Str(e.to_string())));
+        }
+        rec.emit(&ev(
+            EventKind::SpanEnd,
+            "server.query",
+            1,
+            trace,
+            &end_fields,
+        ));
+    }
+
+    #[test]
+    fn slow_and_erroring_traces_promote_fast_ones_evict() {
+        let rec = FlightRecorder::new(FlightConfig {
+            ring_capacity: 2,
+            promote_latency_us: 1000,
+            ..FlightConfig::default()
+        });
+        run_trace(&rec, 1, 10, None); // fast
+        run_trace(&rec, 2, 5000, None); // slow → promote
+        run_trace(&rec, 3, 10, Some("boom")); // error → promote
+        run_trace(&rec, 4, 10, None);
+        run_trace(&rec, 5, 10, None); // evicts trace 1 from the ring
+        let stats = rec.stats();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.promoted, 2);
+        assert_eq!(stats.ring_len, 2);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(rec.recent_trace_ids(), vec![4, 5]);
+        let promoted = rec.promoted();
+        assert_eq!(promoted.len(), 2);
+        assert_eq!(promoted[0].trace_id, 2);
+        assert_eq!(promoted[0].latency_us, 5000);
+        assert_eq!(promoted[1].error.as_deref(), Some("boom"));
+        assert_eq!(promoted[0].events.len(), 4, "all spans buffered");
+    }
+
+    #[test]
+    fn dump_is_verbatim_jsonl_grouped_by_trace() {
+        let rec = FlightRecorder::new(FlightConfig {
+            promote_latency_us: 0, // promote everything
+            ..FlightConfig::default()
+        });
+        run_trace(&rec, 7, 42, None);
+        let dump = rec.dump_promoted();
+        assert_eq!(dump.lines().count(), 4);
+        for line in dump.lines() {
+            let obj = crate::json::parse_flat(line).unwrap();
+            assert_eq!(obj["trace_id"].as_u64(), Some(7));
+        }
+        assert!(dump.contains("\"latency_us\":42"), "{dump}");
+    }
+
+    #[test]
+    fn untraced_events_skip_and_tee_sees_everything() {
+        let tee = Arc::new(MemorySink::new());
+        let rec = FlightRecorder::with_tee(FlightConfig::default(), tee.clone());
+        rec.emit(&TraceEvent {
+            seq: 0,
+            kind: EventKind::Event,
+            name: "metric".into(),
+            span: None,
+            fields: vec![],
+        });
+        run_trace(&rec, 9, 1, None);
+        assert_eq!(tee.len(), 5, "tee gets traced and untraced events");
+        assert_eq!(rec.stats().active, 0);
+        assert_eq!(rec.stats().completed, 1);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded_per_trace() {
+        let rec = FlightRecorder::new(FlightConfig {
+            max_events_per_trace: 3,
+            promote_latency_us: 0,
+            ..FlightConfig::default()
+        });
+        rec.emit(&ev(EventKind::SpanBegin, "root", 1, 5, &[]));
+        for i in 0..10 {
+            rec.emit(&ev(
+                EventKind::Event,
+                "tick",
+                1,
+                5,
+                &[("i", FieldValue::U64(i))],
+            ));
+        }
+        rec.emit(&ev(
+            EventKind::SpanEnd,
+            "root",
+            1,
+            5,
+            &[("latency_us", FieldValue::U64(1))],
+        ));
+        let p = rec.promoted();
+        assert_eq!(p[0].events.len(), 3);
+        assert_eq!(p[0].truncated, 9, "2 ticks kept, 8 ticks + end dropped");
+    }
+
+    #[test]
+    fn runaway_active_traces_are_abandoned() {
+        let rec = FlightRecorder::new(FlightConfig {
+            max_active: 2,
+            ..FlightConfig::default()
+        });
+        for t in 1..=4u64 {
+            rec.emit(&ev(EventKind::SpanBegin, "root", t, t, &[]));
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.active, 2);
+        assert_eq!(stats.abandoned, 2);
+        // Ending an abandoned trace is a no-op, not a resurrection.
+        rec.emit(&ev(
+            EventKind::SpanEnd,
+            "root",
+            1,
+            1,
+            &[("latency_us", FieldValue::U64(1))],
+        ));
+        assert_eq!(rec.stats().completed, 0);
+    }
+}

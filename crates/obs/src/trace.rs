@@ -256,6 +256,92 @@ mod tests {
         }
     }
 
+    /// Racing writers must each land as intact single JSONL lines —
+    /// no interleaved or torn lines — with quote/newline-laden string
+    /// fields escaping and round-tripping cleanly.
+    #[test]
+    fn sinks_keep_lines_intact_under_concurrent_writers() {
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 200;
+        let nasty = "say \"hi\"\nthen\ttab\r\\done";
+
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let jsonl_sink = Arc::new(JsonlSink::new(Box::new(Shared(buf.clone()))));
+        let mem_sink = Arc::new(MemorySink::new());
+
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let js = jsonl_sink.clone();
+            let ms = mem_sink.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    let ev = TraceEvent {
+                        seq: w * PER_WRITER + i,
+                        kind: if i % 2 == 0 {
+                            EventKind::SpanBegin
+                        } else {
+                            EventKind::SpanEnd
+                        },
+                        name: format!("op.{w}"),
+                        span: Some(i),
+                        fields: vec![
+                            ("writer".to_string(), FieldValue::U64(w)),
+                            ("i".to_string(), FieldValue::U64(i)),
+                            ("msg".to_string(), FieldValue::Str(nasty.to_string())),
+                        ],
+                    };
+                    js.emit(&ev);
+                    ms.emit(&ev);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        jsonl_sink.flush();
+
+        let total = (WRITERS * PER_WRITER) as usize;
+        for (label, text) in [
+            (
+                "jsonl",
+                String::from_utf8(buf.lock().unwrap().clone()).unwrap(),
+            ),
+            ("memory", mem_sink.to_jsonl()),
+        ] {
+            assert!(text.ends_with('\n'), "{label}: trailing newline");
+            let mut per_writer = [0u64; WRITERS as usize];
+            let mut lines = 0;
+            for line in text.lines() {
+                let obj = parse_flat(line)
+                    .unwrap_or_else(|| panic!("{label}: torn/invalid line: {line}"));
+                assert_eq!(
+                    obj["msg"].as_str(),
+                    Some(nasty),
+                    "{label}: escaping round-trips"
+                );
+                let w = obj["writer"].as_u64().unwrap() as usize;
+                per_writer[w] += 1;
+                lines += 1;
+            }
+            assert_eq!(lines, total, "{label}: every event became one line");
+            assert!(
+                per_writer.iter().all(|c| *c == PER_WRITER),
+                "{label}: no writer lost lines: {per_writer:?}"
+            );
+        }
+        assert_eq!(mem_sink.len(), total);
+    }
+
     #[test]
     fn jsonl_sink_writes_lines() {
         let buf: Arc<Mutex<Vec<u8>>> = Arc::default();

@@ -1,0 +1,419 @@
+//! Sliding-window SLO telemetry: log2 latency histograms per
+//! operation and per disk arm, windowed both by wave day and by
+//! operation count, with exemplar trace ids attached to the maximum
+//! so a bad p99 links directly to a recorded trace.
+//!
+//! Every [`crate::Obs`] owns one [`SloWindows`] (reachable via
+//! `obs.slo()`). Recording sites — the driver's per-query loop, the
+//! server's fan-out, commit and recovery — call
+//! [`SloWindows::record`]; the driver calls
+//! [`SloWindows::advance_day`] at each wave boundary. A window also
+//! rotates after `ops_per_window` observations, whichever trigger
+//! fires first, and the report merges the last `keep_windows`
+//! rotated windows with the live one.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::json::JsonObject;
+use crate::metrics::{bucket_index, bucket_range, HISTOGRAM_BUCKETS};
+
+/// Rotation policy for the sliding windows.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// A window rotates once it holds this many observations.
+    pub ops_per_window: u64,
+    /// How many rotated windows the report merges (plus the live one).
+    pub keep_windows: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            ops_per_window: 1024,
+            keep_windows: 8,
+        }
+    }
+}
+
+/// One window's log2 histogram plus its max exemplar.
+#[derive(Debug, Clone)]
+struct WindowHist {
+    /// Wave day the window opened on.
+    day: u64,
+    ops: u64,
+    sum: u64,
+    max: u64,
+    /// Trace id of the observation that set `max` (0 = none).
+    exemplar: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl WindowHist {
+    fn new(day: u64) -> Self {
+        WindowHist {
+            day,
+            ops: 0,
+            sum: 0,
+            max: 0,
+            exemplar: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, micros: u64, trace_id: u64) {
+        self.ops += 1;
+        self.sum += micros;
+        if self.ops == 1 || micros > self.max || (micros == self.max && self.exemplar == 0) {
+            self.max = micros;
+            if trace_id != 0 {
+                self.exemplar = trace_id;
+            }
+        }
+        self.buckets[bucket_index(micros)] += 1;
+    }
+}
+
+#[derive(Debug)]
+struct KeyWindows {
+    current: WindowHist,
+    kept: VecDeque<WindowHist>,
+}
+
+/// Arm attribution in a key: `None` aggregates across arms.
+type SloKey = (String, Option<u64>);
+
+#[derive(Debug, Default)]
+struct SloState {
+    day: u64,
+    keys: BTreeMap<SloKey, KeyWindows>,
+}
+
+/// The windowed-SLO store. Interior-mutable: recording sites share
+/// the owning `Obs` handle.
+#[derive(Debug, Default)]
+pub struct SloWindows {
+    cfg: SloConfig,
+    state: Mutex<SloState>,
+}
+
+/// One merged row of the SLO report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    pub op: String,
+    /// `None` = aggregate across arms.
+    pub arm: Option<u64>,
+    /// Windows merged into this row (live + kept).
+    pub windows: u64,
+    pub count: u64,
+    pub mean_us: f64,
+    /// Log2-bucket upper bounds; `max_us` is the true recorded max.
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// Trace id behind the max (0 = none recorded).
+    pub exemplar: u64,
+}
+
+impl SloWindows {
+    pub fn new(cfg: SloConfig) -> Self {
+        SloWindows {
+            cfg,
+            state: Mutex::new(SloState::default()),
+        }
+    }
+
+    /// Records one observation of `micros` for `op` (optionally
+    /// attributed to a disk arm), with the trace id to surface as the
+    /// exemplar if it sets a new window max. Pass 0 for no trace.
+    pub fn record(&self, op: &str, arm: Option<u64>, micros: u64, trace_id: u64) {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let day = st.day;
+        let kw = st
+            .keys
+            .entry((op.to_string(), arm))
+            .or_insert_with(|| KeyWindows {
+                current: WindowHist::new(day),
+                kept: VecDeque::new(),
+            });
+        kw.current.record(micros, trace_id);
+        if kw.current.ops >= self.cfg.ops_per_window {
+            rotate(kw, day, self.cfg.keep_windows);
+        }
+    }
+
+    /// Marks a wave-day boundary: every key with observations in its
+    /// live window rotates, so windows never span a day.
+    pub fn advance_day(&self, day: u64) {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        st.day = day;
+        for kw in st.keys.values_mut() {
+            if kw.current.ops > 0 {
+                rotate(kw, day, self.cfg.keep_windows);
+            } else {
+                kw.current.day = day;
+            }
+        }
+    }
+
+    /// Merges the retained windows per key into report rows, sorted
+    /// by (op, arm) for deterministic output.
+    pub fn report(&self) -> Vec<SloRow> {
+        let st = match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let mut rows = Vec::with_capacity(st.keys.len());
+        for ((op, arm), kw) in &st.keys {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            let mut max = 0u64;
+            let mut exemplar = 0u64;
+            let mut windows = 0u64;
+            let mut merge = |w: &WindowHist| {
+                if w.ops == 0 {
+                    return;
+                }
+                windows += 1;
+                count += w.ops;
+                sum += w.sum;
+                if w.max >= max {
+                    max = w.max;
+                    if w.exemplar != 0 {
+                        exemplar = w.exemplar;
+                    }
+                }
+                for (b, v) in buckets.iter_mut().zip(&w.buckets) {
+                    *b += v;
+                }
+            };
+            for w in &kw.kept {
+                merge(w);
+            }
+            merge(&kw.current);
+            if count == 0 {
+                continue;
+            }
+            rows.push(SloRow {
+                op: op.clone(),
+                arm: *arm,
+                windows,
+                count,
+                mean_us: sum as f64 / count as f64,
+                p50_us: quantile_from_buckets(&buckets, count, 0.50, max),
+                p95_us: quantile_from_buckets(&buckets, count, 0.95, max),
+                p99_us: quantile_from_buckets(&buckets, count, 0.99, max),
+                max_us: max,
+                exemplar,
+            });
+        }
+        rows
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render_table(&self) -> String {
+        let rows = self.report();
+        let mut out = format!(
+            "{:<20} {:>4} {:>8} {:>7} {:>10} {:>8} {:>8} {:>8} {:>10} {:>18}\n",
+            "op",
+            "arm",
+            "windows",
+            "count",
+            "mean_us",
+            "p50<=",
+            "p95<=",
+            "p99<=",
+            "max_us",
+            "exemplar"
+        );
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<20} {:>4} {:>8} {:>7} {:>10.1} {:>8} {:>8} {:>8} {:>10} {:>18}\n",
+                r.op,
+                r.arm.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+                r.windows,
+                r.count,
+                r.mean_us,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.max_us,
+                if r.exemplar == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:016x}", r.exemplar)
+                },
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable report: a `wave-obs/slo/v1` document whose
+    /// `rows` array holds one flat JSON object per key.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"wave-obs/slo/v1\",\"rows\":[");
+        for (i, r) in self.report().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.str("op", &r.op);
+            match r.arm {
+                Some(a) => o.u64("arm", a),
+                None => o.i64("arm", -1),
+            };
+            o.u64("windows", r.windows)
+                .u64("count", r.count)
+                .f64("mean_us", r.mean_us)
+                .u64("p50_us", r.p50_us)
+                .u64("p95_us", r.p95_us)
+                .u64("p99_us", r.p99_us)
+                .u64("max_us", r.max_us)
+                .str("exemplar", &format!("{:016x}", r.exemplar));
+            out.push_str(&o.finish());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn rotate(kw: &mut KeyWindows, day: u64, keep: usize) {
+    let fresh = WindowHist::new(day);
+    let full = std::mem::replace(&mut kw.current, fresh);
+    kw.kept.push_back(full);
+    while kw.kept.len() > keep {
+        kw.kept.pop_front();
+    }
+}
+
+/// Same contract as [`crate::Histogram::quantile_bound`] over merged
+/// window buckets: q ≥ 1.0 returns the true `max`, otherwise the
+/// inclusive upper bound of the bucket holding quantile `q`.
+fn quantile_from_buckets(buckets: &[u64; HISTOGRAM_BUCKETS], total: u64, q: f64, max: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    if q >= 1.0 {
+        return max;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= target.max(1) {
+            return bucket_range(i).1;
+        }
+    }
+    u64::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_flat, JsonValue};
+
+    #[test]
+    fn records_aggregate_into_percentile_rows() {
+        let slo = SloWindows::default();
+        for i in 0..100u64 {
+            slo.record("query.probe", Some(0), i, 0);
+        }
+        slo.record("query.probe", Some(0), 5000, 0xBEEF);
+        let rows = slo.report();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.count, 101);
+        assert_eq!(r.max_us, 5000);
+        assert_eq!(r.exemplar, 0xBEEF, "max carries its trace id");
+        assert!(r.p50_us < r.p99_us, "{r:?}");
+        assert!(r.p99_us <= r.max_us);
+    }
+
+    #[test]
+    fn day_boundary_rotates_and_old_windows_expire() {
+        let slo = SloWindows::new(SloConfig {
+            ops_per_window: 1_000_000,
+            keep_windows: 2,
+        });
+        // Day 1 has a huge outlier; after keep_windows more days it
+        // must age out of the merged report.
+        slo.record("op", None, 1_000_000, 0xDEAD);
+        slo.advance_day(2);
+        assert_eq!(slo.report()[0].max_us, 1_000_000);
+        for day in 3..=5 {
+            slo.record("op", None, 10, 0);
+            slo.advance_day(day);
+        }
+        let r = &slo.report()[0];
+        assert_eq!(r.max_us, 10, "outlier window expired: {r:?}");
+        assert_eq!(r.exemplar, 0, "expired exemplar does not linger");
+    }
+
+    #[test]
+    fn ops_trigger_rotates_mid_day() {
+        let slo = SloWindows::new(SloConfig {
+            ops_per_window: 4,
+            keep_windows: 8,
+        });
+        for _ in 0..10 {
+            slo.record("op", None, 7, 0);
+        }
+        let r = &slo.report()[0];
+        assert_eq!(r.count, 10);
+        assert_eq!(r.windows, 3, "two full windows plus the live one");
+    }
+
+    #[test]
+    fn per_arm_rows_are_distinct_and_sorted() {
+        let slo = SloWindows::default();
+        slo.record("q", Some(1), 10, 0);
+        slo.record("q", Some(0), 20, 0);
+        slo.record("q", None, 30, 0);
+        let rows = slo.report();
+        let arms: Vec<Option<u64>> = rows.iter().map(|r| r.arm).collect();
+        assert_eq!(arms, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn json_rows_are_flat_and_parseable() {
+        let slo = SloWindows::default();
+        slo.record("query.probe", Some(0), 42, 7);
+        slo.record("commit_wave", None, 9, 0);
+        let doc = slo.to_json();
+        assert!(doc.starts_with("{\"schema\":\"wave-obs/slo/v1\""), "{doc}");
+        let rows = doc
+            .split_once("\"rows\":[")
+            .unwrap()
+            .1
+            .trim_end_matches("]}");
+        let mut parsed = 0;
+        for row in rows.split("},{") {
+            let row = format!("{{{}}}", row.trim_matches(['{', '}']));
+            let obj = parse_flat(&row).unwrap_or_else(|| panic!("bad row {row}"));
+            assert!(obj.contains_key("p99_us"));
+            assert!(obj.get("op").and_then(JsonValue::as_str).is_some());
+            parsed += 1;
+        }
+        assert_eq!(parsed, 2);
+    }
+
+    #[test]
+    fn quantiles_honor_max_contract() {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[bucket_index(100)] = 10;
+        assert_eq!(quantile_from_buckets(&buckets, 10, 1.0, 100), 100);
+        assert_eq!(
+            quantile_from_buckets(&buckets, 10, 0.5, 100),
+            bucket_range(bucket_index(100)).1
+        );
+        assert_eq!(quantile_from_buckets(&buckets, 0, 0.5, 0), 0);
+    }
+}

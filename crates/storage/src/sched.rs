@@ -214,6 +214,42 @@ impl IoScheduler {
     /// [`StorageError::OutOfExtent`] if any request overruns its own
     /// extent (checked before any I/O is issued).
     pub fn read_batch(vol: &mut Volume, requests: &[ReadRequest]) -> StorageResult<Vec<Vec<u8>>> {
+        // Inherit whatever request context rides with the volume, so
+        // batched reads issued deep inside a traced request still join
+        // its causal tree without every caller threading a context.
+        let ctx = vol.trace_ctx();
+        Self::read_batch_traced(vol, requests, ctx)
+    }
+
+    /// [`IoScheduler::read_batch`] under a request-scoped trace
+    /// context: the whole sweep runs inside a `sched.read_batch` child
+    /// span of `ctx`, so batched I/O issued on behalf of a server
+    /// fan-out shows up in that request's causal tree with its
+    /// request/transfer counts and simulated latency. With
+    /// [`wave_obs::TraceCtx::NONE`] the span stays untraced and this
+    /// is behaviourally `read_batch`.
+    pub fn read_batch_traced(
+        vol: &mut Volume,
+        requests: &[ReadRequest],
+        ctx: wave_obs::TraceCtx,
+    ) -> StorageResult<Vec<Vec<u8>>> {
+        let mut span = vol.obs().clone().child_span(
+            ctx,
+            "sched.read_batch",
+            wave_obs::fields![("requests", requests.len() as u64)],
+        );
+        let result = Self::read_batch_inner(vol, requests, &mut span);
+        if let Err(e) = &result {
+            span.set_end_field("error", e.to_string());
+        }
+        result
+    }
+
+    fn read_batch_inner(
+        vol: &mut Volume,
+        requests: &[ReadRequest],
+        span: &mut wave_obs::Span,
+    ) -> StorageResult<Vec<Vec<u8>>> {
         let plan = Self::plan(requests)?;
         let before = vol.stats();
         let mut buffers: Vec<Vec<u8>> = Vec::with_capacity(plan.transfers.len());
@@ -255,6 +291,11 @@ impl IoScheduler {
         // even cheaper than the plan predicts).
         obs.counter("sched.seeks_saved")
             .add((plan.spanned as u64).saturating_sub(delta.seeks));
+        span.set_end_field("transfers", plan.transfers.len() as u64);
+        span.set_end_field(
+            "latency_us",
+            (delta.sim_seconds * 1e6).round().max(0.0) as u64,
+        );
         Ok(results)
     }
 }

@@ -14,7 +14,7 @@
 //! can compute the *parallel elapsed* time of an operation — the
 //! busiest disk's share — via [`Volume::per_disk_stats`].
 
-use wave_obs::{Counter, Gauge, Histogram, Obs};
+use wave_obs::{Counter, Gauge, Histogram, Obs, TraceCtx};
 
 use crate::alloc::ExtentAllocator;
 use crate::block::{blocks_for_bytes, Extent, BLOCK_SIZE};
@@ -64,6 +64,12 @@ pub struct Volume {
     peak: u64,
     obs: Obs,
     metrics: AllocMetrics,
+    /// Request-scoped trace context riding with the volume. Engine
+    /// entry points set it for the duration of a request so layers
+    /// reached only through `&mut Volume` (scheme transitions, the
+    /// I/O scheduler) can attribute their events to the request's
+    /// causal tree. [`TraceCtx::NONE`] outside any request.
+    trace_ctx: TraceCtx,
 }
 
 impl Volume {
@@ -96,7 +102,20 @@ impl Volume {
             peak: 0,
             metrics: AllocMetrics::new(&obs),
             obs,
+            trace_ctx: TraceCtx::NONE,
         }
+    }
+
+    /// Sets (or clears, with [`TraceCtx::NONE`]) the request-scoped
+    /// trace context carried by this volume.
+    pub fn set_trace_ctx(&mut self, ctx: TraceCtx) {
+        self.trace_ctx = ctx;
+    }
+
+    /// The request-scoped trace context currently riding with the
+    /// volume ([`TraceCtx::NONE`] outside any request).
+    pub fn trace_ctx(&self) -> TraceCtx {
+        self.trace_ctx
     }
 
     /// Redirects this volume (and every disk) to report into `obs`.
