@@ -74,6 +74,19 @@ echo "==> bench-obs --smoke"
 cargo run -q --release --offline -p wavectl -- bench-obs --smoke \
   --out target/BENCH_obs_smoke.json >/dev/null
 
+# The fault-tolerance gates (DESIGN.md §13): recovery racing a
+# degraded server must heal, and the chaos soak — killed workers,
+# transient-read bursts, quarantines, racing maintenance — must keep
+# every completed answer byte-identical to the single-threaded oracle
+# and shut down leak-free (--smoke keeps it CI-sized; the full soak
+# is `wavectl chaos`).
+echo "==> degraded serving under recovery"
+cargo test -q -p wave-index --test degraded_serving --offline
+
+echo "==> chaos --smoke"
+cargo run -q --release --offline -p wavectl -- chaos --smoke \
+  --out target/BENCH_chaos_smoke.json >/dev/null
+
 # Optional sanitizer pass: Miri catches UB the tests cannot. It needs
 # a nightly toolchain with the miri component, which the offline CI
 # image may not have — skip cleanly when absent rather than failing.

@@ -14,6 +14,7 @@
 //!   the simulated disk.
 
 pub mod batch;
+pub mod chaos;
 pub mod harness;
 pub mod obs;
 pub mod parallel;
@@ -21,6 +22,7 @@ pub mod render;
 pub mod sim;
 
 pub use batch::{BatchResult, BatchSweep};
+pub use chaos::{run_soak, ChaosReport, ChaosSoak};
 pub use harness::Group;
 pub use obs::{ObsResult, ObsSweep};
 pub use parallel::{run_sweep, MixResult, ParallelSweep};

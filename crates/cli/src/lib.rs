@@ -29,6 +29,7 @@
 //! wavectl bench-parallel [--smoke] [--out FILE]
 //! wavectl bench-batch [--smoke] [--out FILE]
 //! wavectl bench-obs [--smoke] [--out FILE]
+//! wavectl chaos [--smoke] [--out FILE]
 //! ```
 //!
 //! Besides the replayable day files, `add` also *commits* the rebuilt
@@ -80,6 +81,15 @@
 //! recorder + SLOs against the same run with tracing disabled; the
 //! full document lands in `BENCH_obs.json` (see EXPERIMENTS.md
 //! "Reproducing the observability overhead bound").
+//!
+//! `chaos` runs the deterministic chaos soak (see DESIGN.md "Fault
+//! tolerance & degraded serving"): for every scheme, concurrent
+//! readers and maintenance epochs race a seeded schedule of worker
+//! kills, transient read bursts, and arm quarantines on a live
+//! [`wave_index::WaveServer`]; every completed answer is checked
+//! against a single-threaded oracle, every request must resolve
+//! (whole, typed partial, or typed error), and the server must heal
+//! and shut down leak-free. The report lands in `BENCH_chaos.json`.
 
 use std::fmt;
 use std::fs;
@@ -375,7 +385,7 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-obs|lint> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-obs|chaos|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
@@ -386,6 +396,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench-parallel" => return cmd_bench_parallel(&args[1..]),
         "bench-batch" => return cmd_bench_batch(&args[1..]),
         "bench-obs" => return cmd_bench_obs(&args[1..]),
+        "chaos" => return cmd_chaos(&args[1..]),
         "lint" => return cmd_lint(&args[1..]),
         _ => {}
     }
@@ -885,7 +896,8 @@ const SCHED_COUNTERS: [&str; 4] = [
 
 /// Folds a JSONL trace back into a human-readable summary: one row
 /// per paper measure (precomp/transition/post/query), the I/O
-/// scheduler counters, then the metric dump, echoing the trace's own
+/// scheduler counters, failure attribution (erroring spans grouped by
+/// span name and arm), then the metric dump, echoing the trace's own
 /// `metric` events.
 pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     const PHASES: [&str; 4] = ["precomp", "transition", "post", "query"];
@@ -894,6 +906,11 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     let mut scheme = String::new();
     let mut sched = [0u64; 4];
     let mut metrics: Vec<String> = Vec::new();
+    // (span name, arm) → (count, an example error message). Spans
+    // without an arm field (whole-request roots, degraded-read
+    // markers) group under "-".
+    let mut failures: std::collections::BTreeMap<(String, String), (u64, String)> =
+        std::collections::BTreeMap::new();
     for (lineno, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -904,6 +921,20 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
         let ev = obj.get("ev").and_then(JsonValue::as_str).unwrap_or("");
         let field_f64 = |k: &str| obj.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
         let field_u64 = |k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        if obj.get("kind").and_then(JsonValue::as_str) == Some("span_end") {
+            if let Some(err) = obj.get("error").and_then(JsonValue::as_str) {
+                let arm = obj
+                    .get("arm")
+                    .and_then(JsonValue::as_u64)
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "-".into());
+                let slot = failures
+                    .entry((ev.to_string(), arm))
+                    .or_insert((0, String::new()));
+                slot.0 += 1;
+                slot.1 = err.to_string();
+            }
+        }
         match ev {
             "phase" => {
                 let phase = obj.get("phase").and_then(JsonValue::as_str).unwrap_or("");
@@ -967,6 +998,14 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     out.push_str("io scheduler:\n");
     for (name, v) in SCHED_COUNTERS.iter().zip(&sched) {
         out.push_str(&format!("  {name:<18} {v}\n"));
+    }
+    if !failures.is_empty() {
+        out.push_str("failures:\n");
+        for ((name, arm), (count, example)) in &failures {
+            out.push_str(&format!(
+                "  {name:<22} arm {arm:<3} {count:>4} × {example}\n"
+            ));
+        }
     }
     if !metrics.is_empty() {
         out.push_str("metrics:\n");
@@ -1224,6 +1263,88 @@ pub fn run_bench_parallel(smoke: bool, out_path: &Path) -> Result<String, CliErr
             violations.join("\n  ")
         ))),
     }
+}
+
+/// Runs the deterministic chaos soak and renders the per-scheme
+/// survival report. Split from the flag parsing so tests can exercise
+/// it directly. The soak itself panics on any invariant violation (a
+/// wrong or silently-partial answer, a failure to heal, a storage
+/// leak); reaching the rendered table means every completed answer
+/// matched the single-threaded oracle.
+pub fn run_chaos(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::chaos::{render_json, run_soak, ChaosSoak};
+
+    let soak = if smoke {
+        ChaosSoak::smoke()
+    } else {
+        ChaosSoak::full()
+    };
+    let reports = run_soak(&soak);
+    fs::write(out_path, render_json(&soak, &reports))?;
+
+    let mut out = format!(
+        "{:<10} {:>5} {:>8} {:>7} {:>7} {:>9} {:>6} {:>6} {:>5} {:>9} {:>6} {:>8}\n",
+        "scheme",
+        "slots",
+        "ok",
+        "partial",
+        "errors",
+        "maintains",
+        "kills",
+        "bursts",
+        "quar",
+        "restarts",
+        "trips",
+        "retries"
+    );
+    for r in &reports {
+        out.push_str(&format!(
+            "{:<10} {:>5} {:>8} {:>7} {:>7} {:>7}/{:<1} {:>6} {:>6} {:>5} {:>9} {:>6} {:>8}\n",
+            r.scheme,
+            r.slots,
+            r.ok,
+            r.partial,
+            r.errors,
+            r.maintains_ok,
+            r.maintains_err,
+            r.kills,
+            r.bursts,
+            r.quarantines,
+            r.worker_restarts,
+            r.breaker_trips,
+            r.read_retries
+        ));
+    }
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    out.push_str(
+        "every completed answer matched the single-threaded oracle; \
+         all arms healed and shut down leak-free\n",
+    );
+    Ok(out)
+}
+
+fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl chaos [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_chaos.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_chaos(smoke, &out_path)
 }
 
 /// Runs the batched-I/O sweep and renders its summary table. Split
@@ -1745,6 +1866,47 @@ mod tests {
         let err = run(&s(&["bench-parallel", "--bogus"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `chaos --smoke` soaks two schemes, survives, and writes a
+    /// parseable BENCH document.
+    #[test]
+    fn chaos_smoke_survives_and_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_chaos.json");
+        let out = run(&s(&[
+            "chaos",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("matched the single-threaded oracle"), "{out}");
+        assert!(out.contains("REINDEX"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        assert!(doc.contains("\"schema\":\"wave-bench/chaos/v1\""), "{doc}");
+        let err = run(&s(&["chaos", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `report` attributes erroring spans to their arm: `span_end`
+    /// lines with an `error` field group by (span, arm).
+    #[test]
+    fn report_attributes_failures_per_arm() {
+        let jsonl = "\
+{\"seq\":0,\"kind\":\"span_end\",\"ev\":\"arm.probe\",\"span\":2,\"arm\":1,\"error\":\"storage: injected transient disk failure\"}\n\
+{\"seq\":1,\"kind\":\"span_end\",\"ev\":\"arm.probe\",\"span\":4,\"arm\":1,\"error\":\"storage: injected transient disk failure\"}\n\
+{\"seq\":2,\"kind\":\"span_end\",\"ev\":\"server.degraded_query\",\"span\":6,\"error\":\"degraded answer: 2 slot(s) uncovered\"}\n\
+{\"seq\":3,\"kind\":\"span_end\",\"ev\":\"arm.probe\",\"span\":8,\"arm\":0,\"latency_us\":12}\n";
+        let out = summarize_trace(jsonl).unwrap();
+        assert!(out.contains("failures:"), "{out}");
+        assert!(out.contains("arm.probe") && out.contains("arm 1"), "{out}");
+        assert!(out.contains("2 ×"), "{out}");
+        assert!(out.contains("server.degraded_query"), "{out}");
+        assert!(out.contains("arm -"), "{out}");
+        // Healthy span ends are not failures.
+        assert!(!out.contains("arm 0"), "{out}");
     }
 
     /// `bench-batch --smoke` writes a parseable BENCH document and

@@ -16,8 +16,8 @@ use crate::index::ConstituentIndex;
 use crate::query::TimeRange;
 use crate::record::SearchValue;
 use crate::wave::{QueryResult, WaveIndex};
-use wave_obs::{Obs, Span, TraceCtx};
-use wave_storage::Volume;
+use wave_obs::{Counter, Obs, Span, TraceCtx};
+use wave_storage::{RetryPolicy, Volume};
 
 /// A wave index shareable across threads.
 ///
@@ -36,17 +36,35 @@ pub struct SharedWave {
     /// so query entry points can open request-scoped root spans
     /// without taking the volume mutex first.
     obs: Obs,
+    /// Bounded retry applied to the transient-error class on the
+    /// serving read paths (probe, scan, batched queries). Transient
+    /// failures are retried inside the same volume critical section,
+    /// so retries never widen the window in which swaps can interleave.
+    retry: RetryPolicy,
+    /// `shared.read_retries` — transient read errors absorbed by retry.
+    retries: Counter,
 }
 
 impl SharedWave {
     /// Wraps a wave index and its volume for shared use.
     pub fn new(wave: WaveIndex, vol: Volume) -> Self {
         let obs = vol.obs().clone();
+        let retries = obs.counter("shared.read_retries");
         SharedWave {
             wave: Arc::new(RwLock::new(wave)),
             vol: Arc::new(Mutex::new(vol)),
             obs,
+            retry: RetryPolicy::no_backoff(4),
+            retries,
         }
+    }
+
+    /// Replaces the retry policy applied to transient read errors on
+    /// the serving paths. `RetryPolicy::no_backoff(1)` disables
+    /// retrying entirely (every transient error surfaces).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Root-span epilogue shared by the query entry points: stamps the
@@ -127,7 +145,11 @@ impl SharedWave {
                 first = false;
                 let mut vol = self.vol_lock()?;
                 let before = vol.stats();
-                entries.extend(idx.probe_in(&mut vol, value, range)?);
+                entries.extend(self.retry.run_where(
+                    &self.retries,
+                    IndexError::is_transient,
+                    || idx.probe_in(&mut vol, value, range),
+                )?);
                 busy += vol.stats().since(&before).sim_seconds;
             }
             Ok(entries)
@@ -153,7 +175,11 @@ impl SharedWave {
                 }
                 let mut vol = self.vol_lock()?;
                 let before = vol.stats();
-                entries.extend(idx.scan_in(&mut vol, range)?);
+                entries.extend(self.retry.run_where(
+                    &self.retries,
+                    IndexError::is_transient,
+                    || idx.scan_in(&mut vol, range),
+                )?);
                 busy += vol.stats().since(&before).sim_seconds;
             }
             Ok(entries)
@@ -186,7 +212,11 @@ impl SharedWave {
             // other readers' batches stay unattributed.
             vol.set_trace_ctx(ctx);
             let before = vol.stats();
-            let result = wave.query_batch(&mut vol, values, range);
+            let result = self
+                .retry
+                .run_where(&self.retries, IndexError::is_transient, || {
+                    wave.query_batch(&mut vol, values, range)
+                });
             busy = vol.stats().since(&before).sim_seconds;
             vol.set_trace_ctx(TraceCtx::NONE);
             result
@@ -325,6 +355,63 @@ mod tests {
             let want = shared.probe(value, TimeRange::all()).unwrap();
             assert_eq!(results[vi].entries, want, "value {vi}");
         }
+        shared.release().unwrap();
+    }
+
+    /// Transient read bursts shorter than the retry budget are
+    /// absorbed on every shared serving path; a policy with no retry
+    /// budget surfaces the same fault as a typed transient error.
+    #[test]
+    fn shared_reads_retry_transient_faults() {
+        let mut vol = Volume::default();
+        let mut wave = WaveIndex::with_slots(2);
+        for j in 0..2u32 {
+            let idx = ConstituentIndex::build_packed(
+                format!("I{j}"),
+                IndexConfig::default(),
+                &mut vol,
+                &[&batch(j + 1, 5)],
+            )
+            .unwrap();
+            wave.install(j as usize, idx);
+        }
+        let shared = SharedWave::new(wave, vol);
+        let want = shared
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap();
+
+        shared
+            .with_volume(|v| v.inject_transient_after(0, 2))
+            .unwrap();
+        let got = shared
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap();
+        assert_eq!(got, want, "probe retries the burst away");
+
+        shared
+            .with_volume(|v| v.inject_transient_after(0, 2))
+            .unwrap();
+        let got = shared.scan(TimeRange::all()).unwrap();
+        assert_eq!(got.len(), want.len(), "scan retries the burst away");
+
+        shared
+            .with_volume(|v| v.inject_transient_after(0, 2))
+            .unwrap();
+        let results = shared
+            .query_batch(&[SearchValue::from("k")], TimeRange::all())
+            .unwrap();
+        assert_eq!(results[0].entries, want, "batch retries the burst away");
+
+        // With the retry budget removed, the same burst surfaces.
+        let strict = shared.clone().with_retry(RetryPolicy::no_backoff(1));
+        strict
+            .with_volume(|v| v.inject_transient_after(0, 2))
+            .unwrap();
+        let err = strict
+            .probe(&SearchValue::from("k"), TimeRange::all())
+            .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        strict.with_volume(|v| v.clear_fault()).unwrap();
         shared.release().unwrap();
     }
 

@@ -55,10 +55,30 @@ pub enum IndexError {
     /// turn; the named component tells the operator what to restart.
     LockPoisoned(&'static str),
     /// A worker thread backing the named component is gone (failed to
-    /// spawn, or its channel disconnected mid-request).
-    WorkerLost(&'static str),
+    /// spawn, or its channel disconnected mid-request). Carries which
+    /// disk arm the worker served and the server epoch last observed
+    /// when it was lost, so failure reports can attribute losses to a
+    /// specific arm and maintenance generation.
+    WorkerLost {
+        /// What the lost worker was doing when it disappeared.
+        what: &'static str,
+        /// Disk arm the worker served.
+        arm: usize,
+        /// Server epoch last observed when the loss was detected.
+        epoch: u64,
+    },
     /// Internal invariant violation; indicates a bug, never expected.
     Corrupt(String),
+}
+
+impl IndexError {
+    /// Whether this error is in the transient class (a retry may
+    /// succeed): a propagated storage error the storage layer itself
+    /// classes as transient. Everything else — corruption, config
+    /// errors, lost workers — is hard and surfaces immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IndexError::Storage(e) if e.is_transient())
+    }
 }
 
 impl fmt::Display for IndexError {
@@ -89,7 +109,9 @@ impl fmt::Display for IndexError {
             IndexError::LockPoisoned(what) => {
                 write!(f, "lock poisoned: a thread panicked while holding {what}")
             }
-            IndexError::WorkerLost(what) => write!(f, "worker lost: {what}"),
+            IndexError::WorkerLost { what, arm, epoch } => {
+                write!(f, "worker lost: {what} (arm {arm}, epoch {epoch})")
+            }
             IndexError::Corrupt(msg) => write!(f, "index corruption: {msg}"),
         }
     }
@@ -131,8 +153,14 @@ mod tests {
         let e = IndexError::LockPoisoned("server route table");
         assert!(e.to_string().contains("route table"));
         assert!(e.to_string().contains("poisoned"));
-        let e = IndexError::WorkerLost("arm worker disconnected mid-query");
+        let e = IndexError::WorkerLost {
+            what: "arm worker disconnected mid-query",
+            arm: 2,
+            epoch: 7,
+        };
         assert!(e.to_string().contains("mid-query"));
+        assert!(e.to_string().contains("arm 2"));
+        assert!(e.to_string().contains("epoch 7"));
     }
 
     #[test]

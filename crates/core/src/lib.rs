@@ -83,7 +83,9 @@ pub use persist::{
 pub use query::TimeRange;
 pub use record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
 pub use recovery::{fsck, recover, FsckReport, RecoverReport};
-pub use server::{ServerBatchQuery, ServerConfig, ServerQuery, WaveServer};
+pub use server::{
+    FaultConfig, PartialAnswer, ServerBatchQuery, ServerConfig, ServerQuery, WaveServer,
+};
 pub use update::{UpdateTechnique, Updater};
 pub use wave::{QueryResult, WaveIndex};
 

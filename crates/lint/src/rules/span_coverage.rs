@@ -23,6 +23,8 @@ pub const REQUIRED_SPANS: &[(&str, &str)] = &[
     ("crates/core/src/server.rs", "fan_out"),
     ("crates/core/src/server.rs", "query_batch"),
     ("crates/core/src/server.rs", "maintain"),
+    ("crates/core/src/server.rs", "restart_worker"),
+    ("crates/core/src/server.rs", "degraded_query"),
     ("crates/core/src/persist.rs", "commit_wave"),
     ("crates/core/src/recovery.rs", "recover"),
 ];

@@ -108,6 +108,13 @@ pub struct SimDisk {
     cache: BlockCache,
     /// Armed fault-injection plan (disarmed by default).
     fault: FaultPlan,
+    /// Transient-burst plan: shares the [`FaultPlan`] countdown logic
+    /// with [`crate::FaultyStore`], but fires the retryable
+    /// [`StorageError::Transient`] class for a bounded burst instead
+    /// of failing forever.
+    transient: FaultPlan,
+    /// Remaining operations in the armed transient burst.
+    transient_left: u64,
     obs: Obs,
     metrics: DiskMetrics,
 }
@@ -128,6 +135,8 @@ impl SimDisk {
             stats: IoStats::default(),
             cache: BlockCache::new(cfg.cache_blocks),
             fault: FaultPlan::disarmed(),
+            transient: FaultPlan::disarmed(),
+            transient_left: 0,
             metrics: DiskMetrics::new(&obs),
             obs,
         }
@@ -182,17 +191,44 @@ impl SimDisk {
         self.fault.arm_after(ops);
     }
 
-    /// Disarms fault injection.
-    pub fn clear_fault(&mut self) {
-        self.fault.clear();
+    /// Arms a transient burst: after `ops` more successful read/write
+    /// calls, the next `count` fail with [`StorageError::Transient`]
+    /// (the retryable class), then service recovers on its own. This
+    /// is the serving-path analogue of
+    /// [`FaultyStore::arm_transient`](crate::FaultyStore::arm_transient):
+    /// probe and scan reads go through the disk, not an
+    /// [`IndexStore`](crate::IndexStore), so exercising bounded retry
+    /// on reads needs the burst injected here.
+    pub fn inject_transient_after(&mut self, ops: u64, count: u64) {
+        self.transient.arm_after(ops);
+        self.transient_left = count;
     }
 
+    /// Disarms fault injection (both the hard plan and any transient
+    /// burst).
+    pub fn clear_fault(&mut self) {
+        self.fault.clear();
+        self.transient.clear();
+        self.transient_left = 0;
+    }
+
+    /// Gate every read and write passes through: the hard plan fires
+    /// [`StorageError::Injected`] forever, the transient plan fires
+    /// [`StorageError::Transient`] for its bounded burst then clears.
     fn check_fault(&mut self) -> StorageResult<()> {
         if self.fault.fires() {
-            Err(StorageError::Injected)
-        } else {
-            Ok(())
+            return Err(StorageError::Injected);
         }
+        if self.transient.fires() {
+            if self.transient_left > 0 {
+                self.transient_left -= 1;
+                return Err(StorageError::Transient(
+                    "injected transient disk failure".into(),
+                ));
+            }
+            self.transient.clear();
+        }
+        Ok(())
     }
 
     fn charge(&mut self, start: u64, blocks: u64) {
@@ -468,6 +504,32 @@ mod tests {
         assert_eq!(d.stats(), before);
         // Discarded data reads back as zeroes.
         assert_eq!(d.read_at(e, 0, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn transient_burst_hits_reads_then_recovers() {
+        let mut d = disk();
+        let e = Extent::new(0, 2);
+        d.write_at(e, 0, b"payload").unwrap();
+        // One more op succeeds (the countdown), then a 2-op burst.
+        d.inject_transient_after(1, 2);
+        assert_eq!(d.read_at(e, 0, 7).unwrap(), b"payload");
+        for _ in 0..2 {
+            let err = d.read_at(e, 0, 7).unwrap_err();
+            assert!(err.is_transient(), "{err}");
+        }
+        // Burst exhausted: the disk recovers without clear_fault.
+        assert_eq!(d.read_at(e, 0, 7).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn clear_fault_disarms_transient_burst() {
+        let mut d = disk();
+        let e = Extent::new(0, 1);
+        d.inject_transient_after(0, 10);
+        assert!(d.write_at(e, 0, b"x").unwrap_err().is_transient());
+        d.clear_fault();
+        d.write_at(e, 0, b"x").unwrap();
     }
 
     #[test]

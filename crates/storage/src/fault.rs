@@ -1,20 +1,19 @@
 //! Fault injection shared by the simulated disk and the file store.
 //!
-//! Three pieces live here:
+//! Two pieces live here:
 //!
 //! * [`FaultPlan`] — the "succeed for `n` operations, then fire"
 //!   arming logic that [`crate::SimDisk`] and [`FaultyStore`] both
-//!   count down on.
+//!   count down on (the disk counts it down on *reads and writes*
+//!   alike, so serving-path injection exercises probe/scan reads, not
+//!   just commit writes).
 //! * [`FaultyStore`] — an [`IndexStore`] wrapper with the same API
 //!   that simulates *crash points* (torn writes that persist only a
 //!   prefix, files fully written but lost before the rename, clean
 //!   process death) and *transient* I/O errors.
-//! * [`RetryPolicy`] — a bounded retry/backoff loop for the transient
-//!   error class, used by the persistence layer's commit path.
-
-use std::time::Duration;
-
-use wave_obs::Counter;
+//!
+//! The bounded retry/backoff loop for the transient error class lives
+//! in [`crate::retry`] ([`RetryPolicy`](crate::retry::RetryPolicy)).
 
 use crate::error::{StorageError, StorageResult};
 use crate::file::IndexStore;
@@ -115,7 +114,8 @@ impl CrashMode {
 /// * **Transient** ([`FaultyStore::arm_transient`]): after `n`
 ///   successful operations the next `count` operations fail with
 ///   [`StorageError::Transient`], then service recovers. Paired with
-///   [`RetryPolicy`] this exercises the bounded-retry path.
+///   [`RetryPolicy`](crate::retry::RetryPolicy) this exercises the
+///   bounded-retry path.
 #[derive(Debug)]
 pub struct FaultyStore<S: IndexStore> {
     inner: S,
@@ -248,73 +248,11 @@ impl<S: IndexStore> IndexStore for FaultyStore<S> {
     }
 }
 
-/// Bounded retry with exponential backoff for transient store errors.
-///
-/// Only errors for which [`StorageError::is_transient`] holds are
-/// retried; crashes, corruption, and logic errors surface
-/// immediately. The backoff doubles per attempt and is capped, so the
-/// worst-case stall is `max_attempts * max_backoff`.
-#[derive(Debug, Clone, Copy)]
-pub struct RetryPolicy {
-    /// Total attempts (first try included). `1` disables retrying.
-    pub max_attempts: u32,
-    /// Backoff before the first retry; doubles each further retry.
-    pub base_backoff: Duration,
-    /// Upper bound on a single backoff sleep.
-    pub max_backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 4,
-            base_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(50),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy that never sleeps (for tests and simulations).
-    pub fn no_backoff(max_attempts: u32) -> Self {
-        RetryPolicy {
-            max_attempts,
-            base_backoff: Duration::ZERO,
-            max_backoff: Duration::ZERO,
-        }
-    }
-
-    /// Runs `op`, retrying transient failures. Every retry increments
-    /// `retries` (the `store.retry_attempts` observability counter).
-    pub fn run<T>(
-        &self,
-        retries: &Counter,
-        mut op: impl FnMut() -> StorageResult<T>,
-    ) -> StorageResult<T> {
-        let mut attempt = 0u32;
-        loop {
-            match op() {
-                Err(e) if e.is_transient() && attempt + 1 < self.max_attempts.max(1) => {
-                    attempt += 1;
-                    retries.inc();
-                    let backoff = self
-                        .base_backoff
-                        .saturating_mul(1u32 << (attempt - 1).min(16))
-                        .min(self.max_backoff);
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                    }
-                }
-                other => return other,
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::file::FileStore;
+    use crate::retry::RetryPolicy;
     use wave_obs::Obs;
 
     #[test]
@@ -382,29 +320,16 @@ mod tests {
     }
 
     #[test]
-    fn retry_gives_up_after_max_attempts() {
-        let obs = Obs::noop();
-        let retries = obs.counter("r");
+    fn transient_burst_fires_on_reads_too() {
+        // Serving-path regression: the transient schedule must gate
+        // read operations, not just writes, so injected bursts reach
+        // probe/scan-style access through the store as well.
         let mut s = FaultyStore::new(FileStore::open_temp().unwrap());
-        s.arm_transient(0, 10);
-        let policy = RetryPolicy::no_backoff(3);
-        let err = policy.run(&retries, || s.put("idx", b"data")).unwrap_err();
+        s.put("idx", b"data").unwrap();
+        s.arm_transient(0, 1);
+        let err = s.get("idx").unwrap_err();
         assert!(err.is_transient(), "{err}");
-        assert_eq!(retries.get(), 2, "two retries after the first failure");
+        assert_eq!(s.get("idx").unwrap().unwrap(), b"data", "burst recovered");
         s.into_inner().destroy().unwrap();
-    }
-
-    #[test]
-    fn retry_does_not_touch_hard_errors() {
-        let obs = Obs::noop();
-        let retries = obs.counter("r");
-        let policy = RetryPolicy::no_backoff(5);
-        let err = policy
-            .run(&retries, || -> StorageResult<()> {
-                Err(StorageError::Injected)
-            })
-            .unwrap_err();
-        assert!(matches!(err, StorageError::Injected));
-        assert_eq!(retries.get(), 0);
     }
 }

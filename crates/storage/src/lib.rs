@@ -31,8 +31,11 @@
 //! * Crash-consistency plumbing: [`crc64`] checksums for persisted
 //!   images and manifests, the [`IndexStore`] name-based store trait,
 //!   the fault-injecting [`FaultyStore`] wrapper with its shared
-//!   [`FaultPlan`] arming logic, and [`RetryPolicy`] for the
-//!   transient-error class.
+//!   [`FaultPlan`] arming logic (the disk consults the same plan on
+//!   reads and writes, with a separate retryable transient-burst
+//!   class for the serving path), and [`RetryPolicy`] — bounded,
+//!   deterministically jittered retry for the transient-error class
+//!   (see [`retry`]).
 //!
 //! All sizes are in 4 KiB blocks unless stated otherwise.
 //!
@@ -54,6 +57,7 @@ pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod file;
+pub mod retry;
 pub mod sched;
 pub mod stats;
 pub mod volume;
@@ -65,8 +69,9 @@ pub use cache::BlockCache;
 pub use checksum::{crc64, Crc64};
 pub use disk::{DiskConfig, SimDisk};
 pub use error::{StorageError, StorageResult};
-pub use fault::{CrashMode, FaultPlan, FaultyStore, RetryPolicy};
+pub use fault::{CrashMode, FaultPlan, FaultyStore};
 pub use file::{FileId, FileStore, IndexStore};
+pub use retry::RetryPolicy;
 pub use sched::{FlushStats, IoScheduler, ReadRequest, WriteBuffer};
 pub use stats::{IoStats, StatsDelta};
 pub use volume::Volume;

@@ -311,7 +311,19 @@ impl Volume {
         }
     }
 
-    /// Disarms fault injection on every disk.
+    /// Arms a transient burst on every disk (see
+    /// [`SimDisk::inject_transient_after`]): after `ops` more
+    /// successful I/O calls (counted per disk), the next `count` fail
+    /// with the retryable [`StorageError::Transient`] class, then
+    /// service recovers. This is how the serving stack's bounded-retry
+    /// and chaos paths inject read faults an arm can ride out.
+    pub fn inject_transient_after(&mut self, ops: u64, count: u64) {
+        for d in &mut self.disks {
+            d.inject_transient_after(ops, count);
+        }
+    }
+
+    /// Disarms fault injection on every disk (hard and transient).
     pub fn clear_fault(&mut self) {
         for d in &mut self.disks {
             d.clear_fault();
@@ -464,6 +476,23 @@ mod tests {
             1,
             "the write's seek recorded its head travel"
         );
+    }
+
+    #[test]
+    fn transient_injection_reaches_every_disk() {
+        let mut v = Volume::with_disks(DiskConfig::default(), 2);
+        let a = v.alloc_blocks(1).unwrap(); // disk 0
+        let b = v.alloc_blocks(1).unwrap(); // disk 1
+        v.write_at(a, 0, b"aa").unwrap();
+        v.write_at(b, 0, b"bb").unwrap();
+        v.inject_transient_after(0, 1);
+        // Each disk counts its own burst: both fail once, then recover.
+        assert!(v.read_at(a, 0, 2).unwrap_err().is_transient());
+        assert!(v.read_at(b, 0, 2).unwrap_err().is_transient());
+        assert_eq!(v.read_at(a, 0, 2).unwrap(), b"aa");
+        assert_eq!(v.read_at(b, 0, 2).unwrap(), b"bb");
+        v.free(a).unwrap();
+        v.free(b).unwrap();
     }
 
     #[test]
