@@ -58,6 +58,22 @@ echo "==> bench-batch --smoke"
 cargo run -q --release --offline -p wavectl -- bench-batch --smoke \
   --out target/BENCH_batch_smoke.json >/dev/null
 
+# The probe-pruning gates (DESIGN.md §14): filters and covering
+# buckets must stay byte-identical to the unfiltered paths on every
+# scheme, a torn or deleted filter sidecar must be rebuilt by
+# `recover` from the constituent alone, and the Zipf sweep must hold
+# its seek-reduction and false-positive bounds (--smoke keeps it
+# CI-sized; the full sweep is `wavectl bench-filter`).
+echo "==> filter byte-identity sweep"
+cargo test -q -p wave-index --test filter_pruning --offline
+echo "==> filter sidecar rebuild"
+cargo test -q -p wave-index --test crash_recovery --offline \
+  torn_filter_sidecars_are_rebuilt_by_recover
+
+echo "==> bench-filter --smoke"
+cargo run -q --release --offline -p wavectl -- bench-filter --smoke \
+  --out target/BENCH_filter_smoke.json >/dev/null
+
 # The observability gates (DESIGN.md §12): every request reconstructs
 # into a single-rooted causal tree, the flight recorder promotes
 # exactly the injected slow scan and erroring maintenance call, and

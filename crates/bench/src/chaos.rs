@@ -27,6 +27,24 @@
 //! every interleaving (the counts in the report are descriptive, not
 //! golden). `wavectl chaos [--smoke]` drives this and prints the
 //! per-scheme report.
+//!
+//! The soak runs the server with its default [`IndexConfig`], so the
+//! probe-pruning layer (DESIGN.md §14) is live: membership filters
+//! may elide whole arms from a query's fan-out while workers are
+//! being killed and arms quarantined around them. The oracle check
+//! makes no allowance for this — an elided arm must be
+//! indistinguishable from a probed-and-empty one — so the soak also
+//! serves as the adversarial test that filter skips stay proofs of
+//! absence under every fault interleaving.
+//!
+//! Reading the report: `ok`/`partial`/`errors` partition the reader
+//! requests (`partial` only ever names quarantined slots), the
+//! `maintains_ok/maintains_err` pair shows maintenance surviving the
+//! same chaos, and `kills`/`bursts`/`quarantines` echo the injected
+//! schedule while `worker_restarts`/`breaker_trips`/`read_retries`
+//! count the server's measured responses to it. A healthy soak shows
+//! restarts ≥ kills (supervision re-raised every killed worker) and
+//! retries absorbing the short bursts.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

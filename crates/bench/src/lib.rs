@@ -15,6 +15,7 @@
 
 pub mod batch;
 pub mod chaos;
+pub mod filter;
 pub mod harness;
 pub mod obs;
 pub mod parallel;
@@ -23,6 +24,7 @@ pub mod sim;
 
 pub use batch::{BatchResult, BatchSweep};
 pub use chaos::{run_soak, ChaosReport, ChaosSoak};
+pub use filter::{FilterResult, FilterSweep};
 pub use harness::Group;
 pub use obs::{ObsResult, ObsSweep};
 pub use parallel::{run_sweep, MixResult, ParallelSweep};

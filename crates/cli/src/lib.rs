@@ -28,6 +28,7 @@
 //! wavectl slo [--json]
 //! wavectl bench-parallel [--smoke] [--out FILE]
 //! wavectl bench-batch [--smoke] [--out FILE]
+//! wavectl bench-filter [--smoke] [--out FILE]
 //! wavectl bench-obs [--smoke] [--out FILE]
 //! wavectl chaos [--smoke] [--out FILE]
 //! ```
@@ -58,6 +59,15 @@
 //! asserting byte-identical answers along the way. The full document
 //! lands in `BENCH_batch.json` (see EXPERIMENTS.md "Reproducing the
 //! batching speedup").
+//!
+//! `bench-filter` runs the probe-pruning sweep: for every scheme's
+//! partition it replays a Zipf-skewed probe mix (hot vocabulary words
+//! plus never-indexed ghosts) against filtered and unfiltered twin
+//! waves, asserting byte-identical answers while measuring the seeks
+//! the membership filters and covering entries elide (see DESIGN.md
+//! "Probe pruning & covering buckets"). The full document lands in
+//! `BENCH_filter.json` (see EXPERIMENTS.md "Reproducing the
+//! probe-pruning speedup").
 //!
 //! `trace-tree` reconstructs a JSONL trace (from `wavectl trace
 //! --out` or a flight dump) into causal trees: every span carries its
@@ -385,7 +395,7 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-obs|chaos|lint> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-filter|bench-obs|chaos|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
@@ -395,6 +405,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "slo" => return cmd_slo(&args[1..]),
         "bench-parallel" => return cmd_bench_parallel(&args[1..]),
         "bench-batch" => return cmd_bench_batch(&args[1..]),
+        "bench-filter" => return cmd_bench_filter(&args[1..]),
         "bench-obs" => return cmd_bench_obs(&args[1..]),
         "chaos" => return cmd_chaos(&args[1..]),
         "lint" => return cmd_lint(&args[1..]),
@@ -667,11 +678,23 @@ fn cmd_fsck(dir: &Path) -> Result<String, CliError> {
         report.files_scanned,
         report.ok_files.len()
     ));
+    if !report.filter_ok.is_empty() {
+        out.push_str(&format!(
+            "{} filter sidecar(s) verified\n",
+            report.filter_ok.len()
+        ));
+    }
     for f in &report.corrupt {
         out.push_str(&format!("  corrupt: {f}\n"));
     }
     for f in &report.missing {
         out.push_str(&format!("  missing: {f}\n"));
+    }
+    for f in &report.filter_corrupt {
+        out.push_str(&format!("  filter corrupt: {f}\n"));
+    }
+    for f in &report.filter_missing {
+        out.push_str(&format!("  filter missing: {f}\n"));
     }
     for f in &report.orphans {
         out.push_str(&format!("  orphan: {f}\n"));
@@ -720,6 +743,9 @@ fn cmd_recover(dir: &Path) -> Result<String, CliError> {
     }
     for f in &report.rebuilt {
         out.push_str(&format!("  rebuilt from day files: {f}\n"));
+    }
+    for f in &report.rebuilt_filters {
+        out.push_str(&format!("  rebuilt filter sidecar: {f}\n"));
     }
     for s in &report.dropped_slots {
         out.push_str(&format!(
@@ -894,6 +920,18 @@ const SCHED_COUNTERS: [&str; 4] = [
     "sched.bulk_pages",
 ];
 
+/// The probe-pruning counters (DESIGN.md §14), grouped like the I/O
+/// scheduler's. Rendered with zeros when absent — a fresh store or an
+/// unfiltered run legitimately records nothing, and an omitted row
+/// would be indistinguishable from a wiring bug.
+const FILTER_COUNTERS: [&str; 5] = [
+    "filter.checks",
+    "filter.skips",
+    "filter.covering_hits",
+    "filter.false_positives",
+    "filter.arm_elisions",
+];
+
 /// Folds a JSONL trace back into a human-readable summary: one row
 /// per paper measure (precomp/transition/post/query), the I/O
 /// scheduler counters, failure attribution (erroring spans grouped by
@@ -905,6 +943,7 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     let mut days = 0u64;
     let mut scheme = String::new();
     let mut sched = [0u64; 4];
+    let mut filters = [0u64; 5];
     let mut metrics: Vec<String> = Vec::new();
     // (span name, arm) → (count, an example error message). Spans
     // without an arm field (whole-request roots, degraded-read
@@ -955,6 +994,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
                     sched[slot] = field_u64("value");
                     continue;
                 }
+                if let Some(slot) = FILTER_COUNTERS.iter().position(|c| *c == name) {
+                    filters[slot] = field_u64("value");
+                    continue;
+                }
                 let line = match obj.get("type").and_then(JsonValue::as_str).unwrap_or("") {
                     "histogram" => format!(
                         "  {name}: count {} sum {} mean {:.2} max {} p50<={} p99<={}",
@@ -998,6 +1041,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     out.push_str("io scheduler:\n");
     for (name, v) in SCHED_COUNTERS.iter().zip(&sched) {
         out.push_str(&format!("  {name:<18} {v}\n"));
+    }
+    out.push_str("filters:\n");
+    for (name, v) in FILTER_COUNTERS.iter().zip(&filters) {
+        out.push_str(&format!("  {name:<22} {v}\n"));
     }
     if !failures.is_empty() {
         out.push_str("failures:\n");
@@ -1419,6 +1466,82 @@ fn cmd_bench_batch(args: &[String]) -> Result<String, CliError> {
     run_bench_batch(smoke, &out_path)
 }
 
+/// Runs the probe-pruning sweep and renders its summary table. Split
+/// from the flag parsing so tests can exercise it directly. Answer
+/// byte-identity is asserted inside the sweep; the check here is the
+/// quantitative one — seeks saved and false-positive rate.
+pub fn run_bench_filter(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::filter::{check, render_json, run_sweep, FilterSweep};
+
+    let sweep = if smoke {
+        FilterSweep::smoke()
+    } else {
+        FilterSweep::full()
+    };
+    let results = run_sweep(&sweep);
+    fs::write(out_path, render_json(&sweep, &results))?;
+
+    let mut out = format!(
+        "{:<10} {:>11} {:>11} {:>7} {:>8} {:>7} {:>8} {:>8}\n",
+        "scheme", "seeks/q", "seeks/q", "saved", "covered", "skips", "false+", "fp_rate"
+    );
+    out.push_str(&format!(
+        "{:<10} {:>11} {:>11}\n",
+        "", "unfiltered", "filtered"
+    ));
+    for r in &results {
+        out.push_str(&format!(
+            "{:<10} {:>11.3} {:>11.3} {:>6.1}% {:>8} {:>7} {:>8} {:>7.3}\n",
+            r.scheme,
+            r.seeks_per_query_unfiltered(),
+            r.seeks_per_query_filtered(),
+            r.seek_reduction() * 100.0,
+            r.covering_hits,
+            r.filter_skips,
+            r.filter_false_positives,
+            r.fp_rate()
+        ));
+    }
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    match check(&results, &sweep) {
+        Ok(()) => {
+            out.push_str(&format!(
+                "answers byte-identical; every scheme saves ≥ {:.0}% of seeks on the Zipf mix\n",
+                sweep.min_seek_reduction * 100.0
+            ));
+            Ok(out)
+        }
+        Err(violations) => Err(CliError::State(format!(
+            "probe-pruning bounds violated:\n  {}",
+            violations.join("\n  ")
+        ))),
+    }
+}
+
+fn cmd_bench_filter(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl bench-filter [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_filter.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_bench_filter(smoke, &out_path)
+}
+
 fn cmd_bench_parallel(args: &[String]) -> Result<String, CliError> {
     let usage = "usage: wavectl bench-parallel [--smoke] [--out FILE]";
     let mut smoke = false;
@@ -1725,6 +1848,15 @@ mod tests {
         for counter in SCHED_COUNTERS {
             assert!(report.contains(counter), "{counter} missing: {report}");
         }
+        // Likewise the probe-pruning group (DESIGN.md §14): present
+        // even when a counter never fired, rendered as 0.
+        assert!(report.contains("filters:"), "{report}");
+        for counter in FILTER_COUNTERS {
+            assert!(report.contains(counter), "{counter} missing: {report}");
+        }
+        // No server in this workload, so arm elisions must render 0
+        // rather than vanish.
+        assert!(report.contains("filter.arm_elisions    0"), "{report}");
         // Without --out the JSONL itself is the output.
         let jsonl = run(&s(&[
             "trace", "del", "--days", "2", "--window", "3", "--fan", "1",
@@ -1758,11 +1890,15 @@ mod tests {
         let out = run(&s(&["fsck", d])).unwrap();
         assert!(out.contains("store is clean"), "{out}");
 
-        // Flip a byte in the middle of a committed constituent image.
+        // Flip a byte in the middle of a committed constituent image
+        // (not a filter sidecar — that repair path is checked below).
         let victim = fs::read_dir(index_dir(&dir))
             .unwrap()
             .map(|e| e.unwrap().path())
-            .find(|p| p.file_name().unwrap() != "MANIFEST")
+            .find(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name != "MANIFEST" && !name.ends_with(".filt")
+            })
             .expect("committed store has constituent files");
         let mut bytes = fs::read(&victim).unwrap();
         let mid = bytes.len() / 2;
@@ -1779,7 +1915,31 @@ mod tests {
 
         let out = run(&s(&["fsck", d])).unwrap();
         assert!(out.contains("store is clean"), "{out}");
+        assert!(out.contains("filter sidecar(s) verified"), "{out}");
         // The repaired store answers queries as before.
+        let out = run(&s(&["query", d, "fresh"])).unwrap();
+        assert!(out.starts_with("1 hit "), "{out}");
+
+        // Now tear a filter sidecar: fsck flags it and recover
+        // rebuilds it from the constituent, no archive needed.
+        let sidecar = fs::read_dir(index_dir(&dir))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.to_string_lossy().ends_with(".filt"))
+            .expect("committed store has filter sidecars");
+        let bytes = fs::read(&sidecar).unwrap();
+        fs::write(&sidecar, &bytes[..bytes.len() / 2]).unwrap();
+
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("filter corrupt:"), "{out}");
+        assert!(out.contains("needs `wavectl recover`"), "{out}");
+
+        let out = run(&s(&["recover", d])).unwrap();
+        assert!(out.contains("rebuilt filter sidecar:"), "{out}");
+        assert!(!out.contains("rebuilt from day files"), "{out}");
+
+        let out = run(&s(&["fsck", d])).unwrap();
+        assert!(out.contains("store is clean"), "{out}");
         let out = run(&s(&["query", d, "fresh"])).unwrap();
         assert!(out.starts_with("1 hit "), "{out}");
         fs::remove_dir_all(&dir).ok();
@@ -2077,6 +2237,41 @@ mod tests {
 
         let err = run(&s(&["slo", "--bogus"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    /// `bench-filter --smoke` writes a parseable BENCH document and
+    /// reports every scheme's probe-pruning bounds as met.
+    #[test]
+    fn bench_filter_smoke_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_filter.json");
+        let out = run(&s(&[
+            "bench-filter",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("answers byte-identical"), "{out}");
+        assert!(out.contains("REINDEX"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        assert!(doc.contains("\"schema\":\"wave-bench/filter/v1\""), "{doc}");
+        // Every object in the cases array is itself flat JSON.
+        let cases = doc
+            .split_once("\"cases\":[")
+            .expect("document has a cases array")
+            .1
+            .trim_end_matches(['}', ']']);
+        let mut parsed = 0;
+        for case in cases.split("},{") {
+            let case = format!("{{{}}}", case.trim_matches(['{', '}']));
+            assert!(parse_flat(&case).is_some(), "unparseable case: {case}");
+            parsed += 1;
+        }
+        assert_eq!(parsed, 2, "smoke sweep has one row per scheme");
+        let err = run(&s(&["bench-filter", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     /// `bench-obs --smoke` writes a parseable BENCH document and

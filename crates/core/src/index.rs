@@ -23,6 +23,7 @@ use crate::contiguous::ContiguousConfig;
 use crate::directory::{BucketRef, Directory, DirectoryKind};
 use crate::entry::{decode_entries, encode_entries, Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
+use crate::filter::{FilterConfig, MembershipFilter};
 use crate::query::TimeRange;
 use crate::record::{Day, DayBatch, SearchValue};
 
@@ -33,6 +34,27 @@ pub struct IndexConfig {
     pub directory: DirectoryKind,
     /// CONTIGUOUS growth policy for incremental updates.
     pub contiguous: ContiguousConfig,
+    /// Probe-pruning layer: membership filter + covering entries.
+    pub filter: FilterConfig,
+}
+
+/// What a pruned probe resolved to, before any bucket I/O happens.
+///
+/// Produced by [`ConstituentIndex::prune_probe`]; the batched query
+/// paths use it to decide which bucket reads to enqueue at all.
+#[derive(Debug, Clone)]
+pub enum ProbeOutcome {
+    /// The membership filter proved the value absent — no directory
+    /// walk, no I/O, empty answer.
+    Skipped,
+    /// The value is covered in memory; these are exactly the bytes a
+    /// bucket read would have decoded, at zero seeks.
+    Covered(Vec<Entry>),
+    /// The value has a bucket; the caller reads it as usual.
+    Bucket(BucketRef),
+    /// The directory has no bucket for the value (if a filter is
+    /// enabled, this was a false positive).
+    Absent,
 }
 
 /// The shared extent of a packed (or once-packed) index.
@@ -79,6 +101,14 @@ pub struct ConstituentIndex {
     owned_buckets: usize,
     /// Blocks in private bucket extents.
     owned_blocks: u64,
+    /// Membership filter over indexed values (`None` when disabled).
+    /// After deletes it describes a superset of the live values —
+    /// never a false negative.
+    filter: Option<MembershipFilter>,
+    /// In-memory covering entries for the hottest buckets, mirrored
+    /// byte-for-byte through every update so a covered probe equals
+    /// the bucket read it replaces.
+    covering: BTreeMap<SearchValue, Vec<Entry>>,
 }
 
 impl ConstituentIndex {
@@ -94,6 +124,11 @@ impl ConstituentIndex {
             entries: 0,
             owned_buckets: 0,
             owned_blocks: 0,
+            filter: cfg
+                .filter
+                .enabled
+                .then(|| MembershipFilter::with_capacity(cfg.filter, 0)),
+            covering: BTreeMap::new(),
         }
     }
 
@@ -145,6 +180,12 @@ impl ConstituentIndex {
         let total: usize = map.values().map(Vec::len).sum();
         if total == 0 {
             return Ok(idx);
+        }
+        // The build walks the sorted value map anyway, so the filter
+        // and the covering set come for free (no extra I/O).
+        if cfg.filter.enabled {
+            idx.filter = Some(MembershipFilter::build(cfg.filter, map.len(), map.keys()));
+            idx.covering = Self::pick_covering(cfg.filter.covering_hot, &map);
         }
         // Encode all buckets in value order, recording each bucket's
         // placement within the shared base extent.
@@ -200,6 +241,40 @@ impl ConstituentIndex {
         Ok(idx)
     }
 
+    /// Chooses the `hot` largest buckets — ties broken by value order,
+    /// so the choice is deterministic — as the in-memory covering set.
+    fn pick_covering(
+        hot: usize,
+        map: &BTreeMap<SearchValue, Vec<Entry>>,
+    ) -> BTreeMap<SearchValue, Vec<Entry>> {
+        if hot == 0 {
+            return BTreeMap::new();
+        }
+        let mut by_size: Vec<(&SearchValue, &Vec<Entry>)> = map.iter().collect();
+        by_size.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+        by_size
+            .into_iter()
+            .take(hot)
+            .map(|(v, e)| (v.clone(), e.clone()))
+            .collect()
+    }
+
+    /// Rebuilds the membership filter from the directory's live values
+    /// (in memory, no I/O). Used when in-place adds saturate the
+    /// filter and by `recover` when a persisted sidecar is lost.
+    fn rebuild_filter(&mut self) {
+        if !self.cfg.filter.enabled {
+            return;
+        }
+        // Double the sizing so steady in-place growth doesn't rebuild
+        // on every batch.
+        let mut f = MembershipFilter::with_capacity(self.cfg.filter, self.directory.len() * 2);
+        for (value, _) in self.directory.iter_ordered() {
+            f.insert(value);
+        }
+        self.filter = Some(f);
+    }
+
     /// `AddToIndex(Days, I)` with in-place CONTIGUOUS updating.
     ///
     /// Groups the batches' entries by value; values with slack take
@@ -228,6 +303,14 @@ impl ConstituentIndex {
         }
         for (value, new_entries) in incoming {
             let added = new_entries.len() as u32;
+            if let Some(filter) = self.filter.as_mut() {
+                filter.insert(&value);
+            }
+            // A covered value mirrors exactly what the bucket receives
+            // (appends land at the end on every update path below).
+            if let Some(covered) = self.covering.get_mut(&value) {
+                covered.extend_from_slice(&new_entries);
+            }
             match self.directory.get(&value).copied() {
                 None => {
                     let capacity = self.cfg.contiguous.grown_capacity(added);
@@ -291,6 +374,13 @@ impl ConstituentIndex {
             }
             self.entries += added as u64;
         }
+        if self
+            .filter
+            .as_ref()
+            .is_some_and(MembershipFilter::is_saturated)
+        {
+            self.rebuild_filter();
+        }
         Ok(())
     }
 
@@ -323,6 +413,16 @@ impl ConstituentIndex {
                 .collect();
             let removed = (old.len() - keep.len()) as u64;
             self.entries -= removed;
+            // Keep the covering mirror byte-identical to the bucket:
+            // same survivors, same order. The filter is left alone —
+            // stale bits make it a harmless superset.
+            if self.covering.contains_key(&value) {
+                if keep.is_empty() {
+                    self.covering.remove(&value);
+                } else {
+                    self.covering.insert(value.clone(), keep.clone());
+                }
+            }
             if keep.is_empty() {
                 self.directory.remove(&value);
                 if bucket.owned {
@@ -389,6 +489,8 @@ impl ConstituentIndex {
         new.days = self.days.clone();
         new.day_values = self.day_values.clone();
         new.entries = self.entries;
+        new.filter = self.filter.clone();
+        new.covering = self.covering.clone();
         macro_rules! try_or_unwind {
             ($expr:expr) => {
                 match $expr {
@@ -471,12 +573,44 @@ impl ConstituentIndex {
     }
 
     /// `IndexProbe` on this constituent: all entries for `value`.
+    ///
+    /// Consults the membership filter and the covering set first (see
+    /// [`ConstituentIndex::prune_probe`]); the answer is byte-identical
+    /// to an unfiltered probe, only the I/O differs.
     pub fn probe(&self, vol: &mut Volume, value: &SearchValue) -> IndexResult<Vec<Entry>> {
-        let (bucket, depth) = self.directory.get_with_depth(value);
-        vol.obs().histogram("dir.probe_depth").record(depth as u64);
-        match bucket.copied() {
-            Some(bucket) => self.read_bucket(vol, &bucket),
-            None => Ok(Vec::new()),
+        match self.prune_probe(vol, value) {
+            ProbeOutcome::Skipped | ProbeOutcome::Absent => Ok(Vec::new()),
+            ProbeOutcome::Covered(entries) => Ok(entries),
+            ProbeOutcome::Bucket(bucket) => self.read_bucket(vol, &bucket),
+        }
+    }
+
+    /// Resolves a probe as far as it can go without bucket I/O:
+    /// membership filter, then covering set, then directory. This is
+    /// the single pruning decision shared by [`ConstituentIndex::
+    /// probe`] and the batched paths (`WaveIndex::query_batch`, the
+    /// server's arm workers), so every path skips and covers
+    /// identically. Increments the `filter.*` counters.
+    pub fn prune_probe(&self, vol: &Volume, value: &SearchValue) -> ProbeOutcome {
+        if let Some(filter) = &self.filter {
+            vol.obs().counter("filter.checks").inc();
+            if !filter.may_contain(value) {
+                vol.obs().counter("filter.skips").inc();
+                return ProbeOutcome::Skipped;
+            }
+        }
+        if let Some(entries) = self.covering.get(value) {
+            vol.obs().counter("filter.covering_hits").inc();
+            return ProbeOutcome::Covered(entries.clone());
+        }
+        match self.bucket_for(vol, value) {
+            Some(bucket) => ProbeOutcome::Bucket(bucket),
+            None => {
+                if self.filter.is_some() {
+                    vol.obs().counter("filter.false_positives").inc();
+                }
+                ProbeOutcome::Absent
+            }
         }
     }
 
@@ -668,6 +802,25 @@ impl ConstituentIndex {
         self.owned_buckets == 0
     }
 
+    /// The membership filter, if filtering is enabled. `commit_wave`
+    /// serializes this as the constituent's `.filt` sidecar.
+    pub fn membership_filter(&self) -> Option<&MembershipFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Installs a persisted filter (the verified sidecar from
+    /// `load_committed`). The sidecar may carry stale superset bits
+    /// from pre-commit deletes, which a fresh rebuild would not — both
+    /// are correct, so the persisted state wins for fidelity.
+    pub(crate) fn install_filter(&mut self, filter: MembershipFilter) {
+        self.filter = Some(filter);
+    }
+
+    /// Number of values currently covered in memory.
+    pub fn covering_len(&self) -> usize {
+        self.covering.len()
+    }
+
     /// Exhaustive self-check: decodes every bucket and validates entry
     /// counts, day coverage, and the `day_values` side table. For
     /// tests and the driver's verification mode.
@@ -714,6 +867,24 @@ impl ConstituentIndex {
                 "entry counter {} != decoded total {total}",
                 self.entries
             )));
+        }
+        // The filter must never false-negative a live value, and every
+        // covered value must mirror its bucket byte-for-byte.
+        if let Some(filter) = &self.filter {
+            for (value, _) in self.directory.iter_ordered() {
+                if !filter.may_contain(value) {
+                    return Err(IndexError::Corrupt(format!(
+                        "membership filter false negative on {value}"
+                    )));
+                }
+            }
+        }
+        for (value, covered) in &self.covering {
+            if map.get(value) != Some(covered) {
+                return Err(IndexError::Corrupt(format!(
+                    "covering entries for {value} diverge from the bucket"
+                )));
+            }
         }
         Ok(())
     }

@@ -60,6 +60,7 @@ pub mod directory;
 pub mod driver;
 pub mod entry;
 pub mod error;
+pub mod filter;
 pub mod index;
 pub mod parallel;
 pub mod persist;
@@ -76,9 +77,11 @@ pub use contiguous::ContiguousConfig;
 pub use directory::{BucketRef, Directory, DirectoryKind};
 pub use entry::{Entry, ENTRY_BYTES};
 pub use error::{IndexError, IndexResult};
-pub use index::{ConstituentIndex, IndexConfig};
+pub use filter::{FilterConfig, MembershipFilter};
+pub use index::{ConstituentIndex, IndexConfig, ProbeOutcome};
 pub use persist::{
-    commit_wave, load_committed, CommitReport, LoadedWave, Manifest, ManifestEntry, MANIFEST_NAME,
+    commit_wave, load_committed, CommitReport, FilterRef, LoadedWave, Manifest, ManifestEntry,
+    MANIFEST_NAME,
 };
 pub use query::TimeRange;
 pub use record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
@@ -92,6 +95,7 @@ pub use wave::{QueryResult, WaveIndex};
 /// Everything needed to drive a wave index, importable in one line.
 pub mod prelude {
     pub use crate::driver::{DayReport, Driver, DriverConfig, QueryLoad};
+    pub use crate::filter::FilterConfig;
     pub use crate::index::IndexConfig;
     pub use crate::query::TimeRange;
     pub use crate::record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};

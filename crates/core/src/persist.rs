@@ -33,6 +33,21 @@
 //! any instant leaves the store describing either the pre- or the
 //! post-transition wave; anything else on disk is an orphan that
 //! [`crate::recovery::recover`] (or the next commit) sweeps up.
+//!
+//! # Filter sidecars
+//!
+//! When a constituent carries a [`MembershipFilter`], phase 1 also
+//! writes it as a checksummed sidecar (`slot3.e17.filt`) and the
+//! manifest records it on a `filter` line ([`FilterRef`]). Sidecars
+//! are part of the referenced file set — GC keeps them, [`fsck`]
+//! checks them, and a damaged sidecar is rebuilt by
+//! [`crate::recovery::recover`] from the constituent image rather
+//! than failing the wave (the image is the source of truth; the
+//! filter is derived data). Manifests written before sidecars existed
+//! simply have no `filter` lines: loading such an epoch rebuilds the
+//! filter for free during image decode.
+//!
+//! [`fsck`]: crate::recovery::fsck
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -40,6 +55,7 @@ use wave_storage::{crc64, IndexStore, RetryPolicy, Volume};
 
 use crate::entry::{Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
+use crate::filter::MembershipFilter;
 use crate::index::{ConstituentIndex, IndexConfig};
 use crate::record::{Day, SearchValue};
 use crate::wave::WaveIndex;
@@ -196,6 +212,22 @@ fn decode_body(cfg: IndexConfig, vol: &mut Volume, body: &[u8]) -> IndexResult<C
     ConstituentIndex::build_from_map(label, cfg, vol, map, days)
 }
 
+/// A membership-filter sidecar file as the manifest records it.
+///
+/// The sidecar is derived data — losing it costs a rebuild during
+/// [`crate::recovery::recover`], never any answers — but while it is
+/// referenced it is held to the same standard as a constituent image:
+/// exact length and whole-file CRC64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterRef {
+    /// Sidecar file name inside the store (`slot{j}.e{epoch}.filt`).
+    pub file: String,
+    /// Exact file length in bytes.
+    pub len: u64,
+    /// CRC64 of the whole file.
+    pub crc64: u64,
+}
+
 /// One constituent file as the manifest records it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
@@ -211,6 +243,10 @@ pub struct ManifestEntry {
     pub label: String,
     /// Days the constituent covers (for archive-based rebuilds).
     pub days: Vec<Day>,
+    /// Membership-filter sidecar, if the constituent carried a
+    /// filter when committed. `None` for filter-less constituents
+    /// and for manifests written before sidecars existed.
+    pub filter: Option<FilterRef>,
 }
 
 /// The committed state of a wave index: which epoch is live, what it
@@ -256,6 +292,12 @@ impl Manifest {
                 hex_encode(e.label.as_bytes()),
                 days
             ));
+            if let Some(f) = &e.filter {
+                text.push_str(&format!(
+                    "filter {} {} {} {:016x}\n",
+                    e.slot, f.file, f.len, f.crc64
+                ));
+            }
         }
         let mut out = text.into_bytes();
         let crc = crc64(&out);
@@ -356,6 +398,36 @@ impl Manifest {
                         crc64: crc,
                         label,
                         days,
+                        filter: None,
+                    });
+                }
+                Some("filter") => {
+                    let mut field = |what: &str| {
+                        parts
+                            .next()
+                            .map(str::to_string)
+                            .ok_or_else(|| corrupt(&format!("filter entry missing {what}")))
+                    };
+                    let slot: usize = field("slot")?
+                        .parse()
+                        .map_err(|_| corrupt("bad filter slot"))?;
+                    let file = field("file")?;
+                    let len = field("len")?
+                        .parse()
+                        .map_err(|_| corrupt("bad filter len"))?;
+                    let crc = u64::from_str_radix(&field("crc")?, 16)
+                        .map_err(|_| corrupt("bad filter crc"))?;
+                    let entry = entries
+                        .iter_mut()
+                        .find(|e| e.slot == slot)
+                        .ok_or_else(|| corrupt(&format!("filter line for unknown slot {slot}")))?;
+                    if entry.filter.is_some() {
+                        return Err(corrupt(&format!("duplicate filter line for slot {slot}")));
+                    }
+                    entry.filter = Some(FilterRef {
+                        file,
+                        len,
+                        crc64: crc,
                     });
                 }
                 Some("") | None => {}
@@ -398,9 +470,9 @@ pub fn read_manifest(store: &mut dyn IndexStore) -> IndexResult<Option<Manifest>
 pub struct CommitReport {
     /// Epoch the commit published.
     pub epoch: u64,
-    /// Constituent files written.
+    /// Constituent files written (filter sidecars not counted).
     pub files_written: usize,
-    /// Image bytes written (manifest excluded).
+    /// Image and filter-sidecar bytes written (manifest excluded).
     pub bytes_written: u64,
     /// Superseded or stray files garbage-collected after the flip.
     pub orphans_removed: usize,
@@ -458,8 +530,9 @@ fn commit_wave_inner(
         Some(bytes) => Manifest::from_bytes(&bytes)?.epoch + 1,
     };
 
-    // Phase 1: write the new epoch's constituent files. Old epoch
-    // files remain untouched and referenced by the old manifest.
+    // Phase 1: write the new epoch's constituent files (and their
+    // filter sidecars). Old epoch files remain untouched and
+    // referenced by the old manifest.
     let mut entries = Vec::new();
     let mut bytes_written = 0u64;
     for (j, idx) in wave.iter() {
@@ -467,6 +540,20 @@ fn commit_wave_inner(
         let name = format!("slot{j}.e{epoch}");
         retry.run(&retries, || store.put(&name, &image))?;
         bytes_written += image.len() as u64;
+        let filter = match idx.membership_filter() {
+            Some(f) => {
+                let sidecar = f.to_bytes();
+                let filt_name = format!("{name}.filt");
+                retry.run(&retries, || store.put(&filt_name, &sidecar))?;
+                bytes_written += sidecar.len() as u64;
+                Some(FilterRef {
+                    file: filt_name,
+                    len: sidecar.len() as u64,
+                    crc64: crc64(&sidecar),
+                })
+            }
+            None => None,
+        };
         entries.push(ManifestEntry {
             slot: j,
             file: name,
@@ -474,6 +561,7 @@ fn commit_wave_inner(
             crc64: crc64(&image),
             label: idx.label().to_string(),
             days: idx.days().iter().copied().collect(),
+            filter,
         });
     }
     let covered = wave.covered_days();
@@ -491,8 +579,15 @@ fn commit_wave_inner(
     // Phase 2: flip the manifest (single atomic rename inside put) …
     retry.run(&retries, || store.put(MANIFEST_NAME, &manifest.to_bytes()))?;
 
-    // … then garbage-collect everything no longer referenced.
-    let referenced: BTreeSet<&str> = manifest.entries.iter().map(|e| e.file.as_str()).collect();
+    // … then garbage-collect everything no longer referenced
+    // (filter sidecars are referenced files like any other).
+    let referenced: BTreeSet<&str> = manifest
+        .entries
+        .iter()
+        .flat_map(|e| {
+            std::iter::once(e.file.as_str()).chain(e.filter.as_ref().map(|f| f.file.as_str()))
+        })
+        .collect();
     let mut orphans_removed = 0usize;
     for name in retry.run(&retries, || store.list())? {
         if name == MANIFEST_NAME
@@ -583,14 +678,37 @@ pub fn load_committed(
                     got,
                 });
             }
-            let (idx, info) = decode_index(cfg, vol, &bytes)?;
+            let (mut idx, info) = decode_index(cfg, vol, &bytes)?;
             if idx.label() != e.label {
-                return Err(IndexError::Corrupt(format!(
+                let msg = format!(
                     "{}: label {:?} != manifest {:?}",
                     e.file,
                     idx.label(),
                     e.label
-                )));
+                );
+                idx.release(vol)?;
+                return Err(IndexError::Corrupt(msg));
+            }
+            if let Some(fref) = &e.filter {
+                // The strict loader verifies every referenced byte,
+                // sidecars included; only recover() tolerates damage
+                // (by rebuilding the filter from the image).
+                match load_filter_sidecar(store, fref) {
+                    Ok(f) => {
+                        // Install only when this config runs filters:
+                        // the sidecar may carry stale bits from
+                        // in-place deletes that a fresh rebuild would
+                        // not, and callers that disabled filtering
+                        // should not get a filter smuggled back in.
+                        if cfg.filter.enabled {
+                            idx.install_filter(f);
+                        }
+                    }
+                    Err(err) => {
+                        idx.release(vol)?;
+                        return Err(err);
+                    }
+                }
             }
             provenance.push(SlotProvenance {
                 slot: e.slot,
@@ -615,6 +733,35 @@ pub fn load_committed(
             Err(e)
         }
     }
+}
+
+/// Fetches a filter sidecar and verifies it against its manifest
+/// reference (exact length, whole-file CRC64) before decoding it
+/// (which re-verifies the sidecar's own embedded checksum).
+pub(crate) fn load_filter_sidecar(
+    store: &mut dyn IndexStore,
+    fref: &FilterRef,
+) -> IndexResult<MembershipFilter> {
+    let bytes = store.get(&fref.file)?.ok_or_else(|| {
+        IndexError::Corrupt(format!("manifest references missing sidecar {}", fref.file))
+    })?;
+    if bytes.len() as u64 != fref.len {
+        return Err(IndexError::Corrupt(format!(
+            "{}: length {} != manifest {}",
+            fref.file,
+            bytes.len(),
+            fref.len
+        )));
+    }
+    let got = crc64(&bytes);
+    if got != fref.crc64 {
+        return Err(IndexError::ChecksumMismatch {
+            what: fref.file.clone(),
+            expected: fref.crc64,
+            got,
+        });
+    }
+    MembershipFilter::from_bytes(&bytes)
 }
 
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -783,14 +930,30 @@ mod tests {
             epoch: 7,
             window: Some((Day(3), Day(9))),
             slots: 4,
-            entries: vec![ManifestEntry {
-                slot: 2,
-                file: "slot2.e7".into(),
-                len: 1234,
-                crc64: 0xDEAD_BEEF_0123_4567,
-                label: "I2'".into(),
-                days: vec![Day(3), Day(4)],
-            }],
+            entries: vec![
+                ManifestEntry {
+                    slot: 1,
+                    file: "slot1.e7".into(),
+                    len: 88,
+                    crc64: 0x0123_4567_89AB_CDEF,
+                    label: "I1".into(),
+                    days: vec![Day(5)],
+                    filter: None,
+                },
+                ManifestEntry {
+                    slot: 2,
+                    file: "slot2.e7".into(),
+                    len: 1234,
+                    crc64: 0xDEAD_BEEF_0123_4567,
+                    label: "I2'".into(),
+                    days: vec![Day(3), Day(4)],
+                    filter: Some(FilterRef {
+                        file: "slot2.e7.filt".into(),
+                        len: 96,
+                        crc64: 0xFEED_FACE_CAFE_F00D,
+                    }),
+                },
+            ],
         };
         let bytes = m.to_bytes();
         assert_eq!(Manifest::from_bytes(&bytes).unwrap(), m);
@@ -857,17 +1020,94 @@ mod tests {
         commit_wave(&wave, &mut vol, &mut store, &retry).unwrap();
         let second = commit_wave(&wave, &mut vol, &mut store, &retry).unwrap();
         assert_eq!(second.epoch, 2);
-        assert_eq!(second.orphans_removed, 2, "epoch-1 files collected");
+        assert_eq!(
+            second.orphans_removed, 4,
+            "epoch-1 files and their sidecars collected"
+        );
         let names = store.list().unwrap();
         assert_eq!(
             names,
             vec![
                 MANIFEST_NAME.to_string(),
                 "slot0.e2".to_string(),
-                "slot2.e2".to_string()
+                "slot0.e2.filt".to_string(),
+                "slot2.e2".to_string(),
+                "slot2.e2.filt".to_string()
             ]
         );
         wave.release_all(&mut vol).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn commit_records_sidecars_and_load_installs_them() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        let manifest = read_manifest(&mut store).unwrap().unwrap();
+        assert!(
+            manifest.entries.iter().all(|e| e.filter.is_some()),
+            "every committed constituent records its sidecar"
+        );
+        let mut vol2 = Volume::default();
+        let mut loaded = load_committed(IndexConfig::default(), &mut vol2, &mut store)
+            .unwrap()
+            .unwrap();
+        for (slot, idx) in loaded.wave.iter() {
+            let sidecar = idx
+                .membership_filter()
+                .expect("filter installed from sidecar");
+            assert_eq!(
+                Some(sidecar),
+                wave.slot(slot).unwrap().membership_filter(),
+                "sidecar filter is bit-identical to the committed one"
+            );
+        }
+        wave.release_all(&mut vol).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn strict_load_rejects_a_torn_sidecar() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        let mut bytes = store.get("slot0.e1.filt").unwrap().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        store.put("slot0.e1.filt", &bytes).unwrap();
+        let mut vol2 = Volume::default();
+        let err = load_committed(IndexConfig::default(), &mut vol2, &mut store).unwrap_err();
+        assert!(err.to_string().contains("slot0.e1.filt"), "{err}");
+        assert_eq!(vol2.live_blocks(), 0, "partial load released its blocks");
+        wave.release_all(&mut vol).unwrap();
+        store.destroy().unwrap();
+    }
+
+    #[test]
+    fn disabled_filter_config_does_not_install_sidecars() {
+        let mut vol = Volume::default();
+        let mut wave = sample_wave(&mut vol);
+        let mut store = FileStore::open_temp().unwrap();
+        commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+        let cfg = IndexConfig {
+            filter: crate::filter::FilterConfig::disabled(),
+            ..IndexConfig::default()
+        };
+        let mut vol2 = Volume::default();
+        let mut loaded = load_committed(cfg, &mut vol2, &mut store).unwrap().unwrap();
+        assert!(
+            loaded
+                .wave
+                .iter()
+                .all(|(_, idx)| idx.membership_filter().is_none()),
+            "a filter-disabled config loads filterless constituents"
+        );
+        wave.release_all(&mut vol).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
         store.destroy().unwrap();
     }
 

@@ -27,10 +27,16 @@
 //! * **Orphans** — files no manifest references (phase-1 residue of
 //!   the crashed next epoch, `.tmp` torn-write leftovers) are
 //!   removed, except quarantined `.quar` evidence.
+//! * **Damaged filter sidecars** — a missing or corrupt `.filt`
+//!   sidecar never degrades the wave: the membership filter is
+//!   derived data, so [`recover`] rebuilds the sidecar from the
+//!   (verified) constituent image and re-references it in the
+//!   manifest. No quarantine, no slot drop.
 //!
 //! Every action is counted on the volume's [`wave_obs::Obs`] handle:
 //! `fsck.files_scanned`, `fsck.checksum_failures`,
-//! `recover.rollbacks`, `recover.rebuilds`, `recover.quarantines`,
+//! `recover.rollbacks`, `recover.rebuilds`,
+//! `recover.filter_rebuilds`, `recover.quarantines`,
 //! `recover.orphans_removed`.
 
 use wave_storage::{crc64, IndexStore, Obs, Volume};
@@ -38,8 +44,8 @@ use wave_storage::{crc64, IndexStore, Obs, Volume};
 use crate::error::IndexResult;
 use crate::index::{ConstituentIndex, IndexConfig};
 use crate::persist::{
-    decode_index, index_to_bytes, LoadedWave, Manifest, SlotProvenance, MANIFEST_NAME,
-    QUARANTINE_SUFFIX,
+    decode_index, index_to_bytes, load_filter_sidecar, FilterRef, LoadedWave, Manifest,
+    ManifestEntry, SlotProvenance, MANIFEST_NAME, QUARANTINE_SUFFIX,
 };
 use crate::record::{DayArchive, DayBatch};
 use crate::wave::WaveIndex;
@@ -66,16 +72,28 @@ pub struct FsckReport {
     pub orphans: Vec<String>,
     /// Quarantined `.quar` evidence files present.
     pub quarantined: Vec<String>,
+    /// Referenced filter sidecars that verified clean.
+    pub filter_ok: Vec<String>,
+    /// Referenced filter sidecars whose length or checksum disagrees
+    /// with the manifest.
+    pub filter_corrupt: Vec<String>,
+    /// Referenced filter sidecars absent from the store.
+    pub filter_missing: Vec<String>,
 }
 
 impl FsckReport {
     /// Whether the store is exactly one verifiable committed wave
-    /// with no residue (quarantined evidence is tolerated).
+    /// with no residue (quarantined evidence is tolerated). Damaged
+    /// filter sidecars make a store unclean — they are repairable
+    /// (see [`recover`]) but the store is not byte-for-byte the one
+    /// that was committed.
     pub fn is_clean(&self) -> bool {
         self.manifest_ok
             && self.corrupt.is_empty()
             && self.missing.is_empty()
             && self.orphans.is_empty()
+            && self.filter_corrupt.is_empty()
+            && self.filter_missing.is_empty()
     }
 }
 
@@ -127,10 +145,28 @@ pub fn fsck(store: &mut dyn IndexStore, obs: &Obs) -> IndexResult<FsckReport> {
                 }
             }
         }
+        let Some(f) = &e.filter else { continue };
+        report.files_scanned += 1;
+        scanned.inc();
+        match store.get(&f.file)? {
+            None => report.filter_missing.push(f.file.clone()),
+            Some(bytes) => {
+                if bytes.len() as u64 == f.len && crc64(&bytes) == f.crc64 {
+                    report.filter_ok.push(f.file.clone());
+                } else {
+                    failures.inc();
+                    report.filter_corrupt.push(f.file.clone());
+                }
+            }
+        }
     }
 
     for name in store.list()? {
-        if name == MANIFEST_NAME || referenced.iter().any(|e| e.file == name) {
+        if name == MANIFEST_NAME
+            || referenced
+                .iter()
+                .any(|e| e.file == name || e.filter.as_ref().is_some_and(|f| f.file == name))
+        {
             continue;
         }
         if name.ends_with(QUARANTINE_SUFFIX) {
@@ -153,6 +189,9 @@ pub struct RecoverReport {
     pub manifest_quarantined: bool,
     /// Constituents rebuilt from the day archive.
     pub rebuilt: Vec<String>,
+    /// Filter sidecars rebuilt from their (healthy) constituent
+    /// images. Cheap, lossless repairs: the filter is derived data.
+    pub rebuilt_filters: Vec<String>,
     /// Slots dropped because their days left the archive.
     pub dropped_slots: Vec<usize>,
     /// Files quarantined as `.quar` evidence.
@@ -207,6 +246,7 @@ fn recover_inner(
 ) -> IndexResult<(Option<LoadedWave>, RecoverReport)> {
     let rollbacks = obs.counter("recover.rollbacks");
     let rebuilds = obs.counter("recover.rebuilds");
+    let filter_rebuilds = obs.counter("recover.filter_rebuilds");
     let quarantines = obs.counter("recover.quarantines");
     let orphan_counter = obs.counter("recover.orphans_removed");
     let mut report = RecoverReport::default();
@@ -288,7 +328,32 @@ fn recover_inner(
                             let _ = info;
                             "mislabelled"
                         }
-                        Ok((idx, info)) => {
+                        Ok((mut idx, info)) => {
+                            // The constituent is healthy; its filter
+                            // sidecar may not be. Repair is cheap and
+                            // lossless (the filter is derived data),
+                            // so it never quarantines or drops.
+                            match repair_sidecar(cfg, store, &mut entry, &mut idx) {
+                                Ok(SidecarFix::Intact) => {}
+                                Ok(SidecarFix::Rebuilt(name)) => {
+                                    manifest_dirty = true;
+                                    filter_rebuilds.inc();
+                                    obs.event(
+                                        "recover.filter_rebuild",
+                                        wave_obs::fields![("file", name.as_str())],
+                                    );
+                                    report.rebuilt_filters.push(name);
+                                }
+                                Ok(SidecarFix::Dropped) => manifest_dirty = true,
+                                Err(e) => {
+                                    if let Err(e2) = idx.release(vol) {
+                                        result = Err(e2);
+                                    } else {
+                                        result = Err(e);
+                                    }
+                                    break;
+                                }
+                            }
                             provenance.push(SlotProvenance {
                                 slot: entry.slot,
                                 label: entry.label.clone(),
@@ -337,6 +402,21 @@ fn recover_inner(
                     store.put(&entry.file, &image)?;
                     entry.len = image.len() as u64;
                     entry.crc64 = crc64(&image);
+                    // The rebuilt constituent gets a rebuilt sidecar:
+                    // the old one (if any) described the old image.
+                    entry.filter = match idx.membership_filter() {
+                        Some(f) => {
+                            let sidecar = f.to_bytes();
+                            let name = format!("{}.filt", entry.file);
+                            store.put(&name, &sidecar)?;
+                            Some(FilterRef {
+                                file: name,
+                                len: sidecar.len() as u64,
+                                crc64: crc64(&sidecar),
+                            })
+                        }
+                        None => None,
+                    };
                     Ok(idx)
                 })();
                 match rebuilt {
@@ -390,11 +470,15 @@ fn recover_inner(
         store.put(MANIFEST_NAME, &manifest.to_bytes())?;
     }
 
-    // Sweep crash residue the manifest does not reference.
+    // Sweep crash residue the manifest does not reference. Sidecars
+    // of dropped slots (and stale refs dropped by repair) land here.
     for name in store.list()? {
         if name == MANIFEST_NAME
             || name.ends_with(QUARANTINE_SUFFIX)
-            || manifest.entries.iter().any(|e| e.file == name)
+            || manifest
+                .entries
+                .iter()
+                .any(|e| e.file == name || e.filter.as_ref().is_some_and(|f| f.file == name))
         {
             continue;
         }
@@ -422,6 +506,55 @@ fn recover_inner(
         }),
         report,
     ))
+}
+
+/// What [`repair_sidecar`] did to a healthy constituent's sidecar.
+enum SidecarFix {
+    /// The sidecar verified clean (or the entry never had one).
+    Intact,
+    /// The sidecar was damaged and rewritten from the constituent.
+    Rebuilt(String),
+    /// The sidecar was damaged and this config runs no filters, so
+    /// the stale reference was dropped (the file, if present, becomes
+    /// an orphan for the sweep).
+    Dropped,
+}
+
+/// Verifies `entry`'s filter sidecar and repairs it from the decoded
+/// constituent when damaged. A valid sidecar is installed into `idx`
+/// (mirroring [`crate::persist::load_committed`]); a damaged one is
+/// rewritten from the filter the image decode just rebuilt.
+fn repair_sidecar(
+    cfg: IndexConfig,
+    store: &mut dyn IndexStore,
+    entry: &mut ManifestEntry,
+    idx: &mut ConstituentIndex,
+) -> IndexResult<SidecarFix> {
+    let Some(fref) = entry.filter.clone() else {
+        return Ok(SidecarFix::Intact);
+    };
+    if let Ok(f) = load_filter_sidecar(store, &fref) {
+        if cfg.filter.enabled {
+            idx.install_filter(f);
+        }
+        return Ok(SidecarFix::Intact);
+    }
+    match idx.membership_filter() {
+        Some(f) => {
+            let sidecar = f.to_bytes();
+            store.put(&fref.file, &sidecar)?;
+            entry.filter = Some(FilterRef {
+                file: fref.file.clone(),
+                len: sidecar.len() as u64,
+                crc64: crc64(&sidecar),
+            });
+            Ok(SidecarFix::Rebuilt(fref.file))
+        }
+        None => {
+            entry.filter = None;
+            Ok(SidecarFix::Dropped)
+        }
+    }
 }
 
 /// Convenience: quarantined-evidence count currently in a store.
@@ -487,7 +620,25 @@ mod tests {
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.epoch, Some(1));
         assert_eq!(report.ok_files.len(), 2);
-        assert_eq!(report.files_scanned, 3);
+        assert_eq!(report.filter_ok.len(), 2, "sidecars verified too");
+        assert_eq!(report.files_scanned, 5, "manifest + 2 images + 2 sidecars");
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn fsck_flags_damaged_filter_sidecars() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        let mut bytes = store.get("slot0.e1.filt").unwrap().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        store.put("slot0.e1.filt", &bytes).unwrap();
+        store.remove("slot1.e1.filt").unwrap();
+        let report = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(!report.is_clean(), "{report:?}");
+        assert_eq!(report.filter_corrupt, vec!["slot0.e1.filt".to_string()]);
+        assert_eq!(report.filter_missing, vec!["slot1.e1.filt".to_string()]);
+        assert!(report.corrupt.is_empty(), "images themselves are fine");
+        assert!(report.orphans.is_empty(), "sidecars are referenced files");
         teardown(store, _vol, wave);
     }
 
@@ -568,6 +719,66 @@ mod tests {
             .expect("strict load succeeds after repair");
         let mut reloaded = reloaded;
         reloaded.wave.release_all(&mut vol3).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_rebuilds_torn_and_deleted_filter_sidecars() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        // Tear one sidecar mid-file, delete the other outright.
+        let mut bytes = store.get("slot0.e1.filt").unwrap().unwrap();
+        bytes.truncate(bytes.len() / 2);
+        store.put("slot0.e1.filt", &bytes).unwrap();
+        store.remove("slot1.e1.filt").unwrap();
+        let mut vol2 = Volume::default();
+        // No archive needed: the filter rebuilds from the image.
+        let (loaded, report) =
+            recover(IndexConfig::default(), &mut vol2, &mut store, None).unwrap();
+        let mut loaded = loaded.expect("wave loads — sidecar damage never degrades it");
+        assert_eq!(
+            report.rebuilt_filters,
+            vec!["slot0.e1.filt".to_string(), "slot1.e1.filt".to_string()]
+        );
+        assert!(report.rebuilt.is_empty(), "no constituent rebuilds");
+        assert!(
+            report.quarantined.is_empty(),
+            "no quarantine for derived data"
+        );
+        assert!(report.dropped_slots.is_empty());
+        assert!(
+            loaded
+                .wave
+                .iter()
+                .all(|(_, idx)| idx.membership_filter().is_some()),
+            "loaded constituents carry their rebuilt filters"
+        );
+        // The repaired store is clean again and strict-loads.
+        let post = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(post.is_clean(), "{post:?}");
+        let mut vol3 = Volume::default();
+        let mut reloaded = load_committed(IndexConfig::default(), &mut vol3, &mut store)
+            .unwrap()
+            .expect("strict load succeeds after sidecar repair");
+        reloaded.wave.release_all(&mut vol3).unwrap();
+        loaded.wave.release_all(&mut vol2).unwrap();
+        teardown(store, _vol, wave);
+    }
+
+    #[test]
+    fn recover_counts_filter_rebuilds_on_obs() {
+        let (mut store, _vol, wave, _archive) = committed_store();
+        store.remove("slot0.e1.filt").unwrap();
+        let sink = std::sync::Arc::new(wave_obs::MemorySink::new());
+        let obs = Obs::new(sink);
+        let mut vol2 = Volume::default();
+        vol2.attach_obs(obs.clone());
+        let (loaded, report) =
+            recover(IndexConfig::default(), &mut vol2, &mut store, None).unwrap();
+        let mut loaded = loaded.unwrap();
+        assert_eq!(report.rebuilt_filters, vec!["slot0.e1.filt".to_string()]);
+        assert_eq!(obs.counter("recover.filter_rebuilds").get(), 1);
+        assert_eq!(obs.counter("recover.rebuilds").get(), 0);
         loaded.wave.release_all(&mut vol2).unwrap();
         teardown(store, _vol, wave);
     }

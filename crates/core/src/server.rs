@@ -76,12 +76,14 @@ use std::thread::JoinHandle;
 use wave_obs::{fields, Counter, Gauge, Obs, TraceCtx};
 use wave_storage::{DiskArray, IoScheduler, ReadRequest, RetryPolicy, StatsDelta, Volume};
 
-use crate::entry::{decode_entries, Entry, ENTRY_BYTES};
+use crate::entry::{Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
-use crate::index::{ConstituentIndex, IndexConfig};
+use crate::filter::MembershipFilter;
+use crate::index::{ConstituentIndex, IndexConfig, ProbeOutcome};
 use crate::parallel::{ArmMap, PlacementStrategy};
 use crate::query::TimeRange;
-use crate::record::{DayBatch, SearchValue};
+use crate::record::{Day, DayBatch, SearchValue};
+use crate::wave::BatchHit;
 
 /// Server construction options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -340,10 +342,15 @@ struct ArmBatchAnswer {
     io: StatsDelta,
 }
 
-/// What an arm sends back for a build request.
+/// What an arm sends back for a build request: besides the I/O
+/// accounting, the built constituent's day span and a copy of its
+/// membership filter, which the server installs as the slot's routing
+/// metadata ([`SlotMeta`]) for fan-out pruning.
 struct BuildDone {
     arm: usize,
     io: StatsDelta,
+    span: Option<(Day, Day)>,
+    filter: Option<MembershipFilter>,
 }
 
 enum ArmRequest {
@@ -504,8 +511,8 @@ impl ArmState {
         let before = vol.stats();
         let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
         let mut requests = Vec::new();
-        // (position in per_slot, value index, bucket count) per request.
-        let mut hits = Vec::new();
+        // (position in per_slot, value index, pruned hit) per hit.
+        let mut hits: Vec<(usize, usize, BatchHit)> = Vec::new();
         for (&slot, idx) in slots.iter() {
             let Some((lo, hi)) = idx.day_span() else {
                 continue;
@@ -516,31 +523,39 @@ impl ArmState {
             let pos = per_slot.len();
             per_slot.push((slot, vec![Vec::new(); values.len()]));
             for (vi, value) in values.iter().enumerate() {
-                let Some(bucket) = idx.bucket_for(vol, value) else {
-                    continue;
-                };
-                if bucket.count == 0 {
-                    continue;
+                match idx.prune_probe(vol, value) {
+                    ProbeOutcome::Skipped | ProbeOutcome::Absent => {}
+                    ProbeOutcome::Covered(entries) => {
+                        hits.push((pos, vi, BatchHit::Covered(entries)));
+                    }
+                    ProbeOutcome::Bucket(bucket) => {
+                        if bucket.count == 0 {
+                            continue;
+                        }
+                        requests.push(ReadRequest::new(
+                            bucket.extent,
+                            bucket.offset,
+                            bucket.count as usize * ENTRY_BYTES,
+                        ));
+                        hits.push((pos, vi, BatchHit::Read(bucket.count)));
+                    }
                 }
-                requests.push(ReadRequest::new(
-                    bucket.extent,
-                    bucket.offset,
-                    bucket.count as usize * ENTRY_BYTES,
-                ));
-                hits.push((pos, vi, bucket.count));
             }
         }
         // The scheduler treats an empty batch as a caller error; a
         // batch that happens to hit nothing on this arm is not one.
-        if !requests.is_empty() {
-            let buffers = IoScheduler::read_batch_retry(vol, &requests, ctx, retry, retries)?;
-            for ((pos, vi, count), bytes) in hits.iter().zip(&buffers) {
-                let mut entries = decode_entries(bytes, *count as usize);
-                entries.retain(|e| range.contains(e.day));
-                if let Some((_, slot_values)) = per_slot.get_mut(*pos) {
-                    if let Some(out) = slot_values.get_mut(*vi) {
-                        *out = entries;
-                    }
+        let buffers = if requests.is_empty() {
+            Vec::new()
+        } else {
+            IoScheduler::read_batch_retry(vol, &requests, ctx, retry, retries)?
+        };
+        let mut buffers = buffers.iter();
+        for (pos, vi, hit) in hits {
+            let mut entries = hit.resolve(&mut buffers);
+            entries.retain(|e| range.contains(e.day));
+            if let Some((_, slot_values)) = per_slot.get_mut(pos) {
+                if let Some(out) = slot_values.get_mut(vi) {
+                    *out = entries;
                 }
             }
         }
@@ -560,6 +575,8 @@ impl ArmState {
         let before = self.vol.stats();
         let refs: Vec<&DayBatch> = batches.iter().collect();
         let idx = ConstituentIndex::build_packed(label, self.cfg, &mut self.vol, &refs)?;
+        let span = idx.day_span();
+        let filter = idx.membership_filter().cloned();
         if let Some(old) = self.slots.insert(slot, idx) {
             // Rebuilding a slot in place on the same arm: the old
             // generation is released once the new one is installed.
@@ -568,6 +585,8 @@ impl ArmState {
         Ok(BuildDone {
             arm: self.arm,
             io: self.vol.stats().since(&before),
+            span,
+            filter,
         })
     }
 
@@ -768,13 +787,27 @@ struct InFlight<R> {
     rx: Receiver<R>,
 }
 
+/// Server-side summary of one routed slot, captured from the arm that
+/// built its constituent: the day span plus a copy of the membership
+/// filter. The fan-out consults it *before* dispatching, so an arm
+/// none of whose slots can match a probe gets no request at all.
+struct SlotMeta {
+    span: Option<(Day, Day)>,
+    filter: Option<MembershipFilter>,
+}
+
 /// Routing state guarded by one `RwLock`: readers hold it for the
 /// duration of a query (so they see one consistent placement
 /// generation, as [`crate::concurrent::SharedWave`] promises);
-/// maintenance takes it exclusively only for the O(1) flip.
+/// maintenance takes it exclusively only for the O(1) flip, which also
+/// installs the new generation's [`SlotMeta`].
 struct Route {
     arm_of: BTreeMap<usize, usize>,
     maintenance: Option<usize>,
+    /// Pruning metadata per routed slot, updated atomically with
+    /// `arm_of` under the same write lock. A slot without metadata is
+    /// simply never elided — correctness does not depend on this map.
+    slot_meta: BTreeMap<usize, SlotMeta>,
 }
 
 /// A parallel wave-index server over a shared-nothing disk array.
@@ -891,6 +924,7 @@ impl WaveServer {
                 maintenance: cfg
                     .reserve_maintenance_arm
                     .then_some(arm_count.saturating_sub(1)),
+                slot_meta: BTreeMap::new(),
             }),
             epoch: AtomicU64::new(0),
             cfg,
@@ -1260,6 +1294,7 @@ impl WaveServer {
             }
             let mut per_arm = vec![0.0f64; self.arms.len()];
             let mut done = 0usize;
+            let mut metas: Vec<(usize, SlotMeta)> = Vec::new();
             for (pi, inf) in inflight {
                 let Some((slot, arm, batches)) = placed.get(pi) else {
                     continue;
@@ -1269,12 +1304,18 @@ impl WaveServer {
                 };
                 let make = build_request(*slot, epoch, batches, ctx);
                 match self.collect(link, inf, "arm worker disconnected mid-install", &make) {
-                    Ok(Ok(BuildDone { arm, io })) => {
+                    Ok(Ok(BuildDone {
+                        arm,
+                        io,
+                        span,
+                        filter,
+                    })) => {
                         done += 1;
                         link.settle(&io);
                         if let Some(s) = per_arm.get_mut(arm) {
                             *s += io.sim_seconds;
                         }
+                        metas.push((*slot, SlotMeta { span, filter }));
                     }
                     Ok(Err(e)) => {
                         link.settle(&StatsDelta::default());
@@ -1289,6 +1330,7 @@ impl WaveServer {
             }
             let mut route = self.route_write()?;
             route.arm_of.extend(placements.iter());
+            route.slot_meta.extend(metas);
             drop(route);
             Ok(per_arm.iter().fold(0.0, |a, &b| a.max(b)))
         })();
@@ -1309,6 +1351,49 @@ impl WaveServer {
             Err(e) => span.set_end_field("error", e.to_string()),
         }
         result
+    }
+
+    /// Decides whether `arm` needs no request for a probe of `values`:
+    /// it can be elided when every slot routed to it is empty, outside
+    /// `range`, or — per its [`SlotMeta`] filter — provably holds none
+    /// of the values. Returns the range-intersecting slots whose
+    /// access the caller must reconstruct (an un-elided arm would have
+    /// reported each with empty entries), or `None` if the arm must be
+    /// asked. A slot without metadata or filter forces dispatch —
+    /// elision is an optimisation, never a guess.
+    fn elide_arm(
+        &self,
+        route: &Route,
+        arm: usize,
+        values: &[&SearchValue],
+        range: TimeRange,
+    ) -> Option<Vec<usize>> {
+        let mut reconstructed = Vec::new();
+        for (&slot, &slot_arm) in &route.arm_of {
+            if slot_arm != arm {
+                continue;
+            }
+            let meta = route.slot_meta.get(&slot)?;
+            let Some((lo, hi)) = meta.span else {
+                continue; // empty constituent: the arm would skip it too
+            };
+            if !range.intersects_span(lo, hi) {
+                continue;
+            }
+            let filter = meta.filter.as_ref()?;
+            if values.iter().any(|v| filter.may_contain(v)) {
+                return None;
+            }
+            reconstructed.push(slot);
+        }
+        // Count only on a successful elision: a dispatched arm
+        // re-checks its own filters and counts there, so every
+        // consulted (slot, value) pair is counted exactly once.
+        let pairs = (reconstructed.len() * values.len()) as u64;
+        self.obs.counter("filter.checks").add(pairs);
+        self.obs.counter("filter.skips").add(pairs);
+        self.obs.counter("filter.arm_elisions").inc();
+        Some(reconstructed)
     }
 
     /// Which arms serve queries (all arms minus the maintenance arm).
@@ -1358,15 +1443,27 @@ impl WaveServer {
         let result = (|| -> IndexResult<ServerQuery> {
             // Dispatch to every admitted arm first so they work
             // concurrently; arms the breaker holds in quarantine are
-            // skipped up front and reported as missing slots.
+            // skipped up front and reported as missing slots. For a
+            // probe, an arm whose routing metadata proves none of its
+            // slots can match gets *no request at all* — its (empty)
+            // contribution is reconstructed below, so the answer stays
+            // byte-identical. The breaker is consulted first so
+            // elision never changes quarantine/cooldown pacing.
             let mut missing_arms: Vec<usize> = Vec::new();
             let mut first_err: Option<IndexError> = None;
             let mut dispatched: Vec<(&ArmLink, InFlight<IndexResult<ArmAnswer>>)> = Vec::new();
+            let mut elided_slots: Vec<usize> = Vec::new();
             for &arm in &target_arms {
                 let link = self.arm(arm)?;
                 if !self.admit(link) {
                     missing_arms.push(arm);
                     continue;
+                }
+                if let Some(v) = value {
+                    if let Some(recon) = self.elide_arm(&route, arm, &[v], range) {
+                        elided_slots.extend(recon);
+                        continue;
+                    }
                 }
                 match self.dispatch(link, &make) {
                     Ok(inf) => dispatched.push((link, inf)),
@@ -1376,6 +1473,10 @@ impl WaveServer {
             let mut per_slot: Vec<(usize, Vec<Entry>)> = Vec::new();
             let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
             let mut accessed = 0usize;
+            for slot in elided_slots {
+                accessed += 1;
+                per_slot.push((slot, Vec::new()));
+            }
             for (link, inf) in dispatched {
                 match self.collect(link, inf, "arm worker disconnected mid-query", &make) {
                     Ok(Ok(answer)) => {
@@ -1526,10 +1627,19 @@ impl WaveServer {
             let mut missing_arms: Vec<usize> = Vec::new();
             let mut first_err: Option<IndexError> = None;
             let mut dispatched: Vec<(&ArmLink, InFlight<IndexResult<ArmBatchAnswer>>)> = Vec::new();
+            let mut elided_slots: Vec<usize> = Vec::new();
+            // An arm is elided only when *every* value misses *all* of
+            // its slots; one possible hit anywhere dispatches the
+            // whole batch to it.
+            let value_refs: Vec<&SearchValue> = values.iter().collect();
             for &arm in &target_arms {
                 let link = self.arm(arm)?;
                 if !self.admit(link) {
                     missing_arms.push(arm);
+                    continue;
+                }
+                if let Some(recon) = self.elide_arm(&route, arm, &value_refs, range) {
+                    elided_slots.extend(recon);
                     continue;
                 }
                 match self.dispatch(link, &make) {
@@ -1540,6 +1650,13 @@ impl WaveServer {
             let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
             let mut per_arm_seconds = vec![0.0f64; self.arms.len()];
             let mut accessed = 0usize;
+            for slot in elided_slots {
+                // Mirror an un-elided arm's answer shape: one empty
+                // entry list per queried value for each intersecting
+                // slot.
+                accessed += 1;
+                per_slot.push((slot, vec![Vec::new(); values.len()]));
+            }
             for (link, inf) in dispatched {
                 match self.collect(link, inf, "arm worker disconnected mid-query", &make) {
                     Ok(Ok(answer)) => {
@@ -1666,10 +1783,19 @@ impl WaveServer {
                     Err(e) => return Err(e),
                 };
             // Phase 2: the O(1) commit. Waits for in-flight queries, then
-            // flips the route; new queries route to the new generation.
+            // flips the route (and the slot's pruning metadata, in the
+            // same critical section); new queries route to the new
+            // generation.
             {
                 let mut route = self.route_write()?;
                 route.arm_of.insert(slot, build_arm);
+                route.slot_meta.insert(
+                    slot,
+                    SlotMeta {
+                        span: done.span,
+                        filter: done.filter.clone(),
+                    },
+                );
                 route.maintenance = Some(old_arm);
                 self.epoch.store(epoch, Ordering::Release);
             }

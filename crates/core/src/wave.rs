@@ -12,9 +12,35 @@ use wave_storage::{IoScheduler, ReadRequest, Volume};
 
 use crate::entry::{decode_entries, Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
-use crate::index::ConstituentIndex;
+use crate::index::{ConstituentIndex, ProbeOutcome};
 use crate::query::TimeRange;
 use crate::record::{Day, SearchValue};
+
+/// One per-(constituent, value) hit of a batched query: either a
+/// scheduled bucket read or entries already covered in memory. Shared
+/// with the server's arm-side batch path, which prunes identically.
+pub(crate) enum BatchHit {
+    /// Consumes the next buffer of the scheduled sweep (`count`
+    /// entries).
+    Read(u32),
+    /// Covered in memory — exactly the bytes the bucket read would
+    /// have produced.
+    Covered(Vec<Entry>),
+}
+
+impl BatchHit {
+    /// Resolves the hit to its entries, consuming the next scheduled
+    /// buffer if this hit was a bucket read.
+    pub(crate) fn resolve<'a>(self, buffers: &mut impl Iterator<Item = &'a Vec<u8>>) -> Vec<Entry> {
+        match self {
+            BatchHit::Covered(entries) => entries,
+            BatchHit::Read(count) => decode_entries(
+                buffers.next().expect("one buffer per scheduled read"),
+                count as usize,
+            ),
+        }
+    }
+}
 
 /// Result of a wave-index query, carrying the access count the cost
 /// model calls `Probe_idx`/`Scan_idx`.
@@ -148,12 +174,14 @@ impl WaveIndex {
         if values.is_empty() {
             return Ok(results);
         }
-        // Phase 1: in-memory directory probes, grouped per
-        // constituent. Every value pays the same `indexes_accessed`
-        // as a solo probe would: the count reflects which
-        // constituents intersect the range, not which buckets hit.
+        // Phase 1: in-memory pruning (filter, covering set, directory)
+        // grouped per constituent. Every value pays the same
+        // `indexes_accessed` as a solo probe would: the count reflects
+        // which constituents intersect the range, not which buckets
+        // hit — a filter skip still counts as an access, it just costs
+        // no I/O.
         let mut requests: Vec<ReadRequest> = Vec::new();
-        let mut hits: Vec<(usize, u32)> = Vec::new();
+        let mut hits: Vec<(usize, BatchHit)> = Vec::new();
         let mut accessed = 0usize;
         for (_, idx) in self.iter() {
             let Some((lo, hi)) = idx.day_span() else {
@@ -164,36 +192,45 @@ impl WaveIndex {
             }
             accessed += 1;
             for (vi, value) in values.iter().enumerate() {
-                let Some(bucket) = idx.bucket_for(vol, value) else {
-                    continue;
-                };
-                if bucket.count == 0 {
-                    continue;
+                match idx.prune_probe(vol, value) {
+                    ProbeOutcome::Skipped | ProbeOutcome::Absent => {}
+                    ProbeOutcome::Covered(entries) => {
+                        hits.push((vi, BatchHit::Covered(entries)));
+                    }
+                    ProbeOutcome::Bucket(bucket) => {
+                        if bucket.count == 0 {
+                            continue;
+                        }
+                        requests.push(ReadRequest::new(
+                            bucket.extent,
+                            bucket.offset,
+                            bucket.count as usize * ENTRY_BYTES,
+                        ));
+                        hits.push((vi, BatchHit::Read(bucket.count)));
+                    }
                 }
-                requests.push(ReadRequest::new(
-                    bucket.extent,
-                    bucket.offset,
-                    bucket.count as usize * ENTRY_BYTES,
-                ));
-                hits.push((vi, bucket.count));
             }
         }
         for r in &mut results {
             r.indexes_accessed = accessed;
         }
-        if requests.is_empty() {
-            // Nothing to read; never hand the scheduler an empty batch.
-            return Ok(results);
-        }
-        // Phase 2: one scheduled sweep for every bucket read.
-        let buffers = IoScheduler::read_batch(vol, &requests)?;
+        // Phase 2: one scheduled sweep for every bucket read (covered
+        // hits already hold their entries in memory). Never hand the
+        // scheduler an empty batch.
+        let buffers = if requests.is_empty() {
+            Vec::new()
+        } else {
+            IoScheduler::read_batch(vol, &requests)?
+        };
         // Requests were pushed in (slot, value) order, so extending
         // per value here reproduces the per-probe slot-ascending
-        // entry order exactly.
-        for ((vi, count), bytes) in hits.iter().zip(&buffers) {
-            let mut entries = decode_entries(bytes, *count as usize);
+        // entry order exactly; covered hits splice in at the same
+        // position the bucket read would have.
+        let mut buffers = buffers.iter();
+        for (vi, hit) in hits {
+            let mut entries = hit.resolve(&mut buffers);
             entries.retain(|e| range.contains(e.day));
-            if let Some(r) = results.get_mut(*vi) {
+            if let Some(r) = results.get_mut(vi) {
                 r.entries.extend(entries);
             }
         }

@@ -94,7 +94,9 @@ fn assert_no_orphans(store: &mut FileStore, loaded: &LoadedWave, ctx: &str) {
         .manifest
         .entries
         .iter()
-        .map(|e| e.file.clone())
+        .flat_map(|e| {
+            std::iter::once(e.file.clone()).chain(e.filter.as_ref().map(|f| f.file.clone()))
+        })
         .collect();
     expect.insert(MANIFEST_NAME.to_string());
     let got: BTreeSet<String> = store.list().unwrap().into_iter().collect();
@@ -157,6 +159,11 @@ fn explore_commit(
                     assert!(
                         report.rebuilt.is_empty() && report.dropped_slots.is_empty(),
                         "{cctx}: crash-only faults never damage committed files: {report:?}"
+                    );
+                    assert!(
+                        report.rebuilt_filters.is_empty(),
+                        "{cctx}: the manifest flip is atomic, so a crash can never \
+                         leave a referenced sidecar damaged: {report:?}"
                     );
                     match loaded {
                         None => {
@@ -270,6 +277,108 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
             assert_eq!(vol.live_blocks(), 0, "{ctx}: scheme leaked blocks");
         }
     }
+}
+
+/// Tears every filter sidecar of a committed store in turn (and once
+/// all at once, deleted outright): [`fsck`] must flag the damage,
+/// [`recover`] must rebuild the sidecar from the constituent image
+/// without quarantining or dropping anything, and the repaired store
+/// must pass fsck and the strict loader while still matching the
+/// oracle.
+#[test]
+fn torn_filter_sidecars_are_rebuilt_by_recover() {
+    use wave_index::recovery::fsck;
+    use wave_obs::Obs;
+
+    let mut vol = Volume::default();
+    let mut scheme = SchemeKind::WataStar.build(SchemeConfig::new(W, 3)).unwrap();
+    let mut archive = DayArchive::new();
+    let mut oracle = Oracle::new();
+    for d in 1..=W {
+        let b = day_batch(d);
+        oracle.insert(&b);
+        archive.insert(b);
+    }
+    scheme.start(&mut vol, &archive).unwrap();
+    let base = scratch_dir("sidecar-base");
+    let mut base_store = FileStore::open(&base).unwrap();
+    commit_wave(
+        scheme.wave(),
+        &mut vol,
+        &mut base_store,
+        &RetryPolicy::no_backoff(1),
+    )
+    .unwrap();
+    let sidecars: Vec<String> = base_store
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".filt"))
+        .collect();
+    assert!(!sidecars.is_empty(), "commit wrote no sidecars");
+
+    // One experiment per sidecar (torn), plus one with every sidecar
+    // deleted at once.
+    let mut experiments: Vec<Vec<(String, bool)>> =
+        sidecars.iter().map(|s| vec![(s.clone(), false)]).collect();
+    experiments.push(sidecars.iter().map(|s| (s.clone(), true)).collect());
+    for damage in experiments {
+        let work = scratch_dir("sidecar-work");
+        clone_dir(&base, &work);
+        let mut store = FileStore::open(&work).unwrap();
+        for (name, delete) in &damage {
+            if *delete {
+                store.remove(name).unwrap();
+            } else {
+                let mut bytes = store.get(name).unwrap().unwrap();
+                bytes.truncate(bytes.len() / 2);
+                store.put(name, &bytes).unwrap();
+            }
+        }
+        let ctx = format!("damage={damage:?}");
+        let pre = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(!pre.is_clean(), "{ctx}: fsck missed the damage");
+        assert_eq!(
+            pre.filter_corrupt.len() + pre.filter_missing.len(),
+            damage.len(),
+            "{ctx}: fsck misclassified: {pre:?}"
+        );
+        assert!(pre.corrupt.is_empty() && pre.missing.is_empty(), "{ctx}");
+
+        let mut vol2 = Volume::default();
+        let (loaded, report) = recover(IndexConfig::default(), &mut vol2, &mut store, None)
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+        let mut loaded = loaded.unwrap_or_else(|| panic!("{ctx}: wave lost to sidecar damage"));
+        let mut rebuilt = report.rebuilt_filters.clone();
+        rebuilt.sort_unstable();
+        let mut expected: Vec<String> = damage.iter().map(|(n, _)| n.clone()).collect();
+        expected.sort_unstable();
+        assert_eq!(rebuilt, expected, "{ctx}");
+        assert!(
+            report.quarantined.is_empty()
+                && report.rebuilt.is_empty()
+                && report.dropped_slots.is_empty(),
+            "{ctx}: sidecar repair must not touch constituents: {report:?}"
+        );
+        assert_matches_oracle(&mut loaded, &oracle, &mut vol2, &ctx);
+        assert_no_orphans(&mut store, &loaded, &ctx);
+        loaded.wave.release_all(&mut vol2).unwrap();
+
+        let post = fsck(&mut store, &Obs::noop()).unwrap();
+        assert!(
+            post.is_clean(),
+            "{ctx}: store unclean after repair: {post:?}"
+        );
+        let mut vol3 = Volume::default();
+        let mut reloaded = load_committed(IndexConfig::default(), &mut vol3, &mut store)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{ctx}: strict load refused the repaired store"));
+        reloaded.wave.release_all(&mut vol3).unwrap();
+        fs::remove_dir_all(&work).unwrap();
+    }
+    fs::remove_dir_all(&base).unwrap();
+    scheme.release(&mut vol).unwrap();
+    assert_eq!(vol.live_blocks(), 0);
 }
 
 /// A transient-error burst shorter than the retry budget must not

@@ -1,0 +1,312 @@
+//! Byte-identity of the probe-pruning layer.
+//!
+//! The membership filter and the covering set are pure I/O
+//! optimisations: with them on (and covering entries configured) or
+//! off entirely, every query path must return exactly the same
+//! entries in the same order with the same `indexes_accessed` — on
+//! every scheme, through every update technique, across adds,
+//! deletes, rebuilds, and the server fan-out. These sweeps drive
+//! filtered and unfiltered twins through identical seeded workloads
+//! and compare every answer.
+
+use wave_index::prelude::*;
+use wave_index::{FilterConfig, ServerConfig, WaveServer};
+use wave_obs::{Obs, SplitMix64};
+use wave_storage::{DiskArray, DiskConfig};
+
+const W: u32 = 6;
+const VALUE_SPACE: u64 = 7;
+
+fn filtered_cfg() -> IndexConfig {
+    IndexConfig {
+        filter: FilterConfig {
+            covering_hot: 3,
+            ..FilterConfig::default()
+        },
+        ..IndexConfig::default()
+    }
+}
+
+fn unfiltered_cfg() -> IndexConfig {
+    IndexConfig {
+        filter: FilterConfig::disabled(),
+        ..IndexConfig::default()
+    }
+}
+
+/// Seeded random batch over a small value space so buckets (and
+/// covering entries) grow, shrink, and relocate.
+fn random_batch(day: u32, rng: &mut SplitMix64) -> DayBatch {
+    let records = (0..rng.range_usize(0, 6))
+        .map(|i| {
+            Record::with_values(
+                RecordId(day as u64 * 1_000 + i as u64),
+                [SearchValue::from_u64(rng.next_u64() % VALUE_SPACE)],
+            )
+        })
+        .collect();
+    DayBatch::new(Day(day), records)
+}
+
+/// Probe set: every present value plus ghosts that never occur — the
+/// case the filter prunes and the case it must never harm.
+fn probe_values() -> Vec<SearchValue> {
+    (0..VALUE_SPACE)
+        .map(SearchValue::from_u64)
+        .chain((100..104).map(SearchValue::from_u64))
+        .collect()
+}
+
+fn technique(i: usize) -> UpdateTechnique {
+    match i % 3 {
+        0 => UpdateTechnique::InPlace,
+        1 => UpdateTechnique::SimpleShadow,
+        _ => UpdateTechnique::PackedShadow,
+    }
+}
+
+/// Every scheme, driven day by day as filtered and unfiltered twins
+/// on the same workload: probes, timed probes, and batched queries
+/// must agree entry-for-entry and in `indexes_accessed`.
+#[test]
+fn all_schemes_answer_byte_identically_with_filters_on_and_off() {
+    let probes = probe_values();
+    for (case, kind) in SchemeKind::ALL.into_iter().enumerate() {
+        let tech = technique(case);
+        let fan = kind.min_fan().max(3);
+        let base = SchemeConfig::new(W, fan).with_technique(tech);
+        let mut on = kind.build(base.with_index(filtered_cfg())).unwrap();
+        let mut off = kind.build(base.with_index(unfiltered_cfg())).unwrap();
+        let mut vol_on = Volume::default();
+        let mut vol_off = Volume::default();
+        let mut archive = DayArchive::new();
+        let mut rng = SplitMix64::new(0xF117 + case as u64);
+
+        for day in 1..=(W + 8) {
+            archive.insert(random_batch(day, &mut rng));
+            if day < W {
+                continue;
+            }
+            if day == W {
+                on.start(&mut vol_on, &archive).unwrap();
+                off.start(&mut vol_off, &archive).unwrap();
+            } else {
+                on.transition(&mut vol_on, &archive, Day(day)).unwrap();
+                off.transition(&mut vol_off, &archive, Day(day)).unwrap();
+            }
+            let ctx = format!("{kind}/{tech:?} day {day}");
+            let ranges = [
+                TimeRange::all(),
+                TimeRange::since(Day(day.saturating_sub(2))),
+                TimeRange::between(Day(day.saturating_sub(W)), Day(day - 1)),
+            ];
+            for range in ranges {
+                for value in &probes {
+                    let a = on
+                        .wave()
+                        .timed_index_probe(&mut vol_on, value, range)
+                        .unwrap();
+                    let b = off
+                        .wave()
+                        .timed_index_probe(&mut vol_off, value, range)
+                        .unwrap();
+                    assert_eq!(a.entries, b.entries, "{ctx}: probe {value:?} {range:?}");
+                    assert_eq!(
+                        a.indexes_accessed, b.indexes_accessed,
+                        "{ctx}: access count {value:?} {range:?}"
+                    );
+                }
+                let a = on.wave().query_batch(&mut vol_on, &probes, range).unwrap();
+                let b = off
+                    .wave()
+                    .query_batch(&mut vol_off, &probes, range)
+                    .unwrap();
+                for (vi, (ra, rb)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(ra.entries, rb.entries, "{ctx}: batch value {vi} {range:?}");
+                    assert_eq!(
+                        ra.indexes_accessed, rb.indexes_accessed,
+                        "{ctx}: batch access count {vi} {range:?}"
+                    );
+                }
+            }
+            // Scans never consult the filter; identical by the same
+            // construction, asserted to catch covering-set drift.
+            let a = on.wave().segment_scan(&mut vol_on).unwrap();
+            let b = off.wave().segment_scan(&mut vol_off).unwrap();
+            let mut ea = a.entries;
+            let mut eb = b.entries;
+            ea.sort_unstable();
+            eb.sort_unstable();
+            assert_eq!(ea, eb, "{ctx}: scan");
+        }
+        on.release(&mut vol_on).unwrap();
+        off.release(&mut vol_off).unwrap();
+        assert_eq!(vol_on.live_blocks(), 0, "{kind}: filtered twin leaked");
+        assert_eq!(vol_off.live_blocks(), 0, "{kind}: unfiltered twin leaked");
+    }
+}
+
+/// The filtered wave must do strictly less I/O on a ghost-heavy
+/// (absent-value) probe mix — that's the point of the layer — while
+/// a covering-configured index also skips the bucket seek on its
+/// hottest present values.
+#[test]
+fn filters_elide_io_without_changing_answers() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    let mut archive = DayArchive::new();
+    for day in 1..=W {
+        archive.insert(random_batch(day, &mut rng));
+    }
+    let base = SchemeConfig::new(W, 3);
+    let mut on = SchemeKind::Reindex
+        .build(base.with_index(filtered_cfg()))
+        .unwrap();
+    let mut off = SchemeKind::Reindex
+        .build(base.with_index(unfiltered_cfg()))
+        .unwrap();
+    let mut vol_on = Volume::default();
+    let mut vol_off = Volume::default();
+    on.start(&mut vol_on, &archive).unwrap();
+    off.start(&mut vol_off, &archive).unwrap();
+
+    let ghosts: Vec<SearchValue> = (100..120).map(SearchValue::from_u64).collect();
+    let before_on = vol_on.stats();
+    let before_off = vol_off.stats();
+    for g in &ghosts {
+        let a = on.wave().index_probe(&mut vol_on, g).unwrap();
+        let b = off.wave().index_probe(&mut vol_off, g).unwrap();
+        assert!(a.entries.is_empty() && b.entries.is_empty());
+        assert_eq!(a.indexes_accessed, b.indexes_accessed);
+    }
+    let seeks_on = vol_on.stats().since(&before_on).seeks;
+    let seeks_off = vol_off.stats().since(&before_off).seeks;
+    assert!(
+        seeks_on <= seeks_off,
+        "filtered ghosts seeked more: {seeks_on} > {seeks_off}"
+    );
+    on.release(&mut vol_on).unwrap();
+    off.release(&mut vol_off).unwrap();
+}
+
+/// Server fan-out: a filtered server must answer byte-identically to
+/// an unfiltered one, and an all-ghost query must elide entire arms
+/// (counted on `filter.arm_elisions`) without perturbing the answer.
+#[test]
+fn server_fan_out_elides_arms_byte_identically() {
+    const SLOTS: usize = 4;
+    const ARMS: usize = 3;
+    let slot_batches = |_: ()| -> Vec<Vec<DayBatch>> {
+        (0..SLOTS)
+            .map(|j| {
+                let day = j as u32 + 1;
+                vec![DayBatch::new(
+                    Day(day),
+                    (0..10u64)
+                        .map(|i| {
+                            Record::with_values(
+                                RecordId(day as u64 * 100 + i),
+                                [SearchValue::from_u64(i % VALUE_SPACE)],
+                            )
+                        })
+                        .collect(),
+                )]
+            })
+            .collect()
+    };
+
+    let obs_on = Obs::new(std::sync::Arc::new(wave_obs::MemorySink::new()));
+    let server_on = WaveServer::launch(
+        DiskArray::new(DiskConfig::default(), ARMS),
+        ServerConfig {
+            index: filtered_cfg(),
+            ..ServerConfig::default()
+        },
+        obs_on.clone(),
+    )
+    .unwrap();
+    let server_off = WaveServer::launch(
+        DiskArray::new(DiskConfig::default(), ARMS),
+        ServerConfig {
+            index: unfiltered_cfg(),
+            ..ServerConfig::default()
+        },
+        Obs::noop(),
+    )
+    .unwrap();
+    server_on.install_wave(slot_batches(())).unwrap();
+    server_off.install_wave(slot_batches(())).unwrap();
+
+    for value in probe_values() {
+        let a = server_on.probe(&value, TimeRange::all()).unwrap();
+        let b = server_off.probe(&value, TimeRange::all()).unwrap();
+        assert_eq!(a.entries, b.entries, "probe {value:?}");
+        assert_eq!(
+            a.indexes_accessed, b.indexes_accessed,
+            "access count {value:?}"
+        );
+        assert!(a.partial.is_none(), "elision must never read as degraded");
+    }
+    let ghost_batch: Vec<SearchValue> = (200..205).map(SearchValue::from_u64).collect();
+    let a = server_on
+        .query_batch(&ghost_batch, TimeRange::all())
+        .unwrap();
+    let b = server_off
+        .query_batch(&ghost_batch, TimeRange::all())
+        .unwrap();
+    assert_eq!(a.per_value, b.per_value);
+    assert_eq!(a.indexes_accessed, b.indexes_accessed);
+    assert!(
+        obs_on.counter("filter.arm_elisions").get() > 0,
+        "ghost probes against a filtered server should elide whole arms"
+    );
+    server_on.shutdown().unwrap();
+    server_off.shutdown().unwrap();
+}
+
+/// Covering entries mirror their buckets through in-place adds and
+/// deletes; `check_consistency` cross-checks filter and covering
+/// against the directory after every mutation.
+#[test]
+fn covering_entries_track_adds_and_deletes() {
+    let mut vol = Volume::default();
+    let cfg = IndexConfig {
+        filter: FilterConfig {
+            covering_hot: 2,
+            ..FilterConfig::default()
+        },
+        ..IndexConfig::default()
+    };
+    let hot = SearchValue::from_u64(1);
+    let batches: Vec<DayBatch> = (1..=4)
+        .map(|d| {
+            DayBatch::new(
+                Day(d),
+                (0..3u64)
+                    .map(|i| Record::with_values(RecordId(d as u64 * 10 + i), [hot.clone()]))
+                    .collect(),
+            )
+        })
+        .collect();
+    let refs: Vec<&DayBatch> = batches.iter().take(2).collect();
+    let mut idx = wave_index::ConstituentIndex::build_packed("C", cfg, &mut vol, &refs).unwrap();
+    assert!(idx.covering_len() > 0, "hot value should be covered");
+    assert_eq!(idx.probe(&mut vol, &hot).unwrap().len(), 6);
+    idx.check_consistency(&mut vol).unwrap();
+
+    // Adds append to the covered bucket and its mirror alike.
+    idx.add_batches_in_place(&mut vol, &[&batches[2]]).unwrap();
+    assert_eq!(idx.probe(&mut vol, &hot).unwrap().len(), 9);
+    idx.check_consistency(&mut vol).unwrap();
+
+    // Deletes shrink both; the survivors stay byte-identical to an
+    // uncovered probe of the same directory.
+    let doomed: std::collections::BTreeSet<Day> = [Day(1)].into_iter().collect();
+    idx.delete_days_in_place(&mut vol, &doomed).unwrap();
+    let got = idx.probe(&mut vol, &hot).unwrap();
+    assert_eq!(got.len(), 6);
+    assert!(got.iter().all(|e| e.day != Day(1)));
+    idx.check_consistency(&mut vol).unwrap();
+
+    idx.release(&mut vol).unwrap();
+    assert_eq!(vol.live_blocks(), 0);
+}

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use wave_index::persist::{decode_index, index_to_bytes, Manifest, ManifestEntry};
+use wave_index::persist::{decode_index, index_to_bytes, FilterRef, Manifest, ManifestEntry};
 use wave_index::prelude::*;
 use wave_index::IndexError;
 use wave_obs::SplitMix64;
@@ -170,6 +170,7 @@ fn manifest_corruption_sweep() {
                 crc64: 0x0123_4567_89AB_CDEF,
                 label: "I1".into(),
                 days: vec![Day(17), Day(18), Day(19)],
+                filter: None,
             },
             ManifestEntry {
                 slot: 2,
@@ -178,6 +179,12 @@ fn manifest_corruption_sweep() {
                 crc64: 0xFEDC_BA98_7654_3210,
                 label: "T3'".into(),
                 days: vec![Day(20), Day(21), Day(22), Day(23)],
+                // A sidecar line so the sweep also flips filter refs.
+                filter: Some(FilterRef {
+                    file: "slot2.e42.filt".into(),
+                    len: 96,
+                    crc64: 0x1357_9BDF_0246_8ACE,
+                }),
             },
         ],
     };

@@ -14,6 +14,23 @@
 //! policy-construction time, so two runs with the same seed sleep the
 //! same schedule. The simulation-first repo rule (no wall-clock
 //! randomness) holds even here.
+//!
+//! Two properties make sharing one policy safe across such different
+//! callers. First, every wrapped operation must be **idempotent**: a
+//! store put rewrites the same bytes (`commit_wave` retries image,
+//! filter-sidecar, and manifest writes alike), and a probe/scan read
+//! has no effects, so a retry after a half-observed transient can
+//! never double-apply. Second, retries are **accounted, not hidden**:
+//! each caller passes its own counter (`store.retry_attempts`,
+//! `server.read_retries`, `shared.read_retries`), so a burst that the
+//! policy absorbed is still visible in the metrics — an invariant the
+//! chaos soak leans on when it asserts bursts shorter than the budget
+//! are caller-invisible.
+//!
+//! Worst-case stall is bounded by construction
+//! (`max_attempts * max_backoff`, see [`RetryPolicy`]); exhausting the
+//! budget returns the *last* error, so the caller sees the failure
+//! that actually persisted rather than the first flicker.
 
 use std::time::Duration;
 
