@@ -12,12 +12,23 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # The in-repo static analyzer: panic-free serving paths, deterministic
-# core, documented lock order, audited unsafe, span coverage — all
-# ratcheted against the committed lint-baseline.toml. Fails on any
-# growth (new debt) or shrinkage (stale baseline: run
-# `wavectl lint --fix-baseline` to lock the improvement in).
+# core, derived lock order, audited unsafe, span coverage, and the
+# call-graph dataflow rules (flush-before-commit, settle-exactly-once,
+# counter-registry, waiver-hygiene) — all ratcheted against the
+# committed lint-baseline.toml. Fails on any growth (new debt) or
+# shrinkage (stale baseline: run `wavectl lint --fix-baseline` to lock
+# the improvement in). `--json` emits the stable wave-lint/v2 report
+# with per-rule pass/fail so CI logs show exactly which rule moved.
 echo "==> wavectl lint"
 cargo run -q --release --offline -p wavectl -- lint
+cargo run -q --release --offline -p wavectl -- lint --json \
+  > target/LINT_report.json
+
+# The generated metric/span registry (crates/obs/src/names.rs) must
+# match the instrument call sites: a rename that skips
+# `wavectl lint --write-registry` fails here.
+echo "==> wavectl lint --check-registry"
+cargo run -q --release --offline -p wavectl -- lint --check-registry
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline

@@ -776,27 +776,79 @@ fn cmd_recover(dir: &Path) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `wavectl lint [DIR] [--fix-baseline]`: runs the in-repo static
-/// analyzer (see `wave-lint`) over the workspace rooted at `DIR`
-/// (default: the current directory) and checks the result against the
-/// committed `lint-baseline.toml`. A failing check — new violations,
-/// or a stale baseline that must be ratcheted down — is a hard error,
-/// so the process exits non-zero and CI fails. `--fix-baseline`
-/// regenerates the baseline file instead; it is the only sanctioned
-/// way to change it.
+/// `wavectl lint [DIR] [FLAGS]`: runs the in-repo static analyzer
+/// (see `wave-lint`) over the workspace rooted at `DIR` (default: the
+/// current directory) and checks the result against the committed
+/// `lint-baseline.toml`. A failing check — new violations, or a stale
+/// baseline that must be ratcheted down — is a hard error, so the
+/// process exits non-zero and CI fails.
+///
+/// Flags:
+/// * `--fix-baseline` regenerates the baseline file instead; it is
+///   the only sanctioned way to change it.
+/// * `--json` emits the stable `wave-lint/v2` machine format
+///   (documented in EXPERIMENTS.md) instead of text.
+/// * `--graph <fn>` dumps a function's resolved callers, callees, and
+///   effect facts from the call-graph layer (`<fn>` is a bare name or
+///   `Owner::name`).
+/// * `--write-registry` regenerates `crates/obs/src/names.rs` from
+///   the tree's literal metric/span names; `--check-registry`
+///   verifies it is up to date (the CI step).
 fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    const USAGE: &str = "(expected [DIR] [--fix-baseline] [--json] [--graph <fn>] \
+                         [--write-registry] [--check-registry])";
     let mut root = PathBuf::from(".");
     let mut fix = false;
-    for arg in args {
+    let mut json = false;
+    let mut graph: Option<String> = None;
+    let mut write_registry = false;
+    let mut check_registry = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fix-baseline" => fix = true,
+            "--json" => json = true,
+            "--graph" => {
+                graph = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            CliError::Usage("--graph needs a function name".to_string())
+                        })?
+                        .clone(),
+                );
+            }
+            "--write-registry" => write_registry = true,
+            "--check-registry" => check_registry = true,
             other if !other.starts_with('-') => root = PathBuf::from(other),
             other => {
                 return Err(CliError::Usage(format!(
-                    "unknown lint flag {other:?} (expected [DIR] [--fix-baseline])"
+                    "unknown lint flag {other:?} {USAGE}"
                 )))
             }
         }
+    }
+    if let Some(query) = graph {
+        return wave_lint::graph_dump(&root, &query).map_err(CliError::State);
+    }
+    if write_registry {
+        return wave_lint::write_registry(&root).map_err(CliError::State);
+    }
+    if check_registry {
+        let (ok, msg) = wave_lint::check_registry(&root).map_err(CliError::State)?;
+        return if ok {
+            Ok(msg)
+        } else {
+            Err(CliError::Lint(msg))
+        };
+    }
+    if json {
+        let gate = wave_lint::run_gate(&root).map_err(CliError::State)?;
+        let doc = wave_lint::render_json(&gate);
+        return if gate.ok {
+            Ok(doc)
+        } else {
+            Err(CliError::Lint(doc))
+        };
     }
     let outcome = wave_lint::run_lint(&root, fix).map_err(CliError::State)?;
     if outcome.ok {
@@ -909,28 +961,34 @@ struct PhaseTotals {
 }
 
 /// The I/O-scheduler counters (DESIGN.md §11) that get their own
-/// grouping in the report, in documented order. Absent counters
-/// render as 0 — `sched.seeks_saved` only registers on batched
-/// *reads*, and a report that silently drops it misreads as "the
-/// elevator saved nothing".
-const SCHED_COUNTERS: [&str; 4] = [
-    "sched.requests",
-    "sched.merged",
-    "sched.seeks_saved",
-    "sched.bulk_pages",
-];
+/// grouping in the report: every registered counter under the
+/// `sched.` prefix, in registry order. Derived from the generated
+/// registry (`wave_obs::names`, maintained by
+/// `wavectl lint --write-registry`) rather than a hand list, so a new
+/// or renamed counter appears here in the same commit that emits it.
+/// Absent counters render as 0 — `sched.seeks_saved` only registers
+/// on batched *reads*, and a report that silently drops it misreads
+/// as "the elevator saved nothing".
+fn sched_counters() -> Vec<&'static str> {
+    registry_counters("sched.")
+}
 
 /// The probe-pruning counters (DESIGN.md §14), grouped like the I/O
-/// scheduler's. Rendered with zeros when absent — a fresh store or an
-/// unfiltered run legitimately records nothing, and an omitted row
-/// would be indistinguishable from a wiring bug.
-const FILTER_COUNTERS: [&str; 5] = [
-    "filter.checks",
-    "filter.skips",
-    "filter.covering_hits",
-    "filter.false_positives",
-    "filter.arm_elisions",
-];
+/// scheduler's and likewise derived from the registry. Rendered with
+/// zeros when absent — a fresh store or an unfiltered run
+/// legitimately records nothing, and an omitted row would be
+/// indistinguishable from a wiring bug.
+fn filter_counters() -> Vec<&'static str> {
+    registry_counters("filter.")
+}
+
+fn registry_counters(prefix: &str) -> Vec<&'static str> {
+    wave_obs::names::COUNTERS
+        .iter()
+        .copied()
+        .filter(|n| n.starts_with(prefix))
+        .collect()
+}
 
 /// Folds a JSONL trace back into a human-readable summary: one row
 /// per paper measure (precomp/transition/post/query), the I/O
@@ -942,8 +1000,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     let mut totals: Vec<PhaseTotals> = (0..4).map(|_| PhaseTotals::default()).collect();
     let mut days = 0u64;
     let mut scheme = String::new();
-    let mut sched = [0u64; 4];
-    let mut filters = [0u64; 5];
+    let sched_names = sched_counters();
+    let filter_names = filter_counters();
+    let mut sched = vec![0u64; sched_names.len()];
+    let mut filters = vec![0u64; filter_names.len()];
     let mut metrics: Vec<String> = Vec::new();
     // (span name, arm) → (count, an example error message). Spans
     // without an arm field (whole-request roots, degraded-read
@@ -990,11 +1050,11 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
             "day_report" => days += 1,
             "metric" => {
                 let name = obj.get("metric").and_then(JsonValue::as_str).unwrap_or("?");
-                if let Some(slot) = SCHED_COUNTERS.iter().position(|c| *c == name) {
+                if let Some(slot) = sched_names.iter().position(|c| *c == name) {
                     sched[slot] = field_u64("value");
                     continue;
                 }
-                if let Some(slot) = FILTER_COUNTERS.iter().position(|c| *c == name) {
+                if let Some(slot) = filter_names.iter().position(|c| *c == name) {
                     filters[slot] = field_u64("value");
                     continue;
                 }
@@ -1039,11 +1099,11 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
         ));
     }
     out.push_str("io scheduler:\n");
-    for (name, v) in SCHED_COUNTERS.iter().zip(&sched) {
+    for (name, v) in sched_names.iter().zip(&sched) {
         out.push_str(&format!("  {name:<18} {v}\n"));
     }
     out.push_str("filters:\n");
-    for (name, v) in FILTER_COUNTERS.iter().zip(&filters) {
+    for (name, v) in filter_names.iter().zip(&filters) {
         out.push_str(&format!("  {name:<22} {v}\n"));
     }
     if !failures.is_empty() {
@@ -1843,15 +1903,25 @@ mod tests {
         assert!(report.contains("cache.hits"), "{report}");
         assert!(report.contains("dir.probe_depth"), "{report}");
         // The DESIGN.md §11 scheduler counters get their own group,
-        // with absent counters rendered as 0 rather than omitted.
+        // with absent counters rendered as 0 rather than omitted. The
+        // group is derived from the generated registry, so it must
+        // not be empty (that would mean names.rs is stale).
         assert!(report.contains("io scheduler:"), "{report}");
-        for counter in SCHED_COUNTERS {
+        assert!(
+            !sched_counters().is_empty(),
+            "registry has no sched.* counters"
+        );
+        for counter in sched_counters() {
             assert!(report.contains(counter), "{counter} missing: {report}");
         }
         // Likewise the probe-pruning group (DESIGN.md §14): present
         // even when a counter never fired, rendered as 0.
         assert!(report.contains("filters:"), "{report}");
-        for counter in FILTER_COUNTERS {
+        assert!(
+            !filter_counters().is_empty(),
+            "registry has no filter.* counters"
+        );
+        for counter in filter_counters() {
             assert!(report.contains(counter), "{counter} missing: {report}");
         }
         // No server in this workload, so arm elisions must render 0

@@ -10,6 +10,14 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
+        // A failed lint still writes its report (text or `--json`) to
+        // stdout so CI can capture one stream; the exit code carries
+        // the verdict.
+        Err(wavectl::CliError::Lint(report)) => {
+            print!("{report}");
+            eprintln!("wavectl: lint failed");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("wavectl: {e}");
             ExitCode::FAILURE

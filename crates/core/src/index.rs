@@ -212,7 +212,7 @@ impl ConstituentIndex {
                 .into_iter()
                 .try_for_each(|(value, offset, count)| {
                     let bytes = &buf[offset..offset + count as usize * ENTRY_BYTES];
-                    wb.write_at(extent, offset, bytes)?;
+                    wb.buffer_write(extent, offset, bytes)?;
                     pairs.push((
                         value,
                         BucketRef {
@@ -401,6 +401,7 @@ impl ConstituentIndex {
             }
             self.days.remove(day);
         }
+        let mut values_dropped = false;
         for value in affected {
             let bucket = *self.directory.get(&value).ok_or_else(|| {
                 IndexError::Corrupt(format!("day_values names {value} but directory lacks it"))
@@ -414,8 +415,7 @@ impl ConstituentIndex {
             let removed = (old.len() - keep.len()) as u64;
             self.entries -= removed;
             // Keep the covering mirror byte-identical to the bucket:
-            // same survivors, same order. The filter is left alone —
-            // stale bits make it a harmless superset.
+            // same survivors, same order.
             if self.covering.contains_key(&value) {
                 if keep.is_empty() {
                     self.covering.remove(&value);
@@ -425,6 +425,7 @@ impl ConstituentIndex {
             }
             if keep.is_empty() {
                 self.directory.remove(&value);
+                values_dropped = true;
                 if bucket.owned {
                     self.owned_blocks -= bucket.extent.len;
                     self.owned_buckets -= 1;
@@ -459,6 +460,16 @@ impl ConstituentIndex {
                 let slot = self.directory.get_mut(&value).expect("bucket present");
                 slot.count = count;
             }
+        }
+        // The filter is add-only, so a value whose last entry just
+        // left would otherwise keep its bits set forever: the add path
+        // rebuilds on saturation, but a delete-heavy workload never
+        // saturates and the false-positive rate would only ratchet up
+        // (DESIGN.md §14). Rebuild from the live directory whenever a
+        // value disappeared so deletes re-tighten the filter exactly
+        // like adds do.
+        if values_dropped {
+            self.rebuild_filter();
         }
         Ok(())
     }

@@ -310,3 +310,53 @@ fn covering_entries_track_adds_and_deletes() {
     idx.release(&mut vol).unwrap();
     assert_eq!(vol.live_blocks(), 0);
 }
+
+/// Deleting a value's last entry re-tightens the membership filter:
+/// the delete path rebuilds it from the live directory instead of
+/// leaving stale bits set forever (the filter itself is add-only, so
+/// without the rebuild a delete-heavy workload's false-positive rate
+/// could only ratchet up — DESIGN.md §14).
+#[test]
+fn delete_rebuilds_filter_and_sheds_stale_bits() {
+    let mut vol = Volume::default();
+    // Day 1 and day 2 use disjoint value sets, so dropping day 1
+    // removes its four values from the directory entirely.
+    let day1 = DayBatch::new(
+        Day(1),
+        (0..4u64)
+            .map(|i| Record::with_values(RecordId(i), [SearchValue::from_u64(i)]))
+            .collect(),
+    );
+    let day2 = DayBatch::new(
+        Day(2),
+        (0..4u64)
+            .map(|i| Record::with_values(RecordId(100 + i), [SearchValue::from_u64(10 + i)]))
+            .collect(),
+    );
+    let mut idx =
+        wave_index::ConstituentIndex::build_packed("C", filtered_cfg(), &mut vol, &[&day1, &day2])
+            .unwrap();
+    let f = idx.membership_filter().unwrap();
+    assert_eq!(f.inserted(), 8);
+    for i in 0..4u64 {
+        assert!(f.may_contain(&SearchValue::from_u64(i)));
+    }
+
+    let doomed: std::collections::BTreeSet<Day> = [Day(1)].into_iter().collect();
+    idx.delete_days_in_place(&mut vol, &doomed).unwrap();
+    let f = idx.membership_filter().unwrap();
+    // Rebuilt over the four survivors, not still carrying all eight.
+    assert_eq!(f.inserted(), 4);
+    for i in 0..4u64 {
+        assert!(
+            !f.may_contain(&SearchValue::from_u64(i)),
+            "stale bit survived for deleted value {i}"
+        );
+    }
+    for i in 10..14u64 {
+        assert!(f.may_contain(&SearchValue::from_u64(i)));
+    }
+    idx.check_consistency(&mut vol).unwrap();
+    idx.release(&mut vol).unwrap();
+    assert_eq!(vol.live_blocks(), 0);
+}

@@ -93,9 +93,6 @@ impl Baseline {
              # (stale baseline -- regenerate to ratchet the debt down).\n",
         );
         for (rule, files) in &self.counts {
-            if files.is_empty() {
-                continue;
-            }
             out.push_str(&format!("\n[{rule}]\n"));
             for (file, count) in files {
                 out.push_str(&format!("\"{file}\" = {count}\n"));

@@ -1,0 +1,608 @@
+//! A lightweight intra-workspace call graph over [`crate::scan`]'s
+//! token streams.
+//!
+//! This is not name resolution — it is the cheapest approximation that
+//! still lets the graph rules ([`crate::rules::derived_lock_order`],
+//! [`crate::rules::flush_commit`], [`crate::rules::settle`]) reason
+//! across function boundaries:
+//!
+//! * **Nodes** are production function items: every `fn` the scanner
+//!   found, minus test code (`#[test]`, `#[cfg(test)]` regions, whole
+//!   test/bench/example files) and minus anything declared inside a
+//!   `macro_rules!` body (those tokens are a template, not code).
+//!   Each node knows its owner type when the `fn` sits inside an
+//!   `impl` block.
+//! * **Edges** are call sites resolved by name + receiver heuristics:
+//!   `recv.m(…)` prefers methods of the caller's own impl when the
+//!   receiver is `self`, and otherwise fans out conservatively to
+//!   every method of that name in the workspace (this is how trait
+//!   methods with several impls are handled — all of them become
+//!   callees). `Type::f(…)` prefers `impl Type` methods; a bare
+//!   `f(…)` prefers free functions in the same file, then the same
+//!   crate, then anywhere. Macro invocations (`name!(…)`) and calls
+//!   whose name matches nothing in the workspace (std, local
+//!   closures) produce no edge.
+//!
+//! The bias is deliberate: over-approximate callees (extra edges make
+//! the effect analysis conservative, i.e. more findings, which the
+//! waiver/baseline machinery can absorb) and never silently drop a
+//! plausible edge.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::{matching, FileScan};
+
+/// One scanned source file plus its workspace-relative path.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Forward-slash path relative to the workspace root.
+    pub rel: String,
+    /// The scan.
+    pub scan: FileScan,
+}
+
+/// Every scanned file of the workspace, in path order.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The files.
+    pub files: Vec<SourceFile>,
+}
+
+/// One production function node.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Surrounding `impl` block's self type, when any (`impl Foo` and
+    /// `impl Trait for Foo` both record `Foo`).
+    pub owner: Option<String>,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Signature token range (see [`crate::scan::FnScope::sig`]).
+    pub sig: std::ops::Range<usize>,
+    /// Body token range including both braces.
+    pub body: std::ops::Range<usize>,
+    /// Crate the file belongs to (`crates/<name>/…`), or `""` for
+    /// top-level `src/`/`tests/` files.
+    pub krate: String,
+}
+
+/// The resolved graph.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All nodes; indices are stable fn ids.
+    pub fns: Vec<FnInfo>,
+    /// Per-fn resolved callee ids, deduplicated.
+    pub callees: Vec<Vec<usize>>,
+    /// Per-fn resolved caller ids, deduplicated.
+    pub callers: Vec<Vec<usize>>,
+    /// Per-fn call sites: `(token index in the fn's file, callee id)`.
+    /// One site may appear with several callee ids (conservative
+    /// fan-out).
+    pub sites: Vec<Vec<(usize, usize)>>,
+    /// Name → candidate fn ids (all owners), for lookups by rules.
+    pub by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the production call graph for `ws`.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut fns = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let scan = &file.scan;
+            if scan.whole_file_test {
+                continue;
+            }
+            let impls = impl_extents(&scan.tokens);
+            let macros = macro_rules_extents(&scan.tokens);
+            let krate = crate_of(&file.rel);
+            for f in &scan.fns {
+                if scan.is_test_line(f.line) {
+                    continue;
+                }
+                if macros.iter().any(|m| m.contains(&f.body.start)) {
+                    continue;
+                }
+                // Innermost enclosing impl block owns the method.
+                let owner = impls
+                    .iter()
+                    .filter(|(r, _)| r.contains(&f.body.start))
+                    .min_by_key(|(r, _)| r.end - r.start)
+                    .map(|(_, t)| t.clone());
+                fns.push(FnInfo {
+                    name: f.name.clone(),
+                    owner,
+                    file: fi,
+                    line: f.line,
+                    sig: f.sig.clone(),
+                    body: f.body.clone(),
+                    krate: krate.clone(),
+                });
+            }
+        }
+
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+
+        let mut callees = vec![Vec::new(); fns.len()];
+        let mut callers = vec![Vec::new(); fns.len()];
+        let mut sites = vec![Vec::new(); fns.len()];
+
+        // Assign call sites to the *innermost* enclosing fn so a
+        // nested fn's calls are not double-counted for its parent.
+        for id in 0..fns.len() {
+            let file = fns[id].file;
+            let toks = &ws.files[file].scan.tokens;
+            let inner: Vec<std::ops::Range<usize>> = fns
+                .iter()
+                .filter(|g| {
+                    g.file == file
+                        && g.body.start > fns[id].body.start
+                        && g.body.end <= fns[id].body.end
+                })
+                .map(|g| g.body.clone())
+                .collect();
+            let body = fns[id].body.clone();
+            for i in body {
+                if inner.iter().any(|r| r.contains(&i)) {
+                    continue;
+                }
+                let Some(site) = call_at(toks, i, fns[id].body.start) else {
+                    continue;
+                };
+                for target in resolve(&site, id, &fns, &by_name) {
+                    sites[id].push((i, target));
+                    callees[id].push(target);
+                    callers[target].push(id);
+                }
+            }
+        }
+        for v in callees.iter_mut().chain(callers.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        CallGraph {
+            fns,
+            callees,
+            callers,
+            sites,
+            by_name,
+        }
+    }
+
+    /// Candidate fn ids for `name`; empty when unknown.
+    pub fn ids_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Renders one function's resolved neighbourhood for
+    /// `wavectl lint --graph <fn>`. `query` is a bare name or
+    /// `Owner::name`.
+    pub fn dump(&self, ws: &Workspace, query: &str) -> String {
+        let (owner, name) = match query.rsplit_once("::") {
+            Some((o, n)) => (Some(o), n),
+            None => (None, query),
+        };
+        let ids: Vec<usize> = self
+            .ids_named(name)
+            .iter()
+            .copied()
+            .filter(|&id| owner.is_none_or(|o| self.fns[id].owner.as_deref() == Some(o)))
+            .collect();
+        if ids.is_empty() {
+            return format!("wave-lint: no production fn named `{query}` in the call graph\n");
+        }
+        let mut out = String::new();
+        for id in ids {
+            let f = &self.fns[id];
+            out.push_str(&format!("{}  [{}]\n", self.label(id), ws.files[f.file].rel));
+            out.push_str(&format!("  callers ({}):\n", self.callers[id].len()));
+            for &c in &self.callers[id] {
+                out.push_str(&format!("    {}\n", self.locate(ws, c)));
+            }
+            out.push_str(&format!("  callees ({}):\n", self.callees[id].len()));
+            for &c in &self.callees[id] {
+                out.push_str(&format!("    {}\n", self.locate(ws, c)));
+            }
+        }
+        out
+    }
+
+    /// `Owner::name` or `name` for display.
+    pub fn label(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    fn locate(&self, ws: &Workspace, id: usize) -> String {
+        let f = &self.fns[id];
+        format!("{}  {}:{}", self.label(id), ws.files[f.file].rel, f.line)
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug)]
+enum SiteKind {
+    /// `recv.name(…)`; the receiver token's text (`self`, a field, …).
+    Method(String),
+    /// `Qual::name(…)`; the last qualifier segment.
+    Path(String),
+    /// `name(…)`.
+    Free,
+}
+
+#[derive(Debug)]
+struct Site {
+    name: String,
+    kind: SiteKind,
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "in", "move", "let", "else",
+];
+
+/// If the ident at `i` heads a call expression, describe it.
+fn call_at(toks: &[Token], i: usize, body_start: usize) -> Option<Site> {
+    let t = &toks[i];
+    if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+        return None;
+    }
+    if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    if NON_CALLS.contains(&t.text.as_str()) {
+        return None;
+    }
+    // `fn name(` is a nested definition, `name!(...)` never matches
+    // (the `!` sits between), struct literals use `{`.
+    if i > body_start && toks[i - 1].is_ident("fn") {
+        return None;
+    }
+    let kind = if i >= body_start + 2 && toks[i - 1].is_punct('.') {
+        let recv = &toks[i - 2];
+        SiteKind::Method(recv.text.clone())
+    } else if i >= body_start + 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && matches!(toks[i - 3].kind, TokenKind::Ident | TokenKind::RawIdent)
+    {
+        SiteKind::Path(toks[i - 3].text.clone())
+    } else {
+        SiteKind::Free
+    };
+    Some(Site {
+        name: t.text.clone(),
+        kind,
+    })
+}
+
+/// Resolves a call site to candidate fn ids. See the module docs for
+/// the preference order; an empty result means "external or closure —
+/// no edge".
+fn resolve(
+    site: &Site,
+    caller: usize,
+    fns: &[FnInfo],
+    by_name: &HashMap<String, Vec<usize>>,
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(&site.name) else {
+        return Vec::new();
+    };
+    match &site.kind {
+        SiteKind::Method(recv) => {
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].owner.is_some())
+                .collect();
+            if recv == "self" {
+                let own: Vec<usize> = methods
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].owner == fns[caller].owner && fns[caller].owner.is_some())
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+            // Conservative trait-method fan-out: every impl of this
+            // method name is a possible target.
+            methods
+        }
+        SiteKind::Path(qual) => {
+            let typed: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].owner.as_deref() == Some(qual.as_str()))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+            // Lowercase qualifier is a module path (`persist::commit`);
+            // match free fns by name anywhere.
+            if qual.chars().next().is_some_and(|c| c.is_lowercase()) {
+                return cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].owner.is_none())
+                    .collect();
+            }
+            // Unknown type qualifier (std, enum variant ctor): no edge
+            // rather than a wild guess.
+            Vec::new()
+        }
+        SiteKind::Free => {
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].owner.is_none())
+                .collect();
+            let same_file: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].file == fns[caller].file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let same_crate: Vec<usize> = free
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].krate == fns[caller].krate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            free
+        }
+    }
+}
+
+/// `(body token range, self type)` for every `impl` block. The self
+/// type is the last path segment before the body (after `for` when
+/// present), generics skipped.
+fn impl_extents(toks: &[Token]) -> Vec<(std::ops::Range<usize>, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Only `impl` *items* count. In type position (`-> impl Fn(…)`,
+        // `x: impl Trait`) the previous token is `>`/`:`/`(`/`,`/…;
+        // an item can only follow `}`, `;`, `]` (attribute), `{`
+        // (module body), `unsafe`, or the start of the file.
+        let item_position = i == 0 || {
+            let p = &toks[i - 1];
+            p.is_punct('}')
+                || p.is_punct(';')
+                || p.is_punct(']')
+                || p.is_punct('{')
+                || p.is_ident("unsafe")
+        };
+        if item_position && toks[i].is_ident("impl") {
+            if let Some((range, ty)) = parse_impl_header(toks, i) {
+                out.push((range, ty));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_impl_header(toks: &[Token], at: usize) -> Option<(std::ops::Range<usize>, String)> {
+    // Walk the header up to the body `{` at delimiter depth 0,
+    // remembering the last ident seen since the most recent `for`
+    // (or since `impl` when there is no `for`). Angle brackets are
+    // tracked so `Foo<Bar>`'s parameter does not clobber the type
+    // name; `->` cannot appear in an impl header so a bare `>`/`<` is
+    // always a generic delimiter here.
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut ty: Option<String> = None;
+    let mut k = at + 1;
+    while k < toks.len() {
+        let t = &toks[k];
+        match t.kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('<') if depth == 0 => angle += 1,
+            TokenKind::Punct('>') if depth == 0 => angle -= 1,
+            TokenKind::Punct('{') if depth == 0 && angle <= 0 => {
+                let close = matching(toks, k, '{', '}')?;
+                return ty.map(|ty| (k..close + 1, ty));
+            }
+            TokenKind::Punct(';') if depth == 0 && angle <= 0 => return None,
+            TokenKind::Ident | TokenKind::RawIdent if depth == 0 && angle == 0 => {
+                match t.text.as_str() {
+                    "for" => ty = None, // restart: the self type follows `for`
+                    "where" => {
+                        // Type is complete; skip ahead to the body.
+                        while k < toks.len() && !toks[k].is_punct('{') {
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    "dyn" | "mut" => {}
+                    _ => ty = Some(t.text.clone()),
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Body token ranges of `macro_rules!` definitions; `fn` items inside
+/// are templates and must not become call-graph nodes.
+fn macro_rules_extents(toks: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if toks[i].is_ident("macro_rules")
+            && toks[i + 1].is_punct('!')
+            && matches!(toks[i + 2].kind, TokenKind::Ident | TokenKind::RawIdent)
+            && toks[i + 3].is_punct('{')
+        {
+            if let Some(close) = matching(toks, i + 3, '{', '}') {
+                out.push(i + 3..close + 1);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_string()
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(rel, src)| SourceFile {
+                    rel: rel.to_string(),
+                    scan: scan_file(rel, src),
+                })
+                .collect(),
+        }
+    }
+
+    fn find(g: &CallGraph, name: &str) -> usize {
+        g.ids_named(name)[0]
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_same_crate() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&w);
+        let caller = find(&g, "caller");
+        assert_eq!(g.callees[caller].len(), 1);
+        assert_eq!(g.fns[g.callees[caller][0]].file, 0);
+    }
+
+    #[test]
+    fn self_method_calls_prefer_own_impl() {
+        let src = "struct A; struct B;\n\
+                   impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+                   impl B { fn step(&self) {} }\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let go = find(&g, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        assert_eq!(g.fns[g.callees[go][0]].owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_to_every_impl() {
+        let src = "struct A; struct B;\n\
+                   impl A { fn step(&self) {} }\n\
+                   impl B { fn step(&self) {} }\n\
+                   fn go(x: &dyn Steppable) { x.step(); }\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let go = find(&g, "go");
+        assert_eq!(g.callees[go].len(), 2, "{g:?}");
+    }
+
+    #[test]
+    fn path_calls_resolve_by_owner_type() {
+        let src = "struct A; struct B;\n\
+                   impl A { fn make() {} }\n\
+                   impl B { fn make() {} }\n\
+                   fn go() { A::make(); }\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let go = find(&g, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        assert_eq!(g.fns[g.callees[go][0]].owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_self_type() {
+        let src = "impl std::fmt::Display for Thing {\n\
+                       fn fmt(&self) {}\n\
+                   }\n\
+                   impl<T: Ord> Wrapper<T> {\n\
+                       fn peek(&self) {}\n\
+                   }\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        assert_eq!(g.fns[find(&g, "fmt")].owner.as_deref(), Some("Thing"));
+        assert_eq!(g.fns[find(&g, "peek")].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn test_items_and_macro_bodies_are_excluded() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() { helper(); }\n}\n\
+                   macro_rules! gen {\n    () => { fn templated() {} };\n}\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let names: Vec<&str> = g.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["live"], "{names:?}");
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let src = "fn go() { println!(\"x\"); helper(); }\nfn helper() {}\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let go = find(&g, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        assert_eq!(g.fns[g.callees[go][0]].name, "helper");
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_inner_fn() {
+        let src = "fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\nfn leaf() {}\n";
+        let w = ws(&[("crates/a/src/lib.rs", src)]);
+        let g = CallGraph::build(&w);
+        let outer = find(&g, "outer");
+        let inner = find(&g, "inner");
+        let leaf = find(&g, "leaf");
+        assert_eq!(g.callees[outer], vec![inner]);
+        assert_eq!(g.callees[inner], vec![leaf]);
+    }
+
+    #[test]
+    fn dump_lists_callers_and_callees() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let g = CallGraph::build(&w);
+        let text = g.dump(&w, "b");
+        assert!(text.contains("callers (1):"), "{text}");
+        assert!(text.contains("callees (1):"), "{text}");
+        assert!(text.contains("crates/a/src/lib.rs"), "{text}");
+        assert!(g.dump(&w, "nope").contains("no production fn"));
+    }
+}

@@ -6,8 +6,10 @@
 //! bit-identically — are enforced by *code shape*, not just tests:
 //! the serving path must not panic, core crates must not read ambient
 //! time or entropy, locks follow one documented order, `unsafe` is
-//! audited, and engine entry points are observable. This crate makes
-//! those shapes machine-checked, with zero external dependencies (the
+//! audited, engine entry points are observable, buffered writes flush
+//! before the commit flip, fan-out requests settle exactly once, and
+//! every emitted metric name is registered. This crate makes those
+//! shapes machine-checked, with zero external dependencies (the
 //! workspace builds offline; so does its analyzer).
 //!
 //! # Pieces
@@ -17,21 +19,34 @@
 //!   raw identifiers.
 //! * [`scan`] — item/scope scanning: test regions, function bodies,
 //!   `// lint: allow(rule)` waivers.
-//! * [`rules`] — the five rules; each documents its own scope.
+//! * [`callgraph`] — production fn extraction and call-edge
+//!   resolution by name + receiver heuristics (v2).
+//! * [`effects`] — per-fn facts (locks, buffers, settles) pushed
+//!   along call edges to a fixpoint (v2).
+//! * [`registry`] — the generated metric/span name registry
+//!   (`crates/obs/src/names.rs`) and its collector.
+//! * [`rules`] — the rule catalogue; each rule documents its scope.
 //! * [`baseline`] — the committed `lint-baseline.toml` freeze file
 //!   and its two-sided ratchet.
 //!
 //! # Usage
 //!
 //! `wavectl lint [DIR]` checks the workspace rooted at `DIR` (default
-//! `.`) against its committed baseline; `wavectl lint --fix-baseline`
-//! regenerates the baseline after a deliberate change. See DESIGN.md
-//! "Static analysis & invariants".
+//! `.`) against its committed baseline; `--fix-baseline` regenerates
+//! the baseline after a deliberate change (the only sanctioned way to
+//! change it); `--json` emits the stable `wave-lint/v2` machine
+//! format; `--graph <fn>` dumps a function's resolved callers,
+//! callees, and effect facts; `--write-registry` / `--check-registry`
+//! maintain the generated name registry. See DESIGN.md "Static
+//! analysis & invariants".
 
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod effects;
 pub mod lexer;
+pub mod registry;
 pub mod rules;
 pub mod scan;
 
@@ -39,8 +54,14 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use baseline::{compare, Baseline};
-use rules::{all_rules, Violation};
+use baseline::{compare, Baseline, Comparison};
+use callgraph::{CallGraph, SourceFile, Workspace};
+use effects::Effects;
+use rules::{all_rules, graph_rules, rule_catalog, Violation};
+
+/// Rule name the engine's stale-waiver post-pass reports under (the
+/// reason-less-waiver half lives in [`rules::WaiverHygiene`]).
+const WAIVER_RULE: &str = "waiver-hygiene";
 
 /// Name of the committed baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
@@ -54,42 +75,110 @@ pub struct LintReport {
     pub files_scanned: usize,
 }
 
-/// Lints every Rust source file in the workspace at `root`.
-///
-/// Scans `crates/`, `src/`, `tests/`, and `examples/`, skipping
-/// `target/` and hidden directories. In-source waivers are already
-/// applied to the returned violations.
-pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
-    let mut files = Vec::new();
+/// Reads and scans every Rust source file in the workspace at `root`:
+/// `crates/`, `src/`, `tests/`, and `examples/`, skipping `target/`
+/// and hidden directories.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
         let dir = root.join(top);
         if dir.is_dir() {
-            collect_rs_files(&dir, &mut files)?;
+            collect_rs_files(&dir, &mut paths)?;
         }
     }
-    files.sort();
-
-    let rules = all_rules();
-    let mut violations = Vec::new();
-    for path in &files {
+    paths.sort();
+    let mut files = Vec::new();
+    for path in &paths {
         let rel = rel_path(root, path);
         let src = fs::read_to_string(path)?;
         let scan = scan::scan_file(&rel, &src);
-        for rule in &rules {
-            let mut found = Vec::new();
-            rule.check(&rel, &scan, &mut found);
-            violations.extend(
-                found
-                    .into_iter()
-                    .filter(|v| !scan.is_allowed(v.rule, v.line)),
-            );
+        files.push(SourceFile { rel, scan });
+    }
+    Ok(Workspace { files })
+}
+
+/// Runs every rule over an already-loaded workspace. In-source
+/// waivers are applied centrally here, and waivers that suppressed
+/// nothing are themselves reported (as `waiver-hygiene` findings) —
+/// a hole that no longer covers anything must be closed.
+pub fn analyze(ws: &Workspace) -> LintReport {
+    let graph = CallGraph::build(ws);
+    let fx = Effects::compute(ws, &graph);
+
+    let mut raw = Vec::new();
+    let per_file = all_rules();
+    for file in &ws.files {
+        for rule in &per_file {
+            rule.check(&file.rel, &file.scan, &mut raw);
         }
     }
+    for rule in graph_rules() {
+        rule.check(ws, &graph, &fx, &mut raw);
+    }
+
+    // Central waiver application. A waiver on line L covers findings
+    // of its rule on L and L+1; every waiver that fires is "used".
+    let mut used: Vec<(usize, u32, String)> = Vec::new(); // (file idx, waiver line, rule)
+    let mut violations = Vec::new();
+    for v in raw {
+        let Some(fi) = ws.files.iter().position(|f| f.rel == v.file) else {
+            violations.push(v);
+            continue;
+        };
+        let scan = &ws.files[fi].scan;
+        let waiver = scan
+            .allows
+            .iter()
+            .find(|(l, r)| r == v.rule && (*l == v.line || *l + 1 == v.line));
+        match waiver {
+            Some((l, r)) => used.push((fi, *l, r.clone())),
+            None => violations.push(v),
+        }
+    }
+
+    // Stale-waiver pass: production waivers that suppressed nothing.
+    // These go through the same waiver filter, so a deliberate
+    // exception can be documented with
+    // `lint: allow(waiver-hygiene) -- reason`.
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.scan.whole_file_test {
+            continue;
+        }
+        for (line, rule) in &file.scan.allows {
+            if used
+                .iter()
+                .any(|(ufi, ul, ur)| *ufi == fi && ul == line && ur == rule)
+            {
+                continue;
+            }
+            let finding_line = *line;
+            if file.scan.is_allowed(WAIVER_RULE, finding_line) {
+                continue;
+            }
+            violations.push(Violation {
+                rule: WAIVER_RULE,
+                file: file.rel.clone(),
+                line: finding_line,
+                message: format!(
+                    "stale waiver: `allow({rule})` suppresses nothing on lines {} or {} — \
+                     delete it",
+                    finding_line,
+                    finding_line + 1
+                ),
+            });
+        }
+    }
+
     violations.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
-    Ok(LintReport {
+    LintReport {
         violations,
-        files_scanned: files.len(),
-    })
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Lints every Rust source file in the workspace at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    Ok(analyze(&load_workspace(root)?))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -118,6 +207,201 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// One row of the per-rule summary.
+#[derive(Debug)]
+pub struct RuleRow {
+    /// Rule name.
+    pub rule: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Total frozen count in the baseline.
+    pub baseline: usize,
+    /// Total current count.
+    pub current: usize,
+    /// No drift in either direction for this rule.
+    pub ok: bool,
+}
+
+/// A full gate evaluation: the lint pass, the committed baseline, and
+/// the two-sided comparison between them.
+#[derive(Debug)]
+pub struct GateResult {
+    /// The lint pass.
+    pub report: LintReport,
+    /// The committed baseline (empty when the file is missing).
+    pub baseline: Baseline,
+    /// Whether `lint-baseline.toml` existed at all.
+    pub baseline_found: bool,
+    /// The two-sided comparison.
+    pub cmp: Comparison,
+    /// Per-rule totals, in catalogue order.
+    pub rows: Vec<RuleRow>,
+    /// Overall verdict.
+    pub ok: bool,
+}
+
+/// Evaluates the full gate for the workspace at `root`.
+///
+/// `Err` is operational failure (unreadable tree, corrupt baseline);
+/// a failing *check* is `Ok` with `ok: false`.
+pub fn run_gate(root: &Path) -> Result<GateResult, String> {
+    let report =
+        lint_workspace(root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
+    let found = read_baseline(&root.join(BASELINE_FILE))?;
+    let baseline_found = found.is_some();
+    let baseline = found.unwrap_or_default();
+    let cmp = compare(&report.violations, &baseline);
+    let current = Baseline::from_violations(&report.violations);
+    let rows = rule_catalog()
+        .into_iter()
+        .map(|(rule, description)| RuleRow {
+            rule,
+            description,
+            baseline: baseline.rule_total(rule),
+            current: current.rule_total(rule),
+            ok: !cmp
+                .grown
+                .iter()
+                .chain(cmp.stale.iter())
+                .any(|d| d.rule == rule),
+        })
+        .collect();
+    let ok = baseline_found && cmp.is_clean();
+    Ok(GateResult {
+        report,
+        baseline,
+        baseline_found,
+        cmp,
+        rows,
+        ok,
+    })
+}
+
+/// Renders a [`GateResult`] for the terminal, with the per-rule
+/// PASS/FAIL summary.
+pub fn render_text(gate: &GateResult) -> String {
+    let mut out = String::new();
+    if !gate.baseline_found {
+        out.push_str(&format!(
+            "wave-lint: no {BASELINE_FILE}; run `wavectl lint --fix-baseline` to freeze \
+             the current state\n"
+        ));
+    }
+    for d in &gate.cmp.grown {
+        out.push_str(&format!(
+            "wave-lint: NEW violations of `{}` in {} ({} baseline, {} now):\n",
+            d.rule, d.file, d.baseline, d.current
+        ));
+        for v in gate
+            .report
+            .violations
+            .iter()
+            .filter(|v| v.rule == d.rule && v.file == d.file)
+        {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    for d in &gate.cmp.stale {
+        out.push_str(&format!(
+            "wave-lint: STALE baseline for `{}` in {}: {} frozen but only {} remain.\n  \
+             Lock the improvement in: run `wavectl lint --fix-baseline` and commit the file.\n",
+            d.rule, d.file, d.baseline, d.current
+        ));
+    }
+    out.push_str(&format!(
+        "wave-lint: {} ({} files scanned, {} frozen baseline violations)\n",
+        if gate.ok { "clean" } else { "FAILED" },
+        gate.report.files_scanned,
+        gate.cmp.frozen
+    ));
+    out.push_str("  rule                     baseline  current  verdict\n");
+    for row in &gate.rows {
+        out.push_str(&format!(
+            "  {:<24} {:>8}  {:>7}  {}  {}\n",
+            row.rule,
+            row.baseline,
+            row.current,
+            if row.ok { "PASS" } else { "FAIL" },
+            row.description
+        ));
+    }
+    if !gate.ok && gate.baseline_found {
+        out.push_str(&format!(
+            "wave-lint: FAILED ({} grown, {} stale)\n",
+            gate.cmp.grown.len(),
+            gate.cmp.stale.len()
+        ));
+    }
+    out
+}
+
+fn json_str(out: &mut String, s: &str) {
+    // `escape_into` writes the surrounding quotes itself.
+    wave_obs::json::escape_into(out, s);
+}
+
+/// Renders a [`GateResult`] as the stable `wave-lint/v2` JSON schema
+/// (documented in EXPERIMENTS.md): one object with `schema`, `ok`,
+/// `files_scanned`, per-rule `rules[]`, post-waiver `violations[]`,
+/// and two-sided `drift.grown[]`/`drift.stale[]`.
+pub fn render_json(gate: &GateResult) -> String {
+    let mut out = String::from("{\"schema\":\"wave-lint/v2\",\"ok\":");
+    out.push_str(if gate.ok { "true" } else { "false" });
+    out.push_str(&format!(
+        ",\"files_scanned\":{},\"rules\":[",
+        gate.report.files_scanned
+    ));
+    for (i, row) in gate.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        json_str(&mut out, row.rule);
+        out.push_str(",\"description\":");
+        json_str(&mut out, row.description);
+        out.push_str(&format!(
+            ",\"baseline\":{},\"current\":{},\"ok\":{}}}",
+            row.baseline, row.current, row.ok
+        ));
+    }
+    out.push_str("],\"violations\":[");
+    for (i, v) in gate.report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        json_str(&mut out, v.rule);
+        out.push_str(",\"file\":");
+        json_str(&mut out, &v.file);
+        out.push_str(&format!(",\"line\":{},\"message\":", v.line));
+        json_str(&mut out, &v.message);
+        out.push('}');
+    }
+    out.push_str("],\"drift\":{");
+    for (key, list) in [("grown", &gate.cmp.grown), ("stale", &gate.cmp.stale)] {
+        if key == "stale" {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":["));
+        for (i, d) in list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json_str(&mut out, &d.rule);
+            out.push_str(",\"file\":");
+            json_str(&mut out, &d.file);
+            out.push_str(&format!(
+                ",\"baseline\":{},\"current\":{}}}",
+                d.baseline, d.current
+            ));
+        }
+        out.push(']');
+    }
+    out.push_str("}}\n");
+    out
+}
+
 /// Outcome of a full `wavectl lint` run, rendered for the terminal.
 #[derive(Debug)]
 pub struct LintOutcome {
@@ -135,13 +419,17 @@ pub struct LintOutcome {
 /// `Err` is operational failure (unreadable tree, corrupt baseline);
 /// a failing *check* is `Ok` with `ok: false`.
 pub fn run_lint(root: &Path, fix_baseline: bool) -> Result<LintOutcome, String> {
-    let report =
-        lint_workspace(root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
-    let baseline_path = root.join(BASELINE_FILE);
-
     if fix_baseline {
+        let baseline_path = root.join(BASELINE_FILE);
+        let report =
+            lint_workspace(root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
         let old = read_baseline(&baseline_path)?.unwrap_or_default();
-        let new = Baseline::from_violations(&report.violations);
+        let mut new = Baseline::from_violations(&report.violations);
+        // Every catalogued rule gets its section, even when empty —
+        // the file documents the full rule set it freezes.
+        for (rule, _) in rule_catalog() {
+            new.counts.entry(rule.to_string()).or_default();
+        }
         fs::write(&baseline_path, new.to_toml())
             .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
         let mut out = format!(
@@ -149,10 +437,10 @@ pub fn run_lint(root: &Path, fix_baseline: bool) -> Result<LintOutcome, String> 
             report.violations.len(),
             report.files_scanned
         );
-        for rule in all_rules() {
-            let (was, now) = (old.rule_total(rule.name()), new.rule_total(rule.name()));
+        for (rule, _) in rule_catalog() {
+            let (was, now) = (old.rule_total(rule), new.rule_total(rule));
             if was != now {
-                out.push_str(&format!("  {}: {} -> {}\n", rule.name(), was, now));
+                out.push_str(&format!("  {rule}: {was} -> {now}\n"));
             }
         }
         return Ok(LintOutcome {
@@ -161,69 +449,10 @@ pub fn run_lint(root: &Path, fix_baseline: bool) -> Result<LintOutcome, String> 
         });
     }
 
-    let baseline = match read_baseline(&baseline_path)? {
-        Some(b) => b,
-        None => {
-            return Ok(LintOutcome {
-                report: format!(
-                    "wave-lint: no {BASELINE_FILE} at {}; run `wavectl lint --fix-baseline` \
-                     to freeze the current state\n",
-                    root.display()
-                ),
-                ok: false,
-            })
-        }
-    };
-
-    let cmp = compare(&report.violations, &baseline);
-    let mut out = String::new();
-    if cmp.is_clean() {
-        out.push_str(&format!(
-            "wave-lint: clean ({} files scanned, {} frozen baseline violations)\n",
-            report.files_scanned, cmp.frozen
-        ));
-        for rule in all_rules() {
-            out.push_str(&format!(
-                "  {:>20}  frozen {:>3}  {}\n",
-                rule.name(),
-                baseline.rule_total(rule.name()),
-                rule.description()
-            ));
-        }
-        return Ok(LintOutcome {
-            report: out,
-            ok: true,
-        });
-    }
-
-    for d in &cmp.grown {
-        out.push_str(&format!(
-            "wave-lint: NEW violations of `{}` in {} ({} baseline, {} now):\n",
-            d.rule, d.file, d.baseline, d.current
-        ));
-        for v in report
-            .violations
-            .iter()
-            .filter(|v| v.rule == d.rule && v.file == d.file)
-        {
-            out.push_str(&format!("  {v}\n"));
-        }
-    }
-    for d in &cmp.stale {
-        out.push_str(&format!(
-            "wave-lint: STALE baseline for `{}` in {}: {} frozen but only {} remain.\n  \
-             Lock the improvement in: run `wavectl lint --fix-baseline` and commit the file.\n",
-            d.rule, d.file, d.baseline, d.current
-        ));
-    }
-    out.push_str(&format!(
-        "wave-lint: FAILED ({} grown, {} stale)\n",
-        cmp.grown.len(),
-        cmp.stale.len()
-    ));
+    let gate = run_gate(root)?;
     Ok(LintOutcome {
-        report: out,
-        ok: false,
+        report: render_text(&gate),
+        ok: gate.ok,
     })
 }
 
@@ -235,4 +464,65 @@ fn read_baseline(path: &Path) -> Result<Option<Baseline>, String> {
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(format!("cannot read {}: {e}", path.display())),
     }
+}
+
+/// Regenerates `crates/obs/src/names.rs` from the current tree.
+/// Returns a one-line summary.
+pub fn write_registry(root: &Path) -> Result<String, String> {
+    let ws = load_workspace(root).map_err(|e| format!("cannot scan {}: {e}", root.display()))?;
+    let sets = registry::collect(&ws);
+    let path = root.join(registry::REGISTRY_FILE);
+    fs::write(&path, registry::render(&sets))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(format!(
+        "wave-lint: registry written to {} ({} counters, {} gauges, {} histograms, {} spans)\n",
+        registry::REGISTRY_FILE,
+        sets.counters.len(),
+        sets.gauges.len(),
+        sets.histograms.len(),
+        sets.spans.len()
+    ))
+}
+
+/// Regenerates the registry in memory and diffs it against the
+/// committed `crates/obs/src/names.rs`. `ok` is false when the file
+/// is missing or out of date.
+pub fn check_registry(root: &Path) -> Result<(bool, String), String> {
+    let ws = load_workspace(root).map_err(|e| format!("cannot scan {}: {e}", root.display()))?;
+    let expect = registry::render(&registry::collect(&ws));
+    let path = root.join(registry::REGISTRY_FILE);
+    let got = fs::read_to_string(&path).unwrap_or_default();
+    if got == expect {
+        Ok((
+            true,
+            format!("wave-lint: {} is up to date\n", registry::REGISTRY_FILE),
+        ))
+    } else {
+        Ok((
+            false,
+            format!(
+                "wave-lint: {} is OUT OF DATE — run `wavectl lint --write-registry` and \
+                 commit the result\n",
+                registry::REGISTRY_FILE
+            ),
+        ))
+    }
+}
+
+/// Builds the call graph and dumps `query`'s resolved callers,
+/// callees, and effect facts (`wavectl lint --graph <fn>`).
+pub fn graph_dump(root: &Path, query: &str) -> Result<String, String> {
+    let ws = load_workspace(root).map_err(|e| format!("cannot scan {}: {e}", root.display()))?;
+    let graph = CallGraph::build(&ws);
+    let fx = Effects::compute(&ws, &graph);
+    let mut out = graph.dump(&ws, query);
+    let name = query.rsplit_once("::").map(|(_, n)| n).unwrap_or(query);
+    for &id in graph.ids_named(name) {
+        out.push_str(&format!(
+            "  effects of {}: {}\n",
+            graph.label(id),
+            fx.describe(id)
+        ));
+    }
+    Ok(out)
 }

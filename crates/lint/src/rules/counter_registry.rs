@@ -1,0 +1,138 @@
+//! `counter-registry`: every literal metric/span name the engine
+//! emits must appear in the generated registry
+//! (`crates/obs/src/names.rs`).
+//!
+//! The registry is what `wavectl report` builds its counter groups
+//! from, so a name that is emitted but unregistered is a metric the
+//! report will silently never show — exactly the failure mode of
+//! PR 6's `kind`→`op` rename. The rule closes one direction (emit ⇒
+//! registered); the `--check-registry` CI step closes the other
+//! (registered ⇒ still emitted) by regenerating and diffing.
+//!
+//! Scope: production code everywhere except `crates/obs/` itself (the
+//! instrument definitions). Names built at runtime (`format!`) have
+//! no literal to check and are skipped — they are likewise absent
+//! from the registry and from the report's groups.
+
+use crate::registry::{metric_sites, MetricKind};
+use crate::rules::{Rule, Violation};
+use crate::scan::FileScan;
+
+/// See the [module docs](self). The lists default to the committed
+/// registry; tests inject their own.
+pub struct CounterRegistry {
+    /// Registered counter names.
+    pub counters: &'static [&'static str],
+    /// Registered gauge names.
+    pub gauges: &'static [&'static str],
+    /// Registered histogram names.
+    pub histograms: &'static [&'static str],
+    /// Registered span names.
+    pub spans: &'static [&'static str],
+}
+
+impl Default for CounterRegistry {
+    fn default() -> Self {
+        CounterRegistry {
+            counters: wave_obs::names::COUNTERS,
+            gauges: wave_obs::names::GAUGES,
+            histograms: wave_obs::names::HISTOGRAMS,
+            spans: wave_obs::names::SPANS,
+        }
+    }
+}
+
+impl Rule for CounterRegistry {
+    fn name(&self) -> &'static str {
+        "counter-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "every literal metric/span name must be in the generated registry (names.rs)"
+    }
+
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>) {
+        if rel_path.starts_with("crates/obs/") {
+            return;
+        }
+        for site in metric_sites(scan) {
+            let (list, what) = match site.kind {
+                MetricKind::Counter => (self.counters, "counter"),
+                MetricKind::Gauge => (self.gauges, "gauge"),
+                MetricKind::Histogram => (self.histograms, "histogram"),
+                MetricKind::Span => (self.spans, "span"),
+            };
+            if !list.contains(&site.name.as_str()) {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: rel_path.to_string(),
+                    line: site.line,
+                    message: format!(
+                        "{what} name \"{}\" is not in the generated registry — run \
+                         `wavectl lint --write-registry` and commit crates/obs/src/names.rs",
+                        site.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn rule() -> CounterRegistry {
+        CounterRegistry {
+            counters: &["disk.seeks"],
+            gauges: &[],
+            histograms: &[],
+            spans: &["commit_wave"],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        let path = "crates/core/src/x.rs";
+        let scan = scan_file(path, src);
+        let mut out = Vec::new();
+        rule().check(path, &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn registered_and_dynamic_names_are_clean() {
+        let src = "fn f(obs: &Obs, i: usize) {\n\
+            obs.counter(\"disk.seeks\").add(1);\n\
+            let s = obs.root_span(\"commit_wave\", &[]);\n\
+            obs.counter(&format!(\"server.arm{i}.x\")).add(1);\n\
+        }\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn unregistered_names_are_flagged_per_kind() {
+        let src = "fn f(obs: &Obs) {\n\
+            obs.counter(\"disk.renamed\").add(1);\n\
+            obs.gauge(\"disk.seeks\").set(1.0);\n\
+        }\n";
+        let got = run(src);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got[0].message.contains("counter name \"disk.renamed\""));
+        // Registered as a counter, emitted as a gauge: still wrong.
+        assert!(got[1].message.contains("gauge name \"disk.seeks\""));
+    }
+
+    #[test]
+    fn obs_crate_and_test_code_are_out_of_scope() {
+        let src = "fn f(obs: &Obs) { obs.counter(\"whatever\").add(1); }\n";
+        let scan = scan_file("crates/obs/src/lib.rs", src);
+        let mut out = Vec::new();
+        rule().check("crates/obs/src/lib.rs", &scan, &mut out);
+        assert!(out.is_empty());
+
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n fn t(obs: &Obs) { obs.counter(\"x\").add(1); }\n}\n";
+        assert!(run(test_src).is_empty());
+    }
+}

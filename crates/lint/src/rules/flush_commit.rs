@@ -1,0 +1,324 @@
+//! `flush-before-commit`: buffered index writes must be flushed to
+//! the volume before `commit_wave` can persist them.
+//!
+//! `commit_wave`'s phase 1 reads index pages back *from the volume*
+//! (`index_to_bytes`) to write the per-slot images; data still
+//! sitting in a `WriteBuffer` is invisible to it, so a path that
+//! buffers writes and reaches the manifest flip without a `flush()`
+//! commits a stale image — silently, because the buffer itself is
+//! dropped afterwards. PR 5 kept this rule local to the builders by
+//! convention; this makes it machine-checked.
+//!
+//! Per production function (in `crates/core`, `crates/storage`, and
+//! `crates/cli`), the rule tracks every `WriteBuffer` the body can
+//! see — `let`-bound locals created via `WriteBuffer::new(…)` and any
+//! `&mut WriteBuffer` parameter — through a linear token walk:
+//!
+//! * `buf.buffer_write(…)` marks the buffer dirty;
+//! * `buf.flush(…)` marks it clean;
+//! * passing the buffer to a callee applies that callee's
+//!   [`BufferOutcome`] (a helper that buffers-then-flushes leaves the
+//!   caller clean; one that only buffers leaves it dirty);
+//! * calling `commit_wave` — directly, or through any callee that
+//!   [`crate::effects`] says may reach it — while a tracked buffer is
+//!   dirty is a violation;
+//! * a function that *ends* with a dirty local buffer is also flagged:
+//!   the buffer is dropped and the writes are lost before any later
+//!   commit could see them.
+//!
+//! The walk is a linear approximation (no branch sensitivity): a
+//! flush anywhere before the commit token counts. That direction is
+//! safe for this rule's purpose — the builders it guards are
+//! straight-line — and keeps the analysis waiver-friendly where it is
+//! not.
+
+use crate::callgraph::{CallGraph, Workspace};
+use crate::effects::{write_buffer_param, BufferOutcome, Effects};
+use crate::lexer::TokenKind;
+use crate::rules::{GraphRule, Violation};
+use crate::scan::matching;
+use std::collections::HashMap;
+
+/// Path prefixes the rule applies to.
+const SCOPES: &[&str] = &["crates/core/src/", "crates/storage/src/", "crates/cli/src/"];
+
+/// See the [module docs](self).
+pub struct FlushBeforeCommit;
+
+impl GraphRule for FlushBeforeCommit {
+    fn name(&self) -> &'static str {
+        "flush-before-commit"
+    }
+
+    fn description(&self) -> &'static str {
+        "WriteBuffer contents must be flushed before any path into commit_wave"
+    }
+
+    fn check(&self, ws: &Workspace, graph: &CallGraph, fx: &Effects, out: &mut Vec<Violation>) {
+        for id in 0..graph.fns.len() {
+            let f = &graph.fns[id];
+            let rel = &ws.files[f.file].rel;
+            if !SCOPES.iter().any(|s| rel.starts_with(s)) {
+                continue;
+            }
+            let toks = &ws.files[f.file].scan.tokens;
+
+            // Tracked buffers: name → (dirty, is_local).
+            let mut bufs: HashMap<String, (bool, bool)> = HashMap::new();
+            if let Some(p) = write_buffer_param(toks, f.sig.clone()) {
+                bufs.insert(p, (false, false));
+            }
+
+            let mut commits_by_tok: HashMap<usize, usize> = HashMap::new();
+            for &(tok, callee) in &graph.sites[id] {
+                if fx.commits[callee] {
+                    commits_by_tok.insert(tok, callee);
+                }
+            }
+            let inner: Vec<std::ops::Range<usize>> = graph
+                .fns
+                .iter()
+                .filter(|g| {
+                    g.file == f.file && g.body.start > f.body.start && g.body.end <= f.body.end
+                })
+                .map(|g| g.body.clone())
+                .collect();
+
+            for i in f.body.clone() {
+                if inner.iter().any(|r| r.contains(&i)) {
+                    continue;
+                }
+                let t = &toks[i];
+                if !matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) {
+                    continue;
+                }
+                // `let [mut] b = WriteBuffer::new(…)` starts tracking.
+                if t.is_ident("WriteBuffer")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_ident("new"))
+                {
+                    if let Some(name) = let_binding_before(toks, i, f.body.start) {
+                        bufs.insert(name, (false, true));
+                    }
+                    continue;
+                }
+                if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    continue;
+                }
+                // `buf.buffer_write(` / `buf.flush(`
+                if i >= f.body.start + 2 && toks[i - 1].is_punct('.') {
+                    if let Some((dirty, _)) = bufs.get_mut(&toks[i - 2].text) {
+                        match t.text.as_str() {
+                            "buffer_write" => *dirty = true,
+                            "flush" => *dirty = false,
+                            _ => {}
+                        }
+                        continue;
+                    }
+                }
+                let dirty_names: Vec<&str> = bufs
+                    .iter()
+                    .filter(|(_, (d, _))| *d)
+                    .map(|(n, _)| n.as_str())
+                    .collect();
+                // Direct `commit_wave(` while dirty.
+                if t.is_ident("commit_wave") && !dirty_names.is_empty() {
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "commit_wave reached while `{}` still holds unflushed writes",
+                            dirty_names.join("`, `")
+                        ),
+                    });
+                    continue;
+                }
+                // Callee that may reach commit_wave while dirty.
+                if let Some(&callee) = commits_by_tok.get(&i) {
+                    if !dirty_names.is_empty() {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "call to `{}` may reach commit_wave while `{}` still holds \
+                                 unflushed writes",
+                                graph.label(callee),
+                                dirty_names.join("`, `")
+                            ),
+                        });
+                        continue;
+                    }
+                }
+                // Passing a tracked buffer to a helper applies the
+                // helper's outcome.
+                if let Some(close) = matching(toks, i + 1, '(', ')') {
+                    let args = &toks[i + 1..close];
+                    let passed: Vec<String> = bufs
+                        .keys()
+                        .filter(|n| args.iter().any(|a| a.is_ident(n)))
+                        .cloned()
+                        .collect();
+                    if passed.is_empty() {
+                        continue;
+                    }
+                    let mut outcome = BufferOutcome::Untouched;
+                    for &c in graph.ids_named(&t.text) {
+                        match fx.buffer_outcome[c] {
+                            BufferOutcome::Untouched => {}
+                            o => outcome = o,
+                        }
+                    }
+                    if outcome != BufferOutcome::Untouched {
+                        for n in passed {
+                            bufs.get_mut(&n).unwrap().0 = outcome == BufferOutcome::Dirty;
+                        }
+                    }
+                }
+            }
+
+            // A local buffer dying dirty loses its writes.
+            for (name, (dirty, local)) in &bufs {
+                if *dirty && *local {
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: rel.clone(),
+                        line: f.line,
+                        message: format!(
+                            "`{}` ends `{name}` with unflushed writes — the buffer is dropped \
+                             and the data never reaches the volume",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+        out.dedup();
+    }
+}
+
+/// The identifier bound by the `let` statement containing token `i`,
+/// when there is one.
+fn let_binding_before(toks: &[crate::lexer::Token], i: usize, body_start: usize) -> Option<String> {
+    let mut k = i;
+    while k > body_start {
+        let p = &toks[k - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    let stmt = &toks[k..i];
+    if !stmt.first().is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    stmt.iter()
+        .skip(1)
+        .find(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent) && !t.is_ident("mut"))
+        .map(|t| t.text.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::SourceFile;
+    use crate::scan::scan_file;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let path = "crates/core/src/index.rs";
+        let ws = Workspace {
+            files: vec![SourceFile {
+                rel: path.to_string(),
+                scan: scan_file(path, src),
+            }],
+        };
+        let graph = CallGraph::build(&ws);
+        let fx = Effects::compute(&ws, &graph);
+        let mut out = Vec::new();
+        FlushBeforeCommit.check(&ws, &graph, &fx, &mut out);
+        out
+    }
+
+    #[test]
+    fn flushed_builder_is_clean() {
+        let src = "fn build(vol: &mut Volume) {\n\
+            let mut wb = WriteBuffer::new(64);\n\
+            wb.buffer_write(0, 0, &data);\n\
+            wb.flush(vol);\n\
+        }\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn direct_commit_while_dirty_is_flagged() {
+        let src = "fn build(vol: &mut Volume) {\n\
+            let mut wb = WriteBuffer::new(64);\n\
+            wb.buffer_write(0, 0, &data);\n\
+            commit_wave(&wave, vol, &mut store, &retry);\n\
+            wb.flush(vol);\n\
+        }\n";
+        let got = run(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 4);
+        assert!(got[0].message.contains("unflushed"), "{got:?}");
+    }
+
+    #[test]
+    fn commit_through_a_callee_is_flagged() {
+        let src = "fn step(vol: &mut Volume) { commit_wave(&w, vol, &mut s, &r); }\n\
+            fn build(vol: &mut Volume) {\n\
+                let mut wb = WriteBuffer::new(64);\n\
+                wb.buffer_write(0, 0, &data);\n\
+                step(vol);\n\
+            }\n";
+        let got = run(src);
+        // The dirty-at-end finding fires too; the call-site one is
+        // what this test pins down.
+        assert!(
+            got.iter()
+                .any(|v| v.line == 5 && v.message.contains("may reach commit_wave")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn helper_outcomes_transfer_to_the_caller() {
+        let clean_helper = "fn fill(wb: &mut WriteBuffer, vol: &mut Volume) {\n\
+            wb.buffer_write(0, 0, &d);\n\
+            wb.flush(vol);\n\
+        }\n\
+        fn build(vol: &mut Volume) {\n\
+            let mut wb = WriteBuffer::new(64);\n\
+            fill(&mut wb, vol);\n\
+            commit_wave(&w, vol, &mut s, &r);\n\
+        }\n";
+        assert!(run(clean_helper).is_empty(), "{:?}", run(clean_helper));
+
+        let dirty_helper = "fn fill(wb: &mut WriteBuffer) {\n\
+            wb.buffer_write(0, 0, &d);\n\
+        }\n\
+        fn build(vol: &mut Volume) {\n\
+            let mut wb = WriteBuffer::new(64);\n\
+            fill(&mut wb);\n\
+            commit_wave(&w, vol, &mut s, &r);\n\
+            wb.flush(vol);\n\
+        }\n";
+        let got = run(dirty_helper);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 7);
+    }
+
+    #[test]
+    fn dropping_a_dirty_local_buffer_is_flagged() {
+        let src = "fn build() {\n\
+            let mut wb = WriteBuffer::new(64);\n\
+            wb.buffer_write(0, 0, &data);\n\
+        }\n";
+        let got = run(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("dropped"), "{got:?}");
+    }
+}

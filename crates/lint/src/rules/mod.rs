@@ -1,24 +1,43 @@
 //! The rule catalogue.
 //!
-//! Every rule implements [`Rule`]: given one scanned file it appends
-//! [`Violation`]s. Rules decide their own scope (which paths, whether
-//! test code counts) and document it on their type. In-source waivers
+//! Two kinds of rule:
+//!
+//! * [`Rule`] — per-file: given one scanned file it appends
+//!   [`Violation`]s. Enough for token-neighbourhood invariants
+//!   (panics, determinism, unsafe audits, registry membership).
+//! * [`GraphRule`] — whole-workspace: also sees the
+//!   [`crate::callgraph::CallGraph`] and the fixpoint
+//!   [`crate::effects::Effects`], for invariants that only hold (or
+//!   break) across function boundaries.
+//!
+//! Rules decide their own scope (which paths, whether test code
+//! counts) and document it on their type. In-source waivers
 //! (`// lint: allow(rule-name)` on the offending line or the line
 //! above) are applied centrally by the engine, so rules report
 //! everything they see.
 
+pub mod counter_registry;
+pub mod derived_lock_order;
 pub mod determinism;
-pub mod lock_order;
+pub mod flush_commit;
 pub mod panic_path;
+pub mod settle;
 pub mod span_coverage;
 pub mod unsafe_audit;
+pub mod waiver_hygiene;
 
+pub use counter_registry::CounterRegistry;
+pub use derived_lock_order::{DerivedLockOrder, LOCK_ORDER};
 pub use determinism::DeterministicCore;
-pub use lock_order::{LockOrder, LOCK_ORDER};
+pub use flush_commit::FlushBeforeCommit;
 pub use panic_path::NoPanicPath;
+pub use settle::SettleExactlyOnce;
 pub use span_coverage::{ObsSpanCoverage, REQUIRED_SPANS};
 pub use unsafe_audit::UnsafeAudit;
+pub use waiver_hygiene::WaiverHygiene;
 
+use crate::callgraph::{CallGraph, Workspace};
+use crate::effects::Effects;
 use crate::scan::FileScan;
 
 /// One finding: a rule, a place, and why.
@@ -44,7 +63,7 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// A static-analysis rule.
+/// A per-file static-analysis rule.
 pub trait Rule {
     /// Stable rule name (used in baselines and waivers).
     fn name(&self) -> &'static str;
@@ -56,13 +75,48 @@ pub trait Rule {
     fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>);
 }
 
-/// The full rule set, in reporting order.
+/// A whole-workspace rule over the call graph and effect facts.
+pub trait GraphRule {
+    /// Stable rule name (used in baselines and waivers).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `wavectl lint` output.
+    fn description(&self) -> &'static str;
+
+    /// Appends this rule's findings for the whole workspace.
+    fn check(&self, ws: &Workspace, graph: &CallGraph, fx: &Effects, out: &mut Vec<Violation>);
+}
+
+/// The per-file rule set, in reporting order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoPanicPath),
         Box::new(DeterministicCore),
-        Box::new(LockOrder),
         Box::new(UnsafeAudit),
         Box::new(ObsSpanCoverage),
+        Box::new(CounterRegistry::default()),
+        Box::new(WaiverHygiene),
     ]
+}
+
+/// The graph rule set, in reporting order.
+pub fn graph_rules() -> Vec<Box<dyn GraphRule>> {
+    vec![
+        Box::new(DerivedLockOrder),
+        Box::new(FlushBeforeCommit),
+        Box::new(SettleExactlyOnce),
+    ]
+}
+
+/// `(name, description)` for every rule of either kind — the stable
+/// reporting order for baselines and `wavectl lint` output.
+pub fn rule_catalog() -> Vec<(&'static str, &'static str)> {
+    let mut out: Vec<(&'static str, &'static str)> = Vec::new();
+    for r in all_rules() {
+        out.push((r.name(), r.description()));
+    }
+    for r in graph_rules() {
+        out.push((r.name(), r.description()));
+    }
+    out
 }

@@ -1,0 +1,125 @@
+//! `waiver-hygiene`: `// lint: allow(rule)` waivers must explain
+//! themselves and must actually suppress something.
+//!
+//! A waiver is a hole punched through a machine-checked invariant —
+//! acceptable only while a human can still tell *why* it is there and
+//! that it is still needed. Two checks:
+//!
+//! * **Reason-less waivers** (this rule): every production waiver
+//!   comment must carry a trailing justification after the directive,
+//!   set off by `--` or `—`:
+//!   `// lint: allow(no-panic-path) -- checked at construction`.
+//! * **Stale waivers** (engine post-pass, reported under this rule's
+//!   name): a waiver whose `(rule, line)` window suppressed zero
+//!   findings in the current run no longer earns its keep and must be
+//!   deleted. See `lint_workspace` in the crate root.
+//!
+//! Test/bench/example files are out of scope — lint fixtures need to
+//! write bare waivers to test the machinery itself.
+
+use crate::rules::{Rule, Violation};
+use crate::scan::FileScan;
+
+/// See the [module docs](self).
+pub struct WaiverHygiene;
+
+/// Whether a waiver comment carries a trailing `-- reason` / `— reason`
+/// after its last `allow(...)` directive.
+pub fn has_reason(comment: &str) -> bool {
+    let Some(i) = comment.rfind("allow(") else {
+        return false;
+    };
+    let Some(close) = comment[i..].find(')') else {
+        return false;
+    };
+    let rest = comment[i + close + 1..].trim_start();
+    for sep in ["--", "—"] {
+        if let Some(reason) = rest.strip_prefix(sep) {
+            return !reason.trim().is_empty();
+        }
+    }
+    false
+}
+
+impl Rule for WaiverHygiene {
+    fn name(&self) -> &'static str {
+        "waiver-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "lint waivers must carry a `-- reason` and still suppress something"
+    }
+
+    fn check(&self, rel_path: &str, scan: &FileScan, out: &mut Vec<Violation>) {
+        if scan.whole_file_test {
+            return;
+        }
+        for c in &scan.comments {
+            let Some(text) = crate::scan::directive_text(&c.text) else {
+                continue;
+            };
+            if !text.contains("allow(") {
+                continue;
+            }
+            if !has_reason(text) {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    message: "waiver without a reason — append `-- why this is safe` to the \
+                              directive"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_file;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let scan = scan_file(rel, src);
+        let mut out = Vec::new();
+        WaiverHygiene.check(rel, &scan, &mut out);
+        out
+    }
+
+    #[test]
+    fn reasons_satisfy_the_rule() {
+        let src = "// lint: allow(no-panic-path) -- bounds established by caller\n\
+                   let x = y.unwrap();\n\
+                   // lint: allow(derived-lock-order) — transient, measured safe\n\
+                   let g = vol.lock();\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_waivers_are_flagged_outside_test_files() {
+        let src = "// lint: allow(no-panic-path)\nlet x = y.unwrap();\n";
+        let got = run("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 1);
+
+        assert!(run("crates/lint/tests/fixtures.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_mentioning_the_syntax_are_ignored() {
+        let src = "//! Waivers look like `// lint: allow(rule)`.\n\
+                   /// Use `lint: allow(no-panic-path)` sparingly.\n\
+                   fn f() {}\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reason_detection_handles_trailing_junk() {
+        assert!(has_reason("// lint: allow(r) -- because"));
+        assert!(has_reason("// lint: allow(a, b) — unicode dash reason"));
+        assert!(!has_reason("// lint: allow(r)"));
+        assert!(!has_reason("// lint: allow(r) --"));
+        assert!(!has_reason("// no directive here"));
+    }
+}

@@ -16,6 +16,11 @@ pub struct FnScope {
     pub name: String,
     /// 1-indexed line of the `fn` keyword.
     pub line: u32,
+    /// Token-index range of the signature: from the `fn` keyword up to
+    /// (excluding) the body's opening brace. Covers parameters, return
+    /// type, and any where-clause — what [`crate::effects`] reads to
+    /// spot guard-returning helpers.
+    pub sig: std::ops::Range<usize>,
     /// Token-index range of the body, *including* both braces.
     pub body: std::ops::Range<usize>,
 }
@@ -59,6 +64,36 @@ impl FileScan {
     }
 }
 
+/// The directive content of a waiver comment, or `None` when the
+/// comment is not a directive at all.
+///
+/// A directive is a *plain* comment whose content begins with `lint:`.
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) never carry waivers —
+/// they merely document the syntax — and prose that mentions
+/// `lint: allow(...)` mid-sentence does not start with `lint:`, so
+/// neither is mistaken for a live waiver.
+pub fn directive_text(comment: &str) -> Option<&str> {
+    let body = if let Some(rest) = comment.strip_prefix("//") {
+        if rest.starts_with('/') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else if let Some(rest) = comment.strip_prefix("/*") {
+        if rest.starts_with('*') || rest.starts_with('!') {
+            return None;
+        }
+        rest.strip_suffix("*/").unwrap_or(rest)
+    } else {
+        comment
+    };
+    let body = body.trim();
+    if body.starts_with("lint:") {
+        Some(body)
+    } else {
+        None
+    }
+}
+
 /// Scans one file. `rel_path` uses forward slashes relative to the
 /// workspace root; it decides [`FileScan::whole_file_test`].
 pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
@@ -69,15 +104,20 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
 
     let mut allows = Vec::new();
     for c in &comments {
-        // Accept `lint: allow(rule)` and `lint:allow(rule)` anywhere
-        // in a comment; several rules may be waived in one comment.
-        let mut rest = c.text.as_str();
+        // Accept `lint: allow(rule)` and `lint:allow(rule)`; several
+        // rules may be waived in one directive comment.
+        let Some(mut rest) = directive_text(&c.text) else {
+            continue;
+        };
         while let Some(i) = rest.find("lint:") {
             rest = rest[i + 5..].trim_start();
             if let Some(args) = rest.strip_prefix("allow(") {
                 if let Some(end) = args.find(')') {
                     for rule in args[..end].split(',') {
-                        allows.push((c.line, rule.trim().to_string()));
+                        let rule = rule.trim().to_string();
+                        if !allows.contains(&(c.line, rule.clone())) {
+                            allows.push((c.line, rule));
+                        }
                     }
                     rest = &args[end + 1..];
                 }
@@ -120,6 +160,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> FileScan {
                             fns.push(FnScope {
                                 name: name_tok.text.clone(),
                                 line: t.line,
+                                sig: i..open,
                                 body: open..close + 1,
                             });
                         }
@@ -156,7 +197,12 @@ fn attr_is_test(inner: &[Token]) -> bool {
 
 /// Index of the delimiter matching `tokens[open]` (which must be
 /// `open_c`), or `None` when unbalanced.
-fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open: usize,
+    open_c: char,
+    close_c: char,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct(open_c) {
@@ -235,6 +281,27 @@ mod tests {
         let scan = scan_file("crates/x/src/lib.rs", src);
         let names: Vec<&str> = scan.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn doc_comments_and_prose_are_not_directives() {
+        let src = "//! Docs mention `// lint: allow(rule)` waivers.\n\
+                   /// Also `lint: allow(no-panic-path)` in item docs.\n\
+                   // The engine parses lint: allow(x) comments here.\n\
+                   // lint: allow(no-panic-path) -- real directive\n\
+                   fn f() {}\n";
+        let scan = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(scan.allows, [(4, "no-panic-path".to_string())]);
+        assert!(directive_text("//! `// lint: allow(r)`").is_none());
+        assert!(directive_text("/** lint: allow(r) */").is_none());
+        assert!(directive_text("/* lint: allow(r) */").is_some());
+    }
+
+    #[test]
+    fn duplicate_rules_in_one_directive_collapse() {
+        let src = "// lint: allow(no-panic-path, no-panic-path)\nx.unwrap();\n";
+        let scan = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(scan.allows.len(), 1);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! against a deliberate violation, and the baseline ratchet end to
 //! end on a throwaway workspace.
 
+use wave_lint::callgraph::{CallGraph, SourceFile, Workspace};
+use wave_lint::effects::Effects;
 use wave_lint::lexer::{lex, TokenKind};
-use wave_lint::rules::{all_rules, Violation};
+use wave_lint::rules::Violation;
 use wave_lint::scan::scan_file;
 
 fn idents(src: &str) -> Vec<String> {
@@ -16,20 +18,17 @@ fn idents(src: &str) -> Vec<String> {
         .collect()
 }
 
-/// Runs every rule over `src` as if it were the given in-scope file.
+/// Full analysis — per-file rules, call-graph rules, waiver
+/// application, and the stale-waiver post-pass — over one in-memory
+/// file, exactly as `wavectl lint` would see it.
 fn violations(path: &str, src: &str) -> Vec<Violation> {
-    let scan = scan_file(path, src);
-    let mut out = Vec::new();
-    for rule in all_rules() {
-        let mut found = Vec::new();
-        rule.check(path, &scan, &mut found);
-        out.extend(
-            found
-                .into_iter()
-                .filter(|v| !scan.is_allowed(v.rule, v.line)),
-        );
-    }
-    out
+    let ws = Workspace {
+        files: vec![SourceFile {
+            rel: path.to_string(),
+            scan: scan_file(path, src),
+        }],
+    };
+    wave_lint::analyze(&ws).violations
 }
 
 #[test]
@@ -187,7 +186,7 @@ fn each_rule_fires_on_its_fixture_with_file_and_line() {
             "fn f() {\n    let t = Instant::now(); // HERE\n}\n",
         ),
         (
-            "lock-order",
+            "derived-lock-order",
             "crates/core/src/concurrent.rs",
             "fn f(&self) {\n    let vol = self.vol.lock().unwrap();\n    let wave = self.wave.read().unwrap(); // HERE\n}\n",
         ),
@@ -195,6 +194,26 @@ fn each_rule_fires_on_its_fixture_with_file_and_line() {
             "unsafe-audit",
             "crates/core/src/index.rs",
             "fn f(p: *const u8) -> u8 {\n    unsafe { *p } // HERE\n}\n",
+        ),
+        (
+            "counter-registry",
+            "crates/core/src/driver.rs",
+            "fn f(&self) {\n    self.obs.counter(\"zz.not.in.registry\", 1); // HERE\n}\n",
+        ),
+        (
+            "flush-before-commit",
+            "crates/core/src/index.rs",
+            "fn build(vol: &mut Volume) {\n    let mut wb = WriteBuffer::new(64);\n    wb.buffer_write(0, 0, &data);\n    commit_wave(&wave, vol, &mut store, &retry); // HERE\n    wb.flush(vol);\n}\n",
+        ),
+        (
+            "settle-exactly-once",
+            "crates/core/src/server.rs",
+            "enum ArmRequest {\n    Probe { value: u64, reply: Sender<u64> },\n    Kill,\n}\nimpl ArmState {\n    fn handle(&mut self, req: ArmRequest) -> bool {\n        match req {\n            ArmRequest::Probe { value, reply } => true, // HERE\n            ArmRequest::Kill => false,\n        }\n    }\n}\n",
+        ),
+        (
+            "waiver-hygiene",
+            IN_SCOPE,
+            "fn f(v: Vec<u32>) {\n    // lint: allow(no-panic-path) HERE — but no `--` reason\n    v.first().unwrap();\n}\n",
         ),
     ];
     for (rule, path, src) in fixtures {
@@ -221,14 +240,208 @@ fn f(v: Vec<u32>) {
 }
 ";
     assert!(violations(IN_SCOPE, src).is_empty());
-    // A waiver for a different rule does not help.
+    // A waiver for a different rule does not help — and because it
+    // suppresses nothing and carries no reason, waiver-hygiene flags
+    // it twice on top of the undimmed no-panic-path finding.
     let other = "\
 fn f(v: Vec<u32>) {
     // lint: allow(deterministic-core)
     v.first().unwrap();
 }
 ";
-    assert_eq!(violations(IN_SCOPE, other).len(), 1);
+    let got = violations(IN_SCOPE, other);
+    assert!(
+        got.iter().any(|v| v.rule == "no-panic-path" && v.line == 3),
+        "{got:?}"
+    );
+    assert!(
+        got.iter()
+            .any(|v| v.rule == "waiver-hygiene" && v.message.contains("without a reason")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter()
+            .any(|v| v.rule == "waiver-hygiene" && v.message.contains("stale waiver")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn scanner_handles_generic_fns_with_where_clauses() {
+    let src = "\
+fn wrap<T, F>(v: Vec<T>, f: F) -> T
+where
+    F: Fn(&[T]) -> T,
+    T: Clone,
+{
+    v.first().unwrap().clone()
+}
+";
+    let scan = scan_file(IN_SCOPE, src);
+    assert_eq!(scan.fns.len(), 1);
+    assert_eq!(scan.fns[0].name, "wrap");
+    let got = violations(IN_SCOPE, src);
+    assert!(
+        got.iter().any(|v| v.rule == "no-panic-path" && v.line == 6),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn scanner_finds_fns_in_nested_impls_and_nested_fns() {
+    let src = "\
+struct Outer;
+impl Outer {
+    fn method(&self) {
+        struct Inner;
+        impl Inner {
+            fn nested_method(&self) {}
+        }
+        fn nested_free() {}
+    }
+}
+";
+    let scan = scan_file("crates/core/src/x.rs", src);
+    let names: Vec<&str> = scan.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["method", "nested_method", "nested_free"]);
+
+    // The call graph owns the nested method under `Inner`, not `Outer`.
+    let ws = Workspace {
+        files: vec![SourceFile {
+            rel: "crates/core/src/x.rs".to_string(),
+            scan: scan_file("crates/core/src/x.rs", src),
+        }],
+    };
+    let graph = CallGraph::build(&ws);
+    let owners: Vec<(String, Option<String>)> = graph
+        .fns
+        .iter()
+        .map(|f| (f.name.clone(), f.owner.clone()))
+        .collect();
+    assert!(
+        owners.contains(&("nested_method".to_string(), Some("Inner".to_string()))),
+        "{owners:?}"
+    );
+    assert!(
+        owners.contains(&("method".to_string(), Some("Outer".to_string()))),
+        "{owners:?}"
+    );
+}
+
+#[test]
+fn macro_rules_bodies_are_not_call_graph_nodes() {
+    let src = "\
+macro_rules! make_fn {
+    ($name:ident) => {
+        fn $name() {
+            commit_wave(&w, vol, &mut s, &r);
+        }
+    };
+}
+fn real() {}
+";
+    let ws = Workspace {
+        files: vec![SourceFile {
+            rel: "crates/core/src/x.rs".to_string(),
+            scan: scan_file("crates/core/src/x.rs", src),
+        }],
+    };
+    let graph = CallGraph::build(&ws);
+    let names: Vec<&str> = graph.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["real"], "macro template fns must be excluded");
+}
+
+#[test]
+fn test_attr_fns_are_excluded_from_rules_and_graph() {
+    let src = "\
+fn live() {}
+#[test]
+fn t() {
+    let v: Vec<u32> = vec![];
+    v.first().unwrap();
+}
+";
+    assert!(violations(IN_SCOPE, src).is_empty());
+    let ws = Workspace {
+        files: vec![SourceFile {
+            rel: IN_SCOPE.to_string(),
+            scan: scan_file(IN_SCOPE, src),
+        }],
+    };
+    let graph = CallGraph::build(&ws);
+    let names: Vec<&str> = graph.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["live"]);
+}
+
+/// On the real tree, the inferred guard-helper table must reproduce
+/// every edge of wave-lint v1's hand-maintained `HELPER_ACQUIRERS`
+/// table — the whole point of deriving it from the call graph.
+#[test]
+fn derived_helpers_cover_the_old_hand_table() {
+    use wave_lint::rules::derived_lock_order::{derived_helpers, LOCK_ORDER};
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = wave_lint::load_workspace(&root).unwrap();
+    let graph = CallGraph::build(&ws);
+    let fx = Effects::compute(&ws, &graph);
+    let helpers = derived_helpers(&graph, &fx);
+    let rank = |lock: &str| LOCK_ORDER.iter().position(|n| *n == lock).unwrap() as u8;
+    for (helper, lock) in [
+        ("wave_read", "wave"),
+        ("wave_write", "wave"),
+        ("route_read", "route"),
+        ("route_write", "route"),
+        ("vol_lock", "vol"),
+    ] {
+        let mask = helpers.get(helper).copied().unwrap_or(0);
+        assert!(
+            mask & (1 << rank(lock)) != 0,
+            "helper `{helper}` should be inferred to acquire `{lock}`; table: {helpers:?}"
+        );
+    }
+    // And the settle rule's protocol anchors exist on the real tree —
+    // if the enum or primitives were renamed, the rule would silently
+    // stop checking anything.
+    assert!(
+        !graph.ids_named("send_to").is_empty(),
+        "send_to must be a call-graph node"
+    );
+    assert!(
+        ws.files
+            .iter()
+            .any(|f| f.rel == "crates/core/src/server.rs"),
+        "server.rs must be scanned"
+    );
+}
+
+/// The `--json` rendering follows the documented `wave-lint/v2`
+/// shape: top-level schema/ok/files_scanned, per-rule rows, and the
+/// two-sided drift object — with strings quoted exactly once.
+#[test]
+fn json_rendering_matches_the_v2_schema() {
+    use std::fs;
+    let root = std::env::temp_dir().join(format!("wave-lint-json-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    fs::write(
+        src_dir.join("concurrent.rs"),
+        "fn f(v: Vec<u32>) {\n    v.first().unwrap();\n}\n",
+    )
+    .unwrap();
+    wave_lint::run_lint(&root, true).unwrap();
+    let gate = wave_lint::run_gate(&root).unwrap();
+    let json = wave_lint::render_json(&gate);
+    assert!(
+        json.starts_with("{\"schema\":\"wave-lint/v2\",\"ok\":true"),
+        "{json}"
+    );
+    assert!(json.contains("\"rule\":\"no-panic-path\""), "{json}");
+    assert!(json.contains("\"files_scanned\":1"), "{json}");
+    assert!(
+        json.contains("\"drift\":{\"grown\":[],\"stale\":[]}"),
+        "{json}"
+    );
+    assert!(!json.contains("\"\""), "double-quoted string in {json}");
+    fs::remove_dir_all(&root).unwrap();
 }
 
 /// The full gate on a throwaway workspace: freeze, grow, shrink.

@@ -36,6 +36,7 @@
 pub mod context;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod recorder;
 pub mod rng;
 pub mod trace;

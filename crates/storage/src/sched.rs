@@ -388,7 +388,12 @@ impl WriteBuffer {
     /// # Errors
     ///
     /// [`StorageError::OutOfExtent`] if the write overruns `extent`.
-    pub fn write_at(&mut self, extent: Extent, offset: usize, data: &[u8]) -> StorageResult<()> {
+    pub fn buffer_write(
+        &mut self,
+        extent: Extent,
+        offset: usize,
+        data: &[u8],
+    ) -> StorageResult<()> {
         let cap = extent.byte_len();
         if offset.checked_add(data.len()).is_none_or(|end| end > cap) {
             return Err(StorageError::OutOfExtent {
@@ -740,7 +745,7 @@ mod tests {
         let extent = vol.alloc_blocks(1).unwrap();
         let mut buf = WriteBuffer::new();
         let err = buf
-            .write_at(extent, BLOCK_SIZE - 2, &[1, 2, 3])
+            .buffer_write(extent, BLOCK_SIZE - 2, &[1, 2, 3])
             .unwrap_err();
         assert!(matches!(err, StorageError::OutOfExtent { .. }), "{err}");
         assert_eq!(buf.pending(), 0);
@@ -762,9 +767,10 @@ mod tests {
         let extent = vol.alloc_blocks(8).unwrap();
         let mut buf = WriteBuffer::new();
         // Buffered out of order; the flush sorts and fuses them.
-        buf.write_at(extent, 4 * BLOCK_SIZE, &vec![4u8; 2 * BLOCK_SIZE])
+        buf.buffer_write(extent, 4 * BLOCK_SIZE, &vec![4u8; 2 * BLOCK_SIZE])
             .unwrap();
-        buf.write_at(extent, 0, &vec![1u8; 4 * BLOCK_SIZE]).unwrap();
+        buf.buffer_write(extent, 0, &vec![1u8; 4 * BLOCK_SIZE])
+            .unwrap();
         assert_eq!(buf.pending(), 2);
         assert_eq!(buf.pending_bytes(), 6 * BLOCK_SIZE);
         let before = vol.stats();
@@ -787,9 +793,9 @@ mod tests {
         let mut vol = Volume::default();
         let extent = vol.alloc_blocks(64).unwrap();
         let mut buf = WriteBuffer::new();
-        buf.write_at(extent, 40 * BLOCK_SIZE, &vec![9u8; BLOCK_SIZE])
+        buf.buffer_write(extent, 40 * BLOCK_SIZE, &vec![9u8; BLOCK_SIZE])
             .unwrap();
-        buf.write_at(extent, 0, &vec![7u8; BLOCK_SIZE]).unwrap();
+        buf.buffer_write(extent, 0, &vec![7u8; BLOCK_SIZE]).unwrap();
         let before = vol.stats();
         let stats = buf.flush(&mut vol).unwrap();
         assert_eq!(stats.transfers, 2);
@@ -808,8 +814,8 @@ mod tests {
         let mut vol = Volume::default();
         let extent = vol.alloc_blocks(2).unwrap();
         let mut buf = WriteBuffer::new();
-        buf.write_at(extent, 0, &[1u8; 100]).unwrap();
-        buf.write_at(extent, 50, &[2u8; 100]).unwrap();
+        buf.buffer_write(extent, 0, &[1u8; 100]).unwrap();
+        buf.buffer_write(extent, 50, &[2u8; 100]).unwrap();
         let stats = buf.flush(&mut vol).unwrap();
         assert_eq!(stats.transfers, 2, "overlap falls back to replay");
         let got = vol.read_at(extent, 0, 150).unwrap();
@@ -823,8 +829,9 @@ mod tests {
         let mut vol = Volume::with_disks_obs(DiskConfig::default(), 1, obs.clone());
         let extent = vol.alloc_blocks(8).unwrap();
         let mut buf = WriteBuffer::new();
-        buf.write_at(extent, 0, &vec![1u8; 3 * BLOCK_SIZE]).unwrap();
-        buf.write_at(extent, 3 * BLOCK_SIZE, &vec![2u8; BLOCK_SIZE])
+        buf.buffer_write(extent, 0, &vec![1u8; 3 * BLOCK_SIZE])
+            .unwrap();
+        buf.buffer_write(extent, 3 * BLOCK_SIZE, &vec![2u8; BLOCK_SIZE])
             .unwrap();
         buf.flush(&mut vol).unwrap();
         assert_eq!(obs.counter("sched.bulk_pages").get(), 4);
@@ -839,7 +846,8 @@ mod tests {
         vol.write_at(hot, 0, &vec![1u8; hot.byte_len()]).unwrap();
         vol.read_at(hot, 0, hot.byte_len()).unwrap(); // warm
         let mut buf = WriteBuffer::new();
-        buf.write_at(bulk, 0, &vec![2u8; bulk.byte_len()]).unwrap();
+        buf.buffer_write(bulk, 0, &vec![2u8; bulk.byte_len()])
+            .unwrap();
         buf.flush(&mut vol).unwrap();
         let before = vol.stats();
         vol.read_at(hot, 0, hot.byte_len()).unwrap();
