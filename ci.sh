@@ -101,6 +101,22 @@ echo "==> bench-obs --smoke"
 cargo run -q --release --offline -p wavectl -- bench-obs --smoke \
   --out target/BENCH_obs_smoke.json >/dev/null
 
+# The buffered-ingest gates (DESIGN.md "Buffered ingest"): reads over
+# dirty buffers must stay byte-identical to the unbuffered twin on
+# every scheme x technique, dirty-buffer commits must survive the
+# crash-point explorer, and the amortized-write sweep must hold its
+# DEL speedup bound (--smoke keeps it CI-sized; the full sweep is
+# `wavectl bench-ingest`).
+echo "==> buffered-ingest byte-identity"
+cargo test -q -p wave-index --test ingest_buffering --offline
+echo "==> dirty-buffer crash points"
+cargo test -q -p wave-index --test crash_recovery --offline \
+  dirty_buffer_crash_points_recover_to_pre_or_post_state
+
+echo "==> bench-ingest --smoke"
+cargo run -q --release --offline -p wavectl -- bench-ingest --smoke \
+  --out target/BENCH_ingest_smoke.json >/dev/null
+
 # The fault-tolerance gates (DESIGN.md §13): recovery racing a
 # degraded server must heal, and the chaos soak — killed workers,
 # transient-read bursts, quarantines, racing maintenance — must keep

@@ -17,6 +17,7 @@ pub mod batch;
 pub mod chaos;
 pub mod filter;
 pub mod harness;
+pub mod ingest;
 pub mod obs;
 pub mod parallel;
 pub mod render;
@@ -26,6 +27,7 @@ pub use batch::{BatchResult, BatchSweep};
 pub use chaos::{run_soak, ChaosReport, ChaosSoak};
 pub use filter::{FilterResult, FilterSweep};
 pub use harness::Group;
+pub use ingest::{IngestResult, IngestSweep};
 pub use obs::{ObsResult, ObsSweep};
 pub use parallel::{run_sweep, MixResult, ParallelSweep};
 pub use render::{render_figure, write_figure_csv};

@@ -30,6 +30,7 @@
 //! wavectl bench-batch [--smoke] [--out FILE]
 //! wavectl bench-filter [--smoke] [--out FILE]
 //! wavectl bench-obs [--smoke] [--out FILE]
+//! wavectl bench-ingest [--smoke] [--out FILE]
 //! wavectl chaos [--smoke] [--out FILE]
 //! ```
 //!
@@ -91,6 +92,15 @@
 //! recorder + SLOs against the same run with tracing disabled; the
 //! full document lands in `BENCH_obs.json` (see EXPERIMENTS.md
 //! "Reproducing the observability overhead bound").
+//!
+//! `bench-ingest` runs the amortized-write-path sweep: for every
+//! scheme × update technique it drives twin waves over one seeded
+//! article workload — one applying every add/delete directly, one
+//! buffering them in the ingest tier (see DESIGN.md "Buffered
+//! ingest") — asserting byte-identical answers on both while
+//! measuring the daily-transition time each spends. The full document
+//! lands in `BENCH_ingest.json` (see EXPERIMENTS.md "Reproducing the
+//! amortized write path").
 //!
 //! `chaos` runs the deterministic chaos soak (see DESIGN.md "Fault
 //! tolerance & degraded serving"): for every scheme, concurrent
@@ -186,15 +196,22 @@ struct Config {
     scheme: SchemeKind,
     window: u32,
     fan: usize,
+    /// Buffered-ingest knobs (DESIGN.md "Buffered ingest"). Stores
+    /// initialised before this tier existed have no `ingest*` keys in
+    /// their config.txt and load as disabled — the old behavior.
+    ingest: IngestConfig,
 }
 
 impl Config {
     fn save(&self, dir: &Path) -> Result<(), CliError> {
         let text = format!(
-            "scheme={}\nwindow={}\nfan={}\n",
+            "scheme={}\nwindow={}\nfan={}\ningest={}\ningest_max_entries={}\ningest_max_days={}\n",
             self.scheme.name(),
             self.window,
-            self.fan
+            self.fan,
+            if self.ingest.enabled { "on" } else { "off" },
+            self.ingest.max_entries,
+            self.ingest.max_days
         );
         fs::write(dir.join("config.txt"), text)?;
         Ok(())
@@ -210,12 +227,32 @@ impl Config {
         let mut scheme = None;
         let mut window = None;
         let mut fan = None;
+        let mut ingest = IngestConfig::default();
         for line in text.lines() {
             let Some((key, value)) = line.split_once('=') else {
                 continue;
             };
             match key.trim() {
                 "scheme" => scheme = Some(parse_scheme(value.trim())?),
+                "ingest" => {
+                    ingest.enabled = match value.trim() {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(CliError::State(format!("bad ingest value {other:?}")))
+                        }
+                    }
+                }
+                "ingest_max_entries" => {
+                    ingest.max_entries = value.trim().parse::<usize>().map_err(|_| {
+                        CliError::State(format!("bad ingest_max_entries value {value:?}"))
+                    })?
+                }
+                "ingest_max_days" => {
+                    ingest.max_days = value.trim().parse::<u32>().map_err(|_| {
+                        CliError::State(format!("bad ingest_max_days value {value:?}"))
+                    })?
+                }
                 "window" => {
                     window = Some(
                         value
@@ -240,6 +277,7 @@ impl Config {
                 scheme,
                 window,
                 fan,
+                ingest,
             }),
             _ => Err(CliError::State("config.txt is incomplete".into())),
         }
@@ -324,7 +362,7 @@ fn replay(dir: &Path, cfg: &Config) -> Result<Replayed, CliError> {
         let text = fs::read_to_string(day_path(dir, d))?;
         archive.insert(parse_day(d, &text)?);
     }
-    let mut scheme = cfg.scheme.build(SchemeConfig::new(cfg.window, cfg.fan))?;
+    let mut scheme = cfg.scheme.build(scheme_config(cfg))?;
     let mut vol = Volume::default();
     let mut last = None;
     let max_day = days.last().copied().unwrap_or(0);
@@ -358,6 +396,15 @@ fn replay(dir: &Path, cfg: &Config) -> Result<Replayed, CliError> {
         }
     }
     Ok((scheme, vol, last))
+}
+
+/// The scheme configuration a stored Config describes, ingest knobs
+/// included.
+fn scheme_config(cfg: &Config) -> SchemeConfig {
+    SchemeConfig::new(cfg.window, cfg.fan).with_index(IndexConfig {
+        ingest: cfg.ingest,
+        ..Default::default()
+    })
 }
 
 fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
@@ -395,7 +442,7 @@ fn parse_range(args: &[String]) -> Result<TimeRange, CliError> {
 /// Runs one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-filter|bench-obs|chaos|lint> …";
+        "usage: wavectl <init|add|query|scan|status|fsck|recover|trace|report|trace-tree|flight|slo|bench-parallel|bench-batch|bench-filter|bench-obs|bench-ingest|chaos|lint> …";
     let command = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match command.as_str() {
         "trace" => return cmd_trace(&args[1..]),
@@ -407,6 +454,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench-batch" => return cmd_bench_batch(&args[1..]),
         "bench-filter" => return cmd_bench_filter(&args[1..]),
         "bench-obs" => return cmd_bench_obs(&args[1..]),
+        "bench-ingest" => return cmd_bench_ingest(&args[1..]),
         "chaos" => return cmd_chaos(&args[1..]),
         "lint" => return cmd_lint(&args[1..]),
         _ => {}
@@ -430,9 +478,30 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<String, CliError> {
     let mut scheme = SchemeKind::WataStar;
     let mut window = 7u32;
     let mut fan = 3usize;
+    let mut ingest = IngestConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--buffered" => {
+                ingest.enabled = true;
+                i += 1;
+            }
+            "--spill-entries" => {
+                ingest.max_entries = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--spill-entries needs a value".into()))?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --spill-entries value".into()))?;
+                i += 2;
+            }
+            "--spill-days" => {
+                ingest.max_days = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--spill-days needs a value".into()))?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --spill-days value".into()))?;
+                i += 2;
+            }
             "--scheme" => {
                 scheme = parse_scheme(
                     args.get(i + 1)
@@ -459,19 +528,28 @@ fn cmd_init(dir: &Path, args: &[String]) -> Result<String, CliError> {
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
-    // Validate the combination before writing anything.
-    scheme.build(SchemeConfig::new(window, fan))?;
-    fs::create_dir_all(days_dir(dir))?;
     let cfg = Config {
         scheme,
         window,
         fan,
+        ingest,
     };
+    // Validate the combination before writing anything.
+    scheme.build(scheme_config(&cfg))?;
+    fs::create_dir_all(days_dir(dir))?;
     cfg.save(dir)?;
     Ok(format!(
-        "initialised {} with {} (W = {window}, n = {fan})\nfeed days with: wavectl add {} FILE\n",
+        "initialised {} with {} (W = {window}, n = {fan}{})\nfeed days with: wavectl add {} FILE\n",
         dir.display(),
         scheme.name(),
+        if ingest.enabled {
+            format!(
+                ", buffered ingest: spill at {} entries or {} days",
+                ingest.max_entries, ingest.max_days
+            )
+        } else {
+            String::new()
+        },
         dir.display()
     ))
 }
@@ -589,11 +667,16 @@ fn cmd_status(dir: &Path) -> Result<String, CliError> {
     let cfg = Config::load(dir)?;
     let days = stored_days(dir)?;
     let mut out = format!(
-        "scheme {} | W = {} | n = {} | {} day files\n",
+        "scheme {} | W = {} | n = {} | {} day files | ingest {}\n",
         cfg.scheme.name(),
         cfg.window,
         cfg.fan,
-        days.len()
+        days.len(),
+        if cfg.ingest.enabled {
+            "buffered"
+        } else {
+            "direct"
+        }
     );
     let (scheme, vol, _) = replay(dir, &cfg)?;
     match scheme.current_day() {
@@ -607,11 +690,20 @@ fn cmd_status(dir: &Path) -> Result<String, CliError> {
             ));
             for (_, idx) in scheme.wave().iter() {
                 let days: Vec<String> = idx.days().iter().map(|d| d.0.to_string()).collect();
+                let buffered = idx.ingest().pending_entries();
                 out.push_str(&format!(
-                    "  {}: days [{}]{}\n",
+                    "  {}: days [{}]{}{}\n",
                     idx.label(),
                     days.join(","),
-                    if idx.is_packed() { " (packed)" } else { "" }
+                    if idx.is_packed() { " (packed)" } else { "" },
+                    if cfg.ingest.enabled {
+                        format!(
+                            " | {buffered} buffered entries, {} bytes pending spill",
+                            idx.pending_ingest_bytes()
+                        )
+                    } else {
+                        String::new()
+                    }
                 ));
             }
             out.push_str(&format!(
@@ -684,6 +776,12 @@ fn cmd_fsck(dir: &Path) -> Result<String, CliError> {
             report.filter_ok.len()
         ));
     }
+    if !report.ingest_ok.is_empty() {
+        out.push_str(&format!(
+            "{} ingest log(s) verified\n",
+            report.ingest_ok.len()
+        ));
+    }
     for f in &report.corrupt {
         out.push_str(&format!("  corrupt: {f}\n"));
     }
@@ -695,6 +793,12 @@ fn cmd_fsck(dir: &Path) -> Result<String, CliError> {
     }
     for f in &report.filter_missing {
         out.push_str(&format!("  filter missing: {f}\n"));
+    }
+    for f in &report.ingest_corrupt {
+        out.push_str(&format!("  ingest log corrupt: {f}\n"));
+    }
+    for f in &report.ingest_missing {
+        out.push_str(&format!("  ingest log missing: {f}\n"));
     }
     for f in &report.orphans {
         out.push_str(&format!("  orphan: {f}\n"));
@@ -982,6 +1086,14 @@ fn filter_counters() -> Vec<&'static str> {
     registry_counters("filter.")
 }
 
+/// The buffered-ingest counters (DESIGN.md "Buffered ingest"),
+/// grouped like the I/O scheduler's and likewise derived from the
+/// registry. Rendered with zeros when absent — a store running with
+/// the buffer disabled legitimately records nothing.
+fn ingest_counters() -> Vec<&'static str> {
+    registry_counters("ingest.")
+}
+
 fn registry_counters(prefix: &str) -> Vec<&'static str> {
     wave_obs::names::COUNTERS
         .iter()
@@ -1002,8 +1114,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     let mut scheme = String::new();
     let sched_names = sched_counters();
     let filter_names = filter_counters();
+    let ingest_names = ingest_counters();
     let mut sched = vec![0u64; sched_names.len()];
     let mut filters = vec![0u64; filter_names.len()];
+    let mut ingests = vec![0u64; ingest_names.len()];
     let mut metrics: Vec<String> = Vec::new();
     // (span name, arm) → (count, an example error message). Spans
     // without an arm field (whole-request roots, degraded-read
@@ -1058,6 +1172,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
                     filters[slot] = field_u64("value");
                     continue;
                 }
+                if let Some(slot) = ingest_names.iter().position(|c| *c == name) {
+                    ingests[slot] = field_u64("value");
+                    continue;
+                }
                 let line = match obj.get("type").and_then(JsonValue::as_str).unwrap_or("") {
                     "histogram" => format!(
                         "  {name}: count {} sum {} mean {:.2} max {} p50<={} p99<={}",
@@ -1104,6 +1222,10 @@ pub fn summarize_trace(jsonl: &str) -> Result<String, CliError> {
     }
     out.push_str("filters:\n");
     for (name, v) in filter_names.iter().zip(&filters) {
+        out.push_str(&format!("  {name:<22} {v}\n"));
+    }
+    out.push_str("ingest:\n");
+    for (name, v) in ingest_names.iter().zip(&ingests) {
         out.push_str(&format!("  {name:<22} {v}\n"));
     }
     if !failures.is_empty() {
@@ -1694,6 +1816,78 @@ fn cmd_bench_obs(args: &[String]) -> Result<String, CliError> {
     run_bench_obs(smoke, &out_path)
 }
 
+/// Runs the amortized-write-path sweep and renders its summary table.
+/// Split from the flag parsing so tests can exercise it directly.
+/// Answer byte-identity between the buffered and unbuffered twins is
+/// asserted inside the sweep; the check here is the quantitative one —
+/// DEL's daily transitions must reach the configured speedup under
+/// buffering, and no scheme may regress.
+pub fn run_bench_ingest(smoke: bool, out_path: &Path) -> Result<String, CliError> {
+    use wave_bench::ingest::{check, render_json, run_sweep, IngestSweep};
+
+    let sweep = if smoke {
+        IngestSweep::smoke()
+    } else {
+        IngestSweep::full()
+    };
+    let results = run_sweep(&sweep);
+    fs::write(out_path, render_json(&sweep, &results))?;
+
+    let mut out = format!(
+        "{:<10} {:<14} {:>9} {:>7} {:>9} {:>9}\n",
+        "scheme", "technique", "speedup", "spills", "buffered", "pending"
+    );
+    for r in &results {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>8.2}x {:>7} {:>9} {:>9}\n",
+            r.scheme,
+            r.technique,
+            r.speedup(),
+            r.spills,
+            r.buffered_adds,
+            r.pending_at_end
+        ));
+    }
+    out.push_str(&format!("wrote {}\n", out_path.display()));
+    match check(&results, sweep.min_del_speedup) {
+        Ok(()) => {
+            out.push_str(&format!(
+                "buffered never slower; DEL daily transitions ≥ {:.1}x faster under buffering\n",
+                sweep.min_del_speedup
+            ));
+            Ok(out)
+        }
+        Err(violations) => Err(CliError::State(format!(
+            "amortized-write bounds violated:\n  {}",
+            violations.join("\n  ")
+        ))),
+    }
+}
+
+fn cmd_bench_ingest(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: wavectl bench-ingest [--smoke] [--out FILE]";
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_ingest.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a value".into()))?,
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}; {usage}"))),
+        }
+    }
+    run_bench_ingest(smoke, &out_path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1922,6 +2116,17 @@ mod tests {
             "registry has no filter.* counters"
         );
         for counter in filter_counters() {
+            assert!(report.contains(counter), "{counter} missing: {report}");
+        }
+        // Likewise the buffered-ingest group (DESIGN.md "Buffered
+        // ingest"): present even with the buffer disabled, rendered
+        // as 0.
+        assert!(report.contains("ingest:"), "{report}");
+        assert!(
+            !ingest_counters().is_empty(),
+            "registry has no ingest.* counters"
+        );
+        for counter in ingest_counters() {
             assert!(report.contains(counter), "{counter} missing: {report}");
         }
         // No server in this workload, so arm elisions must render 0
@@ -2172,6 +2377,100 @@ mod tests {
         let err = run(&s(&["bench-batch", "--bogus"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `bench-ingest --smoke` writes a parseable BENCH document and
+    /// reports the amortized-write bounds as met.
+    #[test]
+    fn bench_ingest_smoke_writes_json() {
+        let dir = temp_dir();
+        let json_path = dir.join("BENCH_ingest.json");
+        let out = run(&s(&[
+            "bench-ingest",
+            "--smoke",
+            "--out",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("buffered never slower"), "{out}");
+        assert!(out.contains("DEL"), "{out}");
+        let doc = fs::read_to_string(&json_path).unwrap();
+        assert!(doc.contains("\"schema\":\"wave-bench/ingest/v1\""), "{doc}");
+        // Every object in the cases array is itself flat JSON.
+        let cases = doc
+            .split_once("\"cases\":[")
+            .expect("document has a cases array")
+            .1
+            .trim_end_matches(['}', ']']);
+        let mut parsed = 0;
+        for case in cases.split("},{") {
+            let case = format!("{{{}}}", case.trim_matches(['{', '}']));
+            assert!(parse_flat(&case).is_some(), "unparseable case: {case}");
+            parsed += 1;
+        }
+        assert_eq!(parsed, 6, "smoke sweep has 2 schemes x 3 techniques");
+        let err = run(&s(&["bench-ingest", "--bogus"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A store initialised with `--buffered` buffers daily adds,
+    /// answers queries identically to a direct twin, survives a
+    /// replay from disk, and reports the pending buffer in `status`.
+    #[test]
+    fn buffered_store_lifecycle() {
+        let buffered = temp_dir();
+        let direct = temp_dir();
+        let b = buffered.to_str().unwrap();
+        let d = direct.to_str().unwrap();
+        let out = run(&s(&[
+            "init",
+            b,
+            "--scheme",
+            "del",
+            "--window",
+            "3",
+            "--fan",
+            "2",
+            "--buffered",
+            "--spill-entries",
+            "64",
+            "--spill-days",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("buffered ingest"), "{out}");
+        run(&s(&[
+            "init", d, "--scheme", "del", "--window", "3", "--fan", "2",
+        ]))
+        .unwrap();
+        for day in 1..=5u32 {
+            let lines = format!("{day} word{day} shared\n{day}1 extra{day}\n");
+            add_day(&buffered, &lines);
+            add_day(&direct, &lines);
+        }
+        // Same answers with the buffer on and off.
+        for word in ["shared", "word4", "extra5", "ghost"] {
+            let qb = run(&s(&["query", b, word])).unwrap();
+            let qd = run(&s(&["query", d, word])).unwrap();
+            assert_eq!(qb, qd, "buffered answer diverged for {word:?}");
+        }
+        assert_eq!(
+            run(&s(&["scan", b])).unwrap(),
+            run(&s(&["scan", d])).unwrap()
+        );
+        let status = run(&s(&["status", b])).unwrap();
+        assert!(status.contains("ingest buffered"), "{status}");
+        assert!(status.contains("buffered entries"), "{status}");
+        assert!(status.contains("bytes pending spill"), "{status}");
+        let status = run(&s(&["status", d])).unwrap();
+        assert!(status.contains("ingest direct"), "{status}");
+        assert!(!status.contains("buffered entries"), "{status}");
+        // The committed store fscks clean with dirty buffers.
+        let out = run(&s(&["fsck", b])).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        fs::remove_dir_all(&buffered).ok();
+        fs::remove_dir_all(&direct).ok();
     }
 
     /// The tentpole acceptance check: `flight dump` promotes exactly

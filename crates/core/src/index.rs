@@ -17,13 +17,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wave_storage::{Extent, Volume, WriteBuffer};
+use wave_storage::{Extent, IoScheduler, ReadRequest, Volume, WriteBuffer};
 
 use crate::contiguous::ContiguousConfig;
 use crate::directory::{BucketRef, Directory, DirectoryKind};
 use crate::entry::{decode_entries, encode_entries, Entry, ENTRY_BYTES};
 use crate::error::{IndexError, IndexResult};
 use crate::filter::{FilterConfig, MembershipFilter};
+use crate::ingest::{IngestBuffer, IngestConfig};
 use crate::query::TimeRange;
 use crate::record::{Day, DayBatch, SearchValue};
 
@@ -36,6 +37,8 @@ pub struct IndexConfig {
     pub contiguous: ContiguousConfig,
     /// Probe-pruning layer: membership filter + covering entries.
     pub filter: FilterConfig,
+    /// Buffered ingest tier: memtable + batched spills.
+    pub ingest: IngestConfig,
 }
 
 /// What a pruned probe resolved to, before any bucket I/O happens.
@@ -95,7 +98,12 @@ pub struct ConstituentIndex {
     /// deletion read only affected buckets (the indexer retains this
     /// from the day's batch, which it processed anyway).
     day_values: BTreeMap<Day, BTreeSet<SearchValue>>,
-    /// Live entries across all buckets.
+    /// For each covered day, how many entries it contributed. Lets
+    /// buffered deletes adjust `entries` without reading any bucket.
+    /// Days with zero entries have no key here.
+    day_entries: BTreeMap<Day, u64>,
+    /// Live entries across all buckets (logical: includes pending
+    /// buffered adds, excludes pending buffered deletes).
     entries: u64,
     /// Buckets that own a private extent (CONTIGUOUS layout).
     owned_buckets: usize,
@@ -109,6 +117,10 @@ pub struct ConstituentIndex {
     /// byte-for-byte through every update so a covered probe equals
     /// the bucket read it replaces.
     covering: BTreeMap<SearchValue, Vec<Entry>>,
+    /// The buffered ingest tier: pending adds and deletes that have
+    /// not yet reached the directory/buckets. Always present; empty
+    /// (and untouched) when `cfg.ingest.enabled` is off.
+    ingest: IngestBuffer,
 }
 
 impl ConstituentIndex {
@@ -121,6 +133,7 @@ impl ConstituentIndex {
             base: None,
             days: BTreeSet::new(),
             day_values: BTreeMap::new(),
+            day_entries: BTreeMap::new(),
             entries: 0,
             owned_buckets: 0,
             owned_blocks: 0,
@@ -129,6 +142,7 @@ impl ConstituentIndex {
                 .enabled
                 .then(|| MembershipFilter::with_capacity(cfg.filter, 0)),
             covering: BTreeMap::new(),
+            ingest: IngestBuffer::default(),
         }
     }
 
@@ -199,6 +213,7 @@ impl ConstituentIndex {
                     .entry(e.day)
                     .or_default()
                     .insert(value.clone());
+                *idx.day_entries.entry(e.day).or_default() += 1;
             }
             placements.push((value.clone(), offset, entries.len() as u32));
         }
@@ -266,6 +281,18 @@ impl ConstituentIndex {
         if !self.cfg.filter.enabled {
             return;
         }
+        if !self.ingest.is_empty() {
+            // With mutations in flight the directory lags behind the
+            // logical state; `day_values` is eagerly maintained and is
+            // exactly the live logical value set.
+            let live: BTreeSet<&SearchValue> = self.day_values.values().flatten().collect();
+            let mut f = MembershipFilter::with_capacity(self.cfg.filter, live.len() * 2);
+            for value in live {
+                f.insert(value);
+            }
+            self.filter = Some(f);
+            return;
+        }
         // Double the sizing so steady in-place growth doesn't rebuild
         // on every batch.
         let mut f = MembershipFilter::with_capacity(self.cfg.filter, self.directory.len() * 2);
@@ -298,6 +325,7 @@ impl ConstituentIndex {
                         .entry(batch.day)
                         .or_default()
                         .insert(value.clone());
+                    *self.day_entries.entry(batch.day).or_default() += 1;
                 }
             }
         }
@@ -399,6 +427,7 @@ impl ConstituentIndex {
             if let Some(values) = self.day_values.remove(day) {
                 affected.extend(values);
             }
+            self.day_entries.remove(day);
             self.days.remove(day);
         }
         let mut values_dropped = false;
@@ -499,9 +528,11 @@ impl ConstituentIndex {
         let mut new = ConstituentIndex::new_empty(label, self.cfg);
         new.days = self.days.clone();
         new.day_values = self.day_values.clone();
+        new.day_entries = self.day_entries.clone();
         new.entries = self.entries;
         new.filter = self.filter.clone();
         new.covering = self.covering.clone();
+        new.ingest = self.ingest.clone();
         macro_rules! try_or_unwind {
             ($expr:expr) => {
                 match $expr {
@@ -592,7 +623,10 @@ impl ConstituentIndex {
         match self.prune_probe(vol, value) {
             ProbeOutcome::Skipped | ProbeOutcome::Absent => Ok(Vec::new()),
             ProbeOutcome::Covered(entries) => Ok(entries),
-            ProbeOutcome::Bucket(bucket) => self.read_bucket(vol, &bucket),
+            ProbeOutcome::Bucket(bucket) => {
+                let entries = self.read_bucket(vol, &bucket)?;
+                Ok(self.ingest.overlay(value, entries))
+            }
         }
     }
 
@@ -617,6 +651,12 @@ impl ConstituentIndex {
         match self.bucket_for(vol, value) {
             Some(bucket) => ProbeOutcome::Bucket(bucket),
             None => {
+                // A value born in the buffer has no bucket yet; its
+                // pending adds are the whole logical bucket, served at
+                // zero seeks like a covered value.
+                if let Some(pending) = self.ingest.adds_for(value) {
+                    return ProbeOutcome::Covered(pending.clone());
+                }
                 if self.filter.is_some() {
                     vol.obs().counter("filter.false_positives").inc();
                 }
@@ -651,21 +691,45 @@ impl ConstituentIndex {
 
     /// `SegmentScan` on this constituent: every entry, reading the
     /// base extent sequentially (one seek) plus each private extent.
+    ///
+    /// With buffered mutations in flight the scan merges the memtable:
+    /// each disk bucket is overlaid (pending-deleted days filtered,
+    /// pending adds appended) and buffer-only values are spliced in at
+    /// their sorted directory position, so the output is
+    /// byte-identical to a scan after the spill.
     pub fn scan(&self, vol: &mut Volume) -> IndexResult<Vec<Entry>> {
         let mut out = Vec::with_capacity(self.entries as usize);
         let base_buf = match (&self.base, self.has_base_residents()) {
             (Some(base), true) => Some(vol.read_at(base.extent, 0, base.used_bytes)?),
             _ => None,
         };
-        for (_, bucket) in self.directory.iter_ordered() {
-            if bucket.owned {
-                out.extend(self.read_bucket(vol, bucket)?);
+        let mut pending = self.ingest.iter_adds().peekable();
+        for (value, bucket) in self.directory.iter_ordered() {
+            while let Some((pv, _)) = pending.peek() {
+                if *pv < value {
+                    let (_, entries) = pending.next().expect("peeked");
+                    out.extend_from_slice(entries);
+                } else {
+                    break;
+                }
+            }
+            let entries = if bucket.owned {
+                self.read_bucket(vol, bucket)?
             } else {
                 let buf = base_buf
                     .as_ref()
                     .ok_or_else(|| IndexError::Corrupt("unowned bucket without base".into()))?;
-                out.extend(decode_entries(&buf[bucket.offset..], bucket.count as usize));
+                decode_entries(&buf[bucket.offset..], bucket.count as usize)
+            };
+            // The overlay appends this value's pending adds itself, so
+            // skip them in the splice iterator.
+            out.extend(self.ingest.overlay(value, entries));
+            if pending.peek().is_some_and(|(pv, _)| *pv == value) {
+                pending.next();
             }
+        }
+        for (_, entries) in pending {
+            out.extend_from_slice(entries);
         }
         Ok(out)
     }
@@ -697,6 +761,361 @@ impl ConstituentIndex {
             map.insert(value.clone(), entries);
         }
         Ok(map)
+    }
+
+    /// Buffers a day-granular update — victim-day deletions plus new
+    /// day batches — in the ingest tier, touching no bucket.
+    ///
+    /// The logical metadata (`days`, `day_values`, `day_entries`,
+    /// `entries`, filter, covering) is updated eagerly so schemes and
+    /// probe pruning see the post-update state immediately; only the
+    /// directory and the buckets lag until the spill.
+    pub fn buffer_update(&mut self, vol: &Volume, del_days: &BTreeSet<Day>, add: &[&DayBatch]) {
+        self.buffer_delete_days(vol, del_days);
+        self.buffer_add_batches(vol, add);
+    }
+
+    /// Buffers the deletion of `victim_days`: stashes each on-disk
+    /// day's affected values for the spill, or retracts a day that
+    /// only ever existed in the buffer.
+    fn buffer_delete_days(&mut self, vol: &Volume, victim_days: &BTreeSet<Day>) {
+        let mut dropped_any = false;
+        let mut buffered = 0u64;
+        for day in victim_days {
+            if !self.days.remove(day) {
+                continue;
+            }
+            let values = self.day_values.remove(day).unwrap_or_default();
+            self.entries -= self.day_entries.remove(day).unwrap_or(0);
+            for value in &values {
+                // Keep the covering mirror logical: drop the day's
+                // entries, and the whole key once it holds none.
+                let now_empty = self.covering.get_mut(value).map(|covered| {
+                    covered.retain(|e| e.day != *day);
+                    covered.is_empty()
+                });
+                if now_empty == Some(true) {
+                    self.covering.remove(value);
+                }
+                if !self.day_values.values().any(|vals| vals.contains(value)) {
+                    dropped_any = true;
+                }
+            }
+            if self.ingest.day_pending(*day) {
+                self.ingest.retract_pending_day(*day);
+            } else if !values.is_empty() {
+                self.ingest.push_delete(*day, values);
+            }
+            buffered += 1;
+        }
+        if buffered > 0 {
+            vol.obs().counter("ingest.buffered_deletes").add(buffered);
+        }
+        // Same policy as the in-place delete: re-tighten the add-only
+        // filter whenever a value logically disappeared.
+        if dropped_any {
+            self.rebuild_filter();
+        }
+    }
+
+    /// Buffers `AddToIndex` batches as pending memtable entries.
+    fn buffer_add_batches(&mut self, vol: &Volume, batches: &[&DayBatch]) {
+        let mut incoming: BTreeMap<SearchValue, Vec<Entry>> = BTreeMap::new();
+        for batch in batches {
+            self.days.insert(batch.day);
+            self.ingest.note_pending_day(batch.day);
+            for record in &batch.records {
+                for (value, aux) in &record.values {
+                    incoming
+                        .entry(value.clone())
+                        .or_default()
+                        .push(Entry::new(record.id, *aux, batch.day));
+                    self.day_values
+                        .entry(batch.day)
+                        .or_default()
+                        .insert(value.clone());
+                    *self.day_entries.entry(batch.day).or_default() += 1;
+                }
+            }
+        }
+        let mut added = 0u64;
+        for (value, new_entries) in incoming {
+            added += new_entries.len() as u64;
+            if let Some(filter) = self.filter.as_mut() {
+                filter.insert(&value);
+            }
+            // Appends land at the end of the logical bucket, exactly
+            // where an unbuffered add would have put them.
+            if let Some(covered) = self.covering.get_mut(&value) {
+                covered.extend_from_slice(&new_entries);
+            }
+            self.ingest.push_adds(&value, &new_entries);
+        }
+        self.entries += added;
+        if added > 0 {
+            vol.obs().counter("ingest.buffered_adds").add(added);
+        }
+        if self
+            .filter
+            .as_ref()
+            .is_some_and(MembershipFilter::is_saturated)
+        {
+            self.rebuild_filter();
+        }
+    }
+
+    /// Spills the ingest buffer into the directory and buckets with
+    /// in-place CONTIGUOUS updating, touching each affected bucket at
+    /// most once: one elevator-ordered batched read for every bucket
+    /// that must be rewritten, then one coalesced write-behind flush.
+    /// Returns the number of pending add entries that were merged.
+    ///
+    /// The logical metadata was maintained at buffer time, so this
+    /// only moves the physical layer; queries answer identically
+    /// before and after.
+    pub(crate) fn spill_in_place(&mut self, vol: &mut Volume) -> IndexResult<u64> {
+        let (deletes, adds) = self.ingest.drain();
+        if deletes.is_empty() && adds.is_empty() {
+            return Ok(0);
+        }
+        let del_days: BTreeSet<Day> = deletes.keys().copied().collect();
+        let mut affected: BTreeSet<SearchValue> = BTreeSet::new();
+        for values in deletes.into_values() {
+            affected.extend(values);
+        }
+        let spilled: u64 = adds.values().map(|e| e.len() as u64).sum();
+        let mut touched: BTreeSet<SearchValue> = affected.clone();
+        touched.extend(adds.keys().cloned());
+        // Pass 1: batch-read every bucket the merge must rewrite — the
+        // delete-affected ones and the adds growing past their slack.
+        // Add-only buckets with room take their appends with no read
+        // at all.
+        let mut read_values: Vec<(SearchValue, u32)> = Vec::new();
+        let mut requests: Vec<ReadRequest> = Vec::new();
+        for value in &touched {
+            let Some(bucket) = self.directory.get(value).copied() else {
+                continue;
+            };
+            let added = adds.get(value).map_or(0, |e| e.len() as u32);
+            if affected.contains(value) || bucket.slack() < added {
+                requests.push(ReadRequest::new(
+                    bucket.extent,
+                    bucket.offset,
+                    bucket.count as usize * ENTRY_BYTES,
+                ));
+                read_values.push((value.clone(), bucket.count));
+            }
+        }
+        let buffers = if requests.is_empty() {
+            Vec::new()
+        } else {
+            IoScheduler::read_batch(vol, &requests)?
+        };
+        let mut old: BTreeMap<SearchValue, Vec<Entry>> = read_values
+            .into_iter()
+            .zip(buffers)
+            .map(|((value, count), buf)| (value, decode_entries(&buf, count as usize)))
+            .collect();
+        // Pass 2: merge each touched bucket once and stage the write;
+        // the flush below coalesces adjacent rewrites into sequential
+        // transfers.
+        let mut wb = WriteBuffer::new();
+        for value in &touched {
+            let new_entries = adds.get(value);
+            match self.directory.get(value).copied() {
+                None => {
+                    let Some(new_entries) = new_entries else {
+                        return Err(IndexError::Corrupt(format!(
+                            "spill: pending delete names {value} but directory lacks it"
+                        )));
+                    };
+                    let count = new_entries.len() as u32;
+                    let capacity = self.cfg.contiguous.grown_capacity(count);
+                    let extent = vol.alloc_bytes(capacity as usize * ENTRY_BYTES)?;
+                    wb.buffer_write(extent, 0, &encode_entries(new_entries))?;
+                    self.owned_buckets += 1;
+                    self.owned_blocks += extent.len;
+                    self.directory.insert(
+                        value.clone(),
+                        BucketRef {
+                            extent,
+                            offset: 0,
+                            count,
+                            capacity,
+                            owned: true,
+                        },
+                    );
+                }
+                Some(bucket) => {
+                    if let Some(mut keep) = old.remove(value) {
+                        keep.retain(|e| !del_days.contains(&e.day));
+                        if let Some(new_entries) = new_entries {
+                            keep.extend_from_slice(new_entries);
+                        }
+                        let count = keep.len() as u32;
+                        if count == 0 {
+                            self.directory.remove(value);
+                            if bucket.owned {
+                                self.owned_blocks -= bucket.extent.len;
+                                self.owned_buckets -= 1;
+                                vol.free(bucket.extent)?;
+                            }
+                        } else if count <= bucket.capacity
+                            && !(bucket.owned
+                                && self.cfg.contiguous.should_shrink(count, bucket.capacity))
+                        {
+                            wb.buffer_write(bucket.extent, bucket.offset, &encode_entries(&keep))?;
+                            self.directory.get_mut(value).expect("bucket present").count = count;
+                        } else {
+                            let capacity = self.cfg.contiguous.grown_capacity(count);
+                            let extent = vol.alloc_bytes(capacity as usize * ENTRY_BYTES)?;
+                            wb.buffer_write(extent, 0, &encode_entries(&keep))?;
+                            if bucket.owned {
+                                self.owned_blocks -= bucket.extent.len;
+                                self.owned_buckets -= 1;
+                                vol.free(bucket.extent)?;
+                            }
+                            self.owned_buckets += 1;
+                            self.owned_blocks += extent.len;
+                            self.directory.insert(
+                                value.clone(),
+                                BucketRef {
+                                    extent,
+                                    offset: 0,
+                                    count,
+                                    capacity,
+                                    owned: true,
+                                },
+                            );
+                        }
+                    } else {
+                        let new_entries = new_entries.expect("unread touched bucket has adds");
+                        let at = bucket.offset + bucket.count as usize * ENTRY_BYTES;
+                        wb.buffer_write(bucket.extent, at, &encode_entries(new_entries))?;
+                        self.directory.get_mut(value).expect("bucket present").count +=
+                            new_entries.len() as u32;
+                    }
+                }
+            }
+        }
+        wb.flush(vol)?;
+        Ok(spilled)
+    }
+
+    /// Spills by rebuilding: streams the physical contents, applies
+    /// the buffer's deletes and adds, and writes a fresh packed twin
+    /// (the packed-shadow analog of [`ConstituentIndex::smart_copy`]).
+    /// The caller swaps it in and releases `self`.
+    pub(crate) fn spill_packed(&self, vol: &mut Volume) -> IndexResult<Self> {
+        let mut map = self.read_all(vol)?;
+        for entries in map.values_mut() {
+            entries.retain(|e| !self.ingest.day_deleted(e.day));
+        }
+        for (value, pending) in self.ingest.iter_adds() {
+            map.entry(value.clone())
+                .or_default()
+                .extend_from_slice(pending);
+        }
+        map.retain(|_, entries| !entries.is_empty());
+        Self::build_from_map(self.label.clone(), self.cfg, vol, map, self.days.clone())
+    }
+
+    /// Re-buffers a decoded `.ing` sidecar log over the freshly
+    /// decoded physical image (`load_committed` / `recover`). The
+    /// delete stashes are re-derived from the image's `day_values`,
+    /// reproducing the pre-commit logical state exactly.
+    pub(crate) fn replay_ingest(
+        &mut self,
+        vol: &Volume,
+        deletes: &[Day],
+        pending_days: &[Day],
+        adds: BTreeMap<SearchValue, Vec<Entry>>,
+    ) {
+        let victims: BTreeSet<Day> = deletes.iter().copied().collect();
+        self.buffer_delete_days(vol, &victims);
+        for day in pending_days {
+            self.days.insert(*day);
+            self.ingest.note_pending_day(*day);
+        }
+        let mut added = 0u64;
+        for (value, entries) in adds {
+            for e in &entries {
+                self.day_values
+                    .entry(e.day)
+                    .or_default()
+                    .insert(value.clone());
+                *self.day_entries.entry(e.day).or_default() += 1;
+            }
+            added += entries.len() as u64;
+            if let Some(filter) = self.filter.as_mut() {
+                filter.insert(&value);
+            }
+            if let Some(covered) = self.covering.get_mut(&value) {
+                covered.extend_from_slice(&entries);
+            }
+            self.ingest.push_adds(&value, &entries);
+        }
+        self.entries += added;
+        if self
+            .filter
+            .as_ref()
+            .is_some_and(MembershipFilter::is_saturated)
+        {
+            self.rebuild_filter();
+        }
+    }
+
+    /// The days whose entries are physically present in the buckets:
+    /// `days` minus buffer-only days, plus days whose deletion is
+    /// still pending. This is the time-set a serialized image must
+    /// carry, since the image captures the physical layer only.
+    pub(crate) fn physical_days(&self) -> BTreeSet<Day> {
+        if self.ingest.is_empty() {
+            return self.days.clone();
+        }
+        let mut days: BTreeSet<Day> = self
+            .days
+            .iter()
+            .copied()
+            .filter(|d| !self.ingest.day_pending(*d))
+            .collect();
+        days.extend(self.ingest.delete_days());
+        days
+    }
+
+    /// Applies the ingest buffer's overlay to a raw bucket read:
+    /// pending-deleted days filtered out, pending adds appended. The
+    /// batched query paths call this on every `ProbeOutcome::Bucket`
+    /// read so buffered results stay byte-identical to the unbuffered
+    /// path. A no-op when the buffer is empty.
+    pub fn overlay_pending(&self, value: &SearchValue, entries: Vec<Entry>) -> Vec<Entry> {
+        self.ingest.overlay(value, entries)
+    }
+
+    /// Whether this constituent buffers mutations (`cfg.ingest`).
+    pub fn ingest_enabled(&self) -> bool {
+        self.cfg.ingest.enabled
+    }
+
+    /// The ingest buffer tier (empty unless buffering is enabled and
+    /// mutations are pending).
+    pub fn ingest(&self) -> &IngestBuffer {
+        &self.ingest
+    }
+
+    /// Whether the buffer has crossed a spill threshold.
+    pub fn ingest_should_spill(&self) -> bool {
+        self.ingest.should_spill(&self.cfg.ingest)
+    }
+
+    /// Bytes a `.ing` sidecar of the current buffer would occupy — the
+    /// pending-spill bytes `wavectl status` reports. Zero when clean.
+    pub fn pending_ingest_bytes(&self) -> u64 {
+        if self.ingest.is_empty() {
+            0
+        } else {
+            self.ingest.encoded_len() as u64
+        }
     }
 
     /// Allocates `capacity_bytes` and writes `bytes` at its start,
@@ -836,9 +1255,8 @@ impl ConstituentIndex {
     /// counts, day coverage, and the `day_values` side table. For
     /// tests and the driver's verification mode.
     pub fn check_consistency(&self, vol: &mut Volume) -> IndexResult<()> {
-        let map = self.read_all(vol)?;
-        let mut total = 0u64;
-        for (value, entries) in &map {
+        let physical = self.read_all(vol)?;
+        for (value, entries) in &physical {
             let bucket = self
                 .directory
                 .get(value)
@@ -855,8 +1273,33 @@ impl ConstituentIndex {
                     "bucket {value}: capacity below count"
                 )));
             }
+        }
+        // All metadata is logical: validate it against the physical
+        // contents with the ingest overlay applied (the identity map
+        // when the buffer is clean).
+        let mut logical = physical;
+        if !self.ingest.is_empty() {
+            let values: BTreeSet<SearchValue> = logical
+                .keys()
+                .cloned()
+                .chain(self.ingest.iter_adds().map(|(v, _)| v.clone()))
+                .collect();
+            let mut overlaid = BTreeMap::new();
+            for value in values {
+                let disk = logical.remove(&value).unwrap_or_default();
+                let merged = self.ingest.overlay(&value, disk);
+                if !merged.is_empty() {
+                    overlaid.insert(value, merged);
+                }
+            }
+            logical = overlaid;
+        }
+        let mut total = 0u64;
+        let mut per_day: BTreeMap<Day, u64> = BTreeMap::new();
+        for (value, entries) in &logical {
             for e in entries {
                 total += 1;
+                *per_day.entry(e.day).or_default() += 1;
                 if !self.days.contains(&e.day) {
                     return Err(IndexError::Corrupt(format!(
                         "entry {e} has day outside the index time-set"
@@ -879,10 +1322,16 @@ impl ConstituentIndex {
                 self.entries
             )));
         }
+        if per_day != self.day_entries {
+            return Err(IndexError::Corrupt(format!(
+                "day_entries side table {:?} != decoded {per_day:?}",
+                self.day_entries
+            )));
+        }
         // The filter must never false-negative a live value, and every
-        // covered value must mirror its bucket byte-for-byte.
+        // covered value must mirror its logical bucket byte-for-byte.
         if let Some(filter) = &self.filter {
-            for (value, _) in self.directory.iter_ordered() {
+            for value in logical.keys() {
                 if !filter.may_contain(value) {
                     return Err(IndexError::Corrupt(format!(
                         "membership filter false negative on {value}"
@@ -891,7 +1340,7 @@ impl ConstituentIndex {
             }
         }
         for (value, covered) in &self.covering {
-            if map.get(value) != Some(covered) {
+            if logical.get(value) != Some(covered) {
                 return Err(IndexError::Corrupt(format!(
                     "covering entries for {value} diverge from the bucket"
                 )));

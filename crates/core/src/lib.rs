@@ -62,6 +62,7 @@ pub mod entry;
 pub mod error;
 pub mod filter;
 pub mod index;
+pub mod ingest;
 pub mod parallel;
 pub mod persist;
 pub mod query;
@@ -79,9 +80,10 @@ pub use entry::{Entry, ENTRY_BYTES};
 pub use error::{IndexError, IndexResult};
 pub use filter::{FilterConfig, MembershipFilter};
 pub use index::{ConstituentIndex, IndexConfig, ProbeOutcome};
+pub use ingest::{IngestBuffer, IngestConfig};
 pub use persist::{
-    commit_wave, load_committed, CommitReport, FilterRef, LoadedWave, Manifest, ManifestEntry,
-    MANIFEST_NAME,
+    commit_wave, load_committed, CommitReport, FilterRef, IngestRef, LoadedWave, Manifest,
+    ManifestEntry, MANIFEST_NAME,
 };
 pub use query::TimeRange;
 pub use record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::driver::{DayReport, Driver, DriverConfig, QueryLoad};
     pub use crate::filter::FilterConfig;
     pub use crate::index::IndexConfig;
+    pub use crate::ingest::IngestConfig;
     pub use crate::query::TimeRange;
     pub use crate::record::{Day, DayArchive, DayBatch, Record, RecordId, SearchValue};
     pub use crate::schemes::{

@@ -47,6 +47,16 @@
 //! simply have no `filter` lines: loading such an epoch rebuilds the
 //! filter for free during image decode.
 //!
+//! # Ingest-log sidecars
+//!
+//! When a constituent is committed with a dirty ingest buffer
+//! (DESIGN.md §15), phase 1 also serializes the buffer as a
+//! checksummed `.ing` sidecar recorded on an `ingest` manifest line
+//! ([`IngestRef`]); loading replays it over the decoded image. The
+//! log is *not* derived data — unlike a `.filt` sidecar, a damaged
+//! `.ing` costs a constituent rebuild from the archive during
+//! [`crate::recovery::recover`].
+//!
 //! [`fsck`]: crate::recovery::fsck
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -88,8 +98,13 @@ pub fn index_to_bytes(idx: &ConstituentIndex, vol: &mut Volume) -> IndexResult<V
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     write_bytes(&mut out, idx.label().as_bytes());
-    out.extend_from_slice(&(idx.days().len() as u32).to_le_bytes());
-    for day in idx.days() {
+    // The image captures the physical layer: with buffered mutations
+    // in flight its time-set is the *physical* days (pending-delete
+    // days still present, buffer-only days absent); the `.ing` sidecar
+    // carries the delta back to the logical state.
+    let days = idx.physical_days();
+    out.extend_from_slice(&(days.len() as u32).to_le_bytes());
+    for day in &days {
         out.extend_from_slice(&day.0.to_le_bytes());
     }
     out.extend_from_slice(&(map.len() as u32).to_le_bytes());
@@ -228,6 +243,25 @@ pub struct FilterRef {
     pub crc64: u64,
 }
 
+/// An ingest-log sidecar file as the manifest records it.
+///
+/// Written when a constituent is committed with a dirty ingest buffer
+/// (`slot{j}.e{epoch}.ing`): the serialized memtable that
+/// [`load_committed`] and [`crate::recovery::recover`] replay over
+/// the decoded physical image. Unlike a filter sidecar the log is
+/// **not** derived data — the buffered entries exist nowhere else in
+/// the store — so a torn log costs a constituent rebuild from the
+/// archive instead of a cheap in-memory rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestRef {
+    /// Sidecar file name inside the store (`slot{j}.e{epoch}.ing`).
+    pub file: String,
+    /// Exact file length in bytes.
+    pub len: u64,
+    /// CRC64 of the whole file.
+    pub crc64: u64,
+}
+
 /// One constituent file as the manifest records it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
@@ -247,6 +281,10 @@ pub struct ManifestEntry {
     /// filter when committed. `None` for filter-less constituents
     /// and for manifests written before sidecars existed.
     pub filter: Option<FilterRef>,
+    /// Ingest-log sidecar, if the constituent was committed with a
+    /// dirty ingest buffer. `None` for clean buffers and manifests
+    /// written before the buffered tier existed.
+    pub ingest: Option<IngestRef>,
 }
 
 /// The committed state of a wave index: which epoch is live, what it
@@ -296,6 +334,12 @@ impl Manifest {
                 text.push_str(&format!(
                     "filter {} {} {} {:016x}\n",
                     e.slot, f.file, f.len, f.crc64
+                ));
+            }
+            if let Some(l) = &e.ingest {
+                text.push_str(&format!(
+                    "ingest {} {} {} {:016x}\n",
+                    e.slot, l.file, l.len, l.crc64
                 ));
             }
         }
@@ -399,6 +443,7 @@ impl Manifest {
                         label,
                         days,
                         filter: None,
+                        ingest: None,
                     });
                 }
                 Some("filter") => {
@@ -425,6 +470,35 @@ impl Manifest {
                         return Err(corrupt(&format!("duplicate filter line for slot {slot}")));
                     }
                     entry.filter = Some(FilterRef {
+                        file,
+                        len,
+                        crc64: crc,
+                    });
+                }
+                Some("ingest") => {
+                    let mut field = |what: &str| {
+                        parts
+                            .next()
+                            .map(str::to_string)
+                            .ok_or_else(|| corrupt(&format!("ingest entry missing {what}")))
+                    };
+                    let slot: usize = field("slot")?
+                        .parse()
+                        .map_err(|_| corrupt("bad ingest slot"))?;
+                    let file = field("file")?;
+                    let len = field("len")?
+                        .parse()
+                        .map_err(|_| corrupt("bad ingest len"))?;
+                    let crc = u64::from_str_radix(&field("crc")?, 16)
+                        .map_err(|_| corrupt("bad ingest crc"))?;
+                    let entry = entries
+                        .iter_mut()
+                        .find(|e| e.slot == slot)
+                        .ok_or_else(|| corrupt(&format!("ingest line for unknown slot {slot}")))?;
+                    if entry.ingest.is_some() {
+                        return Err(corrupt(&format!("duplicate ingest line for slot {slot}")));
+                    }
+                    entry.ingest = Some(IngestRef {
                         file,
                         len,
                         crc64: crc,
@@ -554,6 +628,25 @@ fn commit_wave_inner(
             }
             None => None,
         };
+        // A dirty ingest buffer rides along as a `.ing` sidecar in
+        // phase 1, so the atomic manifest flip publishes image + log
+        // together: a crash at any instant recovers either the whole
+        // pre-commit state or the whole post-commit state, buffered
+        // entries included.
+        let ingest = if idx.ingest().is_empty() {
+            None
+        } else {
+            let log = idx.ingest().to_bytes();
+            let log_name = format!("{name}.ing");
+            retry.run(&retries, || store.put(&log_name, &log))?;
+            bytes_written += log.len() as u64;
+            obs.counter("ingest.log_writes").inc();
+            Some(IngestRef {
+                file: log_name,
+                len: log.len() as u64,
+                crc64: crc64(&log),
+            })
+        };
         entries.push(ManifestEntry {
             slot: j,
             file: name,
@@ -562,6 +655,7 @@ fn commit_wave_inner(
             label: idx.label().to_string(),
             days: idx.days().iter().copied().collect(),
             filter,
+            ingest,
         });
     }
     let covered = wave.covered_days();
@@ -585,7 +679,9 @@ fn commit_wave_inner(
         .entries
         .iter()
         .flat_map(|e| {
-            std::iter::once(e.file.as_str()).chain(e.filter.as_ref().map(|f| f.file.as_str()))
+            std::iter::once(e.file.as_str())
+                .chain(e.filter.as_ref().map(|f| f.file.as_str()))
+                .chain(e.ingest.as_ref().map(|l| l.file.as_str()))
         })
         .collect();
     let mut orphans_removed = 0usize;
@@ -689,6 +785,22 @@ pub fn load_committed(
                 idx.release(vol)?;
                 return Err(IndexError::Corrupt(msg));
             }
+            // Replay the ingest log before installing the filter
+            // sidecar: replay may rebuild the filter from metadata,
+            // and the persisted sidecar (serialized from the logical
+            // filter at commit) must win for fidelity.
+            if let Some(iref) = &e.ingest {
+                match load_ingest_log(store, iref) {
+                    Ok((deletes, pending_days, adds)) => {
+                        idx.replay_ingest(vol, &deletes, &pending_days, adds);
+                        vol.obs().counter("ingest.log_replays").inc();
+                    }
+                    Err(err) => {
+                        idx.release(vol)?;
+                        return Err(err);
+                    }
+                }
+            }
             if let Some(fref) = &e.filter {
                 // The strict loader verifies every referenced byte,
                 // sidecars included; only recover() tolerates damage
@@ -762,6 +874,39 @@ pub(crate) fn load_filter_sidecar(
         });
     }
     MembershipFilter::from_bytes(&bytes)
+}
+
+/// Fetches an ingest-log sidecar and verifies it against its manifest
+/// reference (exact length, whole-file CRC64) before decoding it
+/// (which re-verifies the log's own embedded checksum).
+#[allow(clippy::type_complexity)]
+pub(crate) fn load_ingest_log(
+    store: &mut dyn IndexStore,
+    iref: &IngestRef,
+) -> IndexResult<(Vec<Day>, Vec<Day>, BTreeMap<SearchValue, Vec<Entry>>)> {
+    let bytes = store.get(&iref.file)?.ok_or_else(|| {
+        IndexError::Corrupt(format!(
+            "manifest references missing ingest log {}",
+            iref.file
+        ))
+    })?;
+    if bytes.len() as u64 != iref.len {
+        return Err(IndexError::Corrupt(format!(
+            "{}: length {} != manifest {}",
+            iref.file,
+            bytes.len(),
+            iref.len
+        )));
+    }
+    let got = crc64(&bytes);
+    if got != iref.crc64 {
+        return Err(IndexError::ChecksumMismatch {
+            what: iref.file.clone(),
+            expected: iref.crc64,
+            got,
+        });
+    }
+    crate::ingest::IngestBuffer::decode_log(&bytes)
 }
 
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -939,6 +1084,7 @@ mod tests {
                     label: "I1".into(),
                     days: vec![Day(5)],
                     filter: None,
+                    ingest: None,
                 },
                 ManifestEntry {
                     slot: 2,
@@ -951,6 +1097,11 @@ mod tests {
                         file: "slot2.e7.filt".into(),
                         len: 96,
                         crc64: 0xFEED_FACE_CAFE_F00D,
+                    }),
+                    ingest: Some(IngestRef {
+                        file: "slot2.e7.ing".into(),
+                        len: 64,
+                        crc64: 0x0F1E_2D3C_4B5A_6978,
                     }),
                 },
             ],

@@ -32,6 +32,14 @@
 //!   derived data, so [`recover`] rebuilds the sidecar from the
 //!   (verified) constituent image and re-references it in the
 //!   manifest. No quarantine, no slot drop.
+//! * **Damaged ingest logs** — a missing or corrupt `.ing` sidecar is
+//!   the opposite of a filter: buffered updates live *nowhere else*
+//!   on disk, so the slot's logical contents cannot be reconstructed
+//!   from the (healthy) image alone. The log and image are
+//!   quarantined and the constituent is rebuilt from the day archive
+//!   (the manifest's day list is logical, so it covers the buffered
+//!   days) or the slot is dropped — exactly the damaged-constituent
+//!   policy.
 //!
 //! Every action is counted on the volume's [`wave_obs::Obs`] handle:
 //! `fsck.files_scanned`, `fsck.checksum_failures`,
@@ -79,6 +87,13 @@ pub struct FsckReport {
     pub filter_corrupt: Vec<String>,
     /// Referenced filter sidecars absent from the store.
     pub filter_missing: Vec<String>,
+    /// Referenced ingest-log sidecars that verified clean.
+    pub ingest_ok: Vec<String>,
+    /// Referenced ingest-log sidecars whose length or checksum
+    /// disagrees with the manifest.
+    pub ingest_corrupt: Vec<String>,
+    /// Referenced ingest-log sidecars absent from the store.
+    pub ingest_missing: Vec<String>,
 }
 
 impl FsckReport {
@@ -94,6 +109,8 @@ impl FsckReport {
             && self.orphans.is_empty()
             && self.filter_corrupt.is_empty()
             && self.filter_missing.is_empty()
+            && self.ingest_corrupt.is_empty()
+            && self.ingest_missing.is_empty()
     }
 }
 
@@ -145,17 +162,33 @@ pub fn fsck(store: &mut dyn IndexStore, obs: &Obs) -> IndexResult<FsckReport> {
                 }
             }
         }
-        let Some(f) = &e.filter else { continue };
-        report.files_scanned += 1;
-        scanned.inc();
-        match store.get(&f.file)? {
-            None => report.filter_missing.push(f.file.clone()),
-            Some(bytes) => {
-                if bytes.len() as u64 == f.len && crc64(&bytes) == f.crc64 {
-                    report.filter_ok.push(f.file.clone());
-                } else {
-                    failures.inc();
-                    report.filter_corrupt.push(f.file.clone());
+        if let Some(f) = &e.filter {
+            report.files_scanned += 1;
+            scanned.inc();
+            match store.get(&f.file)? {
+                None => report.filter_missing.push(f.file.clone()),
+                Some(bytes) => {
+                    if bytes.len() as u64 == f.len && crc64(&bytes) == f.crc64 {
+                        report.filter_ok.push(f.file.clone());
+                    } else {
+                        failures.inc();
+                        report.filter_corrupt.push(f.file.clone());
+                    }
+                }
+            }
+        }
+        if let Some(l) = &e.ingest {
+            report.files_scanned += 1;
+            scanned.inc();
+            match store.get(&l.file)? {
+                None => report.ingest_missing.push(l.file.clone()),
+                Some(bytes) => {
+                    if bytes.len() as u64 == l.len && crc64(&bytes) == l.crc64 {
+                        report.ingest_ok.push(l.file.clone());
+                    } else {
+                        failures.inc();
+                        report.ingest_corrupt.push(l.file.clone());
+                    }
                 }
             }
         }
@@ -163,9 +196,11 @@ pub fn fsck(store: &mut dyn IndexStore, obs: &Obs) -> IndexResult<FsckReport> {
 
     for name in store.list()? {
         if name == MANIFEST_NAME
-            || referenced
-                .iter()
-                .any(|e| e.file == name || e.filter.as_ref().is_some_and(|f| f.file == name))
+            || referenced.iter().any(|e| {
+                e.file == name
+                    || e.filter.as_ref().is_some_and(|f| f.file == name)
+                    || e.ingest.as_ref().is_some_and(|l| l.file == name)
+            })
         {
             continue;
         }
@@ -329,40 +364,79 @@ fn recover_inner(
                             "mislabelled"
                         }
                         Ok((mut idx, info)) => {
-                            // The constituent is healthy; its filter
-                            // sidecar may not be. Repair is cheap and
-                            // lossless (the filter is derived data),
-                            // so it never quarantines or drops.
-                            match repair_sidecar(cfg, store, &mut entry, &mut idx) {
-                                Ok(SidecarFix::Intact) => {}
-                                Ok(SidecarFix::Rebuilt(name)) => {
-                                    manifest_dirty = true;
-                                    filter_rebuilds.inc();
-                                    obs.event(
-                                        "recover.filter_rebuild",
-                                        wave_obs::fields![("file", name.as_str())],
-                                    );
-                                    report.rebuilt_filters.push(name);
-                                }
-                                Ok(SidecarFix::Dropped) => manifest_dirty = true,
-                                Err(e) => {
-                                    if let Err(e2) = idx.release(vol) {
-                                        result = Err(e2);
-                                    } else {
-                                        result = Err(e);
+                            // Replay the ingest log before anything
+                            // else (mirroring the strict loader). A
+                            // damaged log is the opposite of a filter
+                            // sidecar: the buffered updates it holds
+                            // exist nowhere else on disk, so damage
+                            // here is constituent damage — quarantine
+                            // the log and fall through to the
+                            // rebuild-or-drop path below.
+                            let mut torn_log = None;
+                            if let Some(iref) = &entry.ingest {
+                                match crate::persist::load_ingest_log(store, iref) {
+                                    Ok((deletes, pending, adds)) => {
+                                        idx.replay_ingest(vol, &deletes, &pending, adds);
+                                        obs.counter("ingest.log_replays").inc();
                                     }
-                                    break;
+                                    Err(_) => torn_log = Some(iref.clone()),
                                 }
                             }
-                            provenance.push(SlotProvenance {
-                                slot: entry.slot,
-                                label: entry.label.clone(),
-                                version: info.version,
-                                verified: info.verified,
-                            });
-                            wave.install(entry.slot, idx);
-                            kept.push(entry);
-                            continue;
+                            if let Some(iref) = torn_log {
+                                if let Err(e) = idx.release(vol) {
+                                    result = Err(e);
+                                    break;
+                                }
+                                entry.ingest = None;
+                                let quar = format!("{}{}", iref.file, QUARANTINE_SUFFIX);
+                                match store.rename(&iref.file, &quar) {
+                                    Ok(()) => {
+                                        quarantines.inc();
+                                        report.quarantined.push(quar);
+                                    }
+                                    Err(wave_storage::StorageError::FileNotFound(_)) => {}
+                                    Err(e) => {
+                                        result = Err(e.into());
+                                        break;
+                                    }
+                                }
+                                "ingest_torn"
+                            } else {
+                                // The constituent is healthy; its filter
+                                // sidecar may not be. Repair is cheap and
+                                // lossless (the filter is derived data),
+                                // so it never quarantines or drops.
+                                match repair_sidecar(cfg, store, &mut entry, &mut idx) {
+                                    Ok(SidecarFix::Intact) => {}
+                                    Ok(SidecarFix::Rebuilt(name)) => {
+                                        manifest_dirty = true;
+                                        filter_rebuilds.inc();
+                                        obs.event(
+                                            "recover.filter_rebuild",
+                                            wave_obs::fields![("file", name.as_str())],
+                                        );
+                                        report.rebuilt_filters.push(name);
+                                    }
+                                    Ok(SidecarFix::Dropped) => manifest_dirty = true,
+                                    Err(e) => {
+                                        if let Err(e2) = idx.release(vol) {
+                                            result = Err(e2);
+                                        } else {
+                                            result = Err(e);
+                                        }
+                                        break;
+                                    }
+                                }
+                                provenance.push(SlotProvenance {
+                                    slot: entry.slot,
+                                    label: entry.label.clone(),
+                                    version: info.version,
+                                    verified: info.verified,
+                                });
+                                wave.install(entry.slot, idx);
+                                kept.push(entry);
+                                continue;
+                            }
                         }
                     }
                 }
@@ -417,6 +491,10 @@ fn recover_inner(
                         }
                         None => None,
                     };
+                    // A rebuild covers every logical day physically,
+                    // so any surviving log reference is stale; the
+                    // unreferenced `.ing` file is swept below.
+                    entry.ingest = None;
                     Ok(idx)
                 })();
                 match rebuilt {
@@ -475,10 +553,11 @@ fn recover_inner(
     for name in store.list()? {
         if name == MANIFEST_NAME
             || name.ends_with(QUARANTINE_SUFFIX)
-            || manifest
-                .entries
-                .iter()
-                .any(|e| e.file == name || e.filter.as_ref().is_some_and(|f| f.file == name))
+            || manifest.entries.iter().any(|e| {
+                e.file == name
+                    || e.filter.as_ref().is_some_and(|f| f.file == name)
+                    || e.ingest.as_ref().is_some_and(|l| l.file == name)
+            })
         {
             continue;
         }

@@ -511,8 +511,11 @@ impl ArmState {
         let before = vol.stats();
         let mut per_slot: Vec<(usize, Vec<Vec<Entry>>)> = Vec::new();
         let mut requests = Vec::new();
-        // (position in per_slot, value index, pruned hit) per hit.
-        let mut hits: Vec<(usize, usize, BatchHit)> = Vec::new();
+        // (position in per_slot, value index, constituent, value,
+        // pruned hit) per hit; the constituent and value ride along so
+        // bucket reads can apply the ingest overlay at resolve time.
+        #[allow(clippy::type_complexity)]
+        let mut hits: Vec<(usize, usize, &ConstituentIndex, &SearchValue, BatchHit)> = Vec::new();
         for (&slot, idx) in slots.iter() {
             let Some((lo, hi)) = idx.day_span() else {
                 continue;
@@ -526,7 +529,7 @@ impl ArmState {
                 match idx.prune_probe(vol, value) {
                     ProbeOutcome::Skipped | ProbeOutcome::Absent => {}
                     ProbeOutcome::Covered(entries) => {
-                        hits.push((pos, vi, BatchHit::Covered(entries)));
+                        hits.push((pos, vi, idx, value, BatchHit::Covered(entries)));
                     }
                     ProbeOutcome::Bucket(bucket) => {
                         if bucket.count == 0 {
@@ -537,7 +540,7 @@ impl ArmState {
                             bucket.offset,
                             bucket.count as usize * ENTRY_BYTES,
                         ));
-                        hits.push((pos, vi, BatchHit::Read(bucket.count)));
+                        hits.push((pos, vi, idx, value, BatchHit::Read(bucket.count)));
                     }
                 }
             }
@@ -550,8 +553,8 @@ impl ArmState {
             IoScheduler::read_batch_retry(vol, &requests, ctx, retry, retries)?
         };
         let mut buffers = buffers.iter();
-        for (pos, vi, hit) in hits {
-            let mut entries = hit.resolve(&mut buffers);
+        for (pos, vi, idx, value, hit) in hits {
+            let mut entries = hit.resolve(idx, value, &mut buffers);
             entries.retain(|e| range.contains(e.day));
             if let Some((_, slot_values)) = per_slot.get_mut(pos) {
                 if let Some(out) = slot_values.get_mut(vi) {

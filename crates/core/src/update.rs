@@ -78,6 +78,11 @@ impl Updater {
         idx: &mut ConstituentIndex,
         del_days: &BTreeSet<Day>,
     ) -> IndexResult<PreparedUpdate> {
+        // With the ingest tier on, mutations land in the memtable at
+        // apply time; there is no pre-computation to pull forward.
+        if idx.ingest_enabled() {
+            return Ok(PreparedUpdate::default());
+        }
         match self.technique {
             UpdateTechnique::InPlace => {
                 if !del_days.is_empty() {
@@ -116,6 +121,16 @@ impl Updater {
         del_days: &BTreeSet<Day>,
         add: &[&DayBatch],
     ) -> IndexResult<()> {
+        // Amortized write path: park the mutation in the ingest
+        // buffer (no bucket I/O) and only touch the physical layer
+        // when the spill policy trips.
+        if idx.ingest_enabled() {
+            idx.buffer_update(vol, del_days, add);
+            if idx.ingest_should_spill() {
+                self.spill(vol, idx)?;
+            }
+            return Ok(());
+        }
         let remaining: BTreeSet<Day> = del_days.difference(&prep.deleted).copied().collect();
         match self.technique {
             UpdateTechnique::InPlace => {
@@ -153,6 +168,57 @@ impl Updater {
                 old.release(vol)
             }
         }
+    }
+
+    /// Forces the ingest buffer to merge into the constituent under
+    /// this updater's technique. A no-op on a clean buffer.
+    ///
+    /// * in-place — merge directly into the live directory/buckets
+    ///   (one batched read sweep + one coalesced write flush);
+    /// * simple shadow — copy the index once per *spill* (not once
+    ///   per day), merge into the copy, swap;
+    /// * packed shadow — stream physical contents + buffer into a
+    ///   fresh packed twin, swap.
+    pub fn spill(&self, vol: &mut Volume, idx: &mut ConstituentIndex) -> IndexResult<()> {
+        if idx.ingest().is_empty() {
+            return Ok(());
+        }
+        let obs = vol.obs().clone();
+        let mut span = obs.child_span(
+            vol.trace_ctx(),
+            "ingest.spill",
+            wave_obs::fields![
+                ("entries", idx.ingest().pending_entries()),
+                ("delete_days", idx.ingest().pending_delete_days() as u64)
+            ],
+        );
+        let spilled = match self.technique {
+            UpdateTechnique::InPlace => idx.spill_in_place(vol)?,
+            UpdateTechnique::SimpleShadow => {
+                let mut shadow = idx.clone_shadow(vol, idx.label().to_string())?;
+                let spilled = match shadow.spill_in_place(vol) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        let _ = shadow.release(vol);
+                        return Err(e);
+                    }
+                };
+                let old = std::mem::replace(idx, shadow);
+                old.release(vol)?;
+                spilled
+            }
+            UpdateTechnique::PackedShadow => {
+                let spilled = idx.ingest().pending_entries();
+                let new = idx.spill_packed(vol)?;
+                let old = std::mem::replace(idx, new);
+                old.release(vol)?;
+                spilled
+            }
+        };
+        obs.counter("ingest.spills").inc();
+        obs.counter("ingest.spilled_entries").add(spilled);
+        span.set_end_field("spilled", spilled);
+        Ok(())
     }
 
     /// Convenience: prepare + apply in one step (used where the paper

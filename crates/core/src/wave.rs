@@ -30,13 +30,23 @@ pub(crate) enum BatchHit {
 
 impl BatchHit {
     /// Resolves the hit to its entries, consuming the next scheduled
-    /// buffer if this hit was a bucket read.
-    pub(crate) fn resolve<'a>(self, buffers: &mut impl Iterator<Item = &'a Vec<u8>>) -> Vec<Entry> {
+    /// buffer if this hit was a bucket read. Bucket reads get the
+    /// constituent's ingest overlay applied (a no-op with a clean
+    /// buffer); covered hits are already logical.
+    pub(crate) fn resolve<'a>(
+        self,
+        idx: &ConstituentIndex,
+        value: &SearchValue,
+        buffers: &mut impl Iterator<Item = &'a Vec<u8>>,
+    ) -> Vec<Entry> {
         match self {
             BatchHit::Covered(entries) => entries,
-            BatchHit::Read(count) => decode_entries(
-                buffers.next().expect("one buffer per scheduled read"),
-                count as usize,
+            BatchHit::Read(count) => idx.overlay_pending(
+                value,
+                decode_entries(
+                    buffers.next().expect("one buffer per scheduled read"),
+                    count as usize,
+                ),
             ),
         }
     }
@@ -181,7 +191,7 @@ impl WaveIndex {
         // hit — a filter skip still counts as an access, it just costs
         // no I/O.
         let mut requests: Vec<ReadRequest> = Vec::new();
-        let mut hits: Vec<(usize, BatchHit)> = Vec::new();
+        let mut hits: Vec<(usize, &ConstituentIndex, &SearchValue, BatchHit)> = Vec::new();
         let mut accessed = 0usize;
         for (_, idx) in self.iter() {
             let Some((lo, hi)) = idx.day_span() else {
@@ -195,7 +205,7 @@ impl WaveIndex {
                 match idx.prune_probe(vol, value) {
                     ProbeOutcome::Skipped | ProbeOutcome::Absent => {}
                     ProbeOutcome::Covered(entries) => {
-                        hits.push((vi, BatchHit::Covered(entries)));
+                        hits.push((vi, idx, value, BatchHit::Covered(entries)));
                     }
                     ProbeOutcome::Bucket(bucket) => {
                         if bucket.count == 0 {
@@ -206,7 +216,7 @@ impl WaveIndex {
                             bucket.offset,
                             bucket.count as usize * ENTRY_BYTES,
                         ));
-                        hits.push((vi, BatchHit::Read(bucket.count)));
+                        hits.push((vi, idx, value, BatchHit::Read(bucket.count)));
                     }
                 }
             }
@@ -227,8 +237,8 @@ impl WaveIndex {
         // entry order exactly; covered hits splice in at the same
         // position the bucket read would have.
         let mut buffers = buffers.iter();
-        for (vi, hit) in hits {
-            let mut entries = hit.resolve(&mut buffers);
+        for (vi, idx, value, hit) in hits {
+            let mut entries = hit.resolve(idx, value, &mut buffers);
             entries.retain(|e| range.contains(e.day));
             if let Some(r) = results.get_mut(vi) {
                 r.entries.extend(entries);

@@ -95,7 +95,9 @@ fn assert_no_orphans(store: &mut FileStore, loaded: &LoadedWave, ctx: &str) {
         .entries
         .iter()
         .flat_map(|e| {
-            std::iter::once(e.file.clone()).chain(e.filter.as_ref().map(|f| f.file.clone()))
+            std::iter::once(e.file.clone())
+                .chain(e.filter.as_ref().map(|f| f.file.clone()))
+                .chain(e.ingest.as_ref().map(|l| l.file.clone()))
         })
         .collect();
     expect.insert(MANIFEST_NAME.to_string());
@@ -106,7 +108,9 @@ fn assert_no_orphans(store: &mut FileStore, loaded: &LoadedWave, ctx: &str) {
 /// Explores every crash point of one commit. `baseline` is the store
 /// directory to start each experiment from (may be empty = first
 /// commit). Returns the number of crash points explored.
+#[allow(clippy::too_many_arguments)] // a test driver, not an API surface
 fn explore_commit(
+    cfg: IndexConfig,
     scheme: &dyn WaveScheme,
     vol: &mut Volume,
     oracle: &Oracle,
@@ -133,7 +137,7 @@ fn explore_commit(
                     // is complete. Sanity-check the final state once.
                     let mut store = faulty.into_inner();
                     let mut vol2 = Volume::default();
-                    let mut loaded = load_committed(IndexConfig::default(), &mut vol2, &mut store)
+                    let mut loaded = load_committed(cfg, &mut vol2, &mut store)
                         .unwrap()
                         .unwrap_or_else(|| panic!("{cctx}: committed store is empty"));
                     assert_eq!(loaded.manifest.epoch, report.epoch);
@@ -149,9 +153,8 @@ fn explore_commit(
                     // Reopen cold, as a restarted process would.
                     let mut store = FileStore::open(&work).unwrap();
                     let mut vol2 = Volume::default();
-                    let (loaded, report) =
-                        recover(IndexConfig::default(), &mut vol2, &mut store, Some(archive))
-                            .unwrap_or_else(|e| panic!("{cctx}: recovery failed: {e}"));
+                    let (loaded, report) = recover(cfg, &mut vol2, &mut store, Some(archive))
+                        .unwrap_or_else(|e| panic!("{cctx}: recovery failed: {e}"));
                     assert!(
                         report.quarantined.is_empty() && !report.manifest_quarantined,
                         "{cctx}: crash-only faults must never quarantine: {report:?}"
@@ -231,6 +234,7 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
             }
             fs::create_dir_all(&empty).unwrap();
             let a = explore_commit(
+                IndexConfig::default(),
                 scheme.as_ref(),
                 &mut vol,
                 &oracle,
@@ -262,6 +266,7 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
             archive.insert(b);
             scheme.transition(&mut vol, &archive, Day(d)).unwrap();
             let b = explore_commit(
+                IndexConfig::default(),
                 scheme.as_ref(),
                 &mut vol,
                 &oracle,
@@ -277,6 +282,99 @@ fn every_crash_point_recovers_to_pre_or_post_state() {
             assert_eq!(vol.live_blocks(), 0, "{ctx}: scheme leaked blocks");
         }
     }
+}
+
+/// The same explorer with the buffered ingest tier on: thresholds are
+/// tuned so transitions leave buffers dirty at some commits and spill
+/// at others, which drives the commit through every `.ing`-sidecar
+/// crash point — clean, torn log temp write, spill completed but the
+/// manifest flip lost. Every crash must still recover to exactly the
+/// pre- or post-transition wave with zero residue; a torn unreferenced
+/// log is crash residue, never quarantine-worthy.
+#[test]
+fn dirty_buffer_crash_points_recover_to_pre_or_post_state() {
+    let index = IndexConfig {
+        ingest: IngestConfig {
+            enabled: true,
+            max_entries: 7,
+            max_days: 3,
+        },
+        ..Default::default()
+    };
+    let mut any_dirty_commit = false;
+    for kind in SchemeKind::ALL {
+        for technique in techniques() {
+            let n = kind.min_fan().max(3);
+            let mut vol = Volume::default();
+            let mut scheme = kind
+                .build(
+                    SchemeConfig::new(W, n)
+                        .with_technique(technique)
+                        .with_index(index),
+                )
+                .unwrap();
+            let mut archive = DayArchive::new();
+            let mut oracle = Oracle::new();
+            for d in 1..=W {
+                let b = day_batch(d);
+                oracle.insert(&b);
+                archive.insert(b);
+            }
+            scheme.start(&mut vol, &archive).unwrap();
+            for d in (W + 1)..=(W + 2) {
+                let b = day_batch(d);
+                oracle.insert(&b);
+                archive.insert(b);
+                scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+            }
+            let ctx = format!("{kind}/{technique:?} buffered");
+
+            // Establish epoch 1 (possibly with `.ing` sidecars on
+            // disk), advance one more day so some buffers are dirty,
+            // then crash the epoch-2 commit everywhere.
+            let base = scratch_dir("ing-base");
+            if base.exists() {
+                fs::remove_dir_all(&base).unwrap();
+            }
+            let mut base_store = FileStore::open(&base).unwrap();
+            commit_wave(
+                scheme.wave(),
+                &mut vol,
+                &mut base_store,
+                &RetryPolicy::no_backoff(1),
+            )
+            .unwrap();
+            let d = W + 3;
+            let b = day_batch(d);
+            oracle.insert(&b);
+            archive.insert(b);
+            scheme.transition(&mut vol, &archive, Day(d)).unwrap();
+            any_dirty_commit |= scheme
+                .wave()
+                .iter()
+                .any(|(_, idx)| !idx.ingest().is_empty());
+            let explored = explore_commit(
+                index,
+                scheme.as_ref(),
+                &mut vol,
+                &oracle,
+                &archive,
+                &base,
+                false,
+                &ctx,
+            );
+            assert!(explored > 0, "{ctx}: explored no crash points");
+            fs::remove_dir_all(&base).unwrap();
+
+            scheme.release(&mut vol).unwrap();
+            assert_eq!(vol.live_blocks(), 0, "{ctx}: scheme leaked blocks");
+        }
+    }
+    assert!(
+        any_dirty_commit,
+        "thresholds never left a buffer dirty at commit time; \
+         the sweep exercised no `.ing` crash points"
+    );
 }
 
 /// Tears every filter sidecar of a committed store in turn (and once

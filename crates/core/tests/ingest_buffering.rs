@@ -1,0 +1,434 @@
+//! The buffered ingest tier, end to end: oracle agreement with
+//! spills firing mid-run, byte-identity against the unbuffered path,
+//! spill equivalence under every technique, and dirty-buffer
+//! persistence (commit, strict load, torn-log recovery).
+
+use std::collections::BTreeSet;
+
+use wave_index::persist::{commit_wave, load_committed};
+use wave_index::prelude::*;
+use wave_index::recovery::{fsck, recover};
+use wave_index::schemes::SchemeKind;
+use wave_index::update::Updater;
+use wave_index::verify::{verify_scheme, Oracle};
+use wave_index::ConstituentIndex;
+use wave_obs::SplitMix64;
+use wave_storage::{FileStore, IndexStore, Obs, RetryPolicy};
+
+/// Random daily batches over a small shared value space (see
+/// `scheme_properties.rs` — same shape so coverage matches).
+fn random_batch(day: u32, spec: &[(u8, u8)]) -> DayBatch {
+    let records = spec
+        .iter()
+        .enumerate()
+        .map(|(i, &(value, aux))| {
+            let mut r = Record::with_values(
+                RecordId(day as u64 * 1_000 + i as u64),
+                [SearchValue::from_u64((value % 7) as u64)],
+            );
+            for (_, a) in &mut r.values {
+                *a = aux as u64;
+            }
+            r
+        })
+        .collect();
+    DayBatch::new(Day(day), records)
+}
+
+fn random_day_specs(rng: &mut SplitMix64, days: usize) -> Vec<Vec<(u8, u8)>> {
+    (0..days)
+        .map(|_| {
+            (0..rng.range_usize(0, 5))
+                .map(|_| (rng.next_u64() as u8, rng.next_u64() as u8))
+                .collect()
+        })
+        .collect()
+}
+
+fn technique(i: u8) -> UpdateTechnique {
+    match i % 3 {
+        0 => UpdateTechnique::InPlace,
+        1 => UpdateTechnique::SimpleShadow,
+        _ => UpdateTechnique::PackedShadow,
+    }
+}
+
+/// A buffered config with thresholds small enough that spills fire
+/// mid-run, so the sweep exercises dirty buffers, the spill paths,
+/// and post-spill reads in one pass.
+fn spilly_index_config(rng: &mut SplitMix64) -> IndexConfig {
+    IndexConfig {
+        ingest: IngestConfig {
+            enabled: true,
+            max_entries: rng.range_usize(3, 14),
+            max_days: rng.range_u32(2, 5),
+        },
+        ..Default::default()
+    }
+}
+
+/// A buffered config that never spills on its own, so buffers stay
+/// dirty for as long as the test wants them dirty.
+fn never_spill_config() -> IndexConfig {
+    IndexConfig {
+        ingest: IngestConfig {
+            enabled: true,
+            max_entries: usize::MAX,
+            max_days: u32::MAX,
+        },
+        ..Default::default()
+    }
+}
+
+/// The grand invariant of `scheme_properties.rs`, re-run with the
+/// ingest tier on and spilling aggressively: every scheme × technique
+/// still answers queries exactly like the oracle, and every
+/// constituent passes its own deep consistency check every day.
+#[test]
+fn buffered_schemes_agree_with_oracle() {
+    let mut rng = SplitMix64::new(0x1265_7E57);
+    for case in 0..24u8 {
+        let kind = SchemeKind::ALL[case as usize % SchemeKind::ALL.len()];
+        let tech = technique(rng.next_u64() as u8);
+        let window = rng.range_u32(3, 9);
+        let min_fan = kind.min_fan();
+        let fan = min_fan + rng.range_usize(0, 255) % (window as usize - min_fan + 1);
+        let days = rng.range_usize(12, 25);
+        let index = spilly_index_config(&mut rng);
+        let day_specs = random_day_specs(&mut rng, days);
+
+        let cfg = SchemeConfig::new(window, fan)
+            .with_technique(tech)
+            .with_index(index);
+        let mut scheme = kind.build(cfg).unwrap();
+        let mut vol = Volume::default();
+        let mut archive = DayArchive::new();
+        let mut oracle = Oracle::new();
+
+        let probe_values: Vec<SearchValue> = (0..7).map(SearchValue::from_u64).collect();
+        for (i, spec) in day_specs.iter().enumerate() {
+            let day = i as u32 + 1;
+            let batch = random_batch(day, spec);
+            oracle.insert(&batch);
+            archive.insert(batch);
+            if day < window {
+                continue;
+            }
+            if day == window {
+                scheme.start(&mut vol, &archive).unwrap();
+            } else {
+                scheme.transition(&mut vol, &archive, Day(day)).unwrap();
+            }
+            verify_scheme(scheme.as_ref(), &mut vol, &oracle, &probe_values)
+                .unwrap_or_else(|e| panic!("case {case}: {kind} {:?}: {e}", cfg.technique));
+            for (_, idx) in scheme.wave().iter() {
+                idx.check_consistency(&mut vol)
+                    .unwrap_or_else(|e| panic!("case {case}: {kind} day {day}: {e}"));
+            }
+        }
+        scheme.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0, "case {case}: {kind} leaked blocks");
+    }
+}
+
+/// Byte-identity: with buffering on but never spilling, every query
+/// path — timed probe, untimed probe, segment scan, batched probe —
+/// returns entry-for-entry identical results (order included) to a
+/// twin unbuffered run over the same workload.
+#[test]
+fn buffered_reads_byte_identical_to_unbuffered() {
+    let mut rng = SplitMix64::new(0xB17E_1DE4);
+    for kind in SchemeKind::ALL {
+        for tech_i in 0..3u8 {
+            let tech = technique(tech_i);
+            let window = 6u32;
+            let fan = kind.min_fan().max(2);
+            let days = rng.range_usize(12, 19);
+            let day_specs = random_day_specs(&mut rng, days);
+
+            let base = SchemeConfig::new(window, fan).with_technique(tech);
+            let buffered_cfg = base.with_index(never_spill_config());
+            let mut plain = kind.build(base).unwrap();
+            let mut buffered = kind.build(buffered_cfg).unwrap();
+            let mut vol_p = Volume::default();
+            let mut vol_b = Volume::default();
+            let mut archive = DayArchive::new();
+
+            let values: Vec<SearchValue> = (0..7).map(SearchValue::from_u64).collect();
+            for (i, spec) in day_specs.iter().enumerate() {
+                let day = i as u32 + 1;
+                archive.insert(random_batch(day, spec));
+                if day < window {
+                    continue;
+                }
+                if day == window {
+                    plain.start(&mut vol_p, &archive).unwrap();
+                    buffered.start(&mut vol_b, &archive).unwrap();
+                } else {
+                    plain.transition(&mut vol_p, &archive, Day(day)).unwrap();
+                    buffered.transition(&mut vol_b, &archive, Day(day)).unwrap();
+                }
+                let ctx = format!("{kind} {} day {day}", tech.name());
+                let range = TimeRange::between(Day(day.saturating_sub(window) + 1), Day(day));
+                for v in &values {
+                    let p = plain
+                        .wave()
+                        .timed_index_probe(&mut vol_p, v, range)
+                        .unwrap();
+                    let b = buffered
+                        .wave()
+                        .timed_index_probe(&mut vol_b, v, range)
+                        .unwrap();
+                    assert_eq!(p.entries, b.entries, "{ctx}: timed probe {v}");
+                    let p = plain.wave().index_probe(&mut vol_p, v).unwrap();
+                    let b = buffered.wave().index_probe(&mut vol_b, v).unwrap();
+                    assert_eq!(p.entries, b.entries, "{ctx}: untimed probe {v}");
+                }
+                let p = plain.wave().timed_segment_scan(&mut vol_p, range).unwrap();
+                let b = buffered
+                    .wave()
+                    .timed_segment_scan(&mut vol_b, range)
+                    .unwrap();
+                assert_eq!(p.entries, b.entries, "{ctx}: segment scan");
+                let p = plain
+                    .wave()
+                    .query_batch(&mut vol_p, &values, range)
+                    .unwrap();
+                let b = buffered
+                    .wave()
+                    .query_batch(&mut vol_b, &values, range)
+                    .unwrap();
+                for (vi, (pr, br)) in p.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(pr.entries, br.entries, "{ctx}: batch value {vi}");
+                }
+            }
+            plain.release(&mut vol_p).unwrap();
+            buffered.release(&mut vol_b).unwrap();
+            assert_eq!(vol_p.live_blocks(), 0);
+            assert_eq!(vol_b.live_blocks(), 0);
+        }
+    }
+}
+
+fn value_batch(day: u32, pairs: &[(u64, u64)]) -> DayBatch {
+    DayBatch::new(
+        Day(day),
+        pairs
+            .iter()
+            .map(|&(id, v)| Record::with_values(RecordId(id), [SearchValue::from_u64(v)]))
+            .collect(),
+    )
+}
+
+/// A spill drains the buffer without changing what the index holds,
+/// under every technique — and the drained index still deep-checks.
+#[test]
+fn spill_preserves_contents_under_every_technique() {
+    for tech_i in 0..3u8 {
+        let tech = technique(tech_i);
+        let cfg = never_spill_config();
+        let mut vol = Volume::default();
+        let b1 = value_batch(1, &[(1, 0), (2, 1), (3, 2)]);
+        let b2 = value_batch(2, &[(4, 0), (5, 3)]);
+        let b3 = value_batch(3, &[(6, 1), (7, 4)]);
+        let mut idx =
+            ConstituentIndex::build_packed("SP", cfg, &mut vol, &[&b1, &b2, &b3]).unwrap();
+
+        // Buffer a day deletion, adds to existing values, adds to a
+        // brand-new value, and an empty day.
+        let b4 = value_batch(4, &[(8, 0), (9, 5), (10, 2)]);
+        let b5 = DayBatch::empty(Day(5));
+        let del: BTreeSet<Day> = [Day(1)].into_iter().collect();
+        idx.buffer_update(&vol, &del, &[&b4, &b5]);
+        assert!(!idx.ingest().is_empty(), "{}", tech.name());
+        assert!(idx.pending_ingest_bytes() > 0, "{}", tech.name());
+
+        let before = idx.scan(&mut vol).unwrap();
+        let days_before = idx.days().clone();
+        let entries_before = idx.entry_count();
+
+        Updater::new(tech).spill(&mut vol, &mut idx).unwrap();
+
+        assert!(
+            idx.ingest().is_empty(),
+            "{}: buffer not drained",
+            tech.name()
+        );
+        assert_eq!(idx.pending_ingest_bytes(), 0, "{}", tech.name());
+        let after = idx.scan(&mut vol).unwrap();
+        assert_eq!(before, after, "{}: spill changed contents", tech.name());
+        assert_eq!(days_before, *idx.days(), "{}", tech.name());
+        assert_eq!(entries_before, idx.entry_count(), "{}", tech.name());
+        idx.check_consistency(&mut vol)
+            .unwrap_or_else(|e| panic!("{}: {e}", tech.name()));
+
+        idx.release(&mut vol).unwrap();
+        assert_eq!(vol.live_blocks(), 0, "{}", tech.name());
+    }
+}
+
+/// Builds a 2-slot buffered wave with dirty buffers on both slots,
+/// commits it, and returns everything a persistence test needs.
+fn dirty_committed_store() -> (
+    FileStore,
+    Volume,
+    WaveIndex,
+    DayArchive,
+    Vec<wave_index::entry::Entry>,
+) {
+    let cfg = never_spill_config();
+    let mut vol = Volume::default();
+    let mut archive = DayArchive::new();
+    let batches: Vec<DayBatch> = vec![
+        value_batch(1, &[(1, 0), (2, 1)]),
+        value_batch(2, &[(3, 2)]),
+        value_batch(3, &[(4, 0), (5, 3)]),
+        value_batch(4, &[(6, 1)]),
+        value_batch(5, &[(7, 4), (8, 0)]),
+        DayBatch::empty(Day(6)),
+    ];
+    for b in &batches {
+        archive.insert(b.clone());
+    }
+    let mut wave = WaveIndex::with_slots(2);
+    wave.install(
+        0,
+        ConstituentIndex::build_packed("B1", cfg, &mut vol, &[&batches[0], &batches[1]]).unwrap(),
+    );
+    wave.install(
+        1,
+        ConstituentIndex::build_packed("B2", cfg, &mut vol, &[&batches[2]]).unwrap(),
+    );
+    // Dirty both buffers: slot 0 gains a day and loses one, slot 1
+    // gains two days (one of them empty).
+    let del: BTreeSet<Day> = [Day(1)].into_iter().collect();
+    wave.slot_mut(0)
+        .unwrap()
+        .buffer_update(&vol, &del, &[&batches[3]]);
+    wave.slot_mut(1)
+        .unwrap()
+        .buffer_update(&vol, &BTreeSet::new(), &[&batches[4], &batches[5]]);
+    assert!(!wave.slot(0).unwrap().ingest().is_empty());
+    assert!(!wave.slot(1).unwrap().ingest().is_empty());
+
+    let mut expected = Vec::new();
+    for (_, idx) in wave.iter() {
+        expected.extend(idx.scan(&mut vol).unwrap());
+    }
+    expected.sort_unstable();
+
+    let mut store = FileStore::open_temp().unwrap();
+    commit_wave(&wave, &mut vol, &mut store, &RetryPolicy::no_backoff(1)).unwrap();
+    (store, vol, wave, archive, expected)
+}
+
+/// Committing a wave with dirty buffers writes `.ing` sidecars, the
+/// store fscks clean, and the strict loader replays the logs so the
+/// loaded wave answers exactly like the in-memory one — buffers still
+/// dirty, not silently flushed.
+#[test]
+fn dirty_buffer_commit_fscks_clean_and_roundtrips() {
+    let (mut store, mut vol, mut wave, _archive, expected) = dirty_committed_store();
+    let names = store.list().unwrap();
+    assert!(
+        names.contains(&"slot0.e1.ing".to_string()) && names.contains(&"slot1.e1.ing".to_string()),
+        "dirty buffers must persist as ingest logs: {names:?}"
+    );
+
+    let report = fsck(&mut store, &Obs::noop()).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.ingest_ok.len(), 2, "{report:?}");
+
+    let mut vol2 = Volume::default();
+    let mut loaded = load_committed(never_spill_config(), &mut vol2, &mut store)
+        .unwrap()
+        .expect("committed wave loads");
+    let mut got = Vec::new();
+    for (j, idx) in loaded.wave.iter() {
+        assert!(
+            !idx.ingest().is_empty(),
+            "slot {j}: replay must restore the dirty buffer"
+        );
+        assert_eq!(
+            idx.pending_ingest_bytes(),
+            wave.slot(j).unwrap().pending_ingest_bytes(),
+            "slot {j}"
+        );
+        idx.check_consistency(&mut vol2).unwrap();
+        got.extend(idx.scan(&mut vol2).unwrap());
+    }
+    got.sort_unstable();
+    assert_eq!(got, expected, "loaded wave diverges from committed one");
+
+    loaded.wave.release_all(&mut vol2).unwrap();
+    wave.release_all(&mut vol).unwrap();
+    store.destroy().unwrap();
+}
+
+/// A torn ingest log is *not* derived data: the strict loader refuses
+/// the store, and `recover` quarantines the log, rebuilds the slot
+/// from the day archive (the manifest's logical day list covers the
+/// buffered days), and the recovered wave holds exactly the logical
+/// contents the crash interrupted.
+#[test]
+fn torn_ingest_log_rebuilds_from_archive() {
+    let (mut store, mut vol, mut wave, archive, expected) = dirty_committed_store();
+    let mut bytes = store.get("slot0.e1.ing").unwrap().unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    store.put("slot0.e1.ing", &bytes).unwrap();
+
+    let mut vol2 = Volume::default();
+    assert!(
+        load_committed(never_spill_config(), &mut vol2, &mut store).is_err(),
+        "strict load must refuse a torn ingest log"
+    );
+
+    let (loaded, report) =
+        recover(never_spill_config(), &mut vol2, &mut store, Some(&archive)).unwrap();
+    let mut loaded = loaded.expect("wave recovers via the archive");
+    assert!(
+        report
+            .quarantined
+            .contains(&"slot0.e1.ing.quar".to_string()),
+        "{report:?}"
+    );
+    assert_eq!(report.rebuilt, vec!["slot0.e1".to_string()], "{report:?}");
+    assert!(report.dropped_slots.is_empty(), "{report:?}");
+
+    let mut got = Vec::new();
+    for (_, idx) in loaded.wave.iter() {
+        got.extend(idx.scan(&mut vol2).unwrap());
+    }
+    got.sort_unstable();
+    assert_eq!(got, expected, "recovered wave lost buffered updates");
+
+    // The repaired store strict-loads again.
+    let mut vol3 = Volume::default();
+    let mut reloaded = load_committed(never_spill_config(), &mut vol3, &mut store)
+        .unwrap()
+        .expect("strict load succeeds after repair");
+    reloaded.wave.release_all(&mut vol3).unwrap();
+    loaded.wave.release_all(&mut vol2).unwrap();
+    wave.release_all(&mut vol).unwrap();
+    store.destroy().unwrap();
+}
+
+/// Without the archive, a torn log honestly drops the slot instead of
+/// serving an index nobody can vouch for.
+#[test]
+fn torn_ingest_log_without_archive_drops_the_slot() {
+    let (mut store, mut vol, mut wave, _archive, _expected) = dirty_committed_store();
+    store.remove("slot1.e1.ing").unwrap();
+
+    let mut vol2 = Volume::default();
+    let (loaded, report) = recover(never_spill_config(), &mut vol2, &mut store, None).unwrap();
+    let mut loaded = loaded.expect("degraded wave still loads");
+    assert_eq!(report.dropped_slots, vec![1], "{report:?}");
+    assert!(loaded.wave.slot(0).is_some());
+    assert!(loaded.wave.slot(1).is_none());
+
+    loaded.wave.release_all(&mut vol2).unwrap();
+    wave.release_all(&mut vol).unwrap();
+    store.destroy().unwrap();
+}

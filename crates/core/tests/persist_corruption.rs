@@ -8,7 +8,9 @@
 
 use std::path::PathBuf;
 
-use wave_index::persist::{decode_index, index_to_bytes, FilterRef, Manifest, ManifestEntry};
+use wave_index::persist::{
+    decode_index, index_to_bytes, FilterRef, IngestRef, Manifest, ManifestEntry,
+};
 use wave_index::prelude::*;
 use wave_index::IndexError;
 use wave_obs::SplitMix64;
@@ -171,6 +173,7 @@ fn manifest_corruption_sweep() {
                 label: "I1".into(),
                 days: vec![Day(17), Day(18), Day(19)],
                 filter: None,
+                ingest: None,
             },
             ManifestEntry {
                 slot: 2,
@@ -184,6 +187,12 @@ fn manifest_corruption_sweep() {
                     file: "slot2.e42.filt".into(),
                     len: 96,
                     crc64: 0x1357_9BDF_0246_8ACE,
+                }),
+                // An ingest line so the sweep also flips log refs.
+                ingest: Some(IngestRef {
+                    file: "slot2.e42.ing".into(),
+                    len: 128,
+                    crc64: 0x8ACE_0246_9BDF_1357,
                 }),
             },
         ],

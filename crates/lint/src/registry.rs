@@ -170,7 +170,12 @@ pub fn render(sets: &NameSets) -> String {
         ),
         ("Every literal span name.", "SPANS", &sets.spans),
     ] {
-        out.push_str(&format!("/// {doc}\npub const {ident}: &[&str] = &[\n"));
+        // `#[rustfmt::skip]`: rustfmt would collapse short arrays
+        // onto one line, and `--check-registry` compares byte-exact
+        // against this rendering — the two gates must agree.
+        out.push_str(&format!(
+            "/// {doc}\n#[rustfmt::skip]\npub const {ident}: &[&str] = &[\n"
+        ));
         for name in set.iter() {
             out.push_str(&format!("    \"{name}\",\n"));
         }

@@ -9,6 +9,7 @@
 //! runtime (`format!("server.arm{i}.…")`) are intentionally absent.
 
 /// Every literal counter name.
+#[rustfmt::skip]
 pub const COUNTERS: &[&str] = &[
     "alloc.allocs",
     "alloc.frees",
@@ -26,6 +27,12 @@ pub const COUNTERS: &[&str] = &[
     "filter.skips",
     "fsck.checksum_failures",
     "fsck.files_scanned",
+    "ingest.buffered_adds",
+    "ingest.buffered_deletes",
+    "ingest.log_replays",
+    "ingest.log_writes",
+    "ingest.spilled_entries",
+    "ingest.spills",
     "persist.commits",
     "recover.filter_rebuilds",
     "recover.orphans_removed",
@@ -46,12 +53,14 @@ pub const COUNTERS: &[&str] = &[
 ];
 
 /// Every literal gauge name.
+#[rustfmt::skip]
 pub const GAUGES: &[&str] = &[
     "alloc.free_fragments",
     "alloc.live_blocks",
 ];
 
 /// Every literal histogram name.
+#[rustfmt::skip]
 pub const HISTOGRAMS: &[&str] = &[
     "alloc.extent_blocks",
     "dir.probe_depth",
@@ -60,9 +69,11 @@ pub const HISTOGRAMS: &[&str] = &[
 ];
 
 /// Every literal span name.
+#[rustfmt::skip]
 pub const SPANS: &[&str] = &[
     "commit_wave",
     "day",
+    "ingest.spill",
     "recover",
     "sched.read_batch",
     "server.degraded_query",
